@@ -1,0 +1,51 @@
+// Ablation / validation: analytic model vs discrete-event simulation across
+// workloads and parameters. Every analytic value should land inside (or very
+// near) the simulator's 95% confidence interval.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/fgbg_simulator.hpp"
+
+int main() {
+  using namespace perfbg;
+  bench::banner("Validation", "analytic QBD solution vs discrete-event simulation");
+
+  Table t({"workload", "load", "p", "metric", "analytic", "sim mean", "sim 95% hw",
+           "inside CI"});
+  t.set_precision(4);
+
+  auto compare = [&](const std::string& wl, double load, double p, const char* name,
+                     double analytic, const sim::Estimate& e) {
+    // Allow a small absolute slack for near-zero metrics where the CI itself
+    // is at the resolution of the batch counts.
+    const bool ok = e.contains(analytic) || std::abs(analytic - e.mean) < 5e-3 ||
+                    std::abs(analytic - e.mean) < 2.0 * e.half_width;
+    t.add_row({wl, load, p, std::string(name), analytic, e.mean, e.half_width,
+               std::string(ok ? "yes" : "NO")});
+  };
+
+  for (const auto& proc :
+       {workloads::email(), workloads::software_dev(), workloads::email_poisson()}) {
+    for (double u : {0.10, 0.30}) {
+      for (double p : {0.3, 0.9}) {
+        core::FgBgParams params{
+            proc.scaled_to_utilization(u, workloads::kMeanServiceTimeMs)};
+        params.bg_probability = p;
+        const core::FgBgMetrics m = core::FgBgModel(params).solve().metrics();
+        sim::SimConfig cfg;
+        cfg.warmup_time = 5e5;
+        cfg.batch_time = 2e6;
+        cfg.batches = 12;
+        const sim::SimMetrics s = sim::simulate_fgbg(params, cfg);
+        compare(proc.name(), u, p, "fg_qlen", m.fg_queue_length, s.fg_queue_length);
+        compare(proc.name(), u, p, "bg_qlen", m.bg_queue_length, s.bg_queue_length);
+        compare(proc.name(), u, p, "bg_completion", m.bg_completion, s.bg_completion);
+        compare(proc.name(), u, p, "fg_delayed_arr", m.fg_delayed_arrivals,
+                s.fg_delayed_arrivals);
+        compare(proc.name(), u, p, "busy_fraction", m.busy_fraction, s.busy_fraction);
+      }
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation: the two R-matrix solvers (logarithmic reduction vs functional
+// iteration) across loads. Reports iteration counts, residuals, and the
+// max elementwise disagreement of R — log-reduction's quadratic convergence
+// is what makes the near-saturation sweeps of Figs. 5/11 cheap.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/chain_builder.hpp"
+#include "qbd/rmatrix.hpp"
+
+int main() {
+  using namespace perfbg;
+  bench::banner("Ablation: R solver", "logarithmic reduction vs functional iteration");
+
+  Table t({"workload", "fg_load", "LR iters", "LR residual", "FI iters", "FI residual",
+           "max |R_LR - R_FI|"});
+  for (const auto& proc : {workloads::email(), workloads::email_poisson()}) {
+    for (double u : {0.10, 0.30, 0.60, 0.90, 0.97}) {
+      core::FgBgParams params{
+          proc.scaled_to_utilization(u, workloads::kMeanServiceTimeMs)};
+      params.bg_probability = 0.3;
+      const core::FgBgModel model(params);
+
+      qbd::RSolverOptions lr;
+      lr.kind = qbd::RSolverKind::kLogarithmicReduction;
+      qbd::RSolverStats lr_stats;
+      const auto r_lr = qbd::solve_r(model.process().a0, model.process().a1,
+                                     model.process().a2, lr, &lr_stats);
+
+      qbd::RSolverOptions fi;
+      fi.kind = qbd::RSolverKind::kFunctionalIteration;
+      fi.max_iters = 2000000;
+      qbd::RSolverStats fi_stats;
+      const auto r_fi = qbd::solve_r(model.process().a0, model.process().a1,
+                                     model.process().a2, fi, &fi_stats);
+
+      t.add_row({proc.name(), u, static_cast<double>(lr_stats.iterations),
+                 lr_stats.final_residual, static_cast<double>(fi_stats.iterations),
+                 fi_stats.final_residual, r_lr.max_abs_diff(r_fi)});
+    }
+  }
+  t.set_precision(3);
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Baseline comparison: the classical M/G/1-with-multiple-vacations analysis
+// (the paper's related-work approach, refs [2, 20]) against the explicit
+// FG/BG QBD model. Shows (a) the corner where they coincide, (b) the bias of
+// the vacation bound at realistic background loads, and (c) its inability to
+// see arrival dependence — the paper's core argument for the QBD model.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/vacation.hpp"
+#include "traffic/phase_type.hpp"
+#include "traffic/processes.hpp"
+
+int main() {
+  using namespace perfbg;
+  using traffic::PhaseType;
+  bench::banner("Baseline: vacation queue",
+                "M/G/1 multiple vacations vs the explicit FG/BG QBD model");
+  const PhaseType service = PhaseType::exponential(workloads::kMeanServiceTimeMs);
+
+  {
+    bench::subhead(
+        "agreement regime (buffer pinned full, lambda(1+p)E[S] > 1): p=1, X=40, idle->0");
+    Table t({"fg_load", "QBD fg_qlen", "vacation model", "rel diff %"});
+    for (double u : {0.3, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+      const double lambda = u / workloads::kMeanServiceTimeMs;
+      core::FgBgParams params{traffic::poisson(lambda)};
+      params.bg_probability = 1.0;
+      params.bg_buffer = 40;
+      params.idle_wait_intensity = 1e-4;
+      const double qbd = core::FgBgModel(params).solve().metrics().fg_queue_length;
+      const double vac =
+          core::mg1_multiple_vacations_number_in_system(lambda, service, service);
+      t.add_row({u, qbd, vac, 100.0 * (qbd - vac) / vac});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    bench::subhead("paper operating point: p=0.3, X=5, idle wait 1x (Poisson)");
+    Table t({"fg_load", "QBD fg_qlen", "M/M/1 (no bg)", "vacation model",
+             "vacation error %"});
+    for (double u : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      const double lambda = u / workloads::kMeanServiceTimeMs;
+      const core::FgBgMetrics m = bench::solve_point(workloads::email_poisson(), u, 0.3);
+      const double mm1 = core::mg1_number_in_system(lambda, service);
+      const double vac =
+          core::mg1_multiple_vacations_number_in_system(lambda, service, service);
+      t.add_row({u, m.fg_queue_length, mm1, vac,
+                 100.0 * (vac - m.fg_queue_length) / m.fg_queue_length});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    bench::subhead("dependence blindness: high-ACF arrivals, p=0.3, X=5");
+    Table t({"fg_load", "QBD fg_qlen (MMPP)", "vacation model (Poisson fit)",
+             "underestimate factor"});
+    for (double u : {0.05, 0.10, 0.15, 0.19, 0.25}) {
+      const double lambda = u / workloads::kMeanServiceTimeMs;
+      const core::FgBgMetrics m = bench::solve_point(workloads::email(), u, 0.3);
+      const double vac =
+          core::mg1_multiple_vacations_number_in_system(lambda, service, service);
+      t.add_row({u, m.fg_queue_length, vac, m.fg_queue_length / vac});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "\nReading: the vacation analysis is exact only when background work\n"
+               "never runs out; at the paper's operating points it overestimates\n"
+               "foreground queueing by assuming permanent vacations, and under\n"
+               "autocorrelated arrivals it underestimates by orders of magnitude —\n"
+               "both gaps motivate the explicit QBD model.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Shared plumbing for the figure-regeneration harnesses: each bench binary
+// prints a banner naming the paper artifact it regenerates, then one table
+// per sub-figure, in a diff-friendly format. No arguments, deterministic.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "traffic/map_process.hpp"
+#include "util/table.hpp"
+#include "workloads/presets.hpp"
+
+namespace perfbg::bench {
+
+inline void banner(const std::string& experiment_id, const std::string& what) {
+  std::cout << "==============================================================\n"
+            << experiment_id << ": " << what << "\n"
+            << "==============================================================\n";
+}
+
+inline void subhead(const std::string& s) { std::cout << "\n--- " << s << " ---\n"; }
+
+/// The p sweep used by the paper's Figs. 5-8.
+inline const std::vector<double>& paper_p_values() {
+  static const std::vector<double> v{0.0, 0.1, 0.3, 0.6, 0.9};
+  return v;
+}
+
+/// Foreground-utilization grids. The paper plots each workload over the load
+/// range where its behaviour is interesting (the High-ACF workload saturates
+/// far earlier, hence its shorter axis — compare its Figs. 5a vs 5b).
+inline const std::vector<double>& high_acf_load_grid() {
+  static const std::vector<double> v{0.02, 0.04, 0.06, 0.08, 0.10, 0.12,
+                                     0.14, 0.16, 0.19, 0.22, 0.25};
+  return v;
+}
+inline const std::vector<double>& low_acf_load_grid() {
+  static const std::vector<double> v{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35,
+                                     0.40, 0.50, 0.60, 0.70, 0.80, 0.90};
+  return v;
+}
+
+/// Solves the model at one (process, utilization, p, idle-wait) point.
+inline core::FgBgMetrics solve_point(const traffic::MarkovianArrivalProcess& process,
+                                     double utilization, double p,
+                                     double idle_wait_intensity = 1.0, int bg_buffer = 5) {
+  core::FgBgParams params{
+      process.scaled_to_utilization(utilization, workloads::kMeanServiceTimeMs)};
+  params.mean_service_time = workloads::kMeanServiceTimeMs;
+  params.bg_probability = p;
+  params.bg_buffer = bg_buffer;
+  params.idle_wait_intensity = idle_wait_intensity;
+  return core::FgBgModel(params).solve().metrics();
+}
+
+/// Emits one "figure panel": the chosen metric as a function of load, one
+/// column per p value.
+inline void print_load_sweep_panel(const std::string& title,
+                                   const traffic::MarkovianArrivalProcess& process,
+                                   const std::vector<double>& loads,
+                                   const std::vector<double>& ps,
+                                   double core::FgBgMetrics::*field) {
+  subhead(title);
+  std::vector<std::string> headers{"fg_load"};
+  for (double p : ps) headers.push_back("p=" + format_number(p, 2));
+  Table t(std::move(headers));
+  for (double u : loads) {
+    std::vector<TableCell> row;
+    row.reserve(ps.size() + 1);
+    row.emplace_back(std::in_place_type<double>, u);
+    for (double p : ps)
+      row.emplace_back(std::in_place_type<double>, solve_point(process, u, p).*field);
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+}
+
+}  // namespace perfbg::bench

@@ -1,0 +1,46 @@
+// Extension study (footnote 3, second half): does the *shape* of the idle
+// wait matter, or only its mean? The paper models an exponential wait; this
+// bench solves the chain with phase-type waits of equal mean and different
+// variability, at the Figs. 9/10 operating points.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "traffic/phase_type.hpp"
+
+int main() {
+  using namespace perfbg;
+  using traffic::PhaseType;
+  bench::banner("Extension: idle-wait shape",
+                "PH idle waits of equal mean, different variability");
+
+  const double mean_wait = workloads::kMeanServiceTimeMs;  // 1x service time
+  const std::vector<std::pair<std::string, PhaseType>> waits{
+      {"erlang8 (scv 0.125)", PhaseType::erlang(8, mean_wait)},
+      {"erlang2 (scv 0.5)", PhaseType::erlang(2, mean_wait)},
+      {"expo (scv 1)", PhaseType::exponential(mean_wait)},
+      {"h2 (scv 2)", PhaseType::hyperexponential(0.5, mean_wait * 1.7071068,
+                                                 mean_wait * 0.2928932)},
+  };
+
+  for (const auto& [wl, load] : {std::pair{workloads::email(), 0.12},
+                                 std::pair{workloads::software_dev(), 0.25}}) {
+    bench::subhead(wl.name() + " at load " + format_number(load, 3) + ", p = 0.6");
+    Table t({"idle wait", "scv", "fg_qlen", "bg_completion", "fg_delayed(arr)"});
+    for (const auto& [name, wait] : waits) {
+      core::FgBgParams params{
+          wl.scaled_to_utilization(load, workloads::kMeanServiceTimeMs)};
+      params.bg_probability = 0.6;
+      params.idle_wait_distribution = wait;
+      const core::FgBgMetrics m = core::FgBgModel(params).solve().metrics();
+      t.add_row({name, wait.scv(), m.fg_queue_length, m.bg_completion,
+                 m.fg_delayed_arrivals});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "\nReading: at equal mean the idle-wait shape moves completion and\n"
+               "delay by only a few percent (lower variability = slightly fewer\n"
+               "foreground jobs caught behind background work). The mean — the\n"
+               "knob the paper sweeps in its Figs. 9-10 — is what matters, which\n"
+               "justifies the exponential-wait simplification in the chain.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Extension study (the paper's §6 future work, implemented): two background
+// priority classes. Sweeps foreground load and shows how strict priority
+// differentiates the classes — the high-priority class (e.g. WRITE
+// verification) keeps completing long after the low-priority class (e.g.
+// scrubbing) has starved.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/multiclass.hpp"
+
+int main() {
+  using namespace perfbg;
+  bench::banner("Extension: multi-class background",
+                "two priority classes, p1 = p2 = 0.3, X1 = X2 = 5");
+
+  for (const auto& proc : {workloads::email_poisson().renamed("expo"),
+                           workloads::email().renamed("high-acf")}) {
+    bench::subhead("arrivals: " + proc.name());
+    Table t({"fg_load", "comp class1", "comp class2", "qlen1", "qlen2", "fg_qlen",
+             "fg_delayed"});
+    for (double u : {0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.55, 0.70, 0.85}) {
+      if (proc.name() == "high-acf" && u > 0.4) continue;  // deep saturation
+      core::McParams params{proc.scaled_to_utilization(u, workloads::kMeanServiceTimeMs)};
+      params.p1 = 0.3;
+      params.p2 = 0.3;
+      params.buffer1 = 5;
+      params.buffer2 = 5;
+      const core::McMetrics m = core::McModel(params).solve();
+      t.add_row({u, m.bg1_completion, m.bg2_completion, m.bg1_queue_length,
+                 m.bg2_queue_length, m.fg_queue_length, m.fg_delayed});
+    }
+    t.print(std::cout);
+  }
+
+  // Asymmetric split: how to budget a fixed total background probability.
+  bench::subhead("splitting a fixed total p = 0.6 across classes (expo, load 0.5)");
+  Table t({"p1", "p2", "comp class1", "comp class2", "weighted completion"});
+  for (double p1 : {0.0001, 0.1, 0.2, 0.3, 0.4, 0.5, 0.5999}) {
+    core::McParams params{
+        workloads::email_poisson().scaled_to_utilization(0.5, workloads::kMeanServiceTimeMs)};
+    params.p1 = p1;
+    params.p2 = 0.6 - p1;
+    const core::McMetrics m = core::McModel(params).solve();
+    const double weighted =
+        (p1 * m.bg1_completion + (0.6 - p1) * m.bg2_completion) / 0.6;
+    t.add_row({p1, 0.6 - p1, m.bg1_completion, m.bg2_completion, weighted});
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: strict priority protects class 1 (its completion stays\n"
+               "high) while class 2 absorbs most of the drop. The work-weighted\n"
+               "total completion varies only mildly with the split and peaks for\n"
+               "a balanced-to-class-1-heavy allocation: splitting work across two\n"
+               "buffers adds a little capacity, but the priority knob mainly\n"
+               "redistributes reliability benefit rather than creating it.\n";
+  return 0;
+}

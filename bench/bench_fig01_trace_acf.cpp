@@ -1,0 +1,53 @@
+// Regenerates the paper's Figure 1: the ACF of the inter-arrival times of the
+// three (here: synthetic, see DESIGN.md §2) traces, plus the table of mean,
+// CV and utilization for inter-arrival and service times.
+#include <cstdint>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "workloads/trace.hpp"
+
+int main() {
+  using namespace perfbg;
+  bench::banner("Figure 1", "trace inter-arrival ACF and summary statistics");
+
+  constexpr std::size_t kTraceLength = 300000;  // "a few hundred thousand entries"
+  constexpr std::uint64_t kSeed = 17;
+  const auto procs = workloads::trace_workloads();
+
+  // Summary table (the table embedded in the paper's Figure 1).
+  {
+    bench::subhead("summary: inter-arrival and service statistics");
+    Table t({"workload", "arr mean (ms)", "arr CV", "svc mean (ms)", "svc CV",
+             "utilization %"});
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      const auto trace = workloads::generate_interarrival_trace(procs[i], kTraceLength,
+                                                                kSeed + i);
+      const auto svc = workloads::generate_service_trace(workloads::kMeanServiceTimeMs,
+                                                         kTraceLength, kSeed + 100 + i);
+      const double arr_mean = workloads::series_mean(trace);
+      t.add_row({procs[i].name(), arr_mean, workloads::series_cv(trace),
+                 workloads::series_mean(svc), workloads::series_cv(svc),
+                 100.0 * workloads::kMeanServiceTimeMs / arr_mean});
+    }
+    t.print(std::cout);
+  }
+
+  // ACF curves (empirical, from the synthetic traces).
+  {
+    bench::subhead("empirical ACF of inter-arrival times (lags 1..100)");
+    Table t({"lag", procs[0].name(), procs[1].name(), procs[2].name()});
+    std::vector<std::vector<double>> acfs;
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      const auto trace = workloads::generate_interarrival_trace(procs[i], kTraceLength,
+                                                                kSeed + i);
+      acfs.push_back(workloads::series_acf(trace, 100));
+    }
+    for (int lag : {1, 2, 3, 5, 8, 12, 20, 30, 40, 60, 80, 100}) {
+      const auto k = static_cast<std::size_t>(lag - 1);
+      t.add_row({static_cast<double>(lag), acfs[0][k], acfs[1][k], acfs[2][k]});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Regenerates the paper's Figure 5: average queue length of foreground jobs
+// as a function of foreground load for p in {0, .1, .3, .6, .9}, for the
+// (a) E-mail / High-ACF and (b) Software-Dev / Low-ACF workloads.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace perfbg;
+  bench::banner("Figure 5", "foreground mean queue length vs foreground load");
+  bench::print_load_sweep_panel("(a) E-mail (High ACF)", workloads::email(),
+                                bench::high_acf_load_grid(), bench::paper_p_values(),
+                                &core::FgBgMetrics::fg_queue_length);
+  bench::print_load_sweep_panel("(b) Software Dev. (Low ACF)", workloads::software_dev(),
+                                bench::low_acf_load_grid(), bench::paper_p_values(),
+                                &core::FgBgMetrics::fg_queue_length);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Regenerates the paper's Figure 6: the portion of foreground jobs delayed by
+// a background job, vs foreground load. The paper's WaitP_FG ratio is shown;
+// the arrival-weighted variant is printed as a second pair of panels.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace perfbg;
+  bench::banner("Figure 6", "portion of foreground jobs delayed behind background jobs");
+  const std::vector<double> ps{0.1, 0.3, 0.6, 0.9};
+  bench::print_load_sweep_panel("(a) E-mail (High ACF) — WaitP_FG", workloads::email(),
+                                bench::high_acf_load_grid(), ps,
+                                &core::FgBgMetrics::fg_delayed);
+  bench::print_load_sweep_panel("(b) Software Dev. (Low ACF) — WaitP_FG",
+                                workloads::software_dev(), bench::low_acf_load_grid(), ps,
+                                &core::FgBgMetrics::fg_delayed);
+  bench::print_load_sweep_panel("(a') E-mail — arrival-weighted delayed fraction",
+                                workloads::email(), bench::high_acf_load_grid(), ps,
+                                &core::FgBgMetrics::fg_delayed_arrivals);
+  bench::print_load_sweep_panel("(b') Software Dev. — arrival-weighted delayed fraction",
+                                workloads::software_dev(), bench::low_acf_load_grid(), ps,
+                                &core::FgBgMetrics::fg_delayed_arrivals);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Regenerates the paper's Figure 7: completion rate of background jobs vs
+// foreground load.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace perfbg;
+  bench::banner("Figure 7", "background job completion rate vs foreground load");
+  bench::print_load_sweep_panel("(a) E-mail (High ACF)", workloads::email(),
+                                bench::high_acf_load_grid(), bench::paper_p_values(),
+                                &core::FgBgMetrics::bg_completion);
+  bench::print_load_sweep_panel("(b) Software Dev. (Low ACF)", workloads::software_dev(),
+                                bench::low_acf_load_grid(), bench::paper_p_values(),
+                                &core::FgBgMetrics::bg_completion);
+  return 0;
+}

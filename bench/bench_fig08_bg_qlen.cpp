@@ -1,0 +1,16 @@
+// Regenerates the paper's Figure 8: average queue length of background jobs
+// vs foreground load for p in {.1, .3, .6, .9}.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace perfbg;
+  bench::banner("Figure 8", "background mean queue length vs foreground load");
+  const std::vector<double> ps{0.1, 0.3, 0.6, 0.9};
+  bench::print_load_sweep_panel("(a) E-mail (High ACF)", workloads::email(),
+                                bench::high_acf_load_grid(), ps,
+                                &core::FgBgMetrics::bg_queue_length);
+  bench::print_load_sweep_panel("(b) Software Dev. (Low ACF)", workloads::software_dev(),
+                                bench::low_acf_load_grid(), ps,
+                                &core::FgBgMetrics::bg_queue_length);
+  return 0;
+}

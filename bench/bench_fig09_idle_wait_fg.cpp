@@ -1,0 +1,53 @@
+// Regenerates the paper's Figure 9: foreground mean queue length as a
+// function of the idle-wait duration (in multiples of the mean service
+// time), for p in {.1, .3, .6, .9}.
+//
+// Operating points: each workload at the pre-saturation load where the
+// idle-wait knob is visible (E-mail 12%, Software-Dev 25%) — the regime of
+// the paper's §5.3 example (E-mail, p=0.6, queue length ~6.5% better at
+// idle wait 2x than at 0.5x the service time). See EXPERIMENTS.md.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+constexpr double kEmailLoad = 0.12;
+constexpr double kSoftDevLoad = 0.25;
+}  // namespace
+
+int main() {
+  using namespace perfbg;
+  bench::banner("Figure 9", "foreground queue length vs idle-wait intensity");
+  const std::vector<double> intensities{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0};
+  const std::vector<double> ps{0.1, 0.3, 0.6, 0.9};
+
+  for (const auto& [proc, load] :
+       {std::pair{workloads::email(), kEmailLoad},
+        std::pair{workloads::software_dev(), kSoftDevLoad}}) {
+    bench::subhead(proc.name() + " at " + format_number(100 * load, 3) +
+                   "% foreground utilization");
+    std::vector<std::string> headers{"idle_wait (x service time)"};
+    for (double p : ps) headers.push_back("p=" + format_number(p, 2));
+    Table t(headers);
+    for (double intensity : intensities) {
+      std::vector<TableCell> row{intensity};
+      for (double p : ps)
+        row.push_back(bench::solve_point(proc, load, p, intensity).fg_queue_length);
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
+  // The paper's §5.3 quoted comparison, printed explicitly.
+  {
+    bench::subhead("paper §5.3 quote check: E-mail, p=0.6, idle wait 0.5x vs 2x");
+    const double q_half = bench::solve_point(workloads::email(), kEmailLoad, 0.6, 0.5)
+                              .fg_queue_length;
+    const double q_twice = bench::solve_point(workloads::email(), kEmailLoad, 0.6, 2.0)
+                               .fg_queue_length;
+    std::cout << "qlen(0.5x) = " << q_half << ", qlen(2x) = " << q_twice
+              << ", foreground gain = " << 100.0 * (q_half - q_twice) / q_half
+              << "%  (paper: ~6.5%)\n";
+  }
+  return 0;
+}

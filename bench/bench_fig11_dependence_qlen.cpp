@@ -1,0 +1,35 @@
+// Regenerates the paper's Figure 11: foreground mean queue length vs load
+// for four arrival processes with the same mean (and, except Poisson, the
+// same CV) but different dependence: High ACF, Low ACF, IPP, Exponential.
+// The paper plots the correlated processes on a short load axis and the
+// independent ones up to ~95%; we print one combined table per p.
+#include "bench_common.hpp"
+
+namespace {
+
+void panel(double p) {
+  using namespace perfbg;
+  const auto family = workloads::dependence_family();
+  bench::subhead("p = " + format_number(p, 2));
+  std::vector<std::string> headers{"fg_load"};
+  for (const auto& m : family) headers.push_back(m.name());
+  Table t(headers);
+  for (double u : {0.02, 0.05, 0.08, 0.11, 0.15, 0.19, 0.25, 0.30, 0.35,
+                   0.45, 0.55, 0.65, 0.75, 0.85, 0.90, 0.95}) {
+    std::vector<TableCell> row{u};
+    for (const auto& m : family)
+      row.push_back(bench::solve_point(m, u, p).fg_queue_length);
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  perfbg::bench::banner("Figure 11",
+                        "foreground queue length vs load across dependence structures");
+  panel(0.3);
+  panel(0.9);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Regenerates the paper's Figure 12: background completion rate vs load for
+// the four dependence-structure comparators.
+#include "bench_common.hpp"
+
+namespace {
+
+void panel(double p) {
+  using namespace perfbg;
+  const auto family = workloads::dependence_family();
+  bench::subhead("p = " + format_number(p, 2));
+  std::vector<std::string> headers{"fg_load"};
+  for (const auto& m : family) headers.push_back(m.name());
+  Table t(headers);
+  for (double u : {0.02, 0.05, 0.08, 0.11, 0.15, 0.19, 0.25, 0.30, 0.35,
+                   0.45, 0.55, 0.65, 0.75, 0.85, 0.90, 0.95}) {
+    std::vector<TableCell> row{u};
+    for (const auto& m : family)
+      row.push_back(bench::solve_point(m, u, p).bg_completion);
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  perfbg::bench::banner("Figure 12",
+                        "background completion rate vs load across dependence structures");
+  panel(0.3);
+  panel(0.9);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// google-benchmark microbenchmarks of the numeric core: chain construction,
+// R-matrix solution, and the end-to-end model solve, as functions of the
+// background buffer size X (level size 2X+1 per phase) and of load.
+#include <benchmark/benchmark.h>
+
+#include "core/chain_builder.hpp"
+#include "core/model.hpp"
+#include "qbd/rmatrix.hpp"
+#include "qbd/solution.hpp"
+#include "workloads/presets.hpp"
+
+namespace {
+
+using namespace perfbg;
+
+core::FgBgParams params_for(int bg_buffer, double load) {
+  core::FgBgParams p{
+      workloads::email().scaled_to_utilization(load, workloads::kMeanServiceTimeMs)};
+  p.bg_probability = 0.3;
+  p.bg_buffer = bg_buffer;
+  return p;
+}
+
+void BM_ChainBuild(benchmark::State& state) {
+  const core::FgBgParams p = params_for(static_cast<int>(state.range(0)), 0.3);
+  const core::FgBgLayout layout(p.bg_buffer, p.arrivals.phases());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_fgbg_qbd(p, layout));
+  }
+}
+BENCHMARK(BM_ChainBuild)->Arg(5)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_SolveR_LogReduction(benchmark::State& state) {
+  const core::FgBgModel model(params_for(static_cast<int>(state.range(0)), 0.3));
+  const auto& q = model.process();
+  qbd::RSolverOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qbd::solve_r(q.a0, q.a1, q.a2, opts));
+  }
+}
+BENCHMARK(BM_SolveR_LogReduction)->Arg(5)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_SolveR_FunctionalIteration(benchmark::State& state) {
+  const core::FgBgModel model(params_for(5, static_cast<double>(state.range(0)) / 100.0));
+  const auto& q = model.process();
+  qbd::RSolverOptions opts;
+  opts.kind = qbd::RSolverKind::kFunctionalIteration;
+  opts.max_iters = 2000000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qbd::solve_r(q.a0, q.a1, q.a2, opts));
+  }
+}
+BENCHMARK(BM_SolveR_FunctionalIteration)->Arg(10)->Arg(50)->Arg(90);
+
+void BM_FullModelSolve(benchmark::State& state) {
+  const core::FgBgModel model(params_for(static_cast<int>(state.range(0)), 0.3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.solve().metrics());
+  }
+}
+BENCHMARK(BM_FullModelSolve)->Arg(5)->Arg(10)->Arg(25);
+
+void BM_LoadSweepPoint(benchmark::State& state) {
+  // One point of a Figs. 5-8 sweep, end to end (scale + build + solve).
+  const auto base = workloads::email();
+  const double load = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    core::FgBgParams p{base.scaled_to_utilization(load, workloads::kMeanServiceTimeMs)};
+    p.bg_probability = 0.3;
+    benchmark::DoNotOptimize(core::FgBgModel(p).solve().metrics().fg_queue_length);
+  }
+}
+BENCHMARK(BM_LoadSweepPoint)->Arg(10)->Arg(50)->Arg(90);
+
+}  // namespace
+
+BENCHMARK_MAIN();

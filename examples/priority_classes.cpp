@@ -1,0 +1,58 @@
+// Scenario: splitting background work across two priority classes
+// (the paper's §6 future work, implemented in core/multiclass.hpp).
+//
+// A drive runs two kinds of background maintenance: WRITE verification
+// (reliability-critical — class 1) and readahead-cache repopulation
+// (performance-helping — class 2). This example shows how strict priority
+// shields the critical class as load grows, and how the two-class model
+// degenerates to the single-class one when class 2 is disabled.
+#include <iostream>
+
+#include "core/model.hpp"
+#include "core/multiclass.hpp"
+#include "util/table.hpp"
+#include "workloads/presets.hpp"
+
+int main() {
+  using namespace perfbg;
+  std::cout << "Two-class background maintenance: verification (class 1, p1=0.2)\n"
+               "over cache repopulation (class 2, p2=0.4), buffers 5/5\n\n";
+
+  const auto arrivals = workloads::email_poisson();
+  Table t({"fg load", "verify completion", "cache completion", "verify qlen",
+           "cache qlen", "fg qlen"});
+  t.set_precision(4);
+  for (double u : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}) {
+    core::McParams params{arrivals.scaled_to_utilization(u, workloads::kMeanServiceTimeMs)};
+    params.p1 = 0.2;
+    params.p2 = 0.4;
+    params.buffer1 = 5;
+    params.buffer2 = 5;
+    const core::McMetrics m = core::McModel(params).solve();
+    t.add_row({u, m.bg1_completion, m.bg2_completion, m.bg1_queue_length,
+               m.bg2_queue_length, m.fg_queue_length});
+  }
+  t.print(std::cout);
+
+  // Single-class consistency check, visible to the reader: p2 ~ 0 recovers
+  // the FgBgModel numbers.
+  core::McParams degenerate{arrivals.scaled_to_utilization(0.4, workloads::kMeanServiceTimeMs)};
+  degenerate.p1 = 0.2;
+  degenerate.p2 = 1e-9;
+  degenerate.buffer1 = 5;
+  const core::McMetrics two = core::McModel(degenerate).solve();
+  core::FgBgParams single{arrivals.scaled_to_utilization(0.4, workloads::kMeanServiceTimeMs)};
+  single.bg_probability = 0.2;
+  single.bg_buffer = 5;
+  const core::FgBgMetrics one = core::FgBgModel(single).solve().metrics();
+  std::cout << "\nconsistency: with p2 -> 0, two-class verify completion "
+            << two.bg1_completion << " vs single-class " << one.bg_completion
+            << " (difference " << std::abs(two.bg1_completion - one.bg_completion)
+            << ")\n\n"
+            << "Reading: under strict priority the verification class keeps a high\n"
+               "completion rate deep into the load range while the cache class\n"
+               "degrades first — the designer can protect the reliability-critical\n"
+               "background work simply by ordering the idle-time queue, without\n"
+               "touching buffers or the idle-wait policy.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Scenario: provisioning a WRITE-verification campaign.
+//
+// A drive starts cold (empty, idle) and must complete a target amount of
+// background verification work while serving foreground traffic. This
+// example uses the transient ("performability") machinery to answer two
+// provisioning questions the steady-state figures cannot:
+//   1. how long does the system take to reach its steady verification
+//      throughput after a cold start, and
+//   2. how much verification work completes within a fixed window, under
+//      independent vs strongly correlated foreground arrivals?
+#include <iostream>
+
+#include "core/model.hpp"
+#include "core/truncated_chain.hpp"
+#include "util/table.hpp"
+#include "workloads/presets.hpp"
+
+int main() {
+  using namespace perfbg;
+  constexpr double kUtil = 0.12;  // below the bursty workload's saturation knee,
+                                  // so the truncated chain stays accurate
+  constexpr double kP = 0.6;
+  std::cout << "WRITE-verification campaign planner (load " << kUtil << ", p = " << kP
+            << ", buffer 5)\n\n";
+
+  for (const auto& proc : {workloads::email_poisson().renamed("expo"),
+                           workloads::email().renamed("high-acf")}) {
+    core::FgBgParams params{proc.scaled_to_utilization(kUtil, workloads::kMeanServiceTimeMs)};
+    params.bg_probability = kP;
+
+    const core::FgBgMetrics steady = core::FgBgModel(params).solve().metrics();
+    const core::TruncatedFgBgChain chain(params, 120);
+    const double horizon = 3.0e4;  // 30 seconds of drive time
+    const auto sweep = chain.transient_sweep(chain.empty_state(), horizon, 60);
+
+    std::cout << "=== arrivals: " << proc.name() << " ===\n";
+    Table t({"time (ms)", "E[fg jobs]", "E[bg jobs]", "verify done", "verify dropped"});
+    t.set_precision(4);
+    for (std::size_t i = 0; i < sweep.size(); i += 10) {
+      const auto& pt = sweep[i];
+      t.add_row({pt.time, pt.mean_fg, pt.mean_bg, pt.bg_completed_so_far,
+                 pt.bg_dropped_so_far});
+    }
+    t.print(std::cout);
+
+    const auto& last = sweep.back();
+    const double steady_volume = steady.bg_throughput * horizon;
+    std::cout << "steady verification throughput: " << 1000.0 * steady.bg_throughput
+              << " jobs/s; completion ratio " << steady.bg_completion << "\n"
+              << "work done in the 30 s window: " << last.bg_completed_so_far << " (steady-state equivalent "
+              << steady_volume << ")\n"
+              << "truncation check (top-level mass): "
+              << chain.top_level_mass(chain.transient(chain.empty_state(), horizon)) << "\n\n";
+  }
+
+  std::cout << "Reading: at equal utilization the correlated workload completes a\n"
+               "fraction of the verification volume of the independent one — burst\n"
+               "periods starve the background class long before the disk looks\n"
+               "'busy' on average, so campaign deadlines must be budgeted against\n"
+               "the dependence structure, not the mean load.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Scenario: WRITE verification (READ-after-WRITE) as background work.
+//
+// The paper's motivating example: every WRITE should be re-read in the
+// background to detect media errors, so p equals the WRITE fraction of the
+// workload. A drive vendor must decide how much verification traffic a drive
+// can sustain: verification that is generated but dropped (buffer overflow)
+// silently erodes the reliability benefit.
+//
+// This example is a capacity planner: for each workload and foreground load
+// it finds the largest verification probability p such that at least 95% of
+// generated verification jobs still complete, and prints the residual
+// foreground cost at that operating point.
+#include <iostream>
+#include <optional>
+
+#include "core/model.hpp"
+#include "util/table.hpp"
+#include "workloads/presets.hpp"
+
+namespace {
+
+using namespace perfbg;
+
+core::FgBgMetrics solve(const traffic::MarkovianArrivalProcess& proc, double load, double p) {
+  core::FgBgParams params{proc.scaled_to_utilization(load, workloads::kMeanServiceTimeMs)};
+  params.bg_probability = p;
+  return core::FgBgModel(params).solve().metrics();
+}
+
+/// Largest p in (0, 1] with completion >= target, by bisection (completion
+/// is decreasing in p at fixed load). Returns nullopt when even p = 0.01
+/// misses the target.
+std::optional<double> max_sustainable_p(const traffic::MarkovianArrivalProcess& proc,
+                                        double load, double target_completion) {
+  if (solve(proc, load, 0.01).bg_completion < target_completion) return std::nullopt;
+  if (solve(proc, load, 1.0).bg_completion >= target_completion) return 1.0;
+  double lo = 0.01, hi = 1.0;
+  for (int i = 0; i < 40; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (solve(proc, load, mid).bg_completion >= target_completion ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  using namespace perfbg;
+  constexpr double kTarget = 0.95;
+  std::cout << "WRITE-verification capacity planner\n"
+            << "deepest verification load p with >= " << 100 * kTarget
+            << "% of verification jobs completing\n\n";
+
+  Table t({"workload", "fg load", "max p", "fg qlen @ max p", "fg qlen @ p=0",
+           "fg cost %", "verify drop rate (/s)"});
+  t.set_precision(4);
+  for (const auto& proc : {workloads::email(), workloads::software_dev(),
+                           workloads::email_poisson()}) {
+    for (double load : {0.05, 0.10, 0.15, 0.20, 0.30, 0.50}) {
+      const auto p = max_sustainable_p(proc, load, kTarget);
+      if (!p) {
+        t.add_row({proc.name(), load, std::string("none"), std::string("-"),
+                   std::string("-"), std::string("-"), std::string("-")});
+        continue;
+      }
+      const core::FgBgMetrics with_bg = solve(proc, load, *p);
+      const core::FgBgMetrics no_bg = solve(proc, load, 0.0);
+      t.add_row({proc.name(), load, *p, with_bg.fg_queue_length, no_bg.fg_queue_length,
+                 100.0 * (with_bg.fg_queue_length / no_bg.fg_queue_length - 1.0),
+                 1000.0 * with_bg.bg_drop_rate});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading: under independent arrivals the drive sustains full\n"
+               "verification (p near 1) through mid loads; under strongly correlated\n"
+               "arrivals the sustainable verification load collapses at a small\n"
+               "fraction of the utilization — the paper's central design message.\n";
+  return 0;
+}

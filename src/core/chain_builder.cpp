@@ -1,0 +1,230 @@
+#include "core/chain_builder.hpp"
+
+#include "util/check.hpp"
+
+namespace perfbg::core {
+
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Adds an n x n rate block at macro position (row, col) of m, where n is
+/// the combined phase count.
+void add_block(Matrix& m, std::size_t phases, std::size_t row, std::size_t col,
+               const Matrix& block) {
+  for (std::size_t a = 0; a < phases; ++a)
+    for (std::size_t b = 0; b < phases; ++b) m(row * phases + a, col * phases + b) += block(a, b);
+}
+
+/// Sets the diagonal of macro row `row` of `diag_home` so the total row sum
+/// across the listed matrices is zero (the generator property).
+void close_rows(Matrix& diag_home, std::size_t phases, std::size_t row,
+                const std::vector<const Matrix*>& row_blocks) {
+  for (std::size_t a = 0; a < phases; ++a) {
+    const std::size_t i = row * phases + a;
+    double s = 0.0;
+    for (const Matrix* m : row_blocks) s += m->row_sum(i);
+    diag_home(i, i) -= s;
+  }
+}
+
+Matrix outer(const Vector& col, const Vector& row) {
+  Matrix m(col.size(), row.size());
+  for (std::size_t i = 0; i < col.size(); ++i)
+    for (std::size_t j = 0; j < row.size(); ++j) m(i, j) = col[i] * row[j];
+  return m;
+}
+
+Matrix offdiag(Matrix m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) m(i, i) = 0.0;
+  return m;
+}
+
+Matrix kron3(const Matrix& a, const Matrix& b, const Matrix& c) {
+  return linalg::kron(linalg::kron(a, b), c);
+}
+
+}  // namespace
+
+qbd::QbdProcess build_fgbg_qbd(const FgBgParams& params, const FgBgLayout& layout) {
+  params.validate();
+  // Combined phase space (paper Fig. 4 / Eq. 6, generalized per its footnote
+  // 3 to PH service and PH idle wait): arrival (x) service (x) idle-wait,
+  // index k = (arrival * m_s + service) * m_w + wait. The service phase is
+  // frozen in idle states and redrawn from alpha_s on every completion; the
+  // wait phase is frozen outside idle states and redrawn from alpha_w on
+  // every entry into an idle state.
+  const traffic::PhaseType service = params.effective_service();
+  const traffic::PhaseType wait = params.effective_idle_wait();
+  const std::size_t arr_phases = params.arrivals.phases();
+  const std::size_t svc_phases = service.phases();
+  const std::size_t wait_phases = wait.phases();
+  const std::size_t phases = arr_phases * svc_phases * wait_phases;
+  PERFBG_REQUIRE(layout.phases() == phases,
+                 "layout phases must be arrival x service x idle-wait phases");
+  const int x_cap = layout.bg_buffer();
+  PERFBG_REQUIRE((params.background_disabled() && x_cap == 0) ||
+                     (!params.background_disabled() && x_cap == params.bg_buffer),
+                 "layout buffer must match params (0 when background is disabled)");
+
+  const double p = params.bg_probability;
+  const Matrix i_arr = Matrix::identity(arr_phases);
+  const Matrix i_svc = Matrix::identity(svc_phases);
+  const Matrix i_wait = Matrix::identity(wait_phases);
+  const Matrix redraw_wait = outer(Vector(wait_phases, 1.0), wait.alpha());
+
+  const Matrix arrive = kron3(params.arrivals.d1(), i_svc, i_wait);
+  const Matrix arrival_moves = kron3(offdiag(params.arrivals.d0()), i_svc, i_wait);
+  const Matrix service_moves = kron3(i_arr, offdiag(service.subgenerator()), i_wait);
+  const Matrix wait_moves = kron3(i_arr, i_svc, offdiag(wait.subgenerator()));
+  // Completion blocks: the next service phase is pre-drawn from alpha_s;
+  // entering an idle state additionally redraws the wait phase.
+  const Matrix svc_restart = outer(service.exit_rates(), service.alpha());
+  const Matrix complete_to_serving = kron3(i_arr, svc_restart, i_wait);
+  const Matrix complete_to_idle = kron3(i_arr, svc_restart, redraw_wait);
+  const Matrix idle_expiry = kron3(i_arr, i_svc, outer(wait.exit_rates(), wait.alpha()));
+
+  const std::size_t nb = layout.boundary_flat_size();
+  const std::size_t nr = layout.repeating_flat_size();
+  qbd::QbdProcess q;
+  q.b00 = Matrix(nb, nb, 0.0);
+  q.b01 = Matrix(nb, nr, 0.0);
+  q.b10 = Matrix(nr, nb, 0.0);
+  q.a0 = Matrix(nr, nr, 0.0);
+  q.a1 = Matrix(nr, nr, 0.0);
+  q.a2 = Matrix(nr, nr, 0.0);
+
+  // ---- Boundary rows (levels 0..X) ----
+  const auto& bstates = layout.boundary();
+  for (std::size_t s = 0; s < bstates.size(); ++s) {
+    const StateDesc st = bstates[s];
+    const int level = st.x + st.y;
+    add_block(q.b00, phases, s, s, arrival_moves);
+    add_block(q.b00, phases, s, s,
+              st.kind == Activity::kIdle ? wait_moves : service_moves);
+
+    switch (st.kind) {
+      case Activity::kFgService: {
+        // Arrival: F(x, y) -> F(x, y+1), one level up.
+        if (level + 1 <= x_cap) {
+          add_block(q.b00, phases, s, layout.boundary_index(st.kind, st.x, st.y + 1), arrive);
+        } else {
+          add_block(q.b01, phases, s, layout.repeating_index(Activity::kFgService, st.x),
+                    arrive);
+        }
+        // Completion without spawn (boundary F states always have x < X,
+        // except in the degenerate X == 0 space where p == 0).
+        if (st.y >= 2) {
+          add_block(q.b00, phases, s,
+                    layout.boundary_index(Activity::kFgService, st.x, st.y - 1),
+                    complete_to_serving * (1.0 - p));
+        } else {
+          add_block(q.b00, phases, s, layout.boundary_index(Activity::kIdle, st.x, 0),
+                    complete_to_idle * (1.0 - p));
+        }
+        // Completion with spawn: x grows, y shrinks (same level).
+        if (p > 0.0) {
+          PERFBG_ASSERT(st.x < x_cap, "boundary F state at full buffer");
+          if (st.y >= 2) {
+            add_block(q.b00, phases, s,
+                      layout.boundary_index(Activity::kFgService, st.x + 1, st.y - 1),
+                      complete_to_serving * p);
+          } else {
+            add_block(q.b00, phases, s, layout.boundary_index(Activity::kIdle, st.x + 1, 0),
+                      complete_to_idle * p);
+          }
+        }
+        break;
+      }
+      case Activity::kBgService: {
+        // Arrival: B(x, y) -> B(x, y+1), one level up.
+        if (level + 1 <= x_cap) {
+          add_block(q.b00, phases, s, layout.boundary_index(st.kind, st.x, st.y + 1), arrive);
+        } else {
+          add_block(q.b01, phases, s, layout.repeating_index(Activity::kBgService, st.x),
+                    arrive);
+        }
+        // Background completion: the head foreground job (if any) enters
+        // service, else the system goes idle and a fresh idle wait starts.
+        if (st.y >= 1) {
+          add_block(q.b00, phases, s,
+                    layout.boundary_index(Activity::kFgService, st.x - 1, st.y),
+                    complete_to_serving);
+        } else {
+          add_block(q.b00, phases, s, layout.boundary_index(Activity::kIdle, st.x - 1, 0),
+                    complete_to_idle);
+        }
+        break;
+      }
+      case Activity::kIdle: {
+        // Arrival interrupts the idle wait; the foreground job starts at
+        // once, in the service phase pre-drawn on the way into idleness.
+        if (st.x + 1 <= x_cap) {
+          add_block(q.b00, phases, s, layout.boundary_index(Activity::kFgService, st.x, 1),
+                    arrive);
+        } else {
+          add_block(q.b01, phases, s, layout.repeating_index(Activity::kFgService, st.x),
+                    arrive);
+        }
+        // Idle wait expires: a background job starts service.
+        if (st.x >= 1) {
+          add_block(q.b00, phases, s, layout.boundary_index(Activity::kBgService, st.x, 0),
+                    idle_expiry);
+        }
+        break;
+      }
+    }
+  }
+
+  // ---- Repeating rows (levels j > X); also emits B10 for level X+1 ----
+  const auto& rstates = layout.repeating();
+  for (std::size_t s = 0; s < rstates.size(); ++s) {
+    const StateDesc st = rstates[s];
+    add_block(q.a1, phases, s, s, arrival_moves);
+    add_block(q.a1, phases, s, s, service_moves);
+    add_block(q.a0, phases, s, s, arrive);  // arrival: same slot, one level up
+
+    if (st.kind == Activity::kFgService) {
+      const bool at_cap = st.x == x_cap;
+      if (!at_cap && p > 0.0) {
+        // Spawn: x+1, y-1 — stays within the level.
+        add_block(q.a1, phases, s, layout.repeating_index(Activity::kFgService, st.x + 1),
+                  complete_to_serving * p);
+      }
+      // Down one level: same slot. At the cap the spawn is dropped, so the
+      // full completion flow goes down.
+      add_block(q.a2, phases, s, s, complete_to_serving * (at_cap ? 1.0 : 1.0 - p));
+      // Level X+1 -> X: y = X+1-x. For x < X the target is F(x, X-x); at the
+      // cap y-1 = 0, so the system goes idle at I(X, 0).
+      if (at_cap) {
+        add_block(q.b10, phases, s, layout.boundary_index(Activity::kIdle, x_cap, 0),
+                  complete_to_idle);
+      } else {
+        add_block(q.b10, phases, s,
+                  layout.boundary_index(Activity::kFgService, st.x, x_cap - st.x),
+                  complete_to_serving * (1.0 - p));
+      }
+    } else {  // BgService
+      // Background completion: x-1, y unchanged — down one level into the
+      // F(x-1) slot.
+      add_block(q.a2, phases, s, layout.repeating_index(Activity::kFgService, st.x - 1),
+                complete_to_serving);
+      // Level X+1 -> X: y = X+1-x >= 1, target F(x-1, X+1-x).
+      add_block(q.b10, phases, s,
+                layout.boundary_index(Activity::kFgService, st.x - 1, x_cap + 1 - st.x),
+                complete_to_serving);
+    }
+  }
+
+  // ---- Close the diagonals so every generator row sums to zero ----
+  for (std::size_t s = 0; s < bstates.size(); ++s)
+    close_rows(q.b00, phases, s, {&q.b00, &q.b01});
+  for (std::size_t s = 0; s < rstates.size(); ++s)
+    close_rows(q.a1, phases, s, {&q.a1, &q.a0, &q.a2});
+
+  q.validate();
+  return q;
+}
+
+}  // namespace perfbg::core

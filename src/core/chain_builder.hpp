@@ -1,0 +1,17 @@
+// Translates FgBgParams into the QBD blocks of the paper's Markov chain
+// (Fig. 3 with each scalar state expanded into the MAP's phase block, as in
+// the paper's Fig. 4 / Eq. 6-7).
+#pragma once
+
+#include "core/params.hpp"
+#include "core/state_space.hpp"
+#include "qbd/qbd.hpp"
+
+namespace perfbg::core {
+
+/// Builds the QBD process for the given parameters over the given layout.
+/// The layout must have bg_buffer == params.bg_buffer (or 0 when
+/// params.bg_probability == 0) and phases == params.arrivals.phases().
+qbd::QbdProcess build_fgbg_qbd(const FgBgParams& params, const FgBgLayout& layout);
+
+}  // namespace perfbg::core

@@ -1,0 +1,204 @@
+#include "core/model.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace perfbg::core {
+
+void FgBgParams::validate() const {
+  PERFBG_REQUIRE(mean_service_time > 0.0, "mean service time must be positive");
+  PERFBG_REQUIRE(bg_probability >= 0.0 && bg_probability <= 1.0,
+                 "background probability must be in [0, 1]");
+  PERFBG_REQUIRE(background_disabled() || bg_buffer >= 1,
+                 "background buffer must be >= 1 when p > 0");
+  PERFBG_REQUIRE(idle_wait_intensity > 0.0, "idle wait intensity must be positive");
+}
+
+FgBgModel::FgBgModel(FgBgParams params)
+    : params_(std::move(params)),
+      layout_(params_.background_disabled() ? 0 : params_.bg_buffer,
+              params_.arrivals.phases() * params_.effective_service().phases() *
+                  params_.effective_idle_wait().phases()),
+      process_(build_fgbg_qbd(params_, layout_)) {}
+
+FgBgSolution FgBgModel::solve(const qbd::RSolverOptions& opts) const {
+  return FgBgSolution(params_, layout_, qbd::QbdSolution(process_, opts));
+}
+
+FgBgSolution::FgBgSolution(FgBgParams params, FgBgLayout layout, qbd::QbdSolution solution)
+    : params_(std::move(params)), layout_(std::move(layout)), qbd_(std::move(solution)) {
+  compute_metrics();
+}
+
+double FgBgSolution::boundary_mass(Activity kind, int x, int y) const {
+  const std::size_t s = layout_.boundary_index(kind, x, y);
+  const std::size_t a = layout_.phases();
+  double m = 0.0;
+  for (std::size_t k = 0; k < a; ++k) m += qbd_.boundary()[s * a + k];
+  return m;
+}
+
+double FgBgSolution::repeating_slot_mass(Activity kind, int x) const {
+  const std::size_t s = layout_.repeating_index(kind, x);
+  const std::size_t a = layout_.phases();
+  double m = 0.0;
+  for (std::size_t k = 0; k < a; ++k) m += qbd_.repeating_sum()[s * a + k];
+  return m;
+}
+
+double FgBgSolution::fg_count_probability(int n, int level_cutoff) const {
+  PERFBG_REQUIRE(n >= 0, "job count must be >= 0");
+  const std::size_t a = layout_.phases();
+  double total = 0.0;
+  // Boundary part: states with y == n.
+  for (std::size_t s = 0; s < layout_.boundary().size(); ++s) {
+    if (layout_.boundary()[s].y != n) continue;
+    for (std::size_t k = 0; k < a; ++k) total += qbd_.boundary()[s * a + k];
+  }
+  // Repeating part: at level j, slot with x has y = j - x, so y == n requires
+  // level j = n + x — one level per slot.
+  const int first = layout_.first_repeating_level();
+  for (std::size_t s = 0; s < layout_.repeating().size(); ++s) {
+    const int x = layout_.repeating()[s].x;
+    const int j = n + x;
+    if (j < first || j - first > level_cutoff) continue;
+    const linalg::Vector pi = qbd_.repeating_level(j - first);
+    for (std::size_t k = 0; k < a; ++k) total += pi[s * a + k];
+  }
+  return total;
+}
+
+void FgBgSolution::compute_metrics() {
+  const std::size_t a = layout_.phases();
+  const double p = params_.bg_probability;
+  const double lambda = params_.arrivals.mean_rate();
+  const int x_cap = layout_.bg_buffer();
+  FgBgMetrics& m = metrics_;
+
+  // Combined phases: k = (arrival * m_s + service) * m_w + wait.
+  const traffic::PhaseType service = params_.effective_service();
+  const std::size_t svc = service.phases();
+  const std::size_t wait = params_.effective_idle_wait().phases();
+  PERFBG_ASSERT(a == params_.arrivals.phases() * svc * wait, "phase bookkeeping mismatch");
+  // Per-phase arrival intensity (for the arrival-weighted delay metric) and
+  // per-phase service completion rate (for all flow-based metrics — with PH
+  // service the completion flow is phase dependent, so occupancy ratios are
+  // no longer enough).
+  linalg::Vector phase_rate(a, 0.0), phase_exit(a, 0.0);
+  for (std::size_t k = 0; k < a; ++k) {
+    phase_rate[k] = params_.arrivals.d1().row_sum(k / (svc * wait));
+    phase_exit[k] = service.exit_rates()[(k / wait) % svc];
+  }
+
+  double p_fg = 0.0, p_fg_cap = 0.0, p_bg = 0.0, p_bg_y0 = 0.0, p_idle = 0.0;
+  double qlen_fg = 0.0, qlen_bg = 0.0;
+  double delayed_arrival_rate = 0.0;
+  double fg_flow = 0.0, fg_flow_cap = 0.0, bg_flow = 0.0;
+
+  // ---- boundary contribution ----
+  const auto& bstates = layout_.boundary();
+  for (std::size_t s = 0; s < bstates.size(); ++s) {
+    const StateDesc st = bstates[s];
+    double mass = 0.0, weighted_rate = 0.0, flow = 0.0;
+    for (std::size_t k = 0; k < a; ++k) {
+      const double pi = qbd_.boundary()[s * a + k];
+      mass += pi;
+      weighted_rate += pi * phase_rate[k];
+      flow += pi * phase_exit[k];
+    }
+    qlen_fg += st.y * mass;
+    qlen_bg += st.x * mass;
+    switch (st.kind) {
+      case Activity::kFgService:
+        p_fg += mass;
+        fg_flow += flow;
+        if (st.x == x_cap) {
+          p_fg_cap += mass;
+          fg_flow_cap += flow;
+        }
+        break;
+      case Activity::kBgService:
+        p_bg += mass;
+        bg_flow += flow;
+        if (st.y == 0) p_bg_y0 += mass;
+        delayed_arrival_rate += weighted_rate;
+        break;
+      case Activity::kIdle:
+        p_idle += mass;
+        break;
+    }
+  }
+
+  // ---- repeating contribution ----
+  // Level j >= X+1 holds slot (kind, x) with y = j - x. With S0 = sum_k pi_k
+  // and S1 = sum_k k*pi_k (k = level offset), the level index satisfies
+  // sum over levels of y * pi = (X+1) * S0 + S1 - x * S0, per slot.
+  const int first = layout_.first_repeating_level();
+  const auto& rstates = layout_.repeating();
+  for (std::size_t s = 0; s < rstates.size(); ++s) {
+    const StateDesc st = rstates[s];
+    double mass = 0.0, index_mass = 0.0, weighted_rate = 0.0, flow = 0.0;
+    for (std::size_t k = 0; k < a; ++k) {
+      const double s0 = qbd_.repeating_sum()[s * a + k];
+      mass += s0;
+      index_mass += qbd_.repeating_index_sum()[s * a + k];
+      weighted_rate += s0 * phase_rate[k];
+      flow += s0 * phase_exit[k];
+    }
+    qlen_fg += (first - st.x) * mass + index_mass;
+    qlen_bg += st.x * mass;
+    if (st.kind == Activity::kFgService) {
+      p_fg += mass;
+      fg_flow += flow;
+      if (st.x == x_cap) {
+        p_fg_cap += mass;
+        fg_flow_cap += flow;
+      }
+    } else {
+      p_bg += mass;  // repeating B slots always have y >= 1
+      bg_flow += flow;
+      delayed_arrival_rate += weighted_rate;
+    }
+  }
+
+  m.probability_mass = p_fg + p_bg + p_idle;
+  m.fg_queue_length = qlen_fg;
+  m.bg_queue_length = qlen_bg;
+  m.fg_offered_load = params_.fg_offered_load();
+  m.fg_busy_fraction = p_fg;
+  m.bg_busy_fraction = p_bg;
+  m.busy_fraction = p_fg + p_bg;
+  m.idle_fraction = p_idle;
+
+  m.fg_throughput = fg_flow;  // completion flow out of FG-serving states
+  m.fg_response_time = qlen_fg / lambda;
+
+  // WaitP_FG (paper): among foreground jobs in the system, the portion
+  // waiting behind a background job in service.
+  const double p_y0 = p_idle + p_bg_y0;
+  const double p_y_pos = 1.0 - p_y0;
+  m.fg_delayed = p_y_pos > 0.0 ? (p_bg - p_bg_y0) / p_y_pos : 0.0;
+  // Arrival-weighted extension: the fraction of FG arrivals that land while a
+  // BG job is in service (all of them are delayed by the non-preemptive BG).
+  m.fg_delayed_arrivals = delayed_arrival_rate / lambda;
+
+  if (params_.background_disabled()) {
+    m.bg_completion = 1.0;  // nothing is ever generated, nothing is dropped
+    m.bg_generation_rate = m.bg_accept_rate = m.bg_drop_rate = 0.0;
+    m.bg_throughput = 0.0;
+    m.bg_response_time = 0.0;
+  } else {
+    // Spawn attempts are a p-thinning of the FG completion flow; attempts in
+    // x == X states are dropped. With PH service the flow is phase weighted,
+    // so the ratio uses completion flows, not occupancies.
+    m.bg_completion = fg_flow > 0.0 ? 1.0 - fg_flow_cap / fg_flow : 1.0;
+    m.bg_generation_rate = p * fg_flow;
+    m.bg_drop_rate = p * fg_flow_cap;
+    m.bg_accept_rate = m.bg_generation_rate - m.bg_drop_rate;
+    m.bg_throughput = bg_flow;  // equals bg_accept_rate in steady state
+    m.bg_response_time = m.bg_accept_rate > 0.0 ? qlen_bg / m.bg_accept_rate : 0.0;
+  }
+}
+
+}  // namespace perfbg::core

@@ -1,0 +1,102 @@
+// Facade: build the FG/BG chain, solve it, and evaluate the paper's metrics.
+#pragma once
+
+#include <optional>
+
+#include "core/chain_builder.hpp"
+#include "core/params.hpp"
+#include "core/state_space.hpp"
+#include "qbd/solution.hpp"
+
+namespace perfbg::core {
+
+/// Steady-state performance measures of the FG/BG system (paper Section 4.1
+/// closed forms, plus flow-rate extensions).
+struct FgBgMetrics {
+  // --- the four quantities the paper plots ---
+  double fg_queue_length = 0.0;   ///< QLEN_FG: mean FG jobs in system (Figs 5, 9, 11)
+  double bg_queue_length = 0.0;   ///< mean BG jobs in system (Fig 8)
+  double bg_completion = 0.0;     ///< Comp_BG: fraction of spawned BG jobs that
+                                  ///< are admitted and complete (Figs 7, 10, 12)
+  double fg_delayed = 0.0;        ///< WaitP_FG: the paper's ratio P[B-serving,
+                                  ///< y>=1] / P[y>=1] (Figs 6, 13)
+
+  // --- extensions ---
+  double fg_delayed_arrivals = 0.0;  ///< arrival-weighted fraction of FG jobs
+                                     ///< that arrive while a BG job is served
+  double fg_offered_load = 0.0;      ///< lambda * E[S]
+  double busy_fraction = 0.0;        ///< P[server busy] (FG or BG in service)
+  double fg_busy_fraction = 0.0;     ///< P[FG in service]
+  double bg_busy_fraction = 0.0;     ///< P[BG in service]
+  double idle_fraction = 0.0;        ///< P[idle or idle-waiting]
+  double fg_throughput = 0.0;        ///< FG completions per unit time (= lambda)
+  double fg_response_time = 0.0;     ///< Little: QLEN_FG / lambda
+  double bg_generation_rate = 0.0;   ///< p * mu * P[FG in service]
+  double bg_accept_rate = 0.0;       ///< spawned BG jobs admitted per unit time
+  double bg_drop_rate = 0.0;         ///< spawned BG jobs dropped per unit time
+  double bg_throughput = 0.0;        ///< BG completions per unit time (= accept rate)
+  double bg_response_time = 0.0;     ///< Little on admitted BG jobs
+  double probability_mass = 0.0;     ///< total stationary mass (== 1 check)
+};
+
+/// Solved instance of the model. Exposes the aggregate metrics plus
+/// state-level probabilities for validation and diagnostics.
+class FgBgSolution {
+ public:
+  FgBgSolution(FgBgParams params, FgBgLayout layout, qbd::QbdSolution solution);
+
+  const FgBgParams& params() const { return params_; }
+  const FgBgLayout& layout() const { return layout_; }
+  const qbd::QbdSolution& qbd() const { return qbd_; }
+
+  const FgBgMetrics& metrics() const { return metrics_; }
+
+  /// Stationary probability of one boundary macro state (summed over phases).
+  double boundary_mass(Activity kind, int x, int y) const;
+  /// Total stationary probability of one repeating slot across all levels.
+  double repeating_slot_mass(Activity kind, int x) const;
+  /// P[exactly n FG jobs in system] for small n (n <= bg_buffer reaches the
+  /// boundary; larger n sums matching repeating-layout slots level by level).
+  double fg_count_probability(int n, int level_cutoff = 4096) const;
+
+  /// Asymptotic geometric decay rate of the congestion tail (the caudal
+  /// characteristic sp(R)): P[x + y > n] ~ c * sp(R)^n for large n. Useful
+  /// for latency-percentile style provisioning without summing the tail.
+  double tail_decay_rate() const { return qbd_.r_spectral_radius(); }
+
+ private:
+  FgBgParams params_;
+  FgBgLayout layout_;
+  qbd::QbdSolution qbd_;
+  FgBgMetrics metrics_;
+
+  void compute_metrics();
+};
+
+/// The model: construct once, solve for the stationary metrics.
+class FgBgModel {
+ public:
+  /// Validates parameters and builds the QBD blocks (cheap; solving is
+  /// deferred to solve()).
+  explicit FgBgModel(FgBgParams params);
+
+  const FgBgParams& params() const { return params_; }
+  const FgBgLayout& layout() const { return layout_; }
+  const qbd::QbdProcess& process() const { return process_; }
+
+  /// True when the stationarity (mean-drift) condition holds.
+  bool is_stable() const { return process_.is_stable(); }
+  /// Drift ratio of the repeating part (< 1 iff stable).
+  double drift_ratio() const { return process_.drift_ratio(); }
+
+  /// Solves the QBD and evaluates all metrics. Throws std::runtime_error for
+  /// unstable configurations.
+  FgBgSolution solve(const qbd::RSolverOptions& opts = {}) const;
+
+ private:
+  FgBgParams params_;
+  FgBgLayout layout_;
+  qbd::QbdProcess process_;
+};
+
+}  // namespace perfbg::core

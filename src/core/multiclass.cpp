@@ -1,0 +1,320 @@
+#include "core/multiclass.hpp"
+
+#include "util/check.hpp"
+
+namespace perfbg::core {
+
+namespace {
+
+using linalg::Matrix;
+
+void add_block(Matrix& m, std::size_t phases, std::size_t row, std::size_t col,
+               const Matrix& block) {
+  for (std::size_t a = 0; a < phases; ++a)
+    for (std::size_t b = 0; b < phases; ++b) m(row * phases + a, col * phases + b) += block(a, b);
+}
+
+void close_rows(Matrix& diag_home, std::size_t phases, std::size_t row,
+                const std::vector<const Matrix*>& row_blocks) {
+  for (std::size_t a = 0; a < phases; ++a) {
+    const std::size_t i = row * phases + a;
+    double s = 0.0;
+    for (const Matrix* m : row_blocks) s += m->row_sum(i);
+    diag_home(i, i) -= s;
+  }
+}
+
+}  // namespace
+
+void McParams::validate() const {
+  PERFBG_REQUIRE(mean_service_time > 0.0, "mean service time must be positive");
+  PERFBG_REQUIRE(p1 >= 0.0 && p2 >= 0.0 && p1 + p2 <= 1.0,
+                 "class spawn probabilities must be nonnegative with p1 + p2 <= 1");
+  PERFBG_REQUIRE(p1 + p2 > 0.0, "at least one class must spawn (else use FgBgModel)");
+  PERFBG_REQUIRE(buffer1 >= 1 && buffer2 >= 1, "class buffers must be >= 1");
+  PERFBG_REQUIRE(idle_wait_intensity > 0.0, "idle wait intensity must be positive");
+}
+
+McLayout::McLayout(int buffer1, int buffer2, std::size_t phases)
+    : buffer1_(buffer1), buffer2_(buffer2), phases_(phases) {
+  PERFBG_REQUIRE(buffer1 >= 1 && buffer2 >= 1, "buffers must be >= 1");
+  PERFBG_REQUIRE(phases >= 1, "need at least one phase");
+  const int x_total = buffer1_ + buffer2_;
+
+  // Boundary: levels j = 0 .. X1+X2, all states with x1 + x2 + y = j.
+  for (int j = 0; j <= x_total; ++j) {
+    for (int x1 = 0; x1 <= std::min(j, buffer1_); ++x1) {
+      for (int x2 = 0; x2 <= std::min(j - x1, buffer2_); ++x2) {
+        const int y = j - x1 - x2;
+        if (y >= 1) boundary_.push_back({McActivity::kFgService, x1, x2, y});
+        if (x1 >= 1) boundary_.push_back({McActivity::kBg1Service, x1, x2, y});
+        if (x2 >= 1) boundary_.push_back({McActivity::kBg2Service, x1, x2, y});
+        if (y == 0) boundary_.push_back({McActivity::kIdle, x1, x2, 0});
+      }
+    }
+  }
+
+  // Repeating layout: one slot per (activity, x1, x2); y = level - x1 - x2.
+  for (int x1 = 0; x1 <= buffer1_; ++x1) {
+    for (int x2 = 0; x2 <= buffer2_; ++x2) {
+      repeating_.push_back({McActivity::kFgService, x1, x2, -1});
+      if (x1 >= 1) repeating_.push_back({McActivity::kBg1Service, x1, x2, -1});
+      if (x2 >= 1) repeating_.push_back({McActivity::kBg2Service, x1, x2, -1});
+    }
+  }
+}
+
+std::size_t McLayout::boundary_index(McActivity kind, int x1, int x2, int y) const {
+  for (std::size_t i = 0; i < boundary_.size(); ++i) {
+    const McStateDesc& s = boundary_[i];
+    if (s.kind == kind && s.x1 == x1 && s.x2 == x2 && s.y == y) return i;
+  }
+  PERFBG_REQUIRE(false, "no such boundary state");
+  return 0;  // unreachable
+}
+
+std::size_t McLayout::repeating_index(McActivity kind, int x1, int x2) const {
+  for (std::size_t i = 0; i < repeating_.size(); ++i) {
+    const McStateDesc& s = repeating_[i];
+    if (s.kind == kind && s.x1 == x1 && s.x2 == x2) return i;
+  }
+  PERFBG_REQUIRE(false, "no such repeating slot");
+  return 0;  // unreachable
+}
+
+qbd::QbdProcess build_multiclass_qbd(const McParams& params, const McLayout& layout) {
+  params.validate();
+  const std::size_t phases = params.arrivals.phases();
+  PERFBG_REQUIRE(layout.phases() == phases, "layout/arrival phase mismatch");
+  PERFBG_REQUIRE(layout.buffer1() == params.buffer1 && layout.buffer2() == params.buffer2,
+                 "layout buffers must match params");
+
+  const double mu = params.service_rate();
+  const int cap1 = params.buffer1, cap2 = params.buffer2;
+  const Matrix& d1 = params.arrivals.d1();
+  Matrix phase_moves = params.arrivals.d0();
+  for (std::size_t a = 0; a < phases; ++a) phase_moves(a, a) = 0.0;
+  const Matrix identity = Matrix::identity(phases);
+  const Matrix idle_expiry = identity * params.idle_wait_rate();
+
+  // Per-state completion split: spawns into a full buffer are dropped and
+  // fold into the no-spawn path.
+  auto spawn1_rate = [&](int x1) { return x1 < cap1 ? mu * params.p1 : 0.0; };
+  auto spawn2_rate = [&](int x2) { return x2 < cap2 ? mu * params.p2 : 0.0; };
+
+  const std::size_t nb = layout.boundary_flat_size();
+  const std::size_t nr = layout.repeating_flat_size();
+  qbd::QbdProcess q;
+  q.b00 = Matrix(nb, nb, 0.0);
+  q.b01 = Matrix(nb, nr, 0.0);
+  q.b10 = Matrix(nr, nb, 0.0);
+  q.a0 = Matrix(nr, nr, 0.0);
+  q.a1 = Matrix(nr, nr, 0.0);
+  q.a2 = Matrix(nr, nr, 0.0);
+
+  const int x_total = cap1 + cap2;
+
+  // ---- boundary rows ----
+  const auto& bstates = layout.boundary();
+  for (std::size_t s = 0; s < bstates.size(); ++s) {
+    const McStateDesc st = bstates[s];
+    const int level = st.x1 + st.x2 + st.y;
+    add_block(q.b00, phases, s, s, phase_moves);
+
+    // Arrival: one level up; the target activity keeps its kind except from
+    // idle, where the foreground job starts service at once.
+    const McActivity arr_kind =
+        st.kind == McActivity::kIdle ? McActivity::kFgService : st.kind;
+    const int arr_y = st.kind == McActivity::kIdle ? 1 : st.y + 1;
+    if (level + 1 <= x_total) {
+      add_block(q.b00, phases, s, layout.boundary_index(arr_kind, st.x1, st.x2, arr_y), d1);
+    } else {
+      add_block(q.b01, phases, s, layout.repeating_index(arr_kind, st.x1, st.x2), d1);
+    }
+
+    switch (st.kind) {
+      case McActivity::kFgService: {
+        const double s1 = spawn1_rate(st.x1), s2 = spawn2_rate(st.x2);
+        const double s0 = mu - s1 - s2;
+        auto down_target = [&](int x1, int x2) {
+          // After a completion the state has y-1 foreground jobs.
+          if (st.y >= 2)
+            return layout.boundary_index(McActivity::kFgService, x1, x2, st.y - 1);
+          return layout.boundary_index(McActivity::kIdle, x1, x2, 0);
+        };
+        add_block(q.b00, phases, s, down_target(st.x1, st.x2), identity * s0);
+        if (s1 > 0.0) add_block(q.b00, phases, s, down_target(st.x1 + 1, st.x2), identity * s1);
+        if (s2 > 0.0) add_block(q.b00, phases, s, down_target(st.x1, st.x2 + 1), identity * s2);
+        break;
+      }
+      case McActivity::kBg1Service: {
+        const std::size_t target =
+            st.y >= 1
+                ? layout.boundary_index(McActivity::kFgService, st.x1 - 1, st.x2, st.y)
+                : layout.boundary_index(McActivity::kIdle, st.x1 - 1, st.x2, 0);
+        add_block(q.b00, phases, s, target, identity * mu);
+        break;
+      }
+      case McActivity::kBg2Service: {
+        const std::size_t target =
+            st.y >= 1
+                ? layout.boundary_index(McActivity::kFgService, st.x1, st.x2 - 1, st.y)
+                : layout.boundary_index(McActivity::kIdle, st.x1, st.x2 - 1, 0);
+        add_block(q.b00, phases, s, target, identity * mu);
+        break;
+      }
+      case McActivity::kIdle: {
+        // Idle-wait expiry: class 1 has priority over class 2.
+        if (st.x1 >= 1) {
+          add_block(q.b00, phases, s,
+                    layout.boundary_index(McActivity::kBg1Service, st.x1, st.x2, 0),
+                    idle_expiry);
+        } else if (st.x2 >= 1) {
+          add_block(q.b00, phases, s,
+                    layout.boundary_index(McActivity::kBg2Service, st.x1, st.x2, 0),
+                    idle_expiry);
+        }
+        break;
+      }
+    }
+  }
+
+  // ---- repeating rows (levels j > X1+X2); also emits B10 for level X+1 ----
+  const auto& rstates = layout.repeating();
+  for (std::size_t s = 0; s < rstates.size(); ++s) {
+    const McStateDesc st = rstates[s];
+    add_block(q.a1, phases, s, s, phase_moves);
+    add_block(q.a0, phases, s, s, d1);
+    const int y_first = layout.first_repeating_level() - st.x1 - st.x2;  // y at level X+1
+
+    switch (st.kind) {
+      case McActivity::kFgService: {
+        const double s1 = spawn1_rate(st.x1), s2 = spawn2_rate(st.x2);
+        const double s0 = mu - s1 - s2;
+        // Spawns stay within the level.
+        if (s1 > 0.0)
+          add_block(q.a1, phases, s,
+                    layout.repeating_index(McActivity::kFgService, st.x1 + 1, st.x2),
+                    identity * s1);
+        if (s2 > 0.0)
+          add_block(q.a1, phases, s,
+                    layout.repeating_index(McActivity::kFgService, st.x1, st.x2 + 1),
+                    identity * s2);
+        // No-spawn completion: down one level, same slot.
+        add_block(q.a2, phases, s, s, identity * s0);
+        // Level X+1 -> X boundary image of the same move.
+        const std::size_t down =
+            y_first - 1 >= 1
+                ? layout.boundary_index(McActivity::kFgService, st.x1, st.x2, y_first - 1)
+                : layout.boundary_index(McActivity::kIdle, st.x1, st.x2, 0);
+        add_block(q.b10, phases, s, down, identity * s0);
+        break;
+      }
+      case McActivity::kBg1Service: {
+        add_block(q.a2, phases, s,
+                  layout.repeating_index(McActivity::kFgService, st.x1 - 1, st.x2),
+                  identity * mu);
+        add_block(q.b10, phases, s,
+                  layout.boundary_index(McActivity::kFgService, st.x1 - 1, st.x2, y_first),
+                  identity * mu);
+        break;
+      }
+      case McActivity::kBg2Service: {
+        add_block(q.a2, phases, s,
+                  layout.repeating_index(McActivity::kFgService, st.x1, st.x2 - 1),
+                  identity * mu);
+        add_block(q.b10, phases, s,
+                  layout.boundary_index(McActivity::kFgService, st.x1, st.x2 - 1, y_first),
+                  identity * mu);
+        break;
+      }
+      case McActivity::kIdle:
+        PERFBG_ASSERT(false, "idle states cannot appear in repeating levels");
+    }
+  }
+
+  for (std::size_t s = 0; s < bstates.size(); ++s)
+    close_rows(q.b00, phases, s, {&q.b00, &q.b01});
+  for (std::size_t s = 0; s < rstates.size(); ++s)
+    close_rows(q.a1, phases, s, {&q.a1, &q.a0, &q.a2});
+
+  q.validate();
+  return q;
+}
+
+McModel::McModel(McParams params)
+    : params_(std::move(params)),
+      layout_(params_.buffer1, params_.buffer2, params_.arrivals.phases()),
+      process_(build_multiclass_qbd(params_, layout_)) {}
+
+McMetrics McModel::solve(const qbd::RSolverOptions& opts) const {
+  const qbd::QbdSolution sol(process_, opts);
+  const std::size_t a = layout_.phases();
+  const double mu = params_.service_rate();
+  McMetrics m;
+
+  double p_fg = 0.0, p_fg_cap1 = 0.0, p_fg_cap2 = 0.0;
+  double p_b1 = 0.0, p_b2 = 0.0, p_b_y0 = 0.0, p_idle = 0.0;
+  double qlen_fg = 0.0, qlen_1 = 0.0, qlen_2 = 0.0;
+
+  auto account = [&](const McStateDesc& st, int y, double mass) {
+    qlen_fg += y * mass;
+    qlen_1 += st.x1 * mass;
+    qlen_2 += st.x2 * mass;
+    switch (st.kind) {
+      case McActivity::kFgService:
+        p_fg += mass;
+        if (st.x1 == params_.buffer1) p_fg_cap1 += mass;
+        if (st.x2 == params_.buffer2) p_fg_cap2 += mass;
+        break;
+      case McActivity::kBg1Service:
+        p_b1 += mass;
+        if (y == 0) p_b_y0 += mass;
+        break;
+      case McActivity::kBg2Service:
+        p_b2 += mass;
+        if (y == 0) p_b_y0 += mass;
+        break;
+      case McActivity::kIdle:
+        p_idle += mass;
+        break;
+    }
+  };
+
+  const auto& bstates = layout_.boundary();
+  for (std::size_t s = 0; s < bstates.size(); ++s) {
+    double mass = 0.0;
+    for (std::size_t k = 0; k < a; ++k) mass += sol.boundary()[s * a + k];
+    account(bstates[s], bstates[s].y, mass);
+  }
+  const int first = layout_.first_repeating_level();
+  const auto& rstates = layout_.repeating();
+  for (std::size_t s = 0; s < rstates.size(); ++s) {
+    double mass = 0.0, index_mass = 0.0;
+    for (std::size_t k = 0; k < a; ++k) {
+      mass += sol.repeating_sum()[s * a + k];
+      index_mass += sol.repeating_index_sum()[s * a + k];
+    }
+    // y = (first + level offset) - x1 - x2; split the y-weighted sum into
+    // the base part (handled by account) and the level-offset part.
+    account(rstates[s], first - rstates[s].x1 - rstates[s].x2, mass);
+    qlen_fg += index_mass;
+  }
+
+  m.probability_mass = p_fg + p_b1 + p_b2 + p_idle;
+  m.fg_queue_length = qlen_fg;
+  m.bg1_queue_length = qlen_1;
+  m.bg2_queue_length = qlen_2;
+  m.bg1_completion = p_fg > 0.0 && params_.p1 > 0.0 ? 1.0 - p_fg_cap1 / p_fg : 1.0;
+  m.bg2_completion = p_fg > 0.0 && params_.p2 > 0.0 ? 1.0 - p_fg_cap2 / p_fg : 1.0;
+  const double p_y0 = p_idle + p_b_y0;
+  m.fg_delayed = p_y0 < 1.0 ? (p_b1 + p_b2 - p_b_y0) / (1.0 - p_y0) : 0.0;
+  m.bg1_busy_fraction = p_b1;
+  m.bg2_busy_fraction = p_b2;
+  m.busy_fraction = p_fg + p_b1 + p_b2;
+  m.idle_fraction = p_idle;
+  m.fg_throughput = mu * p_fg;
+  return m;
+}
+
+}  // namespace perfbg::core

@@ -1,0 +1,116 @@
+// The paper's stated future work (§6): "model extensions that capture more
+// than one job priority level, i.e., different classes of background jobs."
+//
+// This module implements a two-class background extension of the FG/BG
+// model: a completing foreground job spawns a class-1 (high-priority)
+// background job with probability p1 or a class-2 (low-priority) one with
+// probability p2 (p1 + p2 <= 1). Each class has its own finite buffer; when
+// the idle wait expires, a class-1 job is served if any is waiting,
+// otherwise a class-2 job. Service remains exponential and non-preemptive.
+//
+// The chain is again a QBD with levels j = y + x1 + x2: foreground arrivals
+// move up, completions move down, and spawns move within a level. Repeating
+// levels (j > X1 + X2) hold one slot per (activity, x1, x2) combination.
+#pragma once
+
+#include "core/state_space.hpp"
+#include "qbd/qbd.hpp"
+#include "qbd/solution.hpp"
+#include "traffic/map_process.hpp"
+
+namespace perfbg::core {
+
+struct McParams {
+  explicit McParams(traffic::MarkovianArrivalProcess arrival_process)
+      : arrivals(std::move(arrival_process)) {}
+
+  traffic::MarkovianArrivalProcess arrivals;
+  double mean_service_time = 6.0;
+  double p1 = 0.2;  ///< spawn probability of the high-priority class
+  double p2 = 0.2;  ///< spawn probability of the low-priority class
+  int buffer1 = 5;  ///< class-1 buffer X1
+  int buffer2 = 5;  ///< class-2 buffer X2
+  double idle_wait_intensity = 1.0;
+
+  double service_rate() const { return 1.0 / mean_service_time; }
+  double idle_wait_rate() const { return service_rate() / idle_wait_intensity; }
+  double fg_offered_load() const { return arrivals.mean_rate() * mean_service_time; }
+
+  void validate() const;
+};
+
+/// Activities of the two-class chain.
+enum class McActivity { kFgService, kBg1Service, kBg2Service, kIdle };
+
+struct McStateDesc {
+  McActivity kind;
+  int x1;  ///< class-1 background jobs in system
+  int x2;  ///< class-2 background jobs in system
+  int y;   ///< foreground jobs; for repeating slots y = level - x1 - x2
+};
+
+/// State-space layout: boundary (levels 0 .. X1+X2) plus the repeating
+/// layout, each state expanded by the arrival phases.
+class McLayout {
+ public:
+  McLayout(int buffer1, int buffer2, std::size_t phases);
+
+  int buffer1() const { return buffer1_; }
+  int buffer2() const { return buffer2_; }
+  std::size_t phases() const { return phases_; }
+  int first_repeating_level() const { return buffer1_ + buffer2_ + 1; }
+
+  const std::vector<McStateDesc>& boundary() const { return boundary_; }
+  const std::vector<McStateDesc>& repeating() const { return repeating_; }
+  std::size_t boundary_flat_size() const { return boundary_.size() * phases_; }
+  std::size_t repeating_flat_size() const { return repeating_.size() * phases_; }
+
+  std::size_t boundary_index(McActivity kind, int x1, int x2, int y) const;
+  std::size_t repeating_index(McActivity kind, int x1, int x2) const;
+
+ private:
+  int buffer1_, buffer2_;
+  std::size_t phases_;
+  std::vector<McStateDesc> boundary_;
+  std::vector<McStateDesc> repeating_;
+};
+
+/// Steady-state metrics of the two-class system.
+struct McMetrics {
+  double fg_queue_length = 0.0;
+  double bg1_queue_length = 0.0;
+  double bg2_queue_length = 0.0;
+  double bg1_completion = 0.0;  ///< fraction of spawned class-1 jobs admitted
+  double bg2_completion = 0.0;
+  double fg_delayed = 0.0;       ///< paper-style ratio, behind either class
+  double busy_fraction = 0.0;
+  double bg1_busy_fraction = 0.0;
+  double bg2_busy_fraction = 0.0;
+  double idle_fraction = 0.0;
+  double fg_throughput = 0.0;
+  double probability_mass = 0.0;
+};
+
+/// Builds the two-class QBD for the given parameters and layout.
+qbd::QbdProcess build_multiclass_qbd(const McParams& params, const McLayout& layout);
+
+/// Facade mirroring FgBgModel for the two-class system.
+class McModel {
+ public:
+  explicit McModel(McParams params);
+
+  const McParams& params() const { return params_; }
+  const McLayout& layout() const { return layout_; }
+  const qbd::QbdProcess& process() const { return process_; }
+  bool is_stable() const { return process_.is_stable(); }
+  double drift_ratio() const { return process_.drift_ratio(); }
+
+  McMetrics solve(const qbd::RSolverOptions& opts = {}) const;
+
+ private:
+  McParams params_;
+  McLayout layout_;
+  qbd::QbdProcess process_;
+};
+
+}  // namespace perfbg::core

@@ -1,0 +1,84 @@
+// Parameters of the paper's foreground/background storage-system model.
+#pragma once
+
+#include <optional>
+
+#include "traffic/map_process.hpp"
+#include "traffic/phase_type.hpp"
+
+namespace perfbg::core {
+
+/// Configuration of the FG/BG service center (paper Section 3.2):
+/// a single non-preemptive FCFS server with an infinite foreground buffer and
+/// a finite background buffer, exponential service, MAP foreground arrivals,
+/// background jobs spawned by foreground completions with probability p and
+/// served only after an exponential idle wait.
+struct FgBgParams {
+  /// All other knobs start at the paper's defaults; set fields directly.
+  explicit FgBgParams(traffic::MarkovianArrivalProcess arrival_process)
+      : arrivals(std::move(arrival_process)) {}
+
+  /// Foreground arrival process (the paper's MMPP; any MAP is accepted).
+  traffic::MarkovianArrivalProcess arrivals;
+
+  /// Mean service time of both job classes (paper: 6 ms, exponential).
+  /// Ignored when `service_distribution` is set.
+  double mean_service_time = 6.0;
+
+  /// Optional phase-type service distribution (the paper's footnote-3
+  /// extension: service may be PH instead of exponential; both job classes
+  /// share it). When unset, service is exponential with mean
+  /// `mean_service_time`.
+  std::optional<traffic::PhaseType> service_distribution;
+
+  /// Probability p that a completing foreground job spawns a background job
+  /// (paper: 0.1 ... 0.9; 0 disables background work entirely).
+  double bg_probability = 0.3;
+
+  /// Background buffer capacity X (paper default: 5 jobs, ~0.5-1 MB).
+  int bg_buffer = 5;
+
+  /// Mean idle wait before background service starts, in multiples of the
+  /// mean service time (paper default: 1.0; its Figs. 9-10 sweep this).
+  /// Ignored when `idle_wait_distribution` is set.
+  double idle_wait_intensity = 1.0;
+
+  /// Optional phase-type idle-wait distribution (footnote-3 extension; the
+  /// paper's model uses an exponential wait). When unset, the wait is
+  /// exponential with mean idle_wait_intensity * E[S].
+  std::optional<traffic::PhaseType> idle_wait_distribution;
+
+  /// The effective service distribution (exponential when none is set).
+  traffic::PhaseType effective_service() const {
+    return service_distribution ? *service_distribution
+                                : traffic::PhaseType::exponential(mean_service_time);
+  }
+  /// Mean service time E[S] of the effective service distribution.
+  double mean_service() const {
+    return service_distribution ? service_distribution->mean() : mean_service_time;
+  }
+  /// Mean service rate mu = 1 / E[S].
+  double service_rate() const { return 1.0 / mean_service(); }
+  /// The effective idle-wait distribution (exponential when none is set).
+  traffic::PhaseType effective_idle_wait() const {
+    return idle_wait_distribution
+               ? *idle_wait_distribution
+               : traffic::PhaseType::exponential(idle_wait_intensity * mean_service());
+  }
+  /// Mean idle wait E[W].
+  double mean_idle_wait() const {
+    return idle_wait_distribution ? idle_wait_distribution->mean()
+                                  : idle_wait_intensity * mean_service();
+  }
+  /// Mean idle-wait expiry rate alpha = 1 / E[W].
+  double idle_wait_rate() const { return 1.0 / mean_idle_wait(); }
+  /// Offered foreground load rho = lambda * E[S].
+  double fg_offered_load() const { return arrivals.mean_rate() * mean_service(); }
+  /// True when background work is disabled (p == 0).
+  bool background_disabled() const { return bg_probability == 0.0; }
+
+  /// Throws std::invalid_argument when any field is out of range.
+  void validate() const;
+};
+
+}  // namespace perfbg::core

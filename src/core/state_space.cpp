@@ -1,0 +1,50 @@
+#include "core/state_space.hpp"
+
+namespace perfbg::core {
+
+FgBgLayout::FgBgLayout(int bg_buffer, std::size_t phases)
+    : bg_buffer_(bg_buffer), phases_(phases) {
+  PERFBG_REQUIRE(bg_buffer >= 0, "background buffer must be >= 0");
+  PERFBG_REQUIRE(phases >= 1, "MAP must have at least one phase");
+
+  const int x_max = bg_buffer_;
+  // Boundary: levels j = 0..X. Within level j:
+  //   F(0, j), then interleaved F(x, j-x), B(x, j-x) for x = 1..j-1,
+  //   then B(j, 0), then Idle(j, 0).
+  for (int j = 0; j <= x_max; ++j) {
+    for (int x = 0; x < j; ++x) {
+      boundary_.push_back({Activity::kFgService, x, j - x});
+      if (x >= 1) boundary_.push_back({Activity::kBgService, x, j - x});
+    }
+    if (j >= 1) boundary_.push_back({Activity::kBgService, j, 0});
+    boundary_.push_back({Activity::kIdle, j, 0});
+  }
+
+  // Repeating layout: [F(0), F(1), B(1), ..., F(X), B(X)].
+  repeating_.push_back({Activity::kFgService, 0, -1});
+  for (int x = 1; x <= x_max; ++x) {
+    repeating_.push_back({Activity::kFgService, x, -1});
+    repeating_.push_back({Activity::kBgService, x, -1});
+  }
+}
+
+std::size_t FgBgLayout::boundary_index(Activity kind, int x, int y) const {
+  // Sizes are tiny ((X+1)^2 macro states); a linear scan keeps the invariants
+  // in one obvious place.
+  for (std::size_t i = 0; i < boundary_.size(); ++i) {
+    const StateDesc& s = boundary_[i];
+    if (s.kind == kind && s.x == x && s.y == y) return i;
+  }
+  PERFBG_REQUIRE(false, "no such boundary state");
+  return 0;  // unreachable
+}
+
+std::size_t FgBgLayout::repeating_index(Activity kind, int x) const {
+  PERFBG_REQUIRE(x >= 0 && x <= bg_buffer_, "x out of range for repeating layout");
+  if (kind == Activity::kFgService) return x == 0 ? 0 : static_cast<std::size_t>(2 * x - 1);
+  PERFBG_REQUIRE(kind == Activity::kBgService && x >= 1,
+                 "repeating layout has only FgService and BgService slots");
+  return static_cast<std::size_t>(2 * x);
+}
+
+}  // namespace perfbg::core

@@ -1,0 +1,70 @@
+// State-space layout of the FG/BG Markov chain (paper Fig. 3, Section 4).
+//
+// A state is (activity, x, y, phase): x background jobs in system, y
+// foreground jobs in system, and the MAP phase. Activities:
+//   FgService — a foreground job is in service (y >= 1),
+//   BgService — a background job is in service (x >= 1),
+//   Idle      — no job in service; for x >= 1 the idle-wait clock runs.
+//
+// Levels are j = x + y. Levels 0..X (X = background buffer) are irregular and
+// flattened into the QBD boundary; levels j > X all share the repeating
+// layout [F(0), F(1), B(1), ..., F(X), B(X)] (x is fixed per slot, y = j - x).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace perfbg::core {
+
+enum class Activity { kFgService, kBgService, kIdle };
+
+/// One macro state (a block of `phases` adjacent QBD states).
+struct StateDesc {
+  Activity kind;
+  int x;  ///< background jobs in system
+  int y;  ///< foreground jobs in system; for repeating slots y = level - x
+};
+
+/// Precomputed index maps between (activity, x, y) macro states and flat QBD
+/// block positions, for both the boundary and the repeating layout.
+class FgBgLayout {
+ public:
+  /// bg_buffer >= 1 builds the full FG/BG space; bg_buffer == 0 builds the
+  /// degenerate no-background space (plain MAP/M/1: boundary = {Idle(0,0)},
+  /// repeating = {F(0)}), used when p == 0.
+  FgBgLayout(int bg_buffer, std::size_t phases);
+
+  int bg_buffer() const { return bg_buffer_; }
+  std::size_t phases() const { return phases_; }
+
+  /// Macro states of the flattened boundary (levels 0..X), in index order.
+  const std::vector<StateDesc>& boundary() const { return boundary_; }
+  /// Macro states of one repeating level, in index order (y not fixed).
+  const std::vector<StateDesc>& repeating() const { return repeating_; }
+
+  std::size_t boundary_macro_count() const { return boundary_.size(); }
+  std::size_t repeating_macro_count() const { return repeating_.size(); }
+  /// Flat sizes (macro count * phases).
+  std::size_t boundary_flat_size() const { return boundary_.size() * phases_; }
+  std::size_t repeating_flat_size() const { return repeating_.size() * phases_; }
+
+  /// Macro index of a boundary state; the state must exist (x + y <= X and
+  /// the activity constraints hold) or this throws std::invalid_argument.
+  std::size_t boundary_index(Activity kind, int x, int y) const;
+
+  /// Macro index of a repeating-layout slot (kind in {FgService, BgService}).
+  std::size_t repeating_index(Activity kind, int x) const;
+
+  /// The first repeating level number, X + 1.
+  int first_repeating_level() const { return bg_buffer_ + 1; }
+
+ private:
+  int bg_buffer_;
+  std::size_t phases_;
+  std::vector<StateDesc> boundary_;
+  std::vector<StateDesc> repeating_;
+};
+
+}  // namespace perfbg::core

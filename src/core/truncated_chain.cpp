@@ -1,0 +1,164 @@
+#include "core/truncated_chain.hpp"
+
+#include "core/chain_builder.hpp"
+#include "markov/stationary.hpp"
+#include "markov/transient.hpp"
+#include "util/check.hpp"
+
+namespace perfbg::core {
+
+TruncatedFgBgChain::TruncatedFgBgChain(const FgBgParams& params, int extra_levels)
+    : params_(params),
+      layout_(params_.background_disabled() ? 0 : params_.bg_buffer,
+              params_.arrivals.phases() * params_.effective_service().phases() *
+                  params_.effective_idle_wait().phases()),
+      extra_levels_(extra_levels) {
+  PERFBG_REQUIRE(extra_levels >= 1, "need at least one repeating level");
+  const qbd::QbdProcess q = build_fgbg_qbd(params_, layout_);
+  const std::size_t nb = q.boundary_size(), nr = q.level_size();
+  const std::size_t n = nb + nr * static_cast<std::size_t>(extra_levels);
+  generator_ = linalg::Matrix(n, n, 0.0);
+  auto put = [&](std::size_t r0, std::size_t c0, const linalg::Matrix& b) {
+    for (std::size_t i = 0; i < b.rows(); ++i)
+      for (std::size_t j = 0; j < b.cols(); ++j) generator_(r0 + i, c0 + j) += b(i, j);
+  };
+  put(0, 0, q.b00);
+  put(0, nb, q.b01);
+  put(nb, 0, q.b10);
+  for (int l = 0; l < extra_levels; ++l) {
+    const std::size_t off = nb + nr * static_cast<std::size_t>(l);
+    put(off, off, q.a1);
+    if (l + 1 < extra_levels)
+      put(off, off + nr, q.a0);
+    else
+      put(off, off, q.a0);  // reflect arrivals at the top edge
+    if (l >= 1) put(off, off - nr, q.a2);
+  }
+
+  // Per-macro-state descriptors with resolved y, and per-flat-state service
+  // completion rates. Combined phase index: (arrival * m_s + service) * m_w
+  // + wait.
+  const traffic::PhaseType service = params_.effective_service();
+  const std::size_t svc = service.phases();
+  const std::size_t wait = params_.effective_idle_wait().phases();
+  const std::size_t phases = layout_.phases();
+  for (const StateDesc& s : layout_.boundary()) flat_desc_.push_back(s);
+  for (int l = 0; l < extra_levels; ++l) {
+    const int level = layout_.first_repeating_level() + l;
+    for (const StateDesc& s : layout_.repeating())
+      flat_desc_.push_back({s.kind, s.x, level - s.x});
+  }
+  exit_rate_.assign(n, 0.0);
+  for (std::size_t ms = 0; ms < flat_desc_.size(); ++ms) {
+    if (flat_desc_[ms].kind == Activity::kIdle) continue;
+    for (std::size_t k = 0; k < phases; ++k)
+      exit_rate_[ms * phases + k] = service.exit_rates()[(k / wait) % svc];
+  }
+}
+
+StateDesc TruncatedFgBgChain::describe(std::size_t flat_index) const {
+  PERFBG_REQUIRE(flat_index < state_count(), "state index out of range");
+  return flat_desc_[flat_index / layout_.phases()];
+}
+
+linalg::Vector TruncatedFgBgChain::empty_state() const {
+  linalg::Vector pi(state_count(), 0.0);
+  const std::size_t idle = layout_.boundary_index(Activity::kIdle, 0, 0);
+  const std::size_t phases = layout_.phases();
+  const traffic::PhaseType service = params_.effective_service();
+  const traffic::PhaseType wait = params_.effective_idle_wait();
+  const std::size_t svc = service.phases();
+  const std::size_t wph = wait.phases();
+  const linalg::Vector& arr_pi = params_.arrivals.phase_stationary();
+  for (std::size_t k = 0; k < phases; ++k)
+    pi[idle * phases + k] =
+        arr_pi[k / (svc * wph)] * service.alpha()[(k / wph) % svc] * wait.alpha()[k % wph];
+  return pi;
+}
+
+linalg::Vector TruncatedFgBgChain::stationary() const {
+  return markov::stationary_unichain_ctmc(generator_);
+}
+
+linalg::Vector TruncatedFgBgChain::transient(const linalg::Vector& pi0, double t) const {
+  return markov::transient_ctmc(generator_, pi0, t);
+}
+
+double TruncatedFgBgChain::mean_fg_jobs(const linalg::Vector& pi) const {
+  PERFBG_REQUIRE(pi.size() == state_count(), "distribution size mismatch");
+  const std::size_t phases = layout_.phases();
+  double total = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) total += pi[i] * flat_desc_[i / phases].y;
+  return total;
+}
+
+double TruncatedFgBgChain::mean_bg_jobs(const linalg::Vector& pi) const {
+  PERFBG_REQUIRE(pi.size() == state_count(), "distribution size mismatch");
+  const std::size_t phases = layout_.phases();
+  double total = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) total += pi[i] * flat_desc_[i / phases].x;
+  return total;
+}
+
+double TruncatedFgBgChain::bg_busy_probability(const linalg::Vector& pi) const {
+  PERFBG_REQUIRE(pi.size() == state_count(), "distribution size mismatch");
+  const std::size_t phases = layout_.phases();
+  double total = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i)
+    if (flat_desc_[i / phases].kind == Activity::kBgService) total += pi[i];
+  return total;
+}
+
+double TruncatedFgBgChain::bg_completion_rate(const linalg::Vector& pi) const {
+  PERFBG_REQUIRE(pi.size() == state_count(), "distribution size mismatch");
+  const std::size_t phases = layout_.phases();
+  double total = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i)
+    if (flat_desc_[i / phases].kind == Activity::kBgService) total += pi[i] * exit_rate_[i];
+  return total;
+}
+
+double TruncatedFgBgChain::bg_drop_rate(const linalg::Vector& pi) const {
+  PERFBG_REQUIRE(pi.size() == state_count(), "distribution size mismatch");
+  const std::size_t phases = layout_.phases();
+  const int cap = layout_.bg_buffer();
+  double total = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    const StateDesc& d = flat_desc_[i / phases];
+    if (d.kind == Activity::kFgService && d.x == cap) total += pi[i] * exit_rate_[i];
+  }
+  return params_.bg_probability * total;
+}
+
+double TruncatedFgBgChain::top_level_mass(const linalg::Vector& pi) const {
+  PERFBG_REQUIRE(pi.size() == state_count(), "distribution size mismatch");
+  const std::size_t nr = layout_.repeating_flat_size();
+  double total = 0.0;
+  for (std::size_t i = pi.size() - nr; i < pi.size(); ++i) total += pi[i];
+  return total;
+}
+
+std::vector<TruncatedFgBgChain::TransientPoint> TruncatedFgBgChain::transient_sweep(
+    const linalg::Vector& pi0, double horizon, int steps) const {
+  PERFBG_REQUIRE(horizon > 0.0 && steps >= 1, "need a positive horizon and steps");
+  const double dt = horizon / steps;
+  std::vector<TransientPoint> out;
+  out.reserve(static_cast<std::size_t>(steps) + 1);
+  linalg::Vector pi = pi0;
+  double completed = 0.0, dropped = 0.0;
+  double prev_rate = bg_completion_rate(pi), prev_drop = bg_drop_rate(pi);
+  out.push_back({0.0, mean_fg_jobs(pi), mean_bg_jobs(pi), 0.0, 0.0});
+  for (int s = 1; s <= steps; ++s) {
+    pi = transient(pi, dt);
+    const double rate = bg_completion_rate(pi);
+    const double drop = bg_drop_rate(pi);
+    completed += 0.5 * (prev_rate + rate) * dt;
+    dropped += 0.5 * (prev_drop + drop) * dt;
+    prev_rate = rate;
+    prev_drop = drop;
+    out.push_back({s * dt, mean_fg_jobs(pi), mean_bg_jobs(pi), completed, dropped});
+  }
+  return out;
+}
+
+}  // namespace perfbg::core

@@ -1,0 +1,35 @@
+#include "core/vacation.hpp"
+
+#include "util/check.hpp"
+
+namespace perfbg::core {
+
+namespace {
+
+double mg1_waiting_time(double lambda, const traffic::PhaseType& service) {
+  const double rho = lambda * service.mean();
+  PERFBG_REQUIRE(lambda > 0.0, "arrival rate must be positive");
+  PERFBG_REQUIRE(rho < 1.0, "M/G/1 requires lambda E[S] < 1");
+  // Pollaczek-Khinchine: E[Wq] = lambda E[S^2] / (2 (1 - rho)).
+  return lambda * service.moment(2) / (2.0 * (1.0 - rho));
+}
+
+}  // namespace
+
+double mg1_multiple_vacations_waiting_time(double lambda, const traffic::PhaseType& service,
+                                           const traffic::PhaseType& vacation) {
+  return mg1_waiting_time(lambda, service) + vacation.moment(2) / (2.0 * vacation.mean());
+}
+
+double mg1_multiple_vacations_number_in_system(double lambda,
+                                               const traffic::PhaseType& service,
+                                               const traffic::PhaseType& vacation) {
+  return lambda * (mg1_multiple_vacations_waiting_time(lambda, service, vacation) +
+                   service.mean());
+}
+
+double mg1_number_in_system(double lambda, const traffic::PhaseType& service) {
+  return lambda * (mg1_waiting_time(lambda, service) + service.mean());
+}
+
+}  // namespace perfbg::core

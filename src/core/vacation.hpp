@@ -1,0 +1,34 @@
+// Classical vacation-queue baseline (the paper's related work, e.g. its
+// refs [2, 20]): an M/G/1 queue with multiple exhaustive vacations under
+// Poisson arrivals, evaluated with the decomposition result
+//
+//   E[Wq] = E[Wq^{M/G/1}] + E[V^2] / (2 E[V]).
+//
+// This is what pre-QBD analyses of background work use in place of the
+// explicit foreground/background chain. Two limitations the benches
+// demonstrate: (i) it assumes vacations repeat whenever the queue is empty,
+// i.e. background work never runs out — exact only in the p = 1, large
+// buffer, zero idle-wait corner of the FG/BG model; and (ii) it cannot
+// represent dependent (MMPP) arrivals at all.
+#pragma once
+
+#include "traffic/phase_type.hpp"
+
+namespace perfbg::core {
+
+/// M/G/1 with multiple vacations: mean waiting time in queue (excluding
+/// service) for Poisson(lambda) arrivals, PH service, i.i.d. PH vacations.
+/// Throws std::invalid_argument when the queue is unstable (lambda E[S] >= 1).
+double mg1_multiple_vacations_waiting_time(double lambda, const traffic::PhaseType& service,
+                                           const traffic::PhaseType& vacation);
+
+/// Mean number in system by Little's law: L = lambda (Wq + E[S]).
+double mg1_multiple_vacations_number_in_system(double lambda,
+                                               const traffic::PhaseType& service,
+                                               const traffic::PhaseType& vacation);
+
+/// Plain M/G/1 (no vacations) mean number in system (Pollaczek-Khinchine),
+/// provided for baseline tables.
+double mg1_number_in_system(double lambda, const traffic::PhaseType& service);
+
+}  // namespace perfbg::core

@@ -1,0 +1,127 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace perfbg::linalg {
+
+LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  PERFBG_REQUIRE(lu_.is_square(), "LU requires a square matrix");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |a_ik| for i >= k.
+    std::size_t piv = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best == 0.0) throw std::runtime_error("perfbg: LU: matrix is singular");
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
+      std::swap(perm_[k], perm_[piv]);
+      sign_ = -sign_;
+    }
+    const double pivot = lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu_(i, k) / pivot;
+      lu_(i, k) = m;
+      if (m == 0.0) continue;
+      double* ri = lu_.row_data(i);
+      const double* rk = lu_.row_data(k);
+      for (std::size_t j = k + 1; j < n; ++j) ri[j] -= m * rk[j];
+    }
+  }
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  const std::size_t n = size();
+  PERFBG_REQUIRE(b.size() == n, "rhs size mismatch");
+  Vector x(n);
+  // Forward substitution with permuted rhs: L y = P b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    const double* ri = lu_.row_data(i);
+    for (std::size_t j = 0; j < i; ++j) s -= ri[j] * x[j];
+    x[i] = s;
+  }
+  // Back substitution: U x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    const double* ri = lu_.row_data(ii);
+    for (std::size_t j = ii + 1; j < n; ++j) s -= ri[j] * x[j];
+    x[ii] = s / ri[ii];
+  }
+  return x;
+}
+
+Vector LuDecomposition::solve_left(const Vector& b) const {
+  const std::size_t n = size();
+  PERFBG_REQUIRE(b.size() == n, "rhs size mismatch");
+  // x A = b  <=>  Aᵀ xᵀ = bᵀ. With PA = LU: Aᵀ = Uᵀ Lᵀ Pᵀ... solve in two
+  // triangular sweeps then un-permute.
+  Vector y(n);
+  // Uᵀ y = b (forward, Uᵀ is lower triangular).
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(j, i) * y[j];
+    y[i] = s / lu_(i, i);
+  }
+  // Lᵀ z = y (backward, Lᵀ is unit upper triangular).
+  Vector z(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(j, ii) * z[j];
+    z[ii] = s;
+  }
+  // x P = z ... row i of PA is row perm_[i] of A, so x[perm_[i]] = z[i].
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = z[i];
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  const std::size_t n = size();
+  PERFBG_REQUIRE(b.rows() == n, "rhs row count mismatch");
+  Matrix x(n, b.cols());
+  Vector col(n);
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
+    Vector xc = solve(col);
+    for (std::size_t i = 0; i < n; ++i) x(i, j) = xc[i];
+  }
+  return x;
+}
+
+Matrix LuDecomposition::inverse() const { return solve(Matrix::identity(size())); }
+
+double LuDecomposition::determinant() const {
+  double d = sign_;
+  for (std::size_t i = 0; i < size(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+Vector solve(const Matrix& a, const Vector& b) { return LuDecomposition(a).solve(b); }
+
+Matrix inverse(const Matrix& a) { return LuDecomposition(a).inverse(); }
+
+Vector solve_stationary(const Matrix& q) {
+  PERFBG_REQUIRE(q.is_square() && q.rows() > 0, "stationary solve needs a square matrix");
+  const std::size_t n = q.rows();
+  // x Q = 0 with x·1 = 1: replace Q's last column by ones and solve x M = e_n.
+  Matrix m = q;
+  for (std::size_t i = 0; i < n; ++i) m(i, n - 1) = 1.0;
+  Vector rhs(n, 0.0);
+  rhs[n - 1] = 1.0;
+  return LuDecomposition(std::move(m)).solve_left(rhs);
+}
+
+}  // namespace perfbg::linalg

@@ -1,0 +1,50 @@
+// LU factorization with partial pivoting, and the solve/inverse operations
+// built on it. This is the only linear-system machinery the QBD solver needs.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace perfbg::linalg {
+
+/// PA = LU factorization of a square matrix (partial pivoting).
+///
+/// Throws std::invalid_argument on non-square input and
+/// std::runtime_error if the matrix is numerically singular.
+class LuDecomposition {
+ public:
+  explicit LuDecomposition(Matrix a);
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solves A x = b (column-vector right-hand side).
+  Vector solve(const Vector& b) const;
+
+  /// Solves x A = b, i.e. the row-vector system (equivalently Aᵀ xᵀ = bᵀ).
+  Vector solve_left(const Vector& b) const;
+
+  /// Solves A X = B for a matrix right-hand side.
+  Matrix solve(const Matrix& b) const;
+
+  /// A⁻¹ (use sparingly; prefer solve()).
+  Matrix inverse() const;
+
+  /// det(A), including the pivot sign.
+  double determinant() const;
+
+ private:
+  Matrix lu_;                  // combined L (unit lower) and U factors
+  std::vector<std::size_t> perm_;  // row permutation: row i of PA is row perm_[i] of A
+  int sign_ = 1;
+};
+
+/// Convenience wrappers for one-shot use.
+Vector solve(const Matrix& a, const Vector& b);
+Matrix inverse(const Matrix& a);
+
+/// Solves the singular system x Q = 0, x·1 = 1 for an irreducible generator /
+/// rate matrix Q (rows sum to 0) by replacing the last column with the
+/// normalization constraint. Used for small stationary problems where GTH
+/// (markov/stationary) is not required.
+Vector solve_stationary(const Matrix& q);
+
+}  // namespace perfbg::linalg

@@ -1,0 +1,233 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace perfbg::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    PERFBG_REQUIRE(r.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size(), 0.0);
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+double& Matrix::operator()(std::size_t i, std::size_t j) {
+  PERFBG_REQUIRE(i < rows_ && j < cols_, "matrix index out of range");
+  return data_[i * cols_ + j];
+}
+
+double Matrix::operator()(std::size_t i, std::size_t j) const {
+  PERFBG_REQUIRE(i < rows_ && j < cols_, "matrix index out of range");
+  return data_[i * cols_ + j];
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  PERFBG_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch in +=");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  PERFBG_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch in -=");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = data_[i * cols_ + j];
+  return t;
+}
+
+double Matrix::row_sum(std::size_t i) const {
+  PERFBG_REQUIRE(i < rows_, "row index out of range");
+  double s = 0.0;
+  const double* r = row_data(i);
+  for (std::size_t j = 0; j < cols_; ++j) s += r[j];
+  return s;
+}
+
+double Matrix::inf_norm() const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    const double* r = row_data(i);
+    for (std::size_t j = 0; j < cols_; ++j) s += std::abs(r[j]);
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  PERFBG_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch in max_abs_diff");
+  double best = 0.0;
+  for (std::size_t k = 0; k < data_.size(); ++k)
+    best = std::max(best, std::abs(data_[k] - other.data_[k]));
+  return best;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+Matrix operator*(Matrix a, double s) { return a *= s; }
+Matrix operator*(double s, Matrix a) { return a *= s; }
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  PERFBG_REQUIRE(a.cols() == b.rows(), "shape mismatch in matrix multiply");
+  Matrix c(a.rows(), b.cols(), 0.0);
+  // ikj loop order: streams over b's and c's rows, cache friendly.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* ci = c.row_data(i);
+    const double* ai = a.row_data(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = ai[k];
+      if (aik == 0.0) continue;
+      const double* bk = b.row_data(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+Vector vec_mat(const Vector& v, const Matrix& a) {
+  PERFBG_REQUIRE(v.size() == a.rows(), "shape mismatch in vec_mat");
+  Vector r(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    const double* ai = a.row_data(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) r[j] += vi * ai[j];
+  }
+  return r;
+}
+
+Vector mat_vec(const Matrix& a, const Vector& v) {
+  PERFBG_REQUIRE(v.size() == a.cols(), "shape mismatch in mat_vec");
+  Vector r(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_data(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += ai[j] * v[j];
+    r[i] = s;
+  }
+  return r;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  PERFBG_REQUIRE(a.size() == b.size(), "size mismatch in dot");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double sum(const Vector& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+Vector scaled(Vector v, double s) {
+  for (double& x : v) x *= s;
+  return v;
+}
+
+Vector add(Vector a, const Vector& b) {
+  PERFBG_REQUIRE(a.size() == b.size(), "size mismatch in add");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+  return a;
+}
+
+Matrix kron(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows() * b.rows(), a.cols() * b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double aij = a(i, j);
+      if (aij == 0.0) continue;
+      for (std::size_t k = 0; k < b.rows(); ++k)
+        for (std::size_t l = 0; l < b.cols(); ++l)
+          c(i * b.rows() + k, j * b.cols() + l) = aij * b(k, l);
+    }
+  return c;
+}
+
+Matrix from_blocks(const std::vector<std::vector<Matrix>>& blocks) {
+  PERFBG_REQUIRE(!blocks.empty() && !blocks.front().empty(), "empty block grid");
+  const std::size_t brows = blocks.size();
+  const std::size_t bcols = blocks.front().size();
+  std::vector<std::size_t> heights(brows, 0), widths(bcols, 0);
+  for (std::size_t bi = 0; bi < brows; ++bi) {
+    PERFBG_REQUIRE(blocks[bi].size() == bcols, "ragged block grid");
+    for (std::size_t bj = 0; bj < bcols; ++bj) {
+      const Matrix& m = blocks[bi][bj];
+      if (m.empty()) continue;
+      if (heights[bi] == 0) heights[bi] = m.rows();
+      if (widths[bj] == 0) widths[bj] = m.cols();
+      PERFBG_REQUIRE(m.rows() == heights[bi] && m.cols() == widths[bj],
+                     "inconsistent block shapes");
+    }
+  }
+  for (std::size_t bi = 0; bi < brows; ++bi)
+    PERFBG_REQUIRE(heights[bi] > 0, "block row has no non-empty block to fix its height");
+  for (std::size_t bj = 0; bj < bcols; ++bj)
+    PERFBG_REQUIRE(widths[bj] > 0, "block column has no non-empty block to fix its width");
+
+  std::size_t total_rows = 0, total_cols = 0;
+  for (auto h : heights) total_rows += h;
+  for (auto w : widths) total_cols += w;
+  Matrix out(total_rows, total_cols, 0.0);
+  std::size_t roff = 0;
+  for (std::size_t bi = 0; bi < brows; ++bi) {
+    std::size_t coff = 0;
+    for (std::size_t bj = 0; bj < bcols; ++bj) {
+      const Matrix& m = blocks[bi][bj];
+      if (!m.empty()) {
+        for (std::size_t i = 0; i < m.rows(); ++i)
+          for (std::size_t j = 0; j < m.cols(); ++j) out(roff + i, coff + j) = m(i, j);
+      }
+      coff += widths[bj];
+    }
+    roff += heights[bi];
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    os << (i == 0 ? "[" : " ");
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      os << m(i, j);
+      if (j + 1 < m.cols()) os << ", ";
+    }
+    os << (i + 1 == m.rows() ? "]" : ";\n");
+  }
+  return os;
+}
+
+}  // namespace perfbg::linalg

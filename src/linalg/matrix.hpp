@@ -1,0 +1,101 @@
+// Dense row-major double matrix, the numeric workhorse of the QBD solver.
+//
+// The matrices in this project are small (QBD blocks of size (2X+1)*A, i.e.
+// tens to a few hundred rows), so a straightforward dense implementation with
+// cache-friendly row-major multiply is both adequate and dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace perfbg::linalg {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+///
+/// Value-semantic regular type: copyable, movable, equality-comparable.
+/// Element access is bounds-checked via PERFBG_REQUIRE in operator() to keep
+/// misuse loud; the hot inner loops use raw spans internally.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, all elements initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds from a nested initializer list; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  static Matrix diagonal(const Vector& d);
+  /// n x n matrix of zeros.
+  static Matrix zeros(std::size_t n) { return Matrix(n, n, 0.0); }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  bool is_square() const { return rows_ == cols_; }
+
+  double& operator()(std::size_t i, std::size_t j);
+  double operator()(std::size_t i, std::size_t j) const;
+
+  /// Raw pointer to row i (contiguous cols() doubles).
+  double* row_data(std::size_t i) { return data_.data() + i * cols_; }
+  const double* row_data(std::size_t i) const { return data_.data() + i * cols_; }
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+  Matrix transposed() const;
+
+  /// Sum of every element of row i.
+  double row_sum(std::size_t i) const;
+
+  /// max_i sum_j |a_ij| — the matrix infinity norm.
+  double inf_norm() const;
+  /// max_ij |a_ij| - |b_ij| style elementwise distance, used for convergence tests.
+  double max_abs_diff(const Matrix& other) const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Vector data_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, double s);
+Matrix operator*(double s, Matrix a);
+Matrix operator*(const Matrix& a, const Matrix& b);
+
+/// Row vector times matrix: returns v * A (v has A.rows() entries).
+Vector vec_mat(const Vector& v, const Matrix& a);
+/// Matrix times column vector: returns A * v (v has A.cols() entries).
+Vector mat_vec(const Matrix& a, const Vector& v);
+
+/// Dot product; sizes must match.
+double dot(const Vector& a, const Vector& b);
+/// Sum of all entries.
+double sum(const Vector& v);
+/// Elementwise scale.
+Vector scaled(Vector v, double s);
+/// a + b elementwise.
+Vector add(Vector a, const Vector& b);
+
+/// Kronecker product a (x) b.
+Matrix kron(const Matrix& a, const Matrix& b);
+
+/// Stitches a matrix from a grid of equally-shaped-or-empty blocks. Empty
+/// blocks stand for all-zero; every row of blocks must have a consistent
+/// height and every column a consistent width.
+Matrix from_blocks(const std::vector<std::vector<Matrix>>& blocks);
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace perfbg::linalg

@@ -1,0 +1,44 @@
+#include "linalg/spectral.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace perfbg::linalg {
+
+double spectral_radius(const Matrix& a, double tol, int max_iters) {
+  PERFBG_REQUIRE(a.is_square(), "spectral_radius requires a square matrix");
+  const std::size_t n = a.rows();
+  if (n == 0) return 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      PERFBG_REQUIRE(a(i, j) >= 0.0, "spectral_radius requires a nonnegative matrix");
+
+  Vector v(n, 1.0 / static_cast<double>(n));
+  double lambda = 0.0;
+  for (int it = 0; it < max_iters; ++it) {
+    Vector w = mat_vec(a, v);
+    double norm = 0.0;
+    for (double x : w) norm += x;
+    if (norm == 0.0) return 0.0;  // nilpotent direction: radius 0 along v
+    const double prev = lambda;
+    lambda = norm;  // since sum(v) == 1, sum(Av) estimates the Perron root
+    for (double& x : w) x /= norm;
+    v = std::move(w);
+    if (it > 0 && std::abs(lambda - prev) <= tol * std::max(1.0, std::abs(lambda))) break;
+  }
+  return lambda;
+}
+
+std::optional<std::array<double, 2>> eigenvalues_2x2(const Matrix& a) {
+  PERFBG_REQUIRE(a.rows() == 2 && a.cols() == 2, "eigenvalues_2x2 needs a 2x2 matrix");
+  const double tr = a(0, 0) + a(1, 1);
+  const double det = a(0, 0) * a(1, 1) - a(0, 1) * a(1, 0);
+  const double disc = tr * tr / 4.0 - det;
+  if (disc < 0.0) return std::nullopt;
+  const double s = std::sqrt(disc);
+  return std::array<double, 2>{tr / 2.0 + s, tr / 2.0 - s};
+}
+
+}  // namespace perfbg::linalg

@@ -1,0 +1,25 @@
+// Spectral utilities: dominant-eigenvalue estimation for nonnegative
+// matrices (stability checks on the QBD rate matrix R) and general real
+// eigenvalues of 2x2 matrices (closed forms used by the MMPP fitter).
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace perfbg::linalg {
+
+/// Estimates the spectral radius of a (elementwise) nonnegative square matrix
+/// by power iteration on a strictly positive start vector.
+///
+/// For the nonnegative matrices arising in matrix-analytic methods the power
+/// method converges to the Perron root. `tol` is the relative change between
+/// consecutive Rayleigh-style estimates at which we stop.
+double spectral_radius(const Matrix& a, double tol = 1e-12, int max_iters = 100000);
+
+/// Both eigenvalues of a real 2x2 matrix, if they are real; std::nullopt when
+/// the pair is complex. Returned in no particular order.
+std::optional<std::array<double, 2>> eigenvalues_2x2(const Matrix& a);
+
+}  // namespace perfbg::linalg

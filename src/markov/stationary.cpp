@@ -1,0 +1,204 @@
+#include "markov/stationary.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace perfbg::markov {
+
+bool is_generator(const Matrix& q, double tol) {
+  if (!q.is_square() || q.empty()) return false;
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < q.cols(); ++j) {
+      const double v = q(i, j);
+      if (i == j) {
+        if (v > tol) return false;
+      } else if (v < -tol) {
+        return false;
+      }
+      s += v;
+    }
+    if (std::abs(s) > tol * std::max(1.0, std::abs(q(i, i)))) return false;
+  }
+  return true;
+}
+
+bool is_stochastic(const Matrix& p, double tol) {
+  if (!p.is_square() || p.empty()) return false;
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < p.cols(); ++j) {
+      if (p(i, j) < -tol) return false;
+      s += p(i, j);
+    }
+    if (std::abs(s - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// GTH elimination on the off-diagonal rates of a generator-shaped matrix.
+// Only off-diagonal entries are read (the diagonal is implied by row sums),
+// which is what makes the algorithm subtraction-free.
+Vector gth(Matrix q) {
+  const std::size_t n = q.rows();
+  if (n == 1) return Vector{1.0};
+
+  // Forward elimination: fold state k into states < k. Scaling the incoming
+  // column q(·,k) by 1/S (S = total rate out of k toward lower states) both
+  // performs the censoring update and leaves exactly the factor needed for
+  // the back substitution x[k] = Σ_{i<k} x[i] q(i,k).
+  for (std::size_t k = n; k-- > 1;) {
+    double out_rate = 0.0;
+    for (std::size_t j = 0; j < k; ++j) out_rate += q(k, j);
+    if (out_rate <= 0.0)
+      throw std::runtime_error("perfbg: GTH: zero pivot (chain not irreducible)");
+    for (std::size_t i = 0; i < k; ++i) q(i, k) /= out_rate;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double qik = q(i, k);
+      if (qik == 0.0) continue;
+      for (std::size_t j = 0; j < k; ++j) q(i, j) += qik * q(k, j);
+    }
+  }
+
+  // Back substitution.
+  Vector x(n, 0.0);
+  x[0] = 1.0;
+  for (std::size_t k = 1; k < n; ++k) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < k; ++i) s += x[i] * q(i, k);
+    x[k] = s;
+  }
+  const double total = linalg::sum(x);
+  for (double& v : x) v /= total;
+  return x;
+}
+
+}  // namespace
+
+Vector stationary_ctmc(const Matrix& q, double tol) {
+  PERFBG_REQUIRE(is_generator(q, tol), "stationary_ctmc requires an infinitesimal generator");
+  // GTH reads only off-diagonal rates; zero the diagonal defensively.
+  Matrix m = q;
+  for (std::size_t i = 0; i < m.rows(); ++i) m(i, i) = 0.0;
+  return gth(std::move(m));
+}
+
+Vector stationary_dtmc(const Matrix& p, double tol) {
+  PERFBG_REQUIRE(is_stochastic(p, tol), "stationary_dtmc requires a stochastic matrix");
+  // Off-diagonal probabilities of P serve as rates; GTH ignores the diagonal.
+  Matrix m = p;
+  for (std::size_t i = 0; i < m.rows(); ++i) m(i, i) = 0.0;
+  return gth(std::move(m));
+}
+
+namespace {
+
+// Iterative Tarjan SCC over the positive off-diagonal entries of q.
+std::vector<std::vector<std::size_t>> strongly_connected_components(const Matrix& q) {
+  const std::size_t n = q.rows();
+  std::vector<int> index(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> sccs;
+  int counter = 0;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t next_child;
+  };
+  for (std::size_t start = 0; start < n; ++start) {
+    if (index[start] != -1) continue;
+    std::vector<Frame> call_stack{{start, 0}};
+    index[start] = low[start] = counter++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!call_stack.empty()) {
+      Frame& f = call_stack.back();
+      bool descended = false;
+      for (std::size_t w = f.next_child; w < n; ++w) {
+        if (w == f.v || q(f.v, w) <= 0.0) continue;
+        f.next_child = w + 1;
+        if (index[w] == -1) {
+          index[w] = low[w] = counter++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[f.v] = std::min(low[f.v], index[w]);
+      }
+      if (descended) continue;
+      // All children explored: pop.
+      const std::size_t v = f.v;
+      call_stack.pop_back();
+      if (!call_stack.empty())
+        low[call_stack.back().v] = std::min(low[call_stack.back().v], low[v]);
+      if (low[v] == index[v]) {
+        std::vector<std::size_t> comp;
+        for (;;) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp.push_back(w);
+          if (w == v) break;
+        }
+        sccs.push_back(std::move(comp));
+      }
+    }
+  }
+  return sccs;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> closed_classes(const Matrix& q) {
+  PERFBG_REQUIRE(q.is_square() && !q.empty(), "closed_classes requires a square matrix");
+  const auto sccs = strongly_connected_components(q);
+  std::vector<std::vector<std::size_t>> closed;
+  for (const auto& comp : sccs) {
+    std::vector<bool> in_comp(q.rows(), false);
+    for (std::size_t v : comp) in_comp[v] = true;
+    bool leaves = false;
+    for (std::size_t v : comp) {
+      for (std::size_t w = 0; w < q.cols() && !leaves; ++w)
+        if (w != v && !in_comp[w] && q(v, w) > 0.0) leaves = true;
+      if (leaves) break;
+    }
+    if (!leaves) closed.push_back(comp);
+  }
+  PERFBG_ASSERT(!closed.empty(), "a finite chain always has a closed class");
+  return closed;
+}
+
+std::vector<std::size_t> closed_class(const Matrix& q) {
+  auto closed = closed_classes(q);
+  if (closed.size() != 1)
+    throw std::runtime_error("perfbg: chain has " + std::to_string(closed.size()) +
+                             " closed classes; stationary distribution is not unique");
+  return closed.front();
+}
+
+Vector stationary_on_class(const Matrix& q, const std::vector<std::size_t>& cls, double tol) {
+  PERFBG_REQUIRE(!cls.empty(), "class must be non-empty");
+  if (cls.size() == q.rows()) return stationary_ctmc(q, tol);
+  // The restriction of a generator to a closed class is itself a generator.
+  Matrix sub(cls.size(), cls.size(), 0.0);
+  for (std::size_t i = 0; i < cls.size(); ++i)
+    for (std::size_t j = 0; j < cls.size(); ++j) sub(i, j) = q(cls[i], cls[j]);
+  const Vector x = stationary_ctmc(sub, tol);
+  Vector out(q.rows(), 0.0);
+  for (std::size_t i = 0; i < cls.size(); ++i) out[cls[i]] = x[i];
+  return out;
+}
+
+Vector stationary_unichain_ctmc(const Matrix& q, double tol) {
+  PERFBG_REQUIRE(is_generator(q, tol), "stationary_unichain_ctmc requires a generator");
+  return stationary_on_class(q, closed_class(q), tol);
+}
+
+}  // namespace perfbg::markov

@@ -1,0 +1,55 @@
+// Stationary analysis of finite Markov chains.
+//
+// The numerically robust core is the Grassmann–Taksar–Heyman (GTH) variant of
+// Gaussian elimination, which uses no subtractions and therefore cannot lose
+// probability mass to cancellation — the standard tool for the small CTMCs
+// embedded in this project (MMPP phase processes, boundary chains, truncated
+// validation chains).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace perfbg::markov {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// True iff q is square, has nonnegative off-diagonal entries, nonpositive
+/// diagonal entries, and rows summing to 0 within `tol`.
+bool is_generator(const Matrix& q, double tol = 1e-9);
+
+/// True iff p is square, elementwise nonnegative, with rows summing to 1
+/// within `tol` (a stochastic matrix).
+bool is_stochastic(const Matrix& p, double tol = 1e-9);
+
+/// Stationary distribution of an irreducible CTMC generator: x Q = 0, x·1 = 1,
+/// computed with GTH elimination. Throws std::invalid_argument if q is not a
+/// generator and std::runtime_error if elimination hits a zero pivot
+/// (reducible chain).
+Vector stationary_ctmc(const Matrix& q, double tol = 1e-9);
+
+/// Stationary distribution of an irreducible DTMC: x P = x, x·1 = 1, via GTH
+/// on (P - I).
+Vector stationary_dtmc(const Matrix& p, double tol = 1e-9);
+
+/// Stationary distribution of a CTMC that need not be irreducible but must
+/// be *unichain* (exactly one closed communicating class; other states are
+/// transient and receive probability zero). Finds the closed class by
+/// strongly-connected-component analysis, then runs GTH on it. Throws
+/// std::runtime_error if there are multiple closed classes (the stationary
+/// distribution would not be unique).
+Vector stationary_unichain_ctmc(const Matrix& q, double tol = 1e-9);
+
+/// Indices of the states forming the unique closed communicating class of q
+/// (throws std::runtime_error when there is more than one closed class).
+std::vector<std::size_t> closed_class(const Matrix& q);
+
+/// All closed communicating classes of q (at least one always exists).
+std::vector<std::vector<std::size_t>> closed_classes(const Matrix& q);
+
+/// Stationary distribution of the CTMC restricted to one closed class,
+/// embedded back into the full state space (zeros elsewhere).
+Vector stationary_on_class(const Matrix& q, const std::vector<std::size_t>& cls,
+                           double tol = 1e-9);
+
+}  // namespace perfbg::markov

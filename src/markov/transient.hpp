@@ -1,0 +1,25 @@
+// Transient analysis of finite CTMCs via uniformization (Jensen's method).
+//
+// Used by the test suite to sanity-check generators built by the chain
+// builder (a transient sweep from any start vector must stay a probability
+// vector and converge to the GTH stationary solution).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace perfbg::markov {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Computes pi0 * exp(Q t) by uniformization with truncation error below
+/// `epsilon` (left tail + right tail of the Poisson weights).
+///
+/// Throws std::invalid_argument if q is not a generator or pi0 is not a
+/// probability vector of matching size.
+Vector transient_ctmc(const Matrix& q, const Vector& pi0, double t, double epsilon = 1e-12);
+
+/// The uniformized DTMC P = I + Q / rate for rate >= max_i |q_ii|.
+Matrix uniformize(const Matrix& q, double rate);
+
+}  // namespace perfbg::markov

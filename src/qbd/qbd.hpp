@@ -1,0 +1,52 @@
+// Quasi-Birth-Death process description.
+//
+// A (continuous-time) QBD with a flattened boundary has generator
+//
+//        |  B00  B01   0    0   ...
+//   Q =  |  B10  A1    A0   0   ...
+//        |   0   A2    A1   A0  ...
+//        |   0    0    A2   A1  ...
+//
+// where the boundary collects all irregular levels (for the paper's chain:
+// levels 0..X, which include the idle-wait states) and every repeating level
+// has the same state layout. The stationary vector obeys the matrix-geometric
+// relation pi_{k+1} = pi_k R for repeating levels, with R the minimal
+// nonnegative solution of A0 + R A1 + R^2 A2 = 0.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace perfbg::qbd {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+struct QbdProcess {
+  Matrix b00;  ///< boundary -> boundary (n_b x n_b)
+  Matrix b01;  ///< boundary -> first repeating level (n_b x n_r)
+  Matrix b10;  ///< first repeating level -> boundary (n_r x n_b)
+  Matrix a0;   ///< repeating level j -> j+1 (n_r x n_r)
+  Matrix a1;   ///< within repeating level (n_r x n_r)
+  Matrix a2;   ///< repeating level j -> j-1 (n_r x n_r)
+
+  std::size_t boundary_size() const { return b00.rows(); }
+  std::size_t level_size() const { return a1.rows(); }
+
+  /// Checks shapes, sign structure and zero row sums of the three row
+  /// blocks; throws std::invalid_argument on violation.
+  void validate(double tol = 1e-8) const;
+
+  /// Stationary distribution phi of the level-process generator
+  /// A = A0 + A1 + A2 (used by the drift condition).
+  Vector level_generator_stationary() const;
+
+  /// Mean drift condition: stable (positive recurrent) iff
+  /// phi A0 1 < phi A2 1 — i.e. up-rate < down-rate in the repeating part.
+  bool is_stable() const;
+
+  /// phi A0 1 / phi A2 1: the "caudal load" of the repeating part. < 1 iff
+  /// stable; useful for diagnosing near-saturation sweeps.
+  double drift_ratio() const;
+};
+
+}  // namespace perfbg::qbd

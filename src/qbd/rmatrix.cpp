@@ -1,0 +1,172 @@
+#include "qbd/rmatrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+#include "util/check.hpp"
+
+namespace perfbg::qbd {
+
+namespace {
+
+void check_shapes(const Matrix& a0, const Matrix& a1, const Matrix& a2) {
+  PERFBG_REQUIRE(a0.is_square() && a1.is_square() && a2.is_square(), "A blocks must be square");
+  PERFBG_REQUIRE(a0.rows() == a1.rows() && a1.rows() == a2.rows(),
+                 "A blocks must have one common size");
+  PERFBG_REQUIRE(a0.rows() > 0, "A blocks must be non-empty");
+}
+
+/// Uniformization constant and the discrete (substochastic) block triple.
+struct DiscreteBlocks {
+  Matrix a0_hat, a1_hat, a2_hat;
+};
+
+DiscreteBlocks uniformize_blocks(const Matrix& a0, const Matrix& a1, const Matrix& a2) {
+  double c = 0.0;
+  for (std::size_t i = 0; i < a1.rows(); ++i) c = std::max(c, -a1(i, i));
+  PERFBG_REQUIRE(c > 0.0, "A1 must have a negative diagonal");
+  c *= 1.0 + 1e-10;  // strictly dominate, keeping hat-A1 diagonal nonnegative
+  DiscreteBlocks d;
+  d.a0_hat = a0;
+  d.a0_hat *= 1.0 / c;
+  d.a2_hat = a2;
+  d.a2_hat *= 1.0 / c;
+  d.a1_hat = a1;
+  d.a1_hat *= 1.0 / c;
+  d.a1_hat += Matrix::identity(a1.rows());
+  return d;
+}
+
+/// Logarithmic reduction on the discrete blocks (Latouche & Ramaswami 1993).
+/// Returns G; quadratically convergent for positive recurrent QBDs.
+Matrix logarithmic_reduction_g(const DiscreteBlocks& d, const RSolverOptions& opts,
+                               RSolverStats* stats) {
+  const std::size_t n = d.a1_hat.rows();
+  const Matrix identity = Matrix::identity(n);
+
+  const linalg::LuDecomposition base(identity - d.a1_hat);
+  Matrix b0 = base.solve(d.a0_hat);  // "up" factor
+  Matrix b2 = base.solve(d.a2_hat);  // "down" factor
+
+  Matrix g = b2;
+  Matrix t = b0;
+  int it = 0;
+  for (; it < opts.max_iters; ++it) {
+    const Matrix u = b0 * b2 + b2 * b0;
+    const linalg::LuDecomposition lu(identity - u);
+    const Matrix b0_next = lu.solve(b0 * b0);
+    const Matrix b2_next = lu.solve(b2 * b2);
+    const Matrix increment = t * b2_next;
+    g += increment;
+    t = t * b0_next;
+    b0 = b0_next;
+    b2 = b2_next;
+    if (increment.inf_norm() < opts.tolerance && t.inf_norm() < std::sqrt(opts.tolerance)) break;
+  }
+  if (it >= opts.max_iters)
+    throw std::runtime_error("perfbg: logarithmic reduction did not converge "
+                             "(is the QBD stable?)");
+  if (stats) stats->iterations = it + 1;
+  return g;
+}
+
+/// Natural fixed-point iteration for G on the discrete blocks:
+/// G <- (I - A1h - A0h G)^{-1} A2h, monotone from G = 0.
+Matrix functional_iteration_g(const DiscreteBlocks& d, const RSolverOptions& opts,
+                              RSolverStats* stats) {
+  const std::size_t n = d.a1_hat.rows();
+  const Matrix identity = Matrix::identity(n);
+  Matrix g(n, n, 0.0);
+  int it = 0;
+  for (; it < opts.max_iters; ++it) {
+    const Matrix next =
+        linalg::LuDecomposition(identity - d.a1_hat - d.a0_hat * g).solve(d.a2_hat);
+    const double delta = next.max_abs_diff(g);
+    g = next;
+    if (delta < opts.tolerance) break;
+  }
+  if (it >= opts.max_iters)
+    throw std::runtime_error("perfbg: functional iteration for G did not converge "
+                             "(is the QBD stable?)");
+  if (stats) stats->iterations = it + 1;
+  return g;
+}
+
+}  // namespace
+
+double r_equation_residual(const Matrix& r, const Matrix& a0, const Matrix& a1,
+                           const Matrix& a2) {
+  return (a0 + r * a1 + r * r * a2).inf_norm();
+}
+
+Matrix solve_g(const Matrix& a0, const Matrix& a1, const Matrix& a2,
+               const RSolverOptions& opts, RSolverStats* stats) {
+  check_shapes(a0, a1, a2);
+  const DiscreteBlocks d = uniformize_blocks(a0, a1, a2);
+  Matrix g = (opts.kind == RSolverKind::kLogarithmicReduction)
+                 ? logarithmic_reduction_g(d, opts, stats)
+                 : functional_iteration_g(d, opts, stats);
+  if (stats) {
+    // Residual of the continuous-time G equation.
+    stats->final_residual = (a2 + a1 * g + a0 * (g * g)).inf_norm();
+  }
+  return g;
+}
+
+Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
+               const RSolverOptions& opts, RSolverStats* stats) {
+  check_shapes(a0, a1, a2);
+  Matrix r;
+  if (opts.kind == RSolverKind::kLogarithmicReduction) {
+    // R = A0 (-(A1 + A0 G))^{-1}.
+    const Matrix g = solve_g(a0, a1, a2, opts, stats);
+    Matrix m = a1 + a0 * g;
+    m *= -1.0;
+    r = linalg::LuDecomposition(std::move(m)).inverse();
+    r = a0 * r;
+  } else {
+    // Direct functional iteration on the continuous-time R equation:
+    // R <- -(A0 + R^2 A2) A1^{-1}, monotone from R = 0.
+    const linalg::LuDecomposition a1_lu(a1);
+    const std::size_t n = a0.rows();
+    r = Matrix(n, n, 0.0);
+    int it = 0;
+    for (; it < opts.max_iters; ++it) {
+      Matrix rhs = a0 + (r * r) * a2;
+      rhs *= -1.0;
+      // Solve X A1 = rhs row by row (A1 acts from the right).
+      Matrix next(n, n);
+      Vector row(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) row[j] = rhs(i, j);
+        const Vector x = a1_lu.solve_left(row);
+        for (std::size_t j = 0; j < n; ++j) next(i, j) = x[j];
+      }
+      const double delta = next.max_abs_diff(r);
+      r = next;
+      if (delta < opts.tolerance) break;
+    }
+    if (it >= opts.max_iters)
+      throw std::runtime_error("perfbg: functional iteration for R did not converge "
+                               "(is the QBD stable?)");
+    if (stats) {
+      stats->iterations = it + 1;
+      stats->final_residual = r_equation_residual(r, a0, a1, a2);
+    }
+  }
+  if (stats && opts.kind == RSolverKind::kLogarithmicReduction)
+    stats->final_residual = r_equation_residual(r, a0, a1, a2);
+  // R is nonnegative in exact arithmetic; clamp roundoff-level negatives so
+  // downstream nonnegativity checks (spectral radius, probabilities) hold.
+  for (std::size_t i = 0; i < r.rows(); ++i)
+    for (std::size_t j = 0; j < r.cols(); ++j) {
+      if (r(i, j) < 0.0) {
+        PERFBG_ASSERT(r(i, j) > -1e-9, "R has a significantly negative entry");
+        r(i, j) = 0.0;
+      }
+    }
+  return r;
+}
+
+}  // namespace perfbg::qbd

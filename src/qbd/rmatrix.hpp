@@ -1,0 +1,45 @@
+// Solvers for the matrix-quadratic equations of a QBD:
+//
+//   G:  A2 + A1 G + A0 G^2 = 0   (minimal nonnegative solution)
+//   R:  A0 + R A1 + R^2 A2 = 0   (minimal nonnegative solution)
+//
+// with the classical identity R = A0 (-(A1 + A0 G))^{-1} connecting them.
+// Two algorithms are provided: Latouche–Ramaswami logarithmic reduction
+// (quadratic convergence, the default) and plain functional iteration
+// (linear convergence, kept as an independently-coded cross-check and for
+// the ablation benchmark).
+#pragma once
+
+#include "qbd/qbd.hpp"
+
+namespace perfbg::qbd {
+
+enum class RSolverKind { kLogarithmicReduction, kFunctionalIteration };
+
+struct RSolverOptions {
+  RSolverKind kind = RSolverKind::kLogarithmicReduction;
+  double tolerance = 1e-13;  ///< stop when the iteration increment norm falls below
+  int max_iters = 10000;     ///< safety bound (log-reduction needs ~40 even near saturation)
+};
+
+struct RSolverStats {
+  int iterations = 0;
+  double final_residual = 0.0;  ///< ||A0 + R A1 + R^2 A2||_inf at the solution
+};
+
+/// Minimal nonnegative solution of A0 + R A1 + R^2 A2 = 0 for a stable QBD.
+/// Throws std::runtime_error when the iteration fails to converge (typically
+/// an unstable process; check QbdProcess::is_stable() first).
+Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
+               const RSolverOptions& opts = {}, RSolverStats* stats = nullptr);
+
+/// Minimal nonnegative solution of A2 + A1 G + A0 G^2 = 0 (the first-passage
+/// matrix of the level process). For a stable QBD, G is stochastic.
+Matrix solve_g(const Matrix& a0, const Matrix& a1, const Matrix& a2,
+               const RSolverOptions& opts = {}, RSolverStats* stats = nullptr);
+
+/// Residual ||A0 + R A1 + R^2 A2||_inf, for tests and diagnostics.
+double r_equation_residual(const Matrix& r, const Matrix& a0, const Matrix& a1,
+                           const Matrix& a2);
+
+}  // namespace perfbg::qbd

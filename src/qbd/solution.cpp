@@ -1,0 +1,75 @@
+#include "qbd/solution.hpp"
+
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+#include "linalg/spectral.hpp"
+#include "util/check.hpp"
+
+namespace perfbg::qbd {
+
+QbdSolution::QbdSolution(const QbdProcess& process, const RSolverOptions& opts) {
+  process.validate();
+  if (!process.is_stable())
+    throw std::runtime_error("perfbg: QBD is not positive recurrent (drift ratio " +
+                             std::to_string(process.drift_ratio()) + " >= 1)");
+
+  r_ = solve_r(process.a0, process.a1, process.a2, opts, &stats_);
+  sp_r_ = linalg::spectral_radius(r_);
+  PERFBG_ASSERT(sp_r_ < 1.0, "sp(R) >= 1 for a process that passed the drift test");
+
+  const std::size_t nb = process.boundary_size();
+  const std::size_t nr = process.level_size();
+  const Matrix identity = Matrix::identity(nr);
+  const linalg::LuDecomposition i_minus_r(identity - r_);
+  const Matrix s1 = i_minus_r.inverse();        // (I-R)^{-1}
+
+  // Balance equations for (pi_b, pi_first):
+  //   pi_b B00 + pi_first B10 = 0
+  //   pi_b B01 + pi_first (A1 + R A2) = 0
+  // assembled as x M = 0 with the normalization x . w = 1,
+  // w = [1_b ; (I-R)^{-1} 1_r] replacing the last column.
+  const std::size_t n = nb + nr;
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < nb; ++i) {
+    for (std::size_t j = 0; j < nb; ++j) m(i, j) = process.b00(i, j);
+    for (std::size_t j = 0; j < nr; ++j) m(i, nb + j) = process.b01(i, j);
+  }
+  const Matrix corner = process.a1 + r_ * process.a2;
+  for (std::size_t i = 0; i < nr; ++i) {
+    for (std::size_t j = 0; j < nb; ++j) m(nb + i, j) = process.b10(i, j);
+    for (std::size_t j = 0; j < nr; ++j) m(nb + i, nb + j) = corner(i, j);
+  }
+
+  Vector w(n, 1.0);
+  {
+    const Vector ones(nr, 1.0);
+    const Vector tail = linalg::mat_vec(s1, ones);  // (I-R)^{-1} 1
+    for (std::size_t j = 0; j < nr; ++j) w[nb + j] = tail[j];
+  }
+  for (std::size_t i = 0; i < n; ++i) m(i, n - 1) = w[i];
+  Vector rhs(n, 0.0);
+  rhs[n - 1] = 1.0;
+  const Vector x = linalg::LuDecomposition(std::move(m)).solve_left(rhs);
+
+  pi_boundary_.assign(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(nb));
+  pi_first_.assign(x.begin() + static_cast<std::ptrdiff_t>(nb), x.end());
+  for (double v : pi_boundary_)
+    PERFBG_ASSERT(v > -1e-9, "negative boundary probability");
+  for (double v : pi_first_)
+    PERFBG_ASSERT(v > -1e-9, "negative repeating-level probability");
+
+  rep_sum_ = linalg::vec_mat(pi_first_, s1);
+  // sum_k k R^k = R (I-R)^{-2}.
+  const Matrix s2 = r_ * (s1 * s1);
+  rep_index_sum_ = linalg::vec_mat(pi_first_, s2);
+}
+
+Vector QbdSolution::repeating_level(int k) const {
+  PERFBG_REQUIRE(k >= 0, "repeating level index must be >= 0");
+  Vector v = pi_first_;
+  for (int i = 0; i < k; ++i) v = linalg::vec_mat(v, r_);
+  return v;
+}
+
+}  // namespace perfbg::qbd

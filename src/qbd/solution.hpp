@@ -1,0 +1,60 @@
+// Stationary solution of a QBD process: R matrix, boundary vector, and the
+// geometric tail, with the level-sum helpers needed to evaluate queue-length
+// style metrics in closed form.
+#pragma once
+
+#include "qbd/qbd.hpp"
+#include "qbd/rmatrix.hpp"
+
+namespace perfbg::qbd {
+
+/// Solves a QBD for its stationary distribution. The solution exposes
+///   boundary()          pi over the flattened boundary states,
+///   repeating_level(k)  pi over repeating level k (k = 0 is the first),
+///   repeating_sum()     sum_k pi_k            = pi_0 (I-R)^{-1},
+///   repeating_index_sum sum_k k pi_k          = pi_0 R (I-R)^{-2},
+/// all as per-state vectors over the repeating layout.
+class QbdSolution {
+ public:
+  /// Solves the process. Throws std::invalid_argument for malformed blocks
+  /// and std::runtime_error when the process is not positive recurrent.
+  explicit QbdSolution(const QbdProcess& process, const RSolverOptions& opts = {});
+
+  const Matrix& r_matrix() const { return r_; }
+  double r_spectral_radius() const { return sp_r_; }
+  const RSolverStats& solver_stats() const { return stats_; }
+
+  const Vector& boundary() const { return pi_boundary_; }
+  const Vector& first_repeating() const { return pi_first_; }
+
+  /// pi over repeating level k (k >= 0); computed as pi_first R^k.
+  Vector repeating_level(int k) const;
+
+  /// Componentwise sum over all repeating levels: pi_first (I-R)^{-1}.
+  const Vector& repeating_sum() const { return rep_sum_; }
+
+  /// Componentwise sum of k * pi_k over repeating levels:
+  /// pi_first R (I-R)^{-2}.
+  const Vector& repeating_index_sum() const { return rep_index_sum_; }
+
+  /// Total probability mass over all repeating levels.
+  double repeating_mass() const { return linalg::sum(rep_sum_); }
+  /// Total probability mass in the boundary.
+  double boundary_mass() const { return linalg::sum(pi_boundary_); }
+  /// boundary_mass + repeating_mass; equals 1 up to numerical error.
+  double total_mass() const { return boundary_mass() + repeating_mass(); }
+
+  /// Expected repeating-level index: sum_k k * ||pi_k||_1.
+  double mean_repeating_index() const { return linalg::sum(rep_index_sum_); }
+
+ private:
+  Matrix r_;
+  RSolverStats stats_;
+  double sp_r_ = 0.0;
+  Vector pi_boundary_;
+  Vector pi_first_;
+  Vector rep_sum_;
+  Vector rep_index_sum_;
+};
+
+}  // namespace perfbg::qbd

@@ -1,0 +1,244 @@
+#include "sim/fgbg_simulator.hpp"
+
+#include <deque>
+#include <random>
+
+#include "traffic/sampler.hpp"
+#include "util/check.hpp"
+
+namespace perfbg::sim {
+
+namespace {
+
+enum class Serving { kNone, kFg, kBg };
+
+/// Accumulators for one measurement batch.
+struct BatchAccum {
+  double qlen_fg_integral = 0.0;
+  double qlen_bg_integral = 0.0;
+  double busy_integral = 0.0;
+  double bg_busy_integral = 0.0;
+  double idle_integral = 0.0;
+  double elapsed = 0.0;
+  std::uint64_t fg_arrivals = 0;
+  std::uint64_t fg_delayed = 0;
+  std::uint64_t fg_completed = 0;
+  std::uint64_t bg_generated = 0;
+  std::uint64_t bg_dropped = 0;
+  std::uint64_t bg_completed = 0;
+  double response_sum = 0.0;
+};
+
+}  // namespace
+
+SimMetrics simulate_fgbg(const core::FgBgParams& params, const SimConfig& config) {
+  params.validate();
+  PERFBG_REQUIRE(config.batches >= 2, "need at least two batches for a CI");
+  PERFBG_REQUIRE(config.batch_time > 0.0 && config.warmup_time >= 0.0,
+                 "times must be positive");
+
+  const double alpha = params.idle_wait_rate();
+  const double p = params.bg_probability;
+  const int x_cap = params.background_disabled() ? 0 : params.bg_buffer;
+
+  std::mt19937_64 rng(config.seed);
+  traffic::MapSampler arrivals(params.arrivals, config.seed ^ 0x9e3779b97f4a7c15ULL);
+  const traffic::PhaseTypeSampler service_sampler(params.effective_service());
+  auto service_draw = [&](std::mt19937_64& r) { return service_sampler.sample(r); };
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  // A PH idle wait set on the params takes precedence over the config's
+  // built-in idle-wait shapes (both exist so the simulator can model waits
+  // the analytic chain cannot, and vice versa).
+  const std::optional<traffic::PhaseTypeSampler> wait_sampler =
+      params.idle_wait_distribution
+          ? std::optional<traffic::PhaseTypeSampler>(*params.idle_wait_distribution)
+          : std::nullopt;
+  auto draw_idle_wait = [&]() {
+    if (wait_sampler) return wait_sampler->sample(rng);
+    switch (config.idle_wait) {
+      case IdleWaitKind::kExponential: {
+        std::exponential_distribution<double> d(alpha);
+        return d(rng);
+      }
+      case IdleWaitKind::kErlang2: {
+        std::exponential_distribution<double> d(2.0 * alpha);
+        return d(rng) + d(rng);
+      }
+      case IdleWaitKind::kDeterministicish: {
+        std::exponential_distribution<double> d(16.0 * alpha);
+        double s = 0.0;
+        for (int i = 0; i < 16; ++i) s += d(rng);
+        return s;
+      }
+    }
+    PERFBG_ASSERT(false, "unknown idle wait kind");
+    return 0.0;
+  };
+
+  // ---- system state ----
+  double now = 0.0;
+  int y = 0, x = 0;
+  Serving serving = Serving::kNone;
+  double next_arrival = arrivals.next_interarrival();
+  double next_completion = -1.0;   // < 0 means "not scheduled"
+  double next_idle_expiry = -1.0;
+  std::deque<double> fg_arrival_times;
+
+  auto start_fg_service = [&]() {
+    serving = Serving::kFg;
+    next_completion = now + service_draw(rng);
+    next_idle_expiry = -1.0;
+  };
+  auto start_bg_service = [&]() {
+    serving = Serving::kBg;
+    next_completion = now + service_draw(rng);
+    next_idle_expiry = -1.0;
+  };
+  auto go_idle = [&]() {
+    serving = Serving::kNone;
+    next_completion = -1.0;
+    next_idle_expiry = x > 0 ? now + draw_idle_wait() : -1.0;
+  };
+
+  // ---- measurement plumbing ----
+  const double t_end =
+      config.warmup_time + static_cast<double>(config.batches) * config.batch_time;
+  bool in_warmup = config.warmup_time > 0.0;
+  double batch_end = in_warmup ? config.warmup_time : config.batch_time;
+  BatchAccum acc;
+  std::vector<BatchAccum> finished;
+  finished.reserve(static_cast<std::size_t>(config.batches));
+  ReservoirQuantiles response_quantiles(100000, config.seed ^ 0xA5A5A5A5ULL);
+
+  auto integrate = [&](double upto) {
+    const double dt = upto - now;
+    acc.elapsed += dt;
+    acc.qlen_fg_integral += dt * y;
+    acc.qlen_bg_integral += dt * x;
+    if (serving != Serving::kNone) acc.busy_integral += dt;
+    if (serving == Serving::kBg) acc.bg_busy_integral += dt;
+    if (serving == Serving::kNone) acc.idle_integral += dt;
+  };
+
+  while (now < t_end) {
+    // Next event time.
+    double te = next_arrival;
+    int which = 0;  // 0 arrival, 1 completion, 2 idle expiry
+    if (next_completion >= 0.0 && next_completion < te) {
+      te = next_completion;
+      which = 1;
+    }
+    if (next_idle_expiry >= 0.0 && next_idle_expiry < te) {
+      te = next_idle_expiry;
+      which = 2;
+    }
+
+    // Close any batch boundaries strictly before the event.
+    while (te >= batch_end && now < t_end) {
+      integrate(batch_end);
+      now = batch_end;
+      if (in_warmup) {
+        in_warmup = false;
+      } else {
+        finished.push_back(acc);
+      }
+      acc = BatchAccum{};
+      batch_end += config.batch_time;
+      if (now >= t_end) break;
+    }
+    if (now >= t_end) break;
+
+    integrate(te);
+    now = te;
+
+    switch (which) {
+      case 0: {  // foreground arrival
+        ++acc.fg_arrivals;
+        if (serving == Serving::kBg) ++acc.fg_delayed;
+        ++y;
+        fg_arrival_times.push_back(now);
+        if (serving == Serving::kNone) start_fg_service();  // cancels idle wait
+        next_arrival = now + arrivals.next_interarrival();
+        break;
+      }
+      case 1: {  // service completion
+        if (serving == Serving::kFg) {
+          --y;
+          ++acc.fg_completed;
+          const double response = now - fg_arrival_times.front();
+          acc.response_sum += response;
+          if (!in_warmup) response_quantiles.add(response);
+          fg_arrival_times.pop_front();
+          if (p > 0.0 && coin(rng) < p) {
+            ++acc.bg_generated;
+            if (x < x_cap)
+              ++x;
+            else
+              ++acc.bg_dropped;
+          }
+          if (y > 0)
+            start_fg_service();
+          else
+            go_idle();
+        } else {  // background completion
+          --x;
+          ++acc.bg_completed;
+          if (y > 0)
+            start_fg_service();
+          else
+            go_idle();
+        }
+        break;
+      }
+      case 2: {  // idle wait expires: background service begins
+        PERFBG_ASSERT(serving == Serving::kNone && y == 0 && x > 0,
+                      "idle expiry in a non-idle state");
+        start_bg_service();
+        break;
+      }
+    }
+  }
+
+  // ---- reduce batches ----
+  BatchMeans qlen_fg, qlen_bg, completion, delayed, response, busy, bg_busy, idle, thr;
+  SimMetrics out;
+  for (const BatchAccum& b : finished) {
+    qlen_fg.add_batch(b.qlen_fg_integral / b.elapsed);
+    qlen_bg.add_batch(b.qlen_bg_integral / b.elapsed);
+    busy.add_batch(b.busy_integral / b.elapsed);
+    bg_busy.add_batch(b.bg_busy_integral / b.elapsed);
+    idle.add_batch(b.idle_integral / b.elapsed);
+    thr.add_batch(static_cast<double>(b.fg_completed) / b.elapsed);
+    if (b.bg_generated > 0)
+      completion.add_batch(1.0 - static_cast<double>(b.bg_dropped) /
+                                     static_cast<double>(b.bg_generated));
+    if (b.fg_arrivals > 0)
+      delayed.add_batch(static_cast<double>(b.fg_delayed) /
+                        static_cast<double>(b.fg_arrivals));
+    if (b.fg_completed > 0)
+      response.add_batch(b.response_sum / static_cast<double>(b.fg_completed));
+    out.fg_arrivals += b.fg_arrivals;
+    out.bg_generated += b.bg_generated;
+    out.bg_dropped += b.bg_dropped;
+    out.bg_completed += b.bg_completed;
+  }
+  out.fg_queue_length = qlen_fg.estimate();
+  out.bg_queue_length = qlen_bg.estimate();
+  out.bg_completion = completion.batches() > 0 ? completion.estimate()
+                                               : Estimate{1.0, 0.0};
+  out.fg_delayed_arrivals = delayed.estimate();
+  out.fg_response_time = response.estimate();
+  out.busy_fraction = busy.estimate();
+  out.bg_busy_fraction = bg_busy.estimate();
+  out.idle_fraction = idle.estimate();
+  out.fg_throughput = thr.estimate();
+  if (response_quantiles.count() > 0) {
+    out.fg_response_p50 = response_quantiles.quantile(0.50);
+    out.fg_response_p95 = response_quantiles.quantile(0.95);
+    out.fg_response_p99 = response_quantiles.quantile(0.99);
+  }
+  return out;
+}
+
+}  // namespace perfbg::sim

@@ -1,0 +1,174 @@
+#include "sim/multiclass_simulator.hpp"
+
+#include <random>
+
+#include "traffic/sampler.hpp"
+#include "util/check.hpp"
+
+namespace perfbg::sim {
+
+namespace {
+
+enum class Serving { kNone, kFg, kBg1, kBg2 };
+
+struct Accum {
+  double qlen_fg = 0.0, qlen_1 = 0.0, qlen_2 = 0.0;
+  double busy = 0.0, idle = 0.0;
+  double elapsed = 0.0;
+  std::uint64_t gen1 = 0, drop1 = 0, gen2 = 0, drop2 = 0;
+};
+
+}  // namespace
+
+McSimMetrics simulate_multiclass(const core::McParams& params, const McSimConfig& config) {
+  params.validate();
+  PERFBG_REQUIRE(config.batches >= 2, "need at least two batches for a CI");
+  PERFBG_REQUIRE(config.batch_time > 0.0 && config.warmup_time >= 0.0,
+                 "times must be positive");
+
+  const double mu = params.service_rate();
+  const double alpha = params.idle_wait_rate();
+
+  std::mt19937_64 rng(config.seed);
+  traffic::MapSampler arrivals(params.arrivals, config.seed ^ 0xD1B54A32D192ED03ULL);
+  std::exponential_distribution<double> service_draw(mu);
+  std::exponential_distribution<double> idle_draw(alpha);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  double now = 0.0;
+  int y = 0, x1 = 0, x2 = 0;
+  Serving serving = Serving::kNone;
+  double next_arrival = arrivals.next_interarrival();
+  double next_completion = -1.0;
+  double next_idle_expiry = -1.0;
+
+  auto start_fg = [&]() {
+    serving = Serving::kFg;
+    next_completion = now + service_draw(rng);
+    next_idle_expiry = -1.0;
+  };
+  auto go_idle = [&]() {
+    serving = Serving::kNone;
+    next_completion = -1.0;
+    next_idle_expiry = x1 + x2 > 0 ? now + idle_draw(rng) : -1.0;
+  };
+
+  const double t_end =
+      config.warmup_time + static_cast<double>(config.batches) * config.batch_time;
+  bool in_warmup = config.warmup_time > 0.0;
+  double batch_end = in_warmup ? config.warmup_time : config.batch_time;
+  Accum acc;
+  std::vector<Accum> finished;
+
+  auto integrate = [&](double upto) {
+    const double dt = upto - now;
+    acc.elapsed += dt;
+    acc.qlen_fg += dt * y;
+    acc.qlen_1 += dt * x1;
+    acc.qlen_2 += dt * x2;
+    if (serving != Serving::kNone)
+      acc.busy += dt;
+    else
+      acc.idle += dt;
+  };
+
+  while (now < t_end) {
+    double te = next_arrival;
+    int which = 0;
+    if (next_completion >= 0.0 && next_completion < te) {
+      te = next_completion;
+      which = 1;
+    }
+    if (next_idle_expiry >= 0.0 && next_idle_expiry < te) {
+      te = next_idle_expiry;
+      which = 2;
+    }
+    while (te >= batch_end && now < t_end) {
+      integrate(batch_end);
+      now = batch_end;
+      if (in_warmup)
+        in_warmup = false;
+      else
+        finished.push_back(acc);
+      acc = Accum{};
+      batch_end += config.batch_time;
+      if (now >= t_end) break;
+    }
+    if (now >= t_end) break;
+    integrate(te);
+    now = te;
+
+    switch (which) {
+      case 0: {  // foreground arrival
+        ++y;
+        if (serving == Serving::kNone) start_fg();
+        next_arrival = now + arrivals.next_interarrival();
+        break;
+      }
+      case 1: {  // completion
+        if (serving == Serving::kFg) {
+          --y;
+          const double u = coin(rng);
+          if (u < params.p1) {
+            ++acc.gen1;
+            if (x1 < params.buffer1)
+              ++x1;
+            else
+              ++acc.drop1;
+          } else if (u < params.p1 + params.p2) {
+            ++acc.gen2;
+            if (x2 < params.buffer2)
+              ++x2;
+            else
+              ++acc.drop2;
+          }
+        } else if (serving == Serving::kBg1) {
+          --x1;
+        } else {
+          --x2;
+        }
+        if (y > 0)
+          start_fg();
+        else
+          go_idle();
+        break;
+      }
+      case 2: {  // idle expiry: class 1 first
+        PERFBG_ASSERT(serving == Serving::kNone && y == 0 && x1 + x2 > 0,
+                      "idle expiry in a non-idle state");
+        serving = x1 > 0 ? Serving::kBg1 : Serving::kBg2;
+        next_completion = now + service_draw(rng);
+        next_idle_expiry = -1.0;
+        break;
+      }
+    }
+  }
+
+  BatchMeans qfg, q1, q2, c1, c2, busy, idle;
+  McSimMetrics out;
+  for (const Accum& b : finished) {
+    qfg.add_batch(b.qlen_fg / b.elapsed);
+    q1.add_batch(b.qlen_1 / b.elapsed);
+    q2.add_batch(b.qlen_2 / b.elapsed);
+    busy.add_batch(b.busy / b.elapsed);
+    idle.add_batch(b.idle / b.elapsed);
+    if (b.gen1 > 0)
+      c1.add_batch(1.0 - static_cast<double>(b.drop1) / static_cast<double>(b.gen1));
+    if (b.gen2 > 0)
+      c2.add_batch(1.0 - static_cast<double>(b.drop2) / static_cast<double>(b.gen2));
+    out.bg1_generated += b.gen1;
+    out.bg1_dropped += b.drop1;
+    out.bg2_generated += b.gen2;
+    out.bg2_dropped += b.drop2;
+  }
+  out.fg_queue_length = qfg.estimate();
+  out.bg1_queue_length = q1.estimate();
+  out.bg2_queue_length = q2.estimate();
+  out.bg1_completion = c1.batches() > 0 ? c1.estimate() : Estimate{1.0, 0.0};
+  out.bg2_completion = c2.batches() > 0 ? c2.estimate() : Estimate{1.0, 0.0};
+  out.busy_fraction = busy.estimate();
+  out.idle_fraction = idle.estimate();
+  return out;
+}
+
+}  // namespace perfbg::sim

@@ -1,0 +1,36 @@
+// Discrete-event simulation of the two-class background extension
+// (core/multiclass.hpp), used to validate the multi-class QBD model.
+#pragma once
+
+#include <cstdint>
+
+#include "core/multiclass.hpp"
+#include "sim/statistics.hpp"
+
+namespace perfbg::sim {
+
+struct McSimConfig {
+  double warmup_time = 2.0e5;
+  double batch_time = 5.0e5;
+  int batches = 20;
+  std::uint64_t seed = 20060625;
+};
+
+struct McSimMetrics {
+  Estimate fg_queue_length;
+  Estimate bg1_queue_length;
+  Estimate bg2_queue_length;
+  Estimate bg1_completion;
+  Estimate bg2_completion;
+  Estimate busy_fraction;
+  Estimate idle_fraction;
+  std::uint64_t bg1_generated = 0;
+  std::uint64_t bg1_dropped = 0;
+  std::uint64_t bg2_generated = 0;
+  std::uint64_t bg2_dropped = 0;
+};
+
+/// Runs the two-class simulation; deterministic given (params, seed).
+McSimMetrics simulate_multiclass(const core::McParams& params, const McSimConfig& config);
+
+}  // namespace perfbg::sim

@@ -1,0 +1,99 @@
+#include "sim/statistics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace perfbg::sim {
+
+void OnlineMean::add(double x) {
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double OnlineMean::variance() const {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+void TimeWeighted::advance(double now, double level_since_last) {
+  PERFBG_REQUIRE(now >= last_time_, "time must not run backwards");
+  const double dt = now - last_time_;
+  integral_ += dt * level_since_last;
+  elapsed_ += dt;
+  last_time_ = now;
+}
+
+void TimeWeighted::reset(double now) {
+  last_time_ = now;
+  integral_ = 0.0;
+  elapsed_ = 0.0;
+}
+
+double t_quantile_975(std::size_t df) {
+  static constexpr std::array<double, 31> kTable = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179,  2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+      2.074,  2.069,  2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 12.706;  // degenerate; caller guards against df == 0
+  if (df < kTable.size()) return kTable[df];
+  return 1.96;
+}
+
+void BatchMeans::add_batch(double value) { acc_.add(value); }
+
+ReservoirQuantiles::ReservoirQuantiles(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_state_(seed ? seed : 0x853c49e6748fea9bULL) {
+  PERFBG_REQUIRE(capacity >= 1, "reservoir needs capacity >= 1");
+  sample_.reserve(capacity);
+}
+
+std::uint64_t ReservoirQuantiles::next_random() {
+  // splitmix64: tiny, fast, and plenty for reservoir index selection.
+  rng_state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void ReservoirQuantiles::add(double x) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(x);
+    return;
+  }
+  // Algorithm R: keep the new item with probability capacity / seen.
+  const std::size_t j = static_cast<std::size_t>(next_random() % seen_);
+  if (j < capacity_) sample_[j] = x;
+}
+
+double ReservoirQuantiles::quantile(double q) const {
+  PERFBG_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  PERFBG_REQUIRE(!sample_.empty(), "no observations recorded");
+  // The reservoir is small; sort a copy lazily (const interface).
+  static thread_local std::vector<double> scratch;
+  scratch = sample_;
+  std::sort(scratch.begin(), scratch.end());
+  const double pos = q * static_cast<double>(scratch.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, scratch.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return scratch[lo] * (1.0 - frac) + scratch[hi] * frac;
+}
+
+Estimate BatchMeans::estimate() const {
+  Estimate e;
+  e.mean = acc_.mean();
+  const std::size_t n = acc_.count();
+  if (n >= 2) {
+    const double se = std::sqrt(acc_.variance() / static_cast<double>(n));
+    e.half_width = t_quantile_975(n - 1) * se;
+  }
+  return e;
+}
+
+}  // namespace perfbg::sim

@@ -1,0 +1,93 @@
+// Output analysis for the simulator: streaming means, time-weighted
+// averages, and batch-means confidence intervals.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace perfbg::sim {
+
+/// Streaming mean/variance (Welford).
+class OnlineMean {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 until two samples exist.
+  double variance() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant process (queue lengths,
+/// busy indicators): call advance(now, level) at every event with the level
+/// that held since the previous call.
+class TimeWeighted {
+ public:
+  explicit TimeWeighted(double start_time = 0.0) : last_time_(start_time) {}
+  void advance(double now, double level_since_last);
+  /// Resets the accumulation window (keeps the clock); used at warmup end.
+  void reset(double now);
+  double elapsed() const { return elapsed_; }
+  double average() const { return elapsed_ > 0.0 ? integral_ / elapsed_ : 0.0; }
+
+ private:
+  double last_time_;
+  double integral_ = 0.0;
+  double elapsed_ = 0.0;
+};
+
+/// A point estimate with a confidence half-width.
+struct Estimate {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< 95% CI is mean +/- half_width
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+  bool contains(double v) const { return v >= lo() && v <= hi(); }
+};
+
+/// Batch-means estimator: feed one value per batch, read a t-based 95% CI.
+class BatchMeans {
+ public:
+  void add_batch(double value);
+  std::size_t batches() const { return acc_.count(); }
+  /// 95% confidence estimate; half-width is 0 with fewer than 2 batches.
+  Estimate estimate() const;
+
+ private:
+  OnlineMean acc_;
+};
+
+/// Two-sided 97.5% Student-t quantile for the given degrees of freedom
+/// (exact table for df <= 30, 1.96 asymptote beyond).
+double t_quantile_975(std::size_t df);
+
+/// Streaming quantile estimation by uniform reservoir sampling: keeps a
+/// bounded random subsample of the observations (Vitter's algorithm R) and
+/// answers quantile queries from the sorted reservoir. Deterministic for a
+/// fixed seed and input sequence.
+class ReservoirQuantiles {
+ public:
+  explicit ReservoirQuantiles(std::size_t capacity = 100000, std::uint64_t seed = 1);
+
+  void add(double x);
+  std::size_t count() const { return seen_; }
+
+  /// The empirical q-quantile (q in [0,1]) of the reservoir; throws
+  /// std::invalid_argument for q outside [0,1] or an empty reservoir.
+  double quantile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t rng_state_;
+  std::size_t seen_ = 0;
+  std::vector<double> sample_;
+
+  std::uint64_t next_random();
+};
+
+}  // namespace perfbg::sim

@@ -1,0 +1,123 @@
+#include "traffic/fitting.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "traffic/processes.hpp"
+#include "util/check.hpp"
+#include "util/optimize.hpp"
+
+namespace perfbg::traffic {
+
+namespace {
+
+// Shape statistics (scale-free): rescaling time changes the mean rate but
+// leaves all three of these invariant, so the fit can search shape first and
+// scale to the target rate afterward.
+struct Shape {
+  double scv, acf1, decay;
+};
+
+Shape shape_of(const MarkovianArrivalProcess& m) {
+  return Shape{m.interarrival_scv(), m.acf(1), m.acf_decay_rate()};
+}
+
+double shape_objective(const Shape& got, const Mmpp2FitTarget& t) {
+  auto rel = [](double g, double want) {
+    const double d = (g - want) / want;
+    return d * d;
+  };
+  return rel(got.scv, t.scv) + rel(got.acf1, t.acf1) + rel(got.decay, t.acf_decay);
+}
+
+}  // namespace
+
+FitResult fit_mmpp2(const Mmpp2FitTarget& target, double max_residual, std::string name) {
+  PERFBG_REQUIRE(target.mean_rate > 0.0, "target mean rate must be positive");
+  PERFBG_REQUIRE(target.scv > 1.0, "a 2-state MMPP requires SCV > 1");
+  PERFBG_REQUIRE(target.acf1 > 0.0 && target.acf1 < 0.5,
+                 "2-state MMPP lag-1 ACF is limited to (0, 0.5)");
+  PERFBG_REQUIRE(target.acf_decay > 0.0 && target.acf_decay < 1.0,
+                 "ACF decay rate must be in (0, 1)");
+
+  // Search over shape parameters with l2 fixed to 1 (time scale is free);
+  // x = (log v1, log v2, log l1).
+  auto objective = [&](const std::vector<double>& x) {
+    for (double xi : x)
+      if (!std::isfinite(xi) || std::abs(xi) > 60.0) return 1e12;
+    const double v1 = std::exp(x[0]), v2 = std::exp(x[1]), l1 = std::exp(x[2]);
+    try {
+      const MarkovianArrivalProcess m = mmpp2(v1, v2, l1, 1.0);
+      return shape_objective(shape_of(m), target);
+    } catch (const std::exception&) {
+      return 1e12;
+    }
+  };
+
+  NelderMeadOptions opts;
+  opts.max_iters = 40000;
+  opts.initial_step = 1.0;
+
+  double best_f = std::numeric_limits<double>::infinity();
+  std::vector<double> best_x;
+  // Multi-start over burst-rate ratios and modulation speeds: bursty MMPPs
+  // live in the corner v << l, and the decay target mostly fixes v1 + v2.
+  for (const double l1_guess : {3.0, 10.0, 40.0, 150.0}) {
+    for (const double v_guess : {1e-4, 1e-3, 1e-2, 1e-1}) {
+      const std::vector<double> x0{std::log(v_guess), std::log(v_guess * 0.3),
+                                   std::log(l1_guess)};
+      const NelderMeadResult r = nelder_mead(objective, x0, opts);
+      if (r.fx < best_f) {
+        best_f = r.fx;
+        best_x = r.x;
+      }
+      if (best_f < max_residual * 1e-3) break;
+    }
+    if (best_f < max_residual * 1e-3) break;
+  }
+  if (best_f > max_residual)
+    throw std::runtime_error("perfbg: fit_mmpp2: targets not reachable by a 2-state MMPP "
+                             "(residual " + std::to_string(best_f) + ")");
+
+  const MarkovianArrivalProcess shape_fit =
+      mmpp2(std::exp(best_x[0]), std::exp(best_x[1]), std::exp(best_x[2]), 1.0);
+  return FitResult{shape_fit.scaled_to_rate(target.mean_rate).renamed(std::move(name)), best_f};
+}
+
+FitResult fit_ipp(double mean_rate, double scv, double on_fraction, std::string name) {
+  PERFBG_REQUIRE(mean_rate > 0.0, "mean rate must be positive");
+  PERFBG_REQUIRE(scv > 1.0, "an IPP requires SCV > 1");
+  PERFBG_REQUIRE(on_fraction > 0.0 && on_fraction < 1.0, "on_fraction must be in (0, 1)");
+
+  // Exact relations: the stationary on-probability is f = v2/(v1+v2), so the
+  // on-rate l1 = mean_rate / f matches the mean exactly. The remaining free
+  // scale s = v1 + v2 moves the SCV monotonically between the slow-modulation
+  // limit (large SCV) and the Poisson limit (SCV -> 1): bisect on log s.
+  const double f = on_fraction;
+  const double l1 = mean_rate / f;
+  auto scv_at = [&](double s) {
+    const double v1 = (1.0 - f) * s, v2 = f * s;
+    return ipp(l1, v1, v2).interarrival_scv();
+  };
+
+  double lo = std::log(l1) - 40.0, hi = std::log(l1) + 10.0;
+  // SCV is decreasing in s; make sure the bracket actually straddles `scv`.
+  if (scv_at(std::exp(lo)) < scv)
+    throw std::runtime_error("perfbg: fit_ipp: requested SCV too large for this on_fraction");
+  if (scv_at(std::exp(hi)) > scv)
+    throw std::runtime_error("perfbg: fit_ipp: requested SCV too close to 1 for the bracket");
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (scv_at(std::exp(mid)) > scv)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  const double s = std::exp(0.5 * (lo + hi));
+  const MarkovianArrivalProcess m = ipp(l1, (1.0 - f) * s, f * s, std::move(name));
+  const double resid = std::abs(m.interarrival_scv() - scv) / scv;
+  return FitResult{m, resid * resid};
+}
+
+}  // namespace perfbg::traffic

@@ -1,0 +1,44 @@
+// Moment/correlation-matching fitters.
+//
+// The paper parameterizes its three workload MMPPs by matching the first two
+// moments of measured interarrival times and shaping the ACF ("our moment
+// matching technique has one degree of freedom ... these MMPP models do not
+// represent an exact fitting"). We implement the same idea as an explicit
+// four-target fit: mean rate, CV^2, lag-1 ACF, and the geometric ACF decay
+// rate gamma (ACF(k) ~ ACF(1) * gamma^{k-1} for a 2-state MMPP). Small gamma
+// = short-range dependence; gamma near 1 mimics long-range dependence over
+// the lag window of interest.
+#pragma once
+
+#include "traffic/map_process.hpp"
+
+namespace perfbg::traffic {
+
+/// Target statistics for a 2-state MMPP fit.
+struct Mmpp2FitTarget {
+  double mean_rate = 0.0;  ///< arrivals per unit time (e.g. per ms)
+  double scv = 0.0;        ///< squared coefficient of variation, must be > 1
+  double acf1 = 0.0;       ///< lag-1 autocorrelation, in (0, 0.5)
+  double acf_decay = 0.0;  ///< geometric decay rate gamma, in (0, 1)
+};
+
+struct FitResult {
+  MarkovianArrivalProcess process;
+  double residual = 0.0;  ///< weighted squared relative error at the optimum
+};
+
+/// Fits a 2-state MMPP to the four targets with a Nelder–Mead search over
+/// log-parameters (v1, v2, l1, l2). Throws std::invalid_argument for
+/// infeasible targets (scv <= 1, acf1 outside (0, 0.5), decay outside (0,1))
+/// and std::runtime_error when the search cannot reach `max_residual`.
+FitResult fit_mmpp2(const Mmpp2FitTarget& target, double max_residual = 1e-6,
+                    std::string name = "mmpp2-fit");
+
+/// Fits an IPP (2-state MMPP with a silent phase) to a mean rate and CV^2 > 1.
+/// The remaining degree of freedom is `on_fraction`, the stationary
+/// probability of the bursting phase (paper's comparator has the same mean
+/// and CV as the E-mail MMPP but zero autocorrelation).
+FitResult fit_ipp(double mean_rate, double scv, double on_fraction = 0.1,
+                  std::string name = "ipp-fit");
+
+}  // namespace perfbg::traffic

@@ -1,0 +1,124 @@
+#include "traffic/map_process.hpp"
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "linalg/spectral.hpp"
+#include "markov/stationary.hpp"
+#include "util/check.hpp"
+
+namespace perfbg::traffic {
+
+MarkovianArrivalProcess::MarkovianArrivalProcess(Matrix d0, Matrix d1, std::string name)
+    : d0_(std::move(d0)), d1_(std::move(d1)), name_(std::move(name)) {
+  PERFBG_REQUIRE(d0_.is_square() && !d0_.empty(), "D0 must be square and non-empty");
+  PERFBG_REQUIRE(d1_.rows() == d0_.rows() && d1_.cols() == d0_.cols(),
+                 "D0 and D1 must have the same shape");
+  const std::size_t n = d0_.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      PERFBG_REQUIRE(d1_(i, j) >= 0.0, "D1 must be nonnegative");
+      if (i != j) PERFBG_REQUIRE(d0_(i, j) >= 0.0, "off-diagonal D0 must be nonnegative");
+    }
+    PERFBG_REQUIRE(d0_(i, i) < 0.0, "diagonal of D0 must be strictly negative");
+  }
+  const Matrix gen = d0_ + d1_;
+  PERFBG_REQUIRE(markov::is_generator(gen, 1e-8), "D0 + D1 must be a CTMC generator");
+
+  pi_ = markov::stationary_ctmc(gen);
+  rate_ = linalg::dot(linalg::vec_mat(pi_, d1_), Vector(n, 1.0));
+  PERFBG_REQUIRE(rate_ > 0.0, "the MAP must produce arrivals (pi D1 1 > 0)");
+
+  Matrix neg_d0 = d0_;
+  neg_d0 *= -1.0;
+  neg_d0_inv_ = linalg::inverse(neg_d0);
+  embedded_p_ = neg_d0_inv_ * d1_;
+
+  pi_embedded_ = linalg::scaled(linalg::vec_mat(pi_, d1_), 1.0 / rate_);
+}
+
+double MarkovianArrivalProcess::interarrival_scv() const {
+  // CV^2 = 2 lambda pi (-D0)^{-1} 1 - 1  (paper Eq. 2).
+  const Vector v = linalg::vec_mat(pi_, neg_d0_inv_);
+  return 2.0 * rate_ * linalg::sum(v) - 1.0;
+}
+
+double MarkovianArrivalProcess::interarrival_cv() const { return std::sqrt(interarrival_scv()); }
+
+std::vector<double> MarkovianArrivalProcess::acf_series(int max_lag) const {
+  PERFBG_REQUIRE(max_lag >= 1, "max_lag must be >= 1");
+  // ACF(k) = (lambda pi P^k (-D0)^{-1} 1 - 1) / (2 lambda pi (-D0)^{-1} 1 - 1)
+  // (paper Eq. 3), with P the arrival-embedded transition matrix.
+  const Vector ones(phases(), 1.0);
+  const Vector m1 = mat_vec(neg_d0_inv_, ones);  // (-D0)^{-1} 1
+  const double denom = 2.0 * rate_ * linalg::dot(pi_, m1) - 1.0;
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(max_lag));
+  Vector v = pi_;
+  for (int k = 1; k <= max_lag; ++k) {
+    v = linalg::vec_mat(v, embedded_p_);
+    if (denom == 0.0) {
+      out.push_back(0.0);  // deterministic interarrivals: ACF undefined; report 0
+      continue;
+    }
+    out.push_back((rate_ * linalg::dot(v, m1) - 1.0) / denom);
+  }
+  return out;
+}
+
+double MarkovianArrivalProcess::acf(int lag) const {
+  PERFBG_REQUIRE(lag >= 1, "lag must be >= 1");
+  return acf_series(lag).back();
+}
+
+double MarkovianArrivalProcess::acf_decay_rate() const {
+  if (phases() == 1) return 0.0;
+  if (phases() == 2) {
+    // P is stochastic, so its eigenvalues are 1 and trace(P) - 1.
+    return std::abs(embedded_p_(0, 0) + embedded_p_(1, 1) - 1.0);
+  }
+  // General case: deflate the Perron direction (eigenvalue 1, eigenvector 1)
+  // and take the spectral radius of the remainder via |ACF| ratios.
+  const std::vector<double> a = acf_series(64);
+  for (int k = 62; k >= 0; --k) {
+    if (std::abs(a[static_cast<std::size_t>(k)]) > 1e-12)
+      return std::min(1.0, std::abs(a[static_cast<std::size_t>(k) + 1] /
+                                    a[static_cast<std::size_t>(k)]));
+  }
+  return 0.0;
+}
+
+bool MarkovianArrivalProcess::is_renewal(double tol) const {
+  for (double a : acf_series(16))
+    if (std::abs(a) > tol) return false;
+  return true;
+}
+
+MarkovianArrivalProcess MarkovianArrivalProcess::scaled_by(double c) const {
+  PERFBG_REQUIRE(c > 0.0, "scale factor must be positive");
+  Matrix a = d0_, b = d1_;
+  a *= c;
+  b *= c;
+  return MarkovianArrivalProcess(std::move(a), std::move(b), name_);
+}
+
+MarkovianArrivalProcess MarkovianArrivalProcess::scaled_to_rate(double target_rate) const {
+  PERFBG_REQUIRE(target_rate > 0.0, "target rate must be positive");
+  return scaled_by(target_rate / rate_);
+}
+
+MarkovianArrivalProcess MarkovianArrivalProcess::scaled_to_utilization(
+    double target_utilization, double mean_service_time) const {
+  PERFBG_REQUIRE(target_utilization > 0.0 && target_utilization < 1.0,
+                 "utilization must be in (0, 1)");
+  PERFBG_REQUIRE(mean_service_time > 0.0, "mean service time must be positive");
+  return scaled_to_rate(target_utilization / mean_service_time);
+}
+
+MarkovianArrivalProcess MarkovianArrivalProcess::renamed(std::string name) const {
+  MarkovianArrivalProcess copy = *this;
+  copy.name_ = std::move(name);
+  return copy;
+}
+
+}  // namespace perfbg::traffic

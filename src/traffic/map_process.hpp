@@ -1,0 +1,100 @@
+// Markovian Arrival Processes (MAPs) — the arrival-stream abstraction of the
+// paper. An A-phase MAP is described by two A x A matrices:
+//
+//   D0 — phase transitions without an arrival (off-diagonal >= 0) plus the
+//        negative total-rate diagonal,
+//   D1 — phase transitions that fire an arrival (all entries >= 0),
+//
+// with D0 + D1 an irreducible CTMC generator. The paper's MMPP is the special
+// case where D1 is diagonal; Poisson is the 1-phase case; IPP is a 2-phase
+// MMPP with one silent phase.
+//
+// This class exposes exactly the statistics the paper uses for workload
+// characterization (its Eqs. 1-3): mean arrival rate, squared coefficient of
+// variation of interarrival times, and the lag-k autocorrelation function of
+// interarrival times, plus the geometric ACF decay rate that separates SRD
+// from LRD-like behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace perfbg::traffic {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+class MarkovianArrivalProcess {
+ public:
+  /// Validates and stores (D0, D1). Throws std::invalid_argument when the
+  /// pair is not a proper MAP description (shape mismatch, negative rates,
+  /// rows of D0+D1 not summing to zero, or zero total arrival rate).
+  MarkovianArrivalProcess(Matrix d0, Matrix d1, std::string name = "map");
+
+  const Matrix& d0() const { return d0_; }
+  const Matrix& d1() const { return d1_; }
+  const std::string& name() const { return name_; }
+  std::size_t phases() const { return d0_.rows(); }
+
+  /// Stationary phase distribution of the modulating CTMC: pi (D0+D1) = 0.
+  const Vector& phase_stationary() const { return pi_; }
+
+  /// Mean arrival rate lambda = pi D1 1 (paper Eq. 1).
+  double mean_rate() const { return rate_; }
+  /// Mean interarrival time 1/lambda.
+  double mean_interarrival() const { return 1.0 / rate_; }
+
+  /// Squared coefficient of variation of interarrival times (paper Eq. 2):
+  /// CV^2 = 2 lambda pi (-D0)^{-1} 1 - 1.
+  double interarrival_scv() const;
+  /// CV = sqrt(SCV).
+  double interarrival_cv() const;
+
+  /// Lag-k autocorrelation of interarrival times (paper Eq. 3), k >= 1.
+  double acf(int lag) const;
+  /// acf(1..max_lag) in one sweep (reuses the embedded-chain power).
+  std::vector<double> acf_series(int max_lag) const;
+
+  /// Geometric decay rate of the ACF: the modulus of the subdominant
+  /// eigenvalue of the embedded transition matrix P = (-D0)^{-1} D1.
+  /// 0 for renewal processes (ACF identically 0), close to 1 for
+  /// long-range-dependent-looking streams.
+  double acf_decay_rate() const;
+
+  /// Embedded (arrival-instant) phase transition matrix P = (-D0)^{-1} D1.
+  const Matrix& embedded_transition_matrix() const { return embedded_p_; }
+  /// Stationary distribution of the embedded chain (phase just after an
+  /// arrival): pi_e = pi D1 / lambda.
+  const Vector& embedded_stationary() const { return pi_embedded_; }
+
+  /// True when every arrival regenerates the phase distribution, i.e. the
+  /// interarrival times are i.i.d. (ACF == 0 at every lag within tol).
+  bool is_renewal(double tol = 1e-12) const;
+
+  /// Time-rescaled copy: both D0 and D1 multiplied by c > 0. Multiplies the
+  /// mean rate by c and leaves CV and ACF exactly unchanged — this is the
+  /// paper's "we scale the mean of the MMPPs to obtain different foreground
+  /// utilizations".
+  MarkovianArrivalProcess scaled_by(double c) const;
+  /// Rescaled copy with the given mean arrival rate.
+  MarkovianArrivalProcess scaled_to_rate(double target_rate) const;
+  /// Rescaled copy such that target_utilization = rate * mean_service_time.
+  MarkovianArrivalProcess scaled_to_utilization(double target_utilization,
+                                                double mean_service_time) const;
+
+  /// Copy with a different display name.
+  MarkovianArrivalProcess renamed(std::string name) const;
+
+ private:
+  Matrix d0_, d1_;
+  std::string name_;
+  Vector pi_;           // time-stationary phase distribution
+  Vector pi_embedded_;  // arrival-embedded phase distribution
+  Matrix neg_d0_inv_;   // (-D0)^{-1}
+  Matrix embedded_p_;   // (-D0)^{-1} D1
+  double rate_ = 0.0;
+};
+
+}  // namespace perfbg::traffic

@@ -1,0 +1,100 @@
+#include "traffic/phase_type.hpp"
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/check.hpp"
+
+namespace perfbg::traffic {
+
+PhaseType::PhaseType(Vector alpha, Matrix s, std::string name)
+    : alpha_(std::move(alpha)), s_(std::move(s)), name_(std::move(name)) {
+  PERFBG_REQUIRE(!alpha_.empty(), "PH needs at least one phase");
+  PERFBG_REQUIRE(s_.is_square() && s_.rows() == alpha_.size(),
+                 "subgenerator shape must match alpha");
+  double mass = 0.0;
+  for (double a : alpha_) {
+    PERFBG_REQUIRE(a >= 0.0, "alpha must be nonnegative");
+    mass += a;
+  }
+  PERFBG_REQUIRE(std::abs(mass - 1.0) < 1e-9, "alpha must sum to 1");
+  const std::size_t m = phases();
+  exit_.assign(m, 0.0);
+  bool any_exit = false;
+  for (std::size_t i = 0; i < m; ++i) {
+    PERFBG_REQUIRE(s_(i, i) < 0.0, "subgenerator diagonal must be negative");
+    for (std::size_t j = 0; j < m; ++j)
+      if (i != j) PERFBG_REQUIRE(s_(i, j) >= 0.0, "off-diagonal rates must be nonnegative");
+    exit_[i] = -s_.row_sum(i);
+    PERFBG_REQUIRE(exit_[i] > -1e-12, "subgenerator rows must sum to <= 0");
+    if (exit_[i] < 0.0) exit_[i] = 0.0;
+    if (exit_[i] > 0.0) any_exit = true;
+  }
+  PERFBG_REQUIRE(any_exit, "PH distribution must be able to absorb");
+  Matrix neg_s = s_;
+  neg_s *= -1.0;
+  neg_s_inv_ = linalg::inverse(neg_s);  // throws if S is singular (defective PH)
+}
+
+PhaseType PhaseType::exponential(double mean) {
+  PERFBG_REQUIRE(mean > 0.0, "mean must be positive");
+  return PhaseType({1.0}, Matrix{{-1.0 / mean}}, "exponential");
+}
+
+PhaseType PhaseType::erlang(int k, double mean) {
+  PERFBG_REQUIRE(k >= 1, "Erlang order must be >= 1");
+  PERFBG_REQUIRE(mean > 0.0, "mean must be positive");
+  const auto m = static_cast<std::size_t>(k);
+  const double r = static_cast<double>(k) / mean;
+  Matrix s(m, m, 0.0);
+  Vector alpha(m, 0.0);
+  alpha[0] = 1.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    s(i, i) = -r;
+    if (i + 1 < m) s(i, i + 1) = r;
+  }
+  return PhaseType(std::move(alpha), std::move(s), "erlang" + std::to_string(k));
+}
+
+PhaseType PhaseType::hyperexponential(double p1, double mean1, double mean2) {
+  PERFBG_REQUIRE(p1 > 0.0 && p1 < 1.0, "branch probability must be in (0,1)");
+  PERFBG_REQUIRE(mean1 > 0.0 && mean2 > 0.0, "branch means must be positive");
+  return PhaseType({p1, 1.0 - p1},
+                   Matrix{{-1.0 / mean1, 0.0}, {0.0, -1.0 / mean2}}, "hyperexp2");
+}
+
+PhaseType PhaseType::coxian2(double mu1, double mu2, double q) {
+  PERFBG_REQUIRE(mu1 > 0.0 && mu2 > 0.0, "stage rates must be positive");
+  PERFBG_REQUIRE(q >= 0.0 && q <= 1.0, "continuation probability must be in [0,1]");
+  return PhaseType({1.0, 0.0}, Matrix{{-mu1, q * mu1}, {0.0, -mu2}}, "coxian2");
+}
+
+double PhaseType::moment(int k) const {
+  PERFBG_REQUIRE(k >= 1, "moment order must be >= 1");
+  Vector v = alpha_;
+  double factorial = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    v = linalg::vec_mat(v, neg_s_inv_);
+    factorial *= i;
+  }
+  return factorial * linalg::sum(v);
+}
+
+double PhaseType::variance() const {
+  const double m1 = moment(1);
+  return moment(2) - m1 * m1;
+}
+
+double PhaseType::scv() const {
+  const double m1 = moment(1);
+  return variance() / (m1 * m1);
+}
+
+PhaseType PhaseType::scaled_to_mean(double target_mean) const {
+  PERFBG_REQUIRE(target_mean > 0.0, "target mean must be positive");
+  Matrix s = s_;
+  s *= mean() / target_mean;
+  return PhaseType(alpha_, std::move(s), name_);
+}
+
+}  // namespace perfbg::traffic

@@ -1,0 +1,64 @@
+// Phase-type (PH) distributions: absorbing-CTMC representations of service
+// and wait times. The paper models service as exponential but notes (its
+// footnote 3) that the same Kronecker construction supports MAP/PH service
+// and idle-wait processes; the chain builder uses this class to implement
+// that extension.
+//
+// A PH distribution is (alpha, S): alpha is the initial phase distribution
+// over m transient phases and S the m x m subgenerator (negative diagonal,
+// nonnegative off-diagonal, row sums <= 0); absorption from phase i occurs
+// at rate s0_i = -sum_j S_ij.
+#pragma once
+
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace perfbg::traffic {
+
+class PhaseType {
+ public:
+  using Matrix = linalg::Matrix;
+  using Vector = linalg::Vector;
+
+  /// Validates (alpha, S). Throws std::invalid_argument for malformed input
+  /// (alpha not a distribution, S not a subgenerator, or no absorption).
+  PhaseType(Vector alpha, Matrix s, std::string name = "ph");
+
+  // ---- common named distributions, parameterized by their mean ----
+  /// Exponential with the given mean (1 phase, SCV = 1).
+  static PhaseType exponential(double mean);
+  /// Erlang-k with the given mean (k phases, SCV = 1/k).
+  static PhaseType erlang(int k, double mean);
+  /// Two-branch hyperexponential: mean `mean1` w.p. p1, else `mean2`
+  /// (2 phases, SCV >= 1).
+  static PhaseType hyperexponential(double p1, double mean1, double mean2);
+  /// 2-phase Coxian: Exp(mu1), then with probability q an Exp(mu2) stage.
+  static PhaseType coxian2(double mu1, double mu2, double q);
+
+  const Vector& alpha() const { return alpha_; }
+  const Matrix& subgenerator() const { return s_; }
+  /// Absorption (completion) rate vector s0 = -S 1.
+  const Vector& exit_rates() const { return exit_; }
+  const std::string& name() const { return name_; }
+  std::size_t phases() const { return alpha_.size(); }
+
+  /// k-th raw moment E[T^k] = k! alpha (-S)^{-k} 1.
+  double moment(int k) const;
+  double mean() const { return moment(1); }
+  double variance() const;
+  /// Squared coefficient of variation.
+  double scv() const;
+
+  /// Copy rescaled to a new mean (time scaling of S).
+  PhaseType scaled_to_mean(double target_mean) const;
+
+ private:
+  Vector alpha_;
+  Matrix s_;
+  Vector exit_;
+  Matrix neg_s_inv_;  // (-S)^{-1}, cached for moments
+  std::string name_;
+};
+
+}  // namespace perfbg::traffic

@@ -1,0 +1,62 @@
+#include "traffic/processes.hpp"
+
+#include "util/check.hpp"
+
+namespace perfbg::traffic {
+
+MarkovianArrivalProcess poisson(double lambda) {
+  PERFBG_REQUIRE(lambda > 0.0, "Poisson rate must be positive");
+  return MarkovianArrivalProcess(Matrix{{-lambda}}, Matrix{{lambda}}, "poisson");
+}
+
+MarkovianArrivalProcess mmpp2(double v1, double v2, double l1, double l2, std::string name) {
+  PERFBG_REQUIRE(v1 > 0.0 && v2 > 0.0, "MMPP modulation rates must be positive");
+  PERFBG_REQUIRE(l1 >= 0.0 && l2 >= 0.0 && l1 + l2 > 0.0,
+                 "MMPP arrival rates must be nonnegative with at least one positive");
+  const Matrix d0{{-(l1 + v1), v1}, {v2, -(l2 + v2)}};
+  const Matrix d1{{l1, 0.0}, {0.0, l2}};
+  return MarkovianArrivalProcess(d0, d1, std::move(name));
+}
+
+MarkovianArrivalProcess ipp(double lambda_on, double v_on_to_off, double v_off_to_on,
+                            std::string name) {
+  PERFBG_REQUIRE(lambda_on > 0.0, "IPP on-rate must be positive");
+  return mmpp2(v_on_to_off, v_off_to_on, lambda_on, 0.0, std::move(name));
+}
+
+MarkovianArrivalProcess erlang_renewal(int k, double mean) {
+  PERFBG_REQUIRE(k >= 1, "Erlang order must be >= 1");
+  PERFBG_REQUIRE(mean > 0.0, "mean interarrival must be positive");
+  const auto n = static_cast<std::size_t>(k);
+  const double r = static_cast<double>(k) / mean;  // per-stage rate
+  Matrix d0(n, n, 0.0), d1(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    d0(i, i) = -r;
+    if (i + 1 < n)
+      d0(i, i + 1) = r;
+    else
+      d1(i, 0) = r;  // last stage fires the arrival and restarts
+  }
+  return MarkovianArrivalProcess(std::move(d0), std::move(d1), "erlang" + std::to_string(k));
+}
+
+MarkovianArrivalProcess hyperexp2_renewal(double p1, double r1, double r2) {
+  PERFBG_REQUIRE(p1 > 0.0 && p1 < 1.0, "branch probability must be in (0,1)");
+  PERFBG_REQUIRE(r1 > 0.0 && r2 > 0.0, "branch rates must be positive");
+  // Phase = current branch; on arrival, re-draw the branch.
+  const double p2 = 1.0 - p1;
+  const Matrix d0{{-r1, 0.0}, {0.0, -r2}};
+  const Matrix d1{{r1 * p1, r1 * p2}, {r2 * p1, r2 * p2}};
+  return MarkovianArrivalProcess(d0, d1, "hyperexp2");
+}
+
+MarkovianArrivalProcess superpose(const MarkovianArrivalProcess& a,
+                                  const MarkovianArrivalProcess& b) {
+  const Matrix ia = Matrix::identity(a.phases());
+  const Matrix ib = Matrix::identity(b.phases());
+  const Matrix d0 = linalg::kron(a.d0(), ib) + linalg::kron(ia, b.d0());
+  const Matrix d1 = linalg::kron(a.d1(), ib) + linalg::kron(ia, b.d1());
+  return MarkovianArrivalProcess(d0, d1, a.name() + "+" + b.name());
+}
+
+}  // namespace perfbg::traffic

@@ -1,0 +1,36 @@
+// Factories for the concrete arrival processes used in the paper's
+// evaluation, plus a few extra renewal MAPs used for testing.
+#pragma once
+
+#include "traffic/map_process.hpp"
+
+namespace perfbg::traffic {
+
+/// Poisson process with rate lambda (1-phase MAP).
+MarkovianArrivalProcess poisson(double lambda);
+
+/// 2-state MMPP in the paper's (v1, v2, l1, l2) parameterization (its Eq. 4):
+///   D0 = [ -(l1+v1)   v1     ]    D1 = [ l1  0  ]
+///        [   v2     -(l2+v2) ]         [ 0   l2 ]
+/// l1, l2 are the per-phase Poisson rates; v1, v2 the modulation rates.
+MarkovianArrivalProcess mmpp2(double v1, double v2, double l1, double l2,
+                              std::string name = "mmpp2");
+
+/// Interrupted Poisson Process: a 2-state MMPP whose second phase is silent
+/// (l2 = 0). Interarrival times are hyperexponential -> high CV, zero ACF.
+MarkovianArrivalProcess ipp(double lambda_on, double v_on_to_off, double v_off_to_on,
+                            std::string name = "ipp");
+
+/// Erlang-k renewal process with mean interarrival time `mean` (CV^2 = 1/k).
+MarkovianArrivalProcess erlang_renewal(int k, double mean);
+
+/// Two-branch hyperexponential renewal process: with probability p1 the
+/// interarrival is Exp(r1), otherwise Exp(r2). CV^2 >= 1, zero ACF.
+MarkovianArrivalProcess hyperexp2_renewal(double p1, double r1, double r2);
+
+/// Superposition of two independent MAPs (Kronecker-sum construction):
+/// D0 = D0a (+) D0b, D1 = D1a (+) D1b. Rate adds; used to compose workloads.
+MarkovianArrivalProcess superpose(const MarkovianArrivalProcess& a,
+                                  const MarkovianArrivalProcess& b);
+
+}  // namespace perfbg::traffic

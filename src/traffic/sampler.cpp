@@ -1,0 +1,132 @@
+#include "traffic/sampler.hpp"
+
+#include "util/check.hpp"
+
+namespace perfbg::traffic {
+
+PhaseTypeSampler::PhaseTypeSampler(PhaseType distribution) : ph_(std::move(distribution)) {
+  const std::size_t m = ph_.phases();
+  const Matrix& s = ph_.subgenerator();
+  total_rate_.resize(m);
+  branches_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double rate = -s(i, i);
+    total_rate_[i] = rate;
+    double cum = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j != i && s(i, j) > 0.0) {
+        cum += s(i, j) / rate;
+        branches_[i].push_back({cum, j});
+      }
+    }
+    if (ph_.exit_rates()[i] > 0.0) {
+      cum += ph_.exit_rates()[i] / rate;
+      branches_[i].push_back({cum, m});
+    }
+    PERFBG_ASSERT(!branches_[i].empty(), "PH phase with no outgoing transition");
+    branches_[i].back().cum_prob = 1.0;  // absorb rounding
+  }
+}
+
+double PhaseTypeSampler::sample(std::mt19937_64& rng) const {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  // Draw the starting phase from alpha.
+  const std::size_t m = ph_.phases();
+  std::size_t phase = m - 1;
+  {
+    double r = u(rng), cum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      cum += ph_.alpha()[i];
+      if (r <= cum) {
+        phase = i;
+        break;
+      }
+    }
+  }
+  double t = 0.0;
+  for (;;) {
+    std::exponential_distribution<double> hold(total_rate_[phase]);
+    t += hold(rng);
+    const double r = u(rng);
+    const auto& br = branches_[phase];
+    std::size_t pick = br.size() - 1;
+    for (std::size_t k = 0; k < br.size(); ++k) {
+      if (r <= br[k].cum_prob) {
+        pick = k;
+        break;
+      }
+    }
+    if (br[pick].target == m) return t;  // absorbed: service complete
+    phase = br[pick].target;
+  }
+}
+
+MapSampler::MapSampler(MarkovianArrivalProcess process, std::uint64_t seed)
+    : process_(std::move(process)), rng_(seed) {
+  const std::size_t n = process_.phases();
+  const Matrix& d0 = process_.d0();
+  const Matrix& d1 = process_.d1();
+  exit_rate_.resize(n);
+  branches_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rate = -d0(i, i);
+    exit_rate_[i] = rate;
+    double cum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i && d0(i, j) > 0.0) {
+        cum += d0(i, j) / rate;
+        branches_[i].push_back({cum, j, false});
+      }
+      if (d1(i, j) > 0.0) {
+        cum += d1(i, j) / rate;
+        branches_[i].push_back({cum, j, true});
+      }
+    }
+    PERFBG_ASSERT(!branches_[i].empty(), "phase with no outgoing transition");
+    branches_[i].back().cum_prob = 1.0;  // absorb rounding
+  }
+
+  // Stationary start: draw the initial phase from the time-stationary
+  // distribution of the modulating chain.
+  const Vector& pi = process_.phase_stationary();
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  double r = u(rng_), cum = 0.0;
+  phase_ = n - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    cum += pi[i];
+    if (r <= cum) {
+      phase_ = i;
+      break;
+    }
+  }
+}
+
+double MapSampler::next_interarrival() {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  double t = 0.0;
+  for (;;) {
+    std::exponential_distribution<double> hold(exit_rate_[phase_]);
+    t += hold(rng_);
+    const double r = u(rng_);
+    const auto& br = branches_[phase_];
+    // Linear scan: phase counts here are tiny (<= 8).
+    std::size_t pick = br.size() - 1;
+    for (std::size_t k = 0; k < br.size(); ++k) {
+      if (r <= br[k].cum_prob) {
+        pick = k;
+        break;
+      }
+    }
+    phase_ = br[pick].target;
+    if (br[pick].arrival) return t;
+  }
+}
+
+std::vector<double> MapSampler::sample(std::size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next_interarrival());
+  return out;
+}
+
+}  // namespace perfbg::traffic

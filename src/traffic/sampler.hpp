@@ -1,0 +1,68 @@
+// Random-variate generation from a MAP: produces the interarrival-time
+// sequence of the process, used by the discrete-event simulator and by the
+// synthetic trace generator that replaces the paper's measured traces.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "traffic/map_process.hpp"
+#include "traffic/phase_type.hpp"
+
+namespace perfbg::traffic {
+
+/// Samples absorption times of a phase-type distribution by simulating its
+/// absorbing CTMC. Stateless between draws (each draw restarts from alpha);
+/// the caller owns the RNG so several samplers can share one stream.
+class PhaseTypeSampler {
+ public:
+  explicit PhaseTypeSampler(PhaseType distribution);
+
+  /// One absorption time.
+  double sample(std::mt19937_64& rng) const;
+
+ private:
+  PhaseType ph_;
+  std::vector<double> total_rate_;  // per phase: -S(i,i)
+  struct Branch {
+    double cum_prob;
+    std::size_t target;  // == phases() means absorption
+  };
+  std::vector<std::vector<Branch>> branches_;
+};
+
+/// Samples successive interarrival times from a MAP by simulating the
+/// underlying phase process: in phase i the sojourn is Exp(-D0(i,i) + row
+/// rates of D1), and the next transition is chosen among D0 (silent) and D1
+/// (arrival) targets proportionally to their rates.
+class MapSampler {
+ public:
+  /// Starts the phase in the time-stationary distribution (a stationary
+  /// stream from time 0), drawn with the given seed.
+  MapSampler(MarkovianArrivalProcess process, std::uint64_t seed);
+
+  /// Time from the previous arrival (or from time 0) to the next arrival.
+  double next_interarrival();
+
+  /// Current modulating phase (mainly for tests).
+  std::size_t phase() const { return phase_; }
+
+  /// Convenience: the first n interarrival times as a vector.
+  std::vector<double> sample(std::size_t n);
+
+ private:
+  struct Branch {
+    double cum_prob;     // cumulative selection probability within the phase
+    std::size_t target;  // next phase
+    bool arrival;        // true when this branch fires an arrival
+  };
+
+  MarkovianArrivalProcess process_;
+  std::mt19937_64 rng_;
+  std::vector<double> exit_rate_;            // per phase
+  std::vector<std::vector<Branch>> branches_;  // per phase
+  std::size_t phase_ = 0;
+};
+
+}  // namespace perfbg::traffic

@@ -1,0 +1,47 @@
+// Precondition / argument checking helpers shared by all perfbg libraries.
+//
+// Public API functions validate their inputs with PERFBG_REQUIRE (throws
+// std::invalid_argument) so misuse is reported at the call boundary; internal
+// invariants use PERFBG_ASSERT (throws std::logic_error) so a violated
+// invariant is never silently ignored, even in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace perfbg {
+
+namespace detail {
+
+[[noreturn]] inline void throw_invalid_argument(const char* cond, const char* file, int line,
+                                                const std::string& msg) {
+  std::ostringstream os;
+  os << "perfbg: precondition failed: " << cond;
+  if (!msg.empty()) os << " (" << msg << ")";
+  os << " at " << file << ":" << line;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_logic_error(const char* cond, const char* file, int line,
+                                           const std::string& msg) {
+  std::ostringstream os;
+  os << "perfbg: internal invariant violated: " << cond;
+  if (!msg.empty()) os << " (" << msg << ")";
+  os << " at " << file << ":" << line;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace perfbg
+
+#define PERFBG_REQUIRE(cond, msg)                                                  \
+  do {                                                                             \
+    if (!(cond)) ::perfbg::detail::throw_invalid_argument(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define PERFBG_ASSERT(cond, msg)                                                   \
+  do {                                                                             \
+    if (!(cond)) ::perfbg::detail::throw_logic_error(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,104 @@
+#include "util/flags.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace perfbg {
+
+void Flags::define(const std::string& name, const std::string& help) {
+  PERFBG_REQUIRE(!name.empty() && name.find('=') == std::string::npos,
+                 "flag names must be non-empty and contain no '='");
+  PERFBG_REQUIRE(defined_.emplace(name, help).second, "duplicate flag definition");
+}
+
+void Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0)
+      throw std::invalid_argument("perfbg: expected --flag, got '" + arg + "'");
+    arg = arg.substr(2);
+    std::string name, value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      if (defined_.count(name) == 0)
+        throw std::invalid_argument("perfbg: unknown flag --" + name + "\n" + help());
+      if (i + 1 >= argc)
+        throw std::invalid_argument("perfbg: flag --" + name + " needs a value");
+      value = argv[++i];
+    }
+    if (defined_.count(name) == 0)
+      throw std::invalid_argument("perfbg: unknown flag --" + name + "\n" + help());
+    values_[name] = value;
+  }
+}
+
+bool Flags::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::optional<std::string> Flags::raw(const std::string& name) const {
+  PERFBG_REQUIRE(defined_.count(name) > 0, "flag was never defined");
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get_string(const std::string& name, const std::string& fallback) const {
+  return raw(name).value_or(fallback);
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  std::size_t pos = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(*v, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("perfbg: flag --" + name + " expects a number, got '" + *v +
+                                "'");
+  }
+  if (pos != v->size())
+    throw std::invalid_argument("perfbg: flag --" + name + " expects a number, got '" + *v +
+                                "'");
+  return out;
+}
+
+int Flags::get_int(const std::string& name, int fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  std::size_t pos = 0;
+  int out = 0;
+  try {
+    out = std::stoi(*v, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("perfbg: flag --" + name + " expects an integer, got '" + *v +
+                                "'");
+  }
+  if (pos != v->size())
+    throw std::invalid_argument("perfbg: flag --" + name + " expects an integer, got '" + *v +
+                                "'");
+  return out;
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw std::invalid_argument("perfbg: flag --" + name + " expects true/false, got '" + *v +
+                              "'");
+}
+
+std::string Flags::help() const {
+  std::ostringstream os;
+  os << "flags:\n";
+  for (const auto& [name, text] : defined_) os << "  --" << name << "  " << text << "\n";
+  return os.str();
+}
+
+}  // namespace perfbg

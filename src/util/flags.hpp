@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for the example/tool binaries:
+// --name=value and --name value forms, typed accessors with defaults, and
+// error reporting that lists the registered flags.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace perfbg {
+
+class Flags {
+ public:
+  /// Registers a flag with its help text; call before parse().
+  void define(const std::string& name, const std::string& help);
+
+  /// Parses argv. Throws std::invalid_argument on unknown flags, malformed
+  /// arguments, or a flag without a value.
+  void parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  /// Typed accessors; throw std::invalid_argument on conversion failure.
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// One line per registered flag, for --help output.
+  std::string help() const;
+
+ private:
+  std::map<std::string, std::string> defined_;  // name -> help
+  std::map<std::string, std::string> values_;
+  std::optional<std::string> raw(const std::string& name) const;
+};
+
+}  // namespace perfbg

@@ -1,0 +1,104 @@
+#include "util/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace perfbg {
+
+NelderMeadResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+                             std::vector<double> x0, const NelderMeadOptions& opts) {
+  PERFBG_REQUIRE(!x0.empty(), "nelder_mead needs at least one dimension");
+  const std::size_t n = x0.size();
+
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) simplex[i + 1][i] += opts.initial_step;
+  std::vector<double> fv(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) fv[i] = f(simplex[i]);
+
+  NelderMeadResult res;
+  int it = 0;
+  for (; it < opts.max_iters; ++it) {
+    // Order vertices by function value.
+    std::vector<std::size_t> idx(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) { return fv[a] < fv[b]; });
+    const std::size_t best = idx[0], worst = idx[n], second_worst = idx[n - 1];
+
+    // Convergence: f-spread and simplex diameter.
+    double diam = 0.0;
+    for (std::size_t i = 1; i <= n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        diam = std::max(diam, std::abs(simplex[idx[i]][j] - simplex[best][j]));
+    // Require BOTH a small f-spread and a small simplex: an f-spread of zero
+    // alone can be a symmetric straddle (e.g. two points mirrored around a
+    // 1-D minimum), from which contraction still makes progress.
+    if (std::abs(fv[worst] - fv[best]) < opts.f_tol && diam < std::sqrt(opts.x_tol)) {
+      res.converged = true;
+      break;
+    }
+    if (diam < opts.x_tol) {
+      res.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double t) {
+      std::vector<double> p(n);
+      for (std::size_t j = 0; j < n; ++j)
+        p[j] = centroid[j] + t * (centroid[j] - simplex[worst][j]);
+      return p;
+    };
+
+    const std::vector<double> xr = blend(1.0);  // reflection
+    const double fr = f(xr);
+    if (fr < fv[best]) {
+      const std::vector<double> xe = blend(2.0);  // expansion
+      const double fe = f(xe);
+      if (fe < fr) {
+        simplex[worst] = xe;
+        fv[worst] = fe;
+      } else {
+        simplex[worst] = xr;
+        fv[worst] = fr;
+      }
+    } else if (fr < fv[second_worst]) {
+      simplex[worst] = xr;
+      fv[worst] = fr;
+    } else {
+      const bool outside = fr < fv[worst];
+      const std::vector<double> xc = blend(outside ? 0.5 : -0.5);  // contraction
+      const double fc = f(xc);
+      if (fc < std::min(fr, fv[worst])) {
+        simplex[worst] = xc;
+        fv[worst] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (std::size_t j = 0; j < n; ++j)
+            simplex[i][j] = simplex[best][j] + 0.5 * (simplex[i][j] - simplex[best][j]);
+          fv[i] = f(simplex[i]);
+        }
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i)
+    if (fv[i] < fv[best]) best = i;
+  res.x = simplex[best];
+  res.fx = fv[best];
+  res.iterations = it;
+  return res;
+}
+
+}  // namespace perfbg

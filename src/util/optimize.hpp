@@ -1,0 +1,29 @@
+// Derivative-free minimization (Nelder–Mead simplex), used by the traffic
+// fitters to match MMPP parameters to workload statistics.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace perfbg {
+
+struct NelderMeadOptions {
+  int max_iters = 20000;
+  double f_tol = 1e-13;     ///< stop when simplex f-spread falls below this
+  double x_tol = 1e-12;     ///< ... or the simplex diameter falls below this
+  double initial_step = 0.5;  ///< per-coordinate initial simplex offset
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double fx = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes f over R^n starting from x0 with the Nelder–Mead simplex method
+/// (standard reflection/expansion/contraction/shrink coefficients).
+NelderMeadResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+                             std::vector<double> x0, const NelderMeadOptions& opts = {});
+
+}  // namespace perfbg

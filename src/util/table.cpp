@@ -1,0 +1,91 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace perfbg {
+
+std::string format_number(double v, int significant_digits) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  std::ostringstream os;
+  const double a = std::abs(v);
+  if (v != 0.0 && (a >= 1e7 || a < 1e-4)) {
+    os << std::scientific << std::setprecision(std::max(0, significant_digits - 1)) << v;
+    return os.str();
+  }
+  os << std::setprecision(significant_digits) << v;
+  std::string s = os.str();
+  // std::setprecision in default float format already trims trailing zeros.
+  return s;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PERFBG_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::set_precision(int digits) {
+  PERFBG_REQUIRE(digits >= 1 && digits <= 17, "precision out of range");
+  precision_ = digits;
+}
+
+void Table::add_row(std::vector<TableCell> cells) {
+  PERFBG_REQUIRE(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render_cell(const TableCell& c) const {
+  if (std::holds_alternative<std::string>(c)) return std::get<std::string>(c);
+  return format_number(std::get<double>(c), precision_);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t j = 0; j < headers_.size(); ++j) widths[j] = headers_[j].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      r.push_back(render_cell(row[j]));
+      widths[j] = std::max(widths[j], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      os << std::left << std::setw(static_cast<int>(widths[j]) + 2) << r[j];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t j = 0; j < widths.size(); ++j) rule += std::string(widths[j] + 2, '-');
+  os << rule << '\n';
+  for (const auto& r : rendered) print_row(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      if (j) os << ',';
+      os << r[j];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (const auto& c : row) r.push_back(render_cell(c));
+    print_row(r);
+  }
+}
+
+}  // namespace perfbg

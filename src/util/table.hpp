@@ -1,0 +1,52 @@
+// Lightweight aligned-text / CSV table writer used by the benchmark harnesses
+// to print figure and table series in a uniform, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace perfbg {
+
+/// A cell is either text or a number (numbers get consistent formatting).
+using TableCell = std::variant<std::string, double>;
+
+/// Accumulates rows and renders them either as an aligned text table or CSV.
+///
+/// Usage:
+///   Table t({"load", "p", "qlen_fg"});
+///   t.add_row({0.1, 0.3, 0.0521});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the cell count must match the header count.
+  void add_row(std::vector<TableCell> cells);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders an aligned, human-readable table.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (no quoting needed for our content).
+  void print_csv(std::ostream& os) const;
+
+  /// Number formatting: significant digits for numeric cells (default 6).
+  void set_precision(int digits);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<TableCell>> rows_;
+  int precision_ = 6;
+
+  std::string render_cell(const TableCell& c) const;
+};
+
+/// Formats a double with the given significant digits, trimming trailing
+/// zeros ("0.3" not "0.300000"), using scientific notation when warranted.
+std::string format_number(double v, int significant_digits = 6);
+
+}  // namespace perfbg

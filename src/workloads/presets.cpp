@@ -1,0 +1,101 @@
+#include "workloads/presets.hpp"
+
+#include "traffic/processes.hpp"
+
+namespace perfbg::workloads {
+
+namespace {
+
+// All fitted workloads are pinned as explicit (v1, v2, l1, l2) MMPP
+// parameters (rates per ms). Pinning matters: a 2-state MMPP is NOT uniquely
+// determined by (mean rate, SCV, ACF(1), ACF decay) — distinct parameter
+// branches share all four statistics yet differ in higher-order structure
+// (e.g. whether the burst phase is locally overloaded), which changes queue
+// lengths by orders of magnitude. The values below were produced once by
+// traffic::fit_mmpp2 / fit_ipp against the documented targets and then
+// validated against the discrete-event simulator; the unit tests pin their
+// statistics as a regression guard.
+
+// E-mail ("High ACF"): targets mean rate 0.08/6 per ms (8% utilization at
+// 6 ms service), SCV 4 (CV 2), ACF(1) 0.375, ACF decay 0.9994. Burst phase
+// becomes overloaded once the process is scaled to ~16% utilization, which
+// reproduces the paper's Fig. 11 contrast (queue at 19% load matching what
+// Poisson reaches only near 95%).
+constexpr double kEmailV1 = 1.6646563e-05;
+constexpr double kEmailV2 = 2.022357e-06;
+constexpr double kEmailL1 = 0.083682569;
+constexpr double kEmailL2 = 0.0047867482;
+
+// Software Development ("Low ACF"): targets mean rate 0.06/6 per ms (6%
+// utilization), SCV 3, ACF(1) 0.31, ACF decay 0.93 — the ACF is negligible
+// past lag ~40, the paper's short-range-dependent comparator. The legible
+// Fig. 2 row is kept as software_dev_fig2_verbatim() below; its statistics
+// (CV 12.3, ACF(1) 0.49, decay 0.991) contradict the paper's own Low-ACF
+// labeling, so that row is treated as corrupted.
+constexpr double kSoftDevV1 = 5.980218871e-05;
+constexpr double kSoftDevV2 = 0.0001376369405;
+constexpr double kSoftDevL1 = 0.01350072845;
+constexpr double kSoftDevL2 = 0.001942944512;
+
+// E-mail "Low ACF" comparator (Figs. 11-13): same mean and SCV as E-mail,
+// ACF(1) 0.206 with decay 0.55 (gone within a few lags).
+constexpr double kLowAcfV1 = 4.881836481e-06;
+constexpr double kLowAcfV2 = 0.0001355699734;
+constexpr double kLowAcfL1 = 0.01380749211;
+constexpr double kLowAcfL2 = 0.000165810578;
+
+// E-mail "IPP" comparator: same mean and SCV as E-mail, zero ACF, 10% of
+// time in the bursting phase (from fit_ipp's closed-form bisection).
+constexpr double kIppLambdaOn = 0.1333333333;
+constexpr double kIppV1 = 0.072;
+constexpr double kIppV2 = 0.008;
+
+constexpr double kEmailRate = 0.08 / kMeanServiceTimeMs;
+
+}  // namespace
+
+traffic::MarkovianArrivalProcess email() {
+  return traffic::mmpp2(kEmailV1, kEmailV2, kEmailL1, kEmailL2, "email")
+      .scaled_to_rate(kEmailRate);
+}
+
+traffic::MarkovianArrivalProcess software_dev() {
+  return traffic::mmpp2(kSoftDevV1, kSoftDevV2, kSoftDevL1, kSoftDevL2, "software-dev")
+      .scaled_to_rate(0.06 / kMeanServiceTimeMs);
+}
+
+traffic::MarkovianArrivalProcess software_dev_fig2_verbatim() {
+  // Paper Fig. 2, "Soft. Dev." row exactly as printed (rates per ms).
+  return traffic::mmpp2(0.9e-6, 0.19e-5, 0.1e-3, 0.35e-1, "software-dev-fig2");
+}
+
+traffic::MarkovianArrivalProcess user_accounts() {
+  // Paper Fig. 2, "User Accs." row verbatim (rates per ms). Its statistics
+  // (CV 1.5, ACF(1) 0.27, decay 0.994) match the paper's description of a
+  // lightly loaded system with a strong ACF structure.
+  return traffic::mmpp2(0.36e-4, 0.13e-5, 0.1e-1, 0.49e-3, "user-accounts");
+}
+
+traffic::MarkovianArrivalProcess email_low_acf() {
+  return traffic::mmpp2(kLowAcfV1, kLowAcfV2, kLowAcfL1, kLowAcfL2, "email-low-acf")
+      .scaled_to_rate(kEmailRate);
+}
+
+traffic::MarkovianArrivalProcess email_ipp() {
+  return traffic::ipp(kIppLambdaOn, kIppV1, kIppV2, "email-ipp").scaled_to_rate(kEmailRate);
+}
+
+traffic::MarkovianArrivalProcess email_poisson() {
+  return traffic::poisson(kEmailRate).renamed("email-poisson");
+}
+
+std::vector<traffic::MarkovianArrivalProcess> trace_workloads() {
+  return {email(), software_dev(), user_accounts()};
+}
+
+std::vector<traffic::MarkovianArrivalProcess> dependence_family() {
+  return {email().renamed("high-acf"), email_low_acf().renamed("low-acf"),
+          email_ipp().renamed("ipp"), email_poisson().renamed("expo")};
+}
+
+}  // namespace perfbg::workloads

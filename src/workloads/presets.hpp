@@ -1,0 +1,55 @@
+// The paper's workload family (its Figs. 1-2), reconstructed as documented in
+// DESIGN.md §2:
+//  * software_dev() and user_accounts() use the paper's Fig. 2 MMPP rows
+//    verbatim (rates in 1/ms);
+//  * email() is re-fitted to the constraints the paper states for the
+//    corrupted E-mail row (8% utilization at 6 ms service, high CV, strong
+//    slowly-decaying ACF — the "High ACF" workload);
+//  * email_low_acf(), email_ipp() and email_poisson() are the Figs. 11-13
+//    comparators: same mean (and, except Poisson, same CV) as email(), with
+//    progressively weaker dependence.
+#pragma once
+
+#include <vector>
+
+#include "traffic/map_process.hpp"
+
+namespace perfbg::workloads {
+
+/// Mean service time used throughout the paper: 6 ms, exponential.
+inline constexpr double kMeanServiceTimeMs = 6.0;
+
+/// "E-mail" workload: High ACF (strong, slowly decaying dependence), 8%
+/// native utilization.
+traffic::MarkovianArrivalProcess email();
+
+/// "Software Development" workload: Low ACF (short-range dependence, ACF
+/// negligible past lag ~40), 6% native utilization.
+traffic::MarkovianArrivalProcess software_dev();
+
+/// The paper's Fig. 2 "Soft. Dev." row exactly as printed. Kept for
+/// reference only: its statistics contradict the paper's own "Low ACF"
+/// labeling (see DESIGN.md §2), so software_dev() uses a re-fit instead.
+traffic::MarkovianArrivalProcess software_dev_fig2_verbatim();
+
+/// "User Accounts" workload: strong ACF, lightly loaded system.
+/// Paper Fig. 2 parameters verbatim.
+traffic::MarkovianArrivalProcess user_accounts();
+
+/// Same mean and CV as email(), weak fast-decaying ACF ("Low ACF" curve of
+/// Figs. 11-13).
+traffic::MarkovianArrivalProcess email_low_acf();
+
+/// Same mean and CV as email(), zero ACF (the "IPP" curve).
+traffic::MarkovianArrivalProcess email_ipp();
+
+/// Same mean as email(), CV = 1, zero ACF (the "Expo" curve).
+traffic::MarkovianArrivalProcess email_poisson();
+
+/// All three trace workloads, in the paper's presentation order.
+std::vector<traffic::MarkovianArrivalProcess> trace_workloads();
+
+/// The Figs. 11-13 comparator family: {High ACF, Low ACF, IPP, Expo}.
+std::vector<traffic::MarkovianArrivalProcess> dependence_family();
+
+}  // namespace perfbg::workloads

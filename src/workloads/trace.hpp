@@ -1,0 +1,45 @@
+// Synthetic trace generation and empirical time-series statistics — the
+// stand-in for the paper's measured disk-level traces (see DESIGN.md §2).
+// The estimators regenerate the contents of the paper's Fig. 1: mean, CV and
+// ACF(k) of interarrival and service times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "traffic/map_process.hpp"
+
+namespace perfbg::workloads {
+
+/// Samples n successive interarrival times from the process.
+std::vector<double> generate_interarrival_trace(const traffic::MarkovianArrivalProcess& process,
+                                                std::size_t n, std::uint64_t seed);
+
+/// Samples n i.i.d. exponential service times with the given mean (the
+/// paper's service process).
+std::vector<double> generate_service_trace(double mean, std::size_t n, std::uint64_t seed);
+
+/// Sample mean.
+double series_mean(const std::vector<double>& xs);
+
+/// Sample coefficient of variation (std dev / mean).
+double series_cv(const std::vector<double>& xs);
+
+/// Empirical autocorrelation at lags 1..max_lag (biased divisor n, the
+/// standard choice for ACF plots).
+std::vector<double> series_acf(const std::vector<double>& xs, int max_lag);
+
+/// The full paper workflow, trace -> model: estimates mean, SCV, ACF(1) and
+/// the geometric ACF decay from an interarrival trace and fits a 2-state
+/// MMPP to them (traffic::fit_mmpp2). `decay_fit_lags` controls how many
+/// leading lags enter the least-squares decay estimate.
+///
+/// Caveat inherited from the fitter: a 2-state MMPP is not identified by
+/// these four statistics alone (see workloads/presets.cpp), so round-trips
+/// recover the statistics, not necessarily the generating parameters.
+traffic::MarkovianArrivalProcess fit_mmpp2_from_trace(const std::vector<double>& interarrivals,
+                                                      int decay_fit_lags = 40,
+                                                      std::string name = "trace-fit");
+
+}  // namespace perfbg::workloads

@@ -1,0 +1,180 @@
+#include "core/chain_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "markov/stationary.hpp"
+#include "traffic/processes.hpp"
+
+namespace perfbg::core {
+namespace {
+
+FgBgParams test_params(traffic::MarkovianArrivalProcess arrivals, double p = 0.3,
+                       int buffer = 3, double idle = 1.0) {
+  FgBgParams params{std::move(arrivals)};
+  params.mean_service_time = 6.0;
+  params.bg_probability = p;
+  params.bg_buffer = buffer;
+  params.idle_wait_intensity = idle;
+  return params;
+}
+
+TEST(ChainBuilder, ProducesValidQbdForPoisson) {
+  const FgBgParams params = test_params(traffic::poisson(0.02));
+  const FgBgLayout layout(params.bg_buffer, 1);
+  EXPECT_NO_THROW(build_fgbg_qbd(params, layout).validate(1e-10));
+}
+
+TEST(ChainBuilder, ProducesValidQbdForMmpp) {
+  const FgBgParams params = test_params(traffic::mmpp2(0.01, 0.003, 0.05, 0.005));
+  const FgBgLayout layout(params.bg_buffer, 2);
+  EXPECT_NO_THROW(build_fgbg_qbd(params, layout).validate(1e-10));
+}
+
+TEST(ChainBuilder, ProducesValidQbdForErlangMap) {
+  // 4-phase MAP exercises the general block plumbing.
+  const FgBgParams params = test_params(traffic::erlang_renewal(4, 50.0));
+  const FgBgLayout layout(params.bg_buffer, 4);
+  EXPECT_NO_THROW(build_fgbg_qbd(params, layout).validate(1e-10));
+}
+
+TEST(ChainBuilder, BlockShapes) {
+  const FgBgParams params = test_params(traffic::mmpp2(0.01, 0.003, 0.05, 0.005), 0.3, 5);
+  const FgBgLayout layout(5, 2);
+  const qbd::QbdProcess q = build_fgbg_qbd(params, layout);
+  EXPECT_EQ(q.b00.rows(), 36u * 2u);  // (X+1)^2 macro states, 2 phases
+  EXPECT_EQ(q.a1.rows(), 11u * 2u);   // 2X+1 macro states
+  EXPECT_EQ(q.b01.cols(), q.a1.rows());
+  EXPECT_EQ(q.b10.cols(), q.b00.rows());
+}
+
+TEST(ChainBuilder, DriftRatioEqualsOfferedLoad) {
+  // At high levels the bg buffer is pinned full and the chain behaves like
+  // MAP/M/1: stability boundary is exactly lambda * E[S] = 1.
+  for (double util : {0.2, 0.7, 0.95}) {
+    const FgBgParams params =
+        test_params(traffic::poisson(util / 6.0), 0.5, 4);
+    const FgBgLayout layout(4, 1);
+    const qbd::QbdProcess q = build_fgbg_qbd(params, layout);
+    EXPECT_NEAR(q.drift_ratio(), util, 1e-9) << util;
+  }
+}
+
+TEST(ChainBuilder, ArrivalRatesAppearInA0) {
+  const auto map = traffic::mmpp2(0.01, 0.003, 0.05, 0.005);
+  const FgBgParams params = test_params(map);
+  const FgBgLayout layout(3, 2);
+  const qbd::QbdProcess q = build_fgbg_qbd(params, layout);
+  // A0 is block-diagonal with D1 blocks.
+  for (std::size_t s = 0; s < layout.repeating_macro_count(); ++s) {
+    EXPECT_DOUBLE_EQ(q.a0(2 * s, 2 * s), map.d1()(0, 0));
+    EXPECT_DOUBLE_EQ(q.a0(2 * s + 1, 2 * s + 1), map.d1()(1, 1));
+    if (s + 1 < layout.repeating_macro_count()) {
+      EXPECT_DOUBLE_EQ(q.a0(2 * s, 2 * (s + 1)), 0.0);
+    }
+  }
+}
+
+TEST(ChainBuilder, SpawnShiftsWithinLevel) {
+  const FgBgParams params = test_params(traffic::poisson(0.02), 0.4, 3);
+  const FgBgLayout layout(3, 1);
+  const qbd::QbdProcess q = build_fgbg_qbd(params, layout);
+  const double mu = params.service_rate();
+  // F(0) -> F(1) at mu*p within the level.
+  const std::size_t f0 = layout.repeating_index(Activity::kFgService, 0);
+  const std::size_t f1 = layout.repeating_index(Activity::kFgService, 1);
+  EXPECT_NEAR(q.a1(f0, f1), mu * 0.4, 1e-12);
+  // F(X) has no spawn shift; its full mu goes down a level to itself.
+  const std::size_t fx = layout.repeating_index(Activity::kFgService, 3);
+  EXPECT_NEAR(q.a2(fx, fx), mu, 1e-12);
+  // F(x < X) sends mu (1 - p) down.
+  EXPECT_NEAR(q.a2(f0, f0), mu * 0.6, 1e-12);
+}
+
+TEST(ChainBuilder, BgCompletionDropsIntoFgSlot) {
+  const FgBgParams params = test_params(traffic::poisson(0.02), 0.4, 3);
+  const FgBgLayout layout(3, 1);
+  const qbd::QbdProcess q = build_fgbg_qbd(params, layout);
+  const double mu = params.service_rate();
+  const std::size_t b2 = layout.repeating_index(Activity::kBgService, 2);
+  const std::size_t f1 = layout.repeating_index(Activity::kFgService, 1);
+  EXPECT_NEAR(q.a2(b2, f1), mu, 1e-12);
+}
+
+TEST(ChainBuilder, IdleExpiryConnectsIdleToBgService) {
+  const FgBgParams params = test_params(traffic::poisson(0.02), 0.4, 2, 2.0);
+  const FgBgLayout layout(2, 1);
+  const qbd::QbdProcess q = build_fgbg_qbd(params, layout);
+  const double alpha = params.idle_wait_rate();
+  EXPECT_NEAR(alpha, params.service_rate() / 2.0, 1e-15);
+  const std::size_t i1 = layout.boundary_index(Activity::kIdle, 1, 0);
+  const std::size_t b1 = layout.boundary_index(Activity::kBgService, 1, 0);
+  EXPECT_NEAR(q.b00(i1, b1), alpha, 1e-12);
+  // The empty state has no idle-wait transition.
+  const std::size_t i0 = layout.boundary_index(Activity::kIdle, 0, 0);
+  for (std::size_t j = 0; j < q.b00.cols(); ++j) {
+    if (j == layout.boundary_index(Activity::kFgService, 0, 1) || j == i0) continue;
+    EXPECT_DOUBLE_EQ(q.b00(i0, j), 0.0) << j;
+  }
+}
+
+TEST(ChainBuilder, FullChainIsUnichainAtLowTruncation) {
+  // Assemble boundary + first repeating level with reflected upper edge and
+  // check a unique closed class exists (the chain is well-formed).
+  const FgBgParams params = test_params(traffic::mmpp2(0.01, 0.003, 0.05, 0.005), 0.3, 2);
+  const FgBgLayout layout(2, 2);
+  const qbd::QbdProcess q = build_fgbg_qbd(params, layout);
+  const std::size_t nb = q.boundary_size(), nr = q.level_size();
+  linalg::Matrix full(nb + nr, nb + nr, 0.0);
+  for (std::size_t i = 0; i < nb; ++i) {
+    for (std::size_t j = 0; j < nb; ++j) full(i, j) = q.b00(i, j);
+    for (std::size_t j = 0; j < nr; ++j) full(i, nb + j) = q.b01(i, j);
+  }
+  const linalg::Matrix corner = q.a1 + q.a0;  // reflect arrivals at the top
+  for (std::size_t i = 0; i < nr; ++i) {
+    for (std::size_t j = 0; j < nb; ++j) full(nb + i, j) = q.b10(i, j);
+    for (std::size_t j = 0; j < nr; ++j) full(nb + i, nb + j) = corner(i, j);
+  }
+  EXPECT_TRUE(markov::is_generator(full, 1e-8));
+  const linalg::Vector pi = markov::stationary_unichain_ctmc(full);
+  double mass = 0.0;
+  for (double v : pi) {
+    EXPECT_GE(v, -1e-15);
+    mass += v;
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-10);
+}
+
+TEST(ChainBuilder, MismatchedLayoutThrows) {
+  const FgBgParams params = test_params(traffic::poisson(0.02), 0.3, 3);
+  EXPECT_THROW(build_fgbg_qbd(params, FgBgLayout(2, 1)), std::invalid_argument);
+  EXPECT_THROW(build_fgbg_qbd(params, FgBgLayout(3, 2)), std::invalid_argument);
+}
+
+TEST(ChainBuilder, DegenerateNoBackgroundIsMapM1) {
+  FgBgParams params = test_params(traffic::poisson(0.05), 0.0, 5);
+  const FgBgLayout layout(0, 1);
+  const qbd::QbdProcess q = build_fgbg_qbd(params, layout);
+  EXPECT_EQ(q.boundary_size(), 1u);
+  EXPECT_EQ(q.level_size(), 1u);
+  EXPECT_NEAR(q.a0(0, 0), 0.05, 1e-15);
+  EXPECT_NEAR(q.a2(0, 0), params.service_rate(), 1e-15);
+}
+
+TEST(FgBgParams, ValidationCatchesBadInputs) {
+  FgBgParams p = test_params(traffic::poisson(0.02));
+  p.mean_service_time = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = test_params(traffic::poisson(0.02));
+  p.bg_probability = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = test_params(traffic::poisson(0.02));
+  p.bg_probability = 0.5;
+  p.bg_buffer = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = test_params(traffic::poisson(0.02));
+  p.idle_wait_intensity = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace perfbg::core

@@ -1,0 +1,75 @@
+#include "traffic/fitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace perfbg::traffic {
+namespace {
+
+TEST(FitMmpp2, HitsFeasibleTargets) {
+  // A point verified to lie on the MMPP(2) feasible surface: at SCV 4 and
+  // decay 0.93 the implied lag-1 ACF is ~0.349.
+  const Mmpp2FitTarget target{0.05, 4.0, 0.3487, 0.93};
+  const FitResult r = fit_mmpp2(target, 1e-5);
+  EXPECT_NEAR(r.process.mean_rate(), target.mean_rate, 1e-6);
+  EXPECT_NEAR(r.process.interarrival_scv(), target.scv, 0.02);
+  EXPECT_NEAR(r.process.acf(1), target.acf1, 0.01);
+  EXPECT_NEAR(r.process.acf_decay_rate(), target.acf_decay, 0.02);
+  EXPECT_LE(r.residual, 1e-5);
+}
+
+TEST(FitMmpp2, SlowDecayRidgePoint) {
+  // On the slow-decay ridge ACF(1) approaches (1 - 1/SCV)/2.
+  const Mmpp2FitTarget target{0.01, 2.5, 0.295, 0.995};
+  const FitResult r = fit_mmpp2(target, 1e-4);
+  EXPECT_NEAR(r.process.interarrival_scv(), 2.5, 0.05);
+  EXPECT_GT(r.process.acf_decay_rate(), 0.98);
+}
+
+TEST(FitMmpp2, NamesTheResult) {
+  const FitResult r = fit_mmpp2({0.05, 4.0, 0.3487, 0.93}, 1e-4, "custom-name");
+  EXPECT_EQ(r.process.name(), "custom-name");
+}
+
+TEST(FitMmpp2, InfeasibleTargetsThrow) {
+  // ACF(1) far above what SCV = 1.5 allows at slow decay.
+  EXPECT_THROW(fit_mmpp2({0.05, 1.5, 0.45, 0.99}), std::runtime_error);
+}
+
+TEST(FitMmpp2, InvalidTargetsThrow) {
+  EXPECT_THROW(fit_mmpp2({0.0, 4.0, 0.3, 0.9}), std::invalid_argument);   // rate
+  EXPECT_THROW(fit_mmpp2({0.05, 0.9, 0.3, 0.9}), std::invalid_argument);  // scv <= 1
+  EXPECT_THROW(fit_mmpp2({0.05, 4.0, 0.6, 0.9}), std::invalid_argument);  // acf1 >= 0.5
+  EXPECT_THROW(fit_mmpp2({0.05, 4.0, 0.3, 1.5}), std::invalid_argument);  // decay >= 1
+}
+
+TEST(FitIpp, MatchesMeanAndScvExactly) {
+  for (double scv : {2.0, 4.0, 10.0, 50.0}) {
+    const FitResult r = fit_ipp(0.0133, scv, 0.1);
+    EXPECT_NEAR(r.process.mean_rate(), 0.0133, 1e-8) << scv;
+    EXPECT_NEAR(r.process.interarrival_scv(), scv, 1e-6 * scv) << scv;
+  }
+}
+
+TEST(FitIpp, ResultIsUncorrelated) {
+  const FitResult r = fit_ipp(0.02, 6.0, 0.2);
+  for (double a : r.process.acf_series(10)) EXPECT_NEAR(a, 0.0, 1e-9);
+}
+
+TEST(FitIpp, OnFractionIsRespected) {
+  const double f = 0.25;
+  const FitResult r = fit_ipp(0.02, 6.0, f);
+  // Stationary probability of the bursting phase equals f.
+  EXPECT_NEAR(r.process.phase_stationary()[0], f, 1e-9);
+}
+
+TEST(FitIpp, InvalidArgsThrow) {
+  EXPECT_THROW(fit_ipp(0.0, 4.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(fit_ipp(0.01, 0.5, 0.1), std::invalid_argument);
+  EXPECT_THROW(fit_ipp(0.01, 4.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(fit_ipp(0.01, 4.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace perfbg::traffic

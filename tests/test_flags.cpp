@@ -1,0 +1,109 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace perfbg {
+namespace {
+
+Flags make_flags() {
+  Flags f;
+  f.define("util", "utilization");
+  f.define("p", "spawn probability");
+  f.define("buffer", "buffer size");
+  f.define("name", "workload name");
+  f.define("verbose", "verbosity");
+  return f;
+}
+
+void parse(Flags& f, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  f.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  Flags f = make_flags();
+  parse(f, {"--util=0.25", "--name=email"});
+  EXPECT_DOUBLE_EQ(f.get_double("util", 0.0), 0.25);
+  EXPECT_EQ(f.get_string("name", ""), "email");
+}
+
+TEST(Flags, SpaceForm) {
+  Flags f = make_flags();
+  parse(f, {"--buffer", "7", "--p", "0.3"});
+  EXPECT_EQ(f.get_int("buffer", 0), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("p", 0.0), 0.3);
+}
+
+TEST(Flags, DefaultsApplyWhenAbsent) {
+  Flags f = make_flags();
+  parse(f, {});
+  EXPECT_FALSE(f.has("util"));
+  EXPECT_DOUBLE_EQ(f.get_double("util", 0.5), 0.5);
+  EXPECT_EQ(f.get_string("name", "fallback"), "fallback");
+  EXPECT_TRUE(f.get_bool("verbose", true));
+}
+
+TEST(Flags, BoolForms) {
+  Flags f = make_flags();
+  parse(f, {"--verbose=true"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  Flags g = make_flags();
+  parse(g, {"--verbose=0"});
+  EXPECT_FALSE(g.get_bool("verbose", true));
+  Flags h = make_flags();
+  parse(h, {"--verbose=maybe"});
+  EXPECT_THROW(h.get_bool("verbose", false), std::invalid_argument);
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  Flags f = make_flags();
+  EXPECT_THROW(parse(f, {"--nope=1"}), std::invalid_argument);
+}
+
+TEST(Flags, MissingValueThrows) {
+  Flags f = make_flags();
+  EXPECT_THROW(parse(f, {"--util"}), std::invalid_argument);
+}
+
+TEST(Flags, NonFlagArgumentThrows) {
+  Flags f = make_flags();
+  EXPECT_THROW(parse(f, {"util=0.3"}), std::invalid_argument);
+}
+
+TEST(Flags, MalformedNumbersThrow) {
+  Flags f = make_flags();
+  parse(f, {"--util=abc", "--buffer=2x"});
+  EXPECT_THROW(f.get_double("util", 0.0), std::invalid_argument);
+  EXPECT_THROW(f.get_int("buffer", 0), std::invalid_argument);
+}
+
+TEST(Flags, UndefinedAccessorThrows) {
+  Flags f = make_flags();
+  parse(f, {});
+  EXPECT_THROW(f.get_double("undefined", 0.0), std::invalid_argument);
+}
+
+TEST(Flags, DuplicateDefinitionThrows) {
+  Flags f;
+  f.define("x", "one");
+  EXPECT_THROW(f.define("x", "two"), std::invalid_argument);
+}
+
+TEST(Flags, HelpListsFlags) {
+  Flags f = make_flags();
+  const std::string h = f.help();
+  EXPECT_NE(h.find("--util"), std::string::npos);
+  EXPECT_NE(h.find("spawn probability"), std::string::npos);
+}
+
+TEST(Flags, LastValueWins) {
+  Flags f = make_flags();
+  parse(f, {"--util=0.1", "--util=0.9"});
+  EXPECT_DOUBLE_EQ(f.get_double("util", 0.0), 0.9);
+}
+
+}  // namespace
+}  // namespace perfbg

@@ -1,0 +1,120 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+namespace perfbg::linalg {
+namespace {
+
+Matrix random_well_conditioned(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = u(rng);
+    m(i, i) += static_cast<double>(n);  // diagonal dominance
+  }
+  return m;
+}
+
+TEST(Lu, SolveMatchesHandExample) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector x = LuDecomposition(a).solve(Vector{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SolveRoundTripsRandomSystems) {
+  for (std::size_t n : {1u, 2u, 5u, 20u, 60u}) {
+    const Matrix a = random_well_conditioned(n, 100 + n);
+    std::mt19937_64 rng(n);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    Vector x_true(n);
+    for (double& v : x_true) v = u(rng);
+    const Vector b = mat_vec(a, x_true);
+    const Vector x = LuDecomposition(a).solve(b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Lu, SolveLeftSolvesRowSystem) {
+  const Matrix a = random_well_conditioned(8, 7);
+  Vector x_true(8);
+  for (std::size_t i = 0; i < 8; ++i) x_true[i] = static_cast<double>(i) - 3.0;
+  const Vector b = vec_mat(x_true, a);
+  const Vector x = LuDecomposition(a).solve_left(b);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Lu, SolveLeftNeedsPivoting) {
+  // First pivot is zero: partial pivoting must kick in for both solve paths.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Vector x = LuDecomposition(a).solve_left(Vector{3.0, 4.0});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  const Vector y = LuDecomposition(a).solve(Vector{3.0, 4.0});
+  EXPECT_NEAR(y[0], 4.0, 1e-12);
+  EXPECT_NEAR(y[1], 3.0, 1e-12);
+}
+
+TEST(Lu, MatrixRhsSolve) {
+  const Matrix a = random_well_conditioned(5, 11);
+  const Matrix b = random_well_conditioned(5, 12);
+  const Matrix x = LuDecomposition(a).solve(b);
+  EXPECT_LT((a * x).max_abs_diff(b), 1e-9);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  const Matrix a = random_well_conditioned(12, 5);
+  const Matrix inv = LuDecomposition(a).inverse();
+  EXPECT_LT((a * inv).max_abs_diff(Matrix::identity(12)), 1e-9);
+  EXPECT_LT((inv * a).max_abs_diff(Matrix::identity(12)), 1e-9);
+}
+
+TEST(Lu, DeterminantOfTriangularAndPermuted) {
+  const Matrix t{{2.0, 1.0}, {0.0, 3.0}};
+  EXPECT_NEAR(LuDecomposition(t).determinant(), 6.0, 1e-12);
+  const Matrix p{{0.0, 1.0}, {1.0, 0.0}};  // det = -1
+  EXPECT_NEAR(LuDecomposition(p).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  const Matrix s{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(LuDecomposition{s}, std::runtime_error);
+}
+
+TEST(Lu, NonSquareThrows) { EXPECT_THROW(LuDecomposition{Matrix(2, 3)}, std::invalid_argument); }
+
+TEST(Lu, RhsSizeMismatchThrows) {
+  LuDecomposition lu(Matrix::identity(3));
+  EXPECT_THROW(lu.solve(Vector{1.0}), std::invalid_argument);
+  EXPECT_THROW(lu.solve_left(Vector{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Lu, ConvenienceWrappers) {
+  const Matrix a{{3.0, 0.0}, {0.0, 2.0}};
+  const Vector x = solve(a, {6.0, 4.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_LT(inverse(a).max_abs_diff(Matrix{{1.0 / 3.0, 0.0}, {0.0, 0.5}}), 1e-12);
+}
+
+TEST(SolveStationary, TwoStateChain) {
+  // Rates 1 <-> 2: q01 = 2, q10 = 1; stationary = (1/3, 2/3).
+  const Matrix q{{-2.0, 2.0}, {1.0, -1.0}};
+  const Vector pi = solve_stationary(q);
+  EXPECT_NEAR(pi[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pi[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(SolveStationary, RingChain) {
+  // 0 -> 1 -> 2 -> 0 with unit rates: uniform stationary distribution.
+  const Matrix q{{-1.0, 1.0, 0.0}, {0.0, -1.0, 1.0}, {1.0, 0.0, -1.0}};
+  const Vector pi = solve_stationary(q);
+  for (double v : pi) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace perfbg::linalg

@@ -1,0 +1,163 @@
+#include "traffic/map_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+#include "traffic/processes.hpp"
+
+namespace perfbg::traffic {
+namespace {
+
+TEST(Poisson, RateAndMean) {
+  const auto m = poisson(0.25);
+  EXPECT_NEAR(m.mean_rate(), 0.25, 1e-14);
+  EXPECT_NEAR(m.mean_interarrival(), 4.0, 1e-14);
+  EXPECT_EQ(m.phases(), 1u);
+}
+
+TEST(Poisson, ExponentialInterarrivalsHaveUnitScv) {
+  EXPECT_NEAR(poisson(3.0).interarrival_scv(), 1.0, 1e-12);
+  EXPECT_NEAR(poisson(3.0).interarrival_cv(), 1.0, 1e-12);
+}
+
+TEST(Poisson, ZeroAutocorrelation) {
+  const auto m = poisson(1.0);
+  for (double a : m.acf_series(20)) EXPECT_NEAR(a, 0.0, 1e-12);
+  EXPECT_TRUE(m.is_renewal());
+  EXPECT_DOUBLE_EQ(m.acf_decay_rate(), 0.0);
+}
+
+TEST(Mmpp2, MeanRateMatchesStationaryMixture) {
+  // lambda = (v2 l1 + v1 l2) / (v1 + v2).
+  const double v1 = 0.3, v2 = 0.1, l1 = 5.0, l2 = 0.5;
+  const auto m = mmpp2(v1, v2, l1, l2);
+  EXPECT_NEAR(m.mean_rate(), (v2 * l1 + v1 * l2) / (v1 + v2), 1e-12);
+}
+
+TEST(Mmpp2, PhaseStationaryIsStationary) {
+  const auto m = mmpp2(0.2, 0.4, 3.0, 1.0);
+  const linalg::Vector pi = m.phase_stationary();
+  EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-14);
+  const linalg::Vector residual = linalg::vec_mat(pi, m.d0() + m.d1());
+  EXPECT_NEAR(residual[0], 0.0, 1e-14);
+  EXPECT_NEAR(residual[1], 0.0, 1e-14);
+}
+
+TEST(Mmpp2, ScvExceedsOne) {
+  // Bursty MMPPs are more variable than Poisson.
+  EXPECT_GT(mmpp2(0.01, 0.003, 10.0, 1.0).interarrival_scv(), 1.0);
+}
+
+TEST(Mmpp2, EqualPhaseRatesDegenerateToPoisson) {
+  // l1 == l2 makes phase changes unobservable: CV = 1, ACF = 0.
+  const auto m = mmpp2(0.3, 0.7, 2.0, 2.0);
+  EXPECT_NEAR(m.interarrival_scv(), 1.0, 1e-10);
+  EXPECT_NEAR(m.acf(1), 0.0, 1e-10);
+}
+
+TEST(Mmpp2, AcfDecayIsGeometric) {
+  const auto m = mmpp2(0.02, 0.01, 8.0, 0.5);
+  const auto acf = m.acf_series(30);
+  const double gamma = m.acf_decay_rate();
+  for (int k = 1; k < 29; ++k)
+    EXPECT_NEAR(acf[static_cast<std::size_t>(k)] / acf[static_cast<std::size_t>(k - 1)],
+                gamma, 1e-9)
+        << k;
+}
+
+TEST(Mmpp2, AcfSeriesMatchesSingleLagCalls) {
+  const auto m = mmpp2(0.05, 0.02, 4.0, 0.2);
+  const auto series = m.acf_series(10);
+  EXPECT_NEAR(series[0], m.acf(1), 1e-15);
+  EXPECT_NEAR(series[9], m.acf(10), 1e-15);
+}
+
+TEST(Mmpp2, EmbeddedTransitionMatrixIsStochastic) {
+  const auto m = mmpp2(0.3, 0.1, 2.0, 0.7);
+  const linalg::Matrix& p = m.embedded_transition_matrix();
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_NEAR(p.row_sum(i), 1.0, 1e-12);
+  // Embedded stationary sums to 1 and is a fixed point of P.
+  const linalg::Vector& pe = m.embedded_stationary();
+  EXPECT_NEAR(pe[0] + pe[1], 1.0, 1e-12);
+  const linalg::Vector fixed = linalg::vec_mat(pe, p);
+  EXPECT_NEAR(fixed[0], pe[0], 1e-12);
+}
+
+TEST(Mmpp2, MeanInterarrivalFromEmbeddedChainIsConsistent) {
+  // E[X] = pi_e (-D0)^{-1} 1 must equal 1 / lambda.
+  const auto m = mmpp2(0.3, 0.1, 2.0, 0.7);
+  linalg::Matrix neg_d0 = m.d0();
+  neg_d0 *= -1.0;
+  const linalg::Vector v =
+      linalg::mat_vec(linalg::inverse(neg_d0), linalg::Vector(2, 1.0));
+  EXPECT_NEAR(linalg::dot(m.embedded_stationary(), v), m.mean_interarrival(), 1e-12);
+}
+
+TEST(Scaling, ScaledByChangesOnlyRate) {
+  const auto m = mmpp2(0.02, 0.01, 8.0, 0.5);
+  const auto s = m.scaled_by(3.0);
+  EXPECT_NEAR(s.mean_rate(), 3.0 * m.mean_rate(), 1e-12);
+  EXPECT_NEAR(s.interarrival_scv(), m.interarrival_scv(), 1e-10);
+  EXPECT_NEAR(s.acf(1), m.acf(1), 1e-10);
+  EXPECT_NEAR(s.acf_decay_rate(), m.acf_decay_rate(), 1e-10);
+}
+
+TEST(Scaling, ScaledToRateHitsTarget) {
+  const auto s = mmpp2(0.02, 0.01, 8.0, 0.5).scaled_to_rate(0.125);
+  EXPECT_NEAR(s.mean_rate(), 0.125, 1e-12);
+}
+
+TEST(Scaling, ScaledToUtilization) {
+  const auto s = poisson(1.0).scaled_to_utilization(0.42, 6.0);
+  EXPECT_NEAR(s.mean_rate() * 6.0, 0.42, 1e-12);
+}
+
+TEST(Scaling, BadArgumentsThrow) {
+  const auto m = poisson(1.0);
+  EXPECT_THROW(m.scaled_by(0.0), std::invalid_argument);
+  EXPECT_THROW(m.scaled_to_rate(-1.0), std::invalid_argument);
+  EXPECT_THROW(m.scaled_to_utilization(1.5, 6.0), std::invalid_argument);
+  EXPECT_THROW(m.scaled_to_utilization(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(Renamed, ChangesOnlyName) {
+  const auto m = poisson(1.0).renamed("foo");
+  EXPECT_EQ(m.name(), "foo");
+  EXPECT_NEAR(m.mean_rate(), 1.0, 1e-14);
+}
+
+TEST(Validation, RejectsMalformedMaps) {
+  // D1 negative.
+  EXPECT_THROW(MarkovianArrivalProcess(linalg::Matrix{{-1.0}}, linalg::Matrix{{-1.0}}),
+               std::invalid_argument);
+  // Shapes differ.
+  EXPECT_THROW(
+      MarkovianArrivalProcess(linalg::Matrix{{-1.0}}, linalg::Matrix(2, 2, 0.5)),
+      std::invalid_argument);
+  // Rows of D0 + D1 must sum to zero.
+  EXPECT_THROW(MarkovianArrivalProcess(linalg::Matrix{{-2.0}}, linalg::Matrix{{1.0}}),
+               std::invalid_argument);
+  // Nonnegative diagonal of D0.
+  EXPECT_THROW(MarkovianArrivalProcess(linalg::Matrix{{0.0}}, linalg::Matrix{{0.0}}),
+               std::invalid_argument);
+}
+
+TEST(Ipp, HighVariabilityZeroCorrelation) {
+  const auto m = ipp(5.0, 0.05, 0.02);
+  EXPECT_GT(m.interarrival_scv(), 1.0);
+  // IPP interarrivals are hyperexponential (a renewal process).
+  for (double a : m.acf_series(10)) EXPECT_NEAR(a, 0.0, 1e-10);
+  EXPECT_TRUE(m.is_renewal(1e-9));
+}
+
+TEST(Ipp, MeanRateIsOnFractionTimesOnRate) {
+  const double l1 = 5.0, v1 = 0.05, v2 = 0.02;
+  const auto m = ipp(l1, v1, v2);
+  EXPECT_NEAR(m.mean_rate(), l1 * v2 / (v1 + v2), 1e-12);
+}
+
+}  // namespace
+}  // namespace perfbg::traffic

@@ -1,0 +1,214 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace perfbg::linalg {
+namespace {
+
+TEST(Matrix, DefaultConstructedIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, SizedConstructorFills) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m(i, j), 1.5);
+}
+
+TEST(Matrix, InitializerListLayout) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix i3 = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(i3(i, j), i == j ? 1.0 : 0.0);
+  const Matrix d = Matrix::diagonal({2.0, 5.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, OutOfRangeAccessThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), std::invalid_argument);
+  EXPECT_THROW(m(0, 2), std::invalid_argument);
+}
+
+TEST(Matrix, AdditionSubtractionScaling) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{10.0, 20.0}, {30.0, 40.0}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 44.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 9.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  const Matrix scaled2 = 0.5 * b;
+  EXPECT_DOUBLE_EQ(scaled2(0, 1), 10.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyRectangular) {
+  const Matrix a{{1.0, 0.0, 2.0}};       // 1x3
+  const Matrix b{{1.0}, {2.0}, {3.0}};   // 3x1
+  const Matrix c = a * b;                // 1x1
+  ASSERT_EQ(c.rows(), 1u);
+  ASSERT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 7.0);
+}
+
+TEST(Matrix, MultiplyByIdentityIsNoop) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(a * Matrix::identity(2), a);
+  EXPECT_EQ(Matrix::identity(2) * a, a);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, Transposed) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  ASSERT_EQ(t.rows(), 3u);
+  ASSERT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(Matrix, RowSumAndInfNorm) {
+  const Matrix a{{1.0, -2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.row_sum(0), -1.0);
+  EXPECT_DOUBLE_EQ(a.row_sum(1), 7.0);
+  EXPECT_DOUBLE_EQ(a.inf_norm(), 7.0);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{1.0, 2.5}, {3.0, 3.0}};
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 1.0);
+}
+
+TEST(VectorOps, VecMatAndMatVec) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector v{1.0, 1.0};
+  const Vector left = vec_mat(v, a);
+  EXPECT_DOUBLE_EQ(left[0], 4.0);
+  EXPECT_DOUBLE_EQ(left[1], 6.0);
+  const Vector right = mat_vec(a, v);
+  EXPECT_DOUBLE_EQ(right[0], 3.0);
+  EXPECT_DOUBLE_EQ(right[1], 7.0);
+}
+
+TEST(VectorOps, DotSumScaledAdd) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+  EXPECT_DOUBLE_EQ(sum({1.0, 2.0, 3.0}), 6.0);
+  const Vector s = scaled({1.0, 2.0}, 3.0);
+  EXPECT_DOUBLE_EQ(s[1], 6.0);
+  const Vector a = add({1.0, 2.0}, {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(a[0], 11.0);
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(vec_mat({1.0}, Matrix(2, 2)), std::invalid_argument);
+  EXPECT_THROW(mat_vec(Matrix(2, 2), {1.0}), std::invalid_argument);
+}
+
+TEST(Kron, MatchesDefinition) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{0.0, 5.0}, {6.0, 7.0}};
+  const Matrix k = kron(a, b);
+  ASSERT_EQ(k.rows(), 4u);
+  ASSERT_EQ(k.cols(), 4u);
+  EXPECT_DOUBLE_EQ(k(0, 1), 5.0);    // a00 * b01
+  EXPECT_DOUBLE_EQ(k(1, 0), 6.0);    // a00 * b10
+  EXPECT_DOUBLE_EQ(k(1, 3), 14.0);   // a01 * b11
+  EXPECT_DOUBLE_EQ(k(3, 2), 4.0 * 6.0);
+}
+
+TEST(Kron, IdentityKronIdentityIsIdentity) {
+  EXPECT_EQ(kron(Matrix::identity(2), Matrix::identity(3)), Matrix::identity(6));
+}
+
+TEST(Kron, MixedProductProperty) {
+  // (A (x) B)(C (x) D) == (AC) (x) (BD).
+  const Matrix a{{1.0, 2.0}, {0.0, 1.0}};
+  const Matrix b{{2.0, 0.0}, {1.0, 1.0}};
+  const Matrix c{{1.0, 1.0}, {1.0, 0.0}};
+  const Matrix d{{0.0, 1.0}, {2.0, 1.0}};
+  const Matrix lhs = kron(a, b) * kron(c, d);
+  const Matrix rhs = kron(a * c, b * d);
+  EXPECT_LT(lhs.max_abs_diff(rhs), 1e-12);
+}
+
+TEST(FromBlocks, AssemblesGrid) {
+  const Matrix a = Matrix::identity(2);
+  const Matrix b(2, 1, 3.0);
+  const Matrix c(1, 2, 4.0);
+  const Matrix d(1, 1, 5.0);
+  const Matrix m = from_blocks({{a, b}, {c, d}});
+  ASSERT_EQ(m.rows(), 3u);
+  ASSERT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m(2, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m(2, 2), 5.0);
+}
+
+TEST(FromBlocks, EmptyBlocksAreZero) {
+  const Matrix a = Matrix::identity(2);
+  const Matrix m = from_blocks({{a, Matrix{}}, {Matrix{}, a}});
+  ASSERT_EQ(m.rows(), 4u);
+  EXPECT_DOUBLE_EQ(m(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(m(3, 3), 1.0);
+}
+
+TEST(FromBlocks, InconsistentShapesThrow) {
+  EXPECT_THROW(from_blocks({{Matrix(2, 2), Matrix(3, 2)}}), std::invalid_argument);
+  // A block row with only empty blocks has no defined height.
+  EXPECT_THROW(from_blocks({{Matrix{}, Matrix{}}, {Matrix(1, 1), Matrix(1, 1)}}),
+               std::invalid_argument);
+}
+
+TEST(Matrix, StreamOutputIsReadable) {
+  std::ostringstream os;
+  os << Matrix{{1.0, 2.0}};
+  EXPECT_EQ(os.str(), "[1, 2]");
+}
+
+}  // namespace
+}  // namespace perfbg::linalg

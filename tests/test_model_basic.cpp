@@ -1,0 +1,183 @@
+// Invariant tests on the solved model: conservation laws that must hold for
+// any parameterization (mass = 1, flow balance, Little's law, metric ranges).
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "traffic/processes.hpp"
+#include "workloads/presets.hpp"
+
+namespace perfbg::core {
+namespace {
+
+struct Point {
+  const char* label;
+  double util;
+  double p;
+  int buffer;
+  double idle;
+};
+
+class ModelInvariants : public ::testing::TestWithParam<Point> {};
+
+FgBgSolution solve_email_point(const Point& pt) {
+  FgBgParams params{workloads::email().scaled_to_utilization(pt.util, 6.0)};
+  params.bg_probability = pt.p;
+  params.bg_buffer = pt.buffer;
+  params.idle_wait_intensity = pt.idle;
+  return FgBgModel(params).solve();
+}
+
+TEST_P(ModelInvariants, ProbabilityMassIsOne) {
+  EXPECT_NEAR(solve_email_point(GetParam()).metrics().probability_mass, 1.0, 1e-8);
+}
+
+TEST_P(ModelInvariants, FgThroughputEqualsArrivalRate) {
+  const FgBgSolution sol = solve_email_point(GetParam());
+  EXPECT_NEAR(sol.metrics().fg_throughput, sol.params().arrivals.mean_rate(),
+              1e-8 * sol.params().arrivals.mean_rate());
+}
+
+TEST_P(ModelInvariants, BgAcceptEqualsBgThroughput) {
+  // Flow balance for the background class: everything admitted is served.
+  const FgBgMetrics m = solve_email_point(GetParam()).metrics();
+  EXPECT_NEAR(m.bg_accept_rate, m.bg_throughput, 1e-9);
+}
+
+TEST_P(ModelInvariants, RatesDecompose) {
+  const FgBgMetrics m = solve_email_point(GetParam()).metrics();
+  EXPECT_NEAR(m.bg_generation_rate, m.bg_accept_rate + m.bg_drop_rate, 1e-12);
+  EXPECT_NEAR(m.busy_fraction, m.fg_busy_fraction + m.bg_busy_fraction, 1e-12);
+  EXPECT_NEAR(m.busy_fraction + m.idle_fraction, 1.0, 1e-8);
+}
+
+TEST_P(ModelInvariants, MetricsAreInRange) {
+  const FgBgMetrics m = solve_email_point(GetParam()).metrics();
+  EXPECT_GE(m.fg_queue_length, 0.0);
+  EXPECT_GE(m.bg_queue_length, 0.0);
+  EXPECT_LE(m.bg_queue_length, GetParam().buffer + 1e-9);
+  EXPECT_GE(m.bg_completion, 0.0);
+  EXPECT_LE(m.bg_completion, 1.0 + 1e-12);
+  EXPECT_GE(m.fg_delayed, 0.0);
+  EXPECT_LE(m.fg_delayed, 1.0);
+  EXPECT_GE(m.fg_delayed_arrivals, 0.0);
+  EXPECT_LE(m.fg_delayed_arrivals, 1.0);
+}
+
+TEST_P(ModelInvariants, LittlesLawForForeground) {
+  const FgBgSolution sol = solve_email_point(GetParam());
+  const FgBgMetrics& m = sol.metrics();
+  EXPECT_NEAR(m.fg_queue_length, m.fg_response_time * sol.params().arrivals.mean_rate(),
+              1e-9 * std::max(1.0, m.fg_queue_length));
+}
+
+TEST_P(ModelInvariants, ServerUtilizationAccounts) {
+  // P(FG in service) * mu = lambda, and P(BG in service) * mu = accepted
+  // rate, so busy fraction = (lambda + accept) * E[S].
+  const FgBgSolution sol = solve_email_point(GetParam());
+  const FgBgMetrics& m = sol.metrics();
+  const double lambda = sol.params().arrivals.mean_rate();
+  EXPECT_NEAR(m.busy_fraction, (lambda + m.bg_accept_rate) * 6.0, 1e-7);
+}
+
+TEST_P(ModelInvariants, StateMassesMatchMetrics) {
+  const FgBgSolution sol = solve_email_point(GetParam());
+  // Re-derive the idle fraction from the per-state accessors.
+  double idle = 0.0;
+  for (int x = 0; x <= GetParam().buffer; ++x)
+    idle += sol.boundary_mass(Activity::kIdle, x, 0);
+  EXPECT_NEAR(idle, sol.metrics().idle_fraction, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelInvariants,
+    ::testing::Values(Point{"low_load", 0.05, 0.3, 5, 1.0},
+                      Point{"knee", 0.15, 0.3, 5, 1.0},
+                      Point{"saturated", 0.40, 0.3, 5, 1.0},
+                      Point{"high_p", 0.10, 0.9, 5, 1.0},
+                      Point{"tiny_p", 0.10, 0.01, 5, 1.0},
+                      Point{"small_buffer", 0.10, 0.5, 1, 1.0},
+                      Point{"large_buffer", 0.10, 0.5, 12, 1.0},
+                      Point{"short_idle", 0.10, 0.5, 5, 0.1},
+                      Point{"long_idle", 0.10, 0.5, 5, 5.0},
+                      Point{"deep_saturation", 0.85, 0.6, 5, 1.0}),
+    [](const ::testing::TestParamInfo<Point>& info) { return info.param.label; });
+
+TEST(ModelBasic, NoBackgroundReducesToMapM1) {
+  FgBgParams params{workloads::email().scaled_to_utilization(0.3, 6.0)};
+  params.bg_probability = 0.0;
+  const FgBgMetrics m = FgBgModel(params).solve().metrics();
+  EXPECT_DOUBLE_EQ(m.bg_queue_length, 0.0);
+  EXPECT_DOUBLE_EQ(m.bg_generation_rate, 0.0);
+  EXPECT_DOUBLE_EQ(m.bg_completion, 1.0);
+  EXPECT_DOUBLE_EQ(m.fg_delayed, 0.0);
+  EXPECT_NEAR(m.busy_fraction, 0.3, 1e-9);
+}
+
+TEST(ModelBasic, PoissonNoBackgroundIsExactlyMM1) {
+  for (double rho : {0.2, 0.6, 0.9}) {
+    FgBgParams params{traffic::poisson(rho / 6.0)};
+    params.bg_probability = 0.0;
+    const FgBgMetrics m = FgBgModel(params).solve().metrics();
+    EXPECT_NEAR(m.fg_queue_length, rho / (1.0 - rho), 1e-7) << rho;
+    EXPECT_NEAR(m.fg_response_time, 6.0 / (1.0 - rho), 1e-6) << rho;
+  }
+}
+
+TEST(ModelBasic, TinyPApproachesNoBackgroundLimit) {
+  FgBgParams with_bg{workloads::software_dev().scaled_to_utilization(0.3, 6.0)};
+  with_bg.bg_probability = 1e-7;
+  FgBgParams without{with_bg};
+  without.bg_probability = 0.0;
+  const double q_with = FgBgModel(with_bg).solve().metrics().fg_queue_length;
+  const double q_without = FgBgModel(without).solve().metrics().fg_queue_length;
+  EXPECT_NEAR(q_with, q_without, 1e-4 * q_without);
+}
+
+TEST(ModelBasic, UnstableLoadThrowsOnSolve) {
+  FgBgParams params{traffic::poisson(1.2 / 6.0)};  // 120% offered load
+  params.bg_probability = 0.3;
+  const FgBgModel model(params);
+  EXPECT_FALSE(model.is_stable());
+  EXPECT_GT(model.drift_ratio(), 1.0);
+  EXPECT_THROW(model.solve(), std::runtime_error);
+}
+
+TEST(ModelBasic, FgCountProbabilitiesSumToOne) {
+  FgBgParams params{workloads::software_dev().scaled_to_utilization(0.2, 6.0)};
+  params.bg_probability = 0.5;
+  const FgBgSolution sol = FgBgModel(params).solve();
+  double total = 0.0;
+  for (int n = 0; n < 400; ++n) total += sol.fg_count_probability(n);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(ModelBasic, TailDecayMatchesMm1ForPoissonNoBackground) {
+  FgBgParams params{traffic::poisson(0.6 / 6.0)};
+  params.bg_probability = 0.0;
+  EXPECT_NEAR(FgBgModel(params).solve().tail_decay_rate(), 0.6, 1e-9);
+}
+
+TEST(ModelBasic, TailDecayGovernsCountDistribution) {
+  FgBgParams params{workloads::software_dev().scaled_to_utilization(0.4, 6.0)};
+  params.bg_probability = 0.5;
+  const FgBgSolution sol = FgBgModel(params).solve();
+  const double decay = sol.tail_decay_rate();
+  // Far in the tail, successive count probabilities decay at sp(R).
+  const double p40 = sol.fg_count_probability(40);
+  const double p41 = sol.fg_count_probability(41);
+  EXPECT_NEAR(p41 / p40, decay, 0.03 * decay);
+  EXPECT_LT(decay, 1.0);
+}
+
+TEST(ModelBasic, FgCountProbabilitiesReproduceQueueLength) {
+  FgBgParams params{workloads::software_dev().scaled_to_utilization(0.2, 6.0)};
+  params.bg_probability = 0.5;
+  const FgBgSolution sol = FgBgModel(params).solve();
+  double qlen = 0.0;
+  for (int n = 1; n < 600; ++n) qlen += n * sol.fg_count_probability(n);
+  EXPECT_NEAR(qlen, sol.metrics().fg_queue_length, 1e-5);
+}
+
+}  // namespace
+}  // namespace perfbg::core

@@ -1,0 +1,175 @@
+// Independent cross-check of the matrix-geometric solution and every metric
+// formula: assemble the full (truncated) generator of the FG/BG chain, solve
+// it directly with LU, re-derive all metrics from the raw stationary vector,
+// and compare against FgBgSolution. The truncation level is chosen so the
+// missing tail mass is far below the comparison tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.hpp"
+#include "linalg/lu.hpp"
+#include "traffic/processes.hpp"
+
+namespace perfbg::core {
+namespace {
+
+struct TruncatedMetrics {
+  double mass, qlen_fg, qlen_bg, p_fg, p_fg_cap, p_bg, p_bg_y0, p_idle, delayed_rate;
+};
+
+TruncatedMetrics brute_force(const FgBgParams& params, int extra_levels) {
+  const FgBgLayout layout(params.background_disabled() ? 0 : params.bg_buffer,
+                          params.arrivals.phases());
+  const qbd::QbdProcess q = build_fgbg_qbd(params, layout);
+  const std::size_t nb = q.boundary_size(), nr = q.level_size();
+  const std::size_t n = nb + nr * static_cast<std::size_t>(extra_levels);
+  linalg::Matrix full(n, n, 0.0);
+  auto put = [&](std::size_t r0, std::size_t c0, const linalg::Matrix& b) {
+    for (std::size_t i = 0; i < b.rows(); ++i)
+      for (std::size_t j = 0; j < b.cols(); ++j) full(r0 + i, c0 + j) += b(i, j);
+  };
+  put(0, 0, q.b00);
+  put(0, nb, q.b01);
+  put(nb, 0, q.b10);
+  for (int l = 0; l < extra_levels; ++l) {
+    const std::size_t off = nb + nr * static_cast<std::size_t>(l);
+    put(off, off, q.a1);
+    if (l + 1 < extra_levels)
+      put(off, off + nr, q.a0);
+    else
+      put(off, off, q.a0);  // reflect the top edge
+    if (l >= 1) put(off, off - nr, q.a2);
+  }
+  const linalg::Vector pi = linalg::solve_stationary(full);
+
+  // Re-derive the raw quantities straight from the state descriptors.
+  const std::size_t a = layout.phases();
+  linalg::Vector phase_rate(a);
+  for (std::size_t k = 0; k < a; ++k) phase_rate[k] = params.arrivals.d1().row_sum(k);
+
+  TruncatedMetrics out{};
+  auto account = [&](const StateDesc& st, int y, double mass, double wrate) {
+    out.mass += mass;
+    out.qlen_fg += y * mass;
+    out.qlen_bg += st.x * mass;
+    switch (st.kind) {
+      case Activity::kFgService:
+        out.p_fg += mass;
+        if (st.x == layout.bg_buffer()) out.p_fg_cap += mass;
+        break;
+      case Activity::kBgService:
+        out.p_bg += mass;
+        if (y == 0) out.p_bg_y0 += mass;
+        out.delayed_rate += wrate;
+        break;
+      case Activity::kIdle:
+        out.p_idle += mass;
+        break;
+    }
+  };
+  for (std::size_t s = 0; s < layout.boundary().size(); ++s) {
+    double mass = 0.0, wrate = 0.0;
+    for (std::size_t k = 0; k < a; ++k) {
+      mass += pi[s * a + k];
+      wrate += pi[s * a + k] * phase_rate[k];
+    }
+    account(layout.boundary()[s], layout.boundary()[s].y, mass, wrate);
+  }
+  for (int l = 0; l < extra_levels; ++l) {
+    const std::size_t off = nb + nr * static_cast<std::size_t>(l);
+    for (std::size_t s = 0; s < layout.repeating().size(); ++s) {
+      double mass = 0.0, wrate = 0.0;
+      for (std::size_t k = 0; k < a; ++k) {
+        mass += pi[off + s * a + k];
+        wrate += pi[off + s * a + k] * phase_rate[k];
+      }
+      const int level = layout.first_repeating_level() + l;
+      account(layout.repeating()[s], level - layout.repeating()[s].x, mass, wrate);
+    }
+  }
+  return out;
+}
+
+void compare(const FgBgParams& params, int extra_levels, double tol) {
+  const TruncatedMetrics t = brute_force(params, extra_levels);
+  const FgBgMetrics m = FgBgModel(params).solve().metrics();
+  const double lambda = params.arrivals.mean_rate();
+  const double mu = params.service_rate();
+  const double p = params.bg_probability;
+
+  EXPECT_NEAR(t.mass, 1.0, 1e-10);
+  EXPECT_NEAR(m.fg_queue_length, t.qlen_fg, tol * std::max(1.0, t.qlen_fg));
+  EXPECT_NEAR(m.bg_queue_length, t.qlen_bg, tol * std::max(1.0, t.qlen_bg));
+  EXPECT_NEAR(m.fg_busy_fraction, t.p_fg, tol);
+  EXPECT_NEAR(m.bg_busy_fraction, t.p_bg, tol);
+  EXPECT_NEAR(m.idle_fraction, t.p_idle, tol);
+  if (p > 0.0) {
+    EXPECT_NEAR(m.bg_completion, 1.0 - t.p_fg_cap / t.p_fg, tol);
+    EXPECT_NEAR(m.bg_drop_rate, p * mu * t.p_fg_cap, tol);
+  }
+  const double p_y0 = t.p_idle + t.p_bg_y0;
+  EXPECT_NEAR(m.fg_delayed, (t.p_bg - t.p_bg_y0) / (1.0 - p_y0), tol);
+  EXPECT_NEAR(m.fg_delayed_arrivals, t.delayed_rate / lambda, tol);
+}
+
+TEST(ModelExact, PoissonModerateLoad) {
+  FgBgParams params{traffic::poisson(0.25 / 6.0)};
+  params.bg_probability = 0.4;
+  params.bg_buffer = 2;
+  compare(params, 60, 1e-7);
+}
+
+TEST(ModelExact, PoissonHighP) {
+  FgBgParams params{traffic::poisson(0.30 / 6.0)};
+  params.bg_probability = 0.9;
+  params.bg_buffer = 3;
+  compare(params, 70, 1e-7);
+}
+
+TEST(ModelExact, MmppLowLoad) {
+  FgBgParams params{traffic::mmpp2(0.002, 0.0008, 0.04, 0.004)};
+  params.bg_probability = 0.5;
+  params.bg_buffer = 2;
+  // Bursty arrivals: needs more levels for the same tail mass.
+  compare(params, 120, 1e-6);
+}
+
+TEST(ModelExact, ShortIdleWait) {
+  FgBgParams params{traffic::poisson(0.2 / 6.0)};
+  params.bg_probability = 0.6;
+  params.bg_buffer = 2;
+  params.idle_wait_intensity = 0.2;
+  compare(params, 60, 1e-7);
+}
+
+TEST(ModelExact, LongIdleWait) {
+  FgBgParams params{traffic::poisson(0.2 / 6.0)};
+  params.bg_probability = 0.6;
+  params.bg_buffer = 2;
+  params.idle_wait_intensity = 4.0;
+  compare(params, 60, 1e-7);
+}
+
+TEST(ModelExact, BufferOfOne) {
+  FgBgParams params{traffic::poisson(0.25 / 6.0)};
+  params.bg_probability = 0.7;
+  params.bg_buffer = 1;
+  compare(params, 60, 1e-7);
+}
+
+TEST(ModelExact, ErlangArrivalPhases) {
+  FgBgParams params{traffic::erlang_renewal(3, 30.0)};  // util 0.2
+  params.bg_probability = 0.4;
+  params.bg_buffer = 2;
+  compare(params, 60, 1e-7);
+}
+
+TEST(ModelExact, NoBackgroundDegenerate) {
+  FgBgParams params{traffic::poisson(0.3 / 6.0)};
+  params.bg_probability = 0.0;
+  compare(params, 80, 1e-7);
+}
+
+}  // namespace
+}  // namespace perfbg::core

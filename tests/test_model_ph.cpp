@@ -1,0 +1,159 @@
+// Tests of the phase-type-service extension (paper footnote 3): the chain
+// builder expands combined arrival x service phases via Kronecker products.
+// Anchors: the exact M/G/1 Pollaczek-Khinchine formula (Poisson arrivals,
+// no background), flow invariants, and simulation cross-checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.hpp"
+#include "sim/fgbg_simulator.hpp"
+#include "traffic/processes.hpp"
+
+namespace perfbg::core {
+namespace {
+
+using traffic::PhaseType;
+
+FgBgParams ph_params(PhaseType service, double rho, double p, int buffer = 5) {
+  FgBgParams params{traffic::poisson(rho / service.mean())};
+  params.service_distribution = std::move(service);
+  params.bg_probability = p;
+  params.bg_buffer = buffer;
+  return params;
+}
+
+double pollaczek_khinchine_number_in_system(double rho, double scv) {
+  return rho + rho * rho * (1.0 + scv) / (2.0 * (1.0 - rho));
+}
+
+TEST(ModelPh, MG1ErlangServiceMatchesPollaczekKhinchine) {
+  for (double rho : {0.3, 0.6, 0.85}) {
+    FgBgParams params = ph_params(PhaseType::erlang(3, 6.0), rho, 0.0);
+    const double qlen = FgBgModel(params).solve().metrics().fg_queue_length;
+    EXPECT_NEAR(qlen, pollaczek_khinchine_number_in_system(rho, 1.0 / 3.0), 1e-6) << rho;
+  }
+}
+
+TEST(ModelPh, MG1HyperexpServiceMatchesPollaczekKhinchine) {
+  const PhaseType h2 = PhaseType::hyperexponential(0.3, 2.0, 12.0);
+  for (double rho : {0.3, 0.6, 0.85}) {
+    FgBgParams params = ph_params(h2, rho, 0.0);
+    const double qlen = FgBgModel(params).solve().metrics().fg_queue_length;
+    EXPECT_NEAR(qlen, pollaczek_khinchine_number_in_system(rho, h2.scv()),
+                1e-6 * std::max(1.0, qlen))
+        << rho;
+  }
+}
+
+TEST(ModelPh, MG1CoxianServiceMatchesPollaczekKhinchine) {
+  const PhaseType cox = PhaseType::coxian2(0.4, 0.1, 0.5);
+  const double rho = 0.5;
+  FgBgParams params = ph_params(cox, rho, 0.0);
+  const double qlen = FgBgModel(params).solve().metrics().fg_queue_length;
+  EXPECT_NEAR(qlen, pollaczek_khinchine_number_in_system(rho, cox.scv()), 1e-6);
+}
+
+TEST(ModelPh, ExponentialDistributionObjectMatchesScalarPath) {
+  // Supplying PhaseType::exponential must reproduce the default path bitwise
+  // in spirit: same metrics to solver precision.
+  FgBgParams scalar{traffic::poisson(0.25 / 6.0)};
+  scalar.bg_probability = 0.4;
+  FgBgParams ph = scalar;
+  ph.service_distribution = PhaseType::exponential(6.0);
+  const FgBgMetrics a = FgBgModel(scalar).solve().metrics();
+  const FgBgMetrics b = FgBgModel(ph).solve().metrics();
+  EXPECT_NEAR(a.fg_queue_length, b.fg_queue_length, 1e-10);
+  EXPECT_NEAR(a.bg_completion, b.bg_completion, 1e-10);
+  EXPECT_NEAR(a.fg_delayed, b.fg_delayed, 1e-10);
+}
+
+TEST(ModelPh, FlowInvariantsHoldWithPhService) {
+  for (const PhaseType& service :
+       {PhaseType::erlang(2, 6.0), PhaseType::hyperexponential(0.25, 2.0, 12.0)}) {
+    FgBgParams params = ph_params(service, 0.3, 0.6);
+    const FgBgSolution sol = FgBgModel(params).solve();
+    const FgBgMetrics& m = sol.metrics();
+    EXPECT_NEAR(m.probability_mass, 1.0, 1e-8) << service.name();
+    EXPECT_NEAR(m.fg_throughput, params.arrivals.mean_rate(), 1e-8) << service.name();
+    EXPECT_NEAR(m.bg_accept_rate, m.bg_throughput, 1e-9) << service.name();
+    EXPECT_NEAR(m.busy_fraction,
+                (params.arrivals.mean_rate() + m.bg_accept_rate) * service.mean(), 1e-7)
+        << service.name();
+  }
+}
+
+TEST(ModelPh, QueueGrowsWithServiceVariabilityUnderPoisson) {
+  // Classic M/G/1 intuition must survive the background machinery: at equal
+  // mean service and load, higher service SCV means longer foreground queue.
+  const double rho = 0.5, p = 0.5;
+  const double q_erlang =
+      FgBgModel(ph_params(PhaseType::erlang(4, 6.0), rho, p)).solve().metrics()
+          .fg_queue_length;
+  const double q_expo =
+      FgBgModel(ph_params(PhaseType::exponential(6.0), rho, p)).solve().metrics()
+          .fg_queue_length;
+  const double q_h2 =
+      FgBgModel(ph_params(PhaseType::hyperexponential(0.25, 2.0, 12.0), rho, p))
+          .solve()
+          .metrics()
+          .fg_queue_length;
+  EXPECT_LT(q_erlang, q_expo);
+  EXPECT_LT(q_expo, q_h2);
+}
+
+TEST(ModelPh, ErlangServiceAgreesWithSimulation) {
+  FgBgParams params = ph_params(PhaseType::erlang(2, 6.0), 0.4, 0.6);
+  const FgBgMetrics m = FgBgModel(params).solve().metrics();
+  sim::SimConfig cfg;
+  cfg.warmup_time = 2e5;
+  cfg.batch_time = 1e6;
+  cfg.batches = 10;
+  const sim::SimMetrics s = sim::simulate_fgbg(params, cfg);
+  EXPECT_NEAR(m.fg_queue_length, s.fg_queue_length.mean,
+              3.0 * s.fg_queue_length.half_width + 0.02);
+  EXPECT_NEAR(m.bg_completion, s.bg_completion.mean,
+              3.0 * s.bg_completion.half_width + 0.02);
+  EXPECT_NEAR(m.bg_queue_length, s.bg_queue_length.mean,
+              3.0 * s.bg_queue_length.half_width + 0.03);
+}
+
+TEST(ModelPh, HyperexpServiceAgreesWithSimulation) {
+  FgBgParams params = ph_params(PhaseType::hyperexponential(0.3, 2.0, 12.0), 0.35, 0.4);
+  const FgBgMetrics m = FgBgModel(params).solve().metrics();
+  sim::SimConfig cfg;
+  cfg.warmup_time = 2e5;
+  cfg.batch_time = 1e6;
+  cfg.batches = 10;
+  const sim::SimMetrics s = sim::simulate_fgbg(params, cfg);
+  EXPECT_NEAR(m.fg_queue_length, s.fg_queue_length.mean,
+              3.0 * s.fg_queue_length.half_width + 0.05);
+  EXPECT_NEAR(m.fg_delayed_arrivals, s.fg_delayed_arrivals.mean,
+              3.0 * s.fg_delayed_arrivals.half_width + 0.01);
+}
+
+TEST(ModelPh, MmppArrivalsWithErlangService) {
+  // Combined 2x2 phase expansion; all structural invariants intact.
+  FgBgParams params{traffic::mmpp2(0.002, 0.0008, 0.04, 0.004)};
+  params.service_distribution = PhaseType::erlang(2, 6.0);
+  params.bg_probability = 0.5;
+  params.bg_buffer = 3;
+  const FgBgSolution sol = FgBgModel(params).solve();
+  EXPECT_NEAR(sol.metrics().probability_mass, 1.0, 1e-8);
+  EXPECT_NEAR(sol.metrics().fg_throughput, params.arrivals.mean_rate(), 1e-8);
+  EXPECT_EQ(sol.layout().phases(), 4u);
+}
+
+TEST(ModelPh, ServiceMeanDrivesLoadAccounting) {
+  const PhaseType service = PhaseType::erlang(2, 12.0);  // 12 ms mean
+  FgBgParams params{traffic::poisson(0.03)};             // 0.36 offered load
+  params.service_distribution = service;
+  params.bg_probability = 0.2;
+  EXPECT_NEAR(params.fg_offered_load(), 0.36, 1e-12);
+  EXPECT_NEAR(params.mean_service(), 12.0, 1e-12);
+  const FgBgModel model(params);
+  EXPECT_NEAR(model.drift_ratio(), 0.36, 1e-8);
+}
+
+}  // namespace
+}  // namespace perfbg::core

@@ -1,0 +1,84 @@
+// End-to-end stochastic validation: the analytic metrics must land inside
+// (slightly widened) simulation confidence intervals across a parameter grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/model.hpp"
+#include "sim/fgbg_simulator.hpp"
+#include "traffic/processes.hpp"
+#include "workloads/presets.hpp"
+
+namespace perfbg {
+namespace {
+
+struct SimPoint {
+  const char* label;
+  const char* workload;  // "poisson", "softdev", "ipp"
+  double util;
+  double p;
+  int buffer;
+  double idle;
+};
+
+traffic::MarkovianArrivalProcess process_for(const std::string& name, double util) {
+  if (name == "poisson") return traffic::poisson(util / 6.0);
+  if (name == "softdev") return workloads::software_dev().scaled_to_utilization(util, 6.0);
+  if (name == "ipp") return workloads::email_ipp().scaled_to_utilization(util, 6.0);
+  throw std::logic_error("unknown workload");
+}
+
+class ModelVsSim : public ::testing::TestWithParam<SimPoint> {};
+
+void expect_close(const char* what, double analytic, const sim::Estimate& e) {
+  // 3x the half-width plus a small absolute slack absorbs the CI
+  // undercoverage that batch means exhibit under correlated input.
+  const double slack = 3.0 * e.half_width + 0.02 * std::max(1.0, std::abs(e.mean)) + 1e-3;
+  EXPECT_NEAR(analytic, e.mean, slack) << what;
+}
+
+TEST_P(ModelVsSim, MetricsAgree) {
+  const SimPoint pt = GetParam();
+  core::FgBgParams params{process_for(pt.workload, pt.util)};
+  params.bg_probability = pt.p;
+  params.bg_buffer = pt.buffer;
+  params.idle_wait_intensity = pt.idle;
+
+  const core::FgBgMetrics m = core::FgBgModel(params).solve().metrics();
+
+  sim::SimConfig cfg;
+  cfg.warmup_time = 3e5;
+  cfg.batch_time = 1.5e6;
+  cfg.batches = 10;
+  cfg.seed = 0xC0FFEE ^ static_cast<std::uint64_t>(pt.util * 1000.0);
+  const sim::SimMetrics s = sim::simulate_fgbg(params, cfg);
+
+  expect_close("fg_queue_length", m.fg_queue_length, s.fg_queue_length);
+  expect_close("bg_queue_length", m.bg_queue_length, s.bg_queue_length);
+  expect_close("bg_completion", m.bg_completion, s.bg_completion);
+  expect_close("fg_delayed_arrivals", m.fg_delayed_arrivals, s.fg_delayed_arrivals);
+  expect_close("fg_response_time", m.fg_response_time, s.fg_response_time);
+  expect_close("busy_fraction", m.busy_fraction, s.busy_fraction);
+  expect_close("bg_busy_fraction", m.bg_busy_fraction, s.bg_busy_fraction);
+  expect_close("idle_fraction", m.idle_fraction, s.idle_fraction);
+  expect_close("fg_throughput", m.fg_throughput, s.fg_throughput);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelVsSim,
+    ::testing::Values(
+        SimPoint{"poisson_low", "poisson", 0.15, 0.3, 5, 1.0},
+        SimPoint{"poisson_mid", "poisson", 0.50, 0.6, 5, 1.0},
+        SimPoint{"poisson_high", "poisson", 0.80, 0.3, 5, 1.0},
+        SimPoint{"poisson_smallbuf", "poisson", 0.40, 0.9, 1, 1.0},
+        SimPoint{"poisson_longidle", "poisson", 0.30, 0.6, 5, 3.0},
+        SimPoint{"poisson_shortidle", "poisson", 0.30, 0.6, 5, 0.25},
+        SimPoint{"softdev_low", "softdev", 0.15, 0.3, 5, 1.0},
+        SimPoint{"softdev_mid", "softdev", 0.35, 0.6, 5, 1.0},
+        SimPoint{"softdev_bigbuf", "softdev", 0.25, 0.9, 10, 1.0},
+        SimPoint{"ipp_mid", "ipp", 0.40, 0.6, 5, 1.0}),
+    [](const ::testing::TestParamInfo<SimPoint>& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace perfbg

@@ -1,0 +1,214 @@
+// Tests of the two-class background extension (the paper's stated future
+// work). Anchors: reduction to the single-class model when one class is
+// disabled via p2 -> 0, strict-priority orderings, invariants, and a
+// simulation cross-check.
+#include "core/multiclass.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "sim/multiclass_simulator.hpp"
+#include "traffic/processes.hpp"
+#include "workloads/presets.hpp"
+
+namespace perfbg::core {
+namespace {
+
+McParams mc_params(traffic::MarkovianArrivalProcess arrivals, double p1, double p2,
+                   int b1 = 3, int b2 = 3) {
+  McParams params{std::move(arrivals)};
+  params.p1 = p1;
+  params.p2 = p2;
+  params.buffer1 = b1;
+  params.buffer2 = b2;
+  return params;
+}
+
+TEST(McLayout, BoundaryStatesAreUniqueAndComplete) {
+  const McLayout layout(2, 3, 1);
+  // F: {x1<=2, x2<=3, y>=1, x1+x2+y<=5}; I: one per (x1,x2);
+  // B1: x1>=1; B2: x2>=1 with the same level constraint.
+  int f = 0, b1 = 0, b2 = 0, idle = 0;
+  for (const McStateDesc& s : layout.boundary()) {
+    EXPECT_LE(s.x1 + s.x2 + s.y, 5);
+    EXPECT_LE(s.x1, 2);
+    EXPECT_LE(s.x2, 3);
+    switch (s.kind) {
+      case McActivity::kFgService:
+        EXPECT_GE(s.y, 1);
+        ++f;
+        break;
+      case McActivity::kBg1Service:
+        EXPECT_GE(s.x1, 1);
+        ++b1;
+        break;
+      case McActivity::kBg2Service:
+        EXPECT_GE(s.x2, 1);
+        ++b2;
+        break;
+      case McActivity::kIdle:
+        EXPECT_EQ(s.y, 0);
+        ++idle;
+        break;
+    }
+  }
+  EXPECT_EQ(idle, 12);  // all (x1, x2) pairs
+  EXPECT_GT(f, 0);
+  EXPECT_GT(b1, 0);
+  EXPECT_GT(b2, 0);
+  // Round-trip every index.
+  for (std::size_t i = 0; i < layout.boundary().size(); ++i) {
+    const McStateDesc& s = layout.boundary()[i];
+    EXPECT_EQ(layout.boundary_index(s.kind, s.x1, s.x2, s.y), i);
+  }
+}
+
+TEST(McLayout, RepeatingSlotCount) {
+  const McLayout layout(2, 3, 1);
+  // F: 3*4 = 12; B1: 2*4 = 8; B2: 3*3 = 9.
+  EXPECT_EQ(layout.repeating().size(), 12u + 8u + 9u);
+  for (std::size_t i = 0; i < layout.repeating().size(); ++i) {
+    const McStateDesc& s = layout.repeating()[i];
+    EXPECT_EQ(layout.repeating_index(s.kind, s.x1, s.x2), i);
+  }
+}
+
+TEST(McModel, BuildsValidQbd) {
+  const McParams params = mc_params(traffic::poisson(0.03), 0.2, 0.3);
+  EXPECT_NO_THROW(McModel{params});
+}
+
+TEST(McModel, MassAndFlowInvariants) {
+  const McParams params = mc_params(workloads::software_dev().scaled_to_utilization(0.2, 6.0),
+                                    0.3, 0.3);
+  const McMetrics m = McModel(params).solve();
+  EXPECT_NEAR(m.probability_mass, 1.0, 1e-8);
+  EXPECT_NEAR(m.fg_throughput, params.arrivals.mean_rate(), 1e-8);
+  EXPECT_NEAR(m.busy_fraction + m.idle_fraction, 1.0, 1e-8);
+  EXPECT_LE(m.bg1_queue_length, params.buffer1 + 1e-9);
+  EXPECT_LE(m.bg2_queue_length, params.buffer2 + 1e-9);
+}
+
+TEST(McModel, DriftRatioIsOfferedLoad) {
+  const McParams params = mc_params(traffic::poisson(0.4 / 6.0), 0.3, 0.3);
+  EXPECT_NEAR(McModel(params).drift_ratio(), 0.4, 1e-8);
+}
+
+TEST(McModel, TinyClass2ReducesToSingleClassModel) {
+  // With p2 -> 0 the class-2 dimension carries no probability mass and the
+  // two-class model must agree with FgBgModel on every shared metric.
+  const auto arrivals = traffic::poisson(0.25 / 6.0);
+  McParams mc = mc_params(arrivals, 0.4, 1e-9, 3, 1);
+  const McMetrics a = McModel(mc).solve();
+
+  FgBgParams single{arrivals};
+  single.bg_probability = 0.4;
+  single.bg_buffer = 3;
+  const FgBgMetrics b = FgBgModel(single).solve().metrics();
+
+  EXPECT_NEAR(a.fg_queue_length, b.fg_queue_length, 1e-6);
+  EXPECT_NEAR(a.bg1_queue_length, b.bg_queue_length, 1e-6);
+  EXPECT_NEAR(a.bg1_completion, b.bg_completion, 1e-6);
+  EXPECT_NEAR(a.fg_delayed, b.fg_delayed, 1e-6);
+  EXPECT_NEAR(a.busy_fraction, b.busy_fraction, 1e-6);
+  EXPECT_LT(a.bg2_queue_length, 1e-6);
+}
+
+TEST(McModel, SymmetricClassesAreSymmetricExceptPriority) {
+  // Equal spawn probabilities and buffers: class 1 (served first) must do at
+  // least as well as class 2 on completion, and hold a shorter queue.
+  const McParams params = mc_params(traffic::poisson(0.35 / 6.0), 0.3, 0.3, 3, 3);
+  const McMetrics m = McModel(params).solve();
+  EXPECT_GE(m.bg1_completion, m.bg2_completion - 1e-12);
+  EXPECT_LE(m.bg1_queue_length, m.bg2_queue_length + 1e-12);
+}
+
+TEST(McModel, PriorityGapWidensWithLoad) {
+  double prev_gap = -1.0;
+  for (double u : {0.2, 0.4, 0.6}) {
+    const McParams params = mc_params(traffic::poisson(u / 6.0), 0.3, 0.3, 2, 2);
+    const McMetrics m = McModel(params).solve();
+    const double gap = m.bg2_queue_length - m.bg1_queue_length;
+    EXPECT_GT(gap, prev_gap) << u;
+    prev_gap = gap;
+  }
+}
+
+TEST(McModel, CompletionDecreasesWithLoadForBothClasses) {
+  double prev1 = 2.0, prev2 = 2.0;
+  for (double u : {0.1, 0.3, 0.5, 0.7}) {
+    const McParams params = mc_params(traffic::poisson(u / 6.0), 0.2, 0.4, 2, 2);
+    const McMetrics m = McModel(params).solve();
+    EXPECT_LT(m.bg1_completion, prev1 + 1e-12) << u;
+    EXPECT_LT(m.bg2_completion, prev2 + 1e-12) << u;
+    prev1 = m.bg1_completion;
+    prev2 = m.bg2_completion;
+  }
+}
+
+TEST(McModel, CorrelatedArrivalsHurtBothClassesEarlier) {
+  const double u = 0.25;
+  const McParams bursty =
+      mc_params(workloads::email().scaled_to_utilization(u, 6.0), 0.3, 0.3);
+  const McParams smooth = mc_params(traffic::poisson(u / 6.0), 0.3, 0.3);
+  const McMetrics mb = McModel(bursty).solve();
+  const McMetrics ms = McModel(smooth).solve();
+  EXPECT_LT(mb.bg1_completion, ms.bg1_completion);
+  EXPECT_LT(mb.bg2_completion, ms.bg2_completion);
+}
+
+TEST(McModel, AgreesWithSimulation) {
+  const McParams params = mc_params(traffic::poisson(0.4 / 6.0), 0.3, 0.4, 2, 2);
+  const McMetrics m = McModel(params).solve();
+  sim::McSimConfig cfg;
+  cfg.warmup_time = 2e5;
+  cfg.batch_time = 1e6;
+  cfg.batches = 10;
+  const sim::McSimMetrics s = sim::simulate_multiclass(params, cfg);
+  EXPECT_NEAR(m.fg_queue_length, s.fg_queue_length.mean,
+              3.0 * s.fg_queue_length.half_width + 0.02);
+  EXPECT_NEAR(m.bg1_queue_length, s.bg1_queue_length.mean,
+              3.0 * s.bg1_queue_length.half_width + 0.02);
+  EXPECT_NEAR(m.bg2_queue_length, s.bg2_queue_length.mean,
+              3.0 * s.bg2_queue_length.half_width + 0.02);
+  EXPECT_NEAR(m.bg1_completion, s.bg1_completion.mean,
+              3.0 * s.bg1_completion.half_width + 0.02);
+  EXPECT_NEAR(m.bg2_completion, s.bg2_completion.mean,
+              3.0 * s.bg2_completion.half_width + 0.02);
+  EXPECT_NEAR(m.busy_fraction, s.busy_fraction.mean,
+              3.0 * s.busy_fraction.half_width + 0.02);
+}
+
+TEST(McModel, MmppArrivalsWork) {
+  const McParams params =
+      mc_params(traffic::mmpp2(0.002, 0.0008, 0.04, 0.004), 0.25, 0.25, 2, 2);
+  const McMetrics m = McModel(params).solve();
+  EXPECT_NEAR(m.probability_mass, 1.0, 1e-8);
+  EXPECT_GE(m.bg1_completion, m.bg2_completion - 1e-12);
+}
+
+TEST(McParams, ValidationCatchesBadInputs) {
+  McParams p = mc_params(traffic::poisson(0.02), 0.5, 0.6);
+  EXPECT_THROW(p.validate(), std::invalid_argument);  // p1 + p2 > 1
+  p = mc_params(traffic::poisson(0.02), 0.0, 0.0);
+  EXPECT_THROW(p.validate(), std::invalid_argument);  // nothing spawns
+  p = mc_params(traffic::poisson(0.02), 0.3, 0.3, 0, 2);
+  EXPECT_THROW(p.validate(), std::invalid_argument);  // buffer1 < 1
+}
+
+TEST(McSimulator, DeterministicAndConsistent) {
+  const McParams params = mc_params(traffic::poisson(0.3 / 6.0), 0.2, 0.3, 2, 2);
+  sim::McSimConfig cfg;
+  cfg.warmup_time = 1e5;
+  cfg.batch_time = 3e5;
+  cfg.batches = 8;
+  const sim::McSimMetrics a = sim::simulate_multiclass(params, cfg);
+  const sim::McSimMetrics b = sim::simulate_multiclass(params, cfg);
+  EXPECT_DOUBLE_EQ(a.fg_queue_length.mean, b.fg_queue_length.mean);
+  EXPECT_EQ(a.bg1_generated, b.bg1_generated);
+  EXPECT_LE(a.bg1_dropped, a.bg1_generated);
+  EXPECT_LE(a.bg2_dropped, a.bg2_generated);
+}
+
+}  // namespace
+}  // namespace perfbg::core

@@ -1,0 +1,108 @@
+#include "traffic/phase_type.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+#include "traffic/sampler.hpp"
+
+namespace perfbg::traffic {
+namespace {
+
+TEST(PhaseType, ExponentialMoments) {
+  const PhaseType ph = PhaseType::exponential(4.0);
+  EXPECT_EQ(ph.phases(), 1u);
+  EXPECT_NEAR(ph.mean(), 4.0, 1e-12);
+  EXPECT_NEAR(ph.moment(2), 32.0, 1e-10);  // 2 * mean^2
+  EXPECT_NEAR(ph.scv(), 1.0, 1e-12);
+}
+
+TEST(PhaseType, ErlangMoments) {
+  for (int k : {1, 2, 4, 8}) {
+    const PhaseType ph = PhaseType::erlang(k, 6.0);
+    EXPECT_NEAR(ph.mean(), 6.0, 1e-10) << k;
+    EXPECT_NEAR(ph.scv(), 1.0 / k, 1e-10) << k;
+  }
+}
+
+TEST(PhaseType, HyperexponentialMoments) {
+  const double p1 = 0.25, m1 = 2.0, m2 = 10.0;
+  const PhaseType ph = PhaseType::hyperexponential(p1, m1, m2);
+  const double mean = p1 * m1 + (1.0 - p1) * m2;
+  EXPECT_NEAR(ph.mean(), mean, 1e-12);
+  const double ex2 = 2.0 * (p1 * m1 * m1 + (1.0 - p1) * m2 * m2);
+  EXPECT_NEAR(ph.moment(2), ex2, 1e-10);
+  EXPECT_GE(ph.scv(), 1.0);
+}
+
+TEST(PhaseType, Coxian2Mean) {
+  // E[T] = 1/mu1 + q / mu2.
+  const PhaseType ph = PhaseType::coxian2(0.5, 0.25, 0.6);
+  EXPECT_NEAR(ph.mean(), 2.0 + 0.6 * 4.0, 1e-12);
+}
+
+TEST(PhaseType, Coxian2WithZeroContinuationIsExponential) {
+  const PhaseType ph = PhaseType::coxian2(0.2, 1.0, 0.0);
+  EXPECT_NEAR(ph.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(ph.scv(), 1.0, 1e-12);
+}
+
+TEST(PhaseType, ScaledToMean) {
+  const PhaseType ph = PhaseType::erlang(3, 2.0).scaled_to_mean(7.0);
+  EXPECT_NEAR(ph.mean(), 7.0, 1e-10);
+  EXPECT_NEAR(ph.scv(), 1.0 / 3.0, 1e-10);  // shape preserved
+}
+
+TEST(PhaseType, VarianceIsConsistent) {
+  const PhaseType ph = PhaseType::hyperexponential(0.3, 1.0, 9.0);
+  EXPECT_NEAR(ph.variance(), ph.moment(2) - ph.mean() * ph.mean(), 1e-10);
+}
+
+TEST(PhaseType, ValidationRejectsMalformedInput) {
+  using M = linalg::Matrix;
+  // alpha does not sum to 1.
+  EXPECT_THROW(PhaseType({0.5}, M{{-1.0}}), std::invalid_argument);
+  // negative alpha.
+  EXPECT_THROW(PhaseType({-0.5, 1.5}, M{{-1.0, 0.0}, {0.0, -1.0}}), std::invalid_argument);
+  // positive diagonal.
+  EXPECT_THROW(PhaseType({1.0}, M{{1.0}}), std::invalid_argument);
+  // row sums > 0.
+  EXPECT_THROW(PhaseType({1.0, 0.0}, M{{-1.0, 2.0}, {0.0, -1.0}}), std::invalid_argument);
+  // no absorption anywhere.
+  EXPECT_THROW(PhaseType({1.0, 0.0}, M{{-1.0, 1.0}, {1.0, -1.0}}), std::invalid_argument);
+  // shape mismatch.
+  EXPECT_THROW(PhaseType({1.0}, M(2, 2, -1.0)), std::invalid_argument);
+}
+
+TEST(PhaseType, FactoryArgumentChecks) {
+  EXPECT_THROW(PhaseType::exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(PhaseType::erlang(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(PhaseType::hyperexponential(0.0, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(PhaseType::coxian2(1.0, 1.0, 1.5), std::invalid_argument);
+  EXPECT_THROW(PhaseType::exponential(1.0).scaled_to_mean(-1.0), std::invalid_argument);
+}
+
+TEST(PhaseTypeSampler, EmpiricalMomentsMatchAnalytic) {
+  std::mt19937_64 rng(31);
+  for (const PhaseType& ph :
+       {PhaseType::exponential(3.0), PhaseType::erlang(4, 3.0),
+        PhaseType::hyperexponential(0.2, 1.0, 8.0), PhaseType::coxian2(1.0, 0.5, 0.4)}) {
+    const PhaseTypeSampler sampler(ph);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 300000;
+    for (int i = 0; i < n; ++i) {
+      const double t = sampler.sample(rng);
+      ASSERT_GT(t, 0.0);
+      sum += t;
+      sum2 += t * t;
+    }
+    const double mean = sum / n;
+    const double scv = (sum2 / n - mean * mean) / (mean * mean);
+    EXPECT_NEAR(mean, ph.mean(), 0.03 * ph.mean()) << ph.name();
+    EXPECT_NEAR(scv, ph.scv(), 0.1 * std::max(1.0, ph.scv())) << ph.name();
+  }
+}
+
+}  // namespace
+}  // namespace perfbg::traffic

@@ -1,0 +1,86 @@
+#include "traffic/processes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace perfbg::traffic {
+namespace {
+
+TEST(Erlang, MeanAndScv) {
+  for (int k : {1, 2, 4, 10}) {
+    const auto m = erlang_renewal(k, 5.0);
+    EXPECT_NEAR(m.mean_rate(), 0.2, 1e-10) << k;
+    EXPECT_NEAR(m.interarrival_scv(), 1.0 / k, 1e-10) << k;
+  }
+}
+
+TEST(Erlang, IsRenewal) {
+  const auto m = erlang_renewal(3, 2.0);
+  for (double a : m.acf_series(8)) EXPECT_NEAR(a, 0.0, 1e-10);
+}
+
+TEST(Erlang, OrderOneIsPoisson) {
+  const auto m = erlang_renewal(1, 4.0);
+  EXPECT_EQ(m.phases(), 1u);
+  EXPECT_NEAR(m.interarrival_scv(), 1.0, 1e-12);
+}
+
+TEST(Erlang, BadArgsThrow) {
+  EXPECT_THROW(erlang_renewal(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(erlang_renewal(2, 0.0), std::invalid_argument);
+}
+
+TEST(HyperExp, MeanAndScv) {
+  const double p1 = 0.3, r1 = 4.0, r2 = 0.5;
+  const auto m = hyperexp2_renewal(p1, r1, r2);
+  const double mean = p1 / r1 + (1.0 - p1) / r2;
+  EXPECT_NEAR(m.mean_interarrival(), mean, 1e-10);
+  const double ex2 = 2.0 * (p1 / (r1 * r1) + (1.0 - p1) / (r2 * r2));
+  EXPECT_NEAR(m.interarrival_scv(), ex2 / (mean * mean) - 1.0, 1e-10);
+  EXPECT_GE(m.interarrival_scv(), 1.0);
+}
+
+TEST(HyperExp, IsRenewal) {
+  const auto m = hyperexp2_renewal(0.2, 3.0, 0.4);
+  for (double a : m.acf_series(8)) EXPECT_NEAR(a, 0.0, 1e-10);
+}
+
+TEST(HyperExp, BadArgsThrow) {
+  EXPECT_THROW(hyperexp2_renewal(0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(hyperexp2_renewal(1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(hyperexp2_renewal(0.5, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Superpose, RatesAdd) {
+  const auto a = poisson(0.3);
+  const auto b = mmpp2(0.1, 0.2, 2.0, 0.5);
+  const auto s = superpose(a, b);
+  EXPECT_EQ(s.phases(), 2u);
+  EXPECT_NEAR(s.mean_rate(), a.mean_rate() + b.mean_rate(), 1e-10);
+}
+
+TEST(Superpose, TwoPoissonsArePoisson) {
+  const auto s = superpose(poisson(0.3), poisson(0.7));
+  EXPECT_NEAR(s.mean_rate(), 1.0, 1e-12);
+  EXPECT_NEAR(s.interarrival_scv(), 1.0, 1e-10);
+  for (double a : s.acf_series(5)) EXPECT_NEAR(a, 0.0, 1e-10);
+}
+
+TEST(Superpose, PreservesGeneratorStructure) {
+  const auto s = superpose(mmpp2(0.1, 0.2, 2.0, 0.5), mmpp2(0.3, 0.4, 1.0, 3.0));
+  EXPECT_EQ(s.phases(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(s.d0().row_sum(i) + s.d1().row_sum(i), 0.0, 1e-12);
+}
+
+TEST(Mmpp2Factory, BadArgsThrow) {
+  EXPECT_THROW(mmpp2(0.0, 0.1, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(mmpp2(0.1, 0.1, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(mmpp2(0.1, 0.1, -1.0, 1.0), std::invalid_argument);
+}
+
+TEST(PoissonFactory, BadArgsThrow) { EXPECT_THROW(poisson(0.0), std::invalid_argument); }
+
+}  // namespace
+}  // namespace perfbg::traffic

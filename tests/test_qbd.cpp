@@ -1,0 +1,220 @@
+// Tests for the generic QBD machinery, anchored on queueing systems with
+// known closed forms:
+//  * M/M/1 as a QBD with scalar blocks (R = rho),
+//  * MAP/M/1 with 2-phase arrivals against brute-force truncation,
+//  * agreement between the two R solvers.
+#include "qbd/qbd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+#include "linalg/spectral.hpp"
+#include "qbd/rmatrix.hpp"
+#include "qbd/solution.hpp"
+#include "traffic/processes.hpp"
+
+namespace perfbg::qbd {
+namespace {
+
+/// M/M/1 as a QBD: one state per level.
+QbdProcess mm1(double lambda, double mu) {
+  QbdProcess q;
+  q.b00 = Matrix{{-lambda}};
+  q.b01 = Matrix{{lambda}};
+  q.b10 = Matrix{{mu}};
+  q.a0 = Matrix{{lambda}};
+  q.a1 = Matrix{{-(lambda + mu)}};
+  q.a2 = Matrix{{mu}};
+  return q;
+}
+
+/// MAP/M/1 as a QBD: boundary = empty-system phases; repeating = phases.
+QbdProcess map_m_1(const traffic::MarkovianArrivalProcess& map, double mu) {
+  const std::size_t a = map.phases();
+  QbdProcess q;
+  q.b00 = map.d0();
+  q.b01 = map.d1();
+  q.b10 = Matrix::identity(a) * mu;
+  q.a0 = map.d1();
+  q.a1 = map.d0() - Matrix::identity(a) * mu;
+  q.a2 = Matrix::identity(a) * mu;
+  return q;
+}
+
+TEST(QbdValidate, AcceptsWellFormedProcess) { EXPECT_NO_THROW(mm1(0.3, 1.0).validate()); }
+
+TEST(QbdValidate, RejectsBrokenRowSums) {
+  QbdProcess q = mm1(0.3, 1.0);
+  q.a0 = Matrix{{0.4}};  // breaks both repeating row sums
+  EXPECT_THROW(q.validate(), std::invalid_argument);
+}
+
+TEST(QbdValidate, RejectsNegativeRates) {
+  QbdProcess q = mm1(0.3, 1.0);
+  q.a2 = Matrix{{-1.0}};
+  EXPECT_THROW(q.validate(), std::invalid_argument);
+}
+
+TEST(QbdValidate, RejectsShapeMismatch) {
+  QbdProcess q = mm1(0.3, 1.0);
+  q.b01 = Matrix(1, 2, 0.1);
+  EXPECT_THROW(q.validate(), std::invalid_argument);
+}
+
+TEST(QbdDrift, Mm1DriftIsRho) {
+  EXPECT_NEAR(mm1(0.3, 1.0).drift_ratio(), 0.3, 1e-12);
+  EXPECT_TRUE(mm1(0.3, 1.0).is_stable());
+  EXPECT_FALSE(mm1(1.2, 1.0).is_stable());
+}
+
+TEST(QbdDrift, MapM1DriftIsUtilization) {
+  const auto map = traffic::mmpp2(0.05, 0.02, 1.0, 0.1);
+  const double mu = 2.0;
+  EXPECT_NEAR(map_m_1(map, mu).drift_ratio(), map.mean_rate() / mu, 1e-10);
+}
+
+TEST(SolveR, Mm1RIsRho) {
+  for (double rho : {0.1, 0.5, 0.9, 0.99}) {
+    const QbdProcess q = mm1(rho, 1.0);
+    const Matrix r = solve_r(q.a0, q.a1, q.a2);
+    EXPECT_NEAR(r(0, 0), rho, 1e-10) << rho;
+  }
+}
+
+TEST(SolveR, FunctionalIterationAgreesWithLogReduction) {
+  const auto map = traffic::mmpp2(0.05, 0.02, 1.0, 0.1);
+  const QbdProcess q = map_m_1(map, 1.0);
+  RSolverOptions fi;
+  fi.kind = RSolverKind::kFunctionalIteration;
+  fi.max_iters = 1000000;
+  const Matrix r_lr = solve_r(q.a0, q.a1, q.a2);
+  const Matrix r_fi = solve_r(q.a0, q.a1, q.a2, fi);
+  EXPECT_LT(r_lr.max_abs_diff(r_fi), 1e-9);
+}
+
+TEST(SolveR, ResidualIsTiny) {
+  const auto map = traffic::mmpp2(0.05, 0.02, 1.5, 0.3);
+  const QbdProcess q = map_m_1(map, 2.0);
+  RSolverStats stats;
+  const Matrix r = solve_r(q.a0, q.a1, q.a2, {}, &stats);
+  EXPECT_LT(stats.final_residual, 1e-10);
+  EXPECT_LT(r_equation_residual(r, q.a0, q.a1, q.a2), 1e-10);
+  EXPECT_GT(stats.iterations, 0);
+}
+
+TEST(SolveR, NonnegativeWithSpectralRadiusBelowOne) {
+  const auto map = traffic::mmpp2(0.01, 0.004, 3.0, 0.2);
+  const QbdProcess q = map_m_1(map, 2.0);
+  const Matrix r = solve_r(q.a0, q.a1, q.a2);
+  for (std::size_t i = 0; i < r.rows(); ++i)
+    for (std::size_t j = 0; j < r.cols(); ++j) EXPECT_GE(r(i, j), 0.0);
+  EXPECT_LT(linalg::spectral_radius(r), 1.0);
+}
+
+TEST(SolveG, GIsStochasticForStableQbd) {
+  const auto map = traffic::mmpp2(0.05, 0.02, 1.0, 0.1);
+  const QbdProcess q = map_m_1(map, 1.0);
+  const Matrix g = solve_g(q.a0, q.a1, q.a2);
+  for (std::size_t i = 0; i < g.rows(); ++i) EXPECT_NEAR(g.row_sum(i), 1.0, 1e-9);
+}
+
+TEST(SolveG, SatisfiesItsEquation) {
+  const auto map = traffic::mmpp2(0.05, 0.02, 1.0, 0.1);
+  const QbdProcess q = map_m_1(map, 1.0);
+  const Matrix g = solve_g(q.a0, q.a1, q.a2);
+  EXPECT_LT((q.a2 + q.a1 * g + q.a0 * (g * g)).inf_norm(), 1e-9);
+}
+
+TEST(SolveG, BothSolversAgree) {
+  const auto map = traffic::mmpp2(0.02, 0.05, 2.0, 0.4);
+  const QbdProcess q = map_m_1(map, 1.5);
+  RSolverOptions fi;
+  fi.kind = RSolverKind::kFunctionalIteration;
+  fi.max_iters = 1000000;
+  EXPECT_LT(solve_g(q.a0, q.a1, q.a2).max_abs_diff(solve_g(q.a0, q.a1, q.a2, fi)), 1e-9);
+}
+
+TEST(Solution, Mm1QueueLengthClosedForm) {
+  for (double rho : {0.2, 0.5, 0.8, 0.95}) {
+    const QbdSolution sol(mm1(rho, 1.0));
+    // pi_0 = 1 - rho; level k has pi = (1-rho) rho^k.
+    EXPECT_NEAR(sol.boundary()[0], 1.0 - rho, 1e-10) << rho;
+    EXPECT_NEAR(sol.first_repeating()[0], (1.0 - rho) * rho, 1e-10) << rho;
+    // Mean queue length = rho / (1 - rho):
+    // levels contribute 1 * P(level >= 1) via index 0 plus the index sum.
+    const double qlen = sol.repeating_mass() + sol.mean_repeating_index();
+    EXPECT_NEAR(qlen, rho / (1.0 - rho), 1e-8) << rho;
+    EXPECT_NEAR(sol.total_mass(), 1.0, 1e-10);
+  }
+}
+
+TEST(Solution, Mm1GeometricLevels) {
+  const double rho = 0.6;
+  const QbdSolution sol(mm1(rho, 1.0));
+  for (int k = 0; k < 10; ++k)
+    EXPECT_NEAR(sol.repeating_level(k)[0], (1.0 - rho) * std::pow(rho, k + 1), 1e-10) << k;
+}
+
+TEST(Solution, UnstableProcessThrows) {
+  EXPECT_THROW(QbdSolution{mm1(1.5, 1.0)}, std::runtime_error);
+}
+
+TEST(Solution, MapM1MassAndThroughputBalance) {
+  const auto map = traffic::mmpp2(0.05, 0.02, 1.0, 0.1);
+  const double mu = 1.0;
+  const QbdSolution sol(map_m_1(map, mu));
+  EXPECT_NEAR(sol.total_mass(), 1.0, 1e-9);
+  // P(busy) = repeating mass must equal lambda / mu.
+  EXPECT_NEAR(sol.repeating_mass(), map.mean_rate() / mu, 1e-9);
+}
+
+TEST(Solution, MapM1AgainstBruteForceTruncation) {
+  // Assemble the truncated generator for K levels and solve directly with
+  // LU; compare level probabilities with the matrix-geometric solution.
+  const auto map = traffic::mmpp2(0.05, 0.02, 1.0, 0.1);
+  const double mu = 1.5;
+  const QbdProcess q = map_m_1(map, mu);
+  const QbdSolution sol(q);
+
+  const std::size_t a = map.phases();
+  const int levels = 80;  // plus boundary; tail mass ~ sp(R)^80
+  const std::size_t n = a * static_cast<std::size_t>(levels + 1);
+  Matrix full(n, n, 0.0);
+  auto put = [&](int lr, int lc, const Matrix& b) {
+    for (std::size_t i = 0; i < a; ++i)
+      for (std::size_t j = 0; j < a; ++j)
+        full(static_cast<std::size_t>(lr) * a + i, static_cast<std::size_t>(lc) * a + j) +=
+            b(i, j);
+  };
+  put(0, 0, q.b00);
+  put(0, 1, q.b01);
+  put(1, 0, q.b10);
+  for (int l = 1; l <= levels; ++l) {
+    put(l, l, q.a1);
+    if (l + 1 <= levels)
+      put(l, l + 1, q.a0);
+    else
+      put(l, l, q.a0);  // reflect at the truncation boundary
+    if (l >= 2) put(l, l - 1, q.a2);
+  }
+  const linalg::Vector pi = linalg::solve_stationary(full);
+
+  for (int l = 0; l <= 10; ++l) {
+    double truncated = 0.0;
+    for (std::size_t i = 0; i < a; ++i)
+      truncated += pi[static_cast<std::size_t>(l) * a + i];
+    double exact = 0.0;
+    if (l == 0) {
+      exact = sol.boundary_mass();
+    } else {
+      for (double v : sol.repeating_level(l - 1)) exact += v;
+    }
+    EXPECT_NEAR(truncated, exact, 1e-8) << "level " << l;
+  }
+}
+
+}  // namespace
+}  // namespace perfbg::qbd

@@ -1,0 +1,113 @@
+// Tests for the reservoir quantile estimator, the simulator's response-time
+// percentiles, and the trace -> MMPP fitting pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "sim/fgbg_simulator.hpp"
+#include "sim/statistics.hpp"
+#include "traffic/processes.hpp"
+#include "workloads/presets.hpp"
+#include "workloads/trace.hpp"
+
+namespace perfbg {
+namespace {
+
+TEST(ReservoirQuantiles, ExactWhenUnderCapacity) {
+  sim::ReservoirQuantiles rq(100);
+  for (int i = 1; i <= 11; ++i) rq.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(rq.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(rq.quantile(0.5), 6.0);
+  EXPECT_DOUBLE_EQ(rq.quantile(1.0), 11.0);
+  EXPECT_EQ(rq.count(), 11u);
+}
+
+TEST(ReservoirQuantiles, InterpolatesBetweenOrderStatistics) {
+  sim::ReservoirQuantiles rq(10);
+  rq.add(0.0);
+  rq.add(10.0);
+  EXPECT_DOUBLE_EQ(rq.quantile(0.25), 2.5);
+}
+
+TEST(ReservoirQuantiles, UniformStreamQuantilesConverge) {
+  sim::ReservoirQuantiles rq(20000, 7);
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < 500000; ++i) rq.add(u(rng));
+  EXPECT_NEAR(rq.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(rq.quantile(0.95), 0.95, 0.01);
+  EXPECT_NEAR(rq.quantile(0.99), 0.99, 0.01);
+}
+
+TEST(ReservoirQuantiles, ExponentialTail) {
+  sim::ReservoirQuantiles rq(50000, 11);
+  std::mt19937_64 rng(5);
+  std::exponential_distribution<double> e(1.0);
+  for (int i = 0; i < 400000; ++i) rq.add(e(rng));
+  EXPECT_NEAR(rq.quantile(0.99), -std::log(0.01), 0.2);
+}
+
+TEST(ReservoirQuantiles, ErrorsOnMisuse) {
+  sim::ReservoirQuantiles rq(10);
+  EXPECT_THROW(rq.quantile(0.5), std::invalid_argument);  // empty
+  rq.add(1.0);
+  EXPECT_THROW(rq.quantile(1.5), std::invalid_argument);
+  EXPECT_THROW(sim::ReservoirQuantiles(0), std::invalid_argument);
+}
+
+TEST(SimulatorPercentiles, MM1ResponsePercentilesMatchClosedForm) {
+  // M/M/1 response time is Exp(mu - lambda): p-quantile = -ln(1-p)/(mu-la).
+  const double rho = 0.5, mu = 1.0 / 6.0, lambda = rho * mu;
+  core::FgBgParams params{traffic::poisson(lambda)};
+  params.bg_probability = 0.0;
+  sim::SimConfig cfg;
+  cfg.warmup_time = 2e5;
+  cfg.batch_time = 2e6;
+  cfg.batches = 10;
+  const sim::SimMetrics s = sim::simulate_fgbg(params, cfg);
+  const double scale = 1.0 / (mu - lambda);
+  EXPECT_NEAR(s.fg_response_p50, -std::log(0.5) * scale, 0.05 * scale);
+  EXPECT_NEAR(s.fg_response_p95, -std::log(0.05) * scale, 0.15 * scale);
+  EXPECT_NEAR(s.fg_response_p99, -std::log(0.01) * scale, 0.4 * scale);
+}
+
+TEST(SimulatorPercentiles, BackgroundWorkInflatesTheTail) {
+  core::FgBgParams base{traffic::poisson(0.3 / 6.0)};
+  base.bg_probability = 0.0;
+  core::FgBgParams with_bg = base;
+  with_bg.bg_probability = 0.9;
+  sim::SimConfig cfg;
+  cfg.warmup_time = 1e5;
+  cfg.batch_time = 1e6;
+  cfg.batches = 8;
+  const sim::SimMetrics a = sim::simulate_fgbg(base, cfg);
+  const sim::SimMetrics b = sim::simulate_fgbg(with_bg, cfg);
+  EXPECT_GT(b.fg_response_p95, a.fg_response_p95);
+}
+
+TEST(TraceFit, RoundTripsPresetStatistics) {
+  const auto original = workloads::software_dev();
+  const auto trace = workloads::generate_interarrival_trace(original, 400000, 99);
+  const auto fit = workloads::fit_mmpp2_from_trace(trace, 30, "roundtrip");
+  EXPECT_EQ(fit.name(), "roundtrip");
+  EXPECT_NEAR(fit.mean_rate(), original.mean_rate(), 0.03 * original.mean_rate());
+  EXPECT_NEAR(fit.interarrival_scv(), original.interarrival_scv(),
+              0.15 * original.interarrival_scv());
+  EXPECT_NEAR(fit.acf(1), original.acf(1), 0.06);
+  EXPECT_NEAR(fit.acf_decay_rate(), original.acf_decay_rate(), 0.05);
+}
+
+TEST(TraceFit, UncorrelatedTraceIsRejected) {
+  const auto trace =
+      workloads::generate_interarrival_trace(workloads::email_poisson(), 100000, 3);
+  EXPECT_THROW(workloads::fit_mmpp2_from_trace(trace), std::invalid_argument);
+}
+
+TEST(TraceFit, ShortTraceIsRejected) {
+  const std::vector<double> tiny(100, 1.0);
+  EXPECT_THROW(workloads::fit_mmpp2_from_trace(tiny, 40), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace perfbg

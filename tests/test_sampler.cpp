@@ -1,0 +1,86 @@
+#include "traffic/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "traffic/processes.hpp"
+
+namespace perfbg::traffic {
+namespace {
+
+double sample_mean(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double sample_scv(const std::vector<double>& xs) {
+  const double mu = sample_mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mu) * (x - mu);
+  return ss / (static_cast<double>(xs.size()) * mu * mu);
+}
+
+TEST(Sampler, DeterministicGivenSeed) {
+  const auto m = mmpp2(0.05, 0.02, 4.0, 0.2);
+  MapSampler a(m, 99), b(m, 99);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.next_interarrival(), b.next_interarrival());
+}
+
+TEST(Sampler, DifferentSeedsDiffer) {
+  const auto m = poisson(1.0);
+  MapSampler a(m, 1), b(m, 2);
+  EXPECT_NE(a.next_interarrival(), b.next_interarrival());
+}
+
+TEST(Sampler, AllSamplesPositive) {
+  MapSampler s(mmpp2(0.05, 0.02, 4.0, 0.2), 5);
+  for (double x : s.sample(10000)) EXPECT_GT(x, 0.0);
+}
+
+TEST(Sampler, PoissonMeanAndScv) {
+  MapSampler s(poisson(0.5), 7);
+  const auto xs = s.sample(200000);
+  EXPECT_NEAR(sample_mean(xs), 2.0, 0.02);
+  EXPECT_NEAR(sample_scv(xs), 1.0, 0.03);
+}
+
+TEST(Sampler, MmppMeanMatchesAnalytic) {
+  const auto m = mmpp2(0.03, 0.01, 2.0, 0.1);
+  MapSampler s(m, 11);
+  const auto xs = s.sample(400000);
+  EXPECT_NEAR(sample_mean(xs), m.mean_interarrival(), 0.02 * m.mean_interarrival());
+}
+
+TEST(Sampler, MmppScvMatchesAnalytic) {
+  const auto m = mmpp2(0.03, 0.01, 2.0, 0.1);
+  MapSampler s(m, 13);
+  const auto xs = s.sample(400000);
+  EXPECT_NEAR(sample_scv(xs), m.interarrival_scv(), 0.1 * m.interarrival_scv());
+}
+
+TEST(Sampler, ErlangMeanAndScv) {
+  const auto m = erlang_renewal(4, 8.0);
+  MapSampler s(m, 17);
+  const auto xs = s.sample(200000);
+  EXPECT_NEAR(sample_mean(xs), 8.0, 0.05);
+  EXPECT_NEAR(sample_scv(xs), 0.25, 0.01);
+}
+
+TEST(Sampler, PhaseStaysInRange) {
+  const auto m = mmpp2(0.5, 0.5, 2.0, 0.5);
+  MapSampler s(m, 23);
+  for (int i = 0; i < 1000; ++i) {
+    s.next_interarrival();
+    EXPECT_LT(s.phase(), m.phases());
+  }
+}
+
+TEST(Sampler, SampleVectorHasRequestedLength) {
+  MapSampler s(poisson(1.0), 3);
+  EXPECT_EQ(s.sample(123).size(), 123u);
+}
+
+}  // namespace
+}  // namespace perfbg::traffic

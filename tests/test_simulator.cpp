@@ -1,0 +1,117 @@
+#include "sim/fgbg_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "traffic/processes.hpp"
+
+namespace perfbg::sim {
+namespace {
+
+core::FgBgParams mm1_params(double rho, double p = 0.0) {
+  core::FgBgParams params{traffic::poisson(rho / 6.0)};
+  params.mean_service_time = 6.0;
+  params.bg_probability = p;
+  params.bg_buffer = 5;
+  return params;
+}
+
+SimConfig quick_config(std::uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.warmup_time = 1e5;
+  cfg.batch_time = 5e5;
+  cfg.batches = 10;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  const auto params = mm1_params(0.4, 0.5);
+  const SimMetrics a = simulate_fgbg(params, quick_config(9));
+  const SimMetrics b = simulate_fgbg(params, quick_config(9));
+  EXPECT_DOUBLE_EQ(a.fg_queue_length.mean, b.fg_queue_length.mean);
+  EXPECT_EQ(a.fg_arrivals, b.fg_arrivals);
+  EXPECT_EQ(a.bg_completed, b.bg_completed);
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+  const auto params = mm1_params(0.4, 0.5);
+  const SimMetrics a = simulate_fgbg(params, quick_config(1));
+  const SimMetrics b = simulate_fgbg(params, quick_config(2));
+  EXPECT_NE(a.fg_queue_length.mean, b.fg_queue_length.mean);
+}
+
+TEST(Simulator, MM1QueueLengthMatchesClosedForm) {
+  const double rho = 0.5;
+  const SimMetrics s = simulate_fgbg(mm1_params(rho), quick_config(3));
+  EXPECT_NEAR(s.fg_queue_length.mean, rho / (1.0 - rho),
+              3.0 * s.fg_queue_length.half_width + 0.05);
+  EXPECT_NEAR(s.busy_fraction.mean, rho, 0.02);
+}
+
+TEST(Simulator, NoBackgroundMeansNoBgActivity) {
+  const SimMetrics s = simulate_fgbg(mm1_params(0.5, 0.0), quick_config(4));
+  EXPECT_EQ(s.bg_generated, 0u);
+  EXPECT_EQ(s.bg_completed, 0u);
+  EXPECT_DOUBLE_EQ(s.bg_queue_length.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.fg_delayed_arrivals.mean, 0.0);
+}
+
+TEST(Simulator, GenerationRateIsPTimesThroughput) {
+  const SimMetrics s = simulate_fgbg(mm1_params(0.5, 0.6), quick_config(5));
+  const double generated_per_completion =
+      static_cast<double>(s.bg_generated) /
+      static_cast<double>(s.fg_arrivals);  // arrivals ~ completions over a long run
+  EXPECT_NEAR(generated_per_completion, 0.6, 0.02);
+}
+
+TEST(Simulator, AccountingIdentities) {
+  const SimMetrics s = simulate_fgbg(mm1_params(0.6, 0.8), quick_config(6));
+  EXPECT_LE(s.bg_dropped, s.bg_generated);
+  // Completions can lag acceptances by at most the buffer content.
+  EXPECT_LE(s.bg_completed, s.bg_generated - s.bg_dropped);
+  EXPECT_GE(s.bg_completed + 10, s.bg_generated - s.bg_dropped);
+  EXPECT_NEAR(s.busy_fraction.mean + s.idle_fraction.mean, 1.0, 1e-9);
+}
+
+TEST(Simulator, FractionsAreInRange) {
+  const SimMetrics s = simulate_fgbg(mm1_params(0.7, 0.9), quick_config(7));
+  EXPECT_GE(s.bg_completion.mean, 0.0);
+  EXPECT_LE(s.bg_completion.mean, 1.0);
+  EXPECT_GE(s.fg_delayed_arrivals.mean, 0.0);
+  EXPECT_LE(s.fg_delayed_arrivals.mean, 1.0);
+}
+
+TEST(Simulator, ErlangIdleWaitRuns) {
+  SimConfig cfg = quick_config(8);
+  cfg.idle_wait = IdleWaitKind::kErlang2;
+  const SimMetrics s = simulate_fgbg(mm1_params(0.4, 0.5), cfg);
+  EXPECT_GT(s.bg_completed, 0u);
+  cfg.idle_wait = IdleWaitKind::kDeterministicish;
+  EXPECT_GT(simulate_fgbg(mm1_params(0.4, 0.5), cfg).bg_completed, 0u);
+}
+
+TEST(Simulator, ZeroWarmupIsAccepted) {
+  SimConfig cfg = quick_config(10);
+  cfg.warmup_time = 0.0;
+  const SimMetrics s = simulate_fgbg(mm1_params(0.3, 0.3), cfg);
+  EXPECT_GT(s.fg_arrivals, 0u);
+}
+
+TEST(Simulator, BadConfigThrows) {
+  SimConfig cfg = quick_config();
+  cfg.batches = 1;
+  EXPECT_THROW(simulate_fgbg(mm1_params(0.3), cfg), std::invalid_argument);
+  cfg = quick_config();
+  cfg.batch_time = 0.0;
+  EXPECT_THROW(simulate_fgbg(mm1_params(0.3), cfg), std::invalid_argument);
+}
+
+TEST(Simulator, ThroughputTracksArrivalRate) {
+  const SimMetrics s = simulate_fgbg(mm1_params(0.5, 0.5), quick_config(11));
+  EXPECT_NEAR(s.fg_throughput.mean, 0.5 / 6.0, 0.003);
+}
+
+}  // namespace
+}  // namespace perfbg::sim

@@ -1,0 +1,65 @@
+#include "linalg/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace perfbg::linalg {
+namespace {
+
+TEST(SpectralRadius, DiagonalMatrix) {
+  EXPECT_NEAR(spectral_radius(Matrix::diagonal({0.2, 0.7, 0.5})), 0.7, 1e-9);
+}
+
+TEST(SpectralRadius, StochasticMatrixIsOne) {
+  const Matrix p{{0.3, 0.7}, {0.6, 0.4}};
+  EXPECT_NEAR(spectral_radius(p), 1.0, 1e-9);
+}
+
+TEST(SpectralRadius, SubstochasticBelowOne) {
+  const Matrix p{{0.3, 0.3}, {0.1, 0.4}};
+  const double r = spectral_radius(p);
+  EXPECT_LT(r, 1.0);
+  // Exact: eigenvalues of [[.3,.3],[.1,.4]] are (0.7 +/- sqrt(0.01+0.12))/2.
+  EXPECT_NEAR(r, (0.7 + std::sqrt(0.13)) / 2.0, 1e-9);
+}
+
+TEST(SpectralRadius, ZeroMatrix) { EXPECT_DOUBLE_EQ(spectral_radius(Matrix(3, 3, 0.0)), 0.0); }
+
+TEST(SpectralRadius, EmptyMatrixIsZero) { EXPECT_DOUBLE_EQ(spectral_radius(Matrix{}), 0.0); }
+
+TEST(SpectralRadius, NegativeEntryThrows) {
+  EXPECT_THROW(spectral_radius(Matrix{{1.0, -0.1}, {0.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(SpectralRadius, NonSquareThrows) {
+  EXPECT_THROW(spectral_radius(Matrix(2, 3, 0.1)), std::invalid_argument);
+}
+
+TEST(Eigenvalues2x2, RealPair) {
+  const auto ev = eigenvalues_2x2(Matrix{{2.0, 0.0}, {0.0, 5.0}});
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_NEAR(std::max((*ev)[0], (*ev)[1]), 5.0, 1e-12);
+  EXPECT_NEAR(std::min((*ev)[0], (*ev)[1]), 2.0, 1e-12);
+}
+
+TEST(Eigenvalues2x2, ComplexPairReturnsNullopt) {
+  // Rotation matrix: eigenvalues are complex.
+  EXPECT_FALSE(eigenvalues_2x2(Matrix{{0.0, -1.0}, {1.0, 0.0}}).has_value());
+}
+
+TEST(Eigenvalues2x2, StochasticSecondEigenvalueIsTraceMinusOne) {
+  const Matrix p{{0.9, 0.1}, {0.2, 0.8}};
+  const auto ev = eigenvalues_2x2(p);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_NEAR(std::max((*ev)[0], (*ev)[1]), 1.0, 1e-12);
+  EXPECT_NEAR(std::min((*ev)[0], (*ev)[1]), 0.7, 1e-12);
+}
+
+TEST(Eigenvalues2x2, WrongShapeThrows) {
+  EXPECT_THROW(eigenvalues_2x2(Matrix(3, 3, 0.0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace perfbg::linalg

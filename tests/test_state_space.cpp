@@ -1,0 +1,119 @@
+#include "core/state_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace perfbg::core {
+namespace {
+
+TEST(Layout, BoundaryCountMatchesClosedForm) {
+  // Levels 0..X contribute 2j+1 macro states each: total (X+1)^2.
+  for (int x : {1, 2, 5, 10}) {
+    const FgBgLayout layout(x, 2);
+    EXPECT_EQ(layout.boundary_macro_count(),
+              static_cast<std::size_t>((x + 1) * (x + 1)))
+        << x;
+    EXPECT_EQ(layout.boundary_flat_size(), layout.boundary_macro_count() * 2) << x;
+  }
+}
+
+TEST(Layout, RepeatingCountIs2XPlus1) {
+  for (int x : {1, 2, 5, 10}) {
+    const FgBgLayout layout(x, 3);
+    EXPECT_EQ(layout.repeating_macro_count(), static_cast<std::size_t>(2 * x + 1));
+    EXPECT_EQ(layout.repeating_flat_size(), static_cast<std::size_t>(2 * x + 1) * 3);
+  }
+}
+
+TEST(Layout, BoundaryStatesAreExactlyTheLowLevels) {
+  const int x_cap = 3;
+  const FgBgLayout layout(x_cap, 1);
+  std::set<std::tuple<int, int, int>> seen;  // (kind, x, y)
+  for (const StateDesc& s : layout.boundary()) {
+    EXPECT_LE(s.x + s.y, x_cap);
+    EXPECT_GE(s.x, 0);
+    EXPECT_GE(s.y, 0);
+    switch (s.kind) {
+      case Activity::kFgService:
+        EXPECT_GE(s.y, 1);
+        break;
+      case Activity::kBgService:
+        EXPECT_GE(s.x, 1);
+        break;
+      case Activity::kIdle:
+        EXPECT_EQ(s.y, 0);
+        break;
+    }
+    EXPECT_TRUE(seen.insert({static_cast<int>(s.kind), s.x, s.y}).second)
+        << "duplicate state";
+  }
+  // Count each family: F states {x>=0, y>=1, x+y<=X}, B {x>=1, y>=0,
+  // x+y<=X}, I {0..X}.
+  int f = 0, b = 0, idle = 0;
+  for (const StateDesc& s : layout.boundary()) {
+    if (s.kind == Activity::kFgService) ++f;
+    if (s.kind == Activity::kBgService) ++b;
+    if (s.kind == Activity::kIdle) ++idle;
+  }
+  EXPECT_EQ(f, x_cap * (x_cap + 1) / 2);
+  EXPECT_EQ(b, x_cap * (x_cap + 1) / 2);
+  EXPECT_EQ(idle, x_cap + 1);
+}
+
+TEST(Layout, BoundaryIndexRoundTrips) {
+  const FgBgLayout layout(4, 2);
+  for (std::size_t i = 0; i < layout.boundary().size(); ++i) {
+    const StateDesc& s = layout.boundary()[i];
+    EXPECT_EQ(layout.boundary_index(s.kind, s.x, s.y), i);
+  }
+}
+
+TEST(Layout, RepeatingIndexLayout) {
+  const FgBgLayout layout(3, 2);
+  EXPECT_EQ(layout.repeating_index(Activity::kFgService, 0), 0u);
+  EXPECT_EQ(layout.repeating_index(Activity::kFgService, 1), 1u);
+  EXPECT_EQ(layout.repeating_index(Activity::kBgService, 1), 2u);
+  EXPECT_EQ(layout.repeating_index(Activity::kFgService, 3), 5u);
+  EXPECT_EQ(layout.repeating_index(Activity::kBgService, 3), 6u);
+}
+
+TEST(Layout, RepeatingDescriptorsMatchIndices) {
+  const FgBgLayout layout(5, 1);
+  for (std::size_t i = 0; i < layout.repeating().size(); ++i) {
+    const StateDesc& s = layout.repeating()[i];
+    EXPECT_EQ(layout.repeating_index(s.kind, s.x), i);
+  }
+}
+
+TEST(Layout, MissingStatesThrow) {
+  const FgBgLayout layout(2, 1);
+  EXPECT_THROW(layout.boundary_index(Activity::kFgService, 0, 0), std::invalid_argument);
+  EXPECT_THROW(layout.boundary_index(Activity::kFgService, 2, 1), std::invalid_argument);
+  EXPECT_THROW(layout.boundary_index(Activity::kIdle, 3, 0), std::invalid_argument);
+  EXPECT_THROW(layout.repeating_index(Activity::kBgService, 0), std::invalid_argument);
+  EXPECT_THROW(layout.repeating_index(Activity::kIdle, 1), std::invalid_argument);
+  EXPECT_THROW(layout.repeating_index(Activity::kFgService, 3), std::invalid_argument);
+}
+
+TEST(Layout, DegenerateNoBackgroundSpace) {
+  const FgBgLayout layout(0, 2);
+  ASSERT_EQ(layout.boundary_macro_count(), 1u);
+  EXPECT_EQ(layout.boundary()[0].kind, Activity::kIdle);
+  ASSERT_EQ(layout.repeating_macro_count(), 1u);
+  EXPECT_EQ(layout.repeating()[0].kind, Activity::kFgService);
+  EXPECT_EQ(layout.first_repeating_level(), 1);
+}
+
+TEST(Layout, FirstRepeatingLevel) {
+  EXPECT_EQ(FgBgLayout(5, 2).first_repeating_level(), 6);
+}
+
+TEST(Layout, InvalidArgsThrow) {
+  EXPECT_THROW(FgBgLayout(-1, 2), std::invalid_argument);
+  EXPECT_THROW(FgBgLayout(2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace perfbg::core

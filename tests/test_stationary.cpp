@@ -1,0 +1,171 @@
+#include "markov/stationary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace perfbg::markov {
+namespace {
+
+TEST(IsGenerator, AcceptsValidGenerator) {
+  EXPECT_TRUE(is_generator(Matrix{{-1.0, 1.0}, {2.0, -2.0}}));
+}
+
+TEST(IsGenerator, RejectsBadRowSum) {
+  EXPECT_FALSE(is_generator(Matrix{{-1.0, 0.5}, {2.0, -2.0}}));
+}
+
+TEST(IsGenerator, RejectsNegativeOffDiagonal) {
+  EXPECT_FALSE(is_generator(Matrix{{1.0, -1.0}, {2.0, -2.0}}));
+}
+
+TEST(IsGenerator, RejectsNonSquare) { EXPECT_FALSE(is_generator(Matrix(2, 3, 0.0))); }
+
+TEST(IsStochastic, AcceptsAndRejects) {
+  EXPECT_TRUE(is_stochastic(Matrix{{0.5, 0.5}, {0.0, 1.0}}));
+  EXPECT_FALSE(is_stochastic(Matrix{{0.5, 0.6}, {0.0, 1.0}}));
+  EXPECT_FALSE(is_stochastic(Matrix{{1.5, -0.5}, {0.0, 1.0}}));
+}
+
+TEST(StationaryCtmc, TwoStateClosedForm) {
+  const Matrix q{{-3.0, 3.0}, {1.0, -1.0}};
+  const Vector pi = stationary_ctmc(q);
+  EXPECT_NEAR(pi[0], 0.25, 1e-14);
+  EXPECT_NEAR(pi[1], 0.75, 1e-14);
+}
+
+TEST(StationaryCtmc, SingleState) {
+  const Vector pi = stationary_ctmc(Matrix{{0.0}});
+  ASSERT_EQ(pi.size(), 1u);
+  EXPECT_DOUBLE_EQ(pi[0], 1.0);
+}
+
+TEST(StationaryCtmc, BirthDeathChainMatchesDetailedBalance) {
+  // Birth rate 2, death rate 5, 4 states: pi_i ~ (2/5)^i.
+  const std::size_t n = 4;
+  Matrix q(n, n, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    q(i, i + 1) = 2.0;
+    q(i + 1, i) = 5.0;
+  }
+  for (std::size_t i = 0; i < n; ++i) q(i, i) = -q.row_sum(i);
+  const Vector pi = stationary_ctmc(q);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    EXPECT_NEAR(pi[i + 1] / pi[i], 0.4, 1e-12) << i;
+}
+
+TEST(StationaryCtmc, AgreesWithLuOnRandomChains) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> u(0.1, 2.0);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(trial % 5);
+    Matrix q(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j)
+        if (i != j) q(i, j) = u(rng);
+      q(i, i) = -q.row_sum(i);
+    }
+    const Vector gth = stationary_ctmc(q);
+    const Vector lu = linalg::solve_stationary(q);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(gth[i], lu[i], 1e-10);
+  }
+}
+
+TEST(StationaryCtmc, StiffRatesStayAccurate) {
+  // GTH is subtraction-free: 10 orders of magnitude between rates is fine.
+  const Matrix q{{-1e-8, 1e-8}, {1e2, -1e2}};
+  const Vector pi = stationary_ctmc(q);
+  EXPECT_NEAR(pi[0], 1e2 / (1e2 + 1e-8), 1e-12);
+  EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-14);
+}
+
+TEST(StationaryCtmc, NonGeneratorThrows) {
+  EXPECT_THROW(stationary_ctmc(Matrix{{-1.0, 0.5}, {1.0, -1.0}}), std::invalid_argument);
+}
+
+TEST(StationaryCtmc, ReducibleChainThrows) {
+  // Two absorbing states: no unique stationary distribution.
+  const Matrix q{{0.0, 0.0}, {0.0, 0.0}};
+  EXPECT_THROW(stationary_ctmc(q), std::runtime_error);
+}
+
+TEST(StationaryDtmc, TwoStateClosedForm) {
+  const Matrix p{{0.9, 0.1}, {0.3, 0.7}};
+  const Vector pi = stationary_dtmc(p);
+  EXPECT_NEAR(pi[0], 0.75, 1e-13);
+  EXPECT_NEAR(pi[1], 0.25, 1e-13);
+}
+
+TEST(StationaryDtmc, NonStochasticThrows) {
+  EXPECT_THROW(stationary_dtmc(Matrix{{0.9, 0.2}, {0.3, 0.7}}), std::invalid_argument);
+}
+
+TEST(ClosedClass, IrreducibleChainIsOneClass) {
+  const Matrix q{{-1.0, 1.0}, {1.0, -1.0}};
+  const auto cls = closed_class(q);
+  EXPECT_EQ(cls.size(), 2u);
+}
+
+TEST(ClosedClass, FindsAbsorbingClass) {
+  // 0 -> 1 -> {2,3} cycle; {2,3} is the closed class.
+  Matrix q(4, 4, 0.0);
+  q(0, 1) = 1.0;
+  q(1, 2) = 1.0;
+  q(2, 3) = 1.0;
+  q(3, 2) = 1.0;
+  for (std::size_t i = 0; i < 4; ++i) q(i, i) = -q.row_sum(i);
+  auto cls = closed_class(q);
+  std::sort(cls.begin(), cls.end());
+  ASSERT_EQ(cls.size(), 2u);
+  EXPECT_EQ(cls[0], 2u);
+  EXPECT_EQ(cls[1], 3u);
+}
+
+TEST(ClosedClass, MultipleClosedClassesThrow) {
+  // 0 and 1 both absorbing.
+  Matrix q(3, 3, 0.0);
+  q(2, 0) = 1.0;
+  q(2, 1) = 1.0;
+  q(2, 2) = -2.0;
+  EXPECT_THROW(closed_class(q), std::runtime_error);
+}
+
+TEST(StationaryUnichain, MatchesIrreducibleSolver) {
+  const Matrix q{{-3.0, 3.0}, {1.0, -1.0}};
+  const Vector a = stationary_unichain_ctmc(q);
+  const Vector b = stationary_ctmc(q);
+  EXPECT_NEAR(a[0], b[0], 1e-14);
+  EXPECT_NEAR(a[1], b[1], 1e-14);
+}
+
+TEST(StationaryUnichain, TransientStatesGetZeroMass) {
+  // 0 is transient (drains into the 1<->2 class).
+  Matrix q(3, 3, 0.0);
+  q(0, 1) = 2.0;
+  q(1, 2) = 3.0;
+  q(2, 1) = 1.0;
+  for (std::size_t i = 0; i < 3; ++i) q(i, i) = -q.row_sum(i);
+  const Vector pi = stationary_unichain_ctmc(q);
+  EXPECT_DOUBLE_EQ(pi[0], 0.0);
+  EXPECT_NEAR(pi[1], 0.25, 1e-13);
+  EXPECT_NEAR(pi[2], 0.75, 1e-13);
+}
+
+TEST(StationaryUnichain, OrderingOfStatesDoesNotMatter) {
+  // Same chain as above but with the transient state last.
+  Matrix q(3, 3, 0.0);
+  q(2, 1) = 2.0;   // transient 2 -> class {0,1}
+  q(0, 1) = 3.0;
+  q(1, 0) = 1.0;
+  for (std::size_t i = 0; i < 3; ++i) q(i, i) = -q.row_sum(i);
+  const Vector pi = stationary_unichain_ctmc(q);
+  EXPECT_DOUBLE_EQ(pi[2], 0.0);
+  EXPECT_NEAR(pi[0], 0.25, 1e-13);
+  EXPECT_NEAR(pi[1], 0.75, 1e-13);
+}
+
+}  // namespace
+}  // namespace perfbg::markov

@@ -1,0 +1,102 @@
+#include "sim/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace perfbg::sim {
+namespace {
+
+TEST(OnlineMean, MatchesDirectComputation) {
+  OnlineMean m;
+  const std::vector<double> xs{1.0, 4.0, 2.0, 8.0, 5.0};
+  for (double x : xs) m.add(x);
+  EXPECT_EQ(m.count(), xs.size());
+  EXPECT_NEAR(m.mean(), 4.0, 1e-12);
+  // Sample variance: sum((x-4)^2)/4 = (9+0+4+16+1)/4 = 7.5.
+  EXPECT_NEAR(m.variance(), 7.5, 1e-12);
+}
+
+TEST(OnlineMean, VarianceIsZeroBeforeTwoSamples) {
+  OnlineMean m;
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  m.add(3.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+}
+
+TEST(OnlineMean, NumericallyStableForLargeOffsets) {
+  OnlineMean m;
+  for (int i = 0; i < 1000; ++i) m.add(1e12 + (i % 2));
+  EXPECT_NEAR(m.mean(), 1e12 + 0.5, 1e-3);
+  EXPECT_NEAR(m.variance(), 0.25025, 1e-3);
+}
+
+TEST(TimeWeighted, PiecewiseConstantAverage) {
+  TimeWeighted tw(0.0);
+  tw.advance(2.0, 1.0);  // level 1 for 2 units
+  tw.advance(3.0, 4.0);  // level 4 for 1 unit
+  EXPECT_NEAR(tw.average(), (2.0 * 1.0 + 1.0 * 4.0) / 3.0, 1e-12);
+  EXPECT_NEAR(tw.elapsed(), 3.0, 1e-12);
+}
+
+TEST(TimeWeighted, ResetDiscardsHistory) {
+  TimeWeighted tw(0.0);
+  tw.advance(10.0, 100.0);
+  tw.reset(10.0);
+  tw.advance(11.0, 2.0);
+  EXPECT_NEAR(tw.average(), 2.0, 1e-12);
+}
+
+TEST(TimeWeighted, BackwardsTimeThrows) {
+  TimeWeighted tw(5.0);
+  EXPECT_THROW(tw.advance(4.0, 1.0), std::invalid_argument);
+}
+
+TEST(TQuantile, KnownValues) {
+  EXPECT_NEAR(t_quantile_975(1), 12.706, 1e-9);
+  EXPECT_NEAR(t_quantile_975(10), 2.228, 1e-9);
+  EXPECT_NEAR(t_quantile_975(30), 2.042, 1e-9);
+  EXPECT_NEAR(t_quantile_975(10000), 1.96, 1e-9);
+}
+
+TEST(BatchMeans, EstimateFromKnownBatches) {
+  BatchMeans bm;
+  for (double v : {10.0, 12.0, 11.0, 9.0, 13.0}) bm.add_batch(v);
+  const Estimate e = bm.estimate();
+  EXPECT_NEAR(e.mean, 11.0, 1e-12);
+  // s^2 = 2.5, se = sqrt(0.5), hw = t(4) * se.
+  EXPECT_NEAR(e.half_width, 2.776 * std::sqrt(0.5), 1e-9);
+  EXPECT_TRUE(e.contains(11.5));
+  EXPECT_FALSE(e.contains(14.0));
+}
+
+TEST(BatchMeans, SingleBatchHasZeroHalfWidth) {
+  BatchMeans bm;
+  bm.add_batch(5.0);
+  EXPECT_DOUBLE_EQ(bm.estimate().half_width, 0.0);
+}
+
+TEST(BatchMeans, CoversTrueMeanOfIidNormal) {
+  // With many i.i.d. batches the 95% CI should cover the mean ~95% of the
+  // time; check coverage is at least 85% over 200 replications.
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> normal(3.0, 1.0);
+  int covered = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    BatchMeans bm;
+    for (int b = 0; b < 20; ++b) bm.add_batch(normal(rng));
+    if (bm.estimate().contains(3.0)) ++covered;
+  }
+  EXPECT_GE(covered, 170);
+}
+
+TEST(Estimate, Bounds) {
+  const Estimate e{10.0, 2.0};
+  EXPECT_DOUBLE_EQ(e.lo(), 8.0);
+  EXPECT_DOUBLE_EQ(e.hi(), 12.0);
+}
+
+}  // namespace
+}  // namespace perfbg::sim

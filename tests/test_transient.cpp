@@ -1,0 +1,83 @@
+#include "markov/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "markov/stationary.hpp"
+
+namespace perfbg::markov {
+namespace {
+
+TEST(Uniformize, ProducesStochasticMatrix) {
+  const Matrix q{{-2.0, 2.0}, {3.0, -3.0}};
+  const Matrix p = uniformize(q, 4.0);
+  EXPECT_TRUE(is_stochastic(p));
+  EXPECT_NEAR(p(0, 0), 0.5, 1e-14);
+  EXPECT_NEAR(p(1, 0), 0.75, 1e-14);
+}
+
+TEST(Uniformize, RateTooSmallThrows) {
+  const Matrix q{{-2.0, 2.0}, {3.0, -3.0}};
+  EXPECT_THROW(uniformize(q, 2.5), std::invalid_argument);
+}
+
+TEST(Transient, TimeZeroIsInitialVector) {
+  const Matrix q{{-1.0, 1.0}, {1.0, -1.0}};
+  const Vector pi = transient_ctmc(q, {1.0, 0.0}, 0.0);
+  EXPECT_DOUBLE_EQ(pi[0], 1.0);
+}
+
+TEST(Transient, TwoStateClosedForm) {
+  // Symmetric 2-state chain with rate a: P(0->0, t) = (1 + exp(-2at)) / 2.
+  const double a = 1.5, t = 0.8;
+  const Matrix q{{-a, a}, {a, -a}};
+  const Vector pi = transient_ctmc(q, {1.0, 0.0}, t);
+  EXPECT_NEAR(pi[0], 0.5 * (1.0 + std::exp(-2.0 * a * t)), 1e-10);
+  EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12);
+}
+
+TEST(Transient, ConvergesToStationary) {
+  const Matrix q{{-2.0, 1.0, 1.0}, {0.5, -1.0, 0.5}, {3.0, 1.0, -4.0}};
+  const Vector limit = transient_ctmc(q, {1.0, 0.0, 0.0}, 200.0);
+  const Vector pi = stationary_ctmc(q);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(limit[i], pi[i], 1e-9);
+}
+
+TEST(Transient, SemigroupProperty) {
+  // pi(t1 + t2) == (pi(t1))(t2).
+  const Matrix q{{-1.0, 0.7, 0.3}, {0.2, -0.5, 0.3}, {0.9, 0.1, -1.0}};
+  const Vector one_hop = transient_ctmc(q, {0.2, 0.5, 0.3}, 3.0);
+  const Vector two_hop = transient_ctmc(q, transient_ctmc(q, {0.2, 0.5, 0.3}, 1.2), 1.8);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(one_hop[i], two_hop[i], 1e-9);
+}
+
+TEST(Transient, StaysAProbabilityVector) {
+  const Matrix q{{-5.0, 5.0}, {0.01, -0.01}};  // stiff
+  for (double t : {0.01, 0.1, 1.0, 10.0, 1000.0}) {
+    const Vector pi = transient_ctmc(q, {0.0, 1.0}, t);
+    EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12) << t;
+    EXPECT_GE(pi[0], 0.0);
+    EXPECT_GE(pi[1], 0.0);
+  }
+}
+
+TEST(Transient, AbsorbingEverywhereChainIsConstant) {
+  const Matrix q(2, 2, 0.0);
+  const Vector pi = transient_ctmc(q, {0.3, 0.7}, 5.0);
+  EXPECT_DOUBLE_EQ(pi[0], 0.3);
+  EXPECT_DOUBLE_EQ(pi[1], 0.7);
+}
+
+TEST(Transient, BadInputsThrow) {
+  const Matrix q{{-1.0, 1.0}, {1.0, -1.0}};
+  EXPECT_THROW(transient_ctmc(q, {1.0, 0.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(transient_ctmc(q, {0.7, 0.7}, 1.0), std::invalid_argument);
+  EXPECT_THROW(transient_ctmc(q, {1.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(transient_ctmc(Matrix{{-1.0, 0.5}, {1.0, -1.0}}, {1.0, 0.0}, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace perfbg::markov

@@ -1,0 +1,111 @@
+#include "core/truncated_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "markov/stationary.hpp"
+#include "traffic/processes.hpp"
+#include "workloads/presets.hpp"
+
+namespace perfbg::core {
+namespace {
+
+FgBgParams base_params(double util = 0.3, double p = 0.4, int buffer = 2) {
+  FgBgParams params{traffic::poisson(util / 6.0)};
+  params.bg_probability = p;
+  params.bg_buffer = buffer;
+  return params;
+}
+
+TEST(TruncatedChain, GeneratorIsAGenerator) {
+  const TruncatedFgBgChain chain(base_params(), 20);
+  EXPECT_TRUE(markov::is_generator(chain.generator(), 1e-8));
+}
+
+TEST(TruncatedChain, EmptyStateIsADistributionOnTheIdleState) {
+  const TruncatedFgBgChain chain(base_params(), 10);
+  const linalg::Vector pi = chain.empty_state();
+  EXPECT_NEAR(linalg::sum(pi), 1.0, 1e-12);
+  EXPECT_NEAR(chain.mean_fg_jobs(pi), 0.0, 1e-15);
+  EXPECT_NEAR(chain.mean_bg_jobs(pi), 0.0, 1e-15);
+  EXPECT_NEAR(chain.bg_busy_probability(pi), 0.0, 1e-15);
+}
+
+TEST(TruncatedChain, StationaryMatchesQbdMetrics) {
+  const FgBgParams params = base_params(0.35, 0.6, 2);
+  const TruncatedFgBgChain chain(params, 80);
+  const linalg::Vector pi = chain.stationary();
+  const FgBgMetrics m = FgBgModel(params).solve().metrics();
+  EXPECT_NEAR(chain.mean_fg_jobs(pi), m.fg_queue_length, 1e-6);
+  EXPECT_NEAR(chain.mean_bg_jobs(pi), m.bg_queue_length, 1e-6);
+  EXPECT_NEAR(chain.bg_busy_probability(pi), m.bg_busy_fraction, 1e-7);
+  EXPECT_NEAR(chain.bg_completion_rate(pi), m.bg_throughput, 1e-8);
+  EXPECT_NEAR(chain.bg_drop_rate(pi), m.bg_drop_rate, 1e-8);
+  EXPECT_LT(chain.top_level_mass(pi), 1e-8);
+}
+
+TEST(TruncatedChain, TransientConvergesToStationary) {
+  const FgBgParams params = base_params(0.3, 0.4, 2);
+  const TruncatedFgBgChain chain(params, 40);
+  const linalg::Vector limit = chain.transient(chain.empty_state(), 5e5);
+  const linalg::Vector pi = chain.stationary();
+  EXPECT_NEAR(chain.mean_fg_jobs(limit), chain.mean_fg_jobs(pi), 1e-6);
+  EXPECT_NEAR(chain.bg_busy_probability(limit), chain.bg_busy_probability(pi), 1e-8);
+}
+
+TEST(TruncatedChain, TransientSweepRampsUpMonotonically) {
+  const TruncatedFgBgChain chain(base_params(0.4, 0.5, 3), 40);
+  const auto points = chain.transient_sweep(chain.empty_state(), 2000.0, 40);
+  ASSERT_EQ(points.size(), 41u);
+  // From empty, the expected queue ramps up (no overshoot for this system).
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].mean_fg, points[i - 1].mean_fg - 1e-9) << i;
+    EXPECT_GE(points[i].bg_completed_so_far, points[i - 1].bg_completed_so_far) << i;
+    EXPECT_GE(points[i].bg_dropped_so_far, points[i - 1].bg_dropped_so_far) << i;
+  }
+  EXPECT_DOUBLE_EQ(points.front().time, 0.0);
+  EXPECT_NEAR(points.back().time, 2000.0, 1e-9);
+}
+
+TEST(TruncatedChain, LongRunCompletionCountMatchesSteadyRate) {
+  const FgBgParams params = base_params(0.4, 0.5, 3);
+  const TruncatedFgBgChain chain(params, 40);
+  const double horizon = 2e5;
+  const auto points = chain.transient_sweep(chain.empty_state(), horizon, 50);
+  const double steady_rate = FgBgModel(params).solve().metrics().bg_throughput;
+  // Completed work over a long horizon approaches steady rate x time.
+  EXPECT_NEAR(points.back().bg_completed_so_far, steady_rate * horizon,
+              0.02 * steady_rate * horizon);
+}
+
+TEST(TruncatedChain, DescribeExposesLevels) {
+  const TruncatedFgBgChain chain(base_params(0.3, 0.4, 2), 5);
+  // The first flat state belongs to the (0,0) idle macro state.
+  EXPECT_EQ(chain.describe(0).kind, Activity::kIdle);
+  // The last flat state is in the top repeating level.
+  const StateDesc last = chain.describe(chain.state_count() - 1);
+  EXPECT_EQ(last.x + last.y, chain.layout().first_repeating_level() + 4);
+}
+
+TEST(TruncatedChain, WorksWithMmppAndPhService) {
+  FgBgParams params{workloads::software_dev().scaled_to_utilization(0.25, 6.0)};
+  params.service_distribution = traffic::PhaseType::erlang(2, 6.0);
+  params.bg_probability = 0.5;
+  params.bg_buffer = 2;
+  const TruncatedFgBgChain chain(params, 60);
+  const linalg::Vector pi = chain.stationary();
+  const FgBgMetrics m = FgBgModel(params).solve().metrics();
+  EXPECT_NEAR(chain.mean_fg_jobs(pi), m.fg_queue_length, 1e-5);
+  EXPECT_NEAR(chain.bg_completion_rate(pi), m.bg_throughput, 1e-8);
+}
+
+TEST(TruncatedChain, BadInputsThrow) {
+  EXPECT_THROW(TruncatedFgBgChain(base_params(), 0), std::invalid_argument);
+  const TruncatedFgBgChain chain(base_params(), 5);
+  EXPECT_THROW(chain.mean_fg_jobs(linalg::Vector(3, 0.0)), std::invalid_argument);
+  EXPECT_THROW(chain.describe(chain.state_count()), std::invalid_argument);
+  EXPECT_THROW(chain.transient_sweep(chain.empty_state(), -1.0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace perfbg::core

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/optimize.hpp"
+#include "util/table.hpp"
+
+namespace perfbg {
+namespace {
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(PERFBG_REQUIRE(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(PERFBG_REQUIRE(true, "fine"));
+}
+
+TEST(Check, AssertThrowsLogicError) {
+  EXPECT_THROW(PERFBG_ASSERT(false, "bug"), std::logic_error);
+}
+
+TEST(Check, MessageContainsConditionAndLocation) {
+  try {
+    PERFBG_REQUIRE(1 == 2, "context info");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+    EXPECT_NE(msg.find("context info"), std::string::npos);
+    EXPECT_NE(msg.find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(FormatNumber, TrimsAndUsesScientific) {
+  EXPECT_EQ(format_number(0.3), "0.3");
+  EXPECT_EQ(format_number(2.0), "2");
+  EXPECT_EQ(format_number(1234.5), "1234.5");
+  EXPECT_EQ(format_number(0.00001234, 3), "1.23e-05");
+  EXPECT_EQ(format_number(std::nan("")), "nan");
+  EXPECT_EQ(format_number(-1.0 / 0.0), "-inf");
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("b"), 22.0});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({1.0, std::string("x")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,x\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+}
+
+TEST(Table, PrecisionIsApplied) {
+  Table t({"v"});
+  t.set_precision(2);
+  t.add_row({3.14159});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "v\n3.1\n");
+  EXPECT_THROW(t.set_precision(0), std::invalid_argument);
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({1.0});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(NelderMead, MinimizesQuadratic) {
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) {
+        return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] + 1.0) * (x[1] + 1.0);
+      },
+      {0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-5);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-5);
+  EXPECT_NEAR(r.fx, 0.0, 1e-9);
+}
+
+TEST(NelderMead, MinimizesRosenbrock) {
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+      },
+      {-1.2, 1.0});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, OneDimensional) {
+  // 1-D Nelder-Mead contracts slowly on steep valleys; accept a loose
+  // tolerance here (the library's fitters always refine in >= 3 dims).
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) { return std::cosh(x[0] - 2.0); }, {10.0});
+  EXPECT_NEAR(r.x[0], 2.0, 1e-2);
+}
+
+TEST(NelderMead, RespectsIterationCap) {
+  NelderMeadOptions opts;
+  opts.max_iters = 3;
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) { return x[0] * x[0]; }, {100.0}, opts);
+  EXPECT_LE(r.iterations, 3);
+}
+
+TEST(NelderMead, EmptyStartThrows) {
+  EXPECT_THROW(nelder_mead([](const std::vector<double>&) { return 0.0; }, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace perfbg

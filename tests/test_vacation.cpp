@@ -1,0 +1,118 @@
+// Tests of the vacation-queue baseline and — the strongest of them — the
+// corner-case equivalence with the full FG/BG model: with p = 1, a large
+// buffer, and a vanishing idle wait, background jobs never run out, every
+// idle period is a train of back-to-back background services, and the
+// foreground queue becomes exactly an M/M/1 queue with multiple exponential
+// vacations of one service time each.
+#include "core/vacation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/model.hpp"
+#include "traffic/processes.hpp"
+
+namespace perfbg::core {
+namespace {
+
+using traffic::PhaseType;
+
+TEST(Vacation, MG1ReducesToMM1) {
+  const double lambda = 0.1, mean_s = 6.0;
+  const double rho = lambda * mean_s;
+  EXPECT_NEAR(mg1_number_in_system(lambda, PhaseType::exponential(mean_s)),
+              rho / (1.0 - rho), 1e-10);
+}
+
+TEST(Vacation, WaitingTimeDecomposition) {
+  // The vacation term is exactly E[V^2] / (2 E[V]), independent of load.
+  const PhaseType service = PhaseType::exponential(6.0);
+  const PhaseType vacation = PhaseType::erlang(2, 10.0);
+  for (double lambda : {0.01, 0.05, 0.1}) {
+    const double gap = mg1_multiple_vacations_waiting_time(lambda, service, vacation) -
+                       (lambda * service.moment(2) / (2.0 * (1.0 - lambda * 6.0)));
+    EXPECT_NEAR(gap, vacation.moment(2) / (2.0 * vacation.mean()), 1e-10) << lambda;
+  }
+}
+
+TEST(Vacation, ExponentialVacationAddsItsMean) {
+  // For exponential V, E[V^2]/(2 E[V]) = E[V].
+  const PhaseType service = PhaseType::exponential(6.0);
+  const PhaseType vacation = PhaseType::exponential(9.0);
+  const double w = mg1_multiple_vacations_waiting_time(0.05, service, vacation);
+  const double w0 = mg1_multiple_vacations_waiting_time(0.05, service,
+                                                        PhaseType::exponential(1e-9));
+  EXPECT_NEAR(w - w0, 9.0, 1e-6);
+}
+
+TEST(Vacation, LowVariabilityVacationDelaysLess) {
+  const PhaseType service = PhaseType::exponential(6.0);
+  const double w_det = mg1_multiple_vacations_waiting_time(
+      0.05, service, PhaseType::erlang(16, 6.0));
+  const double w_exp = mg1_multiple_vacations_waiting_time(
+      0.05, service, PhaseType::exponential(6.0));
+  EXPECT_LT(w_det, w_exp);
+}
+
+TEST(Vacation, UnstableQueueThrows) {
+  EXPECT_THROW(
+      mg1_number_in_system(0.2, PhaseType::exponential(6.0)),  // rho = 1.2
+      std::invalid_argument);
+}
+
+TEST(Vacation, FgBgModelDegeneratesToVacationQueue) {
+  // p = 1 and a vanishing idle wait make every idle period a train of
+  // background services — but the equivalence also needs the background
+  // buffer to (almost) never empty, which requires the total offered work
+  // lambda (1 + p) E[S] to exceed 1: above that, drops pin the buffer full.
+  // There the QBD foreground queue must match the M/M/1-with-multiple-
+  // vacations closed form with V = one service time.
+  const PhaseType service = PhaseType::exponential(6.0);
+  for (double rho : {0.7, 0.8, 0.9}) {
+    FgBgParams params{traffic::poisson(rho / 6.0)};
+    params.bg_probability = 1.0;
+    params.bg_buffer = 40;
+    params.idle_wait_intensity = 1e-4;
+    const double qbd = FgBgModel(params).solve().metrics().fg_queue_length;
+    const double vac =
+        mg1_multiple_vacations_number_in_system(rho / 6.0, service, service);
+    EXPECT_NEAR(qbd, vac, 0.005 * vac) << rho;
+  }
+}
+
+TEST(Vacation, BufferDrainRegimeBeatsTheVacationBound) {
+  // Below the pin-full threshold (lambda (1+p) E[S] < 1) the buffer drains,
+  // the server sometimes has no vacation to take, and the true queue is
+  // strictly below the multiple-vacation prediction.
+  const PhaseType service = PhaseType::exponential(6.0);
+  for (double rho : {0.2, 0.35}) {
+    FgBgParams params{traffic::poisson(rho / 6.0)};
+    params.bg_probability = 1.0;
+    params.bg_buffer = 40;
+    params.idle_wait_intensity = 1e-4;
+    const double qbd = FgBgModel(params).solve().metrics().fg_queue_length;
+    const double vac =
+        mg1_multiple_vacations_number_in_system(rho / 6.0, service, service);
+    EXPECT_LT(qbd, vac) << rho;
+  }
+}
+
+TEST(Vacation, FgBgModelBeatsVacationBoundAtLowP) {
+  // At small p the server often has no background work, so the true
+  // foreground queue sits strictly between the no-vacation M/M/1 and the
+  // always-on-vacation model — the gap the QBD model exists to close.
+  const double rho = 0.4, lambda = rho / 6.0;
+  const PhaseType service = PhaseType::exponential(6.0);
+  FgBgParams params{traffic::poisson(lambda)};
+  params.bg_probability = 0.1;
+  params.idle_wait_intensity = 1e-3;
+  const double qbd = FgBgModel(params).solve().metrics().fg_queue_length;
+  const double mm1 = mg1_number_in_system(lambda, service);
+  const double vac = mg1_multiple_vacations_number_in_system(lambda, service, service);
+  EXPECT_GT(qbd, mm1);
+  EXPECT_LT(qbd, vac);
+}
+
+}  // namespace
+}  // namespace perfbg::core

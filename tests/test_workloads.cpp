@@ -1,0 +1,137 @@
+#include "workloads/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/trace.hpp"
+
+namespace perfbg::workloads {
+namespace {
+
+// ---- preset regression pins (see presets.cpp: branch ambiguity note) ----
+
+TEST(Presets, EmailStatisticsPinned) {
+  const auto m = email();
+  EXPECT_NEAR(m.mean_rate(), 0.08 / 6.0, 1e-10);
+  EXPECT_NEAR(m.interarrival_scv(), 4.0, 0.01);
+  EXPECT_NEAR(m.acf(1), 0.3748, 0.002);
+  EXPECT_NEAR(m.acf_decay_rate(), 0.99938, 2e-4);
+}
+
+TEST(Presets, SoftwareDevStatisticsPinned) {
+  const auto m = software_dev();
+  EXPECT_NEAR(m.mean_rate(), 0.06 / 6.0, 1e-10);
+  EXPECT_NEAR(m.interarrival_scv(), 3.0, 0.01);
+  EXPECT_NEAR(m.acf(1), 0.31, 0.002);
+  EXPECT_NEAR(m.acf_decay_rate(), 0.93, 0.002);
+  // Short-range dependence: the ACF is negligible by lag 100.
+  EXPECT_LT(m.acf(100), 0.001);
+}
+
+TEST(Presets, UserAccountsIsTheVerbatimFig2Row) {
+  const auto m = user_accounts();
+  EXPECT_NEAR(m.d0()(0, 1), 0.36e-4, 1e-12);
+  EXPECT_NEAR(m.d1()(1, 1), 0.49e-3, 1e-12);
+  EXPECT_GT(m.acf(1), 0.2);               // strong ACF structure
+  EXPECT_GT(m.acf_decay_rate(), 0.99);
+}
+
+TEST(Presets, DependenceFamilySharesMeanRate) {
+  const auto family = dependence_family();
+  ASSERT_EQ(family.size(), 4u);
+  for (const auto& m : family) EXPECT_NEAR(m.mean_rate(), 0.08 / 6.0, 1e-9) << m.name();
+}
+
+TEST(Presets, DependenceFamilySharesCvExceptPoisson) {
+  const auto family = dependence_family();
+  const double scv = family[0].interarrival_scv();
+  EXPECT_NEAR(family[1].interarrival_scv(), scv, 0.02 * scv);  // low-acf
+  EXPECT_NEAR(family[2].interarrival_scv(), scv, 0.02 * scv);  // ipp
+  EXPECT_NEAR(family[3].interarrival_scv(), 1.0, 1e-9);        // expo
+}
+
+TEST(Presets, DependenceFamilyOrdersAcf) {
+  const auto family = dependence_family();
+  // high-acf persists; low-acf decays fast; ipp and expo are renewal.
+  EXPECT_GT(family[0].acf(50), 0.3);
+  EXPECT_LT(family[1].acf(50), 0.01);
+  EXPECT_NEAR(family[2].acf(1), 0.0, 1e-9);
+  EXPECT_NEAR(family[3].acf(1), 0.0, 1e-12);
+}
+
+TEST(Presets, HighAcfDecaySlowerThanLowAcf) {
+  EXPECT_GT(email().acf_decay_rate(), software_dev().acf_decay_rate());
+  EXPECT_GT(software_dev().acf_decay_rate(), email_low_acf().acf_decay_rate());
+}
+
+TEST(Presets, VerbatimSoftDevRowIsAvailableButDistinct) {
+  const auto v = software_dev_fig2_verbatim();
+  EXPECT_NEAR(v.d1()(1, 1), 0.35e-1, 1e-12);
+  EXPECT_GT(v.interarrival_cv(), 10.0);  // the corruption signature
+}
+
+TEST(Presets, TraceWorkloadsUtilizationsMatchPaperDescriptions) {
+  const auto procs = trace_workloads();
+  EXPECT_NEAR(procs[0].mean_rate() * kMeanServiceTimeMs, 0.08, 1e-9);   // E-mail 8%
+  EXPECT_NEAR(procs[1].mean_rate() * kMeanServiceTimeMs, 0.06, 1e-9);   // SoftDev 6%
+  EXPECT_LT(procs[2].mean_rate() * kMeanServiceTimeMs, 0.03);           // UserAcc light
+}
+
+// ---- synthetic traces and estimators ----
+
+TEST(Trace, GeneratorIsDeterministicPerSeed) {
+  const auto a = generate_interarrival_trace(email(), 1000, 5);
+  const auto b = generate_interarrival_trace(email(), 1000, 5);
+  EXPECT_EQ(a, b);
+  const auto c = generate_interarrival_trace(email(), 1000, 6);
+  EXPECT_NE(a, c);
+}
+
+TEST(Trace, EmpiricalMeanMatchesAnalytic) {
+  const auto m = software_dev();
+  const auto trace = generate_interarrival_trace(m, 400000, 11);
+  EXPECT_NEAR(series_mean(trace), m.mean_interarrival(),
+              0.05 * m.mean_interarrival());
+}
+
+TEST(Trace, EmpiricalCvMatchesAnalytic) {
+  const auto m = software_dev();
+  const auto trace = generate_interarrival_trace(m, 400000, 12);
+  EXPECT_NEAR(series_cv(trace), m.interarrival_cv(), 0.1 * m.interarrival_cv());
+}
+
+TEST(Trace, EmpiricalAcfMatchesAnalyticShape) {
+  const auto m = software_dev();
+  const auto trace = generate_interarrival_trace(m, 400000, 13);
+  const auto emp = series_acf(trace, 20);
+  const auto ana = m.acf_series(20);
+  for (int k : {0, 4, 9, 19}) {
+    EXPECT_NEAR(emp[static_cast<std::size_t>(k)], ana[static_cast<std::size_t>(k)], 0.05)
+        << "lag " << k + 1;
+  }
+}
+
+TEST(Trace, PoissonTraceHasNoCorrelation) {
+  const auto trace = generate_interarrival_trace(email_poisson(), 200000, 14);
+  for (double a : series_acf(trace, 5)) EXPECT_NEAR(a, 0.0, 0.02);
+}
+
+TEST(Trace, ServiceTraceMatchesExponential) {
+  const auto svc = generate_service_trace(6.0, 200000, 15);
+  EXPECT_NEAR(series_mean(svc), 6.0, 0.1);
+  EXPECT_NEAR(series_cv(svc), 1.0, 0.02);
+}
+
+TEST(Trace, EstimatorEdgeCasesThrow) {
+  EXPECT_THROW(series_mean({}), std::invalid_argument);
+  EXPECT_THROW(series_cv({1.0}), std::invalid_argument);
+  EXPECT_THROW(series_acf({1.0, 2.0}, 5), std::invalid_argument);
+  EXPECT_THROW(generate_service_trace(0.0, 10, 1), std::invalid_argument);
+}
+
+TEST(Trace, AcfOfConstantSeriesIsZeroByConvention) {
+  const std::vector<double> xs(100, 3.0);
+  for (double a : series_acf(xs, 3)) EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+}  // namespace
+}  // namespace perfbg::workloads
