@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_buffer_size.dir/bench_abl_buffer_size.cpp.o"
+  "CMakeFiles/bench_abl_buffer_size.dir/bench_abl_buffer_size.cpp.o.d"
+  "bench_abl_buffer_size"
+  "bench_abl_buffer_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_buffer_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

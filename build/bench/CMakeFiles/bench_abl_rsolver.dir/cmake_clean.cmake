@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_rsolver.dir/bench_abl_rsolver.cpp.o"
+  "CMakeFiles/bench_abl_rsolver.dir/bench_abl_rsolver.cpp.o.d"
+  "bench_abl_rsolver"
+  "bench_abl_rsolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_rsolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

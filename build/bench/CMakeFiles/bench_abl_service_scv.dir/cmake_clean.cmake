@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_service_scv.dir/bench_abl_service_scv.cpp.o"
+  "CMakeFiles/bench_abl_service_scv.dir/bench_abl_service_scv.cpp.o.d"
+  "bench_abl_service_scv"
+  "bench_abl_service_scv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_service_scv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

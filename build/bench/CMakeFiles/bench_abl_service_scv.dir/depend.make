@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_service_scv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_vacation_baseline.dir/bench_abl_vacation_baseline.cpp.o"
+  "CMakeFiles/bench_abl_vacation_baseline.dir/bench_abl_vacation_baseline.cpp.o.d"
+  "bench_abl_vacation_baseline"
+  "bench_abl_vacation_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_vacation_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_idle_wait_shape.dir/bench_ext_idle_wait_shape.cpp.o"
+  "CMakeFiles/bench_ext_idle_wait_shape.dir/bench_ext_idle_wait_shape.cpp.o.d"
+  "bench_ext_idle_wait_shape"
+  "bench_ext_idle_wait_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_idle_wait_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_mmpp_acf.dir/bench_fig02_mmpp_acf.cpp.o"
+  "CMakeFiles/bench_fig02_mmpp_acf.dir/bench_fig02_mmpp_acf.cpp.o.d"
+  "bench_fig02_mmpp_acf"
+  "bench_fig02_mmpp_acf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_mmpp_acf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_fg_qlen.dir/bench_fig05_fg_qlen.cpp.o"
+  "CMakeFiles/bench_fig05_fg_qlen.dir/bench_fig05_fg_qlen.cpp.o.d"
+  "bench_fig05_fg_qlen"
+  "bench_fig05_fg_qlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_fg_qlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig06_fg_delayed.cpp" "bench/CMakeFiles/bench_fig06_fg_delayed.dir/bench_fig06_fg_delayed.cpp.o" "gcc" "bench/CMakeFiles/bench_fig06_fg_delayed.dir/bench_fig06_fg_delayed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/perfbg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perfbg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/perfbg_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/qbd/CMakeFiles/perfbg_qbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/perfbg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/perfbg_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/perfbg_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/perfbg_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

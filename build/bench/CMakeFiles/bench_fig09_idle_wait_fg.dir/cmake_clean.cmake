@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_idle_wait_fg.dir/bench_fig09_idle_wait_fg.cpp.o"
+  "CMakeFiles/bench_fig09_idle_wait_fg.dir/bench_fig09_idle_wait_fg.cpp.o.d"
+  "bench_fig09_idle_wait_fg"
+  "bench_fig09_idle_wait_fg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_idle_wait_fg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_idle_wait_bg.dir/bench_fig10_idle_wait_bg.cpp.o"
+  "CMakeFiles/bench_fig10_idle_wait_bg.dir/bench_fig10_idle_wait_bg.cpp.o.d"
+  "bench_fig10_idle_wait_bg"
+  "bench_fig10_idle_wait_bg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_idle_wait_bg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_dependence_qlen.dir/bench_fig11_dependence_qlen.cpp.o"
+  "CMakeFiles/bench_fig11_dependence_qlen.dir/bench_fig11_dependence_qlen.cpp.o.d"
+  "bench_fig11_dependence_qlen"
+  "bench_fig11_dependence_qlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_dependence_qlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

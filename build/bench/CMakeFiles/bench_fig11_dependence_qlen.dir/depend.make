@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11_dependence_qlen.
+# This may be replaced when dependencies are built.

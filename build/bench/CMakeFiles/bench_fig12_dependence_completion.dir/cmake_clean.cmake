@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_dependence_completion.dir/bench_fig12_dependence_completion.cpp.o"
+  "CMakeFiles/bench_fig12_dependence_completion.dir/bench_fig12_dependence_completion.cpp.o.d"
+  "bench_fig12_dependence_completion"
+  "bench_fig12_dependence_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_dependence_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_dependence_delayed.dir/bench_fig13_dependence_delayed.cpp.o"
+  "CMakeFiles/bench_fig13_dependence_delayed.dir/bench_fig13_dependence_delayed.cpp.o.d"
+  "bench_fig13_dependence_delayed"
+  "bench_fig13_dependence_delayed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_dependence_delayed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfbg_cli.dir/perfbg_cli.cpp.o"
+  "CMakeFiles/perfbg_cli.dir/perfbg_cli.cpp.o.d"
+  "perfbg_cli"
+  "perfbg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfbg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrubbing_idle_wait.dir/scrubbing_idle_wait.cpp.o"
+  "CMakeFiles/scrubbing_idle_wait.dir/scrubbing_idle_wait.cpp.o.d"
+  "scrubbing_idle_wait"
+  "scrubbing_idle_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrubbing_idle_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scrubbing_idle_wait.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for scrubbing_idle_wait.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verification_campaign.dir/verification_campaign.cpp.o"
+  "CMakeFiles/verification_campaign.dir/verification_campaign.cpp.o.d"
+  "verification_campaign"
+  "verification_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verification_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_verification.dir/write_verification.cpp.o"
+  "CMakeFiles/write_verification.dir/write_verification.cpp.o.d"
+  "write_verification"
+  "write_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chain_builder.cpp" "src/core/CMakeFiles/perfbg_core.dir/chain_builder.cpp.o" "gcc" "src/core/CMakeFiles/perfbg_core.dir/chain_builder.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/perfbg_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/perfbg_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/multiclass.cpp" "src/core/CMakeFiles/perfbg_core.dir/multiclass.cpp.o" "gcc" "src/core/CMakeFiles/perfbg_core.dir/multiclass.cpp.o.d"
+  "/root/repo/src/core/state_space.cpp" "src/core/CMakeFiles/perfbg_core.dir/state_space.cpp.o" "gcc" "src/core/CMakeFiles/perfbg_core.dir/state_space.cpp.o.d"
+  "/root/repo/src/core/truncated_chain.cpp" "src/core/CMakeFiles/perfbg_core.dir/truncated_chain.cpp.o" "gcc" "src/core/CMakeFiles/perfbg_core.dir/truncated_chain.cpp.o.d"
+  "/root/repo/src/core/vacation.cpp" "src/core/CMakeFiles/perfbg_core.dir/vacation.cpp.o" "gcc" "src/core/CMakeFiles/perfbg_core.dir/vacation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qbd/CMakeFiles/perfbg_qbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/perfbg_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/perfbg_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/perfbg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/perfbg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

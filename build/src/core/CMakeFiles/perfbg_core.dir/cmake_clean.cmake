@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfbg_core.dir/chain_builder.cpp.o"
+  "CMakeFiles/perfbg_core.dir/chain_builder.cpp.o.d"
+  "CMakeFiles/perfbg_core.dir/model.cpp.o"
+  "CMakeFiles/perfbg_core.dir/model.cpp.o.d"
+  "CMakeFiles/perfbg_core.dir/multiclass.cpp.o"
+  "CMakeFiles/perfbg_core.dir/multiclass.cpp.o.d"
+  "CMakeFiles/perfbg_core.dir/state_space.cpp.o"
+  "CMakeFiles/perfbg_core.dir/state_space.cpp.o.d"
+  "CMakeFiles/perfbg_core.dir/truncated_chain.cpp.o"
+  "CMakeFiles/perfbg_core.dir/truncated_chain.cpp.o.d"
+  "CMakeFiles/perfbg_core.dir/vacation.cpp.o"
+  "CMakeFiles/perfbg_core.dir/vacation.cpp.o.d"
+  "libperfbg_core.a"
+  "libperfbg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfbg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfbg_linalg.dir/lu.cpp.o"
+  "CMakeFiles/perfbg_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/perfbg_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/perfbg_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/perfbg_linalg.dir/spectral.cpp.o"
+  "CMakeFiles/perfbg_linalg.dir/spectral.cpp.o.d"
+  "libperfbg_linalg.a"
+  "libperfbg_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfbg_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

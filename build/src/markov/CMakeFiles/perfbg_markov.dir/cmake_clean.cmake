@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfbg_markov.dir/stationary.cpp.o"
+  "CMakeFiles/perfbg_markov.dir/stationary.cpp.o.d"
+  "CMakeFiles/perfbg_markov.dir/transient.cpp.o"
+  "CMakeFiles/perfbg_markov.dir/transient.cpp.o.d"
+  "libperfbg_markov.a"
+  "libperfbg_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfbg_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qbd/qbd.cpp" "src/qbd/CMakeFiles/perfbg_qbd.dir/qbd.cpp.o" "gcc" "src/qbd/CMakeFiles/perfbg_qbd.dir/qbd.cpp.o.d"
+  "/root/repo/src/qbd/rmatrix.cpp" "src/qbd/CMakeFiles/perfbg_qbd.dir/rmatrix.cpp.o" "gcc" "src/qbd/CMakeFiles/perfbg_qbd.dir/rmatrix.cpp.o.d"
+  "/root/repo/src/qbd/solution.cpp" "src/qbd/CMakeFiles/perfbg_qbd.dir/solution.cpp.o" "gcc" "src/qbd/CMakeFiles/perfbg_qbd.dir/solution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/perfbg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/perfbg_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/perfbg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfbg_qbd.dir/qbd.cpp.o"
+  "CMakeFiles/perfbg_qbd.dir/qbd.cpp.o.d"
+  "CMakeFiles/perfbg_qbd.dir/rmatrix.cpp.o"
+  "CMakeFiles/perfbg_qbd.dir/rmatrix.cpp.o.d"
+  "CMakeFiles/perfbg_qbd.dir/solution.cpp.o"
+  "CMakeFiles/perfbg_qbd.dir/solution.cpp.o.d"
+  "libperfbg_qbd.a"
+  "libperfbg_qbd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfbg_qbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfbg_sim.dir/fgbg_simulator.cpp.o"
+  "CMakeFiles/perfbg_sim.dir/fgbg_simulator.cpp.o.d"
+  "CMakeFiles/perfbg_sim.dir/multiclass_simulator.cpp.o"
+  "CMakeFiles/perfbg_sim.dir/multiclass_simulator.cpp.o.d"
+  "CMakeFiles/perfbg_sim.dir/statistics.cpp.o"
+  "CMakeFiles/perfbg_sim.dir/statistics.cpp.o.d"
+  "libperfbg_sim.a"
+  "libperfbg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfbg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/fitting.cpp" "src/traffic/CMakeFiles/perfbg_traffic.dir/fitting.cpp.o" "gcc" "src/traffic/CMakeFiles/perfbg_traffic.dir/fitting.cpp.o.d"
+  "/root/repo/src/traffic/map_process.cpp" "src/traffic/CMakeFiles/perfbg_traffic.dir/map_process.cpp.o" "gcc" "src/traffic/CMakeFiles/perfbg_traffic.dir/map_process.cpp.o.d"
+  "/root/repo/src/traffic/phase_type.cpp" "src/traffic/CMakeFiles/perfbg_traffic.dir/phase_type.cpp.o" "gcc" "src/traffic/CMakeFiles/perfbg_traffic.dir/phase_type.cpp.o.d"
+  "/root/repo/src/traffic/processes.cpp" "src/traffic/CMakeFiles/perfbg_traffic.dir/processes.cpp.o" "gcc" "src/traffic/CMakeFiles/perfbg_traffic.dir/processes.cpp.o.d"
+  "/root/repo/src/traffic/sampler.cpp" "src/traffic/CMakeFiles/perfbg_traffic.dir/sampler.cpp.o" "gcc" "src/traffic/CMakeFiles/perfbg_traffic.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/perfbg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/perfbg_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/perfbg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfbg_traffic.dir/fitting.cpp.o"
+  "CMakeFiles/perfbg_traffic.dir/fitting.cpp.o.d"
+  "CMakeFiles/perfbg_traffic.dir/map_process.cpp.o"
+  "CMakeFiles/perfbg_traffic.dir/map_process.cpp.o.d"
+  "CMakeFiles/perfbg_traffic.dir/phase_type.cpp.o"
+  "CMakeFiles/perfbg_traffic.dir/phase_type.cpp.o.d"
+  "CMakeFiles/perfbg_traffic.dir/processes.cpp.o"
+  "CMakeFiles/perfbg_traffic.dir/processes.cpp.o.d"
+  "CMakeFiles/perfbg_traffic.dir/sampler.cpp.o"
+  "CMakeFiles/perfbg_traffic.dir/sampler.cpp.o.d"
+  "libperfbg_traffic.a"
+  "libperfbg_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfbg_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for perfbg_traffic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfbg_util.dir/flags.cpp.o"
+  "CMakeFiles/perfbg_util.dir/flags.cpp.o.d"
+  "CMakeFiles/perfbg_util.dir/optimize.cpp.o"
+  "CMakeFiles/perfbg_util.dir/optimize.cpp.o.d"
+  "CMakeFiles/perfbg_util.dir/table.cpp.o"
+  "CMakeFiles/perfbg_util.dir/table.cpp.o.d"
+  "libperfbg_util.a"
+  "libperfbg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfbg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfbg_workloads.dir/presets.cpp.o"
+  "CMakeFiles/perfbg_workloads.dir/presets.cpp.o.d"
+  "CMakeFiles/perfbg_workloads.dir/trace.cpp.o"
+  "CMakeFiles/perfbg_workloads.dir/trace.cpp.o.d"
+  "libperfbg_workloads.a"
+  "libperfbg_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfbg_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

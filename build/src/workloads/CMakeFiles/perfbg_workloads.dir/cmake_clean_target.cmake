@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libperfbg_workloads.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain_builder.dir/test_chain_builder.cpp.o"
+  "CMakeFiles/test_chain_builder.dir/test_chain_builder.cpp.o.d"
+  "test_chain_builder"
+  "test_chain_builder.pdb"
+  "test_chain_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

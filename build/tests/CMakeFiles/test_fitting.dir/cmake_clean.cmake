@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fitting.dir/test_fitting.cpp.o"
+  "CMakeFiles/test_fitting.dir/test_fitting.cpp.o.d"
+  "test_fitting"
+  "test_fitting.pdb"
+  "test_fitting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

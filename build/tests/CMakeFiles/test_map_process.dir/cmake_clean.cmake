@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_map_process.dir/test_map_process.cpp.o"
+  "CMakeFiles/test_map_process.dir/test_map_process.cpp.o.d"
+  "test_map_process"
+  "test_map_process.pdb"
+  "test_map_process[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_map_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_basic.dir/test_model_basic.cpp.o"
+  "CMakeFiles/test_model_basic.dir/test_model_basic.cpp.o.d"
+  "test_model_basic"
+  "test_model_basic.pdb"
+  "test_model_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_ph.dir/test_model_ph.cpp.o"
+  "CMakeFiles/test_model_ph.dir/test_model_ph.cpp.o.d"
+  "test_model_ph"
+  "test_model_ph.pdb"
+  "test_model_ph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_ph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_ph_idle.dir/test_model_ph_idle.cpp.o"
+  "CMakeFiles/test_model_ph_idle.dir/test_model_ph_idle.cpp.o.d"
+  "test_model_ph_idle"
+  "test_model_ph_idle.pdb"
+  "test_model_ph_idle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_ph_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_model_ph_idle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_type.dir/test_phase_type.cpp.o"
+  "CMakeFiles/test_phase_type.dir/test_phase_type.cpp.o.d"
+  "test_phase_type"
+  "test_phase_type.pdb"
+  "test_phase_type[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_processes.dir/test_processes.cpp.o"
+  "CMakeFiles/test_processes.dir/test_processes.cpp.o.d"
+  "test_processes"
+  "test_processes.pdb"
+  "test_processes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_processes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

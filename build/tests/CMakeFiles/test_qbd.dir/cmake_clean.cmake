@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qbd.dir/test_qbd.cpp.o"
+  "CMakeFiles/test_qbd.dir/test_qbd.cpp.o.d"
+  "test_qbd"
+  "test_qbd.pdb"
+  "test_qbd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantiles_and_tracefit.dir/test_quantiles_and_tracefit.cpp.o"
+  "CMakeFiles/test_quantiles_and_tracefit.dir/test_quantiles_and_tracefit.cpp.o.d"
+  "test_quantiles_and_tracefit"
+  "test_quantiles_and_tracefit.pdb"
+  "test_quantiles_and_tracefit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantiles_and_tracefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

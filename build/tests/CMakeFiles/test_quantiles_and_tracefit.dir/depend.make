@@ -1,0 +1,2 @@
+# Empty dependencies file for test_quantiles_and_tracefit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_truncated_chain.dir/test_truncated_chain.cpp.o"
+  "CMakeFiles/test_truncated_chain.dir/test_truncated_chain.cpp.o.d"
+  "test_truncated_chain"
+  "test_truncated_chain.pdb"
+  "test_truncated_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_truncated_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
