@@ -3,8 +3,9 @@
 // with the default of 5; this bench makes that claim checkable.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace perfbg;
+  bench::BenchRun run(argc, argv, "abl_buffer_size");
   bench::banner("Ablation: buffer size",
                 "metrics vs background buffer capacity (paper §3.2 claim)");
   const std::vector<int> buffers{1, 2, 5, 10, 25};

@@ -6,8 +6,9 @@
 #include "bench_common.hpp"
 #include "sim/fgbg_simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace perfbg;
+  bench::BenchRun run(argc, argv, "abl_model_vs_sim");
   bench::banner("Validation", "analytic QBD solution vs discrete-event simulation");
 
   Table t({"workload", "load", "p", "metric", "analytic", "sim mean", "sim 95% hw",

@@ -8,8 +8,9 @@
 #include "core/chain_builder.hpp"
 #include "qbd/rmatrix.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace perfbg;
+  bench::BenchRun run(argc, argv, "abl_rsolver");
   bench::banner("Ablation: R solver", "logarithmic reduction vs functional iteration");
 
   Table t({"workload", "fg_load", "LR iters", "LR residual", "FI iters", "FI residual",

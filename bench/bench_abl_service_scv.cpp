@@ -8,8 +8,9 @@
 #include "traffic/phase_type.hpp"
 #include "traffic/processes.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace perfbg;
+  bench::BenchRun run(argc, argv, "abl_service_scv");
   bench::banner("Ablation: service variability",
                 "metrics vs service-time SCV at fixed mean (6 ms)");
 

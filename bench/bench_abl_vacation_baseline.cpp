@@ -10,8 +10,9 @@
 #include "traffic/phase_type.hpp"
 #include "traffic/processes.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace perfbg;
+  bench::BenchRun run(argc, argv, "abl_vacation_baseline");
   using traffic::PhaseType;
   bench::banner("Baseline: vacation queue",
                 "M/G/1 multiple vacations vs the explicit FG/BG QBD model");

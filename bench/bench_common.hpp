@@ -1,18 +1,86 @@
 // Shared plumbing for the figure-regeneration harnesses: each bench binary
 // prints a banner naming the paper artifact it regenerates, then one table
-// per sub-figure, in a diff-friendly format. No arguments, deterministic.
+// per sub-figure, in a diff-friendly format. Deterministic; the only
+// arguments are the shared observability flags (--metrics-json, --trace)
+// handled by BenchRun below.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/model.hpp"
+#include "obs/report.hpp"
 #include "traffic/map_process.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
 #include "workloads/presets.hpp"
 
 namespace perfbg::bench {
+
+/// Per-binary observability session. Construct first thing in main(); every
+/// solve_point() call then feeds phase timings and solver counters into the
+/// run's MetricsRegistry, and the destructor writes the structured outputs
+/// the user asked for:
+///   --metrics-json=<path>  full run report (schema perfbg.run_report.v1)
+///   --trace=<path>         all buffered trace events as JSON lines
+/// Without flags the bench output is byte-identical to the flag-less days.
+class BenchRun {
+ public:
+  BenchRun(int argc, const char* const* argv, const std::string& bench_id)
+      : report_(bench_id) {
+    Flags flags;
+    flags.define("metrics-json", "write a structured JSON run report to this path");
+    flags.define("trace", "write all trace events as JSON lines to this path");
+    flags.define("help", "print this help");
+    try {
+      flags.parse(argc, argv);
+    } catch (const std::exception& e) {
+      // Unknown-flag errors already embed the help text; don't print it twice.
+      const std::string what = e.what();
+      std::cerr << what << "\n";
+      if (what.find("flags:") == std::string::npos) std::cerr << flags.help();
+      std::exit(2);
+    }
+    if (flags.has("help")) {
+      std::cout << flags.help();
+      std::exit(0);
+    }
+    metrics_json_ = flags.get_string("metrics-json", "");
+    trace_path_ = flags.get_string("trace", "");
+    report_.set_config("bench", obs::JsonValue(bench_id));
+    active_ = this;
+  }
+
+  ~BenchRun() {
+    active_ = nullptr;
+    try {
+      if (!metrics_json_.empty()) report_.write_json(metrics_json_);
+      if (!trace_path_.empty()) report_.write_trace_jsonl(trace_path_);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+    }
+  }
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  obs::RunReport& report() { return report_; }
+  obs::MetricsRegistry& metrics() { return report_.metrics(); }
+
+  /// The registry of the live BenchRun (nullptr outside one); solve_point()
+  /// uses it so the existing table helpers need no extra parameter.
+  static obs::MetricsRegistry* active_metrics() {
+    return active_ ? &active_->report_.metrics() : nullptr;
+  }
+
+ private:
+  static inline BenchRun* active_ = nullptr;
+  obs::RunReport report_;
+  std::string metrics_json_;
+  std::string trace_path_;
+};
 
 inline void banner(const std::string& experiment_id, const std::string& what) {
   std::cout << "==============================================================\n"
@@ -43,6 +111,8 @@ inline const std::vector<double>& low_acf_load_grid() {
 }
 
 /// Solves the model at one (process, utilization, p, idle-wait) point.
+/// Inside a BenchRun, phase timings and solver counters accumulate into the
+/// run's registry across every point of the sweep.
 inline core::FgBgMetrics solve_point(const traffic::MarkovianArrivalProcess& process,
                                      double utilization, double p,
                                      double idle_wait_intensity = 1.0, int bg_buffer = 5) {
@@ -52,7 +122,9 @@ inline core::FgBgMetrics solve_point(const traffic::MarkovianArrivalProcess& pro
   params.bg_probability = p;
   params.bg_buffer = bg_buffer;
   params.idle_wait_intensity = idle_wait_intensity;
-  return core::FgBgModel(params).solve().metrics();
+  obs::MetricsRegistry* metrics = BenchRun::active_metrics();
+  if (metrics) metrics->add("bench.solve_points");
+  return core::FgBgModel(params, metrics).solve().metrics();
 }
 
 /// Emits one "figure panel": the chosen metric as a function of load, one

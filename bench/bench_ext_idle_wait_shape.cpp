@@ -7,8 +7,9 @@
 #include "bench_common.hpp"
 #include "traffic/phase_type.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace perfbg;
+  bench::BenchRun run(argc, argv, "ext_idle_wait_shape");
   using traffic::PhaseType;
   bench::banner("Extension: idle-wait shape",
                 "PH idle waits of equal mean, different variability");

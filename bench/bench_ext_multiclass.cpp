@@ -8,8 +8,9 @@
 #include "bench_common.hpp"
 #include "core/multiclass.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace perfbg;
+  bench::BenchRun run(argc, argv, "ext_multiclass");
   bench::banner("Extension: multi-class background",
                 "two priority classes, p1 = p2 = 0.3, X1 = X2 = 5");
 

@@ -7,8 +7,9 @@
 #include "bench_common.hpp"
 #include "workloads/trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace perfbg;
+  bench::BenchRun run(argc, argv, "fig01_trace_acf");
   bench::banner("Figure 1", "trace inter-arrival ACF and summary statistics");
 
   constexpr std::size_t kTraceLength = 300000;  // "a few hundred thousand entries"

@@ -4,8 +4,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace perfbg;
+  bench::BenchRun run(argc, argv, "fig02_mmpp_acf");
   bench::banner("Figure 2", "fitted 2-state MMPP models: ACF and parameters");
 
   const auto procs = workloads::trace_workloads();

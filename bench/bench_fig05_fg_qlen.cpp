@@ -3,8 +3,9 @@
 // (a) E-mail / High-ACF and (b) Software-Dev / Low-ACF workloads.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace perfbg;
+  bench::BenchRun run(argc, argv, "fig05_fg_qlen");
   bench::banner("Figure 5", "foreground mean queue length vs foreground load");
   bench::print_load_sweep_panel("(a) E-mail (High ACF)", workloads::email(),
                                 bench::high_acf_load_grid(), bench::paper_p_values(),

@@ -3,8 +3,9 @@
 // the arrival-weighted variant is printed as a second pair of panels.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace perfbg;
+  bench::BenchRun run(argc, argv, "fig06_fg_delayed");
   bench::banner("Figure 6", "portion of foreground jobs delayed behind background jobs");
   const std::vector<double> ps{0.1, 0.3, 0.6, 0.9};
   bench::print_load_sweep_panel("(a) E-mail (High ACF) — WaitP_FG", workloads::email(),

@@ -2,8 +2,9 @@
 // foreground load.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace perfbg;
+  bench::BenchRun run(argc, argv, "fig07_bg_completion");
   bench::banner("Figure 7", "background job completion rate vs foreground load");
   bench::print_load_sweep_panel("(a) E-mail (High ACF)", workloads::email(),
                                 bench::high_acf_load_grid(), bench::paper_p_values(),

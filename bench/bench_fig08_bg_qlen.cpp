@@ -2,8 +2,9 @@
 // vs foreground load for p in {.1, .3, .6, .9}.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace perfbg;
+  bench::BenchRun run(argc, argv, "fig08_bg_qlen");
   bench::banner("Figure 8", "background mean queue length vs foreground load");
   const std::vector<double> ps{0.1, 0.3, 0.6, 0.9};
   bench::print_load_sweep_panel("(a) E-mail (High ACF)", workloads::email(),

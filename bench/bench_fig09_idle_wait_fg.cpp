@@ -15,8 +15,9 @@ constexpr double kEmailLoad = 0.12;
 constexpr double kSoftDevLoad = 0.25;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace perfbg;
+  bench::BenchRun run(argc, argv, "fig09_idle_wait_fg");
   bench::banner("Figure 9", "foreground queue length vs idle-wait intensity");
   const std::vector<double> intensities{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0};
   const std::vector<double> ps{0.1, 0.3, 0.6, 0.9};

@@ -4,8 +4,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace perfbg;
+  bench::BenchRun run(argc, argv, "fig10_idle_wait_bg");
   bench::banner("Figure 10", "background completion rate vs idle-wait intensity");
   const std::vector<double> intensities{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0};
   const std::vector<double> ps{0.1, 0.3, 0.6, 0.9};

@@ -26,7 +26,8 @@ void panel(double p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  perfbg::bench::BenchRun run(argc, argv, "fig11_dependence_qlen");
   perfbg::bench::banner("Figure 11",
                         "foreground queue length vs load across dependence structures");
   panel(0.3);

@@ -23,7 +23,8 @@ void panel(double p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  perfbg::bench::BenchRun run(argc, argv, "fig12_dependence_completion");
   perfbg::bench::banner("Figure 12",
                         "background completion rate vs load across dependence structures");
   panel(0.3);

@@ -23,7 +23,8 @@ void panel(double p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  perfbg::bench::BenchRun run(argc, argv, "fig13_dependence_delayed");
   perfbg::bench::banner(
       "Figure 13", "portion of foreground jobs delayed vs load across dependence structures");
   panel(0.3);

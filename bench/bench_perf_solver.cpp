@@ -1,10 +1,17 @@
 // google-benchmark microbenchmarks of the numeric core: chain construction,
 // R-matrix solution, and the end-to-end model solve, as functions of the
 // background buffer size X (level size 2X+1 per phase) and of load.
+//
+// BM_FullModelSolve runs with a live MetricsRegistry and reports the
+// per-phase breakdown (chain build, R solve, boundary solve, tail sums,
+// metric evaluation) as benchmark counters; BM_FullModelSolve_NoMetrics is
+// the uninstrumented baseline, so the diff between the two is the
+// instrumentation overhead (budget: < 5%).
 #include <benchmark/benchmark.h>
 
 #include "core/chain_builder.hpp"
 #include "core/model.hpp"
+#include "obs/metrics.hpp"
 #include "qbd/rmatrix.hpp"
 #include "qbd/solution.hpp"
 #include "workloads/presets.hpp"
@@ -53,12 +60,45 @@ void BM_SolveR_FunctionalIteration(benchmark::State& state) {
 BENCHMARK(BM_SolveR_FunctionalIteration)->Arg(10)->Arg(50)->Arg(90);
 
 void BM_FullModelSolve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  const core::FgBgModel model(params_for(static_cast<int>(state.range(0)), 0.3),
+                              &registry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.solve().metrics());
+  }
+  // Per-phase wall-time breakdown, averaged over the iterations (plus the
+  // one-off chain build from the constructor).
+  for (const auto& [name, t] : registry.timers())
+    state.counters[name + "_ms"] =
+        benchmark::Counter(t.count ? t.total_ms / static_cast<double>(t.count) : 0.0);
+  state.counters["rsolve_iters"] = benchmark::Counter(
+      static_cast<double>(registry.counter("qbd.rsolve.iterations")) /
+      static_cast<double>(registry.counter("qbd.solve.count")));
+}
+BENCHMARK(BM_FullModelSolve)->Arg(5)->Arg(10)->Arg(25);
+
+void BM_FullModelSolve_NoMetrics(benchmark::State& state) {
   const core::FgBgModel model(params_for(static_cast<int>(state.range(0)), 0.3));
   for (auto _ : state) {
     benchmark::DoNotOptimize(model.solve().metrics());
   }
 }
-BENCHMARK(BM_FullModelSolve)->Arg(5)->Arg(10)->Arg(25);
+BENCHMARK(BM_FullModelSolve_NoMetrics)->Arg(5)->Arg(10)->Arg(25);
+
+void BM_SolveR_WithConvergenceTrace(benchmark::State& state) {
+  // Cost of the opt-in per-iteration trace (increment norm + residual +
+  // timestamps) on top of the plain R solve.
+  const core::FgBgModel model(params_for(static_cast<int>(state.range(0)), 0.3));
+  const auto& q = model.process();
+  qbd::RSolverOptions opts;
+  opts.record_trace = true;
+  qbd::RSolverStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qbd::solve_r(q.a0, q.a1, q.a2, opts, &stats));
+  }
+  state.counters["trace_rows"] = benchmark::Counter(static_cast<double>(stats.trace.size()));
+}
+BENCHMARK(BM_SolveR_WithConvergenceTrace)->Arg(5)->Arg(10)->Arg(25);
 
 void BM_LoadSweepPoint(benchmark::State& state) {
   // One point of a Figs. 5-8 sweep, end to end (scale + build + solve).

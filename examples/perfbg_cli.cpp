@@ -4,13 +4,21 @@
 //   $ ./examples/perfbg_cli --workload email --util 0.15 --p 0.3
 //   $ ./examples/perfbg_cli --workload poisson --util 0.5 --p 0.9
 //       --buffer 10 --idle-wait 2.0 --service erlang2 --simulate true
+//   $ ./examples/perfbg_cli --metrics-json=/tmp/run.json --trace=/tmp/run.jsonl
 //
 // Workloads: email | softdev | useraccounts | lowacf | ipp | poisson
 // Service:   expo | erlang2 | erlang4 | h2   (mean fixed by --service-mean)
+//
+// --metrics-json writes a structured run report (schema
+// perfbg.run_report.v1): solver phase timings, the per-iteration R-solver
+// convergence trace, and simulator event counters (a short validation
+// simulation runs automatically when --simulate was not given).
 #include <iostream>
 #include <string>
 
 #include "core/model.hpp"
+#include "obs/report.hpp"
+#include "qbd/solution.hpp"
 #include "sim/fgbg_simulator.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -52,6 +60,8 @@ int main(int argc, char** argv) {
   flags.define("service", "service distribution: expo|erlang2|erlang4|h2, default expo");
   flags.define("service-mean", "mean service time in ms, default 6");
   flags.define("simulate", "true to cross-check with the simulator, default false");
+  flags.define("metrics-json", "write a structured JSON run report to this path");
+  flags.define("trace", "write all trace events as JSON lines to this path");
   flags.define("help", "print this help");
 
   try {
@@ -72,12 +82,40 @@ int main(int argc, char** argv) {
     params.bg_buffer = flags.get_int("buffer", 5);
     params.idle_wait_intensity = flags.get_double("idle-wait", 1.0);
 
+    const std::string metrics_json = flags.get_string("metrics-json", "");
+    const std::string trace_path = flags.get_string("trace", "");
+    const bool observing = !metrics_json.empty() || !trace_path.empty();
+    const bool simulate = flags.get_bool("simulate", false);
+
+    obs::RunReport report("perfbg_cli");
+    obs::MetricsRegistry* metrics = observing ? &report.metrics() : nullptr;
+    if (observing) {
+      report.set_config("workload", obs::JsonValue(arrivals.name()));
+      report.set_config("bg_probability", obs::JsonValue(params.bg_probability));
+      report.set_config("bg_buffer", obs::JsonValue(params.bg_buffer));
+      report.set_config("idle_wait_intensity", obs::JsonValue(params.idle_wait_intensity));
+      report.set_config("mean_service_time", obs::JsonValue(mean_s));
+      report.set_config("offered_load", obs::JsonValue(params.fg_offered_load()));
+    }
+
     std::cout << "workload " << arrivals.name() << ": rate " << arrivals.mean_rate()
               << "/ms, CV " << arrivals.interarrival_cv() << ", ACF(1) "
               << (arrivals.phases() > 1 ? arrivals.acf(1) : 0.0) << ", offered load "
               << params.fg_offered_load() << "\n\n";
 
-    const core::FgBgMetrics m = core::FgBgModel(params).solve().metrics();
+    qbd::RSolverOptions solver_opts;
+    solver_opts.record_trace = observing;
+    const core::FgBgModel model(params, metrics);
+    const core::FgBgSolution solution = model.solve(solver_opts);
+    const core::FgBgMetrics m = solution.metrics();
+    if (observing) {
+      export_convergence_trace(solution.qbd().solver_stats(),
+                               report.trace("qbd.rsolve.convergence"));
+      report.metrics().set("model.fg_queue_length", m.fg_queue_length);
+      report.metrics().set("model.bg_completion", m.bg_completion);
+      report.metrics().set("model.fg_delayed", m.fg_delayed);
+      report.metrics().set("model.tail_decay_rate", solution.tail_decay_rate());
+    }
     Table t({"metric", "value"});
     t.add_row({std::string("FG mean queue length"), m.fg_queue_length});
     t.add_row({std::string("FG mean response time (ms)"), m.fg_response_time});
@@ -90,14 +128,39 @@ int main(int argc, char** argv) {
     t.add_row({std::string("server busy fraction"), m.busy_fraction});
     t.print(std::cout);
 
-    if (flags.get_bool("simulate", false)) {
+    if (simulate || observing) {
       sim::SimConfig cfg;
+      if (!simulate) {
+        // Report-only mode: a shorter deterministic run is enough to fill the
+        // event counters and batch trace without a multi-second simulation.
+        cfg.warmup_time = 2.0e4;
+        cfg.batch_time = 1.0e5;
+        cfg.batches = 10;
+      }
+      if (observing) {
+        cfg.metrics = metrics;
+        cfg.batch_trace = &report.trace("sim.batch");
+      }
       const sim::SimMetrics s = sim::simulate_fgbg(params, cfg);
-      std::cout << "\nsimulation cross-check (95% CI):\n"
-                << "  FG queue length " << s.fg_queue_length.mean << " +/- "
-                << s.fg_queue_length.half_width << "\n"
-                << "  BG completion   " << s.bg_completion.mean << " +/- "
-                << s.bg_completion.half_width << "\n";
+      if (simulate)
+        std::cout << "\nsimulation cross-check (95% CI):\n"
+                  << "  FG queue length " << s.fg_queue_length.mean << " +/- "
+                  << s.fg_queue_length.half_width << "\n"
+                  << "  BG completion   " << s.bg_completion.mean << " +/- "
+                  << s.bg_completion.half_width << "\n";
+    }
+
+    if (!metrics_json.empty()) {
+      report.write_json(metrics_json);
+      std::cout << "\nwrote run report to " << metrics_json << "\n";
+    }
+    if (!trace_path.empty()) {
+      report.write_trace_jsonl(trace_path);
+      std::cout << "wrote trace events to " << trace_path << "\n";
+    }
+    if (observing) {
+      std::cout << "\n";
+      report.print_summary(std::cout);
     }
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";

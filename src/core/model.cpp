@@ -15,19 +15,34 @@ void FgBgParams::validate() const {
   PERFBG_REQUIRE(idle_wait_intensity > 0.0, "idle wait intensity must be positive");
 }
 
-FgBgModel::FgBgModel(FgBgParams params)
+namespace {
+
+qbd::QbdProcess timed_build(const FgBgParams& params, const FgBgLayout& layout,
+                            obs::MetricsRegistry* metrics) {
+  obs::ScopedTimer t(metrics, "core.chain_build");
+  return build_fgbg_qbd(params, layout);
+}
+
+}  // namespace
+
+FgBgModel::FgBgModel(FgBgParams params, obs::MetricsRegistry* metrics)
     : params_(std::move(params)),
       layout_(params_.background_disabled() ? 0 : params_.bg_buffer,
               params_.arrivals.phases() * params_.effective_service().phases() *
                   params_.effective_idle_wait().phases()),
-      process_(build_fgbg_qbd(params_, layout_)) {}
+      process_(timed_build(params_, layout_, metrics)),
+      metrics_(metrics) {}
 
 FgBgSolution FgBgModel::solve(const qbd::RSolverOptions& opts) const {
-  return FgBgSolution(params_, layout_, qbd::QbdSolution(process_, opts));
+  obs::ScopedTimer total(metrics_, "core.solve.total");
+  return FgBgSolution(params_, layout_, qbd::QbdSolution(process_, opts, metrics_),
+                      metrics_);
 }
 
-FgBgSolution::FgBgSolution(FgBgParams params, FgBgLayout layout, qbd::QbdSolution solution)
+FgBgSolution::FgBgSolution(FgBgParams params, FgBgLayout layout, qbd::QbdSolution solution,
+                           obs::MetricsRegistry* metrics)
     : params_(std::move(params)), layout_(std::move(layout)), qbd_(std::move(solution)) {
+  obs::ScopedTimer t(metrics, "core.solve.metrics_eval");
   compute_metrics();
 }
 

@@ -43,7 +43,10 @@ struct FgBgMetrics {
 /// state-level probabilities for validation and diagnostics.
 class FgBgSolution {
  public:
-  FgBgSolution(FgBgParams params, FgBgLayout layout, qbd::QbdSolution solution);
+  /// A non-null `metrics` registry receives the core.solve.metrics_eval
+  /// timing for the closed-form metric evaluation.
+  FgBgSolution(FgBgParams params, FgBgLayout layout, qbd::QbdSolution solution,
+               obs::MetricsRegistry* metrics = nullptr);
 
   const FgBgParams& params() const { return params_; }
   const FgBgLayout& layout() const { return layout_; }
@@ -77,8 +80,10 @@ class FgBgSolution {
 class FgBgModel {
  public:
   /// Validates parameters and builds the QBD blocks (cheap; solving is
-  /// deferred to solve()).
-  explicit FgBgModel(FgBgParams params);
+  /// deferred to solve()). A non-null `metrics` registry receives phase
+  /// timings for this model: core.chain_build here, core.solve.total /
+  /// core.solve.metrics_eval plus the qbd.* metrics from solve().
+  explicit FgBgModel(FgBgParams params, obs::MetricsRegistry* metrics = nullptr);
 
   const FgBgParams& params() const { return params_; }
   const FgBgLayout& layout() const { return layout_; }
@@ -97,6 +102,7 @@ class FgBgModel {
   FgBgParams params_;
   FgBgLayout layout_;
   qbd::QbdProcess process_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace perfbg::core

@@ -1,0 +1,392 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace perfbg::obs {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* wanted) {
+  throw std::logic_error(std::string("perfbg: JsonValue is not a ") + wanted);
+}
+
+void dump_double(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; emit null so the document stays parseable.
+    out << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Round-trip at the shortest precision that preserves the value.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == v) {
+      out << probe;
+      return;
+    }
+  }
+  out << buf;
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&value_)) return *b;
+  kind_error("bool");
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) return *i;
+  kind_error("integer");
+}
+
+double JsonValue::as_double() const {
+  if (const double* d = std::get_if<double>(&value_)) return *d;
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value_))
+    return static_cast<double>(*i);
+  kind_error("number");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&value_)) return *s;
+  kind_error("string");
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (const JsonArray* a = std::get_if<JsonArray>(&value_)) return *a;
+  kind_error("array");
+}
+
+JsonArray& JsonValue::as_array() {
+  if (JsonArray* a = std::get_if<JsonArray>(&value_)) return *a;
+  kind_error("array");
+}
+
+const JsonObjectEntries& JsonValue::as_object() const {
+  if (const JsonObjectEntries* o = std::get_if<JsonObjectEntries>(&value_)) return *o;
+  kind_error("object");
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  JsonObjectEntries* o = std::get_if<JsonObjectEntries>(&value_);
+  if (!o) kind_error("object");
+  for (auto& [k, v] : *o) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  o->emplace_back(key, std::move(value));
+  return *this;
+}
+
+bool JsonValue::contains(const std::string& key) const { return find(key) != nullptr; }
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  const JsonObjectEntries* o = std::get_if<JsonObjectEntries>(&value_);
+  if (!o) kind_error("object");
+  for (const auto& [k, v] : *o)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (!v) throw std::out_of_range("perfbg: JSON object has no key '" + key + "'");
+  return *v;
+}
+
+void JsonValue::push_back(JsonValue value) { as_array().push_back(std::move(value)); }
+
+void json_escape(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\b': out << "\\b"; break;
+      case '\f': out << "\\f"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << static_cast<char>(c);
+        }
+    }
+  }
+  out << '"';
+}
+
+void JsonValue::dump(std::ostream& out, int indent) const { dump_impl(out, indent, 0); }
+
+std::string JsonValue::dump(int indent) const {
+  std::ostringstream os;
+  dump(os, indent);
+  return os.str();
+}
+
+void JsonValue::dump_impl(std::ostream& out, int indent, int depth) const {
+  const auto newline_pad = [&](int d) {
+    if (indent < 0) return;
+    out << '\n';
+    for (int i = 0; i < indent * d; ++i) out << ' ';
+  };
+  switch (kind()) {
+    case Kind::kNull: out << "null"; break;
+    case Kind::kBool: out << (std::get<bool>(value_) ? "true" : "false"); break;
+    case Kind::kInt: out << std::get<std::int64_t>(value_); break;
+    case Kind::kDouble: dump_double(out, std::get<double>(value_)); break;
+    case Kind::kString: json_escape(out, std::get<std::string>(value_)); break;
+    case Kind::kArray: {
+      const JsonArray& a = std::get<JsonArray>(value_);
+      if (a.empty()) {
+        out << "[]";
+        break;
+      }
+      out << '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i) out << (indent < 0 ? "," : ",");
+        newline_pad(depth + 1);
+        a[i].dump_impl(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out << ']';
+      break;
+    }
+    case Kind::kObject: {
+      const JsonObjectEntries& o = std::get<JsonObjectEntries>(value_);
+      if (o.empty()) {
+        out << "{}";
+        break;
+      }
+      out << '{';
+      bool first = true;
+      for (const auto& [k, v] : o) {
+        if (!first) out << ',';
+        first = false;
+        newline_pad(depth + 1);
+        json_escape(out, k);
+        out << (indent < 0 ? ":" : ": ");
+        v.dump_impl(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out << '}';
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::invalid_argument("perfbg: JSON parse error at byte " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n]) ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue(nullptr);
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj.set(key, parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      skip_ws();
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // reports only emit ASCII \u escapes for control characters).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
+      fail("expected a number");
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      if (!is_double) return JsonValue(static_cast<std::int64_t>(std::stoll(token)));
+      return JsonValue(std::stod(token));
+    } catch (const std::exception&) {
+      pos_ = start;
+      fail("malformed number '" + token + "'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace perfbg::obs

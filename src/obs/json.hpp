@@ -1,0 +1,95 @@
+// Minimal JSON document model for the observability layer: a value tree with
+// deterministic serialization (object keys kept in insertion order) and a
+// strict recursive-descent parser. Self-contained so report writing and the
+// round-trip tests need no external dependency.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace perfbg::obs {
+
+class JsonValue;
+
+/// Object members preserve insertion order so emitted reports are stable and
+/// diff-friendly across runs.
+using JsonArray = std::vector<JsonValue>;
+using JsonObjectEntries = std::vector<std::pair<std::string, JsonValue>>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(int v) : value_(static_cast<std::int64_t>(v)) {}
+  JsonValue(std::int64_t v) : value_(v) {}
+  JsonValue(std::uint64_t v) : value_(static_cast<std::int64_t>(v)) {}
+  JsonValue(double v) : value_(v) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(JsonArray a) : value_(std::move(a)) {}
+
+  static JsonValue object() {
+    JsonValue v;
+    v.value_ = JsonObjectEntries{};
+    return v;
+  }
+  static JsonValue array() { return JsonValue(JsonArray{}); }
+
+  Kind kind() const { return static_cast<Kind>(value_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+  bool is_bool() const { return kind() == Kind::kBool; }
+  bool is_number() const { return kind() == Kind::kInt || kind() == Kind::kDouble; }
+  bool is_string() const { return kind() == Kind::kString; }
+  bool is_array() const { return kind() == Kind::kArray; }
+  bool is_object() const { return kind() == Kind::kObject; }
+
+  /// Typed accessors; throw std::logic_error on a kind mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  /// Numeric accessor accepting both integer and double payloads.
+  double as_double() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  JsonArray& as_array();
+  const JsonObjectEntries& as_object() const;
+
+  /// Object helpers. set() replaces an existing key in place (keeping its
+  /// position) or appends; at()/find() look a key up.
+  JsonValue& set(const std::string& key, JsonValue value);
+  bool contains(const std::string& key) const;
+  const JsonValue* find(const std::string& key) const;
+  /// Throws std::out_of_range when the key is absent.
+  const JsonValue& at(const std::string& key) const;
+
+  /// Array helper; throws on non-arrays.
+  void push_back(JsonValue value);
+
+  /// Serializes the value. indent < 0 emits the compact single-line form;
+  /// indent >= 0 pretty-prints with that many spaces per depth level.
+  void dump(std::ostream& out, int indent = -1) const;
+  std::string dump(int indent = -1) const;
+
+ private:
+  void dump_impl(std::ostream& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, JsonArray,
+               JsonObjectEntries>
+      value_;
+};
+
+/// Writes a string with JSON escaping (quotes included).
+void json_escape(std::ostream& out, const std::string& s);
+
+/// Parses one JSON document; trailing non-whitespace is an error. Throws
+/// std::invalid_argument with a byte offset on malformed input.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace perfbg::obs

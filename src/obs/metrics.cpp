@@ -1,0 +1,233 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace perfbg::obs {
+
+namespace {
+
+enum MetricKind { kCounter = 0, kGauge = 1, kTimer = 2, kHistogram = 3 };
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case kCounter: return "counter";
+    case kGauge: return "gauge";
+    case kTimer: return "timer";
+    case kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::vector<double> default_buckets() {
+  // Decades from 1e-3 to 1e3 with a 1-2-5 subdivision: wide enough for both
+  // millisecond timings and iteration-scale counts.
+  std::vector<double> b;
+  for (double decade = 1e-3; decade < 2e3; decade *= 10.0)
+    for (double m : {1.0, 2.0, 5.0}) b.push_back(decade * m);
+  return b;
+}
+
+}  // namespace
+
+void MetricsRegistry::check_kind(const std::string& name, int kind) const {
+  PERFBG_REQUIRE(!name.empty(), "metric name must be non-empty");
+  const bool taken[4] = {
+      counters_.count(name) > 0,
+      gauges_.count(name) > 0,
+      timers_.count(name) > 0,
+      histograms_.count(name) > 0,
+  };
+  for (int k = 0; k < 4; ++k) {
+    if (k == kind || !taken[k]) continue;
+    PERFBG_REQUIRE(false, "metric '" + name + "' already registered as a " +
+                              kind_name(k) + ", cannot reuse as a " + kind_name(kind));
+  }
+}
+
+void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_kind(name, kCounter);
+  counters_[name] += delta;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_kind(name, kGauge);
+  gauges_[name] = value;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::record_time(const std::string& name, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_kind(name, kTimer);
+  TimerStat& t = timers_[name];
+  ++t.count;
+  t.total_ms += ms;
+  t.max_ms = std::max(t.max_ms, ms);
+}
+
+TimerStat MetricsRegistry::timer(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = timers_.find(name);
+  return it == timers_.end() ? TimerStat{} : it->second;
+}
+
+void MetricsRegistry::define_histogram(const std::string& name,
+                                       std::vector<double> upper_bounds) {
+  PERFBG_REQUIRE(!upper_bounds.empty(), "histogram needs at least one bucket bound");
+  PERFBG_REQUIRE(std::is_sorted(upper_bounds.begin(), upper_bounds.end()) &&
+                     std::adjacent_find(upper_bounds.begin(), upper_bounds.end()) ==
+                         upper_bounds.end(),
+                 "histogram bounds must be strictly increasing");
+  std::lock_guard<std::mutex> lock(mu_);
+  check_kind(name, kHistogram);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    PERFBG_REQUIRE(it->second.upper_bounds == upper_bounds,
+                   "histogram '" + name + "' redefined with different bounds");
+    return;
+  }
+  HistogramStat h;
+  h.counts.assign(upper_bounds.size() + 1, 0);
+  h.upper_bounds = std::move(upper_bounds);
+  histograms_.emplace(name, std::move(h));
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_kind(name, kHistogram);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    HistogramStat h;
+    h.upper_bounds = default_buckets();
+    h.counts.assign(h.upper_bounds.size() + 1, 0);
+    it = histograms_.emplace(name, std::move(h)).first;
+  }
+  HistogramStat& h = it->second;
+  const auto bucket = std::lower_bound(h.upper_bounds.begin(), h.upper_bounds.end(), value);
+  ++h.counts[static_cast<std::size_t>(bucket - h.upper_bounds.begin())];
+  ++h.count;
+  h.sum += value;
+  h.min = std::min(h.min, value);
+  h.max = std::max(h.max, value);
+}
+
+HistogramStat MetricsRegistry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramStat{} : it->second;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::map<std::string, double> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_;
+}
+
+std::map<std::string, TimerStat> MetricsRegistry::timers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timers_;
+}
+
+std::map<std::string, HistogramStat> MetricsRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_;
+}
+
+JsonValue MetricsRegistry::to_json(bool include_timers) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue root = JsonValue::object();
+
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, v] : counters_) counters.set(name, JsonValue(v));
+  root.set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, v] : gauges_) gauges.set(name, JsonValue(v));
+  root.set("gauges", std::move(gauges));
+
+  if (include_timers) {
+    JsonValue timers = JsonValue::object();
+    for (const auto& [name, t] : timers_) {
+      JsonValue entry = JsonValue::object();
+      entry.set("count", JsonValue(t.count));
+      entry.set("total_ms", JsonValue(t.total_ms));
+      entry.set("mean_ms", JsonValue(t.count ? t.total_ms / static_cast<double>(t.count)
+                                             : 0.0));
+      entry.set("max_ms", JsonValue(t.max_ms));
+      timers.set(name, std::move(entry));
+    }
+    root.set("timers", std::move(timers));
+  }
+
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [name, h] : histograms_) {
+    JsonValue entry = JsonValue::object();
+    entry.set("count", JsonValue(h.count));
+    entry.set("sum", JsonValue(h.sum));
+    if (h.count) {
+      entry.set("min", JsonValue(h.min));
+      entry.set("max", JsonValue(h.max));
+    }
+    JsonValue bounds = JsonValue::array();
+    for (double b : h.upper_bounds) bounds.push_back(JsonValue(b));
+    entry.set("upper_bounds", std::move(bounds));
+    JsonValue counts = JsonValue::array();
+    for (std::uint64_t c : h.counts) counts.push_back(JsonValue(c));
+    entry.set("bucket_counts", std::move(counts));
+    histograms.set(name, std::move(entry));
+  }
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+std::string MetricsRegistry::summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, v] : counters_) os << name << " = " << v << "\n";
+  for (const auto& [name, v] : gauges_) os << name << " = " << v << "\n";
+  for (const auto& [name, t] : timers_) {
+    os << name << " = " << t.total_ms << " ms";
+    if (t.count > 1)
+      os << " over " << t.count << " calls (mean "
+         << t.total_ms / static_cast<double>(t.count) << " ms)";
+    os << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << " = histogram n=" << h.count;
+    if (h.count)
+      os << " sum=" << h.sum << " min=" << h.min << " max=" << h.max
+         << " mean=" << h.sum / static_cast<double>(h.count);
+    os << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+  histograms_.clear();
+}
+
+}  // namespace perfbg::obs

@@ -1,0 +1,131 @@
+// Metrics registry for the perfbg stack: hierarchically named counters,
+// gauges, wall-clock timers and fixed-bucket histograms, with a thread-safe
+// core so future parallel sweeps can share one registry.
+//
+// Naming convention: lowercase dot-separated paths grouped by subsystem, e.g.
+//   qbd.rsolve.iterations      core.chain_build      sim.events.fg_arrival
+// A name is permanently bound to the kind that first used it; re-using it as
+// a different kind throws (duplicate-name protection).
+//
+// Instrumented code takes a `MetricsRegistry*` that may be null; every hook is
+// a no-op on a null registry, so un-instrumented callers pay one branch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace perfbg::obs {
+
+/// Aggregate of all observations recorded under one timer name.
+struct TimerStat {
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Fixed-bucket histogram: counts[i] counts observations <= upper_bounds[i];
+/// counts.back() is the overflow bucket (> the last bound).
+struct HistogramStat {
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> counts;  ///< size upper_bounds.size() + 1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // --- counters (monotonic) ---
+  void add(const std::string& name, std::uint64_t delta = 1);
+  std::uint64_t counter(const std::string& name) const;
+
+  // --- gauges (last value wins) ---
+  void set(const std::string& name, double value);
+  double gauge(const std::string& name) const;
+
+  // --- timers ---
+  /// Records one duration under `name`; ScopedTimer is the usual entry point.
+  void record_time(const std::string& name, double ms);
+  TimerStat timer(const std::string& name) const;
+
+  // --- histograms ---
+  /// Defines the bucket layout; bounds must be strictly increasing and
+  /// non-empty. Redefining with identical bounds is a no-op; with different
+  /// bounds it throws.
+  void define_histogram(const std::string& name, std::vector<double> upper_bounds);
+  /// Records one observation; auto-defines decade buckets 1e-3..1e3 when the
+  /// histogram was not explicitly defined.
+  void observe(const std::string& name, double value);
+  HistogramStat histogram(const std::string& name) const;
+
+  // --- snapshots ---
+  std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, double> gauges() const;
+  std::map<std::string, TimerStat> timers() const;
+  std::map<std::string, HistogramStat> histograms() const;
+
+  /// Full dump: {"counters": {...}, "gauges": {...}, "timers": {...},
+  /// "histograms": {...}}. Timers carry wall-clock noise; pass
+  /// include_timers=false for deterministic comparisons.
+  JsonValue to_json(bool include_timers = true) const;
+
+  /// Multi-line human-readable summary (one metric per line, sorted).
+  std::string summary() const;
+
+  void clear();
+
+ private:
+  /// Throws when `name` is already bound to a kind other than `kind`.
+  void check_kind(const std::string& name, int kind) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, TimerStat> timers_;
+  std::map<std::string, HistogramStat> histograms_;
+};
+
+/// RAII wall-clock timer: records the elapsed time under `name` on
+/// destruction (or at stop()). Null-registry construction makes it a no-op,
+/// so call sites need no branching.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, std::string name)
+      : registry_(registry),
+        name_(std::move(name)),
+        start_(registry ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{}) {}
+  ~ScopedTimer() { stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records now and disarms; returns the elapsed milliseconds (0 if no-op).
+  double stop() {
+    if (!registry_) return 0.0;
+    const auto end = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - start_).count();
+    registry_->record_time(name_, ms);
+    registry_ = nullptr;
+    return ms;
+  }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace perfbg::obs

@@ -1,0 +1,84 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace perfbg::obs {
+
+void RunReport::set_config(const std::string& key, JsonValue value) {
+  config_.set(key, std::move(value));
+}
+
+VectorSink& RunReport::trace(const std::string& name) {
+  for (auto& [n, sink] : traces_)
+    if (n == name) return sink;
+  traces_.emplace_back(name, VectorSink{});
+  return traces_.back().second;
+}
+
+JsonValue RunReport::to_json(bool include_timers) const {
+  JsonValue root = JsonValue::object();
+  root.set("schema", JsonValue(kRunReportSchema));
+  root.set("tool", JsonValue(tool_));
+  root.set("config", config_);
+  // Splice the registry dump in at top level so consumers address
+  // report.counters / report.timers directly.
+  const JsonValue m = metrics_.to_json(include_timers);
+  for (const auto& [k, v] : m.as_object()) root.set(k, v);
+  JsonValue traces = JsonValue::object();
+  for (const auto& [name, sink] : traces_) {
+    JsonValue events = JsonValue::array();
+    for (const TraceEvent& e : sink.events()) {
+      // Inside a named trace the event name is redundant; keep the fields.
+      JsonValue obj = JsonValue::object();
+      for (const auto& [k, v] : e.fields()) obj.set(k, v);
+      events.push_back(std::move(obj));
+    }
+    traces.set(name, std::move(events));
+  }
+  root.set("traces", std::move(traces));
+  return root;
+}
+
+void RunReport::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("perfbg: cannot open '" + path + "' for writing");
+  to_json().dump(out, 2);
+  out << '\n';
+  out.flush();
+  if (!out) throw std::runtime_error("perfbg: failed writing report to '" + path + "'");
+}
+
+void RunReport::write_trace_jsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("perfbg: cannot open '" + path + "' for writing");
+  JsonLinesSink sink(out);
+  for (const auto& [name, buffered] : traces_) {
+    (void)name;
+    replay(buffered.events(), sink);
+  }
+  sink.flush();
+  if (!out) throw std::runtime_error("perfbg: failed writing trace to '" + path + "'");
+}
+
+void RunReport::print_summary(std::ostream& out) const {
+  out << "run report (" << tool_ << ")\n";
+  if (!config_.as_object().empty()) {
+    out << "  config: ";
+    config_.dump(out);
+    out << "\n";
+  }
+  std::string metric_lines = metrics_.summary();
+  // Indent the registry summary under the report banner.
+  std::size_t start = 0;
+  while (start < metric_lines.size()) {
+    const std::size_t end = metric_lines.find('\n', start);
+    out << "  " << metric_lines.substr(start, end - start) << "\n";
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  for (const auto& [name, sink] : traces_)
+    out << "  trace " << name << ": " << sink.events().size() << " events\n";
+}
+
+}  // namespace perfbg::obs

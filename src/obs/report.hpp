@@ -1,0 +1,67 @@
+// Structured run report: one JSON document per tool run bundling the run
+// configuration, the full metrics registry dump, and any named event traces
+// (solver convergence, per-batch simulator estimates, ...). Every bench and
+// the CLI emit this schema behind --metrics-json so downstream tooling can
+// track runs over time.
+#pragma once
+
+#include <deque>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace perfbg::obs {
+
+/// Schema identifier stamped into every report; bump on breaking layout
+/// changes so consumers can dispatch.
+inline constexpr const char* kRunReportSchema = "perfbg.run_report.v1";
+
+class RunReport {
+ public:
+  explicit RunReport(std::string tool) : tool_(std::move(tool)) {}
+
+  const std::string& tool() const { return tool_; }
+
+  /// The registry instrumented code writes into; pass `&report.metrics()`
+  /// down the stack.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Records one run-configuration entry (workload name, p, buffer, ...).
+  void set_config(const std::string& key, JsonValue value);
+
+  /// Named in-memory trace; created on first use. Instrumented code records
+  /// TraceEvents into it, the report serializes them under "traces".<name>.
+  VectorSink& trace(const std::string& name);
+  const std::deque<std::pair<std::string, VectorSink>>& traces() const {
+    return traces_;
+  }
+
+  /// {"schema", "tool", "config", "counters", "gauges", "timers",
+  ///  "histograms", "traces"}.
+  JsonValue to_json(bool include_timers = true) const;
+
+  /// Writes the pretty-printed report; throws std::runtime_error on I/O
+  /// failure.
+  void write_json(const std::string& path) const;
+
+  /// Appends every trace event (all traces, in order) as JSON lines; throws
+  /// std::runtime_error on I/O failure.
+  void write_trace_jsonl(const std::string& path) const;
+
+  /// Human-readable digest: config, metric summary, trace sizes.
+  void print_summary(std::ostream& out) const;
+
+ private:
+  std::string tool_;
+  JsonValue config_ = JsonValue::object();
+  MetricsRegistry metrics_;
+  // deque: callers hold VectorSink& across later trace() calls, so the
+  // container must not relocate elements when it grows.
+  std::deque<std::pair<std::string, VectorSink>> traces_;
+};
+
+}  // namespace perfbg::obs

@@ -1,0 +1,85 @@
+#include "obs/trace.hpp"
+
+#include "util/check.hpp"
+
+namespace perfbg::obs {
+
+TraceEvent& TraceEvent::with(const std::string& key, JsonValue value) {
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  fields_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+const JsonValue* TraceEvent::find(const std::string& key) const {
+  for (const auto& [k, v] : fields_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+JsonValue TraceEvent::to_json() const {
+  JsonValue obj = JsonValue::object();
+  obj.set("event", JsonValue(name_));
+  for (const auto& [k, v] : fields_) obj.set(k, v);
+  return obj;
+}
+
+void JsonLinesSink::record(const TraceEvent& event) {
+  event.to_json().dump(out_);
+  out_ << '\n';
+}
+
+void CsvSink::record(const TraceEvent& event) {
+  const auto write_cell = [&](const JsonValue& v) {
+    if (v.is_string()) {
+      // CSV-quote strings that need it; numbers and bools go bare.
+      const std::string& s = v.as_string();
+      if (s.find_first_of(",\"\n") == std::string::npos) {
+        out_ << s;
+      } else {
+        out_ << '"';
+        for (char c : s) {
+          if (c == '"') out_ << '"';
+          out_ << c;
+        }
+        out_ << '"';
+      }
+    } else {
+      v.dump(out_);
+    }
+  };
+
+  if (columns_.empty()) {
+    columns_.reserve(event.fields().size());
+    out_ << "event";
+    for (const auto& [k, v] : event.fields()) {
+      (void)v;
+      columns_.push_back(k);
+      out_ << ',' << k;
+    }
+    out_ << '\n';
+  } else {
+    PERFBG_REQUIRE(event.fields().size() == columns_.size(),
+                   "CSV sink: event '" + event.name() +
+                       "' has a different field count than the header");
+  }
+  out_ << event.name();
+  for (const std::string& col : columns_) {
+    const JsonValue* v = event.find(col);
+    PERFBG_REQUIRE(v != nullptr, "CSV sink: event '" + event.name() +
+                                     "' is missing header field '" + col + "'");
+    out_ << ',';
+    write_cell(*v);
+  }
+  out_ << '\n';
+}
+
+void replay(const std::vector<TraceEvent>& events, TraceSink& into) {
+  for (const TraceEvent& e : events) into.record(e);
+}
+
+}  // namespace perfbg::obs

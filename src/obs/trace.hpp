@@ -1,0 +1,84 @@
+// Structured event traces: a TraceEvent is a named, ordered bag of JSON
+// scalar fields; sinks serialize events as JSON-lines or CSV, or buffer them
+// in memory for report assembly and tests.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace perfbg::obs {
+
+/// One trace record. Fields keep insertion order so exporters emit stable
+/// column/key layouts.
+class TraceEvent {
+ public:
+  explicit TraceEvent(std::string name) : name_(std::move(name)) {}
+
+  /// Adds (or overwrites) one field; chainable.
+  TraceEvent& with(const std::string& key, JsonValue value);
+
+  const std::string& name() const { return name_; }
+  const JsonObjectEntries& fields() const { return fields_; }
+  const JsonValue* find(const std::string& key) const;
+
+  /// {"event": name, <fields...>}.
+  JsonValue to_json() const;
+
+ private:
+  std::string name_;
+  JsonObjectEntries fields_;
+};
+
+/// Receiver interface for trace events.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& event) = 0;
+  virtual void flush() {}
+};
+
+/// Buffers events in memory (report assembly, tests).
+class VectorSink : public TraceSink {
+ public:
+  void record(const TraceEvent& event) override { events_.push_back(event); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// One compact JSON object per line: {"event": "...", ...}. The stream is
+/// borrowed; the caller keeps it alive for the sink's lifetime.
+class JsonLinesSink : public TraceSink {
+ public:
+  explicit JsonLinesSink(std::ostream& out) : out_(out) {}
+  void record(const TraceEvent& event) override;
+  void flush() override { out_.flush(); }
+
+ private:
+  std::ostream& out_;
+};
+
+/// CSV with a header derived from the first event (column "event" plus that
+/// event's field keys, in order). Later events must carry exactly the same
+/// field keys; mixing event shapes in one CSV throws.
+class CsvSink : public TraceSink {
+ public:
+  explicit CsvSink(std::ostream& out) : out_(out) {}
+  void record(const TraceEvent& event) override;
+  void flush() override { out_.flush(); }
+
+ private:
+  std::ostream& out_;
+  std::vector<std::string> columns_;  // empty until the first event
+};
+
+/// Replays a buffered trace into another sink (e.g. VectorSink -> file).
+void replay(const std::vector<TraceEvent>& events, TraceSink& into);
+
+}  // namespace perfbg::obs

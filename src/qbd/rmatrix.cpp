@@ -1,5 +1,6 @@
 #include "qbd/rmatrix.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -9,6 +10,38 @@
 namespace perfbg::qbd {
 
 namespace {
+
+/// Opt-in per-iteration recorder. Wall time is measured from the previous
+/// tick, so the (trace-only) residual computation between iterations is not
+/// charged to the next iteration.
+class IterationTrace {
+ public:
+  IterationTrace(const RSolverOptions& opts, RSolverStats* stats)
+      : out_(opts.record_trace && stats ? &stats->trace : nullptr) {
+    if (out_) {
+      out_->clear();
+      tick_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  bool enabled() const { return out_ != nullptr; }
+
+  /// residual_fn is only invoked when tracing is on; its cost lands between
+  /// the wall-time capture and the next tick, so it never inflates wall_ms.
+  template <typename ResidualFn>
+  void record(int iteration, double increment_norm, ResidualFn&& residual_fn) {
+    if (!out_) return;
+    const auto now = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(now - tick_).count();
+    out_->push_back({iteration, increment_norm, residual_fn(), wall_ms});
+    tick_ = std::chrono::steady_clock::now();
+  }
+
+ private:
+  std::vector<RSolverIteration>* out_;
+  std::chrono::steady_clock::time_point tick_;
+};
 
 void check_shapes(const Matrix& a0, const Matrix& a1, const Matrix& a2) {
   PERFBG_REQUIRE(a0.is_square() && a1.is_square() && a2.is_square(), "A blocks must be square");
@@ -38,6 +71,12 @@ DiscreteBlocks uniformize_blocks(const Matrix& a0, const Matrix& a1, const Matri
   return d;
 }
 
+/// Fixed-point residual of the discrete G equation G = A2h + A1h G + A0h G^2,
+/// used for the (opt-in) per-iteration convergence trace.
+double discrete_g_residual(const DiscreteBlocks& d, const Matrix& g) {
+  return (d.a2_hat + d.a1_hat * g + d.a0_hat * (g * g) - g).inf_norm();
+}
+
 /// Logarithmic reduction on the discrete blocks (Latouche & Ramaswami 1993).
 /// Returns G; quadratically convergent for positive recurrent QBDs.
 Matrix logarithmic_reduction_g(const DiscreteBlocks& d, const RSolverOptions& opts,
@@ -51,6 +90,7 @@ Matrix logarithmic_reduction_g(const DiscreteBlocks& d, const RSolverOptions& op
 
   Matrix g = b2;
   Matrix t = b0;
+  IterationTrace trace(opts, stats);
   int it = 0;
   for (; it < opts.max_iters; ++it) {
     const Matrix u = b0 * b2 + b2 * b0;
@@ -62,7 +102,9 @@ Matrix logarithmic_reduction_g(const DiscreteBlocks& d, const RSolverOptions& op
     t = t * b0_next;
     b0 = b0_next;
     b2 = b2_next;
-    if (increment.inf_norm() < opts.tolerance && t.inf_norm() < std::sqrt(opts.tolerance)) break;
+    const double increment_norm = increment.inf_norm();
+    trace.record(it + 1, increment_norm, [&] { return discrete_g_residual(d, g); });
+    if (increment_norm < opts.tolerance && t.inf_norm() < std::sqrt(opts.tolerance)) break;
   }
   if (it >= opts.max_iters)
     throw std::runtime_error("perfbg: logarithmic reduction did not converge "
@@ -78,12 +120,14 @@ Matrix functional_iteration_g(const DiscreteBlocks& d, const RSolverOptions& opt
   const std::size_t n = d.a1_hat.rows();
   const Matrix identity = Matrix::identity(n);
   Matrix g(n, n, 0.0);
+  IterationTrace trace(opts, stats);
   int it = 0;
   for (; it < opts.max_iters; ++it) {
     const Matrix next =
         linalg::LuDecomposition(identity - d.a1_hat - d.a0_hat * g).solve(d.a2_hat);
     const double delta = next.max_abs_diff(g);
     g = next;
+    trace.record(it + 1, delta, [&] { return discrete_g_residual(d, g); });
     if (delta < opts.tolerance) break;
   }
   if (it >= opts.max_iters)
@@ -131,6 +175,7 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
     const linalg::LuDecomposition a1_lu(a1);
     const std::size_t n = a0.rows();
     r = Matrix(n, n, 0.0);
+    IterationTrace trace(opts, stats);
     int it = 0;
     for (; it < opts.max_iters; ++it) {
       Matrix rhs = a0 + (r * r) * a2;
@@ -145,6 +190,7 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
       }
       const double delta = next.max_abs_diff(r);
       r = next;
+      trace.record(it + 1, delta, [&] { return r_equation_residual(r, a0, a1, a2); });
       if (delta < opts.tolerance) break;
     }
     if (it >= opts.max_iters)

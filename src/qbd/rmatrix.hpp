@@ -10,6 +10,8 @@
 // the ablation benchmark).
 #pragma once
 
+#include <vector>
+
 #include "qbd/qbd.hpp"
 
 namespace perfbg::qbd {
@@ -20,11 +22,29 @@ struct RSolverOptions {
   RSolverKind kind = RSolverKind::kLogarithmicReduction;
   double tolerance = 1e-13;  ///< stop when the iteration increment norm falls below
   int max_iters = 10000;     ///< safety bound (log-reduction needs ~40 even near saturation)
+  /// When true (and a stats out-param is given), the solver records one
+  /// RSolverIteration per iteration into RSolverStats::trace. The per-
+  /// iteration residual costs extra matrix products, so tracing is opt-in;
+  /// the untraced hot path is unchanged.
+  bool record_trace = false;
+};
+
+/// One row of the convergence trace.
+struct RSolverIteration {
+  int iteration = 0;          ///< 1-based iteration index
+  double increment_norm = 0.0;  ///< inf-norm of this iteration's update
+  double residual = 0.0;        ///< fixed-point residual of the iterate
+  double wall_ms = 0.0;         ///< wall time spent in this iteration
 };
 
 struct RSolverStats {
   int iterations = 0;
   double final_residual = 0.0;  ///< ||A0 + R A1 + R^2 A2||_inf at the solution
+  /// Per-iteration convergence trace; empty unless
+  /// RSolverOptions::record_trace was set. For the logarithmic-reduction R
+  /// solver this is the trace of the underlying G iteration (R is obtained
+  /// from G in closed form).
+  std::vector<RSolverIteration> trace;
 };
 
 /// Minimal nonnegative solution of A0 + R A1 + R^2 A2 = 0 for a stable QBD.

@@ -8,15 +8,31 @@
 
 namespace perfbg::qbd {
 
-QbdSolution::QbdSolution(const QbdProcess& process, const RSolverOptions& opts) {
+QbdSolution::QbdSolution(const QbdProcess& process, const RSolverOptions& opts,
+                         obs::MetricsRegistry* metrics) {
   process.validate();
   if (!process.is_stable())
     throw std::runtime_error("perfbg: QBD is not positive recurrent (drift ratio " +
                              std::to_string(process.drift_ratio()) + " >= 1)");
 
-  r_ = solve_r(process.a0, process.a1, process.a2, opts, &stats_);
+  {
+    obs::ScopedTimer t(metrics, "qbd.solve.r");
+    r_ = solve_r(process.a0, process.a1, process.a2, opts, &stats_);
+  }
+  // The solver stops on the iteration increment; the actual equation residual
+  // should land within a small factor of the tolerance for a converged solve.
+  PERFBG_DCHECK(stats_.final_residual <= 10.0 * opts.tolerance,
+                "R-solver residual " + std::to_string(stats_.final_residual) +
+                    " exceeds 10x the tolerance");
   sp_r_ = linalg::spectral_radius(r_);
   PERFBG_ASSERT(sp_r_ < 1.0, "sp(R) >= 1 for a process that passed the drift test");
+  if (metrics) {
+    metrics->add("qbd.rsolve.iterations", static_cast<std::uint64_t>(stats_.iterations));
+    metrics->add("qbd.solve.count");
+    metrics->set("qbd.rsolve.final_residual", stats_.final_residual);
+    metrics->set("qbd.r.spectral_radius", sp_r_);
+  }
+  obs::ScopedTimer boundary_timer(metrics, "qbd.solve.boundary");
 
   const std::size_t nb = process.boundary_size();
   const std::size_t nr = process.level_size();
@@ -58,11 +74,24 @@ QbdSolution::QbdSolution(const QbdProcess& process, const RSolverOptions& opts) 
     PERFBG_ASSERT(v > -1e-9, "negative boundary probability");
   for (double v : pi_first_)
     PERFBG_ASSERT(v > -1e-9, "negative repeating-level probability");
+  boundary_timer.stop();
 
+  obs::ScopedTimer tail_timer(metrics, "qbd.solve.tail");
   rep_sum_ = linalg::vec_mat(pi_first_, s1);
   // sum_k k R^k = R (I-R)^{-2}.
   const Matrix s2 = r_ * (s1 * s1);
   rep_index_sum_ = linalg::vec_mat(pi_first_, s2);
+}
+
+void export_convergence_trace(const RSolverStats& stats, obs::TraceSink& sink) {
+  for (const RSolverIteration& it : stats.trace) {
+    obs::TraceEvent e("qbd.rsolve.convergence");
+    e.with("iteration", obs::JsonValue(it.iteration))
+        .with("increment_norm", obs::JsonValue(it.increment_norm))
+        .with("residual", obs::JsonValue(it.residual))
+        .with("wall_ms", obs::JsonValue(it.wall_ms));
+    sink.record(e);
+  }
 }
 
 Vector QbdSolution::repeating_level(int k) const {

@@ -3,6 +3,8 @@
 // style metrics in closed form.
 #pragma once
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "qbd/qbd.hpp"
 #include "qbd/rmatrix.hpp"
 
@@ -18,11 +20,19 @@ class QbdSolution {
  public:
   /// Solves the process. Throws std::invalid_argument for malformed blocks
   /// and std::runtime_error when the process is not positive recurrent.
-  explicit QbdSolution(const QbdProcess& process, const RSolverOptions& opts = {});
+  /// A non-null `metrics` registry receives per-phase timings
+  /// (qbd.solve.r / qbd.solve.boundary / qbd.solve.tail), the iteration
+  /// counter qbd.rsolve.iterations, and the gauges qbd.rsolve.final_residual
+  /// and qbd.r.spectral_radius.
+  explicit QbdSolution(const QbdProcess& process, const RSolverOptions& opts = {},
+                       obs::MetricsRegistry* metrics = nullptr);
 
   const Matrix& r_matrix() const { return r_; }
   double r_spectral_radius() const { return sp_r_; }
   const RSolverStats& solver_stats() const { return stats_; }
+  /// Per-iteration R-solver convergence trace; non-empty iff the solve ran
+  /// with RSolverOptions::record_trace.
+  const std::vector<RSolverIteration>& solver_trace() const { return stats_.trace; }
 
   const Vector& boundary() const { return pi_boundary_; }
   const Vector& first_repeating() const { return pi_first_; }
@@ -56,5 +66,10 @@ class QbdSolution {
   Vector rep_sum_;
   Vector rep_index_sum_;
 };
+
+/// Appends the solver's per-iteration convergence trace to a sink as events
+/// named "qbd.rsolve.convergence" with fields
+/// {iteration, increment_norm, residual, wall_ms}.
+void export_convergence_trace(const RSolverStats& stats, obs::TraceSink& sink);
 
 }  // namespace perfbg::qbd

@@ -26,8 +26,30 @@ struct BatchAccum {
   std::uint64_t bg_generated = 0;
   std::uint64_t bg_dropped = 0;
   std::uint64_t bg_completed = 0;
+  std::uint64_t idle_expiries = 0;
   double response_sum = 0.0;
 };
+
+/// One "sim.batch" trace event from a finished batch's accumulators.
+obs::TraceEvent batch_event(int index, const BatchAccum& b) {
+  obs::TraceEvent e("sim.batch");
+  e.with("batch", obs::JsonValue(index))
+      .with("elapsed", obs::JsonValue(b.elapsed))
+      .with("qlen_fg", obs::JsonValue(b.qlen_fg_integral / b.elapsed))
+      .with("qlen_bg", obs::JsonValue(b.qlen_bg_integral / b.elapsed))
+      .with("busy_fraction", obs::JsonValue(b.busy_integral / b.elapsed))
+      .with("fg_throughput",
+            obs::JsonValue(static_cast<double>(b.fg_completed) / b.elapsed))
+      .with("fg_arrivals", obs::JsonValue(b.fg_arrivals))
+      .with("bg_generated", obs::JsonValue(b.bg_generated))
+      .with("bg_dropped", obs::JsonValue(b.bg_dropped))
+      .with("bg_completed", obs::JsonValue(b.bg_completed))
+      .with("mean_response",
+            obs::JsonValue(b.fg_completed
+                               ? b.response_sum / static_cast<double>(b.fg_completed)
+                               : 0.0));
+  return e;
+}
 
 }  // namespace
 
@@ -36,6 +58,7 @@ SimMetrics simulate_fgbg(const core::FgBgParams& params, const SimConfig& config
   PERFBG_REQUIRE(config.batches >= 2, "need at least two batches for a CI");
   PERFBG_REQUIRE(config.batch_time > 0.0 && config.warmup_time >= 0.0,
                  "times must be positive");
+  obs::ScopedTimer run_timer(config.metrics, "sim.run");
 
   const double alpha = params.idle_wait_rate();
   const double p = params.bg_probability;
@@ -140,8 +163,24 @@ SimMetrics simulate_fgbg(const core::FgBgParams& params, const SimConfig& config
       now = batch_end;
       if (in_warmup) {
         in_warmup = false;
+        // Warmup diagnostics: how much traffic the warmup absorbed and the
+        // state it handed to the measurement window.
+        if (config.metrics) {
+          config.metrics->set("sim.warmup.time", config.warmup_time);
+          config.metrics->set("sim.warmup.fg_arrivals",
+                              static_cast<double>(acc.fg_arrivals));
+          config.metrics->set("sim.warmup.bg_generated",
+                              static_cast<double>(acc.bg_generated));
+          config.metrics->set("sim.warmup.end_qlen_fg", static_cast<double>(y));
+          config.metrics->set("sim.warmup.end_qlen_bg", static_cast<double>(x));
+          config.metrics->set("sim.warmup.end_busy",
+                              serving == Serving::kNone ? 0.0 : 1.0);
+        }
       } else {
         finished.push_back(acc);
+        if (config.batch_trace)
+          config.batch_trace->record(
+              batch_event(static_cast<int>(finished.size()), acc));
       }
       acc = BatchAccum{};
       batch_end += config.batch_time;
@@ -194,6 +233,7 @@ SimMetrics simulate_fgbg(const core::FgBgParams& params, const SimConfig& config
       case 2: {  // idle wait expires: background service begins
         PERFBG_ASSERT(serving == Serving::kNone && y == 0 && x > 0,
                       "idle expiry in a non-idle state");
+        ++acc.idle_expiries;
         start_bg_service();
         break;
       }
@@ -203,7 +243,11 @@ SimMetrics simulate_fgbg(const core::FgBgParams& params, const SimConfig& config
   // ---- reduce batches ----
   BatchMeans qlen_fg, qlen_bg, completion, delayed, response, busy, bg_busy, idle, thr;
   SimMetrics out;
+  std::uint64_t fg_completed_total = 0, fg_delayed_total = 0, idle_expiry_total = 0;
   for (const BatchAccum& b : finished) {
+    fg_completed_total += b.fg_completed;
+    fg_delayed_total += b.fg_delayed;
+    idle_expiry_total += b.idle_expiries;
     qlen_fg.add_batch(b.qlen_fg_integral / b.elapsed);
     qlen_bg.add_batch(b.qlen_bg_integral / b.elapsed);
     busy.add_batch(b.busy_integral / b.elapsed);
@@ -237,6 +281,18 @@ SimMetrics simulate_fgbg(const core::FgBgParams& params, const SimConfig& config
     out.fg_response_p50 = response_quantiles.quantile(0.50);
     out.fg_response_p95 = response_quantiles.quantile(0.95);
     out.fg_response_p99 = response_quantiles.quantile(0.99);
+  }
+  // Event counters over the measurement window; deterministic given the seed.
+  if (config.metrics) {
+    obs::MetricsRegistry& m = *config.metrics;
+    m.add("sim.events.fg_arrival", out.fg_arrivals);
+    m.add("sim.events.fg_completion", fg_completed_total);
+    m.add("sim.events.fg_delayed_arrival", fg_delayed_total);
+    m.add("sim.events.bg_generated", out.bg_generated);
+    m.add("sim.events.bg_dropped", out.bg_dropped);
+    m.add("sim.events.bg_completion", out.bg_completed);
+    m.add("sim.events.idle_expiry", idle_expiry_total);
+    m.add("sim.batches", static_cast<std::uint64_t>(finished.size()));
   }
   return out;
 }

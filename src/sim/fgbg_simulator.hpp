@@ -10,6 +10,8 @@
 #include <optional>
 
 #include "core/params.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/statistics.hpp"
 
 namespace perfbg::sim {
@@ -24,6 +26,15 @@ struct SimConfig {
   int batches = 20;             ///< batch count for the batch-means CIs
   std::uint64_t seed = 20060625;
   IdleWaitKind idle_wait = IdleWaitKind::kExponential;
+
+  // --- observability (both optional; the run is unchanged when null) ---
+  /// Receives sim.events.* counters over the measurement window, warmup
+  /// diagnostics as sim.warmup.* gauges, and the sim.run wall timer. All
+  /// values except the timer are deterministic given (params, seed).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Receives one "sim.batch" event per finished measurement batch with the
+  /// batch-local estimates (queue lengths, busy fraction, throughput, ...).
+  obs::TraceSink* batch_trace = nullptr;
 };
 
 /// Point estimates (95% CIs) of the observable metrics.

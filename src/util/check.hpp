@@ -45,3 +45,15 @@ namespace detail {
   do {                                                                             \
     if (!(cond)) ::perfbg::detail::throw_logic_error(#cond, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+// Debug-only invariant check: compiled to nothing in NDEBUG builds (the
+// default RelWithDebInfo), so it may guard conditions that are expensive to
+// evaluate or numerically tight. Define PERFBG_FORCE_DCHECKS to keep the
+// checks in optimized builds (the sanitizer CI job does).
+#if !defined(NDEBUG) || defined(PERFBG_FORCE_DCHECKS)
+#define PERFBG_DCHECK(cond, msg) PERFBG_ASSERT(cond, msg)
+#else
+#define PERFBG_DCHECK(cond, msg) \
+  do {                           \
+  } while (false)
+#endif

@@ -1,0 +1,333 @@
+// Unit tests for the observability layer: JSON model round-trips, metrics
+// registry semantics (counters / gauges / timers / histograms, duplicate-name
+// protection), trace sinks, and the R-solver convergence trace.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "linalg/matrix.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "qbd/rmatrix.hpp"
+#include "qbd/solution.hpp"
+
+namespace {
+
+using namespace perfbg;
+using obs::JsonValue;
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+TEST(Json, ScalarRoundTrip) {
+  EXPECT_EQ(obs::parse_json("null").kind(), JsonValue::Kind::kNull);
+  EXPECT_TRUE(obs::parse_json("true").as_bool());
+  EXPECT_FALSE(obs::parse_json("false").as_bool());
+  EXPECT_EQ(obs::parse_json("-42").as_int(), -42);
+  EXPECT_DOUBLE_EQ(obs::parse_json("2.5e-3").as_double(), 2.5e-3);
+  EXPECT_EQ(obs::parse_json("\"hi\\nthere\"").as_string(), "hi\nthere");
+}
+
+TEST(Json, DocumentRoundTripPreservesValuesAndOrder) {
+  JsonValue doc = JsonValue::object();
+  doc.set("zeta", JsonValue(1));
+  doc.set("alpha", JsonValue(0.125));
+  JsonValue arr = JsonValue::array();
+  arr.push_back(JsonValue("quote\" and \\slash"));
+  arr.push_back(JsonValue(nullptr));
+  arr.push_back(JsonValue(true));
+  doc.set("items", std::move(arr));
+  JsonValue nested = JsonValue::object();
+  nested.set("n", JsonValue(static_cast<std::int64_t>(1) << 40));
+  doc.set("nested", std::move(nested));
+
+  // Insertion order survives serialization (zeta before alpha).
+  const std::string compact = doc.dump();
+  EXPECT_LT(compact.find("zeta"), compact.find("alpha"));
+
+  const JsonValue back = obs::parse_json(compact);
+  EXPECT_EQ(back.dump(), compact);
+  EXPECT_EQ(back.at("zeta").as_int(), 1);
+  EXPECT_DOUBLE_EQ(back.at("alpha").as_double(), 0.125);
+  EXPECT_EQ(back.at("items").as_array()[0].as_string(), "quote\" and \\slash");
+  EXPECT_EQ(back.at("nested").at("n").as_int(), std::int64_t(1) << 40);
+
+  // Pretty-printed form parses back to the same document.
+  EXPECT_EQ(obs::parse_json(doc.dump(2)).dump(), compact);
+}
+
+TEST(Json, DoubleRoundTripIsExact) {
+  for (double v : {0.1, 1.0 / 3.0, 1e-300, 12345.6789, 2.5156455016979093e-17}) {
+    const JsonValue parsed = obs::parse_json(JsonValue(v).dump());
+    EXPECT_EQ(parsed.as_double(), v);
+  }
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(obs::parse_json(""), std::invalid_argument);
+  EXPECT_THROW(obs::parse_json("{\"a\":}"), std::invalid_argument);
+  EXPECT_THROW(obs::parse_json("[1,2"), std::invalid_argument);
+  EXPECT_THROW(obs::parse_json("12 34"), std::invalid_argument);
+  EXPECT_THROW(obs::parse_json("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(obs::parse_json("truthy"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, CounterSemantics) {
+  obs::MetricsRegistry m;
+  EXPECT_EQ(m.counter("qbd.rsolve.iterations"), 0u);  // absent reads as 0
+  m.add("qbd.rsolve.iterations");
+  m.add("qbd.rsolve.iterations", 41);
+  EXPECT_EQ(m.counter("qbd.rsolve.iterations"), 42u);
+}
+
+TEST(MetricsRegistry, GaugeLastValueWins) {
+  obs::MetricsRegistry m;
+  m.set("sim.warmup.end_qlen_fg", 3.0);
+  m.set("sim.warmup.end_qlen_fg", 1.5);
+  EXPECT_DOUBLE_EQ(m.gauge("sim.warmup.end_qlen_fg"), 1.5);
+}
+
+TEST(MetricsRegistry, TimerAccumulates) {
+  obs::MetricsRegistry m;
+  m.record_time("core.solve.total", 2.0);
+  m.record_time("core.solve.total", 5.0);
+  const obs::TimerStat t = m.timer("core.solve.total");
+  EXPECT_EQ(t.count, 2u);
+  EXPECT_DOUBLE_EQ(t.total_ms, 7.0);
+  EXPECT_DOUBLE_EQ(t.max_ms, 5.0);
+}
+
+TEST(MetricsRegistry, ScopedTimerRecordsAndNullIsNoop) {
+  obs::MetricsRegistry m;
+  {
+    obs::ScopedTimer t(&m, "phase");
+  }
+  EXPECT_EQ(m.timer("phase").count, 1u);
+  EXPECT_GE(m.timer("phase").total_ms, 0.0);
+
+  obs::ScopedTimer stopped(&m, "phase");
+  stopped.stop();
+  stopped.stop();  // disarmed: second stop must not double-record
+  EXPECT_EQ(m.timer("phase").count, 2u);
+
+  obs::ScopedTimer null_timer(nullptr, "phase");  // must not crash or record
+  EXPECT_DOUBLE_EQ(null_timer.stop(), 0.0);
+  EXPECT_EQ(m.timer("phase").count, 2u);
+}
+
+TEST(MetricsRegistry, HistogramBuckets) {
+  obs::MetricsRegistry m;
+  m.define_histogram("lat", {1.0, 10.0, 100.0});
+  for (double v : {0.5, 1.0, 3.0, 50.0, 1000.0}) m.observe("lat", v);
+  const obs::HistogramStat h = m.histogram("lat");
+  ASSERT_EQ(h.counts.size(), 4u);
+  EXPECT_EQ(h.counts[0], 2u);  // 0.5, 1.0 (bounds are inclusive upper edges)
+  EXPECT_EQ(h.counts[1], 1u);  // 3.0
+  EXPECT_EQ(h.counts[2], 1u);  // 50.0
+  EXPECT_EQ(h.counts[3], 1u);  // 1000.0 overflows
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_DOUBLE_EQ(h.sum, 1054.5);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 1000.0);
+
+  // Redefinition with identical bounds is a no-op; different bounds throw.
+  m.define_histogram("lat", {1.0, 10.0, 100.0});
+  EXPECT_THROW(m.define_histogram("lat", {2.0}), std::invalid_argument);
+  EXPECT_THROW(m.define_histogram("bad", {}), std::invalid_argument);
+  EXPECT_THROW(m.define_histogram("bad", {3.0, 2.0}), std::invalid_argument);
+
+  // Un-defined histograms auto-define on first observe.
+  m.observe("auto", 4.2);
+  EXPECT_EQ(m.histogram("auto").count, 1u);
+}
+
+TEST(MetricsRegistry, DuplicateNameAcrossKindsThrows) {
+  obs::MetricsRegistry m;
+  m.add("x");
+  EXPECT_THROW(m.set("x", 1.0), std::invalid_argument);
+  EXPECT_THROW(m.record_time("x", 1.0), std::invalid_argument);
+  EXPECT_THROW(m.observe("x", 1.0), std::invalid_argument);
+  m.set("g", 1.0);
+  EXPECT_THROW(m.add("g"), std::invalid_argument);
+  EXPECT_THROW(m.add(""), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, ToJsonShape) {
+  obs::MetricsRegistry m;
+  m.add("c", 3);
+  m.set("g", 1.25);
+  m.record_time("t", 2.0);
+  m.define_histogram("h", {1.0});
+  m.observe("h", 0.5);
+
+  const JsonValue full = m.to_json();
+  EXPECT_EQ(full.at("counters").at("c").as_int(), 3);
+  EXPECT_DOUBLE_EQ(full.at("gauges").at("g").as_double(), 1.25);
+  EXPECT_EQ(full.at("timers").at("t").at("count").as_int(), 1);
+  EXPECT_EQ(full.at("histograms").at("h").at("count").as_int(), 1);
+
+  // include_timers=false drops the nondeterministic section entirely.
+  EXPECT_FALSE(m.to_json(false).contains("timers"));
+}
+
+// ---------------------------------------------------------------------------
+// Trace sinks
+// ---------------------------------------------------------------------------
+
+obs::TraceEvent sample_event(int i) {
+  obs::TraceEvent e("unit.sample");
+  e.with("index", JsonValue(i)).with("value", JsonValue(0.5 * i)).with("tag", JsonValue("a,b"));
+  return e;
+}
+
+TEST(TraceSinks, JsonLinesRoundTrip) {
+  std::ostringstream out;
+  obs::JsonLinesSink sink(out);
+  sink.record(sample_event(1));
+  sink.record(sample_event(2));
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int i = 1;
+  while (std::getline(lines, line)) {
+    const JsonValue v = obs::parse_json(line);
+    EXPECT_EQ(v.at("event").as_string(), "unit.sample");
+    EXPECT_EQ(v.at("index").as_int(), i);
+    EXPECT_DOUBLE_EQ(v.at("value").as_double(), 0.5 * i);
+    EXPECT_EQ(v.at("tag").as_string(), "a,b");
+    ++i;
+  }
+  EXPECT_EQ(i, 3);
+}
+
+TEST(TraceSinks, CsvHeaderAndQuoting) {
+  std::ostringstream out;
+  obs::CsvSink sink(out);
+  sink.record(sample_event(1));
+  sink.record(sample_event(2));
+  const std::string csv = out.str();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "event,index,value,tag");
+  EXPECT_NE(csv.find("unit.sample,1,0.5,\"a,b\""), std::string::npos);
+
+  obs::TraceEvent other("unit.other");
+  other.with("different", JsonValue(1));
+  EXPECT_THROW(sink.record(other), std::invalid_argument);  // shape mismatch
+}
+
+TEST(TraceSinks, VectorSinkAndReplay) {
+  obs::VectorSink buffer;
+  buffer.record(sample_event(7));
+  ASSERT_EQ(buffer.events().size(), 1u);
+  EXPECT_EQ(buffer.events()[0].find("index")->as_int(), 7);
+
+  std::ostringstream out;
+  obs::JsonLinesSink lines(out);
+  obs::replay(buffer.events(), lines);
+  EXPECT_EQ(obs::parse_json(out.str()).at("index").as_int(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// R-solver convergence trace
+// ---------------------------------------------------------------------------
+
+// A small stable M/M/1-type QBD: lambda = 1, mu = 2.
+struct Mm1Blocks {
+  linalg::Matrix a0{1, 1, 1.0}, a1{1, 1, -3.0}, a2{1, 1, 2.0};
+};
+
+TEST(RSolverTrace, LogReductionRecordsIterations) {
+  const Mm1Blocks b;
+  qbd::RSolverOptions opts;
+  opts.record_trace = true;
+  qbd::RSolverStats stats;
+  const linalg::Matrix r = qbd::solve_r(b.a0, b.a1, b.a2, opts, &stats);
+  EXPECT_NEAR(r(0, 0), 0.5, 1e-12);  // R = rho for M/M/1
+
+  ASSERT_FALSE(stats.trace.empty());
+  EXPECT_EQ(static_cast<int>(stats.trace.size()), stats.iterations);
+  for (std::size_t i = 0; i < stats.trace.size(); ++i) {
+    EXPECT_EQ(stats.trace[i].iteration, static_cast<int>(i) + 1);
+    EXPECT_GE(stats.trace[i].wall_ms, 0.0);
+    EXPECT_GE(stats.trace[i].residual, 0.0);
+  }
+  // Quadratic convergence: the increment norm must fall below tolerance.
+  EXPECT_LT(stats.trace.back().increment_norm, opts.tolerance);
+  EXPECT_LE(stats.final_residual, 10.0 * opts.tolerance);
+}
+
+TEST(RSolverTrace, FunctionalIterationRecordsMonotoneResiduals) {
+  const Mm1Blocks b;
+  qbd::RSolverOptions opts;
+  opts.kind = qbd::RSolverKind::kFunctionalIteration;
+  opts.record_trace = true;
+  qbd::RSolverStats stats;
+  qbd::solve_r(b.a0, b.a1, b.a2, opts, &stats);
+  ASSERT_GT(stats.trace.size(), 4u);
+  // Linear convergence from below: residuals decrease along the iteration.
+  EXPECT_LT(stats.trace.back().residual, stats.trace.front().residual);
+  EXPECT_LE(stats.final_residual, 10.0 * opts.tolerance);
+}
+
+TEST(RSolverTrace, DisabledByDefault) {
+  const Mm1Blocks b;
+  qbd::RSolverStats stats;
+  qbd::solve_r(b.a0, b.a1, b.a2, {}, &stats);
+  EXPECT_TRUE(stats.trace.empty());
+  EXPECT_GT(stats.iterations, 0);
+}
+
+TEST(RSolverTrace, ExportToSink) {
+  const Mm1Blocks b;
+  qbd::RSolverOptions opts;
+  opts.record_trace = true;
+  qbd::RSolverStats stats;
+  qbd::solve_r(b.a0, b.a1, b.a2, opts, &stats);
+
+  obs::VectorSink sink;
+  qbd::export_convergence_trace(stats, sink);
+  ASSERT_EQ(sink.events().size(), stats.trace.size());
+  const obs::TraceEvent& first = sink.events().front();
+  EXPECT_EQ(first.name(), "qbd.rsolve.convergence");
+  EXPECT_EQ(first.find("iteration")->as_int(), 1);
+  ASSERT_NE(first.find("increment_norm"), nullptr);
+  ASSERT_NE(first.find("residual"), nullptr);
+  ASSERT_NE(first.find("wall_ms"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// RunReport
+// ---------------------------------------------------------------------------
+
+TEST(RunReport, JsonShapeAndSummary) {
+  obs::RunReport report("unit_test");
+  report.set_config("p", JsonValue(0.3));
+  report.metrics().add("events", 5);
+  report.trace("tr").record(sample_event(1));
+
+  const JsonValue j = report.to_json();
+  EXPECT_EQ(j.at("schema").as_string(), obs::kRunReportSchema);
+  EXPECT_EQ(j.at("tool").as_string(), "unit_test");
+  EXPECT_DOUBLE_EQ(j.at("config").at("p").as_double(), 0.3);
+  EXPECT_EQ(j.at("counters").at("events").as_int(), 5);
+  ASSERT_TRUE(j.at("traces").contains("tr"));
+  EXPECT_EQ(j.at("traces").at("tr").as_array().size(), 1u);
+
+  // trace() returns the same buffer for the same name.
+  report.trace("tr").record(sample_event(2));
+  EXPECT_EQ(report.to_json().at("traces").at("tr").as_array().size(), 2u);
+
+  std::ostringstream summary;
+  report.print_summary(summary);
+  EXPECT_NE(summary.str().find("unit_test"), std::string::npos);
+  EXPECT_NE(summary.str().find("events = 5"), std::string::npos);
+}
+
+}  // namespace

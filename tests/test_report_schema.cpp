@@ -1,0 +1,188 @@
+// End-to-end checks of the structured run report: the instrumented
+// model-solve + simulation pipeline (the same assembly perfbg_cli and the
+// benches perform behind --metrics-json) must emit a parseable JSON document
+// with the documented keys, and identical simulator runs must produce
+// identical metric values.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/model.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "qbd/solution.hpp"
+#include "sim/fgbg_simulator.hpp"
+#include "workloads/presets.hpp"
+
+namespace {
+
+using namespace perfbg;
+using obs::JsonValue;
+
+core::FgBgParams test_params() {
+  core::FgBgParams params{workloads::email_poisson()};
+  params.bg_probability = 0.3;
+  params.bg_buffer = 5;
+  return params;
+}
+
+sim::SimConfig short_sim_config() {
+  sim::SimConfig cfg;
+  cfg.warmup_time = 1.0e3;
+  cfg.batch_time = 1.0e4;
+  cfg.batches = 5;
+  return cfg;
+}
+
+/// The report assembly the CLI runs behind --metrics-json: instrumented model
+/// solve with a recorded convergence trace, plus an instrumented simulation.
+/// (RunReport owns a mutex-guarded registry, so it is filled in place.)
+void assemble_run_report(obs::RunReport& report) {
+  report.set_config("workload", JsonValue("poisson"));
+
+  qbd::RSolverOptions opts;
+  opts.record_trace = true;
+  const core::FgBgModel model(test_params(), &report.metrics());
+  const core::FgBgSolution solution = model.solve(opts);
+  export_convergence_trace(solution.qbd().solver_stats(),
+                           report.trace("qbd.rsolve.convergence"));
+
+  sim::SimConfig cfg = short_sim_config();
+  cfg.metrics = &report.metrics();
+  cfg.batch_trace = &report.trace("sim.batch");
+  sim::simulate_fgbg(test_params(), cfg);
+}
+
+TEST(RunReportSchema, RequiredKeysPresentAfterFileRoundTrip) {
+  obs::RunReport report("test_report_schema");
+  assemble_run_report(report);
+  const std::string path = testing::TempDir() + "perfbg_run_report.json";
+  report.write_json(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = obs::parse_json(buffer.str());
+  std::remove(path.c_str());
+
+  EXPECT_EQ(doc.at("schema").as_string(), obs::kRunReportSchema);
+  EXPECT_EQ(doc.at("tool").as_string(), "test_report_schema");
+  EXPECT_EQ(doc.at("config").at("workload").as_string(), "poisson");
+
+  // Solver phase timings.
+  const JsonValue& timers = doc.at("timers");
+  for (const char* key : {"core.chain_build", "core.solve.total",
+                          "core.solve.metrics_eval", "qbd.solve.r",
+                          "qbd.solve.boundary", "qbd.solve.tail", "sim.run"}) {
+    ASSERT_TRUE(timers.contains(key)) << "missing timer " << key;
+    EXPECT_GE(timers.at(key).at("total_ms").as_double(), 0.0);
+    EXPECT_GE(timers.at(key).at("count").as_int(), 1);
+  }
+
+  // Solver and simulator counters.
+  const JsonValue& counters = doc.at("counters");
+  for (const char* key :
+       {"qbd.rsolve.iterations", "qbd.solve.count", "sim.batches",
+        "sim.events.fg_arrival", "sim.events.fg_completion",
+        "sim.events.bg_generated", "sim.events.bg_completion",
+        "sim.events.bg_dropped", "sim.events.idle_expiry"}) {
+    ASSERT_TRUE(counters.contains(key)) << "missing counter " << key;
+  }
+  EXPECT_GT(counters.at("sim.events.fg_arrival").as_int(), 0);
+  EXPECT_GT(counters.at("qbd.rsolve.iterations").as_int(), 0);
+
+  // Warmup diagnostics.
+  const JsonValue& gauges = doc.at("gauges");
+  for (const char* key : {"qbd.rsolve.final_residual", "qbd.r.spectral_radius",
+                          "sim.warmup.time", "sim.warmup.fg_arrivals",
+                          "sim.warmup.end_qlen_fg", "sim.warmup.end_qlen_bg"}) {
+    ASSERT_TRUE(gauges.contains(key)) << "missing gauge " << key;
+  }
+
+  // Per-iteration R-solver convergence trace.
+  const JsonValue& convergence = doc.at("traces").at("qbd.rsolve.convergence");
+  ASSERT_GT(convergence.as_array().size(), 0u);
+  EXPECT_EQ(static_cast<std::int64_t>(convergence.as_array().size()),
+            counters.at("qbd.rsolve.iterations").as_int());
+  for (const JsonValue& row : convergence.as_array()) {
+    for (const char* key : {"iteration", "increment_norm", "residual", "wall_ms"})
+      ASSERT_TRUE(row.contains(key)) << "missing trace field " << key;
+  }
+
+  // Per-batch simulator estimates.
+  const JsonValue& batches = doc.at("traces").at("sim.batch");
+  ASSERT_EQ(batches.as_array().size(), 5u);
+  for (const JsonValue& row : batches.as_array()) {
+    for (const char* key : {"batch", "qlen_fg", "qlen_bg", "busy_fraction",
+                            "fg_throughput", "fg_arrivals"})
+      ASSERT_TRUE(row.contains(key)) << "missing batch field " << key;
+  }
+}
+
+TEST(RunReportSchema, TraceJsonlExportParsesLineByLine) {
+  obs::RunReport report("test_report_schema");
+  assemble_run_report(report);
+  const std::string path = testing::TempDir() + "perfbg_run_trace.jsonl";
+  report.write_trace_jsonl(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0, convergence_rows = 0, batch_rows = 0;
+  while (std::getline(in, line)) {
+    const JsonValue v = obs::parse_json(line);
+    const std::string& event = v.at("event").as_string();
+    if (event == "qbd.rsolve.convergence") ++convergence_rows;
+    if (event == "sim.batch") ++batch_rows;
+    ++lines;
+  }
+  std::remove(path.c_str());
+  EXPECT_GT(convergence_rows, 0u);
+  EXPECT_EQ(batch_rows, 5u);
+  EXPECT_EQ(lines, convergence_rows + batch_rows);
+}
+
+TEST(RunReportSchema, IdenticalSimRunsProduceIdenticalMetrics) {
+  auto run = [](obs::MetricsRegistry& registry, obs::VectorSink& batches) {
+    sim::SimConfig cfg = short_sim_config();
+    cfg.metrics = &registry;
+    cfg.batch_trace = &batches;
+    return sim::simulate_fgbg(test_params(), cfg);
+  };
+  obs::MetricsRegistry m1, m2;
+  obs::VectorSink t1, t2;
+  const sim::SimMetrics a = run(m1, t1);
+  const sim::SimMetrics b = run(m2, t2);
+
+  // Point estimates agree exactly (same seed, same event sequence).
+  EXPECT_EQ(a.fg_queue_length.mean, b.fg_queue_length.mean);
+  EXPECT_EQ(a.fg_arrivals, b.fg_arrivals);
+  EXPECT_EQ(a.bg_generated, b.bg_generated);
+  EXPECT_EQ(a.bg_completed, b.bg_completed);
+
+  // The full registries match modulo wall-clock timers, as do the traces.
+  EXPECT_EQ(m1.to_json(false).dump(), m2.to_json(false).dump());
+  ASSERT_EQ(t1.events().size(), t2.events().size());
+  for (std::size_t i = 0; i < t1.events().size(); ++i)
+    EXPECT_EQ(t1.events()[i].to_json().dump(), t2.events()[i].to_json().dump());
+}
+
+TEST(RunReportSchema, InstrumentedSolveMatchesUninstrumented) {
+  // Observability must not perturb the numbers.
+  const core::FgBgMetrics plain = core::FgBgModel(test_params()).solve().metrics();
+  obs::MetricsRegistry registry;
+  qbd::RSolverOptions opts;
+  opts.record_trace = true;
+  const core::FgBgMetrics instrumented =
+      core::FgBgModel(test_params(), &registry).solve(opts).metrics();
+  EXPECT_EQ(plain.fg_queue_length, instrumented.fg_queue_length);
+  EXPECT_EQ(plain.bg_completion, instrumented.bg_completion);
+  EXPECT_EQ(plain.fg_delayed, instrumented.fg_delayed);
+  EXPECT_EQ(registry.timer("qbd.solve.r").count, 1u);
+}
+
+}  // namespace
