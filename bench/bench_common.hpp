@@ -7,12 +7,14 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/model.hpp"
 #include "obs/report.hpp"
 #include "traffic/map_process.hpp"
+#include "util/error.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 #include "workloads/presets.hpp"
@@ -33,7 +35,7 @@ class BenchRun {
     Flags flags;
     flags.define("metrics-json", "write a structured JSON run report to this path");
     flags.define("trace", "write all trace events as JSON lines to this path");
-    flags.define("help", "print this help");
+    flags.define_switch("help", "print this help");
     try {
       flags.parse(argc, argv);
     } catch (const std::exception& e) {
@@ -75,6 +77,12 @@ class BenchRun {
     return active_ ? &active_->report_.metrics() : nullptr;
   }
 
+  /// The run report of the live BenchRun (nullptr outside one);
+  /// try_solve_point() records per-point error records into it.
+  static obs::RunReport* active_report() {
+    return active_ ? &active_->report_ : nullptr;
+  }
+
  private:
   static inline BenchRun* active_ = nullptr;
   obs::RunReport report_;
@@ -110,9 +118,25 @@ inline const std::vector<double>& low_acf_load_grid() {
   return v;
 }
 
+/// One classified point failure from a sweep.
+struct PointError {
+  std::string code;     ///< ErrorCode name, e.g. "kUnstableQbd"
+  std::string message;  ///< full what() of the typed error
+  double drift_ratio = -1.0;  ///< rho estimate when the error carried one, else < 0
+};
+
+/// Result of one sweep point: either the metrics or a classified error.
+struct PointResult {
+  std::optional<core::FgBgMetrics> metrics;
+  std::optional<PointError> error;
+  bool ok() const { return metrics.has_value(); }
+};
+
 /// Solves the model at one (process, utilization, p, idle-wait) point.
 /// Inside a BenchRun, phase timings and solver counters accumulate into the
 /// run's registry across every point of the sweep.
+/// Throws perfbg::Error on failure; sweeps that must survive bad points use
+/// try_solve_point() below.
 inline core::FgBgMetrics solve_point(const traffic::MarkovianArrivalProcess& process,
                                      double utilization, double p,
                                      double idle_wait_intensity = 1.0, int bg_buffer = 5) {
@@ -127,8 +151,40 @@ inline core::FgBgMetrics solve_point(const traffic::MarkovianArrivalProcess& pro
   return core::FgBgModel(params, metrics).solve().metrics();
 }
 
+/// Graceful-degradation wrapper around solve_point(): a typed pipeline error
+/// (unstable point, non-convergence, ...) is captured as a PointError — and,
+/// inside a BenchRun, recorded in the run report's "errors" array and counted
+/// as bench.solve_errors — instead of aborting the whole sweep.
+inline PointResult try_solve_point(const traffic::MarkovianArrivalProcess& process,
+                                   double utilization, double p,
+                                   double idle_wait_intensity = 1.0, int bg_buffer = 5) {
+  try {
+    return {solve_point(process, utilization, p, idle_wait_intensity, bg_buffer), {}};
+  } catch (const Error& e) {
+    PointError err{error_code_name(e.code()), e.what(),
+                   e.context().has_drift_ratio() ? e.context().drift_ratio : -1.0};
+    if (obs::RunReport* report = BenchRun::active_report()) {
+      report->metrics().add("bench.solve_errors");
+      obs::JsonValue record = obs::JsonValue::object();
+      record.set("code", obs::JsonValue(err.code));
+      record.set("message", obs::JsonValue(err.message));
+      record.set("workload", obs::JsonValue(process.name()));
+      record.set("utilization", obs::JsonValue(utilization));
+      record.set("bg_probability", obs::JsonValue(p));
+      record.set("idle_wait_intensity", obs::JsonValue(idle_wait_intensity));
+      record.set("bg_buffer", obs::JsonValue(bg_buffer));
+      if (err.drift_ratio >= 0.0)
+        record.set("drift_ratio", obs::JsonValue(err.drift_ratio));
+      report->add_error(std::move(record));
+    }
+    return {std::nullopt, std::move(err)};
+  }
+}
+
 /// Emits one "figure panel": the chosen metric as a function of load, one
-/// column per p value.
+/// column per p value. A point that fails with a typed error renders as its
+/// error code (e.g. "kUnstableQbd") and the sweep continues; the failure is
+/// recorded in the run report when one is active.
 inline void print_load_sweep_panel(const std::string& title,
                                    const traffic::MarkovianArrivalProcess& process,
                                    const std::vector<double>& loads,
@@ -142,8 +198,13 @@ inline void print_load_sweep_panel(const std::string& title,
     std::vector<TableCell> row;
     row.reserve(ps.size() + 1);
     row.emplace_back(std::in_place_type<double>, u);
-    for (double p : ps)
-      row.emplace_back(std::in_place_type<double>, solve_point(process, u, p).*field);
+    for (double p : ps) {
+      const PointResult point = try_solve_point(process, u, p);
+      if (point.ok())
+        row.emplace_back(std::in_place_type<double>, (*point.metrics).*field);
+      else
+        row.emplace_back(std::in_place_type<std::string>, point.error->code);
+    }
     t.add_row(std::move(row));
   }
   t.print(std::cout);

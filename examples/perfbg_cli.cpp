@@ -13,6 +13,13 @@
 // perfbg.run_report.v1): solver phase timings, the per-iteration R-solver
 // convergence trace, and simulator event counters (a short validation
 // simulation runs automatically when --simulate was not given).
+//
+// Exit codes (see DESIGN.md §9): 0 success, 1 unexpected error, 2 usage
+// error, and one code per perfbg::ErrorCode for classified pipeline
+// failures — 3 invalid model, 4 unstable QBD (drift >= 1), 5 singular
+// matrix, 6 non-convergence, 7 numerical breakdown. A classified failure is
+// also recorded in the run report's "errors" array when --metrics-json was
+// given, so sweep drivers can harvest failed points from the report.
 #include <iostream>
 #include <string>
 
@@ -20,6 +27,7 @@
 #include "obs/report.hpp"
 #include "qbd/solution.hpp"
 #include "sim/fgbg_simulator.hpp"
+#include "util/error.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 #include "workloads/presets.hpp"
@@ -62,8 +70,10 @@ int main(int argc, char** argv) {
   flags.define("simulate", "true to cross-check with the simulator, default false");
   flags.define("metrics-json", "write a structured JSON run report to this path");
   flags.define("trace", "write all trace events as JSON lines to this path");
-  flags.define("help", "print this help");
+  flags.define_switch("help", "print this help");
 
+  obs::RunReport report("perfbg_cli");
+  std::string metrics_json, trace_path;
   try {
     flags.parse(argc, argv);
     if (flags.has("help")) {
@@ -82,12 +92,11 @@ int main(int argc, char** argv) {
     params.bg_buffer = flags.get_int("buffer", 5);
     params.idle_wait_intensity = flags.get_double("idle-wait", 1.0);
 
-    const std::string metrics_json = flags.get_string("metrics-json", "");
-    const std::string trace_path = flags.get_string("trace", "");
+    metrics_json = flags.get_string("metrics-json", "");
+    trace_path = flags.get_string("trace", "");
     const bool observing = !metrics_json.empty() || !trace_path.empty();
     const bool simulate = flags.get_bool("simulate", false);
 
-    obs::RunReport report("perfbg_cli");
     obs::MetricsRegistry* metrics = observing ? &report.metrics() : nullptr;
     if (observing) {
       report.set_config("workload", obs::JsonValue(arrivals.name()));
@@ -162,6 +171,32 @@ int main(int argc, char** argv) {
       std::cout << "\n";
       report.print_summary(std::cout);
     }
+  } catch (const Error& e) {
+    // Classified pipeline failure: report it with its code, record it in the
+    // structured report (so sweep drivers see the failed point), and exit
+    // with the code's documented status.
+    std::cerr << e.what() << "\n";
+    obs::JsonValue record = obs::JsonValue::object();
+    record.set("code", obs::JsonValue(error_code_name(e.code())));
+    record.set("message", obs::JsonValue(std::string(e.what())));
+    if (e.context().has_drift_ratio())
+      record.set("drift_ratio", obs::JsonValue(e.context().drift_ratio));
+    if (e.context().has_iterations())
+      record.set("iterations", obs::JsonValue(e.context().iterations));
+    report.add_error(std::move(record));
+    if (!metrics_json.empty()) {
+      try {
+        report.write_json(metrics_json);
+        std::cerr << "wrote run report (with error record) to " << metrics_json << "\n";
+      } catch (const std::exception& io) {
+        std::cerr << io.what() << "\n";
+      }
+    }
+    return error_exit_code(e.code());
+  } catch (const std::invalid_argument& e) {
+    // Usage error: bad flag, unknown workload/service name, invalid value.
+    std::cerr << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 1;

@@ -94,8 +94,9 @@ class FgBgModel {
   /// Drift ratio of the repeating part (< 1 iff stable).
   double drift_ratio() const { return process_.drift_ratio(); }
 
-  /// Solves the QBD and evaluates all metrics. Throws std::runtime_error for
-  /// unstable configurations.
+  /// Solves the QBD and evaluates all metrics. Unstable configurations fail
+  /// the solver's preflight in microseconds with perfbg::Error{kUnstableQbd}
+  /// (a std::runtime_error) naming the drift ratio.
   FgBgSolution solve(const qbd::RSolverOptions& opts = {}) const;
 
  private:

@@ -1,9 +1,10 @@
 #include "linalg/lu.hpp"
 
 #include <cmath>
-#include <stdexcept>
+#include <sstream>
 
 #include "util/check.hpp"
+#include "util/error.hpp"
 
 namespace perfbg::linalg {
 
@@ -24,7 +25,14 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
         piv = i;
       }
     }
-    if (best == 0.0) throw std::runtime_error("perfbg: LU: matrix is singular");
+    if (best == 0.0) {
+      std::ostringstream os;
+      os << "LU: matrix is singular: every candidate pivot in column " << k << " of the "
+         << n << " x " << n << " matrix has magnitude 0";
+      ErrorContext ctx;
+      ctx.matrix_size = n;
+      throw Error(ErrorCode::kSingularMatrix, os.str(), ctx);
+    }
     if (piv != k) {
       for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
       std::swap(perm_[k], perm_[piv]);

@@ -9,7 +9,8 @@ namespace perfbg::linalg {
 /// PA = LU factorization of a square matrix (partial pivoting).
 ///
 /// Throws std::invalid_argument on non-square input and
-/// std::runtime_error if the matrix is numerically singular.
+/// perfbg::Error{kSingularMatrix} (a std::runtime_error) naming the pivot
+/// column and matrix dimension if the matrix is exactly singular.
 class LuDecomposition {
  public:
   explicit LuDecomposition(Matrix a);

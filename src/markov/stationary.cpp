@@ -1,9 +1,10 @@
 #include "markov/stationary.hpp"
 
 #include <cmath>
-#include <stdexcept>
+#include <sstream>
 
 #include "util/check.hpp"
+#include "util/error.hpp"
 
 namespace perfbg::markov {
 
@@ -54,8 +55,15 @@ Vector gth(Matrix q) {
   for (std::size_t k = n; k-- > 1;) {
     double out_rate = 0.0;
     for (std::size_t j = 0; j < k; ++j) out_rate += q(k, j);
-    if (out_rate <= 0.0)
-      throw std::runtime_error("perfbg: GTH: zero pivot (chain not irreducible)");
+    if (out_rate <= 0.0) {
+      std::ostringstream os;
+      os << "GTH: zero pivot while folding state " << k << " of " << n
+         << " (total rate toward lower-numbered states is " << out_rate
+         << "; chain not irreducible)";
+      ErrorContext ctx;
+      ctx.matrix_size = n;
+      throw Error(ErrorCode::kSingularMatrix, os.str(), ctx);
+    }
     for (std::size_t i = 0; i < k; ++i) q(i, k) /= out_rate;
     for (std::size_t i = 0; i < k; ++i) {
       const double qik = q(i, k);
@@ -177,9 +185,14 @@ std::vector<std::vector<std::size_t>> closed_classes(const Matrix& q) {
 
 std::vector<std::size_t> closed_class(const Matrix& q) {
   auto closed = closed_classes(q);
-  if (closed.size() != 1)
-    throw std::runtime_error("perfbg: chain has " + std::to_string(closed.size()) +
-                             " closed classes; stationary distribution is not unique");
+  if (closed.size() != 1) {
+    ErrorContext ctx;
+    ctx.matrix_size = q.rows();
+    throw Error(ErrorCode::kInvalidModel,
+                "chain has " + std::to_string(closed.size()) +
+                    " closed classes; stationary distribution is not unique",
+                ctx);
+  }
   return closed.front();
 }
 

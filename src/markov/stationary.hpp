@@ -24,8 +24,8 @@ bool is_stochastic(const Matrix& p, double tol = 1e-9);
 
 /// Stationary distribution of an irreducible CTMC generator: x Q = 0, x·1 = 1,
 /// computed with GTH elimination. Throws std::invalid_argument if q is not a
-/// generator and std::runtime_error if elimination hits a zero pivot
-/// (reducible chain).
+/// generator and perfbg::Error{kSingularMatrix} naming the folded state and
+/// dimension if elimination hits a zero pivot (reducible chain).
 Vector stationary_ctmc(const Matrix& q, double tol = 1e-9);
 
 /// Stationary distribution of an irreducible DTMC: x P = x, x·1 = 1, via GTH
@@ -36,12 +36,13 @@ Vector stationary_dtmc(const Matrix& p, double tol = 1e-9);
 /// be *unichain* (exactly one closed communicating class; other states are
 /// transient and receive probability zero). Finds the closed class by
 /// strongly-connected-component analysis, then runs GTH on it. Throws
-/// std::runtime_error if there are multiple closed classes (the stationary
-/// distribution would not be unique).
+/// perfbg::Error{kInvalidModel} if there are multiple closed classes (the
+/// stationary distribution would not be unique).
 Vector stationary_unichain_ctmc(const Matrix& q, double tol = 1e-9);
 
 /// Indices of the states forming the unique closed communicating class of q
-/// (throws std::runtime_error when there is more than one closed class).
+/// (throws perfbg::Error{kInvalidModel} when there is more than one closed
+/// class).
 std::vector<std::size_t> closed_class(const Matrix& q);
 
 /// All closed communicating classes of q (at least one always exists).

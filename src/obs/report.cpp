@@ -9,6 +9,8 @@ void RunReport::set_config(const std::string& key, JsonValue value) {
   config_.set(key, std::move(value));
 }
 
+void RunReport::add_error(JsonValue record) { errors_.push_back(std::move(record)); }
+
 VectorSink& RunReport::trace(const std::string& name) {
   for (auto& [n, sink] : traces_)
     if (n == name) return sink;
@@ -25,6 +27,7 @@ JsonValue RunReport::to_json(bool include_timers) const {
   // report.counters / report.timers directly.
   const JsonValue m = metrics_.to_json(include_timers);
   for (const auto& [k, v] : m.as_object()) root.set(k, v);
+  root.set("errors", errors_);
   JsonValue traces = JsonValue::object();
   for (const auto& [name, sink] : traces_) {
     JsonValue events = JsonValue::array();
@@ -77,6 +80,8 @@ void RunReport::print_summary(std::ostream& out) const {
     if (end == std::string::npos) break;
     start = end + 1;
   }
+  if (!errors_.as_array().empty())
+    out << "  errors: " << errors_.as_array().size() << " failed point(s)\n";
   for (const auto& [name, sink] : traces_)
     out << "  trace " << name << ": " << sink.events().size() << " events\n";
 }

@@ -33,6 +33,14 @@ class RunReport {
   /// Records one run-configuration entry (workload name, p, buffer, ...).
   void set_config(const std::string& key, JsonValue value);
 
+  /// Appends one per-point error record to the report's "errors" array.
+  /// Sweeps that degrade gracefully (bench::try_solve_point, perfbg_cli)
+  /// call this with {"code", "message", point coordinates, ...} objects so a
+  /// failed point is visible in the report instead of aborting the run.
+  void add_error(JsonValue record);
+  /// Number of error records accumulated so far.
+  std::size_t error_count() const { return errors_.as_array().size(); }
+
   /// Named in-memory trace; created on first use. Instrumented code records
   /// TraceEvents into it, the report serializes them under "traces".<name>.
   VectorSink& trace(const std::string& name);
@@ -41,7 +49,7 @@ class RunReport {
   }
 
   /// {"schema", "tool", "config", "counters", "gauges", "timers",
-  ///  "histograms", "traces"}.
+  ///  "histograms", "errors", "traces"}.
   JsonValue to_json(bool include_timers = true) const;
 
   /// Writes the pretty-printed report; throws std::runtime_error on I/O
@@ -58,6 +66,7 @@ class RunReport {
  private:
   std::string tool_;
   JsonValue config_ = JsonValue::object();
+  JsonValue errors_ = JsonValue::array();
   MetricsRegistry metrics_;
   // deque: callers hold VectorSink& across later trace() calls, so the
   // container must not relocate elements when it grows.

@@ -1,0 +1,89 @@
+#include "qbd/preflight.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "markov/stationary.hpp"
+#include "util/error.hpp"
+
+namespace perfbg::qbd {
+
+namespace {
+
+void require_finite(const Matrix& m, const char* name, std::size_t level_size) {
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (std::isfinite(m(i, j))) continue;
+      std::ostringstream os;
+      os << "block " << name << " has a non-finite entry " << m(i, j) << " at (" << i
+         << ", " << j << ")";
+      ErrorContext ctx;
+      ctx.matrix_size = level_size;
+      throw Error(ErrorCode::kInvalidModel, os.str(), ctx);
+    }
+}
+
+}  // namespace
+
+PreflightReport preflight(const QbdProcess& process, const PreflightOptions& opts) {
+  PreflightReport report;
+  report.boundary_size = process.b00.rows();
+  report.level_size = process.a1.rows();
+
+  // 1. Finiteness first: NaN poisons every later comparison, so reporting it
+  // as a sign/row-sum violation would point the user at the wrong fix.
+  require_finite(process.b00, "B00", report.level_size);
+  require_finite(process.b01, "B01", report.level_size);
+  require_finite(process.b10, "B10", report.level_size);
+  require_finite(process.a0, "A0", report.level_size);
+  require_finite(process.a1, "A1", report.level_size);
+  require_finite(process.a2, "A2", report.level_size);
+
+  // 2. Shapes, sign structure, zero row sums.
+  try {
+    process.validate(opts.generator_tol);
+  } catch (const std::invalid_argument& e) {
+    ErrorContext ctx;
+    ctx.matrix_size = report.level_size;
+    throw Error(ErrorCode::kInvalidModel, e.what(), ctx);
+  }
+
+  // 3 + 4. Drift condition per closed class of the level process
+  // A = A0 + A1 + A2 (stationary_on_class may surface kSingularMatrix for a
+  // malformed class; let it propagate typed).
+  const linalg::Matrix a = process.a0 + process.a1 + process.a2;
+  const auto classes = markov::closed_classes(a);
+  report.closed_classes = classes.size();
+  const Vector ones(report.level_size, 1.0);
+  for (const auto& cls : classes) {
+    const Vector phi = markov::stationary_on_class(a, cls);
+    const double up = linalg::dot(phi, linalg::mat_vec(process.a0, ones));
+    const double down = linalg::dot(phi, linalg::mat_vec(process.a2, ones));
+    if (down <= 0.0) {
+      ErrorContext ctx;
+      ctx.matrix_size = report.level_size;
+      throw Error(ErrorCode::kInvalidModel,
+                  "repeating part has no downward transitions in a closed class of the "
+                  "level process (A2 restricted to the class is zero)",
+                  ctx);
+    }
+    report.drift_ratio = std::max(report.drift_ratio, up / down);
+  }
+
+  if (report.drift_ratio >= 1.0 - opts.stability_margin) {
+    std::ostringstream os;
+    os << "QBD is not positive recurrent: drift ratio rho = " << report.drift_ratio
+       << " >= 1" << (opts.stability_margin > 0.0
+                          ? " - margin " + std::to_string(opts.stability_margin)
+                          : std::string())
+       << "; the mean up-rate of the repeating part meets or exceeds its down-rate, so "
+          "no stationary distribution exists";
+    ErrorContext ctx;
+    ctx.drift_ratio = report.drift_ratio;
+    ctx.matrix_size = report.level_size;
+    throw Error(ErrorCode::kUnstableQbd, os.str(), ctx);
+  }
+  return report;
+}
+
+}  // namespace perfbg::qbd

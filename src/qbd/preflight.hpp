@@ -1,0 +1,45 @@
+// Preflight stability diagnosis for QBD processes.
+//
+// Run before any matrix-quadratic iteration, preflight() classifies bad
+// inputs in microseconds instead of letting the R-solver burn max_iters:
+//
+//   1. finiteness       — any NaN/Inf entry in any block  -> kInvalidModel
+//   2. generator sanity — shapes, sign structure, zero row sums
+//                         (QbdProcess::validate)           -> kInvalidModel
+//   3. level-process structure — closed classes of A0+A1+A2 exist and each
+//                         supports downward transitions    -> kInvalidModel
+//   4. drift condition  — phi A0 1 < phi A2 1 per closed class; a violation
+//                         reports "rho = 1.07 >= 1"        -> kUnstableQbd
+//
+// All failures throw perfbg::Error with the relevant context filled in
+// (drift ratio, matrix size), so sweeps can record the point and continue.
+#pragma once
+
+#include "qbd/qbd.hpp"
+
+namespace perfbg::qbd {
+
+struct PreflightOptions {
+  /// Row-sum / sign tolerance forwarded to QbdProcess::validate().
+  double generator_tol = 1e-8;
+  /// Declare the process unstable when drift ratio >= 1 - stability_margin.
+  /// The default accepts anything strictly below 1; sweeps probing the
+  /// boundary can set a margin to also reject numerically hopeless
+  /// near-critical points.
+  double stability_margin = 0.0;
+};
+
+/// What preflight measured on the way to its verdict.
+struct PreflightReport {
+  std::size_t boundary_size = 0;
+  std::size_t level_size = 0;
+  std::size_t closed_classes = 0;  ///< closed classes of the level process
+  double drift_ratio = 0.0;        ///< worst-case rho over closed classes
+};
+
+/// Diagnoses the process as described above. Returns the report on success;
+/// throws perfbg::Error{kInvalidModel | kUnstableQbd | kSingularMatrix} on
+/// the first failed check.
+PreflightReport preflight(const QbdProcess& process, const PreflightOptions& opts = {});
+
+}  // namespace perfbg::qbd

@@ -8,8 +8,24 @@
 // (quadratic convergence, the default) and plain functional iteration
 // (linear convergence, kept as an independently-coded cross-check and for
 // the ablation benchmark).
+//
+// Robustness: unless RSolverOptions::enable_fallback is off, a failing
+// primary algorithm does not abort the solve — the solver descends a ladder
+//   1. the configured algorithm (logarithmic reduction by default), run with
+//      the caller's exact options
+//   2. the alternate algorithm (functional iteration <-> log reduction)
+//   3. functional iteration with a relaxed uniformization constant
+//      (c doubled — better-conditioned linear solves, slower convergence)
+// Fallback rungs (2 and 3) run with a 10x iteration budget and the tolerance
+// floored at 1e-10 — functional iteration converges linearly, so holding the
+// last-resort rungs to the quadratic primary's 1e-13 would defeat them; the
+// achieved accuracy is recorded in RSolverStats::final_residual. The ladder
+// throws perfbg::Error{kNonConvergence} listing every rung's failure only
+// when it is exhausted. Non-finite iterates abort a rung immediately with
+// kNumericalBreakdown instead of looping to max_iters.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "qbd/qbd.hpp"
@@ -17,6 +33,23 @@
 namespace perfbg::qbd {
 
 enum class RSolverKind { kLogarithmicReduction, kFunctionalIteration };
+
+/// Which rung of the fallback ladder produced the result.
+enum class SolveRung {
+  kPrimary = 0,               ///< the configured algorithm, standard settings
+  kAlternateAlgorithm = 1,    ///< the other G/R algorithm
+  kRelaxedUniformization = 2, ///< functional iteration, relaxed constant
+};
+
+/// Outcome of a ladder descent: the winning rung plus one diagnostic line per
+/// rung that failed before it.
+struct SolveOutcome {
+  SolveRung rung = SolveRung::kPrimary;
+  std::string rung_name = "primary";     ///< human-readable winner description
+  int rungs_attempted = 1;               ///< includes the successful one
+  std::vector<std::string> failures;     ///< what() of each failed rung, in order
+  bool fallback_used() const { return rungs_attempted > 1; }
+};
 
 struct RSolverOptions {
   RSolverKind kind = RSolverKind::kLogarithmicReduction;
@@ -27,6 +60,14 @@ struct RSolverOptions {
   /// iteration residual costs extra matrix products, so tracing is opt-in;
   /// the untraced hot path is unchanged.
   bool record_trace = false;
+  /// Descend the fallback ladder on failure (see file header). Off: the
+  /// configured algorithm is the only attempt — the behaviour cross-check
+  /// benches and convergence studies want.
+  bool enable_fallback = true;
+  /// Test-only fault injection: pretend the first n rungs failed without
+  /// running them, so the fallback path and the ladder-exhausted error can be
+  /// exercised deterministically from tests. Leave at 0 in production code.
+  int inject_rung_failures = 0;
 };
 
 /// One row of the convergence trace.
@@ -40,21 +81,32 @@ struct RSolverIteration {
 struct RSolverStats {
   int iterations = 0;
   double final_residual = 0.0;  ///< ||A0 + R A1 + R^2 A2||_inf at the solution
+  /// Convergence tolerance the winning rung actually ran with: the caller's
+  /// tolerance on a primary success, the floored fallback tolerance (see the
+  /// file header) when a fallback rung produced the result. Residual bounds
+  /// must be checked against this, not RSolverOptions::tolerance.
+  double tolerance_used = 0.0;
+  /// Which fallback rung produced the result (kPrimary when the configured
+  /// algorithm succeeded outright) and what each earlier rung reported.
+  SolveOutcome outcome;
   /// Per-iteration convergence trace; empty unless
   /// RSolverOptions::record_trace was set. For the logarithmic-reduction R
   /// solver this is the trace of the underlying G iteration (R is obtained
-  /// from G in closed form).
+  /// from G in closed form). On a fallback, the trace is the winning rung's.
   std::vector<RSolverIteration> trace;
 };
 
 /// Minimal nonnegative solution of A0 + R A1 + R^2 A2 = 0 for a stable QBD.
-/// Throws std::runtime_error when the iteration fails to converge (typically
-/// an unstable process; check QbdProcess::is_stable() first).
+/// Throws perfbg::Error{kNonConvergence} when every ladder rung fails
+/// (typically an unstable process; run qbd::preflight() first to get the
+/// drift diagnosis instead), kNumericalBreakdown / kSingularMatrix for
+/// non-finite iterates and singular linear solves.
 Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
                const RSolverOptions& opts = {}, RSolverStats* stats = nullptr);
 
 /// Minimal nonnegative solution of A2 + A1 G + A0 G^2 = 0 (the first-passage
-/// matrix of the level process). For a stable QBD, G is stochastic.
+/// matrix of the level process). For a stable QBD, G is stochastic. Error
+/// behaviour matches solve_r.
 Matrix solve_g(const Matrix& a0, const Matrix& a1, const Matrix& a2,
                const RSolverOptions& opts = {}, RSolverStats* stats = nullptr);
 

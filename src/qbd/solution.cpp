@@ -1,19 +1,23 @@
 #include "qbd/solution.hpp"
 
-#include <stdexcept>
+#include <algorithm>
 
 #include "linalg/lu.hpp"
 #include "linalg/spectral.hpp"
+#include "qbd/preflight.hpp"
 #include "util/check.hpp"
 
 namespace perfbg::qbd {
 
 QbdSolution::QbdSolution(const QbdProcess& process, const RSolverOptions& opts,
                          obs::MetricsRegistry* metrics) {
-  process.validate();
-  if (!process.is_stable())
-    throw std::runtime_error("perfbg: QBD is not positive recurrent (drift ratio " +
-                             std::to_string(process.drift_ratio()) + " >= 1)");
+  {
+    // Diagnose malformed or unstable input in microseconds (typed
+    // kInvalidModel / kUnstableQbd) before any iteration is spent.
+    obs::ScopedTimer t(metrics, "qbd.preflight");
+    const PreflightReport pf = preflight(process);
+    if (metrics) metrics->set("qbd.preflight.drift_ratio", pf.drift_ratio);
+  }
 
   {
     obs::ScopedTimer t(metrics, "qbd.solve.r");
@@ -21,14 +25,19 @@ QbdSolution::QbdSolution(const QbdProcess& process, const RSolverOptions& opts,
   }
   // The solver stops on the iteration increment; the actual equation residual
   // should land within a small factor of the tolerance for a converged solve.
-  PERFBG_DCHECK(stats_.final_residual <= 10.0 * opts.tolerance,
+  // Bound against the winning rung's effective tolerance: fallback rungs
+  // legitimately run with the floored fallback tolerance, not the caller's.
+  PERFBG_DCHECK(stats_.final_residual <=
+                    10.0 * std::max(opts.tolerance, stats_.tolerance_used),
                 "R-solver residual " + std::to_string(stats_.final_residual) +
-                    " exceeds 10x the tolerance");
+                    " exceeds 10x the effective tolerance");
   sp_r_ = linalg::spectral_radius(r_);
   PERFBG_ASSERT(sp_r_ < 1.0, "sp(R) >= 1 for a process that passed the drift test");
   if (metrics) {
     metrics->add("qbd.rsolve.iterations", static_cast<std::uint64_t>(stats_.iterations));
     metrics->add("qbd.solve.count");
+    // Always materialized (possibly at 0) so run reports are schema-stable.
+    metrics->add("qbd.solve.fallback_used", stats_.outcome.fallback_used() ? 1 : 0);
     metrics->set("qbd.rsolve.final_residual", stats_.final_residual);
     metrics->set("qbd.r.spectral_radius", sp_r_);
   }

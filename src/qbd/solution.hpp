@@ -18,12 +18,15 @@ namespace perfbg::qbd {
 /// all as per-state vectors over the repeating layout.
 class QbdSolution {
  public:
-  /// Solves the process. Throws std::invalid_argument for malformed blocks
-  /// and std::runtime_error when the process is not positive recurrent.
+  /// Solves the process. Runs qbd::preflight() first, so malformed blocks
+  /// fail with perfbg::Error{kInvalidModel} and non-positive-recurrent
+  /// processes with perfbg::Error{kUnstableQbd} (naming the drift ratio)
+  /// before any solver iteration is spent.
   /// A non-null `metrics` registry receives per-phase timings
-  /// (qbd.solve.r / qbd.solve.boundary / qbd.solve.tail), the iteration
-  /// counter qbd.rsolve.iterations, and the gauges qbd.rsolve.final_residual
-  /// and qbd.r.spectral_radius.
+  /// (qbd.preflight / qbd.solve.r / qbd.solve.boundary / qbd.solve.tail),
+  /// the counters qbd.rsolve.iterations and qbd.solve.fallback_used, and the
+  /// gauges qbd.preflight.drift_ratio, qbd.rsolve.final_residual and
+  /// qbd.r.spectral_radius.
   explicit QbdSolution(const QbdProcess& process, const RSolverOptions& opts = {},
                        obs::MetricsRegistry* metrics = nullptr);
 

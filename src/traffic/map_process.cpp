@@ -109,8 +109,11 @@ MarkovianArrivalProcess MarkovianArrivalProcess::scaled_to_rate(double target_ra
 
 MarkovianArrivalProcess MarkovianArrivalProcess::scaled_to_utilization(
     double target_utilization, double mean_service_time) const {
-  PERFBG_REQUIRE(target_utilization > 0.0 && target_utilization < 1.0,
-                 "utilization must be in (0, 1)");
+  // Utilizations >= 1 are deliberately allowed: a MAP scaled past saturation
+  // is a well-defined arrival process, and the solve pipeline's preflight is
+  // where the resulting unstable *queue* is diagnosed (typed kUnstableQbd
+  // with the drift estimate) — so sweeps can probe across the boundary.
+  PERFBG_REQUIRE(target_utilization > 0.0, "utilization must be positive");
   PERFBG_REQUIRE(mean_service_time > 0.0, "mean service time must be positive");
   return scaled_to_rate(target_utilization / mean_service_time);
 }

@@ -81,6 +81,8 @@ class MarkovianArrivalProcess {
   /// Rescaled copy with the given mean arrival rate.
   MarkovianArrivalProcess scaled_to_rate(double target_rate) const;
   /// Rescaled copy such that target_utilization = rate * mean_service_time.
+  /// Utilizations >= 1 are allowed (sweeps probe across the stability
+  /// boundary); the solve pipeline's preflight diagnoses the unstable queue.
   MarkovianArrivalProcess scaled_to_utilization(double target_utilization,
                                                 double mean_service_time) const;
 

@@ -1,0 +1,68 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace perfbg {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidModel: return "kInvalidModel";
+    case ErrorCode::kUnstableQbd: return "kUnstableQbd";
+    case ErrorCode::kSingularMatrix: return "kSingularMatrix";
+    case ErrorCode::kNonConvergence: return "kNonConvergence";
+    case ErrorCode::kNumericalBreakdown: return "kNumericalBreakdown";
+  }
+  return "kUnknown";
+}
+
+int error_exit_code(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidModel: return 3;
+    case ErrorCode::kUnstableQbd: return 4;
+    case ErrorCode::kSingularMatrix: return 5;
+    case ErrorCode::kNonConvergence: return 6;
+    case ErrorCode::kNumericalBreakdown: return 7;
+  }
+  return 1;
+}
+
+namespace {
+
+std::string render(ErrorCode code, const std::string& message, const ErrorContext& ctx) {
+  std::ostringstream os;
+  os << "perfbg: [" << error_code_name(code) << "] " << message;
+  const char* sep = " (";
+  const char* close = "";
+  if (ctx.has_drift_ratio()) {
+    os << sep << "drift ratio " << ctx.drift_ratio;
+    sep = ", ";
+    close = ")";
+  }
+  if (ctx.has_iterations()) {
+    os << sep << "after " << ctx.iterations << " iterations";
+    sep = ", ";
+    close = ")";
+  }
+  if (ctx.has_last_residual()) {
+    os << sep << "last residual " << ctx.last_residual;
+    sep = ", ";
+    close = ")";
+  }
+  if (ctx.has_matrix_size()) {
+    os << sep << "matrix size " << ctx.matrix_size;
+    sep = ", ";
+    close = ")";
+  }
+  os << close;
+  return os.str();
+}
+
+}  // namespace
+
+Error::Error(ErrorCode code, const std::string& message, ErrorContext context)
+    : std::runtime_error(render(code, message, context)),
+      code_(code),
+      context_(context),
+      message_(message) {}
+
+}  // namespace perfbg

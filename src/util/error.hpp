@@ -1,0 +1,72 @@
+// Typed error taxonomy for the solve pipeline.
+//
+// Every failure the analytic pipeline can produce is classified by an
+// ErrorCode and carries machine-readable context (drift estimate, iteration
+// count, last residual, matrix size) so callers can degrade gracefully:
+// a figure sweep records the point as failed and moves on, the CLI maps the
+// code to a documented exit status, and tests assert the exact failure class
+// instead of grepping message strings.
+//
+// Error derives from std::runtime_error, so pre-taxonomy call sites that
+// catch (or EXPECT_THROW) std::runtime_error keep working unchanged.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace perfbg {
+
+enum class ErrorCode {
+  kInvalidModel,        ///< malformed input: NaN/Inf entries, broken row sums,
+                        ///< wrong shapes, non-generator structure
+  kUnstableQbd,         ///< drift condition violated (rho >= 1); diagnosed by
+                        ///< preflight before any iteration is spent
+  kSingularMatrix,      ///< exact zero pivot in LU or GTH elimination
+  kNonConvergence,      ///< an iterative solver burned max_iters on every
+                        ///< rung of its fallback ladder
+  kNumericalBreakdown,  ///< an iterate turned non-finite mid-solve
+};
+
+/// Stable identifier string for a code ("kUnstableQbd", ...), used in error
+/// records, run reports, and log lines.
+const char* error_code_name(ErrorCode code);
+
+/// Process exit status the CLI maps each code to (documented in DESIGN.md §9):
+/// kInvalidModel=3, kUnstableQbd=4, kSingularMatrix=5, kNonConvergence=6,
+/// kNumericalBreakdown=7.
+int error_exit_code(ErrorCode code);
+
+/// Machine-readable failure context. Fields default to "unknown" sentinels;
+/// producers fill in whatever they measured before failing.
+struct ErrorContext {
+  double drift_ratio = -1.0;    ///< rho estimate of the repeating part (< 0: unknown)
+  int iterations = -1;          ///< iterations spent before giving up (< 0: n/a)
+  double last_residual = -1.0;  ///< last iteration increment / residual (< 0: n/a)
+  std::size_t matrix_size = 0;  ///< offending matrix dimension (0: n/a)
+
+  bool has_drift_ratio() const { return drift_ratio >= 0.0; }
+  bool has_iterations() const { return iterations >= 0; }
+  bool has_last_residual() const { return last_residual >= 0.0; }
+  bool has_matrix_size() const { return matrix_size > 0; }
+};
+
+/// A classified pipeline failure. what() is "perfbg: [<code>] <message>" plus
+/// a rendering of the non-empty context fields, so logs stay actionable even
+/// where only the string survives.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message, ErrorContext context = {});
+
+  ErrorCode code() const { return code_; }
+  const ErrorContext& context() const { return context_; }
+  /// The message passed to the constructor, without the code/context framing.
+  const std::string& message() const { return message_; }
+
+ private:
+  ErrorCode code_;
+  ErrorContext context_;
+  std::string message_;
+};
+
+}  // namespace perfbg

@@ -11,6 +11,12 @@ void Flags::define(const std::string& name, const std::string& help) {
   PERFBG_REQUIRE(!name.empty() && name.find('=') == std::string::npos,
                  "flag names must be non-empty and contain no '='");
   PERFBG_REQUIRE(defined_.emplace(name, help).second, "duplicate flag definition");
+  is_switch_[name] = false;
+}
+
+void Flags::define_switch(const std::string& name, const std::string& help) {
+  define(name, help);
+  is_switch_[name] = true;
 }
 
 void Flags::parse(int argc, const char* const* argv) {
@@ -28,9 +34,13 @@ void Flags::parse(int argc, const char* const* argv) {
       name = arg;
       if (defined_.count(name) == 0)
         throw std::invalid_argument("perfbg: unknown flag --" + name + "\n" + help());
-      if (i + 1 >= argc)
-        throw std::invalid_argument("perfbg: flag --" + name + " needs a value");
-      value = argv[++i];
+      if (is_switch_.at(name)) {
+        value = "true";  // bare switch: --help
+      } else {
+        if (i + 1 >= argc)
+          throw std::invalid_argument("perfbg: flag --" + name + " needs a value");
+        value = argv[++i];
+      }
     }
     if (defined_.count(name) == 0)
       throw std::invalid_argument("perfbg: unknown flag --" + name + "\n" + help());

@@ -15,8 +15,12 @@ class Flags {
   /// Registers a flag with its help text; call before parse().
   void define(const std::string& name, const std::string& help);
 
+  /// Registers a valueless switch (e.g. --help): a bare occurrence sets it to
+  /// "true" without consuming the next argument.
+  void define_switch(const std::string& name, const std::string& help);
+
   /// Parses argv. Throws std::invalid_argument on unknown flags, malformed
-  /// arguments, or a flag without a value.
+  /// arguments, or a non-switch flag without a value.
   void parse(int argc, const char* const* argv);
 
   bool has(const std::string& name) const;
@@ -31,6 +35,7 @@ class Flags {
 
  private:
   std::map<std::string, std::string> defined_;  // name -> help
+  std::map<std::string, bool> is_switch_;       // name -> valueless?
   std::map<std::string, std::string> values_;
   std::optional<std::string> raw(const std::string& name) const;
 };

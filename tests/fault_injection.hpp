@@ -1,0 +1,71 @@
+// Test-only fault-injection harness for the solve pipeline.
+//
+// Produces deliberately corrupted inputs — non-finite entries, broken row
+// sums, singular blocks, past-saturation drift — so test_robustness can
+// assert that every failure path yields a typed, actionable perfbg::Error
+// instead of a max_iters hang or a bare runtime_error. Complemented by the
+// in-solver hook RSolverOptions::inject_rung_failures, which fails fallback
+// rungs without corrupting the input at all.
+//
+// Never link this into production code: the whole point of the corruptions
+// is to violate the library's preconditions.
+#pragma once
+
+#include <limits>
+
+#include "core/model.hpp"
+#include "qbd/qbd.hpp"
+#include "workloads/presets.hpp"
+
+namespace perfbg::testing {
+
+/// The supported input corruptions, one per failure mode of the taxonomy.
+enum class Fault {
+  kNanEntry,       ///< NaN planted in A1            -> kInvalidModel (preflight)
+  kInfEntry,       ///< +Inf planted in A0           -> kInvalidModel (preflight)
+  kBrokenRowSum,   ///< A0 entry bumped, diagonal not -> kInvalidModel (preflight)
+  kSingularBlock,  ///< A1 row duplicated (singular)  -> kSingularMatrix (LU)
+};
+
+/// A small, well-formed, stable FG/BG QBD (MMPP2 arrivals at the given
+/// foreground utilization) to corrupt or solve as a control.
+inline qbd::QbdProcess reference_qbd(double utilization = 0.4) {
+  core::FgBgParams params{workloads::email().scaled_to_utilization(
+      utilization, workloads::kMeanServiceTimeMs)};
+  params.mean_service_time = workloads::kMeanServiceTimeMs;
+  params.bg_probability = 0.3;
+  params.bg_buffer = 2;
+  return core::FgBgModel(params).process();
+}
+
+/// A deliberately unstable preset: same chain, foreground utilization >= 1,
+/// so the drift condition fails (rho ~ utilization).
+inline qbd::QbdProcess unstable_qbd(double utilization = 1.07) {
+  return reference_qbd(utilization);
+}
+
+/// Returns a copy of `p` with the requested corruption applied.
+inline qbd::QbdProcess inject(qbd::QbdProcess p, Fault fault) {
+  constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  switch (fault) {
+    case Fault::kNanEntry:
+      p.a1(0, 0) = nan;
+      break;
+    case Fault::kInfEntry:
+      p.a0(0, p.a0.cols() - 1) = inf;
+      break;
+    case Fault::kBrokenRowSum:
+      // Extra off-diagonal rate without the compensating diagonal update.
+      p.a0(0, 0) += 0.25;
+      break;
+    case Fault::kSingularBlock:
+      // Duplicate row 0 of A1 into row 1: exactly singular, so the direct
+      // functional R iteration's LU of A1 hits a zero pivot.
+      for (std::size_t j = 0; j < p.a1.cols(); ++j) p.a1(1, j) = p.a1(0, j);
+      break;
+  }
+  return p;
+}
+
+}  // namespace perfbg::testing

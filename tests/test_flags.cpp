@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
+
+#ifdef PERFBG_BENCH_BINARY
+#include <sys/wait.h>
+#endif
 
 namespace perfbg {
 namespace {
@@ -104,6 +110,54 @@ TEST(Flags, LastValueWins) {
   parse(f, {"--util=0.1", "--util=0.9"});
   EXPECT_DOUBLE_EQ(f.get_double("util", 0.0), 0.9);
 }
+
+TEST(Flags, BareSwitchNeedsNoValue) {
+  Flags f;
+  f.define_switch("help", "print this help");
+  f.define("util", "utilization");
+  parse(f, {"--help"});
+  EXPECT_TRUE(f.has("help"));
+  EXPECT_TRUE(f.get_bool("help", false));
+}
+
+TEST(Flags, BareSwitchDoesNotConsumeTheNextArgument) {
+  Flags f;
+  f.define_switch("help", "print this help");
+  f.define("util", "utilization");
+  parse(f, {"--help", "--util", "0.25"});
+  EXPECT_TRUE(f.get_bool("help", false));
+  EXPECT_DOUBLE_EQ(f.get_double("util", 0.0), 0.25);
+}
+
+#ifdef PERFBG_BENCH_BINARY
+// End-to-end exit-code checks against a real bench binary (the path is baked
+// in by CMake): the documented contract is 0 for --help and 2 for any usage
+// error, so sweep scripts can distinguish "asked for help" from "typo".
+namespace e2e {
+
+int run_bench(const std::string& args) {
+  const std::string cmd =
+      std::string(PERFBG_BENCH_BINARY) + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(FlagsEndToEnd, HelpExitsZero) { EXPECT_EQ(run_bench("--help"), 0); }
+
+TEST(FlagsEndToEnd, UnknownFlagExitsWithUsageError) {
+  EXPECT_EQ(run_bench("--bogus=1"), 2);
+}
+
+TEST(FlagsEndToEnd, MissingValueExitsWithUsageError) {
+  EXPECT_EQ(run_bench("--trace"), 2);
+}
+
+TEST(FlagsEndToEnd, NonFlagArgumentExitsWithUsageError) {
+  EXPECT_EQ(run_bench("trace=x"), 2);
+}
+
+}  // namespace e2e
+#endif  // PERFBG_BENCH_BINARY
 
 }  // namespace
 }  // namespace perfbg

@@ -119,8 +119,16 @@ TEST(Scaling, BadArgumentsThrow) {
   const auto m = poisson(1.0);
   EXPECT_THROW(m.scaled_by(0.0), std::invalid_argument);
   EXPECT_THROW(m.scaled_to_rate(-1.0), std::invalid_argument);
-  EXPECT_THROW(m.scaled_to_utilization(1.5, 6.0), std::invalid_argument);
+  EXPECT_THROW(m.scaled_to_utilization(0.0, 6.0), std::invalid_argument);
   EXPECT_THROW(m.scaled_to_utilization(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(Scaling, PastSaturationUtilizationIsAllowed) {
+  // Sweeps probe across the stability boundary; the arrival process itself
+  // is well-defined there (the solve pipeline's preflight diagnoses the
+  // unstable queue with a typed error).
+  const auto s = poisson(1.0).scaled_to_utilization(1.5, 6.0);
+  EXPECT_NEAR(s.mean_rate() * 6.0, 1.5, 1e-12);
 }
 
 TEST(Renamed, ChangesOnlyName) {

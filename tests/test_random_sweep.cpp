@@ -6,12 +6,14 @@
 // Seeds are fixed, so failures reproduce deterministically.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <random>
 
 #include "core/model.hpp"
 #include "core/truncated_chain.hpp"
 #include "traffic/processes.hpp"
+#include "util/error.hpp"
 
 namespace perfbg::core {
 namespace {
@@ -103,6 +105,63 @@ TEST_P(RandomSweep, InvariantsAndOracleAgreement) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomSweep, ::testing::Range(0, 24));
+
+// --- boundary sweep: rho -> 1^- must still solve, rho >= 1 must fail fast ---
+
+FgBgParams boundary_params(std::mt19937_64& rng, double util) {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  const double rate = util / 6.0;
+  traffic::MarkovianArrivalProcess arrivals = traffic::poisson(rate);
+  if (u(rng) < 0.5) {
+    const double l1 = rate * (2.0 + 6.0 * u(rng));
+    const double l2 = rate * (0.1 + 0.4 * u(rng));
+    const double v1 = rate * (0.02 + 0.2 * u(rng));
+    const double v2 = rate * (0.02 + 0.2 * u(rng));
+    arrivals = traffic::mmpp2(v1, v2, l1, l2).scaled_to_rate(rate);
+  }
+  FgBgParams params{arrivals};
+  params.bg_probability = 0.1 + 0.8 * u(rng);
+  params.bg_buffer = 1 + static_cast<int>(3.0 * u(rng));
+  return params;
+}
+
+class BoundarySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundarySweep, NearCriticalLoadsStillSolve) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 104729u + 5u);
+  std::uniform_real_distribution<double> u(0.97, 0.995);
+  const FgBgParams params = boundary_params(rng, u(rng));
+  SCOPED_TRACE("load " + std::to_string(params.fg_offered_load()));
+  const FgBgSolution sol = FgBgModel(params).solve();
+  // Near saturation the geometric sums are ill-conditioned; the invariants
+  // must still hold, just at a looser tolerance than the bulk sweep above.
+  EXPECT_NEAR(sol.metrics().probability_mass, 1.0, 1e-5);
+  EXPECT_GT(sol.metrics().fg_queue_length, 1.0);
+  EXPECT_LT(sol.tail_decay_rate(), 1.0);
+}
+
+TEST_P(BoundarySweep, PastSaturationFailsFastWithTypedUnstableError) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 15485863u + 3u);
+  std::uniform_real_distribution<double> u(1.0, 1.35);
+  const double util = u(rng);
+  const FgBgParams params = boundary_params(rng, util);
+  SCOPED_TRACE("load " + std::to_string(params.fg_offered_load()));
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    FgBgModel(params).solve();
+    FAIL() << "an unstable configuration solved";
+  } catch (const Error& e) {
+    // Typed, with the measured drift ratio — never a max_iters hang.
+    EXPECT_EQ(e.code(), ErrorCode::kUnstableQbd);
+    ASSERT_TRUE(e.context().has_drift_ratio());
+    EXPECT_NEAR(e.context().drift_ratio, util, 0.05);
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(seconds, 2.0);  // preflight fails in microseconds; bound is sanitizer-safe
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundarySweep, ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace perfbg::core

@@ -76,32 +76,42 @@ TEST(RunReportSchema, RequiredKeysPresentAfterFileRoundTrip) {
   // Solver phase timings.
   const JsonValue& timers = doc.at("timers");
   for (const char* key : {"core.chain_build", "core.solve.total",
-                          "core.solve.metrics_eval", "qbd.solve.r",
-                          "qbd.solve.boundary", "qbd.solve.tail", "sim.run"}) {
+                          "core.solve.metrics_eval", "qbd.preflight",
+                          "qbd.solve.r", "qbd.solve.boundary", "qbd.solve.tail",
+                          "sim.run"}) {
     ASSERT_TRUE(timers.contains(key)) << "missing timer " << key;
     EXPECT_GE(timers.at(key).at("total_ms").as_double(), 0.0);
     EXPECT_GE(timers.at(key).at("count").as_int(), 1);
   }
 
-  // Solver and simulator counters.
+  // Solver and simulator counters. qbd.solve.fallback_used is always
+  // materialized (0 on a clean solve) so harvesters need no key probing.
   const JsonValue& counters = doc.at("counters");
   for (const char* key :
-       {"qbd.rsolve.iterations", "qbd.solve.count", "sim.batches",
-        "sim.events.fg_arrival", "sim.events.fg_completion",
+       {"qbd.rsolve.iterations", "qbd.solve.count", "qbd.solve.fallback_used",
+        "sim.batches", "sim.events.fg_arrival", "sim.events.fg_completion",
         "sim.events.bg_generated", "sim.events.bg_completion",
         "sim.events.bg_dropped", "sim.events.idle_expiry"}) {
     ASSERT_TRUE(counters.contains(key)) << "missing counter " << key;
   }
   EXPECT_GT(counters.at("sim.events.fg_arrival").as_int(), 0);
   EXPECT_GT(counters.at("qbd.rsolve.iterations").as_int(), 0);
+  EXPECT_EQ(counters.at("qbd.solve.fallback_used").as_int(), 0);
 
-  // Warmup diagnostics.
+  // Warmup diagnostics and the preflight drift gauge.
   const JsonValue& gauges = doc.at("gauges");
-  for (const char* key : {"qbd.rsolve.final_residual", "qbd.r.spectral_radius",
-                          "sim.warmup.time", "sim.warmup.fg_arrivals",
-                          "sim.warmup.end_qlen_fg", "sim.warmup.end_qlen_bg"}) {
+  for (const char* key : {"qbd.preflight.drift_ratio", "qbd.rsolve.final_residual",
+                          "qbd.r.spectral_radius", "sim.warmup.time",
+                          "sim.warmup.fg_arrivals", "sim.warmup.end_qlen_fg",
+                          "sim.warmup.end_qlen_bg"}) {
     ASSERT_TRUE(gauges.contains(key)) << "missing gauge " << key;
   }
+  EXPECT_GT(gauges.at("qbd.preflight.drift_ratio").as_double(), 0.0);
+  EXPECT_LT(gauges.at("qbd.preflight.drift_ratio").as_double(), 1.0);
+
+  // The errors array is always present; empty on a clean run.
+  ASSERT_TRUE(doc.contains("errors"));
+  EXPECT_EQ(doc.at("errors").as_array().size(), 0u);
 
   // Per-iteration R-solver convergence trace.
   const JsonValue& convergence = doc.at("traces").at("qbd.rsolve.convergence");
@@ -121,6 +131,22 @@ TEST(RunReportSchema, RequiredKeysPresentAfterFileRoundTrip) {
                             "fg_throughput", "fg_arrivals"})
       ASSERT_TRUE(row.contains(key)) << "missing batch field " << key;
   }
+}
+
+TEST(RunReportSchema, ErrorRecordsRoundTripThroughTheErrorsArray) {
+  obs::RunReport report("test_report_schema");
+  JsonValue record = JsonValue::object();
+  record.set("code", JsonValue(std::string("kUnstableQbd")));
+  record.set("message", JsonValue(std::string("drift ratio rho = 1.2 >= 1")));
+  record.set("drift_ratio", JsonValue(1.2));
+  report.add_error(std::move(record));
+  ASSERT_EQ(report.error_count(), 1u);
+
+  const JsonValue doc = obs::parse_json(report.to_json().dump());
+  const auto& errors = doc.at("errors").as_array();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].at("code").as_string(), "kUnstableQbd");
+  EXPECT_DOUBLE_EQ(errors[0].at("drift_ratio").as_double(), 1.2);
 }
 
 TEST(RunReportSchema, TraceJsonlExportParsesLineByLine) {

@@ -1,0 +1,335 @@
+// Fault-injection suite for the hardened solve pipeline: every corruption the
+// harness can produce (fault_injection.hpp) must surface as a typed
+// perfbg::Error with the right code and context, in bounded time — never as a
+// max_iters hang, a silent NaN result, or an untyped exception. Also covers
+// the solver fallback ladder (via RSolverOptions::inject_rung_failures) and
+// the per-point graceful degradation used by the figure sweeps.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "bench_common.hpp"
+#include "fault_injection.hpp"
+#include "markov/stationary.hpp"
+#include "obs/metrics.hpp"
+#include "qbd/preflight.hpp"
+#include "qbd/rmatrix.hpp"
+#include "qbd/solution.hpp"
+#include "util/error.hpp"
+#include "workloads/presets.hpp"
+
+namespace perfbg {
+namespace {
+
+using testing::Fault;
+using testing::inject;
+using testing::reference_qbd;
+using testing::unstable_qbd;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------- taxonomy --
+
+TEST(ErrorTaxonomy, CodeNamesAndExitCodesAreStable) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kInvalidModel), "kInvalidModel");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnstableQbd), "kUnstableQbd");
+  EXPECT_STREQ(error_code_name(ErrorCode::kSingularMatrix), "kSingularMatrix");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNonConvergence), "kNonConvergence");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNumericalBreakdown), "kNumericalBreakdown");
+  EXPECT_EQ(error_exit_code(ErrorCode::kInvalidModel), 3);
+  EXPECT_EQ(error_exit_code(ErrorCode::kUnstableQbd), 4);
+  EXPECT_EQ(error_exit_code(ErrorCode::kSingularMatrix), 5);
+  EXPECT_EQ(error_exit_code(ErrorCode::kNonConvergence), 6);
+  EXPECT_EQ(error_exit_code(ErrorCode::kNumericalBreakdown), 7);
+}
+
+TEST(ErrorTaxonomy, WhatCarriesCodeAndContext) {
+  ErrorContext ctx;
+  ctx.drift_ratio = 1.07;
+  ctx.iterations = 42;
+  const Error e(ErrorCode::kUnstableQbd, "boom", ctx);
+  const std::string what = e.what();
+  EXPECT_NE(what.find("[kUnstableQbd]"), std::string::npos) << what;
+  EXPECT_NE(what.find("boom"), std::string::npos) << what;
+  EXPECT_NE(what.find("1.07"), std::string::npos) << what;
+  EXPECT_NE(what.find("42"), std::string::npos) << what;
+  EXPECT_EQ(e.message(), "boom");
+  // Error is a runtime_error, so pre-taxonomy catch sites keep working.
+  EXPECT_THROW(throw Error(ErrorCode::kInvalidModel, "x"), std::runtime_error);
+}
+
+// --------------------------------------------------------------- preflight --
+
+TEST(Preflight, AcceptsTheReferenceProcess) {
+  const qbd::PreflightReport report = qbd::preflight(reference_qbd());
+  EXPECT_GT(report.level_size, 0u);
+  EXPECT_GE(report.closed_classes, 1u);
+  EXPECT_GT(report.drift_ratio, 0.0);
+  EXPECT_LT(report.drift_ratio, 1.0);
+}
+
+TEST(Preflight, NanEntryIsInvalidModel) {
+  try {
+    qbd::preflight(inject(reference_qbd(), Fault::kNanEntry));
+    FAIL() << "preflight accepted a NaN entry";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidModel);
+    EXPECT_NE(std::string(e.what()).find("A1"), std::string::npos) << e.what();
+    EXPECT_TRUE(e.context().has_matrix_size());
+  }
+}
+
+TEST(Preflight, InfEntryIsInvalidModel) {
+  try {
+    qbd::preflight(inject(reference_qbd(), Fault::kInfEntry));
+    FAIL() << "preflight accepted an Inf entry";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidModel);
+    EXPECT_NE(std::string(e.what()).find("A0"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Preflight, BrokenRowSumIsInvalidModel) {
+  try {
+    qbd::preflight(inject(reference_qbd(), Fault::kBrokenRowSum));
+    FAIL() << "preflight accepted broken row sums";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidModel);
+  }
+}
+
+TEST(Preflight, UnstableDriftIsDiagnosedQuicklyWithTheRatio) {
+  const qbd::QbdProcess p = unstable_qbd(1.2);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    qbd::preflight(p);
+    FAIL() << "preflight accepted an unstable process";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnstableQbd);
+    ASSERT_TRUE(e.context().has_drift_ratio());
+    EXPECT_NEAR(e.context().drift_ratio, 1.2, 0.05);
+    EXPECT_NE(std::string(e.what()).find(">= 1"), std::string::npos) << e.what();
+  }
+  // Microseconds in practice; the bound is generous for sanitizer builds.
+  EXPECT_LT(seconds_since(t0), 1.0);
+}
+
+TEST(Preflight, StabilityMarginRejectsNearCriticalPoints) {
+  qbd::PreflightOptions opts;
+  opts.stability_margin = 0.1;
+  try {
+    qbd::preflight(unstable_qbd(0.95), opts);
+    FAIL() << "margin 0.1 should reject rho ~ 0.95";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnstableQbd);
+  }
+  // The same point passes with the default margin.
+  EXPECT_NO_THROW(qbd::preflight(unstable_qbd(0.95)));
+}
+
+TEST(Preflight, SolutionConstructorRunsPreflightBeforeIterating) {
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    const qbd::QbdSolution sol(unstable_qbd(1.3));
+    FAIL() << "QbdSolution accepted an unstable process";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnstableQbd);
+    EXPECT_NEAR(e.context().drift_ratio, 1.3, 0.05);
+  }
+  // Fail-fast: no solver iterations were spent on the unstable process.
+  EXPECT_LT(seconds_since(t0), 1.0);
+}
+
+// ------------------------------------------------------- singular matrices --
+
+TEST(SingularInputs, SingularA1FailsTypedInTheDirectRIteration) {
+  const qbd::QbdProcess p = inject(reference_qbd(), Fault::kSingularBlock);
+  qbd::RSolverOptions opts;
+  opts.kind = qbd::RSolverKind::kFunctionalIteration;
+  opts.enable_fallback = false;  // single-algorithm semantics: the LU error survives
+  try {
+    qbd::solve_r(p.a0, p.a1, p.a2, opts);
+    FAIL() << "solve_r accepted a singular A1";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kSingularMatrix);
+    EXPECT_NE(std::string(e.what()).find("singular"), std::string::npos) << e.what();
+    EXPECT_TRUE(e.context().has_matrix_size());
+  }
+}
+
+TEST(SingularInputs, GthZeroPivotNamesTheFoldedState) {
+  // Two disconnected 2-state chains: a valid generator, but reducible, so GTH
+  // hits a state with zero total rate toward lower-numbered states.
+  const linalg::Matrix q{{-1.0, 1.0, 0.0, 0.0},
+                         {1.0, -1.0, 0.0, 0.0},
+                         {0.0, 0.0, -2.0, 2.0},
+                         {0.0, 0.0, 2.0, -2.0}};
+  try {
+    markov::stationary_ctmc(q);
+    FAIL() << "stationary_ctmc accepted a reducible chain";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kSingularMatrix);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("GTH"), std::string::npos) << what;
+    EXPECT_NE(what.find("irreducible"), std::string::npos) << what;
+  }
+}
+
+// ----------------------------------------------------------- breakdown -----
+
+TEST(NumericalBreakdown, NonFiniteIterateAbortsTheRungImmediately) {
+  // Inf in A0 with A1 clean: the direct R iteration starts, its first iterate
+  // turns non-finite, and the rung must abort typed instead of "converging"
+  // on garbage (NaN is invisible to max-based norms).
+  const qbd::QbdProcess p = inject(reference_qbd(), Fault::kInfEntry);
+  qbd::RSolverOptions opts;
+  opts.kind = qbd::RSolverKind::kFunctionalIteration;
+  opts.enable_fallback = false;
+  try {
+    qbd::solve_r(p.a0, p.a1, p.a2, opts);
+    FAIL() << "solve_r returned a result from non-finite inputs";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNumericalBreakdown);
+    EXPECT_TRUE(e.context().has_iterations());
+    EXPECT_LE(e.context().iterations, 2);
+  }
+}
+
+TEST(NumericalBreakdown, LadderAggregatesWhenEveryRungBreaksDown) {
+  // With fallback on, each rung breaks down in turn and the exhausted ladder
+  // reports kNonConvergence listing every rung's diagnosis.
+  const qbd::QbdProcess p = inject(reference_qbd(), Fault::kInfEntry);
+  qbd::RSolverStats stats;
+  try {
+    qbd::solve_r(p.a0, p.a1, p.a2, {}, &stats);
+    FAIL() << "the whole ladder accepted non-finite inputs";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNonConvergence);
+    EXPECT_NE(std::string(e.what()).find("fallback ladder"), std::string::npos);
+    EXPECT_EQ(stats.outcome.rungs_attempted, 3);
+    EXPECT_EQ(stats.outcome.failures.size(), 3u);
+  }
+}
+
+// ------------------------------------------------------------ the ladder ---
+
+TEST(FallbackLadder, PrimaryRungWinsOnCleanInput) {
+  const qbd::QbdProcess p = reference_qbd();
+  qbd::RSolverStats stats;
+  const linalg::Matrix r = qbd::solve_r(p.a0, p.a1, p.a2, {}, &stats);
+  EXPECT_EQ(stats.outcome.rung, qbd::SolveRung::kPrimary);
+  EXPECT_EQ(stats.outcome.rungs_attempted, 1);
+  EXPECT_TRUE(stats.outcome.failures.empty());
+  EXPECT_FALSE(stats.outcome.fallback_used());
+  EXPECT_EQ(stats.tolerance_used, qbd::RSolverOptions{}.tolerance);
+  EXPECT_LT(qbd::r_equation_residual(r, p.a0, p.a1, p.a2), 1e-8);
+}
+
+TEST(FallbackLadder, InjectedPrimaryFailureFallsBackToTheAlternate) {
+  const qbd::QbdProcess p = reference_qbd();
+  qbd::RSolverOptions opts;
+  opts.inject_rung_failures = 1;
+  qbd::RSolverStats stats;
+  const linalg::Matrix r = qbd::solve_r(p.a0, p.a1, p.a2, opts, &stats);
+  EXPECT_EQ(stats.outcome.rung, qbd::SolveRung::kAlternateAlgorithm);
+  EXPECT_EQ(stats.outcome.rungs_attempted, 2);
+  ASSERT_EQ(stats.outcome.failures.size(), 1u);
+  EXPECT_NE(stats.outcome.failures[0].find("injected fault"), std::string::npos);
+  EXPECT_TRUE(stats.outcome.fallback_used());
+  // Fallback rungs run with the floored tolerance; residual-bound checks
+  // (e.g. QbdSolution's dcheck) must use this, not the caller's 1e-13.
+  EXPECT_GE(stats.tolerance_used, 1e-10);
+  // The fallback result is a real solution, not a best-effort stand-in.
+  EXPECT_LT(qbd::r_equation_residual(r, p.a0, p.a1, p.a2), 1e-8);
+}
+
+TEST(FallbackLadder, LastRungIsTheRelaxedUniformization) {
+  const qbd::QbdProcess p = reference_qbd();
+  qbd::RSolverOptions opts;
+  opts.inject_rung_failures = 2;
+  qbd::RSolverStats stats;
+  const linalg::Matrix r = qbd::solve_r(p.a0, p.a1, p.a2, opts, &stats);
+  EXPECT_EQ(stats.outcome.rung, qbd::SolveRung::kRelaxedUniformization);
+  EXPECT_EQ(stats.outcome.rungs_attempted, 3);
+  EXPECT_EQ(stats.outcome.failures.size(), 2u);
+  EXPECT_LT(qbd::r_equation_residual(r, p.a0, p.a1, p.a2), 1e-8);
+}
+
+TEST(FallbackLadder, ExhaustedLadderThrowsAggregatedNonConvergence) {
+  const qbd::QbdProcess p = reference_qbd();
+  qbd::RSolverOptions opts;
+  opts.inject_rung_failures = 3;
+  qbd::RSolverStats stats;
+  try {
+    qbd::solve_r(p.a0, p.a1, p.a2, opts, &stats);
+    FAIL() << "an all-failed ladder returned a result";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNonConvergence);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fallback ladder"), std::string::npos) << what;
+    EXPECT_NE(what.find("injected fault"), std::string::npos) << what;
+    EXPECT_EQ(stats.outcome.rungs_attempted, 3);
+    EXPECT_EQ(stats.outcome.failures.size(), 3u);
+  }
+}
+
+TEST(FallbackLadder, DisabledFallbackPropagatesTheOriginalError) {
+  const qbd::QbdProcess p = reference_qbd();
+  qbd::RSolverOptions opts;
+  opts.max_iters = 2;  // far too few for convergence from scratch
+  opts.enable_fallback = false;
+  try {
+    qbd::solve_r(p.a0, p.a1, p.a2, opts);
+    FAIL() << "2 iterations cannot converge";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNonConvergence);
+    EXPECT_EQ(e.context().iterations, 2);
+    // The single-rung error, not the aggregated ladder message.
+    EXPECT_EQ(std::string(e.what()).find("fallback ladder"), std::string::npos);
+  }
+}
+
+TEST(FallbackLadder, SolutionRecordsTheFallbackCounter) {
+  const qbd::QbdProcess p = reference_qbd();
+  qbd::RSolverOptions opts;
+  opts.inject_rung_failures = 1;
+  obs::MetricsRegistry metrics;
+  const qbd::QbdSolution sol(p, opts, &metrics);
+  EXPECT_EQ(metrics.counter("qbd.solve.fallback_used"), 1u);
+  EXPECT_TRUE(sol.solver_stats().outcome.fallback_used());
+  // A clean solve materializes the counter at 0 (schema stability).
+  obs::MetricsRegistry clean;
+  const qbd::QbdSolution ok(p, {}, &clean);
+  EXPECT_EQ(clean.counter("qbd.solve.fallback_used"), 0u);
+}
+
+// ------------------------------------------------- per-point degradation ---
+
+TEST(SweepDegradation, TrySolvePointSurvivesUnstablePoints) {
+  const auto workload = workloads::email_poisson();
+  const bench::PointResult bad = bench::try_solve_point(workload, 1.15, 0.3);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error->code, "kUnstableQbd");
+  EXPECT_GE(bad.error->drift_ratio, 1.0);
+  // The sweep continues: the next point solves normally.
+  const bench::PointResult good = bench::try_solve_point(workload, 0.3, 0.3);
+  ASSERT_TRUE(good.ok());
+  EXPECT_GT(good.metrics->fg_queue_length, 0.0);
+}
+
+TEST(SweepDegradation, ActiveBenchRunRecordsTheErrorInTheReport) {
+  const char* argv[] = {"test_robustness"};
+  bench::BenchRun run(1, argv, "test.robustness");
+  const auto workload = workloads::email_poisson();
+  EXPECT_TRUE(bench::try_solve_point(workload, 0.3, 0.3).ok());
+  EXPECT_FALSE(bench::try_solve_point(workload, 1.15, 0.3).ok());
+  EXPECT_EQ(run.report().error_count(), 1u);
+  EXPECT_EQ(run.metrics().counter("bench.solve_errors"), 1u);
+  EXPECT_EQ(run.metrics().counter("bench.solve_points"), 2u);
+}
+
+}  // namespace
+}  // namespace perfbg
