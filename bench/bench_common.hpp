@@ -13,6 +13,7 @@
 
 #include "core/model.hpp"
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "traffic/map_process.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
@@ -27,6 +28,7 @@ namespace perfbg::bench {
 /// the user asked for:
 ///   --metrics-json=<path>  full run report (schema perfbg.run_report.v1)
 ///   --trace=<path>         all buffered trace events as JSON lines
+///   --trace-chrome=<path>  hierarchical span profile as Chrome trace JSON
 /// Without flags the bench output is byte-identical to the flag-less days.
 class BenchRun {
  public:
@@ -35,6 +37,8 @@ class BenchRun {
     Flags flags;
     flags.define("metrics-json", "write a structured JSON run report to this path");
     flags.define("trace", "write all trace events as JSON lines to this path");
+    flags.define("trace-chrome",
+                 "write a Chrome trace-event JSON span profile to this path");
     flags.define_switch("help", "print this help");
     try {
       flags.parse(argc, argv);
@@ -51,6 +55,11 @@ class BenchRun {
     }
     metrics_json_ = flags.get_string("metrics-json", "");
     trace_path_ = flags.get_string("trace", "");
+    chrome_path_ = flags.get_string("trace-chrome", "");
+    if (!chrome_path_.empty()) {
+      span_collector_.emplace();
+      span_collector_->install();
+    }
     report_.set_config("bench", obs::JsonValue(bench_id));
     active_ = this;
   }
@@ -58,6 +67,10 @@ class BenchRun {
   ~BenchRun() {
     active_ = nullptr;
     try {
+      if (span_collector_) {
+        span_collector_->uninstall();
+        span_collector_->write_chrome_trace(chrome_path_);
+      }
       if (!metrics_json_.empty()) report_.write_json(metrics_json_);
       if (!trace_path_.empty()) report_.write_trace_jsonl(trace_path_);
     } catch (const std::exception& e) {
@@ -88,6 +101,8 @@ class BenchRun {
   obs::RunReport report_;
   std::string metrics_json_;
   std::string trace_path_;
+  std::string chrome_path_;
+  std::optional<obs::SpanCollector> span_collector_;
 };
 
 inline void banner(const std::string& experiment_id, const std::string& what) {

@@ -6,12 +6,16 @@
 // per-phase breakdown (chain build, R solve, boundary solve, tail sums,
 // metric evaluation) as benchmark counters; BM_FullModelSolve_NoMetrics is
 // the uninstrumented baseline, so the diff between the two is the
-// instrumentation overhead (budget: < 5%).
+// instrumentation overhead (budget: < 5%). BM_FullModelSolve_WithSpans adds
+// an installed SpanCollector on top (the --trace-chrome path), and the
+// NoMetrics variant doubles as the disabled-span baseline — every ScopedSpan
+// in the hot path costs one relaxed atomic load there.
 #include <benchmark/benchmark.h>
 
 #include "core/chain_builder.hpp"
 #include "core/model.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "qbd/rmatrix.hpp"
 #include "qbd/solution.hpp"
 #include "workloads/presets.hpp"
@@ -84,6 +88,24 @@ void BM_FullModelSolve_NoMetrics(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullModelSolve_NoMetrics)->Arg(5)->Arg(10)->Arg(25);
+
+void BM_FullModelSolve_WithSpans(benchmark::State& state) {
+  // Full solve with a live SpanCollector: every instrumented scope records a
+  // SpanRecord (clock reads, mutex push). Compare against
+  // BM_FullModelSolve_NoMetrics for the enabled-profiling cost; the
+  // collector is cleared each iteration so memory stays bounded.
+  const core::FgBgModel model(params_for(static_cast<int>(state.range(0)), 0.3));
+  obs::SpanCollector collector;
+  obs::SpanSession session(collector);
+  std::size_t spans = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.solve().metrics());
+    spans = collector.size();
+    collector.clear();
+  }
+  state.counters["spans_per_solve"] = benchmark::Counter(static_cast<double>(spans));
+}
+BENCHMARK(BM_FullModelSolve_WithSpans)->Arg(5)->Arg(10)->Arg(25);
 
 void BM_SolveR_WithConvergenceTrace(benchmark::State& state) {
   // Cost of the opt-in per-iteration trace (increment norm + residual +

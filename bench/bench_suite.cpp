@@ -1,0 +1,223 @@
+// Perf-baseline orchestrator: solves a pinned grid of model points and emits
+// a machine-readable baseline (schema perfbg.bench_baseline.v1) that
+// perfbg_report_diff compares across runs to catch solver performance
+// regressions. The committed reference baseline lives at the repo root as
+// BENCH_solver.json; CI regenerates a fresh one and diffs it (DESIGN.md §10).
+//
+//   $ ./bench/bench_suite --out=BENCH_solver.json
+//   $ ./bench/bench_suite --quick --out=/tmp/bench.json   # 1 rep, CI-sized
+//
+// The grid covers the paper's axes: three arrival processes with identical
+// mean rate but very different dependence structure (MMPP High-ACF email, its
+// IPP refit, and the Poisson comparator), spawn probabilities p in {0.1, 0.5,
+// 0.9}, and background buffers X in {5, 20}. Utilization is pinned at 0.15 —
+// within the High-ACF workload's stable region (it saturates above ~0.25).
+//
+// Timing protocol: each point is solved `reps` times without a span
+// collector installed (so the timed path is the uninstrumented cost) and the
+// minimum wall time is kept; a final profiled pass per point then feeds the
+// aggregated top_spans table embedded in the baseline. The baseline contains
+// no timestamps, so regenerating it on identical hardware produces a
+// diff-friendly document.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model.hpp"
+#include "obs/diff.hpp"
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+#include "util/error.hpp"
+#include "util/flags.hpp"
+#include "workloads/presets.hpp"
+
+namespace {
+
+using namespace perfbg;
+
+struct GridPoint {
+  const char* workload;
+  double p;
+  int bg_buffer;
+};
+
+struct PointOutcome {
+  double wall_ms = -1.0;   ///< min over reps; < 0 when the point failed
+  int iterations = 0;
+  double fg_queue_length = 0.0;
+  std::string error;       ///< ErrorCode name when the solve failed
+};
+
+traffic::MarkovianArrivalProcess pick(const std::string& name) {
+  if (name == "email") return workloads::email();
+  if (name == "email_ipp") return workloads::email_ipp();
+  if (name == "email_poisson") return workloads::email_poisson();
+  throw std::invalid_argument("bench_suite: unknown grid workload '" + name + "'");
+}
+
+constexpr double kUtilization = 0.15;
+
+core::FgBgParams point_params(const GridPoint& g) {
+  const traffic::MarkovianArrivalProcess process = pick(g.workload);
+  core::FgBgParams params{
+      process.scaled_to_utilization(kUtilization, workloads::kMeanServiceTimeMs)};
+  params.mean_service_time = workloads::kMeanServiceTimeMs;
+  params.bg_probability = g.p;
+  params.bg_buffer = g.bg_buffer;
+  params.idle_wait_intensity = 1.0;
+  return params;
+}
+
+/// One full model build + solve; returns the solver iteration count and the
+/// headline metric through the out-params.
+void solve_once(const core::FgBgParams& params, int& iterations, double& qlen) {
+  const core::FgBgModel model(params);
+  const core::FgBgSolution solution = model.solve();
+  iterations = solution.qbd().solver_stats().iterations;
+  qlen = solution.metrics().fg_queue_length;
+}
+
+PointOutcome run_point(const GridPoint& g, int reps) {
+  PointOutcome out;
+  try {
+    const core::FgBgParams params = point_params(g);
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      solve_once(params, out.iterations, out.fg_queue_length);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (out.wall_ms < 0.0 || ms < out.wall_ms) out.wall_ms = ms;
+    }
+  } catch (const Error& e) {
+    out.error = error_code_name(e.code());
+    out.wall_ms = -1.0;
+  }
+  return out;
+}
+
+obs::JsonValue machine_info() {
+  obs::JsonValue m = obs::JsonValue::object();
+#if defined(__clang__)
+  m.set("compiler", obs::JsonValue(std::string("clang ") + __clang_version__));
+#elif defined(__GNUC__)
+  m.set("compiler", obs::JsonValue(std::string("gcc ") + __VERSION__));
+#else
+  m.set("compiler", obs::JsonValue("unknown"));
+#endif
+#if defined(NDEBUG)
+  m.set("build", obs::JsonValue("release"));
+#else
+  m.set("build", obs::JsonValue("debug"));
+#endif
+  m.set("hardware_concurrency",
+        obs::JsonValue(static_cast<std::int64_t>(std::thread::hardware_concurrency())));
+  m.set("pointer_bits", obs::JsonValue(static_cast<std::int64_t>(8 * sizeof(void*))));
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("out", "baseline output path, default BENCH_solver.json");
+  flags.define("reps", "timed repetitions per point (min is kept), default 3");
+  flags.define_switch("quick", "CI mode: a single repetition per point");
+  flags.define_switch("help", "print this help");
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    std::cerr << what << "\n";
+    if (what.find("flags:") == std::string::npos) std::cerr << flags.help();
+    return 2;
+  }
+  if (flags.has("help")) {
+    std::cout << flags.help();
+    return 0;
+  }
+  const std::string out_path = flags.get_string("out", "BENCH_solver.json");
+  const int reps = flags.has("quick") ? 1 : flags.get_int("reps", 3);
+  if (reps < 1) {
+    std::cerr << "bench_suite: --reps must be >= 1\n";
+    return 2;
+  }
+
+  std::vector<GridPoint> grid;
+  for (const char* w : {"email", "email_ipp", "email_poisson"})
+    for (double p : {0.1, 0.5, 0.9})
+      for (int x : {5, 20}) grid.push_back({w, p, x});
+
+  std::cout << "bench_suite: " << grid.size() << " points, " << reps
+            << " rep(s) each\n";
+
+  obs::JsonValue points = obs::JsonValue::array();
+  std::size_t failed = 0;
+  for (const GridPoint& g : grid) {
+    const PointOutcome r = run_point(g, reps);
+    obs::JsonValue point = obs::JsonValue::object();
+    point.set("workload", obs::JsonValue(g.workload));
+    point.set("bg_probability", obs::JsonValue(g.p));
+    point.set("bg_buffer", obs::JsonValue(g.bg_buffer));
+    point.set("utilization", obs::JsonValue(kUtilization));
+    if (r.error.empty()) {
+      point.set("wall_ms", obs::JsonValue(r.wall_ms));
+      point.set("iterations", obs::JsonValue(r.iterations));
+      point.set("fg_queue_length", obs::JsonValue(r.fg_queue_length));
+      std::cout << "  " << g.workload << " p=" << g.p << " X=" << g.bg_buffer
+                << ": " << r.wall_ms << " ms, " << r.iterations << " iterations\n";
+    } else {
+      ++failed;
+      point.set("error", obs::JsonValue(r.error));
+      std::cout << "  " << g.workload << " p=" << g.p << " X=" << g.bg_buffer
+                << ": FAILED (" << r.error << ")\n";
+    }
+    points.push_back(std::move(point));
+  }
+
+  // Profiled pass: one solve per point under a span collector; the resulting
+  // profile tree (aggregated over the whole grid) names the hot spans so a
+  // regression diff can be traced to a phase without rerunning anything.
+  obs::SpanCollector collector;
+  {
+    obs::SpanSession session(collector);
+    for (const GridPoint& g : grid) {
+      try {
+        int iterations = 0;
+        double qlen = 0.0;
+        solve_once(point_params(g), iterations, qlen);
+      } catch (const Error&) {
+        // Already recorded as a failed point in the timed pass.
+      }
+    }
+  }
+
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("schema", obs::JsonValue(obs::kBenchBaselineSchema));
+  doc.set("tool", obs::JsonValue("bench_suite"));
+  doc.set("machine", machine_info());
+  obs::JsonValue config = obs::JsonValue::object();
+  config.set("utilization", obs::JsonValue(kUtilization));
+  config.set("reps", obs::JsonValue(reps));
+  config.set("quick", obs::JsonValue(flags.has("quick")));
+  doc.set("config", std::move(config));
+  doc.set("points", std::move(points));
+  doc.set("top_spans", obs::top_spans_json(collector.profile_tree(), 12));
+
+  try {
+    std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("bench_suite: cannot open " + out_path);
+    doc.dump(out, 2);
+    out << "\n";
+    if (!out) throw std::runtime_error("bench_suite: write failed for " + out_path);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "wrote baseline (" << grid.size() - failed << "/" << grid.size()
+            << " points) to " << out_path << "\n";
+  return failed == 0 ? 0 : 1;
+}

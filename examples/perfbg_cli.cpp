@@ -5,6 +5,7 @@
 //   $ ./examples/perfbg_cli --workload poisson --util 0.5 --p 0.9
 //       --buffer 10 --idle-wait 2.0 --service erlang2 --simulate true
 //   $ ./examples/perfbg_cli --metrics-json=/tmp/run.json --trace=/tmp/run.jsonl
+//   $ ./examples/perfbg_cli --trace-chrome=/tmp/spans.json
 //
 // Workloads: email | softdev | useraccounts | lowacf | ipp | poisson
 // Service:   expo | erlang2 | erlang4 | h2   (mean fixed by --service-mean)
@@ -14,6 +15,10 @@
 // convergence trace, and simulator event counters (a short validation
 // simulation runs automatically when --simulate was not given).
 //
+// --trace-chrome writes the run's hierarchical span profile in Chrome
+// trace-event format — open the file in chrome://tracing or Perfetto to see
+// the nested solve → R-iteration → LU flame view (DESIGN.md §10).
+//
 // Exit codes (see DESIGN.md §9): 0 success, 1 unexpected error, 2 usage
 // error, and one code per perfbg::ErrorCode for classified pipeline
 // failures — 3 invalid model, 4 unstable QBD (drift >= 1), 5 singular
@@ -21,10 +26,12 @@
 // also recorded in the run report's "errors" array when --metrics-json was
 // given, so sweep drivers can harvest failed points from the report.
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/model.hpp"
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "qbd/solution.hpp"
 #include "sim/fgbg_simulator.hpp"
 #include "util/error.hpp"
@@ -70,10 +77,27 @@ int main(int argc, char** argv) {
   flags.define("simulate", "true to cross-check with the simulator, default false");
   flags.define("metrics-json", "write a structured JSON run report to this path");
   flags.define("trace", "write all trace events as JSON lines to this path");
+  flags.define("trace-chrome",
+               "write a Chrome trace-event JSON span profile to this path");
   flags.define_switch("help", "print this help");
 
   obs::RunReport report("perfbg_cli");
-  std::string metrics_json, trace_path;
+  std::string metrics_json, trace_path, chrome_path;
+  std::optional<obs::SpanCollector> span_collector;
+  // Closes the profiling session and writes the chrome trace; safe to call on
+  // both the success and the classified-error path.
+  auto flush_chrome_trace = [&](std::ostream& out) {
+    if (!span_collector) return;
+    span_collector->uninstall();
+    try {
+      span_collector->write_chrome_trace(chrome_path);
+      out << "wrote chrome trace (" << span_collector->size() << " spans) to "
+          << chrome_path << "\n";
+    } catch (const std::exception& io) {
+      std::cerr << io.what() << "\n";
+    }
+    span_collector.reset();
+  };
   try {
     flags.parse(argc, argv);
     if (flags.has("help")) {
@@ -94,6 +118,11 @@ int main(int argc, char** argv) {
 
     metrics_json = flags.get_string("metrics-json", "");
     trace_path = flags.get_string("trace", "");
+    chrome_path = flags.get_string("trace-chrome", "");
+    if (!chrome_path.empty()) {
+      span_collector.emplace();
+      span_collector->install();
+    }
     const bool observing = !metrics_json.empty() || !trace_path.empty();
     const bool simulate = flags.get_bool("simulate", false);
 
@@ -167,6 +196,7 @@ int main(int argc, char** argv) {
       report.write_trace_jsonl(trace_path);
       std::cout << "wrote trace events to " << trace_path << "\n";
     }
+    flush_chrome_trace(std::cout);
     if (observing) {
       std::cout << "\n";
       report.print_summary(std::cout);
@@ -192,6 +222,8 @@ int main(int argc, char** argv) {
         std::cerr << io.what() << "\n";
       }
     }
+    // Spans recorded up to the failure are still useful for diagnosing it.
+    flush_chrome_trace(std::cerr);
     return error_exit_code(e.code());
   } catch (const std::invalid_argument& e) {
     // Usage error: bad flag, unknown workload/service name, invalid value.

@@ -1,0 +1,116 @@
+// perfbg_report_diff: compare two perfbg JSON documents — bench baselines
+// (schema perfbg.bench_baseline.v1, as written by bench_suite) or run
+// reports (schema perfbg.run_report.v1, as written by --metrics-json) — and
+// flag wall-time regressions. CI runs it against the committed
+// BENCH_solver.json as a soft gate (DESIGN.md §10).
+//
+//   $ perfbg_report_diff old.json new.json
+//   $ perfbg_report_diff old.json new.json --threshold 0.10 --min-delta-ms 0.5
+//
+// Exit codes: 0 no regressions, 1 at least one regression past the
+// threshold, 2 usage or file error, 3 schema mismatch (documents are not
+// comparable — different or unknown schemas).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/diff.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: perfbg_report_diff <old.json> <new.json> [--threshold <rel>]\n"
+    "                          [--min-delta-ms <ms>]\n"
+    "\n"
+    "Compares two perfbg.bench_baseline.v1 or perfbg.run_report.v1 documents\n"
+    "and reports wall-time regressions: entries where new/old - 1 exceeds the\n"
+    "threshold (default 0.25) AND the absolute growth exceeds --min-delta-ms\n"
+    "(default 0.1 ms, so microsecond noise on fast phases never trips the\n"
+    "gate).\n"
+    "\n"
+    "exit codes: 0 no regressions, 1 regressions found, 2 usage/file error,\n"
+    "            3 schema mismatch\n";
+
+perfbg::obs::JsonValue load_document(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("perfbg_report_diff: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return perfbg::obs::parse_json(buffer.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error("perfbg_report_diff: " + path + ": " + e.what());
+  }
+}
+
+/// Parses the numeric value following a flag; throws on absent/garbage input.
+double parse_value(const std::vector<std::string>& args, std::size_t& i,
+                   const std::string& flag) {
+  if (i + 1 >= args.size())
+    throw std::invalid_argument("perfbg_report_diff: " + flag + " needs a value");
+  const std::string& text = args[++i];
+  std::size_t used = 0;
+  const double v = std::stod(text, &used);
+  if (used != text.size())
+    throw std::invalid_argument("perfbg_report_diff: bad value for " + flag + ": '" +
+                                text + "'");
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Positional file arguments rule out util::Flags (which is flag-only), so
+  // the argv walk is manual: two paths in order, options anywhere.
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> paths;
+  perfbg::obs::DiffOptions options;
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      if (a == "--help" || a == "-h") {
+        std::cout << kUsage;
+        return 0;
+      }
+      if (a == "--threshold") {
+        options.threshold = parse_value(args, i, a);
+      } else if (a == "--min-delta-ms") {
+        options.min_abs_delta_ms = parse_value(args, i, a);
+      } else if (!a.empty() && a[0] == '-') {
+        throw std::invalid_argument("perfbg_report_diff: unknown option '" + a + "'");
+      } else {
+        paths.push_back(a);
+      }
+    }
+    if (paths.size() != 2)
+      throw std::invalid_argument(
+          "perfbg_report_diff: expected exactly two input files, got " +
+          std::to_string(paths.size()));
+    if (options.threshold < 0.0)
+      throw std::invalid_argument("perfbg_report_diff: --threshold must be >= 0");
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  try {
+    const perfbg::obs::JsonValue old_doc = load_document(paths[0]);
+    const perfbg::obs::JsonValue new_doc = load_document(paths[1]);
+    const perfbg::obs::DiffResult result =
+        perfbg::obs::diff_reports(old_doc, new_doc, options);
+    std::cout << perfbg::obs::format_diff(result, options);
+    return result.has_regressions() ? 1 : 0;
+  } catch (const perfbg::obs::SchemaMismatchError& e) {
+    std::cerr << e.what() << "\n";
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

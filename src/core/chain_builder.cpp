@@ -1,5 +1,6 @@
 #include "core/chain_builder.hpp"
 
+#include "obs/span.hpp"
 #include "util/check.hpp"
 
 namespace perfbg::core {
@@ -49,6 +50,9 @@ Matrix kron3(const Matrix& a, const Matrix& b, const Matrix& c) {
 
 qbd::QbdProcess build_fgbg_qbd(const FgBgParams& params, const FgBgLayout& layout) {
   params.validate();
+  obs::ScopedSpan span("core.chain_build.assemble");
+  span.attr("phases", obs::JsonValue(static_cast<std::int64_t>(layout.phases())))
+      .attr("bg_buffer", obs::JsonValue(layout.bg_buffer()));
   // Combined phase space (paper Fig. 4 / Eq. 6, generalized per its footnote
   // 3 to PH service and PH idle wait): arrival (x) service (x) idle-wait,
   // index k = (arrival * m_s + service) * m_w + wait. The service phase is

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/span.hpp"
 #include "util/check.hpp"
 
 namespace perfbg::core {
@@ -20,6 +21,9 @@ namespace {
 qbd::QbdProcess timed_build(const FgBgParams& params, const FgBgLayout& layout,
                             obs::MetricsRegistry* metrics) {
   obs::ScopedTimer t(metrics, "core.chain_build");
+  obs::ScopedSpan span("core.chain_build");
+  span.attr("phases", obs::JsonValue(static_cast<std::int64_t>(layout.phases())))
+      .attr("bg_buffer", obs::JsonValue(layout.bg_buffer()));
   return build_fgbg_qbd(params, layout);
 }
 
@@ -35,6 +39,8 @@ FgBgModel::FgBgModel(FgBgParams params, obs::MetricsRegistry* metrics)
 
 FgBgSolution FgBgModel::solve(const qbd::RSolverOptions& opts) const {
   obs::ScopedTimer total(metrics_, "core.solve.total");
+  obs::ScopedSpan span("core.solve");
+  span.attr("level_size", obs::JsonValue(static_cast<std::int64_t>(process_.level_size())));
   return FgBgSolution(params_, layout_, qbd::QbdSolution(process_, opts, metrics_),
                       metrics_);
 }
@@ -43,6 +49,7 @@ FgBgSolution::FgBgSolution(FgBgParams params, FgBgLayout layout, qbd::QbdSolutio
                            obs::MetricsRegistry* metrics)
     : params_(std::move(params)), layout_(std::move(layout)), qbd_(std::move(solution)) {
   obs::ScopedTimer t(metrics, "core.solve.metrics_eval");
+  obs::ScopedSpan span("core.solve.metrics_eval");
   compute_metrics();
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/span.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
 
@@ -11,6 +12,10 @@ namespace perfbg::linalg {
 LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
   PERFBG_REQUIRE(lu_.is_square(), "LU requires a square matrix");
   const std::size_t n = lu_.rows();
+  // The factorization is the innermost O(n^3) kernel of every solver
+  // iteration, so it carries a span (no-op unless a collector is installed).
+  obs::ScopedSpan span("linalg.lu.factor");
+  span.attr("n", obs::JsonValue(static_cast<std::int64_t>(n)));
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 

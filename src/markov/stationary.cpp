@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/span.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
 
@@ -47,6 +48,8 @@ namespace {
 Vector gth(Matrix q) {
   const std::size_t n = q.rows();
   if (n == 1) return Vector{1.0};
+  obs::ScopedSpan span("markov.gth");
+  span.attr("n", obs::JsonValue(static_cast<std::int64_t>(n)));
 
   // Forward elimination: fold state k into states < k. Scaling the incoming
   // column q(·,k) by 1/S (S = total rate out of k toward lower states) both

@@ -1,0 +1,142 @@
+#include "obs/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "obs/report.hpp"
+
+namespace perfbg::obs {
+
+namespace {
+
+std::string schema_of(const JsonValue& doc, const char* which) {
+  if (!doc.is_object() || !doc.contains("schema") || !doc.at("schema").is_string())
+    throw SchemaMismatchError(std::string("perfbg: the ") + which +
+                              " document has no \"schema\" string — not a perfbg "
+                              "baseline or run report");
+  return doc.at("schema").as_string();
+}
+
+std::string format_point_key(const JsonValue& point) {
+  std::ostringstream os;
+  os << (point.contains("workload") ? point.at("workload").as_string() : "?");
+  os << std::setprecision(6);
+  if (const JsonValue* p = point.find("bg_probability")) os << " p=" << p->as_double();
+  if (const JsonValue* x = point.find("bg_buffer")) os << " X=" << x->as_int();
+  if (const JsonValue* u = point.find("utilization")) os << " util=" << u->as_double();
+  return os.str();
+}
+
+/// key -> milliseconds, extracted per schema.
+std::map<std::string, double> extract_times(const JsonValue& doc,
+                                            const std::string& schema,
+                                            const char* which) {
+  std::map<std::string, double> out;
+  if (schema == kBenchBaselineSchema) {
+    if (!doc.contains("points") || !doc.at("points").is_array())
+      throw SchemaMismatchError(std::string("perfbg: the ") + which +
+                                " baseline has no \"points\" array");
+    for (const JsonValue& point : doc.at("points").as_array()) {
+      const JsonValue* wall = point.find("wall_ms");
+      if (!wall) continue;  // a failed point carries an "error" instead
+      out[format_point_key(point)] = wall->as_double();
+    }
+    return out;
+  }
+  // Run report: compare the per-phase wall timers.
+  if (const JsonValue* timers = doc.find("timers")) {
+    for (const auto& [name, stat] : timers->as_object())
+      if (const JsonValue* total = stat.find("total_ms")) out[name] = total->as_double();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t DiffResult::regressions() const {
+  return static_cast<std::size_t>(
+      std::count_if(entries.begin(), entries.end(),
+                    [](const DiffEntry& e) { return e.regression; }));
+}
+
+DiffResult diff_reports(const JsonValue& old_doc, const JsonValue& new_doc,
+                        const DiffOptions& options) {
+  const std::string old_schema = schema_of(old_doc, "old");
+  const std::string new_schema = schema_of(new_doc, "new");
+  if (old_schema != new_schema)
+    throw SchemaMismatchError("perfbg: schema mismatch: old is '" + old_schema +
+                              "', new is '" + new_schema + "'");
+  if (old_schema != kBenchBaselineSchema && old_schema != kRunReportSchema)
+    throw SchemaMismatchError("perfbg: unsupported schema '" + old_schema +
+                              "' (can diff " + kBenchBaselineSchema + " and " +
+                              kRunReportSchema + ")");
+
+  const std::map<std::string, double> old_times =
+      extract_times(old_doc, old_schema, "old");
+  const std::map<std::string, double> new_times =
+      extract_times(new_doc, new_schema, "new");
+
+  DiffResult result;
+  result.schema = old_schema;
+  for (const auto& [key, old_ms] : old_times) {
+    const auto it = new_times.find(key);
+    if (it == new_times.end()) {
+      result.only_in_old.push_back(key);
+      continue;
+    }
+    DiffEntry e;
+    e.key = key;
+    e.old_ms = old_ms;
+    e.new_ms = it->second;
+    e.rel_change = old_ms > 0.0 ? e.new_ms / old_ms - 1.0
+                                : (e.new_ms > 0.0
+                                       ? std::numeric_limits<double>::infinity()
+                                       : 0.0);
+    e.regression = e.rel_change > options.threshold &&
+                   e.new_ms - e.old_ms > options.min_abs_delta_ms;
+    result.entries.push_back(std::move(e));
+  }
+  for (const auto& [key, ms] : new_times) {
+    (void)ms;
+    if (old_times.find(key) == old_times.end()) result.only_in_new.push_back(key);
+  }
+  return result;
+}
+
+std::string format_diff(const DiffResult& result, const DiffOptions& options) {
+  std::ostringstream os;
+  os << "comparing " << result.schema << " documents (regression threshold "
+     << std::setprecision(3) << 100.0 * options.threshold << "%, min delta "
+     << options.min_abs_delta_ms << " ms)\n";
+  std::size_t key_width = 4;
+  for (const DiffEntry& e : result.entries) key_width = std::max(key_width, e.key.size());
+  os << std::left << std::setw(static_cast<int>(key_width)) << "key" << std::right
+     << std::setw(12) << "old_ms" << std::setw(12) << "new_ms" << std::setw(10)
+     << "change" << "\n";
+  for (const DiffEntry& e : result.entries) {
+    os << std::left << std::setw(static_cast<int>(key_width)) << e.key << std::right
+       << std::fixed << std::setprecision(3) << std::setw(12) << e.old_ms
+       << std::setw(12) << e.new_ms << std::defaultfloat << std::setprecision(3);
+    if (std::isinf(e.rel_change))
+      os << std::setw(10) << "new";
+    else
+      os << std::setw(9) << 100.0 * e.rel_change << "%";
+    if (e.regression) os << "  <-- REGRESSION";
+    os << "\n";
+  }
+  for (const std::string& key : result.only_in_old)
+    os << "only in old: " << key << "\n";
+  for (const std::string& key : result.only_in_new)
+    os << "only in new: " << key << "\n";
+  const std::size_t n = result.regressions();
+  os << (n == 0 ? "no regressions" : std::to_string(n) + " regression(s)") << " across "
+     << result.entries.size() << " compared entr" << (result.entries.size() == 1 ? "y" : "ies")
+     << "\n";
+  return os.str();
+}
+
+}  // namespace perfbg::obs

@@ -1,0 +1,72 @@
+// Cross-run regression diffing: compares two structured perf documents — two
+// bench_suite baselines (schema perfbg.bench_baseline.v1) or two run reports
+// (schema perfbg.run_report.v1) — and flags entries whose wall time grew
+// beyond a configurable relative threshold. The perfbg_report_diff tool
+// (examples/report_diff.cpp) is the CLI wrapper; CI runs it as a soft gate
+// against the committed BENCH_solver.json.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace perfbg::obs {
+
+/// Schema identifier stamped into bench_suite baselines (BENCH_solver.json);
+/// bump on breaking layout changes so perfbg_report_diff can hard-fail
+/// instead of comparing apples to oranges.
+inline constexpr const char* kBenchBaselineSchema = "perfbg.bench_baseline.v1";
+
+struct DiffOptions {
+  /// Relative wall-time increase that counts as a regression: new time must
+  /// exceed old * (1 + threshold). 0.25 = 25%.
+  double threshold = 0.25;
+  /// Entries whose absolute delta is below this many milliseconds are never
+  /// flagged, whatever the ratio — sub-tenth-millisecond timings are clock
+  /// noise, not regressions.
+  double min_abs_delta_ms = 0.1;
+};
+
+/// One compared entry (a baseline point or a named timer).
+struct DiffEntry {
+  std::string key;
+  double old_ms = 0.0;
+  double new_ms = 0.0;
+  /// Relative change: new/old - 1 (positive = slower). +inf when old == 0.
+  double rel_change = 0.0;
+  bool regression = false;
+};
+
+struct DiffResult {
+  std::string schema;  ///< the (common) schema of the two documents
+  std::vector<DiffEntry> entries;
+  std::vector<std::string> only_in_old;  ///< keys missing from the new document
+  std::vector<std::string> only_in_new;  ///< keys absent from the old document
+  std::size_t regressions() const;
+  bool has_regressions() const { return regressions() > 0; }
+};
+
+/// Raised when the two documents cannot be compared: a "schema" key is
+/// missing, the schemas differ, or the (common) schema is not one this
+/// version knows how to diff. Distinct from std::invalid_argument so the CLI
+/// can map it to its own exit code (hard failure, unlike a soft regression).
+class SchemaMismatchError : public std::runtime_error {
+ public:
+  explicit SchemaMismatchError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Compares two parsed documents. Baselines are matched point-by-point on
+/// (workload, bg_probability, bg_buffer, utilization) and compared on
+/// "wall_ms"; run reports are matched timer-by-timer and compared on
+/// "total_ms". Throws SchemaMismatchError per above; tolerant of points
+/// present on one side only (reported, never a regression).
+DiffResult diff_reports(const JsonValue& old_doc, const JsonValue& new_doc,
+                        const DiffOptions& options = {});
+
+/// Human-readable table of the comparison: one line per entry, regressions
+/// marked, one-sided keys listed at the end.
+std::string format_diff(const DiffResult& result, const DiffOptions& options = {});
+
+}  // namespace perfbg::obs

@@ -33,6 +33,32 @@ std::vector<double> default_buckets() {
 
 }  // namespace
 
+double HistogramStat::quantile(double q) const {
+  PERFBG_REQUIRE(q >= 0.0 && q <= 1.0, "quantile order must be in [0, 1]");
+  PERFBG_REQUIRE(count > 0, "quantile of an empty histogram");
+  // Rank of the target observation (1-based, continuous).
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= target) {
+      // Bucket edges, tightened by the observed extremes: bucket 0 has no
+      // lower bound and the overflow bucket no upper bound.
+      double lo = i == 0 ? min : upper_bounds[i - 1];
+      double hi = i == upper_bounds.size() ? max : upper_bounds[i];
+      lo = std::max(lo, min);
+      hi = std::min(hi, max);
+      if (hi <= lo) return lo;
+      const double fraction =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(counts[i]);
+      return lo + std::min(1.0, std::max(0.0, fraction)) * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return max;  // q == 1 with trailing empty buckets
+}
+
 void MetricsRegistry::check_kind(const std::string& name, int kind) const {
   PERFBG_REQUIRE(!name.empty(), "metric name must be non-empty");
   const bool taken[4] = {
@@ -78,6 +104,7 @@ void MetricsRegistry::record_time(const std::string& name, double ms) {
   TimerStat& t = timers_[name];
   ++t.count;
   t.total_ms += ms;
+  t.min_ms = std::min(t.min_ms, ms);
   t.max_ms = std::max(t.max_ms, ms);
 }
 
@@ -173,6 +200,9 @@ JsonValue MetricsRegistry::to_json(bool include_timers) const {
       entry.set("total_ms", JsonValue(t.total_ms));
       entry.set("mean_ms", JsonValue(t.count ? t.total_ms / static_cast<double>(t.count)
                                              : 0.0));
+      // A map entry only exists after a record_time, so min_ms is finite here
+      // (JSON has no representation for the +inf initial value anyway).
+      entry.set("min_ms", JsonValue(t.count ? t.min_ms : 0.0));
       entry.set("max_ms", JsonValue(t.max_ms));
       timers.set(name, std::move(entry));
     }

@@ -27,6 +27,7 @@ namespace perfbg::obs {
 struct TimerStat {
   std::uint64_t count = 0;
   double total_ms = 0.0;
+  double min_ms = std::numeric_limits<double>::infinity();  ///< +inf until the first record
   double max_ms = 0.0;
 };
 
@@ -39,6 +40,14 @@ struct HistogramStat {
   double sum = 0.0;
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
+
+  /// Linear-interpolation quantile estimate, q in [0, 1]. Walks the
+  /// cumulative bucket counts to the bucket holding the q-th observation and
+  /// interpolates within its edges; the first bucket's lower edge is the
+  /// observed min, the overflow bucket's upper edge the observed max (so the
+  /// estimate is always inside [min, max]). Throws std::invalid_argument on
+  /// an empty histogram or q outside [0, 1].
+  double quantile(double q) const;
 };
 
 class MetricsRegistry {

@@ -1,0 +1,260 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace perfbg::obs {
+
+namespace {
+
+/// The process-wide current collector; nullptr almost always.
+std::atomic<SpanCollector*> g_current{nullptr};
+
+/// Per-thread nesting state: the innermost open span and its depth. Restored
+/// by each ScopedSpan as it closes, so the stack discipline needs no heap.
+struct ThreadSpanState {
+  std::int64_t current_parent = -1;
+  int depth = 0;
+};
+thread_local ThreadSpanState t_span_state;
+
+std::uint32_t this_thread_index() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SpanCollector
+// ---------------------------------------------------------------------------
+
+SpanCollector::SpanCollector() : epoch_(std::chrono::steady_clock::now()) {}
+
+SpanCollector::~SpanCollector() { uninstall(); }
+
+void SpanCollector::install() {
+  SpanCollector* expected = nullptr;
+  PERFBG_REQUIRE(g_current.compare_exchange_strong(expected, this) || expected == this,
+                 "a SpanCollector is already installed");
+}
+
+void SpanCollector::uninstall() {
+  SpanCollector* expected = this;
+  g_current.compare_exchange_strong(expected, nullptr);
+}
+
+SpanCollector* SpanCollector::current() {
+  return g_current.load(std::memory_order_relaxed);
+}
+
+double SpanCollector::now_us() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   epoch_)
+      .count();
+}
+
+void SpanCollector::record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> SpanCollector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::size_t SpanCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void SpanCollector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+JsonValue SpanCollector::chrome_trace_json() const {
+  const std::vector<SpanRecord> records = snapshot();
+  JsonValue events = JsonValue::array();
+  for (const SpanRecord& r : records) {
+    JsonValue e = JsonValue::object();
+    e.set("name", JsonValue(r.name));
+    e.set("ph", JsonValue("X"));
+    e.set("ts", JsonValue(r.start_us));
+    e.set("dur", JsonValue(r.dur_us));
+    e.set("pid", JsonValue(1));
+    e.set("tid", JsonValue(static_cast<std::int64_t>(r.tid)));
+    JsonValue args = JsonValue::object();
+    for (const auto& [k, v] : r.args) args.set(k, v);
+    e.set("args", std::move(args));
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+void SpanCollector::write_chrome_trace(std::ostream& out) const {
+  chrome_trace_json().dump(out, 1);
+  out << '\n';
+}
+
+void SpanCollector::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("perfbg: cannot open '" + path + "' for writing");
+  write_chrome_trace(out);
+  out.flush();
+  if (!out) throw std::runtime_error("perfbg: failed writing chrome trace to '" + path + "'");
+}
+
+const ProfileNode* ProfileNode::find(const std::string& child_name) const {
+  for (const ProfileNode& c : children)
+    if (c.name == child_name) return &c;
+  return nullptr;
+}
+
+namespace {
+
+ProfileNode& find_or_add_child(ProfileNode& node, const std::string& name) {
+  for (ProfileNode& c : node.children)
+    if (c.name == name) return c;
+  node.children.push_back(ProfileNode{name, 0, 0.0, 0.0, {}});
+  return node.children.back();
+}
+
+void finalize_profile(ProfileNode& node) {
+  double child_total = 0.0;
+  for (ProfileNode& c : node.children) {
+    finalize_profile(c);
+    child_total += c.total_ms;
+  }
+  node.self_ms = std::max(0.0, node.total_ms - child_total);
+  std::sort(node.children.begin(), node.children.end(),
+            [](const ProfileNode& a, const ProfileNode& b) {
+              return a.total_ms > b.total_ms;
+            });
+}
+
+}  // namespace
+
+ProfileNode SpanCollector::profile_tree() const {
+  const std::vector<SpanRecord> records = snapshot();
+  std::unordered_map<std::int64_t, const SpanRecord*> by_id;
+  by_id.reserve(records.size());
+  for (const SpanRecord& r : records) by_id.emplace(r.id, &r);
+
+  ProfileNode root{"<root>", 0, 0.0, 0.0, {}};
+  std::vector<const SpanRecord*> chain;
+  for (const SpanRecord& r : records) {
+    // Ancestor name chain, outermost first. A parent id without a record
+    // (span still open at snapshot time) truncates the chain there, making
+    // the orphan a root — depth information is preserved in the record.
+    chain.clear();
+    chain.push_back(&r);
+    std::int64_t parent = r.parent;
+    while (parent >= 0) {
+      const auto it = by_id.find(parent);
+      if (it == by_id.end()) break;
+      chain.push_back(it->second);
+      parent = it->second->parent;
+    }
+    ProfileNode* node = &root;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+      node = &find_or_add_child(*node, (*it)->name);
+    node->count += 1;
+    node->total_ms += r.dur_us / 1000.0;
+  }
+  for (const ProfileNode& c : root.children) root.total_ms += c.total_ms;
+  finalize_profile(root);
+  return root;
+}
+
+JsonValue profile_to_json(const ProfileNode& node) {
+  JsonValue v = JsonValue::object();
+  v.set("name", JsonValue(node.name));
+  v.set("count", JsonValue(node.count));
+  v.set("total_ms", JsonValue(node.total_ms));
+  v.set("self_ms", JsonValue(node.self_ms));
+  JsonValue children = JsonValue::array();
+  for (const ProfileNode& c : node.children) children.push_back(profile_to_json(c));
+  v.set("children", std::move(children));
+  return v;
+}
+
+JsonValue top_spans_json(const ProfileNode& root, std::size_t limit) {
+  struct Flat {
+    std::uint64_t count = 0;
+    double total_ms = 0.0;
+    double self_ms = 0.0;
+  };
+  std::map<std::string, Flat> by_name;
+  // Iterative walk; the synthetic root itself is excluded.
+  std::vector<const ProfileNode*> stack;
+  for (const ProfileNode& c : root.children) stack.push_back(&c);
+  while (!stack.empty()) {
+    const ProfileNode* n = stack.back();
+    stack.pop_back();
+    Flat& f = by_name[n->name];
+    f.count += n->count;
+    f.total_ms += n->total_ms;
+    f.self_ms += n->self_ms;
+    for (const ProfileNode& c : n->children) stack.push_back(&c);
+  }
+  std::vector<std::pair<std::string, Flat>> rows(by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.self_ms > b.second.self_ms;
+  });
+  if (rows.size() > limit) rows.resize(limit);
+  JsonValue out = JsonValue::array();
+  for (const auto& [name, f] : rows) {
+    JsonValue row = JsonValue::object();
+    row.set("name", JsonValue(name));
+    row.set("count", JsonValue(f.count));
+    row.set("total_ms", JsonValue(f.total_ms));
+    row.set("self_ms", JsonValue(f.self_ms));
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedSpan
+// ---------------------------------------------------------------------------
+
+ScopedSpan::ScopedSpan(const char* name) : collector_(SpanCollector::current()) {
+  if (!collector_) return;
+  name_ = name;
+  id_ = collector_->next_id();
+  ThreadSpanState& st = t_span_state;
+  parent_ = st.current_parent;
+  depth_ = st.depth;
+  st.current_parent = id_;
+  ++st.depth;
+  start_us_ = collector_->now_us();
+}
+
+void ScopedSpan::end() {
+  if (!collector_) return;
+  const double dur_us = collector_->now_us() - start_us_;
+  ThreadSpanState& st = t_span_state;
+  st.current_parent = parent_;
+  st.depth = depth_;
+  SpanRecord r;
+  r.name = name_;
+  r.start_us = start_us_;
+  r.dur_us = dur_us;
+  r.id = id_;
+  r.parent = parent_;
+  r.depth = depth_;
+  r.tid = this_thread_index();
+  r.args = std::move(args_);
+  collector_->record(std::move(r));
+  collector_ = nullptr;
+}
+
+}  // namespace perfbg::obs

@@ -1,0 +1,173 @@
+// Hierarchical span profiling for the perfbg stack: RAII ScopedSpan with
+// thread-local nesting, per-span attributes (level index, matrix size,
+// iteration count, ...), aggregation into a self/total-time profile tree, and
+// export as Chrome trace-event JSON (loadable in chrome://tracing and
+// Perfetto).
+//
+// Activation model: instrumented code creates ScopedSpans unconditionally;
+// every span is a no-op — one relaxed atomic load, no clock read, no
+// allocation — unless a SpanCollector is installed as the process-wide
+// current collector. Tools install one behind an explicit flag
+// (--trace-chrome on perfbg_cli and every bench binary), so the solver and
+// simulator hot paths pay nothing in normal runs. The flat MetricsRegistry
+// (obs/metrics.hpp) stays the always-on aggregate layer; spans are the
+// opt-in, time-ordered, navigable view on top of it.
+//
+// Span naming follows the metric convention: lowercase dot-separated paths
+// grouped by subsystem, e.g.
+//   qbd.solve.r    qbd.rsolve.iteration    linalg.lu.factor    sim.batch
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace perfbg::obs {
+
+/// One completed span, as stored by the collector. Timestamps are
+/// microseconds relative to the collector's construction (chrome trace ts
+/// units), so traces start near zero and survive JSON double precision.
+struct SpanRecord {
+  std::string name;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  std::int64_t id = 0;       ///< unique per collector, 1-based
+  std::int64_t parent = -1;  ///< id of the enclosing span; -1 for roots
+  int depth = 0;             ///< 0 for roots; parent depth + 1 otherwise
+  std::uint32_t tid = 0;     ///< small per-thread index (first-use order)
+  JsonObjectEntries args;    ///< span attributes, insertion order preserved
+};
+
+/// Aggregated profile tree: spans merged by name path, children sorted by
+/// total time descending. self_ms is total_ms minus the children's total
+/// (clamped at 0 against clock noise).
+struct ProfileNode {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  double self_ms = 0.0;
+  std::vector<ProfileNode> children;
+
+  /// Direct child by name; nullptr when absent.
+  const ProfileNode* find(const std::string& child_name) const;
+};
+
+/// Thread-safe store of completed spans. Create one, install() it, run the
+/// instrumented code, then export: write_chrome_trace() for the flame view,
+/// profile_tree() for the aggregated self/total breakdown.
+class SpanCollector {
+ public:
+  SpanCollector();
+  ~SpanCollector();
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  /// Makes this collector the process-wide receiver of ScopedSpans.
+  /// Installing a second collector while one is active throws (nested
+  /// profiling sessions would interleave incoherently).
+  void install();
+  /// Detaches this collector if it is the current one; no-op otherwise.
+  void uninstall();
+  /// The installed collector, or nullptr (the common, zero-cost case).
+  static SpanCollector* current();
+
+  std::vector<SpanRecord> snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Chrome trace-event format: a JSON array of complete ("ph": "X") events
+  /// {"name", "ph", "ts", "dur", "pid", "tid", "args"}, ts/dur in
+  /// microseconds. Loadable as-is by chrome://tracing and Perfetto.
+  JsonValue chrome_trace_json() const;
+  void write_chrome_trace(std::ostream& out) const;
+  /// Throws std::runtime_error on I/O failure.
+  void write_chrome_trace(const std::string& path) const;
+
+  /// Aggregates all recorded spans into a profile tree rooted at a synthetic
+  /// "<root>" node (its total is the sum of root spans).
+  ProfileNode profile_tree() const;
+
+  // --- ScopedSpan plumbing (public for the RAII type, not for call sites) ---
+  double now_us() const;
+  std::int64_t next_id() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+  void record(SpanRecord record);
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::int64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+};
+
+/// {"name", "count", "total_ms", "self_ms", "children": [...]} recursively.
+JsonValue profile_to_json(const ProfileNode& node);
+
+/// Flattens a profile tree into per-name totals and returns the `limit`
+/// heaviest entries by self time, as a JSON array of
+/// {"name", "count", "total_ms", "self_ms"}. Used by bench_suite to embed
+/// the hot spans in the committed perf baseline.
+JsonValue top_spans_json(const ProfileNode& root, std::size_t limit);
+
+/// RAII span. With no collector installed, construction is one relaxed
+/// atomic load and attr() is a single branch; nothing else happens. With a
+/// collector, the span opens at construction, closes (and is recorded) at
+/// destruction or end(), and nests under the thread's innermost open span.
+///
+///   ScopedSpan span("qbd.solve.r");
+///   span.attr("matrix_size", obs::JsonValue(n));
+///
+/// Spans must close in LIFO order per thread — guaranteed by scoping; do not
+/// heap-allocate ScopedSpans or move them across threads.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan() { end(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches one attribute; chainable. Later keys with the same name
+  /// overwrite is NOT performed — attributes are append-only (cheap), and
+  /// exporters keep the last occurrence visible.
+  ScopedSpan& attr(const char* key, JsonValue value) {
+    if (collector_) args_.emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  /// True when a collector is installed and this span is live (lets call
+  /// sites skip computing expensive attribute values).
+  bool active() const { return collector_ != nullptr; }
+
+  /// Closes and records the span now; idempotent.
+  void end();
+
+ private:
+  SpanCollector* collector_;
+  const char* name_ = nullptr;
+  double start_us_ = 0.0;
+  std::int64_t id_ = 0;
+  std::int64_t parent_ = -1;
+  int depth_ = 0;
+  JsonObjectEntries args_;
+};
+
+/// Scope guard pairing install()/uninstall() for tool main()s.
+class SpanSession {
+ public:
+  explicit SpanSession(SpanCollector& collector) : collector_(collector) {
+    collector_.install();
+  }
+  ~SpanSession() { collector_.uninstall(); }
+  SpanSession(const SpanSession&) = delete;
+  SpanSession& operator=(const SpanSession&) = delete;
+
+ private:
+  SpanCollector& collector_;
+};
+
+}  // namespace perfbg::obs

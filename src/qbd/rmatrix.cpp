@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "linalg/lu.hpp"
+#include "obs/span.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
 
@@ -137,6 +138,7 @@ Matrix logarithmic_reduction_g(const DiscreteBlocks& d, const RSolverOptions& op
   int it = 0;
   double last_increment = -1.0;
   for (; it < opts.max_iters; ++it) {
+    obs::ScopedSpan span("qbd.rsolve.iteration");
     const Matrix u = b0 * b2 + b2 * b0;
     const linalg::LuDecomposition lu(identity - u);
     const Matrix b0_next = lu.solve(b0 * b0);
@@ -151,6 +153,8 @@ Matrix logarithmic_reduction_g(const DiscreteBlocks& d, const RSolverOptions& op
       throw_breakdown("logarithmic reduction", it + 1, n);
     last_increment = increment_norm;
     trace.record(it + 1, increment_norm, [&] { return discrete_g_residual(d, g); });
+    span.attr("iteration", obs::JsonValue(it + 1))
+        .attr("increment_norm", obs::JsonValue(increment_norm));
     if (increment_norm < opts.tolerance && t.inf_norm() < std::sqrt(opts.tolerance)) break;
   }
   if (it >= opts.max_iters)
@@ -170,6 +174,7 @@ Matrix functional_iteration_g(const DiscreteBlocks& d, const RSolverOptions& opt
   int it = 0;
   double last_delta = -1.0;
   for (; it < opts.max_iters; ++it) {
+    obs::ScopedSpan span("qbd.rsolve.iteration");
     const Matrix next =
         linalg::LuDecomposition(identity - d.a1_hat - d.a0_hat * g).solve(d.a2_hat);
     const double delta = next.max_abs_diff(g);
@@ -178,6 +183,8 @@ Matrix functional_iteration_g(const DiscreteBlocks& d, const RSolverOptions& opt
       throw_breakdown("functional iteration for G", it + 1, n);
     last_delta = delta;
     trace.record(it + 1, delta, [&] { return discrete_g_residual(d, g); });
+    span.attr("iteration", obs::JsonValue(it + 1))
+        .attr("increment_norm", obs::JsonValue(delta));
     if (delta < opts.tolerance) break;
   }
   if (it >= opts.max_iters)
@@ -197,6 +204,7 @@ Matrix functional_iteration_r(const Matrix& a0, const Matrix& a1, const Matrix& 
   int it = 0;
   double last_delta = -1.0;
   for (; it < opts.max_iters; ++it) {
+    obs::ScopedSpan span("qbd.rsolve.iteration");
     Matrix rhs = a0 + (r * r) * a2;
     rhs *= -1.0;
     // Solve X A1 = rhs row by row (A1 acts from the right).
@@ -213,6 +221,8 @@ Matrix functional_iteration_r(const Matrix& a0, const Matrix& a1, const Matrix& 
       throw_breakdown("functional iteration for R", it + 1, n);
     last_delta = delta;
     trace.record(it + 1, delta, [&] { return r_equation_residual(r, a0, a1, a2); });
+    span.attr("iteration", obs::JsonValue(it + 1))
+        .attr("increment_norm", obs::JsonValue(delta));
     if (delta < opts.tolerance) break;
   }
   if (it >= opts.max_iters)
@@ -256,6 +266,10 @@ Matrix run_ladder(const std::vector<RungSpec>& rungs, const RSolverOptions& opts
                                  ": injected fault (test hook, rung skipped)");
       continue;
     }
+    obs::ScopedSpan rung_span("qbd.solve.rung");
+    rung_span.attr("rung", obs::JsonValue(rung.name))
+        .attr("rung_index", obs::JsonValue(static_cast<int>(idx)))
+        .attr("matrix_size", obs::JsonValue(static_cast<std::int64_t>(n)));
     try {
       Matrix result = rung.run();
       // Chokepoint finiteness check: also covers the r_from_g closed form
@@ -275,6 +289,8 @@ Matrix run_ladder(const std::vector<RungSpec>& rungs, const RSolverOptions& opts
       }
       return result;
     } catch (const Error& e) {
+      rung_span.attr("failed", obs::JsonValue(true))
+          .attr("error", obs::JsonValue(error_code_name(e.code())));
       outcome.failures.push_back(std::string(rung.name) + ": " + e.what());
       if (!first_error) first_error = e;
       if (e.context().has_iterations()) last_iterations = e.context().iterations;
@@ -359,10 +375,14 @@ double r_equation_residual(const Matrix& r, const Matrix& a0, const Matrix& a1,
 Matrix solve_g(const Matrix& a0, const Matrix& a1, const Matrix& a2,
                const RSolverOptions& opts, RSolverStats* stats) {
   check_shapes(a0, a1, a2);
+  obs::ScopedSpan span("qbd.solve_g");
+  span.attr("matrix_size", obs::JsonValue(static_cast<std::int64_t>(a1.rows())));
   Matrix g = run_ladder(g_ladder(a0, a1, a2, opts, stats), opts, stats, a1.rows());
   if (stats) {
     // Residual of the continuous-time G equation.
     stats->final_residual = (a2 + a1 * g + a0 * (g * g)).inf_norm();
+    span.attr("iterations", obs::JsonValue(stats->iterations))
+        .attr("final_residual", obs::JsonValue(stats->final_residual));
   }
   return g;
 }
@@ -370,6 +390,8 @@ Matrix solve_g(const Matrix& a0, const Matrix& a1, const Matrix& a2,
 Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
                const RSolverOptions& opts, RSolverStats* stats) {
   check_shapes(a0, a1, a2);
+  obs::ScopedSpan span("qbd.solve_r");
+  span.attr("matrix_size", obs::JsonValue(static_cast<std::int64_t>(a0.rows())));
   Matrix r;
   if (opts.kind == RSolverKind::kLogarithmicReduction) {
     // G via the ladder, then R from G in closed form.
@@ -402,7 +424,11 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
          fb.tolerance, relaxed_g_route}};
     r = run_ladder(rungs, opts, stats, a0.rows());
   }
-  if (stats) stats->final_residual = r_equation_residual(r, a0, a1, a2);
+  if (stats) {
+    stats->final_residual = r_equation_residual(r, a0, a1, a2);
+    span.attr("iterations", obs::JsonValue(stats->iterations))
+        .attr("final_residual", obs::JsonValue(stats->final_residual));
+  }
   // R is nonnegative in exact arithmetic; clamp roundoff-level negatives so
   // downstream nonnegativity checks (spectral radius, probabilities) hold.
   // The threshold is relative to ||R||_inf so large-rate models do not trip

@@ -4,6 +4,7 @@
 
 #include "linalg/lu.hpp"
 #include "linalg/spectral.hpp"
+#include "obs/span.hpp"
 #include "qbd/preflight.hpp"
 #include "util/check.hpp"
 
@@ -11,11 +12,16 @@ namespace perfbg::qbd {
 
 QbdSolution::QbdSolution(const QbdProcess& process, const RSolverOptions& opts,
                          obs::MetricsRegistry* metrics) {
+  obs::ScopedSpan solve_span("qbd.solve");
+  solve_span.attr("level_size", obs::JsonValue(static_cast<std::int64_t>(process.level_size())))
+      .attr("boundary_size", obs::JsonValue(static_cast<std::int64_t>(process.boundary_size())));
   {
     // Diagnose malformed or unstable input in microseconds (typed
     // kInvalidModel / kUnstableQbd) before any iteration is spent.
     obs::ScopedTimer t(metrics, "qbd.preflight");
+    obs::ScopedSpan span("qbd.preflight");
     const PreflightReport pf = preflight(process);
+    span.attr("drift_ratio", obs::JsonValue(pf.drift_ratio));
     if (metrics) metrics->set("qbd.preflight.drift_ratio", pf.drift_ratio);
   }
 
@@ -42,6 +48,7 @@ QbdSolution::QbdSolution(const QbdProcess& process, const RSolverOptions& opts,
     metrics->set("qbd.r.spectral_radius", sp_r_);
   }
   obs::ScopedTimer boundary_timer(metrics, "qbd.solve.boundary");
+  obs::ScopedSpan boundary_span("qbd.solve.boundary");
 
   const std::size_t nb = process.boundary_size();
   const std::size_t nr = process.level_size();
@@ -55,6 +62,7 @@ QbdSolution::QbdSolution(const QbdProcess& process, const RSolverOptions& opts,
   // assembled as x M = 0 with the normalization x . w = 1,
   // w = [1_b ; (I-R)^{-1} 1_r] replacing the last column.
   const std::size_t n = nb + nr;
+  boundary_span.attr("matrix_size", obs::JsonValue(static_cast<std::int64_t>(n)));
   Matrix m(n, n, 0.0);
   for (std::size_t i = 0; i < nb; ++i) {
     for (std::size_t j = 0; j < nb; ++j) m(i, j) = process.b00(i, j);
@@ -84,8 +92,10 @@ QbdSolution::QbdSolution(const QbdProcess& process, const RSolverOptions& opts,
   for (double v : pi_first_)
     PERFBG_ASSERT(v > -1e-9, "negative repeating-level probability");
   boundary_timer.stop();
+  boundary_span.end();
 
   obs::ScopedTimer tail_timer(metrics, "qbd.solve.tail");
+  obs::ScopedSpan tail_span("qbd.solve.tail");
   rep_sum_ = linalg::vec_mat(pi_first_, s1);
   // sum_k k R^k = R (I-R)^{-2}.
   const Matrix s2 = r_ * (s1 * s1);

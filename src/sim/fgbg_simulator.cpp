@@ -1,8 +1,10 @@
 #include "sim/fgbg_simulator.hpp"
 
 #include <deque>
+#include <optional>
 #include <random>
 
+#include "obs/span.hpp"
 #include "traffic/sampler.hpp"
 #include "util/check.hpp"
 
@@ -59,6 +61,9 @@ SimMetrics simulate_fgbg(const core::FgBgParams& params, const SimConfig& config
   PERFBG_REQUIRE(config.batch_time > 0.0 && config.warmup_time >= 0.0,
                  "times must be positive");
   obs::ScopedTimer run_timer(config.metrics, "sim.run");
+  obs::ScopedSpan run_span("sim.run");
+  run_span.attr("batches", obs::JsonValue(config.batches))
+      .attr("batch_time", obs::JsonValue(config.batch_time));
 
   const double alpha = params.idle_wait_rate();
   const double p = params.bg_probability;
@@ -132,6 +137,12 @@ SimMetrics simulate_fgbg(const core::FgBgParams& params, const SimConfig& config
   BatchAccum acc;
   std::vector<BatchAccum> finished;
   finished.reserve(static_cast<std::size_t>(config.batches));
+  // Phase span: "sim.warmup" then one "sim.batch" per measurement batch.
+  // ScopedSpan is non-movable, so the open/close cycle at batch boundaries
+  // goes through optional::emplace (which ends the previous span first).
+  std::optional<obs::ScopedSpan> phase_span;
+  phase_span.emplace(in_warmup ? "sim.warmup" : "sim.batch");
+  if (!in_warmup) phase_span->attr("batch", obs::JsonValue(std::int64_t{1}));
   ReservoirQuantiles response_quantiles(100000, config.seed ^ 0xA5A5A5A5ULL);
 
   auto integrate = [&](double upto) {
@@ -185,6 +196,9 @@ SimMetrics simulate_fgbg(const core::FgBgParams& params, const SimConfig& config
       acc = BatchAccum{};
       batch_end += config.batch_time;
       if (now >= t_end) break;
+      phase_span.emplace("sim.batch");
+      phase_span->attr(
+          "batch", obs::JsonValue(static_cast<std::int64_t>(finished.size() + 1)));
     }
     if (now >= t_end) break;
 
@@ -239,6 +253,8 @@ SimMetrics simulate_fgbg(const core::FgBgParams& params, const SimConfig& config
       }
     }
   }
+
+  phase_span.reset();  // close the last batch span before the reduction
 
   // ---- reduce batches ----
   BatchMeans qlen_fg, qlen_bg, completion, delayed, response, busy, bg_busy, idle, thr;

@@ -1,0 +1,216 @@
+// Tests for cross-run regression diffing: diff_reports semantics on both
+// supported schemas, the schema-mismatch hard failure, and — when the
+// perfbg_report_diff binary path is compiled in — end-to-end exit codes,
+// including the mandated non-zero exit on an injected synthetic regression.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#ifdef PERFBG_DIFF_BINARY
+#include <sys/wait.h>
+#endif
+
+#include "obs/diff.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using namespace perfbg;
+using obs::JsonValue;
+
+/// A minimal two-point baseline document with the given wall times.
+JsonValue baseline_doc(double wall_a, double wall_b) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue(obs::kBenchBaselineSchema));
+  JsonValue points = JsonValue::array();
+  auto point = [](const char* workload, double p, int x, double wall) {
+    JsonValue v = JsonValue::object();
+    v.set("workload", JsonValue(workload));
+    v.set("bg_probability", JsonValue(p));
+    v.set("bg_buffer", JsonValue(x));
+    v.set("utilization", JsonValue(0.15));
+    v.set("wall_ms", JsonValue(wall));
+    v.set("iterations", JsonValue(7));
+    return v;
+  };
+  points.push_back(point("email", 0.1, 5, wall_a));
+  points.push_back(point("email", 0.9, 20, wall_b));
+  doc.set("points", std::move(points));
+  return doc;
+}
+
+TEST(DiffReports, IdenticalBaselinesHaveNoRegressions) {
+  const JsonValue doc = baseline_doc(2.0, 40.0);
+  const obs::DiffResult result = obs::diff_reports(doc, doc);
+  EXPECT_EQ(result.schema, obs::kBenchBaselineSchema);
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_FALSE(result.has_regressions());
+  for (const obs::DiffEntry& e : result.entries) {
+    EXPECT_DOUBLE_EQ(e.rel_change, 0.0);
+    EXPECT_FALSE(e.regression);
+  }
+}
+
+TEST(DiffReports, FlagsRegressionPastThreshold) {
+  const JsonValue old_doc = baseline_doc(2.0, 40.0);
+  const JsonValue new_doc = baseline_doc(2.0, 56.0);  // +40% on the second point
+  const obs::DiffResult result = obs::diff_reports(old_doc, new_doc);
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_EQ(result.regressions(), 1u);
+  const obs::DiffEntry* slow = nullptr;
+  for (const obs::DiffEntry& e : result.entries)
+    if (e.regression) slow = &e;
+  ASSERT_NE(slow, nullptr);
+  EXPECT_NE(slow->key.find("X=20"), std::string::npos);
+  EXPECT_NEAR(slow->rel_change, 0.4, 1e-12);
+
+  // The same delta passes a looser threshold.
+  obs::DiffOptions loose;
+  loose.threshold = 0.5;
+  EXPECT_FALSE(obs::diff_reports(old_doc, new_doc, loose).has_regressions());
+
+  // Improvements are never regressions.
+  EXPECT_FALSE(obs::diff_reports(new_doc, old_doc).has_regressions());
+}
+
+TEST(DiffReports, MinAbsoluteDeltaSuppressesNoise) {
+  // +50% relative, but only 0.05 ms absolute: below the 0.1 ms floor.
+  const JsonValue old_doc = baseline_doc(0.1, 40.0);
+  const JsonValue new_doc = baseline_doc(0.15, 40.0);
+  EXPECT_FALSE(obs::diff_reports(old_doc, new_doc).has_regressions());
+
+  obs::DiffOptions strict;
+  strict.min_abs_delta_ms = 0.01;
+  EXPECT_TRUE(obs::diff_reports(old_doc, new_doc, strict).has_regressions());
+}
+
+TEST(DiffReports, OneSidedPointsAreReportedNotFlagged) {
+  const JsonValue old_doc = baseline_doc(2.0, 40.0);
+  // New document: the first point matches, the X=20 point failed (an "error"
+  // field instead of wall_ms, as bench_suite emits), and one point is new.
+  JsonValue new_doc = JsonValue::object();
+  new_doc.set("schema", JsonValue(obs::kBenchBaselineSchema));
+  JsonValue points = JsonValue::array();
+  JsonValue same = JsonValue::object();
+  same.set("workload", JsonValue("email"));
+  same.set("bg_probability", JsonValue(0.1));
+  same.set("bg_buffer", JsonValue(5));
+  same.set("utilization", JsonValue(0.15));
+  same.set("wall_ms", JsonValue(2.0));
+  points.push_back(std::move(same));
+  JsonValue failed = JsonValue::object();
+  failed.set("workload", JsonValue("email"));
+  failed.set("bg_probability", JsonValue(0.9));
+  failed.set("bg_buffer", JsonValue(20));
+  failed.set("utilization", JsonValue(0.15));
+  failed.set("error", JsonValue("kUnstableQbd"));
+  points.push_back(std::move(failed));
+  JsonValue fresh = JsonValue::object();
+  fresh.set("workload", JsonValue("email_ipp"));
+  fresh.set("bg_probability", JsonValue(0.5));
+  fresh.set("bg_buffer", JsonValue(5));
+  fresh.set("utilization", JsonValue(0.15));
+  fresh.set("wall_ms", JsonValue(1.0));
+  points.push_back(std::move(fresh));
+  new_doc.set("points", std::move(points));
+
+  const obs::DiffResult result = obs::diff_reports(old_doc, new_doc);
+  EXPECT_EQ(result.entries.size(), 1u);  // only the common point compares
+  ASSERT_EQ(result.only_in_old.size(), 1u);
+  EXPECT_NE(result.only_in_old[0].find("X=20"), std::string::npos);
+  ASSERT_EQ(result.only_in_new.size(), 1u);
+  EXPECT_NE(result.only_in_new[0].find("email_ipp"), std::string::npos);
+  EXPECT_FALSE(result.has_regressions());
+}
+
+TEST(DiffReports, RunReportTimersDiffByTotalMs) {
+  obs::RunReport old_report("unit"), new_report("unit");
+  old_report.metrics().record_time("qbd.solve.r", 10.0);
+  old_report.metrics().record_time("qbd.solve.boundary", 5.0);
+  new_report.metrics().record_time("qbd.solve.r", 20.0);  // 2x slower
+  new_report.metrics().record_time("qbd.solve.boundary", 5.0);
+
+  const obs::DiffResult result =
+      obs::diff_reports(old_report.to_json(), new_report.to_json());
+  EXPECT_EQ(result.schema, obs::kRunReportSchema);
+  EXPECT_EQ(result.regressions(), 1u);
+  const std::string table = obs::format_diff(result, {});
+  EXPECT_NE(table.find("qbd.solve.r"), std::string::npos);
+  EXPECT_NE(table.find("REGRESSION"), std::string::npos);
+}
+
+TEST(DiffReports, SchemaMismatchThrows) {
+  const JsonValue baseline = baseline_doc(1.0, 1.0);
+  JsonValue other = JsonValue::object();
+  other.set("schema", JsonValue("perfbg.other.v1"));
+  EXPECT_THROW(obs::diff_reports(baseline, other), obs::SchemaMismatchError);
+  EXPECT_THROW(obs::diff_reports(other, other), obs::SchemaMismatchError);
+  EXPECT_THROW(obs::diff_reports(JsonValue::object(), baseline),
+               obs::SchemaMismatchError);
+  JsonValue no_points = JsonValue::object();
+  no_points.set("schema", JsonValue(obs::kBenchBaselineSchema));
+  EXPECT_THROW(obs::diff_reports(no_points, baseline), obs::SchemaMismatchError);
+}
+
+TEST(DiffReports, FormatDiffListsEveryEntry) {
+  const obs::DiffResult result =
+      obs::diff_reports(baseline_doc(2.0, 40.0), baseline_doc(2.0, 60.0));
+  const std::string table = obs::format_diff(result, {});
+  EXPECT_NE(table.find("old_ms"), std::string::npos);
+  EXPECT_NE(table.find("<-- REGRESSION"), std::string::npos);
+  EXPECT_NE(table.find("1 regression(s) across 2 compared entries"),
+            std::string::npos);
+}
+
+#ifdef PERFBG_DIFF_BINARY
+
+std::string write_temp(const std::string& name, const JsonValue& doc) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream out(path);
+  doc.dump(out, 1);
+  return path;
+}
+
+int run_diff(const std::string& args) {
+  const std::string cmd =
+      std::string(PERFBG_DIFF_BINARY) + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(ReportDiffBinary, ExitCodesEndToEnd) {
+  const std::string old_path = write_temp("diff_old.json", baseline_doc(2.0, 40.0));
+  const std::string same_path = write_temp("diff_same.json", baseline_doc(2.0, 40.0));
+  // Injected synthetic regression: the X=20 point slows down by 50%.
+  const std::string slow_path = write_temp("diff_slow.json", baseline_doc(2.0, 60.0));
+  JsonValue alien = JsonValue::object();
+  alien.set("schema", JsonValue("perfbg.other.v1"));
+  const std::string alien_path = write_temp("diff_alien.json", alien);
+
+  EXPECT_EQ(run_diff(old_path + " " + same_path), 0);
+  // The acceptance-criteria invocation: regression past --threshold 0.25
+  // must exit non-zero.
+  EXPECT_EQ(run_diff(old_path + " " + slow_path + " --threshold 0.25"), 1);
+  // A looser gate lets the same pair pass.
+  EXPECT_EQ(run_diff(old_path + " " + slow_path + " --threshold 0.6"), 0);
+  // Schema mismatch is a hard failure, distinct from a regression.
+  EXPECT_EQ(run_diff(old_path + " " + alien_path), 3);
+  // Usage errors: missing file operand, unknown option, unreadable file.
+  EXPECT_EQ(run_diff(old_path), 2);
+  EXPECT_EQ(run_diff(old_path + " " + same_path + " --bogus"), 2);
+  EXPECT_EQ(run_diff(old_path + " /nonexistent/missing.json"), 2);
+  EXPECT_EQ(run_diff("--help"), 0);
+
+  std::remove(old_path.c_str());
+  std::remove(same_path.c_str());
+  std::remove(slow_path.c_str());
+  std::remove(alien_path.c_str());
+}
+
+#endif  // PERFBG_DIFF_BINARY
+
+}  // namespace

@@ -3,6 +3,7 @@
 // protection), trace sinks, and the R-solver convergence trace.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -103,6 +104,73 @@ TEST(MetricsRegistry, TimerAccumulates) {
   EXPECT_EQ(t.count, 2u);
   EXPECT_DOUBLE_EQ(t.total_ms, 7.0);
   EXPECT_DOUBLE_EQ(t.max_ms, 5.0);
+  EXPECT_DOUBLE_EQ(t.min_ms, 2.0);
+}
+
+TEST(MetricsRegistry, TimerTracksMinimum) {
+  obs::MetricsRegistry m;
+  // An absent timer reads back with the +inf init so any sample lowers it.
+  EXPECT_TRUE(std::isinf(m.timer("t").min_ms));
+  m.record_time("t", 5.0);
+  EXPECT_DOUBLE_EQ(m.timer("t").min_ms, 5.0);
+  m.record_time("t", 2.0);
+  m.record_time("t", 3.0);
+  EXPECT_DOUBLE_EQ(m.timer("t").min_ms, 2.0);
+  EXPECT_DOUBLE_EQ(m.timer("t").max_ms, 5.0);
+
+  // JSON exposure: min_ms sits alongside the other timer fields (and an
+  // inf would not be valid JSON, which is why empty timers dump min_ms 0).
+  const JsonValue j = m.to_json();
+  EXPECT_DOUBLE_EQ(j.at("timers").at("t").at("min_ms").as_double(), 2.0);
+  EXPECT_LT(j.dump().find("\"min_ms\""), j.dump().find("\"max_ms\""));
+}
+
+TEST(MetricsRegistry, HistogramQuantileInterpolates) {
+  obs::MetricsRegistry m;
+  m.define_histogram("lat", {1.0, 10.0, 100.0});
+  // Bucket occupancy: [<=1]: 2, (1,10]: 2, (10,100]: 0, overflow: 2.
+  for (double v : {0.5, 1.0, 3.0, 7.0, 500.0, 1000.0}) m.observe("lat", v);
+  const obs::HistogramStat h = m.histogram("lat");
+
+  // Extremes clamp to the observed range, not the bucket edges.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+  // q = 0.5 -> target rank 3 of 6, reached mid-way through the second
+  // bucket (1, 10]: 1 + 0.5 * 9 = 5.5.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.5);
+  // First bucket's lower edge is the observed min: rank 1 of 6 lands at
+  // 0.5 + 0.5 * (1 - 0.5).
+  EXPECT_DOUBLE_EQ(h.quantile(1.0 / 6.0), 0.75);
+  // Overflow bucket: upper edge is the observed max, so high quantiles
+  // interpolate in (100, 1000] instead of diverging.
+  const double p99 = h.quantile(0.99);
+  EXPECT_GT(p99, 100.0);
+  EXPECT_LE(p99, 1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(5.0 / 6.0), 100.0 + (1.0 / 2.0) * 900.0);
+
+  // Monotone in q.
+  double prev = h.quantile(0.0);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.999}) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+
+  EXPECT_THROW(h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.1), std::invalid_argument);
+  EXPECT_THROW(obs::HistogramStat{}.quantile(0.5), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, HistogramQuantileSingleBucket) {
+  obs::MetricsRegistry m;
+  m.define_histogram("one", {10.0});
+  m.observe("one", 4.0);
+  m.observe("one", 4.0);
+  const obs::HistogramStat h = m.histogram("one");
+  // Degenerate bucket (min == max after clamping): every quantile is 4.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
 }
 
 TEST(MetricsRegistry, ScopedTimerRecordsAndNullIsNoop) {

@@ -133,6 +133,22 @@ TEST(RunReportSchema, RequiredKeysPresentAfterFileRoundTrip) {
   }
 }
 
+TEST(RunReportSchema, TracesKeyAlwaysPresent) {
+  // "traces" is part of the schema even when nothing was traced: an empty
+  // object, not an absent key, so harvesters can index it unconditionally.
+  obs::RunReport report("test_report_schema");
+  const JsonValue empty = obs::parse_json(report.to_json().dump());
+  ASSERT_TRUE(empty.contains("traces"));
+  ASSERT_TRUE(empty.at("traces").is_object());
+  EXPECT_EQ(empty.at("traces").as_object().size(), 0u);
+
+  // An empty-but-created trace buffer still materializes its key.
+  report.trace("never.recorded");
+  const JsonValue doc = obs::parse_json(report.to_json().dump());
+  ASSERT_TRUE(doc.at("traces").contains("never.recorded"));
+  EXPECT_EQ(doc.at("traces").at("never.recorded").as_array().size(), 0u);
+}
+
 TEST(RunReportSchema, ErrorRecordsRoundTripThroughTheErrorsArray) {
   obs::RunReport report("test_report_schema");
   JsonValue record = JsonValue::object();

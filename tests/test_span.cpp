@@ -1,0 +1,280 @@
+// Unit tests for the span-profiling subsystem: ScopedSpan nesting and
+// attributes, the chrome-trace export shape (an array of complete events
+// chrome://tracing can load), profile-tree aggregation, and the no-collector
+// fast path.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+using namespace perfbg;
+using obs::JsonValue;
+
+/// Opens a three-deep span stack: outer -> middle -> inner, plus a second
+/// top-level sibling after the stack unwinds.
+void record_sample_spans() {
+  {
+    obs::ScopedSpan outer("unit.outer");
+    outer.attr("matrix_size", JsonValue(std::int64_t{64}));
+    {
+      obs::ScopedSpan middle("unit.middle");
+      {
+        obs::ScopedSpan inner("unit.inner");
+        inner.attr("iteration", JsonValue(std::int64_t{3}))
+            .attr("residual", JsonValue(1e-9));
+      }
+      obs::ScopedSpan inner2("unit.inner");  // second instance, same name
+    }
+  }
+  obs::ScopedSpan sibling("unit.sibling");
+}
+
+TEST(ScopedSpan, NoopWithoutCollector) {
+  ASSERT_EQ(obs::SpanCollector::current(), nullptr);
+  obs::ScopedSpan span("unit.orphan");
+  EXPECT_FALSE(span.active());
+  span.attr("ignored", JsonValue(1));  // must not allocate into a collector
+  span.end();
+  // Still no collector to receive anything; nothing to assert beyond "no
+  // crash", which is the contract of the disabled path.
+  EXPECT_EQ(obs::SpanCollector::current(), nullptr);
+}
+
+TEST(ScopedSpan, RecordsNestingAndAttributes) {
+  obs::SpanCollector collector;
+  {
+    obs::SpanSession session(collector);
+    EXPECT_EQ(obs::SpanCollector::current(), &collector);
+    record_sample_spans();
+  }
+  EXPECT_EQ(obs::SpanCollector::current(), nullptr);
+
+  const std::vector<obs::SpanRecord> spans = collector.snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+
+  // Records land in close order: inner, inner2, middle, outer, sibling.
+  auto find = [&](const std::string& name) {
+    std::vector<const obs::SpanRecord*> found;
+    for (const obs::SpanRecord& s : spans)
+      if (s.name == name) found.push_back(&s);
+    return found;
+  };
+  const obs::SpanRecord& outer = *find("unit.outer").at(0);
+  const obs::SpanRecord& middle = *find("unit.middle").at(0);
+  ASSERT_EQ(find("unit.inner").size(), 2u);
+  const obs::SpanRecord& inner = *find("unit.inner").at(0);
+  const obs::SpanRecord& sibling = *find("unit.sibling").at(0);
+
+  EXPECT_EQ(outer.parent, -1);
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(middle.parent, outer.id);
+  EXPECT_EQ(middle.depth, 1);
+  EXPECT_EQ(inner.parent, middle.id);
+  EXPECT_EQ(inner.depth, 2);
+  EXPECT_EQ(sibling.parent, -1);
+
+  // Containment: children start no earlier and end no later than parents.
+  EXPECT_GE(inner.start_us, middle.start_us);
+  EXPECT_LE(inner.start_us + inner.dur_us, middle.start_us + middle.dur_us + 1e-6);
+  EXPECT_GE(middle.start_us, outer.start_us);
+  EXPECT_LE(middle.start_us + middle.dur_us, outer.start_us + outer.dur_us + 1e-6);
+  EXPECT_GE(sibling.start_us, outer.start_us + outer.dur_us - 1e-6);
+
+  // Attributes survive in insertion order.
+  ASSERT_EQ(outer.args.size(), 1u);
+  EXPECT_EQ(outer.args[0].first, "matrix_size");
+  EXPECT_EQ(outer.args[0].second.as_int(), 64);
+  ASSERT_EQ(inner.args.size(), 2u);
+  EXPECT_EQ(inner.args[0].first, "iteration");
+  EXPECT_DOUBLE_EQ(inner.args[1].second.as_double(), 1e-9);
+}
+
+TEST(ScopedSpan, EndIsIdempotentAndInstallIsExclusive) {
+  obs::SpanCollector collector;
+  collector.install();
+  {
+    obs::ScopedSpan span("unit.once");
+    span.end();
+    span.end();  // second end must not double-record
+  }
+  EXPECT_EQ(collector.size(), 1u);
+
+  obs::SpanCollector second;
+  EXPECT_THROW(second.install(), std::invalid_argument);
+  collector.uninstall();
+  second.install();   // slot freed: now installable
+  second.uninstall();
+}
+
+TEST(ChromeTrace, EventShapeIsLoadable) {
+  obs::SpanCollector collector;
+  {
+    obs::SpanSession session(collector);
+    record_sample_spans();
+  }
+
+  // The export must be a JSON *array* of complete events — the exact layout
+  // chrome://tracing and Perfetto accept without a wrapper object.
+  std::ostringstream out;
+  collector.write_chrome_trace(out);
+  const JsonValue doc = obs::parse_json(out.str());
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.as_array().size(), 5u);
+
+  for (const JsonValue& event : doc.as_array()) {
+    ASSERT_TRUE(event.is_object());
+    for (const char* key : {"name", "ph", "ts", "dur", "pid", "tid", "args"})
+      ASSERT_TRUE(event.contains(key)) << "missing chrome event field " << key;
+    EXPECT_EQ(event.at("ph").as_string(), "X");  // complete event
+    EXPECT_GE(event.at("ts").as_double(), 0.0);
+    EXPECT_GE(event.at("dur").as_double(), 0.0);
+    EXPECT_EQ(event.at("pid").as_int(), 1);
+    ASSERT_TRUE(event.at("args").is_object());
+  }
+
+  // Timestamps of nested events are contained in their parents' window.
+  auto window = [&](const std::string& name) {
+    for (const JsonValue& e : doc.as_array())
+      if (e.at("name").as_string() == name)
+        return std::pair<double, double>(
+            e.at("ts").as_double(), e.at("ts").as_double() + e.at("dur").as_double());
+    ADD_FAILURE() << "no event named " << name;
+    return std::pair<double, double>(0.0, 0.0);
+  };
+  const auto [outer_start, outer_end] = window("unit.outer");
+  const auto [middle_start, middle_end] = window("unit.middle");
+  const auto [inner_start, inner_end] = window("unit.inner");
+  EXPECT_GE(middle_start, outer_start);
+  EXPECT_LE(middle_end, outer_end + 1e-6);
+  EXPECT_GE(inner_start, middle_start);
+  EXPECT_LE(inner_end, middle_end + 1e-6);
+
+  // Attributes ride along under "args".
+  bool found_attr = false;
+  for (const JsonValue& e : doc.as_array())
+    if (e.at("name").as_string() == "unit.outer")
+      found_attr = e.at("args").contains("matrix_size");
+  EXPECT_TRUE(found_attr);
+}
+
+TEST(ChromeTrace, FileExportRoundTrips) {
+  obs::SpanCollector collector;
+  {
+    obs::SpanSession session(collector);
+    obs::ScopedSpan span("unit.file");
+  }
+  const std::string path = testing::TempDir() + "perfbg_spans.json";
+  collector.write_chrome_trace(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(path.c_str());
+  const JsonValue doc = obs::parse_json(buffer.str());
+  ASSERT_EQ(doc.as_array().size(), 1u);
+  EXPECT_EQ(doc.as_array()[0].at("name").as_string(), "unit.file");
+
+  EXPECT_THROW(collector.write_chrome_trace("/nonexistent-dir/x.json"),
+               std::runtime_error);
+}
+
+TEST(ProfileTree, AggregatesByNamePath) {
+  obs::SpanCollector collector;
+  {
+    obs::SpanSession session(collector);
+    record_sample_spans();
+    record_sample_spans();  // second pass doubles every count
+  }
+
+  const obs::ProfileNode root = collector.profile_tree();
+  EXPECT_EQ(root.name, "<root>");
+  ASSERT_EQ(root.children.size(), 2u);  // unit.outer and unit.sibling
+
+  const obs::ProfileNode* outer = root.find("unit.outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 2u);
+  const obs::ProfileNode* middle = outer->find("unit.middle");
+  ASSERT_NE(middle, nullptr);
+  EXPECT_EQ(middle->count, 2u);
+  // Both unit.inner instances merged into one node with count 4 (2 per pass).
+  const obs::ProfileNode* inner = middle->find("unit.inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 4u);
+  EXPECT_TRUE(inner->children.empty());
+
+  // self + children == total at every level (within clock noise).
+  double child_total = 0.0;
+  for (const obs::ProfileNode& c : outer->children) child_total += c.total_ms;
+  EXPECT_NEAR(outer->self_ms + child_total, outer->total_ms, 1e-6);
+  EXPECT_GE(outer->self_ms, 0.0);
+
+  // JSON projections.
+  const JsonValue tree = obs::profile_to_json(root);
+  EXPECT_EQ(tree.at("name").as_string(), "<root>");
+  ASSERT_TRUE(tree.at("children").is_array());
+
+  const JsonValue top = obs::top_spans_json(root, 3);
+  ASSERT_TRUE(top.is_array());
+  ASSERT_LE(top.as_array().size(), 3u);
+  for (const JsonValue& row : top.as_array())
+    for (const char* key : {"name", "count", "total_ms", "self_ms"})
+      ASSERT_TRUE(row.contains(key)) << "missing top-span field " << key;
+  // Sorted by self time, descending.
+  for (std::size_t i = 1; i < top.as_array().size(); ++i)
+    EXPECT_GE(top.as_array()[i - 1].at("self_ms").as_double(),
+              top.as_array()[i].at("self_ms").as_double());
+}
+
+TEST(ScopedSpan, ThreadsGetIndependentStacks) {
+  obs::SpanCollector collector;
+  {
+    obs::SpanSession session(collector);
+    obs::ScopedSpan main_span("unit.main");
+    std::thread worker([] {
+      obs::ScopedSpan worker_span("unit.worker");
+      obs::ScopedSpan nested("unit.worker.nested");
+    });
+    worker.join();
+  }
+  const std::vector<obs::SpanRecord> spans = collector.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  const obs::SpanRecord* worker_root = nullptr;
+  const obs::SpanRecord* worker_nested = nullptr;
+  const obs::SpanRecord* main_span = nullptr;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name == "unit.worker") worker_root = &s;
+    if (s.name == "unit.worker.nested") worker_nested = &s;
+    if (s.name == "unit.main") main_span = &s;
+  }
+  ASSERT_NE(worker_root, nullptr);
+  ASSERT_NE(worker_nested, nullptr);
+  ASSERT_NE(main_span, nullptr);
+  // The worker's root span does NOT nest under the main thread's open span —
+  // span stacks are per thread.
+  EXPECT_EQ(worker_root->parent, -1);
+  EXPECT_EQ(worker_nested->parent, worker_root->id);
+  EXPECT_NE(worker_root->tid, main_span->tid);
+}
+
+TEST(SpanCollector, ClearResets) {
+  obs::SpanCollector collector;
+  {
+    obs::SpanSession session(collector);
+    obs::ScopedSpan span("unit.cleared");
+  }
+  EXPECT_EQ(collector.size(), 1u);
+  collector.clear();
+  EXPECT_EQ(collector.size(), 0u);
+  EXPECT_TRUE(collector.profile_tree().children.empty());
+}
+
+}  // namespace
