@@ -2,10 +2,12 @@
 // prints a banner naming the paper artifact it regenerates, then one table
 // per sub-figure, in a diff-friendly format. Deterministic; the only
 // arguments are the shared observability flags (--metrics-json, --trace)
-// handled by BenchRun below.
+// and the sweep-runner flags (--jobs, --point-timeout-ms, --retries,
+// --retry-backoff-ms, --journal, --resume) handled by BenchRun below.
 #pragma once
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -14,6 +16,7 @@
 #include "core/model.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
+#include "runner/sweep_runner.hpp"
 #include "traffic/map_process.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
@@ -30,15 +33,26 @@ namespace perfbg::bench {
 ///   --trace=<path>         all buffered trace events as JSON lines
 ///   --trace-chrome=<path>  hierarchical span profile as Chrome trace JSON
 /// Without flags the bench output is byte-identical to the flag-less days.
+///
+/// BenchRun also owns the binary's sweep-runner configuration: the runner
+/// flags above are parsed here, and print_load_sweep_panel() executes its
+/// grid through a SweepRunner built from runner_options() — so every bench
+/// binary inherits parallelism, per-point deadlines, retries, and
+/// checkpoint/resume without touching its main().
 class BenchRun {
  public:
-  BenchRun(int argc, const char* const* argv, const std::string& bench_id)
+  /// `define_extra`, when given, registers the binary's own flags (bench_suite
+  /// adds --out/--reps/--quick this way); read them back through flags().
+  BenchRun(int argc, const char* const* argv, const std::string& bench_id,
+           const std::function<void(Flags&)>& define_extra = {})
       : report_(bench_id) {
-    Flags flags;
+    Flags& flags = flags_;
+    if (define_extra) define_extra(flags);
     flags.define("metrics-json", "write a structured JSON run report to this path");
     flags.define("trace", "write all trace events as JSON lines to this path");
     flags.define("trace-chrome",
                  "write a Chrome trace-event JSON span profile to this path");
+    runner::define_runner_flags(flags);
     flags.define_switch("help", "print this help");
     try {
       flags.parse(argc, argv);
@@ -60,22 +74,21 @@ class BenchRun {
       span_collector_.emplace();
       span_collector_->install();
     }
+    runner_options_ = runner::runner_options_from_flags(flags);
+    try {
+      journal_ = runner::open_journal_session(flags, bench_id);
+    } catch (const std::exception& e) {
+      // A missing or mismatched journal is a usage error, same as a bad flag.
+      std::cerr << e.what() << "\n";
+      std::exit(2);
+    }
     report_.set_config("bench", obs::JsonValue(bench_id));
     active_ = this;
   }
 
   ~BenchRun() {
+    flush_outputs();
     active_ = nullptr;
-    try {
-      if (span_collector_) {
-        span_collector_->uninstall();
-        span_collector_->write_chrome_trace(chrome_path_);
-      }
-      if (!metrics_json_.empty()) report_.write_json(metrics_json_);
-      if (!trace_path_.empty()) report_.write_trace_jsonl(trace_path_);
-    } catch (const std::exception& e) {
-      std::cerr << e.what() << "\n";
-    }
   }
 
   BenchRun(const BenchRun&) = delete;
@@ -83,6 +96,9 @@ class BenchRun {
 
   obs::RunReport& report() { return report_; }
   obs::MetricsRegistry& metrics() { return report_.metrics(); }
+  /// The parsed flag set (standard + extra); for binaries that registered
+  /// their own flags through `define_extra`.
+  const Flags& flags() const { return flags_; }
 
   /// The registry of the live BenchRun (nullptr outside one); solve_point()
   /// uses it so the existing table helpers need no extra parameter.
@@ -96,13 +112,62 @@ class BenchRun {
     return active_ ? &active_->report_ : nullptr;
   }
 
+  /// Sweep-runner configuration of the live BenchRun, with the journal
+  /// writer, resume index, and metrics registry wired in. Outside a BenchRun
+  /// (unit tests using the helpers directly) this is the sequential default.
+  static runner::RunnerOptions active_runner_options() {
+    if (!active_) return {};
+    runner::RunnerOptions options = active_->runner_options_;
+    options.journal = active_->journal_.writer.get();
+    options.resume = active_->journal_.resume.get();
+    options.metrics = &active_->report_.metrics();
+    return options;
+  }
+
+  /// Path of the active checkpoint journal ("" when none): sweeps print it
+  /// in their "resume with --resume=..." hint.
+  static std::string active_journal_path() {
+    return active_ && active_->journal_.writer ? active_->journal_.writer->path() : "";
+  }
+
+  /// Graceful-shutdown exit: flushes the run report, trace, and chrome spans
+  /// of the live BenchRun (the journal is already fsync'd per record), then
+  /// exits with the resumable-interrupt status (9, kInterrupted). Sweeps
+  /// call this after draining; std::exit would skip the flush otherwise.
+  [[noreturn]] static void exit_interrupted() {
+    if (active_) {
+      active_->flush_outputs();
+      active_ = nullptr;
+    }
+    std::exit(error_exit_code(ErrorCode::kInterrupted));
+  }
+
  private:
+  void flush_outputs() {
+    if (flushed_) return;
+    flushed_ = true;
+    try {
+      if (span_collector_) {
+        span_collector_->uninstall();
+        span_collector_->write_chrome_trace(chrome_path_);
+      }
+      if (!metrics_json_.empty()) report_.write_json(metrics_json_);
+      if (!trace_path_.empty()) report_.write_trace_jsonl(trace_path_);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+    }
+  }
+
   static inline BenchRun* active_ = nullptr;
+  Flags flags_;
   obs::RunReport report_;
   std::string metrics_json_;
   std::string trace_path_;
   std::string chrome_path_;
   std::optional<obs::SpanCollector> span_collector_;
+  runner::RunnerOptions runner_options_;
+  runner::JournalSession journal_;
+  bool flushed_ = false;
 };
 
 inline void banner(const std::string& experiment_id, const std::string& what) {
@@ -133,6 +198,58 @@ inline const std::vector<double>& low_acf_load_grid() {
   return v;
 }
 
+/// Name -> field table for (de)serializing FgBgMetrics through sweep-point
+/// payloads. Journal replay rebuilds the struct from JSON, and the obs JSON
+/// writer round-trips doubles exactly, so resumed tables stay byte-identical.
+inline const std::vector<std::pair<const char*, double core::FgBgMetrics::*>>&
+fgbg_metric_fields() {
+  static const std::vector<std::pair<const char*, double core::FgBgMetrics::*>> v{
+      {"fg_queue_length", &core::FgBgMetrics::fg_queue_length},
+      {"bg_queue_length", &core::FgBgMetrics::bg_queue_length},
+      {"bg_completion", &core::FgBgMetrics::bg_completion},
+      {"fg_delayed", &core::FgBgMetrics::fg_delayed},
+      {"fg_delayed_arrivals", &core::FgBgMetrics::fg_delayed_arrivals},
+      {"fg_offered_load", &core::FgBgMetrics::fg_offered_load},
+      {"busy_fraction", &core::FgBgMetrics::busy_fraction},
+      {"fg_busy_fraction", &core::FgBgMetrics::fg_busy_fraction},
+      {"bg_busy_fraction", &core::FgBgMetrics::bg_busy_fraction},
+      {"idle_fraction", &core::FgBgMetrics::idle_fraction},
+      {"fg_throughput", &core::FgBgMetrics::fg_throughput},
+      {"fg_response_time", &core::FgBgMetrics::fg_response_time},
+      {"bg_generation_rate", &core::FgBgMetrics::bg_generation_rate},
+      {"bg_accept_rate", &core::FgBgMetrics::bg_accept_rate},
+      {"bg_drop_rate", &core::FgBgMetrics::bg_drop_rate},
+      {"bg_throughput", &core::FgBgMetrics::bg_throughput},
+      {"bg_response_time", &core::FgBgMetrics::bg_response_time},
+      {"probability_mass", &core::FgBgMetrics::probability_mass},
+  };
+  return v;
+}
+
+inline obs::JsonValue fgbg_metrics_to_json(const core::FgBgMetrics& m) {
+  obs::JsonValue v = obs::JsonValue::object();
+  for (const auto& [name, field] : fgbg_metric_fields())
+    v.set(name, obs::JsonValue(m.*field));
+  return v;
+}
+
+inline core::FgBgMetrics fgbg_metrics_from_json(const obs::JsonValue& v) {
+  core::FgBgMetrics m;
+  for (const auto& [name, field] : fgbg_metric_fields())
+    if (const obs::JsonValue* entry = v.find(name)) m.*field = entry->as_double();
+  return m;
+}
+
+/// Solver options for one runner attempt: the attempt's cancellation token
+/// (so --point-timeout-ms reaches the qbd iteration loops) and, on retries,
+/// the fallback-ladder rung after the ones the previous attempt burned.
+inline qbd::RSolverOptions point_solver_options(const runner::PointContext& ctx) {
+  qbd::RSolverOptions opts;
+  opts.cancel = &ctx.token();
+  opts.start_rung = ctx.attempt() - 1;
+  return opts;
+}
+
 /// One classified point failure from a sweep.
 struct PointError {
   std::string code;     ///< ErrorCode name, e.g. "kUnstableQbd"
@@ -147,14 +264,43 @@ struct PointResult {
   bool ok() const { return metrics.has_value(); }
 };
 
+/// Records one failed sweep point in the active run report's "errors" array
+/// with its full parameter tuple — (workload, utilization, p, X, idle-wait)
+/// plus the drift estimate when the error carried one and the attempt count —
+/// so a failure can be localized (and resumed around) straight from the
+/// report. No-op outside a BenchRun.
+inline void record_point_error(const PointError& err, const std::string& workload,
+                               double utilization, double p,
+                               double idle_wait_intensity, int bg_buffer,
+                               int attempts = 1) {
+  obs::RunReport* report = BenchRun::active_report();
+  if (!report) return;
+  report->metrics().add("bench.solve_errors");
+  obs::JsonValue record = obs::JsonValue::object();
+  record.set("code", obs::JsonValue(err.code));
+  record.set("message", obs::JsonValue(err.message));
+  record.set("workload", obs::JsonValue(workload));
+  record.set("utilization", obs::JsonValue(utilization));
+  record.set("bg_probability", obs::JsonValue(p));
+  record.set("idle_wait_intensity", obs::JsonValue(idle_wait_intensity));
+  record.set("bg_buffer", obs::JsonValue(bg_buffer));
+  record.set("attempts", obs::JsonValue(attempts));
+  if (err.drift_ratio >= 0.0)
+    record.set("drift_ratio", obs::JsonValue(err.drift_ratio));
+  report->add_error(std::move(record));
+}
+
 /// Solves the model at one (process, utilization, p, idle-wait) point.
 /// Inside a BenchRun, phase timings and solver counters accumulate into the
-/// run's registry across every point of the sweep.
+/// run's registry across every point of the sweep. `solver_opts`, when given,
+/// carries the sweep runner's cancellation token and retry rung
+/// (point_solver_options()).
 /// Throws perfbg::Error on failure; sweeps that must survive bad points use
 /// try_solve_point() below.
 inline core::FgBgMetrics solve_point(const traffic::MarkovianArrivalProcess& process,
                                      double utilization, double p,
-                                     double idle_wait_intensity = 1.0, int bg_buffer = 5) {
+                                     double idle_wait_intensity = 1.0, int bg_buffer = 5,
+                                     const qbd::RSolverOptions* solver_opts = nullptr) {
   core::FgBgParams params{
       process.scaled_to_utilization(utilization, workloads::kMeanServiceTimeMs)};
   params.mean_service_time = workloads::kMeanServiceTimeMs;
@@ -163,43 +309,44 @@ inline core::FgBgMetrics solve_point(const traffic::MarkovianArrivalProcess& pro
   params.idle_wait_intensity = idle_wait_intensity;
   obs::MetricsRegistry* metrics = BenchRun::active_metrics();
   if (metrics) metrics->add("bench.solve_points");
-  return core::FgBgModel(params, metrics).solve().metrics();
+  const qbd::RSolverOptions opts = solver_opts ? *solver_opts : qbd::RSolverOptions{};
+  return core::FgBgModel(params, metrics).solve(opts).metrics();
 }
 
 /// Graceful-degradation wrapper around solve_point(): a typed pipeline error
 /// (unstable point, non-convergence, ...) is captured as a PointError — and,
-/// inside a BenchRun, recorded in the run report's "errors" array and counted
-/// as bench.solve_errors — instead of aborting the whole sweep.
+/// inside a BenchRun, recorded in the run report's "errors" array (with the
+/// full parameter tuple) and counted as bench.solve_errors — instead of
+/// aborting the whole sweep. `ctx`, when given, wires the sweep runner's
+/// cancellation token and attempt number through to the solver.
 inline PointResult try_solve_point(const traffic::MarkovianArrivalProcess& process,
                                    double utilization, double p,
-                                   double idle_wait_intensity = 1.0, int bg_buffer = 5) {
+                                   double idle_wait_intensity = 1.0, int bg_buffer = 5,
+                                   const runner::PointContext* ctx = nullptr) {
   try {
-    return {solve_point(process, utilization, p, idle_wait_intensity, bg_buffer), {}};
+    qbd::RSolverOptions opts;
+    if (ctx) opts = point_solver_options(*ctx);
+    return {solve_point(process, utilization, p, idle_wait_intensity, bg_buffer,
+                        ctx ? &opts : nullptr),
+            {}};
   } catch (const Error& e) {
     PointError err{error_code_name(e.code()), e.what(),
                    e.context().has_drift_ratio() ? e.context().drift_ratio : -1.0};
-    if (obs::RunReport* report = BenchRun::active_report()) {
-      report->metrics().add("bench.solve_errors");
-      obs::JsonValue record = obs::JsonValue::object();
-      record.set("code", obs::JsonValue(err.code));
-      record.set("message", obs::JsonValue(err.message));
-      record.set("workload", obs::JsonValue(process.name()));
-      record.set("utilization", obs::JsonValue(utilization));
-      record.set("bg_probability", obs::JsonValue(p));
-      record.set("idle_wait_intensity", obs::JsonValue(idle_wait_intensity));
-      record.set("bg_buffer", obs::JsonValue(bg_buffer));
-      if (err.drift_ratio >= 0.0)
-        record.set("drift_ratio", obs::JsonValue(err.drift_ratio));
-      report->add_error(std::move(record));
-    }
+    record_point_error(err, process.name(), utilization, p, idle_wait_intensity,
+                       bg_buffer, ctx ? ctx->attempt() : 1);
     return {std::nullopt, std::move(err)};
   }
 }
 
 /// Emits one "figure panel": the chosen metric as a function of load, one
-/// column per p value. A point that fails with a typed error renders as its
-/// error code (e.g. "kUnstableQbd") and the sweep continues; the failure is
-/// recorded in the run report when one is active.
+/// column per p value. The grid executes on a SweepRunner configured from
+/// the BenchRun's --jobs / --point-timeout-ms / --retries / --journal /
+/// --resume flags; results are assembled in submission order, so the table
+/// is byte-identical at any parallelism. A point that fails with a typed
+/// error renders as its error code (e.g. "kUnstableQbd") and the sweep
+/// continues; the failure is recorded in the run report when one is active.
+/// An interrupted (SIGINT/SIGTERM) sweep prints the completed table, names
+/// the journal to resume from, and exits with the resumable status (9).
 inline void print_load_sweep_panel(const std::string& title,
                                    const traffic::MarkovianArrivalProcess& process,
                                    const std::vector<double>& loads,
@@ -208,21 +355,56 @@ inline void print_load_sweep_panel(const std::string& title,
   subhead(title);
   std::vector<std::string> headers{"fg_load"};
   for (double p : ps) headers.push_back("p=" + format_number(p, 2));
-  Table t(std::move(headers));
+
+  runner::SweepRunner sweep(BenchRun::active_runner_options());
   for (double u : loads) {
-    std::vector<TableCell> row;
-    row.reserve(ps.size() + 1);
-    row.emplace_back(std::in_place_type<double>, u);
     for (double p : ps) {
-      const PointResult point = try_solve_point(process, u, p);
-      if (point.ok())
-        row.emplace_back(std::in_place_type<double>, (*point.metrics).*field);
-      else
-        row.emplace_back(std::in_place_type<std::string>, point.error->code);
+      // Stable journal identity: panel title + workload + exact coordinates.
+      const std::string key = title + "|" + process.name() + "|u=" +
+                              format_number(u, 6) + "|p=" + format_number(p, 6);
+      sweep.add(key, [&process, u, p](runner::PointContext& ctx) {
+        const qbd::RSolverOptions opts = point_solver_options(ctx);
+        return fgbg_metrics_to_json(solve_point(process, u, p, 1.0, 5, &opts));
+      });
     }
-    t.add_row(std::move(row));
+  }
+  const runner::SweepResult result = sweep.run();
+
+  Table t(std::move(headers));
+  for (std::size_t row = 0; row < loads.size(); ++row) {
+    std::vector<TableCell> cells;
+    cells.reserve(ps.size() + 1);
+    cells.emplace_back(std::in_place_type<double>, loads[row]);
+    for (std::size_t col = 0; col < ps.size(); ++col) {
+      const runner::PointOutcome& out = result.outcomes[row * ps.size() + col];
+      if (out.ok()) {
+        const core::FgBgMetrics m = fgbg_metrics_from_json(out.payload);
+        cells.emplace_back(std::in_place_type<double>, m.*field);
+      } else {
+        cells.emplace_back(std::in_place_type<std::string>, out.error_code);
+        // Interrupt placeholders (points the drain never started) are not
+        // solver failures; they re-run on resume and don't belong in "errors".
+        if (out.error_code != "kInterrupted")
+          record_point_error({out.error_code, out.error_message, -1.0},
+                             process.name(), loads[row], ps[col], 1.0, 5,
+                             out.attempts > 0 ? out.attempts : 1);
+      }
+    }
+    t.add_row(std::move(cells));
   }
   t.print(std::cout);
+
+  if (result.interrupted) {
+    std::cout << "\nsweep interrupted: " << result.completed << "/"
+              << result.outcomes.size() << " points completed";
+    const std::string journal = BenchRun::active_journal_path();
+    if (!journal.empty())
+      std::cout << "; resume with --resume=" << journal;
+    else
+      std::cout << " (re-run with --journal=<path> to make sweeps resumable)";
+    std::cout << "\n";
+    BenchRun::exit_interrupted();
+  }
 }
 
 }  // namespace perfbg::bench

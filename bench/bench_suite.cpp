@@ -6,12 +6,19 @@
 //
 //   $ ./bench/bench_suite --out=BENCH_solver.json
 //   $ ./bench/bench_suite --quick --out=/tmp/bench.json   # 1 rep, CI-sized
+//   $ ./bench/bench_suite --jobs=4 --journal=/tmp/bench.journal
+//   $ ./bench/bench_suite --resume=/tmp/bench.journal     # after a crash
 //
 // The grid covers the paper's axes: three arrival processes with identical
 // mean rate but very different dependence structure (MMPP High-ACF email, its
 // IPP refit, and the Poisson comparator), spawn probabilities p in {0.1, 0.5,
 // 0.9}, and background buffers X in {5, 20}. Utilization is pinned at 0.15 —
 // within the High-ACF workload's stable region (it saturates above ~0.25).
+//
+// The grid executes through the sweep runner (DESIGN.md §11): --jobs fans
+// points across workers with results emitted in submission order, so the
+// baseline's "points" array is identical at any parallelism (wall_ms aside);
+// --journal/--resume checkpoint the sweep across crashes and interrupts.
 //
 // Timing protocol: each point is solved `reps` times without a span
 // collector installed (so the timed path is the uninstrumented cost) and the
@@ -27,10 +34,12 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/model.hpp"
 #include "obs/diff.hpp"
 #include "obs/json.hpp"
 #include "obs/span.hpp"
+#include "runner/sweep_runner.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
 #include "workloads/presets.hpp"
@@ -43,13 +52,6 @@ struct GridPoint {
   const char* workload;
   double p;
   int bg_buffer;
-};
-
-struct PointOutcome {
-  double wall_ms = -1.0;   ///< min over reps; < 0 when the point failed
-  int iterations = 0;
-  double fg_queue_length = 0.0;
-  std::string error;       ///< ErrorCode name when the solve failed
 };
 
 traffic::MarkovianArrivalProcess pick(const std::string& name) {
@@ -72,31 +74,50 @@ core::FgBgParams point_params(const GridPoint& g) {
   return params;
 }
 
+/// Stable journal identity of a grid point.
+std::string point_key(const GridPoint& g) {
+  return std::string(g.workload) + "|p=" + format_number(g.p, 6) +
+         "|X=" + format_number(static_cast<double>(g.bg_buffer), 0) +
+         "|u=" + format_number(kUtilization, 6);
+}
+
 /// One full model build + solve; returns the solver iteration count and the
 /// headline metric through the out-params.
-void solve_once(const core::FgBgParams& params, int& iterations, double& qlen) {
+void solve_once(const core::FgBgParams& params, const qbd::RSolverOptions& opts,
+                int& iterations, double& qlen) {
   const core::FgBgModel model(params);
-  const core::FgBgSolution solution = model.solve();
+  const core::FgBgSolution solution = model.solve(opts);
   iterations = solution.qbd().solver_stats().iterations;
   qlen = solution.metrics().fg_queue_length;
 }
 
-PointOutcome run_point(const GridPoint& g, int reps) {
-  PointOutcome out;
-  try {
-    const core::FgBgParams params = point_params(g);
-    for (int r = 0; r < reps; ++r) {
-      const auto t0 = std::chrono::steady_clock::now();
-      solve_once(params, out.iterations, out.fg_queue_length);
-      const auto t1 = std::chrono::steady_clock::now();
-      const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-      if (out.wall_ms < 0.0 || ms < out.wall_ms) out.wall_ms = ms;
-    }
-  } catch (const Error& e) {
-    out.error = error_code_name(e.code());
-    out.wall_ms = -1.0;
+/// Runs one grid point under the sweep runner: `reps` timed solves (min
+/// kept), returning the journaled payload. Throws perfbg::Error on solver
+/// failure — the runner classifies, retries, and journals it. `sleep_ms` is
+/// test support (--point-sleep-ms): it stretches the sweep so the crash/kill
+/// tests can interrupt it at a deterministic phase.
+obs::JsonValue run_point(const GridPoint& g, int reps, double sleep_ms,
+                         runner::PointContext& ctx) {
+  if (sleep_ms > 0.0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  const qbd::RSolverOptions opts = bench::point_solver_options(ctx);
+  const core::FgBgParams params = point_params(g);
+  double wall_ms = -1.0;
+  int iterations = 0;
+  double qlen = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    solve_once(params, opts, iterations, qlen);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (wall_ms < 0.0 || ms < wall_ms) wall_ms = ms;
   }
-  return out;
+  obs::JsonValue payload = obs::JsonValue::object();
+  payload.set("wall_ms", obs::JsonValue(wall_ms));
+  payload.set("iterations", obs::JsonValue(iterations));
+  payload.set("fg_queue_length", obs::JsonValue(qlen));
+  return payload;
 }
 
 obs::JsonValue machine_info() {
@@ -122,29 +143,21 @@ obs::JsonValue machine_info() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Flags flags;
-  flags.define("out", "baseline output path, default BENCH_solver.json");
-  flags.define("reps", "timed repetitions per point (min is kept), default 3");
-  flags.define_switch("quick", "CI mode: a single repetition per point");
-  flags.define_switch("help", "print this help");
-  try {
-    flags.parse(argc, argv);
-  } catch (const std::exception& e) {
-    const std::string what = e.what();
-    std::cerr << what << "\n";
-    if (what.find("flags:") == std::string::npos) std::cerr << flags.help();
-    return 2;
-  }
-  if (flags.has("help")) {
-    std::cout << flags.help();
-    return 0;
-  }
+  bench::BenchRun run(argc, argv, "bench_suite", [](Flags& flags) {
+    flags.define("out", "baseline output path, default BENCH_solver.json");
+    flags.define("reps", "timed repetitions per point (min is kept), default 3");
+    flags.define_switch("quick", "CI mode: a single repetition per point");
+    flags.define("point-sleep-ms",
+                 "test support: sleep this long inside every point");
+  });
+  const Flags& flags = run.flags();
   const std::string out_path = flags.get_string("out", "BENCH_solver.json");
   const int reps = flags.has("quick") ? 1 : flags.get_int("reps", 3);
   if (reps < 1) {
     std::cerr << "bench_suite: --reps must be >= 1\n";
     return 2;
   }
+  const double sleep_ms = flags.get_double("point-sleep-ms", 0.0);
 
   std::vector<GridPoint> grid;
   for (const char* w : {"email", "email_ipp", "email_poisson"})
@@ -154,26 +167,61 @@ int main(int argc, char** argv) {
   std::cout << "bench_suite: " << grid.size() << " points, " << reps
             << " rep(s) each\n";
 
+  runner::SweepRunner sweep(bench::BenchRun::active_runner_options());
+  for (const GridPoint& g : grid)
+    sweep.add(point_key(g), [g, reps, sleep_ms](runner::PointContext& ctx) {
+      return run_point(g, reps, sleep_ms, ctx);
+    });
+  const runner::SweepResult result =
+      sweep.run([&grid](const runner::PointOutcome& out) {
+        const GridPoint& g = grid[out.index];
+        std::cout << "  " << g.workload << " p=" << g.p << " X=" << g.bg_buffer;
+        if (out.ok()) {
+          std::cout << ": " << out.payload.at("wall_ms").as_double() << " ms, "
+                    << out.payload.at("iterations").as_int() << " iterations";
+          if (out.resumed) std::cout << " (resumed)";
+          std::cout << "\n";
+        } else {
+          std::cout << ": FAILED (" << out.error_code << ")\n";
+        }
+      });
+
+  // Per-point failure records, with the full parameter tuple, for the run
+  // report's "errors" array; interrupt placeholders are not failures.
+  for (const runner::PointOutcome& out : result.outcomes) {
+    if (out.ok() || out.error_code == "kInterrupted") continue;
+    const GridPoint& g = grid[out.index];
+    bench::record_point_error({out.error_code, out.error_message, -1.0},
+                              g.workload, kUtilization, g.p, 1.0, g.bg_buffer,
+                              out.attempts > 0 ? out.attempts : 1);
+  }
+
+  if (result.interrupted) {
+    std::cout << "sweep interrupted: " << result.completed << "/" << grid.size()
+              << " points completed; no baseline written";
+    const std::string journal = bench::BenchRun::active_journal_path();
+    if (!journal.empty())
+      std::cout << "; resume with --resume=" << journal;
+    else
+      std::cout << " (re-run with --journal=<path> to make sweeps resumable)";
+    std::cout << "\n";
+    bench::BenchRun::exit_interrupted();
+  }
+
   obs::JsonValue points = obs::JsonValue::array();
-  std::size_t failed = 0;
-  for (const GridPoint& g : grid) {
-    const PointOutcome r = run_point(g, reps);
+  for (const runner::PointOutcome& out : result.outcomes) {
+    const GridPoint& g = grid[out.index];
     obs::JsonValue point = obs::JsonValue::object();
     point.set("workload", obs::JsonValue(g.workload));
     point.set("bg_probability", obs::JsonValue(g.p));
     point.set("bg_buffer", obs::JsonValue(g.bg_buffer));
     point.set("utilization", obs::JsonValue(kUtilization));
-    if (r.error.empty()) {
-      point.set("wall_ms", obs::JsonValue(r.wall_ms));
-      point.set("iterations", obs::JsonValue(r.iterations));
-      point.set("fg_queue_length", obs::JsonValue(r.fg_queue_length));
-      std::cout << "  " << g.workload << " p=" << g.p << " X=" << g.bg_buffer
-                << ": " << r.wall_ms << " ms, " << r.iterations << " iterations\n";
+    if (out.ok()) {
+      point.set("wall_ms", out.payload.at("wall_ms"));
+      point.set("iterations", out.payload.at("iterations"));
+      point.set("fg_queue_length", out.payload.at("fg_queue_length"));
     } else {
-      ++failed;
-      point.set("error", obs::JsonValue(r.error));
-      std::cout << "  " << g.workload << " p=" << g.p << " X=" << g.bg_buffer
-                << ": FAILED (" << r.error << ")\n";
+      point.set("error", obs::JsonValue(out.error_code));
     }
     points.push_back(std::move(point));
   }
@@ -181,6 +229,8 @@ int main(int argc, char** argv) {
   // Profiled pass: one solve per point under a span collector; the resulting
   // profile tree (aggregated over the whole grid) names the hot spans so a
   // regression diff can be traced to a phase without rerunning anything.
+  // Deliberately sequential — a profile interleaved across workers would
+  // attribute time to the wrong spans.
   obs::SpanCollector collector;
   {
     obs::SpanSession session(collector);
@@ -188,7 +238,7 @@ int main(int argc, char** argv) {
       try {
         int iterations = 0;
         double qlen = 0.0;
-        solve_once(point_params(g), iterations, qlen);
+        solve_once(point_params(g), qbd::RSolverOptions{}, iterations, qlen);
       } catch (const Error&) {
         // Already recorded as a failed point in the timed pass.
       }
@@ -217,7 +267,7 @@ int main(int argc, char** argv) {
     std::cerr << e.what() << "\n";
     return 1;
   }
-  std::cout << "wrote baseline (" << grid.size() - failed << "/" << grid.size()
-            << " points) to " << out_path << "\n";
-  return failed == 0 ? 0 : 1;
+  std::cout << "wrote baseline (" << grid.size() - result.failed << "/"
+            << grid.size() << " points) to " << out_path << "\n";
+  return result.exit_code();
 }

@@ -6,9 +6,19 @@
 //       --buffer 10 --idle-wait 2.0 --service erlang2 --simulate true
 //   $ ./examples/perfbg_cli --metrics-json=/tmp/run.json --trace=/tmp/run.jsonl
 //   $ ./examples/perfbg_cli --trace-chrome=/tmp/spans.json
+//   $ ./examples/perfbg_cli --workload email --sweep-util 0.05,0.1,0.15,0.2
+//       --jobs 4 --journal /tmp/cli.journal       # resumable parallel sweep
 //
 // Workloads: email | softdev | useraccounts | lowacf | ipp | poisson
 // Service:   expo | erlang2 | erlang4 | h2   (mean fixed by --service-mean)
+//
+// --sweep-util=<u1,u2,...> switches to sweep mode: one model solve per listed
+// foreground utilization, executed through the sweep runner (DESIGN.md §11),
+// so --jobs, --point-timeout-ms, --retries, --journal, and --resume all
+// apply. The table is printed in list order regardless of parallelism; a
+// point that fails with a classified error renders as its error code and the
+// sweep continues (exit 1). An interrupted sweep exits 9, resumable via
+// --resume=<journal>.
 //
 // --metrics-json writes a structured run report (schema
 // perfbg.run_report.v1): solver phase timings, the per-iteration R-solver
@@ -19,20 +29,25 @@
 // trace-event format — open the file in chrome://tracing or Perfetto to see
 // the nested solve → R-iteration → LU flame view (DESIGN.md §10).
 //
-// Exit codes (see DESIGN.md §9): 0 success, 1 unexpected error, 2 usage
-// error, and one code per perfbg::ErrorCode for classified pipeline
-// failures — 3 invalid model, 4 unstable QBD (drift >= 1), 5 singular
-// matrix, 6 non-convergence, 7 numerical breakdown. A classified failure is
-// also recorded in the run report's "errors" array when --metrics-json was
-// given, so sweep drivers can harvest failed points from the report.
+// Exit codes (see README "Exit codes" and DESIGN.md §9): 0 success, 1
+// unexpected error (or a sweep with failed points), 2 usage error, and one
+// code per perfbg::ErrorCode for classified pipeline failures — 3 invalid
+// model, 4 unstable QBD (drift >= 1), 5 singular matrix, 6 non-convergence,
+// 7 numerical breakdown, 8 point deadline exceeded, 9 interrupted (sweep is
+// resumable). A classified failure is also recorded in the run report's
+// "errors" array when --metrics-json was given, so sweep drivers can harvest
+// failed points from the report.
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/model.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
 #include "qbd/solution.hpp"
+#include "runner/sweep_runner.hpp"
 #include "sim/fgbg_simulator.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
@@ -63,6 +78,111 @@ traffic::PhaseType pick_service(const std::string& name, double mean) {
   throw std::invalid_argument("unknown service '" + name + "' (expo|erlang2|erlang4|h2)");
 }
 
+std::vector<double> parse_util_list(const std::string& csv) {
+  std::vector<double> utils;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.find_first_not_of(" \t") == std::string::npos) continue;
+    try {
+      utils.push_back(std::stod(token));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--sweep-util: '" + token + "' is not a number");
+    }
+  }
+  if (utils.empty())
+    throw std::invalid_argument(
+        "--sweep-util needs a comma-separated list of utilizations");
+  return utils;
+}
+
+/// Sweep mode: one solve per listed utilization through the sweep runner.
+/// Returns the process exit code (0 ok, 1 some points failed, 9 interrupted).
+int run_util_sweep(const std::vector<double>& utils,
+                   const traffic::MarkovianArrivalProcess& base,
+                   const core::FgBgParams& base_params, double mean_s,
+                   const Flags& flags, obs::RunReport& report, bool observing) {
+  runner::RunnerOptions options = runner::runner_options_from_flags(flags);
+  // open_journal_session throws std::invalid_argument on a bad/mismatched
+  // journal; the caller's usage-error handler turns that into exit 2.
+  runner::JournalSession journal = runner::open_journal_session(flags, "perfbg_cli");
+  options.journal = journal.writer.get();
+  options.resume = journal.resume.get();
+  if (observing) options.metrics = &report.metrics();
+
+  runner::SweepRunner sweep(options);
+  for (const double u : utils) {
+    // Stable journal identity: workload + full parameter tuple.
+    const std::string key =
+        base.name() + "|u=" + format_number(u, 6) +
+        "|p=" + format_number(base_params.bg_probability, 6) +
+        "|X=" + format_number(static_cast<double>(base_params.bg_buffer), 0) +
+        "|iw=" + format_number(base_params.idle_wait_intensity, 6);
+    sweep.add(key, [&base, &base_params, mean_s, u](runner::PointContext& ctx) {
+      core::FgBgParams params = base_params;
+      params.arrivals = base.scaled_to_utilization(u, mean_s);
+      qbd::RSolverOptions solver_opts;
+      solver_opts.cancel = &ctx.token();
+      solver_opts.start_rung = ctx.attempt() - 1;
+      const core::FgBgMetrics m =
+          core::FgBgModel(params).solve(solver_opts).metrics();
+      obs::JsonValue payload = obs::JsonValue::object();
+      payload.set("fg_queue_length", obs::JsonValue(m.fg_queue_length));
+      payload.set("fg_response_time", obs::JsonValue(m.fg_response_time));
+      payload.set("fg_delayed", obs::JsonValue(m.fg_delayed));
+      payload.set("bg_completion", obs::JsonValue(m.bg_completion));
+      payload.set("bg_queue_length", obs::JsonValue(m.bg_queue_length));
+      payload.set("busy_fraction", obs::JsonValue(m.busy_fraction));
+      return payload;
+    });
+  }
+  const runner::SweepResult result = sweep.run();
+
+  Table t({"fg_util", "fg_qlen", "fg_resp_ms", "fg_delayed", "bg_completion",
+           "bg_qlen", "busy"});
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const runner::PointOutcome& out = result.outcomes[i];
+    std::vector<TableCell> row;
+    row.emplace_back(std::in_place_type<double>, utils[i]);
+    if (out.ok()) {
+      for (const char* name : {"fg_queue_length", "fg_response_time", "fg_delayed",
+                               "bg_completion", "bg_queue_length", "busy_fraction"})
+        row.emplace_back(std::in_place_type<double>, out.payload.at(name).as_double());
+    } else {
+      row.emplace_back(std::in_place_type<std::string>, out.error_code);
+      for (int pad = 0; pad < 5; ++pad)
+        row.emplace_back(std::in_place_type<std::string>, "-");
+      if (observing && out.error_code != "kInterrupted") {
+        obs::JsonValue record = obs::JsonValue::object();
+        record.set("code", obs::JsonValue(out.error_code));
+        record.set("message", obs::JsonValue(out.error_message));
+        record.set("workload", obs::JsonValue(base.name()));
+        record.set("utilization", obs::JsonValue(utils[i]));
+        record.set("bg_probability", obs::JsonValue(base_params.bg_probability));
+        record.set("idle_wait_intensity",
+                   obs::JsonValue(base_params.idle_wait_intensity));
+        record.set("bg_buffer", obs::JsonValue(base_params.bg_buffer));
+        record.set("attempts",
+                   obs::JsonValue(out.attempts > 0 ? out.attempts : 1));
+        report.add_error(std::move(record));
+      }
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+
+  if (result.interrupted) {
+    std::cout << "\nsweep interrupted: " << result.completed << "/"
+              << result.outcomes.size() << " points completed";
+    if (journal.writer)
+      std::cout << "; resume with --resume=" << journal.writer->path();
+    else
+      std::cout << " (re-run with --journal=<path> to make sweeps resumable)";
+    std::cout << "\n";
+  }
+  return result.exit_code();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -75,6 +195,10 @@ int main(int argc, char** argv) {
   flags.define("service", "service distribution: expo|erlang2|erlang4|h2, default expo");
   flags.define("service-mean", "mean service time in ms, default 6");
   flags.define("simulate", "true to cross-check with the simulator, default false");
+  flags.define("sweep-util",
+               "comma-separated utilizations: solve one point per value "
+               "through the sweep runner (enables --jobs/--journal/--resume)");
+  perfbg::runner::define_runner_flags(flags);
   flags.define("metrics-json", "write a structured JSON run report to this path");
   flags.define("trace", "write all trace events as JSON lines to this path");
   flags.define("trace-chrome",
@@ -140,6 +264,23 @@ int main(int argc, char** argv) {
               << "/ms, CV " << arrivals.interarrival_cv() << ", ACF(1) "
               << (arrivals.phases() > 1 ? arrivals.acf(1) : 0.0) << ", offered load "
               << params.fg_offered_load() << "\n\n";
+
+    if (flags.has("sweep-util")) {
+      const std::vector<double> utils =
+          parse_util_list(flags.get_string("sweep-util", ""));
+      const int code =
+          run_util_sweep(utils, arrivals, params, mean_s, flags, report, observing);
+      if (!metrics_json.empty()) {
+        report.write_json(metrics_json);
+        std::cout << "\nwrote run report to " << metrics_json << "\n";
+      }
+      if (!trace_path.empty()) {
+        report.write_trace_jsonl(trace_path);
+        std::cout << "wrote trace events to " << trace_path << "\n";
+      }
+      flush_chrome_trace(std::cout);
+      return code;
+    }
 
     qbd::RSolverOptions solver_opts;
     solver_opts.record_trace = observing;

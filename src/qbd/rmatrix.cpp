@@ -138,6 +138,7 @@ Matrix logarithmic_reduction_g(const DiscreteBlocks& d, const RSolverOptions& op
   int it = 0;
   double last_increment = -1.0;
   for (; it < opts.max_iters; ++it) {
+    if (opts.cancel) opts.cancel->check();
     obs::ScopedSpan span("qbd.rsolve.iteration");
     const Matrix u = b0 * b2 + b2 * b0;
     const linalg::LuDecomposition lu(identity - u);
@@ -174,6 +175,7 @@ Matrix functional_iteration_g(const DiscreteBlocks& d, const RSolverOptions& opt
   int it = 0;
   double last_delta = -1.0;
   for (; it < opts.max_iters; ++it) {
+    if (opts.cancel) opts.cancel->check();
     obs::ScopedSpan span("qbd.rsolve.iteration");
     const Matrix next =
         linalg::LuDecomposition(identity - d.a1_hat - d.a0_hat * g).solve(d.a2_hat);
@@ -204,6 +206,7 @@ Matrix functional_iteration_r(const Matrix& a0, const Matrix& a1, const Matrix& 
   int it = 0;
   double last_delta = -1.0;
   for (; it < opts.max_iters; ++it) {
+    if (opts.cancel) opts.cancel->check();
     obs::ScopedSpan span("qbd.rsolve.iteration");
     Matrix rhs = a0 + (r * r) * a2;
     rhs *= -1.0;
@@ -253,12 +256,17 @@ struct RungSpec {
 /// throws kNonConvergence aggregating every rung's diagnosis.
 Matrix run_ladder(const std::vector<RungSpec>& rungs, const RSolverOptions& opts,
                   RSolverStats* stats, std::size_t n) {
-  const std::size_t count = opts.enable_fallback ? rungs.size() : 1;
+  // A retry resumes the descent at start_rung (clamped so a runaway attempt
+  // counter still exercises the last rung); without fallback only that one
+  // rung runs.
+  const std::size_t first =
+      std::min<std::size_t>(std::max(opts.start_rung, 0), rungs.size() - 1);
+  const std::size_t count = opts.enable_fallback ? rungs.size() : first + 1;
   SolveOutcome outcome;
   std::optional<Error> first_error;
   int last_iterations = -1;
   double last_residual = -1.0;
-  for (std::size_t idx = 0; idx < count; ++idx) {
+  for (std::size_t idx = first; idx < count; ++idx) {
     const RungSpec& rung = rungs[idx];
     outcome.rungs_attempted = static_cast<int>(idx) + 1;
     if (static_cast<int>(idx) < opts.inject_rung_failures) {
@@ -291,6 +299,16 @@ Matrix run_ladder(const std::vector<RungSpec>& rungs, const RSolverOptions& opts
     } catch (const Error& e) {
       rung_span.attr("failed", obs::JsonValue(true))
           .attr("error", obs::JsonValue(error_code_name(e.code())));
+      // Cancellation is not a solver failure: descending the ladder after a
+      // deadline or interrupt fired would keep burning the budget the token
+      // exists to cap. Propagate immediately.
+      if (e.code() == ErrorCode::kDeadlineExceeded || e.code() == ErrorCode::kInterrupted) {
+        if (stats) {
+          outcome.failures.push_back(std::string(rung.name) + ": " + e.what());
+          stats->outcome = std::move(outcome);
+        }
+        throw;
+      }
       outcome.failures.push_back(std::string(rung.name) + ": " + e.what());
       if (!first_error) first_error = e;
       if (e.context().has_iterations()) last_iterations = e.context().iterations;

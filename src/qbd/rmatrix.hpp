@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "qbd/qbd.hpp"
+#include "util/cancellation.hpp"
 
 namespace perfbg::qbd {
 
@@ -68,6 +69,18 @@ struct RSolverOptions {
   /// running them, so the fallback path and the ladder-exhausted error can be
   /// exercised deterministically from tests. Leave at 0 in production code.
   int inject_rung_failures = 0;
+  /// Optional cooperative cancellation token, checked once per iteration of
+  /// every solver loop. When it fires, the solve throws
+  /// perfbg::Error{kDeadlineExceeded} or {kInterrupted}; both codes are
+  /// non-recoverable — the fallback ladder propagates them immediately
+  /// instead of descending to the next rung. Null: never cancelled.
+  const CancellationToken* cancel = nullptr;
+  /// First fallback-ladder rung to attempt (0 = primary; clamped to the last
+  /// rung). The sweep runner's retry path sets this to the attempt index so a
+  /// retried point resumes the ladder at the next rung instead of repeating
+  /// the ones that already failed. Each rung keeps the budget/tolerance it
+  /// would have had in a full descent.
+  int start_rung = 0;
 };
 
 /// One row of the convergence trace.

@@ -1,0 +1,170 @@
+#include "runner/journal.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define PERFBG_HAVE_FSYNC 1
+#endif
+
+namespace perfbg::runner {
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string hash_hex(std::uint64_t h) {
+  static const char* digits = "0123456789abcdef";
+  std::string out = "0x0000000000000000";
+  for (int i = 17; i >= 2; --i, h >>= 4) out[i] = digits[h & 0xf];
+  return out;
+}
+
+obs::JsonValue JournalRecord::to_json() const {
+  obs::JsonValue v = obs::JsonValue::object();
+  v.set("hash", obs::JsonValue(hash_hex(fnv1a64(key))));
+  v.set("key", obs::JsonValue(key));
+  v.set("attempts", obs::JsonValue(attempts));
+  v.set("wall_ms", obs::JsonValue(wall_ms));
+  if (ok()) {
+    v.set("payload", payload);
+  } else {
+    obs::JsonValue err = obs::JsonValue::object();
+    err.set("code", obs::JsonValue(error_code));
+    err.set("message", obs::JsonValue(error_message));
+    v.set("error", std::move(err));
+  }
+  return v;
+}
+
+JournalRecord JournalRecord::from_json(const obs::JsonValue& v) {
+  JournalRecord r;
+  r.key = v.at("key").as_string();
+  r.attempts = static_cast<int>(v.at("attempts").as_int());
+  if (const obs::JsonValue* wall = v.find("wall_ms")) r.wall_ms = wall->as_double();
+  if (const obs::JsonValue* err = v.find("error")) {
+    r.error_code = err->at("code").as_string();
+    r.error_message = err->at("message").as_string();
+  } else {
+    r.payload = v.at("payload");
+  }
+  return r;
+}
+
+JournalIndex JournalIndex::load(const std::string& path,
+                                const std::string& expected_sweep_id) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::invalid_argument("cannot read sweep journal '" + path + "'");
+  JournalIndex index;
+  index.path_ = path;
+  bool have_header = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    obs::JsonValue v;
+    try {
+      v = obs::parse_json(line);
+    } catch (const std::invalid_argument&) {
+      // A torn line — most likely the append a crash interrupted. Skip it;
+      // the point it described simply re-runs on resume.
+      continue;
+    }
+    if (!v.is_object()) continue;
+    if (const obs::JsonValue* schema = v.find("schema")) {
+      if (schema->as_string() != kSweepJournalSchema)
+        throw std::invalid_argument("journal '" + path + "' has schema '" +
+                                    schema->as_string() + "', expected '" +
+                                    kSweepJournalSchema + "'");
+      index.sweep_id_ = v.at("sweep_id").as_string();
+      have_header = true;
+      continue;
+    }
+    if (!have_header)
+      throw std::invalid_argument("journal '" + path +
+                                  "' has records before its schema header");
+    try {
+      JournalRecord record = JournalRecord::from_json(v);
+      std::string hash = hash_hex(fnv1a64(record.key));
+      index.by_hash_[std::move(hash)] = std::move(record);
+    } catch (const std::exception&) {
+      continue;  // structurally unusable record: treat as not completed
+    }
+  }
+  if (!have_header)
+    throw std::invalid_argument("journal '" + path + "' has no " +
+                                kSweepJournalSchema + " header line");
+  if (!expected_sweep_id.empty() && index.sweep_id_ != expected_sweep_id)
+    throw std::invalid_argument("journal '" + path + "' belongs to sweep '" +
+                                index.sweep_id_ + "', not '" + expected_sweep_id +
+                                "'; refusing to resume from it");
+  return index;
+}
+
+const JournalRecord* JournalIndex::find(const std::string& key) const {
+  const auto it = by_hash_.find(hash_hex(fnv1a64(key)));
+  if (it == by_hash_.end() || it->second.key != key) return nullptr;
+  return &it->second;
+}
+
+namespace {
+
+/// Push the record's bytes to the disk, not just the page cache: a journal
+/// whose promise is "survives SIGKILL" must not lose fsync'd records to a
+/// power cut either. No-op fallback where fsync is unavailable.
+void sync_file(std::FILE* f) {
+#if defined(PERFBG_HAVE_FSYNC)
+  ::fsync(::fileno(f));
+#else
+  (void)f;
+#endif
+}
+
+}  // namespace
+
+JournalWriter::JournalWriter(std::string path, std::string sweep_id)
+    : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (!file_) throw std::runtime_error("cannot open sweep journal '" + path_ + "'");
+  if (std::ftell(file_) == 0) {
+    obs::JsonValue header = obs::JsonValue::object();
+    header.set("schema", obs::JsonValue(kSweepJournalSchema));
+    header.set("sweep_id", obs::JsonValue(std::move(sweep_id)));
+    const std::string line = header.dump() + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+      std::fclose(file_);
+      file_ = nullptr;
+      throw std::runtime_error("cannot write sweep journal header to '" + path_ + "'");
+    }
+    std::fflush(file_);
+    sync_file(file_);
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  if (file_) {
+    std::fflush(file_);
+    sync_file(file_);
+    std::fclose(file_);
+  }
+}
+
+void JournalWriter::append(const JournalRecord& record) {
+  const std::string line = record.to_json().dump() + "\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!file_) return;
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
+    throw std::runtime_error("sweep journal write failed for '" + path_ + "'");
+  std::fflush(file_);
+  sync_file(file_);
+}
+
+}  // namespace perfbg::runner

@@ -1,0 +1,106 @@
+// Checkpoint journal for resumable sweeps (schema perfbg.sweep_journal.v1).
+//
+// A journal is a JSON-lines file: a header line naming the schema and the
+// sweep it belongs to, then one record per *completed* point (success or
+// classified failure), appended and fsync'd as the point finishes, so the
+// file survives a SIGKILL with at most the in-flight points lost. Records
+// carry the point's inputs-hash (FNV-1a 64 over the caller's stable key), the
+// result payload, the error, the attempt count, and the compute wall time, so
+// `--resume=<journal>` can replay a completed point byte-identically without
+// re-solving it.
+//
+//   {"schema": "perfbg.sweep_journal.v1", "sweep_id": "bench_suite"}
+//   {"hash": "0x8c2d...", "key": "email|p=0.1|X=5", "attempts": 1,
+//    "wall_ms": 1.84, "payload": {...}}
+//   {"hash": "0x1f00...", "key": "email|p=0.9|X=20", "attempts": 2,
+//    "wall_ms": 0.0, "error": {"code": "kNonConvergence", "message": "..."}}
+//
+// Reading is forgiving where crash recovery needs it to be: a torn trailing
+// line (the write the crash interrupted) or any malformed line is skipped;
+// a record whose hash repeats wins with its last occurrence (a resumed run
+// re-journals into the same file). Reading is strict where misuse hides bugs:
+// a missing/mismatched schema header or a sweep_id that does not match the
+// resuming tool throws std::invalid_argument (exit 2, usage error).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace perfbg::runner {
+
+inline constexpr const char* kSweepJournalSchema = "perfbg.sweep_journal.v1";
+
+/// FNV-1a 64-bit over the key's bytes: the journal's inputs-hash.
+std::uint64_t fnv1a64(const std::string& s);
+/// "0x" + 16 lowercase hex digits (JSON int64 cannot carry a full uint64).
+std::string hash_hex(std::uint64_t h);
+
+/// One completed sweep point, as journaled.
+struct JournalRecord {
+  std::string key;            ///< the caller's stable point key
+  obs::JsonValue payload;     ///< result payload; null when the point failed
+  std::string error_code;     ///< ErrorCode name ("" on success)
+  std::string error_message;  ///< full what() of the failure ("" on success)
+  int attempts = 1;           ///< attempts spent (including the final one)
+  double wall_ms = 0.0;       ///< compute wall time of the final attempt
+
+  bool ok() const { return error_code.empty(); }
+  obs::JsonValue to_json() const;
+  /// Throws std::invalid_argument on a structurally unusable record.
+  static JournalRecord from_json(const obs::JsonValue& v);
+};
+
+/// The completed points of a previous run, indexed by inputs-hash for
+/// `--resume`. Load once, then find() per point.
+class JournalIndex {
+ public:
+  /// Parses a journal file. Throws std::invalid_argument when the file cannot
+  /// be read, has no valid schema header, or (when `expected_sweep_id` is
+  /// non-empty) belongs to a different sweep.
+  static JournalIndex load(const std::string& path,
+                           const std::string& expected_sweep_id = "");
+
+  const std::string& sweep_id() const { return sweep_id_; }
+  /// The file this index was loaded from (so a writer can tell whether it is
+  /// appending to the same journal or compacting into a fresh one).
+  const std::string& path() const { return path_; }
+  std::size_t size() const { return by_hash_.size(); }
+
+  /// The journaled record for this key, or nullptr when the point has not
+  /// completed. A hash hit with a different stored key (collision or a stale
+  /// journal) counts as a miss.
+  const JournalRecord* find(const std::string& key) const;
+
+ private:
+  std::string sweep_id_;
+  std::string path_;
+  std::map<std::string, JournalRecord> by_hash_;
+};
+
+/// Thread-safe incremental journal appender. Each append() writes one line,
+/// flushes, and fsyncs, so a completed point survives any later crash.
+class JournalWriter {
+ public:
+  /// Opens `path` for appending, writing the schema header first when the
+  /// file is new or empty. Throws std::runtime_error on I/O failure.
+  JournalWriter(std::string path, std::string sweep_id);
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  void append(const JournalRecord& record);
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace perfbg::runner

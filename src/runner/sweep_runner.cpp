@@ -1,0 +1,337 @@
+#include "runner/sweep_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "obs/span.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+
+namespace perfbg::runner {
+
+namespace {
+
+// One counter for both SIGINT and SIGTERM: level 1 = drain (no new points),
+// level >= 2 = also cancel in-flight tokens. fetch_add on a lock-free atomic
+// is async-signal-safe.
+std::atomic<int> g_interrupts{0};
+
+void on_signal(int) { g_interrupts.fetch_add(1, std::memory_order_relaxed); }
+
+/// Codes worth a retry: numerical trouble that a different ladder rung (or a
+/// less loaded machine) may clear. Model defects and cancellations are final.
+bool is_retryable(ErrorCode code) {
+  return code == ErrorCode::kNonConvergence || code == ErrorCode::kNumericalBreakdown ||
+         code == ErrorCode::kSingularMatrix;
+}
+
+/// Exponential backoff with *jitterless decorrelation*: the per-point
+/// inputs-hash stretches the delay by a factor in [1, 1.5), so concurrent
+/// retries of different points de-synchronize without any RNG — reruns stay
+/// bit-reproducible.
+double backoff_delay_ms(double base_ms, int attempt, std::uint64_t hash) {
+  if (base_ms <= 0.0) return 0.0;
+  const double exp = static_cast<double>(1u << std::min(attempt - 1, 20));
+  const double decorrelation = 1.0 + static_cast<double>(hash % 64) / 128.0;
+  return std::min(base_ms * exp * decorrelation, 10'000.0);
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Sleeps ~delay_ms in short slices, bailing out early on an interrupt so a
+/// backlog of backoffs cannot delay a drain.
+void interruptible_sleep(double delay_ms) {
+  const auto t0 = std::chrono::steady_clock::now();
+  while (ms_since(t0) < delay_ms && g_interrupts.load(std::memory_order_relaxed) == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+}  // namespace
+
+void install_signal_handlers() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+  });
+}
+
+int interrupt_level() { return g_interrupts.load(std::memory_order_relaxed); }
+bool interrupt_requested() { return interrupt_level() > 0; }
+void request_interrupt() { g_interrupts.fetch_add(1, std::memory_order_relaxed); }
+void clear_interrupt() { g_interrupts.store(0, std::memory_order_relaxed); }
+
+int SweepResult::exit_code() const {
+  if (interrupted) return error_exit_code(ErrorCode::kInterrupted);
+  return failed > 0 ? 1 : 0;
+}
+
+SweepRunner::SweepRunner(RunnerOptions options) : options_(std::move(options)) {}
+
+SweepRunner::~SweepRunner() = default;
+
+void SweepRunner::add(std::string key, PointFn fn) {
+  PERFBG_REQUIRE(!ran_, "SweepRunner::add after run()");
+  PERFBG_REQUIRE(fn != nullptr, "SweepRunner::add needs a point function");
+  tasks_.push_back({std::move(key), std::move(fn)});
+}
+
+PointOutcome SweepRunner::execute_point(std::size_t index, CancellationToken& token) {
+  const Task& task = tasks_[index];
+  obs::MetricsRegistry* metrics = options_.metrics;
+  PointOutcome out;
+  out.index = index;
+  out.key = task.key;
+
+  if (options_.resume) {
+    if (const JournalRecord* record = options_.resume->find(task.key)) {
+      out.payload = record->payload;
+      out.error_code = record->error_code;
+      out.error_message = record->error_message;
+      out.attempts = record->attempts;
+      out.wall_ms = record->wall_ms;
+      out.resumed = true;
+      if (metrics) metrics->add("runner.points.resumed");
+      // Re-journal into a *different* target so a fresh --journal file is a
+      // complete (compacted) record of the merged run; appending the replay
+      // back into its own source would only duplicate lines.
+      if (options_.journal && options_.journal->path() != options_.resume->path())
+        options_.journal->append(*record);
+      return out;
+    }
+  }
+
+  const std::uint64_t hash = fnv1a64(task.key);
+  std::string code, message;
+  bool retryable = false;
+  int attempt = 1;
+  for (;; ++attempt) {
+    token.reset();
+    if (options_.point_timeout_ms > 0.0)
+      token.set_deadline_after_ms(options_.point_timeout_ms);
+    // A second signal may have arrived before this point started.
+    if (interrupt_level() >= 2) token.cancel(CancelReason::kInterrupt);
+    PointContext ctx(&token, index, attempt);
+    code.clear();
+    message.clear();
+    retryable = false;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      obs::ScopedSpan span("runner.point");
+      span.attr("key", obs::JsonValue(task.key))
+          .attr("index", obs::JsonValue(static_cast<std::int64_t>(index)))
+          .attr("attempt", obs::JsonValue(attempt));
+      out.payload = task.fn(ctx);
+    } catch (const Error& e) {
+      code = error_code_name(e.code());
+      message = e.what();
+      retryable = is_retryable(e.code());
+      if (e.code() == ErrorCode::kDeadlineExceeded && metrics)
+        metrics->add("runner.deadline.exceeded");
+    } catch (const std::exception& e) {
+      code = "kUnclassified";
+      message = e.what();
+    }
+    out.wall_ms = ms_since(t0);
+    if (code.empty()) break;
+    if (!(retryable && attempt < options_.max_attempts && interrupt_level() == 0)) break;
+    if (metrics) metrics->add("runner.retry.attempts");
+    const double delay = backoff_delay_ms(options_.backoff_base_ms, attempt, hash);
+    if (delay > 0.0) {
+      obs::ScopedSpan span("runner.retry");
+      span.attr("key", obs::JsonValue(task.key))
+          .attr("next_attempt", obs::JsonValue(attempt + 1))
+          .attr("backoff_ms", obs::JsonValue(delay));
+      interruptible_sleep(delay);
+    }
+  }
+  out.attempts = attempt;
+  out.error_code = code;
+  out.error_message = message;
+  if (!out.ok()) out.payload = obs::JsonValue();  // no stale payload next to an error
+
+  if (metrics) {
+    metrics->add(out.ok() ? "runner.points.ok" : "runner.points.failed");
+    if (out.ok() && attempt > 1) metrics->add("runner.retry.recovered");
+    metrics->record_time("runner.point.wall", out.wall_ms);
+  }
+
+  // Checkpoint every point that reached a final state. An interrupt-aborted
+  // point did not: it must re-run on resume, so it stays out of the journal.
+  if (options_.journal && code != error_code_name(ErrorCode::kInterrupted)) {
+    obs::ScopedSpan span("runner.checkpoint");
+    span.attr("key", obs::JsonValue(task.key));
+    JournalRecord record;
+    record.key = task.key;
+    record.payload = out.payload;
+    record.error_code = out.error_code;
+    record.error_message = out.error_message;
+    record.attempts = out.attempts;
+    record.wall_ms = out.wall_ms;
+    options_.journal->append(record);
+    if (metrics) metrics->add("runner.checkpoint.records");
+  }
+  return out;
+}
+
+SweepResult SweepRunner::run(const std::function<void(const PointOutcome&)>& emit) {
+  PERFBG_REQUIRE(!ran_, "SweepRunner::run may only be called once");
+  ran_ = true;
+  install_signal_handlers();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n = tasks_.size();
+  const int jobs = std::max(1, options_.jobs);
+
+  SweepResult result;
+  result.outcomes.resize(n);
+
+  // One token per worker, reset per attempt. Kept in stable storage so the
+  // escalation path (second signal) can cancel all of them.
+  std::vector<std::unique_ptr<CancellationToken>> tokens;
+  tokens.reserve(static_cast<std::size_t>(jobs));
+  for (int s = 0; s < jobs; ++s) tokens.push_back(std::make_unique<CancellationToken>());
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<int> live_workers{jobs};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::optional<PointOutcome>> done(n);
+
+  auto worker = [&](int slot) {
+    CancellationToken& token = *tokens[static_cast<std::size_t>(slot)];
+    // First interrupt level stops dispatch; the point already taken drains.
+    while (interrupt_level() == 0) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      PointOutcome out = execute_point(i, token);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        done[i] = std::move(out);
+      }
+      cv.notify_all();
+    }
+    live_workers.fetch_sub(1, std::memory_order_relaxed);
+    cv.notify_all();
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int s = 0; s < jobs; ++s) pool.emplace_back(worker, s);
+
+  // Ordered emission from this thread: results stream out in submission
+  // order the moment the next-in-order point lands. The 50 ms poll also
+  // bounds how late an interrupt escalation is noticed.
+  std::size_t emit_next = 0;
+  bool escalated = false;
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    while (true) {
+      if (!escalated && interrupt_level() >= 2) {
+        escalated = true;
+        for (auto& token : tokens) token->cancel(CancelReason::kInterrupt);
+      }
+      while (emit_next < n && done[emit_next].has_value()) {
+        if (emit) {
+          // done[emit_next] is write-once; safe to read outside the lock.
+          const PointOutcome& outcome = *done[emit_next];
+          lock.unlock();
+          emit(outcome);
+          lock.lock();
+        }
+        ++emit_next;
+      }
+      if (emit_next == n) break;
+      if (live_workers.load(std::memory_order_relaxed) == 0) break;
+      cv.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+  for (std::thread& t : pool) t.join();
+
+  std::size_t interrupted_points = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (done[i].has_value()) {
+      result.outcomes[i] = std::move(*done[i]);
+      ++result.completed;
+      if (!result.outcomes[i].ok()) ++result.failed;
+      if (result.outcomes[i].resumed) ++result.resumed;
+      else result.compute_ms += result.outcomes[i].wall_ms;
+      if (result.outcomes[i].error_code == error_code_name(ErrorCode::kInterrupted))
+        ++interrupted_points;
+    } else {
+      PointOutcome& out = result.outcomes[i];
+      out.index = i;
+      out.key = tasks_[i].key;
+      out.attempts = 0;
+      out.error_code = error_code_name(ErrorCode::kInterrupted);
+      out.error_message = "point not started: sweep interrupted before dispatch";
+    }
+  }
+  result.elapsed_ms = ms_since(t0);
+  result.interrupted =
+      interrupt_requested() && (result.completed < n || interrupted_points > 0);
+
+  if (obs::MetricsRegistry* metrics = options_.metrics) {
+    metrics->set("runner.jobs", static_cast<double>(jobs));
+    // Cumulative counters so a binary running several sweeps (one per figure
+    // panel) reports one overall speedup in its run report.
+    metrics->add("runner.compute_us",
+                 static_cast<std::uint64_t>(result.compute_ms * 1000.0));
+    metrics->add("runner.elapsed_us",
+                 static_cast<std::uint64_t>(result.elapsed_ms * 1000.0));
+    const double elapsed_us = static_cast<double>(metrics->counter("runner.elapsed_us"));
+    if (elapsed_us > 0.0)
+      metrics->set("runner.speedup",
+                   static_cast<double>(metrics->counter("runner.compute_us")) / elapsed_us);
+  }
+  return result;
+}
+
+void define_runner_flags(Flags& flags) {
+  flags.define("jobs", "sweep worker threads, default 1 (sequential)");
+  flags.define("point-timeout-ms",
+               "abandon a sweep point after this wall-clock budget in ms (0 = none)");
+  flags.define("retries",
+               "extra attempts for transiently failing sweep points, default 0");
+  flags.define("retry-backoff-ms",
+               "base of the deterministic exponential retry backoff, default 0");
+  flags.define("journal",
+               "append a resumable checkpoint journal (JSON lines) to this path");
+  flags.define("resume",
+               "replay completed points from this journal instead of re-solving them");
+}
+
+RunnerOptions runner_options_from_flags(const Flags& flags) {
+  RunnerOptions options;
+  options.jobs = flags.get_int("jobs", 1);
+  options.point_timeout_ms = flags.get_double("point-timeout-ms", 0.0);
+  options.max_attempts = 1 + std::max(0, flags.get_int("retries", 0));
+  options.backoff_base_ms = flags.get_double("retry-backoff-ms", 0.0);
+  return options;
+}
+
+JournalSession open_journal_session(const Flags& flags, const std::string& sweep_id) {
+  JournalSession session;
+  const std::string resume_path = flags.get_string("resume", "");
+  std::string journal_path = flags.get_string("journal", "");
+  if (!resume_path.empty()) {
+    session.resume =
+        std::make_unique<JournalIndex>(JournalIndex::load(resume_path, sweep_id));
+    // --resume without --journal continues checkpointing into the same file.
+    if (journal_path.empty()) journal_path = resume_path;
+  }
+  if (!journal_path.empty())
+    session.writer = std::make_unique<JournalWriter>(journal_path, sweep_id);
+  return session;
+}
+
+}  // namespace perfbg::runner

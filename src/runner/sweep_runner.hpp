@@ -1,0 +1,188 @@
+// Resilient parallel sweep execution (DESIGN.md §11).
+//
+// A SweepRunner fans N independent sweep points across a fixed pool of
+// `jobs` worker threads while keeping every observable output deterministic:
+// results are buffered and handed to the caller in submission order, so a
+// table rendered from a `--jobs=8` run is byte-identical to the sequential
+// one. On top of the pool it layers the failure-handling the bench sweeps
+// need to survive production-sized grids:
+//
+//   - per-point deadline (--point-timeout-ms): each attempt runs under a
+//     CancellationToken armed with a wall-clock budget; cooperative checks
+//     inside the qbd iteration loops turn a wedged point into a recorded
+//     kDeadlineExceeded failure instead of a hung run;
+//   - retry with backoff (--retries / --retry-backoff-ms): points failing
+//     with a transient/numerical code (kNonConvergence, kNumericalBreakdown,
+//     kSingularMatrix) re-run, with PointContext::attempt() telling the task
+//     to resume the solver fallback ladder at the next rung; backoff delays
+//     are exponential and decorrelated by the point's inputs-hash — no RNG,
+//     so runs stay reproducible;
+//   - checkpoint journal (--journal) and resume (--resume): every completed
+//     point is appended to a perfbg.sweep_journal.v1 file and fsync'd
+//     (journal.hpp); a resumed run replays journaled points without
+//     re-solving them and re-runs only the rest;
+//   - graceful shutdown: SIGINT/SIGTERM stop the dispatch of new points and
+//     drain the in-flight ones (a second signal also cancels their tokens);
+//     the journal and all observability sinks are flushed and the sweep
+//     reports "interrupted but resumable" (exit code 9, kInterrupted).
+//
+// Observability: when RunnerOptions::metrics is set the runner maintains
+// runner.points.* / runner.retry.* / runner.deadline.exceeded /
+// runner.checkpoint.records counters and the runner.speedup gauge
+// (cumulative compute-time over elapsed-time — the --jobs=N vs --jobs=1
+// wall-clock ratio); every attempt runs inside a `runner.point` span, so
+// Chrome traces of a parallel sweep show one lane per worker.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "runner/journal.hpp"
+#include "util/cancellation.hpp"
+#include "util/flags.hpp"
+
+namespace perfbg::runner {
+
+struct RunnerOptions {
+  int jobs = 1;                  ///< worker threads (values < 1 behave as 1)
+  double point_timeout_ms = 0.0; ///< per-attempt wall-clock budget (<= 0: none)
+  int max_attempts = 1;          ///< 1 + --retries
+  double backoff_base_ms = 0.0;  ///< base of the exponential retry backoff
+  JournalWriter* journal = nullptr;      ///< checkpoint sink (optional)
+  const JournalIndex* resume = nullptr;  ///< completed points to replay (optional)
+  obs::MetricsRegistry* metrics = nullptr;  ///< runner.* metrics sink (optional)
+};
+
+/// Per-attempt execution context handed to the point function.
+class PointContext {
+ public:
+  PointContext(const CancellationToken* token, std::size_t index, int attempt)
+      : token_(token), index_(index), attempt_(attempt) {}
+
+  /// The attempt's cancellation token: pass it into RSolverOptions::cancel
+  /// (long-running loops outside the solver should poll token().cancelled()).
+  const CancellationToken& token() const { return *token_; }
+  std::size_t index() const { return index_; }
+  /// 1-based attempt number; retried points see 2, 3, ... and should resume
+  /// the solver fallback ladder at rung attempt()-1 (RSolverOptions::
+  /// start_rung).
+  int attempt() const { return attempt_; }
+
+ private:
+  const CancellationToken* token_;
+  std::size_t index_;
+  int attempt_;
+};
+
+/// The work of one sweep point: compute and return the point's JSON payload.
+/// Throwing perfbg::Error classifies the point as failed with that code;
+/// any other exception is recorded with the pseudo-code "kUnclassified".
+using PointFn = std::function<obs::JsonValue(PointContext&)>;
+
+/// Final state of one sweep point, in submission order.
+struct PointOutcome {
+  std::size_t index = 0;
+  std::string key;
+  obs::JsonValue payload;     ///< null unless ok()
+  std::string error_code;     ///< ErrorCode name ("" on success)
+  std::string error_message;  ///< what() of the final failure
+  int attempts = 0;           ///< 0 only for points the interrupt left unrun
+  double wall_ms = 0.0;       ///< compute wall time of the final attempt
+  bool resumed = false;       ///< replayed from the journal, not re-solved
+
+  bool ok() const { return error_code.empty(); }
+};
+
+struct SweepResult {
+  std::vector<PointOutcome> outcomes;  ///< submission order, one per add()
+  bool interrupted = false;  ///< drained after SIGINT/SIGTERM; resumable
+  std::size_t completed = 0; ///< points that reached a final state this run
+  std::size_t failed = 0;    ///< completed with an error (incl. deadline)
+  std::size_t resumed = 0;   ///< replayed from the journal
+  double elapsed_ms = 0.0;   ///< wall time of run()
+  double compute_ms = 0.0;   ///< sum of per-point compute time (non-resumed)
+
+  /// compute_ms / elapsed_ms: the observed parallel speedup (~= the --jobs=1
+  /// wall clock over this run's wall clock).
+  double speedup() const { return elapsed_ms > 0.0 ? compute_ms / elapsed_ms : 0.0; }
+  /// 0 all points ok; 9 (kInterrupted) when interrupted-but-resumable;
+  /// 1 when any point failed.
+  int exit_code() const;
+};
+
+/// Fixed-pool sweep executor. add() the points, then run() once.
+class SweepRunner {
+ public:
+  explicit SweepRunner(RunnerOptions options);
+  ~SweepRunner();
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  /// Queues one point. `key` must be stable across runs and unique within
+  /// the sweep — it is the journal's resume identity.
+  void add(std::string key, PointFn fn);
+
+  std::size_t size() const { return tasks_.size(); }
+
+  /// Executes all points. `emit`, when given, is called from this thread in
+  /// submission order as results become available (streaming ordered
+  /// output); after an interrupt it stops at the first unfinished point, so
+  /// emitted output is always a clean prefix.
+  SweepResult run(const std::function<void(const PointOutcome&)>& emit = {});
+
+ private:
+  struct Task {
+    std::string key;
+    PointFn fn;
+  };
+
+  PointOutcome execute_point(std::size_t index, CancellationToken& token);
+
+  RunnerOptions options_;
+  std::vector<Task> tasks_;
+  bool ran_ = false;
+};
+
+/// Defines the runner's shared command-line surface on a Flags object:
+/// --jobs, --point-timeout-ms, --retries, --retry-backoff-ms, --journal,
+/// --resume. Used by BenchRun (all bench binaries), bench_suite, and
+/// perfbg_cli so the flags stay identical everywhere.
+void define_runner_flags(Flags& flags);
+
+/// Reads the flags defined above into options (journal/resume stay null —
+/// open_journal_session() turns the paths into a writer and an index).
+RunnerOptions runner_options_from_flags(const Flags& flags);
+
+/// The journal plumbing a tool owns for the lifetime of its sweeps.
+struct JournalSession {
+  std::unique_ptr<JournalWriter> writer;
+  std::unique_ptr<JournalIndex> resume;
+};
+
+/// Opens the --journal / --resume paths from `flags` for a sweep identified
+/// by `sweep_id`. --resume loads the journal (validating schema + sweep_id)
+/// and, unless a different --journal was given, keeps appending to the same
+/// file. Throws std::invalid_argument on a bad/mismatched journal.
+JournalSession open_journal_session(const Flags& flags, const std::string& sweep_id);
+
+/// Installs SIGINT/SIGTERM handlers that request a graceful drain (first
+/// signal) and cooperative cancellation of in-flight points (second signal).
+/// Idempotent; run() calls it automatically.
+void install_signal_handlers();
+
+/// Number of interrupt requests seen so far (signals + request_interrupt()).
+int interrupt_level();
+/// True once any interrupt was requested.
+bool interrupt_requested();
+/// Programmatic interrupt, equivalent to one SIGINT: tests use it to
+/// simulate a mid-run kill deterministically.
+void request_interrupt();
+/// Clears the interrupt state (test support).
+void clear_interrupt();
+
+}  // namespace perfbg::runner

@@ -1,0 +1,46 @@
+#include "util/cancellation.hpp"
+
+#include "util/error.hpp"
+
+namespace perfbg {
+
+void CancellationToken::set_deadline_after_ms(double budget_ms) {
+  if (budget_ms <= 0.0) {
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+    return;
+  }
+  const auto budget = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(budget_ms));
+  set_deadline(std::chrono::steady_clock::now() + budget);
+}
+
+CancelReason CancellationToken::state() const {
+  const int r = reason_.load(std::memory_order_relaxed);
+  if (r != static_cast<int>(CancelReason::kNone)) return static_cast<CancelReason>(r);
+  const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline != kNoDeadline &&
+      std::chrono::steady_clock::now().time_since_epoch().count() >= deadline) {
+    // Latch so every subsequent check is a plain flag read.
+    int expected = static_cast<int>(CancelReason::kNone);
+    reason_.compare_exchange_strong(expected, static_cast<int>(CancelReason::kDeadline),
+                                    std::memory_order_relaxed);
+    return static_cast<CancelReason>(reason_.load(std::memory_order_relaxed));
+  }
+  return CancelReason::kNone;
+}
+
+void CancellationToken::check() const {
+  switch (state()) {
+    case CancelReason::kNone:
+      return;
+    case CancelReason::kDeadline:
+      throw Error(ErrorCode::kDeadlineExceeded,
+                  "solve abandoned: the point's wall-clock deadline elapsed "
+                  "(--point-timeout-ms)");
+    case CancelReason::kInterrupt:
+      throw Error(ErrorCode::kInterrupted,
+                  "solve abandoned: the run was interrupted and is draining");
+  }
+}
+
+}  // namespace perfbg

@@ -1,0 +1,79 @@
+// Cooperative cancellation for long-running solves.
+//
+// A CancellationToken carries two independent stop signals:
+//   - a deadline (steady-clock time point) armed by the owner before the work
+//     starts, enforcing a per-point wall-clock budget, and
+//   - an explicit cancel() flag, flipped from another thread (e.g. the sweep
+//     runner draining after a second SIGINT).
+//
+// The solve-side contract is a single call, `token->check()`, placed inside
+// every unbounded iteration loop (the qbd R/G solvers; see RSolverOptions::
+// cancel). check() throws perfbg::Error{kDeadlineExceeded} or {kInterrupted}
+// — both non-recoverable codes the fallback ladder propagates instead of
+// descending — so a wedged point unwinds out of the solver in at most one
+// iteration instead of hanging the run.
+//
+// Cost when armed: one relaxed atomic load per check, plus a clock read only
+// when a deadline is set. Instrumented code takes a `const CancellationToken*`
+// that may be null; a null token is a no-op.
+//
+// Thread model: arm (set_deadline) and reset() belong to the worker that owns
+// the point; cancel() may be called from any thread at any time. All shared
+// state is atomic, so the token is safe under -fsanitize=thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace perfbg {
+
+/// Why a token fired; kNone means "keep going".
+enum class CancelReason : int { kNone = 0, kDeadline = 1, kInterrupt = 2 };
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Arms the wall-clock deadline; the token fires once now() passes it.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(), std::memory_order_relaxed);
+  }
+  /// Convenience: deadline = now + budget_ms. A budget <= 0 disarms.
+  void set_deadline_after_ms(double budget_ms);
+
+  /// Requests a stop from any thread (idempotent; the first reason wins so a
+  /// deadline that already fired is not re-labelled as an interrupt).
+  void cancel(CancelReason reason = CancelReason::kInterrupt) {
+    int expected = static_cast<int>(CancelReason::kNone);
+    reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                    std::memory_order_relaxed);
+  }
+
+  /// Disarms both signals, making the token reusable for the next attempt.
+  void reset() {
+    reason_.store(static_cast<int>(CancelReason::kNone), std::memory_order_relaxed);
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+  }
+
+  /// Current stop state; latches an elapsed deadline into the cancel flag so
+  /// later checks are a flag read, not a clock read.
+  CancelReason state() const;
+
+  bool cancelled() const { return state() != CancelReason::kNone; }
+
+  /// Throws perfbg::Error{kDeadlineExceeded} or {kInterrupted} when the token
+  /// has fired; returns otherwise. The solver-side cancellation point.
+  void check() const;
+
+ private:
+  static constexpr std::int64_t kNoDeadline = INT64_MAX;
+
+  // mutable: state() latches a fired deadline from const readers.
+  mutable std::atomic<int> reason_{static_cast<int>(CancelReason::kNone)};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace perfbg

@@ -11,6 +11,8 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kSingularMatrix: return "kSingularMatrix";
     case ErrorCode::kNonConvergence: return "kNonConvergence";
     case ErrorCode::kNumericalBreakdown: return "kNumericalBreakdown";
+    case ErrorCode::kDeadlineExceeded: return "kDeadlineExceeded";
+    case ErrorCode::kInterrupted: return "kInterrupted";
   }
   return "kUnknown";
 }
@@ -22,6 +24,8 @@ int error_exit_code(ErrorCode code) {
     case ErrorCode::kSingularMatrix: return 5;
     case ErrorCode::kNonConvergence: return 6;
     case ErrorCode::kNumericalBreakdown: return 7;
+    case ErrorCode::kDeadlineExceeded: return 8;
+    case ErrorCode::kInterrupted: return 9;
   }
   return 1;
 }

@@ -26,15 +26,21 @@ enum class ErrorCode {
   kNonConvergence,      ///< an iterative solver burned max_iters on every
                         ///< rung of its fallback ladder
   kNumericalBreakdown,  ///< an iterate turned non-finite mid-solve
+  kDeadlineExceeded,    ///< a cooperative cancellation token's deadline fired
+                        ///< mid-solve (sweep runner --point-timeout-ms)
+  kInterrupted,         ///< the run was interrupted (SIGINT/SIGTERM) and
+                        ///< drained; journaled sweeps are resumable
 };
 
 /// Stable identifier string for a code ("kUnstableQbd", ...), used in error
 /// records, run reports, and log lines.
 const char* error_code_name(ErrorCode code);
 
-/// Process exit status the CLI maps each code to (documented in DESIGN.md §9):
-/// kInvalidModel=3, kUnstableQbd=4, kSingularMatrix=5, kNonConvergence=6,
-/// kNumericalBreakdown=7.
+/// Process exit status the CLI maps each code to (documented in DESIGN.md §9
+/// and the README exit-code table): kInvalidModel=3, kUnstableQbd=4,
+/// kSingularMatrix=5, kNonConvergence=6, kNumericalBreakdown=7,
+/// kDeadlineExceeded=8, kInterrupted=9. Exit 9 means "interrupted but
+/// resumable": a journaled sweep can be continued with --resume.
 int error_exit_code(ErrorCode code);
 
 /// Machine-readable failure context. Fields default to "unknown" sentinels;

@@ -1,0 +1,595 @@
+// Tests for the resilient sweep runner (DESIGN.md §11): deterministic
+// ordering at any parallelism, cooperative per-point deadlines reaching the
+// qbd iteration loops, retry with ladder-resume, the checkpoint journal
+// (including torn-line crash recovery), interrupt/drain/resume, and — when
+// PERFBG_BENCH_SUITE_BINARY is defined — an end-to-end SIGKILL + --resume
+// round trip through the real bench_suite binary.
+#include "runner/sweep_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault_injection.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "qbd/rmatrix.hpp"
+#include "runner/journal.hpp"
+#include "util/error.hpp"
+
+#if defined(PERFBG_BENCH_SUITE_BINARY)
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace perfbg {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "perfbg_runner_" + name;
+}
+
+/// Sleeps, then returns {"i": index} — a cheap point with a tunable duration.
+runner::PointFn sleepy_point(double ms) {
+  return [ms](runner::PointContext& ctx) {
+    if (ms > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+    obs::JsonValue v = obs::JsonValue::object();
+    v.set("i", obs::JsonValue(static_cast<std::int64_t>(ctx.index())));
+    return v;
+  };
+}
+
+/// A real qbd solve (the fault suite's reference FG/BG chain) at a
+/// per-index utilization; payload carries the solver's outputs so parallel
+/// and sequential runs can be compared bit-for-bit.
+obs::JsonValue solve_reference_point(runner::PointContext& ctx, double utilization) {
+  const qbd::QbdProcess p = perfbg::testing::reference_qbd(utilization);
+  qbd::RSolverOptions opts;
+  opts.cancel = &ctx.token();
+  opts.start_rung = ctx.attempt() - 1;
+  qbd::RSolverStats stats;
+  const qbd::Matrix r = qbd::solve_r(p.a0, p.a1, p.a2, opts, &stats);
+  obs::JsonValue v = obs::JsonValue::object();
+  v.set("iterations", obs::JsonValue(stats.iterations));
+  v.set("r00", obs::JsonValue(r(0, 0)));
+  v.set("residual",
+        obs::JsonValue(qbd::r_equation_residual(r, p.a0, p.a1, p.a2)));
+  return v;
+}
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { runner::clear_interrupt(); }
+  void TearDown() override { runner::clear_interrupt(); }
+};
+
+TEST_F(RunnerTest, EmitsInSubmissionOrderAtHighParallelism) {
+  runner::RunnerOptions options;
+  options.jobs = 8;
+  runner::SweepRunner sweep(options);
+  const int n = 32;
+  // Early points sleep longest, so completion order is roughly the reverse
+  // of submission order — the emission buffer has to do real reordering.
+  for (int i = 0; i < n; ++i)
+    sweep.add("p" + std::to_string(i), sleepy_point(2.0 * (n - i) / n));
+  std::vector<std::string> emitted;
+  const runner::SweepResult result =
+      sweep.run([&emitted](const runner::PointOutcome& out) {
+        emitted.push_back(out.key);
+      });
+  ASSERT_EQ(result.outcomes.size(), static_cast<std::size_t>(n));
+  ASSERT_EQ(emitted.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(emitted[i], "p" + std::to_string(i));
+    EXPECT_EQ(result.outcomes[i].index, static_cast<std::size_t>(i));
+    ASSERT_TRUE(result.outcomes[i].ok());
+    EXPECT_EQ(result.outcomes[i].payload.at("i").as_int(), i);
+  }
+  EXPECT_FALSE(result.interrupted);
+  EXPECT_EQ(result.completed, static_cast<std::size_t>(n));
+  EXPECT_EQ(result.exit_code(), 0);
+}
+
+// The TSan concurrency test: real solver work on 8 workers, output compared
+// bit-for-bit against a sequential run of the same sweep.
+TEST_F(RunnerTest, ParallelOutputMatchesSequential) {
+  const std::vector<double> utils{0.05, 0.1, 0.15, 0.2, 0.25, 0.3,
+                                  0.35, 0.4, 0.45, 0.5, 0.55, 0.6};
+  auto run_with_jobs = [&utils](int jobs) {
+    runner::RunnerOptions options;
+    options.jobs = jobs;
+    runner::SweepRunner sweep(options);
+    for (std::size_t i = 0; i < utils.size(); ++i) {
+      const double u = utils[i];
+      sweep.add("u" + std::to_string(i), [u](runner::PointContext& ctx) {
+        return solve_reference_point(ctx, u);
+      });
+    }
+    std::vector<std::string> dumps;
+    for (const runner::PointOutcome& out : sweep.run().outcomes) {
+      EXPECT_TRUE(out.ok()) << out.error_message;
+      dumps.push_back(out.payload.dump());
+    }
+    return dumps;
+  };
+  const std::vector<std::string> sequential = run_with_jobs(1);
+  const std::vector<std::string> parallel = run_with_jobs(8);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i)
+    EXPECT_EQ(sequential[i], parallel[i]) << "point " << i;
+}
+
+// A wedged point (tolerance 0 never satisfies the solver's strict-< stop
+// test, so only the token can end the loop) is cut by --point-timeout-ms;
+// the other points complete and the sweep exits nonzero without hanging.
+TEST_F(RunnerTest, DeadlineCutsWedgedPointOthersComplete) {
+  runner::RunnerOptions options;
+  options.jobs = 2;
+  options.point_timeout_ms = 150.0;
+  runner::SweepRunner sweep(options);
+  sweep.add("ok-before", sleepy_point(1.0));
+  sweep.add("wedged", [](runner::PointContext& ctx) {
+    const qbd::QbdProcess p = perfbg::testing::reference_qbd(0.4);
+    qbd::RSolverOptions opts;
+    opts.tolerance = 0.0;  // unreachable: the iteration never stops on its own
+    opts.max_iters = std::numeric_limits<int>::max();
+    opts.enable_fallback = false;
+    opts.cancel = &ctx.token();
+    qbd::solve_r(p.a0, p.a1, p.a2, opts);
+    return obs::JsonValue::object();
+  });
+  sweep.add("ok-after", sleepy_point(1.0));
+  const runner::SweepResult result = sweep.run();
+  ASSERT_EQ(result.outcomes.size(), 3u);
+  EXPECT_TRUE(result.outcomes[0].ok());
+  EXPECT_EQ(result.outcomes[1].error_code, "kDeadlineExceeded");
+  EXPECT_TRUE(result.outcomes[2].ok());
+  EXPECT_EQ(result.failed, 1u);
+  EXPECT_FALSE(result.interrupted);
+  EXPECT_EQ(result.exit_code(), 1);
+}
+
+// The cancellation hook inside the qbd loops: an already-expired deadline
+// aborts the solve promptly with kDeadlineExceeded, and the fallback ladder
+// propagates it instead of descending to the next rung.
+TEST_F(RunnerTest, ExpiredDeadlineAbortsSolveThroughLadder) {
+  CancellationToken token;
+  // A budget <= 0 disarms by contract, so arm an already-elapsed deadline.
+  token.set_deadline(std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  const qbd::QbdProcess p = perfbg::testing::reference_qbd(0.4);
+  qbd::RSolverOptions opts;
+  opts.cancel = &token;  // fallback stays enabled: the ladder must not retry
+  qbd::RSolverStats stats;
+  try {
+    qbd::solve_r(p.a0, p.a1, p.a2, opts, &stats);
+    FAIL() << "expected kDeadlineExceeded";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(stats.outcome.rungs_attempted, 1);
+}
+
+TEST_F(RunnerTest, RetryRecoversOnSecondAttemptAndCountsIt) {
+  obs::MetricsRegistry metrics;
+  runner::RunnerOptions options;
+  options.max_attempts = 3;
+  options.backoff_base_ms = 1.0;
+  options.metrics = &metrics;
+  runner::SweepRunner sweep(options);
+  std::atomic<int> calls{0};
+  sweep.add("flaky", [&calls](runner::PointContext& ctx) {
+    calls.fetch_add(1);
+    if (ctx.attempt() == 1)
+      throw Error(ErrorCode::kNonConvergence, "transient failure for the test");
+    EXPECT_EQ(ctx.attempt(), 2);
+    obs::JsonValue v = obs::JsonValue::object();
+    v.set("attempt", obs::JsonValue(ctx.attempt()));
+    return v;
+  });
+  const runner::SweepResult result = sweep.run();
+  ASSERT_TRUE(result.outcomes[0].ok()) << result.outcomes[0].error_message;
+  EXPECT_EQ(result.outcomes[0].attempts, 2);
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(metrics.counter("runner.retry.attempts"), 1);
+  EXPECT_EQ(metrics.counter("runner.retry.recovered"), 1);
+  EXPECT_EQ(result.exit_code(), 0);
+}
+
+TEST_F(RunnerTest, NonRetryableCodeFailsWithoutRetry) {
+  runner::RunnerOptions options;
+  options.max_attempts = 3;
+  runner::SweepRunner sweep(options);
+  std::atomic<int> calls{0};
+  sweep.add("invalid", [&calls](runner::PointContext&) -> obs::JsonValue {
+    calls.fetch_add(1);
+    throw Error(ErrorCode::kInvalidModel, "structurally broken for the test");
+  });
+  const runner::SweepResult result = sweep.run();
+  EXPECT_EQ(result.outcomes[0].error_code, "kInvalidModel");
+  EXPECT_EQ(result.outcomes[0].attempts, 1);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(result.exit_code(), 1);
+}
+
+TEST_F(RunnerTest, UntypedExceptionRecordedAsUnclassified) {
+  runner::SweepRunner sweep({});
+  sweep.add("boom", [](runner::PointContext&) -> obs::JsonValue {
+    throw std::runtime_error("not a perfbg::Error");
+  });
+  const runner::SweepResult result = sweep.run();
+  EXPECT_EQ(result.outcomes[0].error_code, "kUnclassified");
+  EXPECT_EQ(result.outcomes[0].error_message, "not a perfbg::Error");
+}
+
+TEST_F(RunnerTest, SpeedupAndJobsGaugesRecorded) {
+  obs::MetricsRegistry metrics;
+  runner::RunnerOptions options;
+  options.jobs = 4;
+  options.metrics = &metrics;
+  runner::SweepRunner sweep(options);
+  for (int i = 0; i < 8; ++i) sweep.add("s" + std::to_string(i), sleepy_point(5.0));
+  sweep.run();
+  EXPECT_DOUBLE_EQ(metrics.gauge("runner.jobs"), 4.0);
+  // 8 x 5 ms of compute on 4 workers: the measured speedup must at least
+  // clear 1x by a safe margin (it is ~4 minus scheduling noise).
+  EXPECT_GT(metrics.gauge("runner.speedup"), 1.2);
+  EXPECT_EQ(metrics.counter("runner.points.ok"), 8);
+}
+
+// Interrupt mid-sweep, then resume from the journal: the merged outcome
+// payloads are byte-identical to an uninterrupted run of the same sweep.
+TEST_F(RunnerTest, InterruptDrainsThenJournalResumeMatchesCleanRun) {
+  const std::string journal_path = temp_path("interrupt.journal");
+  std::remove(journal_path.c_str());
+  const int n = 12;
+  auto add_points = [n](runner::SweepRunner& sweep, std::atomic<int>* solves,
+                        int interrupt_at) {
+    for (int i = 0; i < n; ++i) {
+      const double u = 0.05 + 0.04 * i;
+      sweep.add("u" + std::to_string(i),
+                [u, i, solves, interrupt_at](runner::PointContext& ctx) {
+                  if (solves) solves->fetch_add(1);
+                  // A deterministic "crash": one point requests the same
+                  // drain a SIGINT would, after its own solve finished.
+                  obs::JsonValue v = solve_reference_point(ctx, u);
+                  if (i == interrupt_at) runner::request_interrupt();
+                  return v;
+                });
+    }
+  };
+
+  // Reference: the same sweep, uninterrupted and unjournaled.
+  std::vector<std::string> reference;
+  {
+    runner::SweepRunner sweep({});
+    add_points(sweep, nullptr, -1);
+    for (const runner::PointOutcome& out : sweep.run().outcomes)
+      reference.push_back(out.payload.dump());
+  }
+
+  // Pass 1: journaled, interrupted after point 4 completes.
+  std::size_t first_pass_completed = 0;
+  {
+    runner::JournalWriter writer(journal_path, "test_sweep");
+    runner::RunnerOptions options;
+    options.jobs = 2;
+    options.journal = &writer;
+    runner::SweepRunner sweep(options);
+    add_points(sweep, nullptr, 4);
+    const runner::SweepResult result = sweep.run();
+    EXPECT_TRUE(result.interrupted);
+    EXPECT_EQ(result.exit_code(), 9);
+    first_pass_completed = result.completed;
+    EXPECT_LT(first_pass_completed, static_cast<std::size_t>(n));
+    EXPECT_GE(first_pass_completed, 5u);  // points 0..4 at least
+    // Unrun points are marked, not silently dropped.
+    std::size_t unrun = 0;
+    for (const runner::PointOutcome& out : result.outcomes)
+      if (out.error_code == "kInterrupted") {
+        ++unrun;
+        EXPECT_EQ(out.attempts, 0);
+      }
+    EXPECT_EQ(unrun, n - first_pass_completed);
+  }
+  runner::clear_interrupt();
+
+  // Pass 2: resume. Journaled points replay without re-solving.
+  std::atomic<int> resumed_solves{0};
+  {
+    const runner::JournalIndex index =
+        runner::JournalIndex::load(journal_path, "test_sweep");
+    EXPECT_EQ(index.size(), first_pass_completed);
+    runner::JournalWriter writer(journal_path, "test_sweep");
+    runner::RunnerOptions options;
+    options.jobs = 2;
+    options.journal = &writer;
+    options.resume = &index;
+    runner::SweepRunner sweep(options);
+    add_points(sweep, &resumed_solves, -1);
+    const runner::SweepResult result = sweep.run();
+    EXPECT_FALSE(result.interrupted);
+    EXPECT_EQ(result.exit_code(), 0);
+    EXPECT_EQ(result.resumed, first_pass_completed);
+    EXPECT_EQ(resumed_solves.load(),
+              static_cast<int>(n - first_pass_completed));
+    ASSERT_EQ(result.outcomes.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      EXPECT_EQ(result.outcomes[i].payload.dump(), reference[i])
+          << "point " << i << " diverged across interrupt+resume";
+  }
+  std::remove(journal_path.c_str());
+}
+
+TEST_F(RunnerTest, ResumeReplaysEverythingWithoutRecomputing) {
+  const std::string journal_path = temp_path("replay.journal");
+  std::remove(journal_path.c_str());
+  std::atomic<int> solves{0};
+  auto add_points = [&solves](runner::SweepRunner& sweep) {
+    for (int i = 0; i < 5; ++i)
+      sweep.add("k" + std::to_string(i), [i, &solves](runner::PointContext&) {
+        solves.fetch_add(1);
+        obs::JsonValue v = obs::JsonValue::object();
+        v.set("value", obs::JsonValue(i * 1.5));
+        return v;
+      });
+  };
+  {
+    runner::JournalWriter writer(journal_path, "replay_sweep");
+    runner::RunnerOptions options;
+    options.journal = &writer;
+    runner::SweepRunner sweep(options);
+    add_points(sweep);
+    EXPECT_EQ(sweep.run().failed, 0u);
+  }
+  EXPECT_EQ(solves.load(), 5);
+  {
+    const runner::JournalIndex index =
+        runner::JournalIndex::load(journal_path, "replay_sweep");
+    runner::RunnerOptions options;
+    options.resume = &index;
+    runner::SweepRunner sweep(options);
+    add_points(sweep);
+    const runner::SweepResult result = sweep.run();
+    EXPECT_EQ(solves.load(), 5) << "resume must not re-solve journaled points";
+    EXPECT_EQ(result.resumed, 5u);
+    for (const runner::PointOutcome& out : result.outcomes) {
+      EXPECT_TRUE(out.resumed);
+      EXPECT_TRUE(out.ok());
+    }
+  }
+  std::remove(journal_path.c_str());
+}
+
+TEST_F(RunnerTest, JournalToleratesTornTrailingLine) {
+  const std::string path = temp_path("torn.journal");
+  {
+    runner::JournalWriter writer(path, "torn_sweep");
+    runner::JournalRecord record;
+    record.key = "good";
+    record.payload = obs::JsonValue(1.0);
+    writer.append(record);
+  }
+  {
+    // Simulate a crash mid-append: half a JSON object, no newline.
+    std::ofstream out(path, std::ios::app);
+    out << "{\"hash\": \"0x123\", \"key\": \"to";
+  }
+  const runner::JournalIndex index = runner::JournalIndex::load(path);
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_NE(index.find("good"), nullptr);
+  EXPECT_EQ(index.find("torn"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST_F(RunnerTest, JournalRejectsWrongSweepId) {
+  const std::string path = temp_path("wrong_id.journal");
+  { runner::JournalWriter writer(path, "sweep_a"); }
+  EXPECT_NO_THROW(runner::JournalIndex::load(path, "sweep_a"));
+  EXPECT_THROW(runner::JournalIndex::load(path, "sweep_b"), std::invalid_argument);
+  EXPECT_THROW(runner::JournalIndex::load(temp_path("missing.journal")),
+               std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST_F(RunnerTest, JournalRecordRoundTripsBothForms) {
+  runner::JournalRecord ok;
+  ok.key = "point|u=0.15";
+  obs::JsonValue payload = obs::JsonValue::object();
+  payload.set("fg_queue_length", obs::JsonValue(0.123456789012345));
+  ok.payload = payload;
+  ok.attempts = 2;
+  ok.wall_ms = 1.5;
+  const runner::JournalRecord ok2 =
+      runner::JournalRecord::from_json(obs::parse_json(ok.to_json().dump()));
+  EXPECT_TRUE(ok2.ok());
+  EXPECT_EQ(ok2.key, ok.key);
+  EXPECT_EQ(ok2.attempts, 2);
+  EXPECT_EQ(ok2.payload.dump(), ok.payload.dump());
+
+  runner::JournalRecord bad;
+  bad.key = "point|u=0.9";
+  bad.error_code = "kNonConvergence";
+  bad.error_message = "every rung failed";
+  const runner::JournalRecord bad2 =
+      runner::JournalRecord::from_json(obs::parse_json(bad.to_json().dump()));
+  EXPECT_FALSE(bad2.ok());
+  EXPECT_EQ(bad2.error_code, "kNonConvergence");
+  EXPECT_EQ(bad2.error_message, "every rung failed");
+}
+
+TEST_F(RunnerTest, FailedPointsAreJournaledAndReplayedAsFailures) {
+  const std::string path = temp_path("failures.journal");
+  std::remove(path.c_str());
+  {
+    runner::JournalWriter writer(path, "fail_sweep");
+    runner::RunnerOptions options;
+    options.journal = &writer;
+    runner::SweepRunner sweep(options);
+    sweep.add("bad", [](runner::PointContext&) -> obs::JsonValue {
+      throw Error(ErrorCode::kUnstableQbd, "drift >= 1 for the test");
+    });
+    EXPECT_EQ(sweep.run().failed, 1u);
+  }
+  const runner::JournalIndex index = runner::JournalIndex::load(path, "fail_sweep");
+  ASSERT_NE(index.find("bad"), nullptr);
+  EXPECT_EQ(index.find("bad")->error_code, "kUnstableQbd");
+  {
+    runner::RunnerOptions options;
+    options.resume = &index;
+    runner::SweepRunner sweep(options);
+    std::atomic<int> calls{0};
+    sweep.add("bad", [&calls](runner::PointContext&) {
+      calls.fetch_add(1);
+      return obs::JsonValue::object();
+    });
+    const runner::SweepResult result = sweep.run();
+    EXPECT_EQ(calls.load(), 0) << "a journaled failure must not re-run";
+    EXPECT_EQ(result.outcomes[0].error_code, "kUnstableQbd");
+    EXPECT_TRUE(result.outcomes[0].resumed);
+    EXPECT_EQ(result.exit_code(), 1);
+  }
+  std::remove(path.c_str());
+}
+
+#if defined(PERFBG_BENCH_SUITE_BINARY)
+
+/// Reads the journal and counts completed-point records (lines with a key).
+std::size_t journal_record_count(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line))
+    if (line.find("\"key\"") != std::string::npos) ++count;
+  return count;
+}
+
+/// Launches bench_suite with the given extra args; returns the child pid.
+pid_t spawn_bench_suite(const std::vector<std::string>& extra) {
+  std::vector<std::string> args{PERFBG_BENCH_SUITE_BINARY, "--quick"};
+  args.insert(args.end(), extra.begin(), extra.end());
+  const pid_t pid = fork();
+  if (pid == 0) {
+    std::vector<char*> argv;
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    // Quiet the child's stdout so test output stays readable.
+    std::freopen("/dev/null", "w", stdout);
+    execv(argv[0], argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+int run_bench_suite(const std::vector<std::string>& extra) {
+  const pid_t pid = spawn_bench_suite(extra);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// SIGKILL the suite mid-sweep, resume from the journal, and check the
+/// resumed baseline agrees exactly (non-timing fields) with a clean run.
+TEST_F(RunnerTest, EndToEndSigkillThenResumeReproducesBaseline) {
+  const std::string journal = temp_path("e2e.journal");
+  const std::string resumed_out = temp_path("e2e_resumed.json");
+  const std::string clean_out = temp_path("e2e_clean.json");
+  std::remove(journal.c_str());
+
+  // Phase 1: slow the points down so the kill lands mid-sweep, then SIGKILL
+  // once the journal proves at least 3 points were checkpointed.
+  const pid_t pid = spawn_bench_suite(
+      {"--point-sleep-ms=40", "--journal=" + journal, "--out=" + resumed_out});
+  ASSERT_GT(pid, 0);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (journal_record_count(journal) < 3) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "journal never reached 3 records";
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, WNOHANG), 0) << "bench_suite exited early";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  kill(pid, SIGKILL);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  const std::size_t checkpointed = journal_record_count(journal);
+  ASSERT_GE(checkpointed, 3u);
+  ASSERT_LT(checkpointed, 18u) << "the kill landed after the sweep finished";
+
+  // Phase 2: resume to completion, and a clean run for reference.
+  ASSERT_EQ(run_bench_suite({"--resume=" + journal, "--out=" + resumed_out}), 0);
+  ASSERT_EQ(run_bench_suite({"--out=" + clean_out}), 0);
+
+  auto load = [](const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return obs::parse_json(ss.str());
+  };
+  const obs::JsonValue resumed = load(resumed_out);
+  const obs::JsonValue clean = load(clean_out);
+  const obs::JsonArray& rp = resumed.at("points").as_array();
+  const obs::JsonArray& cp = clean.at("points").as_array();
+  ASSERT_EQ(rp.size(), cp.size());
+  for (std::size_t i = 0; i < rp.size(); ++i) {
+    // Everything but wall_ms (timing) must match exactly — including the
+    // solver outputs, which is what "resume reproduces the uninterrupted
+    // result" means.
+    for (const char* fieldname :
+         {"workload", "bg_probability", "bg_buffer", "utilization"})
+      EXPECT_EQ(rp[i].at(fieldname).dump(), cp[i].at(fieldname).dump())
+          << "point " << i << " field " << fieldname;
+    ASSERT_EQ(rp[i].find("error"), nullptr) << "point " << i;
+    ASSERT_EQ(cp[i].find("error"), nullptr) << "point " << i;
+    EXPECT_EQ(rp[i].at("iterations").as_int(), cp[i].at("iterations").as_int());
+    EXPECT_EQ(rp[i].at("fg_queue_length").dump(),
+              cp[i].at("fg_queue_length").dump());
+  }
+
+  std::remove(journal.c_str());
+  std::remove(resumed_out.c_str());
+  std::remove(clean_out.c_str());
+}
+
+/// SIGTERM triggers the graceful drain: the suite exits with the documented
+/// resumable status (9) and the journal stays loadable.
+TEST_F(RunnerTest, EndToEndSigtermDrainsAndExitsResumable) {
+  const std::string journal = temp_path("e2e_term.journal");
+  const std::string out = temp_path("e2e_term.json");
+  std::remove(journal.c_str());
+  const pid_t pid = spawn_bench_suite(
+      {"--point-sleep-ms=40", "--journal=" + journal, "--out=" + out});
+  ASSERT_GT(pid, 0);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (journal_record_count(journal) < 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, WNOHANG), 0) << "bench_suite exited early";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  kill(pid, SIGTERM);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 9);  // kInterrupted: resumable
+  EXPECT_NO_THROW(runner::JournalIndex::load(journal, "bench_suite"));
+  // And the resumed run completes what the drain left over.
+  EXPECT_EQ(run_bench_suite({"--resume=" + journal, "--out=" + out}), 0);
+  std::remove(journal.c_str());
+  std::remove(out.c_str());
+}
+
+#endif  // PERFBG_BENCH_SUITE_BINARY
+
+}  // namespace
+}  // namespace perfbg
