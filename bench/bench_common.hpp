@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -26,10 +28,11 @@
 namespace perfbg::bench {
 
 /// Per-binary observability session. Construct first thing in main(); every
-/// solve_point() call then feeds phase timings and solver counters into the
-/// run's MetricsRegistry, and the destructor writes the structured outputs
-/// the user asked for:
+/// solve_point() call then feeds phase timings, solver counters, and one
+/// numerical-health record per solve into the run's report, and the
+/// destructor writes the structured outputs the user asked for:
 ///   --metrics-json=<path>  full run report (schema perfbg.run_report.v1)
+///   --metrics-prom=<path>  metrics snapshot, Prometheus text format 0.0.4
 ///   --trace=<path>         all buffered trace events as JSON lines
 ///   --trace-chrome=<path>  hierarchical span profile as Chrome trace JSON
 /// Without flags the bench output is byte-identical to the flag-less days.
@@ -49,6 +52,8 @@ class BenchRun {
     Flags& flags = flags_;
     if (define_extra) define_extra(flags);
     flags.define("metrics-json", "write a structured JSON run report to this path");
+    flags.define("metrics-prom",
+                 "write a Prometheus text-format metrics snapshot to this path");
     flags.define("trace", "write all trace events as JSON lines to this path");
     flags.define("trace-chrome",
                  "write a Chrome trace-event JSON span profile to this path");
@@ -68,6 +73,7 @@ class BenchRun {
       std::exit(0);
     }
     metrics_json_ = flags.get_string("metrics-json", "");
+    prom_path_ = flags.get_string("metrics-prom", "");
     trace_path_ = flags.get_string("trace", "");
     chrome_path_ = flags.get_string("trace-chrome", "");
     if (!chrome_path_.empty()) {
@@ -152,6 +158,17 @@ class BenchRun {
         span_collector_->write_chrome_trace(chrome_path_);
       }
       if (!metrics_json_.empty()) report_.write_json(metrics_json_);
+      if (!prom_path_.empty()) {
+        std::ofstream out(prom_path_);
+        if (!out)
+          throw std::runtime_error("perfbg: cannot open '" + prom_path_ +
+                                   "' for writing");
+        out << report_.metrics().render_text();
+        out.flush();
+        if (!out)
+          throw std::runtime_error("perfbg: failed writing metrics to '" +
+                                   prom_path_ + "'");
+      }
       if (!trace_path_.empty()) report_.write_trace_jsonl(trace_path_);
     } catch (const std::exception& e) {
       std::cerr << e.what() << "\n";
@@ -162,6 +179,7 @@ class BenchRun {
   Flags flags_;
   obs::RunReport report_;
   std::string metrics_json_;
+  std::string prom_path_;
   std::string trace_path_;
   std::string chrome_path_;
   std::optional<obs::SpanCollector> span_collector_;
@@ -250,6 +268,15 @@ inline qbd::RSolverOptions point_solver_options(const runner::PointContext& ctx)
   return opts;
 }
 
+/// Deterministic identity of one sweep point for health records: matches the
+/// journal-key style but carries only model coordinates (no panel title), so
+/// the same point solved by different panels sorts together.
+inline std::string point_health_key(const std::string& workload, double utilization,
+                                    double p, int bg_buffer) {
+  return workload + "|u=" + format_number(utilization, 6) + "|p=" +
+         format_number(p, 6) + "|X=" + std::to_string(bg_buffer);
+}
+
 /// One classified point failure from a sweep.
 struct PointError {
   std::string code;     ///< ErrorCode name, e.g. "kUnstableQbd"
@@ -310,7 +337,14 @@ inline core::FgBgMetrics solve_point(const traffic::MarkovianArrivalProcess& pro
   obs::MetricsRegistry* metrics = BenchRun::active_metrics();
   if (metrics) metrics->add("bench.solve_points");
   const qbd::RSolverOptions opts = solver_opts ? *solver_opts : qbd::RSolverOptions{};
-  return core::FgBgModel(params, metrics).solve(opts).metrics();
+  const core::FgBgSolution solution = core::FgBgModel(params, metrics).solve(opts);
+  if (obs::RunReport* report = BenchRun::active_report()) {
+    obs::SolveHealth health = solution.health();
+    health.key = point_health_key(process.name(), utilization, p, bg_buffer);
+    health.attempt = opts.start_rung + 1;
+    report->add_health(health);
+  }
+  return solution.metrics();
 }
 
 /// Graceful-degradation wrapper around solve_point(): a typed pipeline error
@@ -334,6 +368,16 @@ inline PointResult try_solve_point(const traffic::MarkovianArrivalProcess& proce
                    e.context().has_drift_ratio() ? e.context().drift_ratio : -1.0};
     record_point_error(err, process.name(), utilization, p, idle_wait_intensity,
                        bg_buffer, ctx ? ctx->attempt() : 1);
+    if (obs::RunReport* report = BenchRun::active_report()) {
+      obs::SolveHealth health = obs::failed_solve_health(err.code, err.message);
+      health.key = point_health_key(process.name(), utilization, p, bg_buffer);
+      health.attempt = ctx ? ctx->attempt() : 1;
+      health.drift_ratio = err.drift_ratio;
+      if (e.context().has_iterations()) health.iterations = e.context().iterations;
+      if (e.context().has_last_residual())
+        health.final_residual = e.context().last_residual;
+      report->add_health(health);
+    }
     return {std::nullopt, std::move(err)};
   }
 }
@@ -384,10 +428,22 @@ inline void print_load_sweep_panel(const std::string& title,
         cells.emplace_back(std::in_place_type<std::string>, out.error_code);
         // Interrupt placeholders (points the drain never started) are not
         // solver failures; they re-run on resume and don't belong in "errors".
-        if (out.error_code != "kInterrupted")
+        if (out.error_code != "kInterrupted") {
           record_point_error({out.error_code, out.error_message, -1.0},
                              process.name(), loads[row], ps[col], 1.0, 5,
                              out.attempts > 0 ? out.attempts : 1);
+          // The solve threw inside the worker before solve_point could record
+          // a converged health record; record the failed one here so every
+          // attempted solve shows up under "health".
+          if (obs::RunReport* report = BenchRun::active_report()) {
+            obs::SolveHealth health =
+                obs::failed_solve_health(out.error_code, out.error_message);
+            health.key =
+                point_health_key(process.name(), loads[row], ps[col], 5);
+            health.attempt = out.attempts > 0 ? out.attempts : 1;
+            report->add_health(health);
+          }
+        }
       }
     }
     t.add_row(std::move(cells));

@@ -1,8 +1,12 @@
 // Perf-baseline orchestrator: solves a pinned grid of model points and emits
-// a machine-readable baseline (schema perfbg.bench_baseline.v1) that
+// a machine-readable baseline (schema perfbg.bench_baseline.v2) that
 // perfbg_report_diff compares across runs to catch solver performance
 // regressions. The committed reference baseline lives at the repo root as
-// BENCH_solver.json; CI regenerates a fresh one and diffs it (DESIGN.md §10).
+// BENCH_solver.json; CI regenerates a fresh one and diffs it (DESIGN.md §10,
+// §12). Beyond the per-point minimum wall times, a v2 baseline embeds
+// per-span p50/p99/max tail statistics ("spans", from the profiled pass) and
+// the span budgets ("budgets") that the perfbg_report_diff gate hard-fails
+// against.
 //
 //   $ ./bench/bench_suite --out=BENCH_solver.json
 //   $ ./bench/bench_suite --quick --out=/tmp/bench.json   # 1 rep, CI-sized
@@ -82,13 +86,26 @@ std::string point_key(const GridPoint& g) {
 }
 
 /// One full model build + solve; returns the solver iteration count and the
-/// headline metric through the out-params.
+/// headline metric through the out-params. Every solve — timed rep or
+/// profiled pass — records one numerical-health record under `health_key`
+/// (the records are deterministic, so repetitions are identical entries).
 void solve_once(const core::FgBgParams& params, const qbd::RSolverOptions& opts,
-                int& iterations, double& qlen) {
+                const std::string& health_key, int& iterations, double& qlen) {
   const core::FgBgModel model(params);
   const core::FgBgSolution solution = model.solve(opts);
   iterations = solution.qbd().solver_stats().iterations;
   qlen = solution.metrics().fg_queue_length;
+  if (obs::RunReport* report = bench::BenchRun::active_report()) {
+    obs::SolveHealth health = solution.health();
+    health.key = health_key;
+    health.attempt = opts.start_rung + 1;
+    report->add_health(health);
+  }
+}
+
+/// Health-record identity of a grid point (bench_common key convention).
+std::string health_key(const GridPoint& g) {
+  return bench::point_health_key(g.workload, kUtilization, g.p, g.bg_buffer);
 }
 
 /// Runs one grid point under the sweep runner: `reps` timed solves (min
@@ -108,7 +125,7 @@ obs::JsonValue run_point(const GridPoint& g, int reps, double sleep_ms,
   double qlen = 0.0;
   for (int r = 0; r < reps; ++r) {
     const auto t0 = std::chrono::steady_clock::now();
-    solve_once(params, opts, iterations, qlen);
+    solve_once(params, opts, health_key(g), iterations, qlen);
     const auto t1 = std::chrono::steady_clock::now();
     const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (wall_ms < 0.0 || ms < wall_ms) wall_ms = ms;
@@ -194,6 +211,15 @@ int main(int argc, char** argv) {
     bench::record_point_error({out.error_code, out.error_message, -1.0},
                               g.workload, kUtilization, g.p, 1.0, g.bg_buffer,
                               out.attempts > 0 ? out.attempts : 1);
+    // The solve threw inside the worker, so solve_once never recorded a
+    // health entry for this point; record the failed one here.
+    if (obs::RunReport* report = bench::BenchRun::active_report()) {
+      obs::SolveHealth health =
+          obs::failed_solve_health(out.error_code, out.error_message);
+      health.key = health_key(g);
+      health.attempt = out.attempts > 0 ? out.attempts : 1;
+      report->add_health(health);
+    }
   }
 
   if (result.interrupted) {
@@ -238,7 +264,8 @@ int main(int argc, char** argv) {
       try {
         int iterations = 0;
         double qlen = 0.0;
-        solve_once(point_params(g), qbd::RSolverOptions{}, iterations, qlen);
+        solve_once(point_params(g), qbd::RSolverOptions{}, health_key(g),
+                   iterations, qlen);
       } catch (const Error&) {
         // Already recorded as a failed point in the timed pass.
       }
@@ -246,7 +273,7 @@ int main(int argc, char** argv) {
   }
 
   obs::JsonValue doc = obs::JsonValue::object();
-  doc.set("schema", obs::JsonValue(obs::kBenchBaselineSchema));
+  doc.set("schema", obs::JsonValue(obs::kBenchBaselineSchemaV2));
   doc.set("tool", obs::JsonValue("bench_suite"));
   doc.set("machine", machine_info());
   obs::JsonValue config = obs::JsonValue::object();
@@ -255,6 +282,12 @@ int main(int argc, char** argv) {
   config.set("quick", obs::JsonValue(flags.has("quick")));
   doc.set("config", std::move(config));
   doc.set("points", std::move(points));
+  // v2 payload: per-span tail statistics from the sequential profiled pass
+  // (log-bucketed histograms, DESIGN.md §12) and the budgets the diff gate
+  // enforces. Budgets are stamped from the library defaults so the committed
+  // baseline carries the gate it is judged by.
+  doc.set("spans", obs::span_tail_stats_json(collector.snapshot()));
+  doc.set("budgets", obs::budgets_to_json(obs::default_span_budgets()));
   doc.set("top_spans", obs::top_spans_json(collector.profile_tree(), 12));
 
   try {

@@ -1,0 +1,65 @@
+# Release-build guard (DESIGN.md §12): proves by symbol scan that no
+# PERFBG_DCHECK survived into the hot solver libraries in an NDEBUG build.
+#
+# Mechanism: an enabled PERFBG_DCHECK calls the out-of-line funnel
+# perfbg::detail::dcheck_failed (src/util/check.cpp), so every object file
+# with a live debug check carries an undefined reference whose mangled name
+# contains "dcheck_failed". In Release/RelWithDebInfo the macro compiles to
+# nothing, so scanning the hot static libraries for any "dcheck" symbol must
+# come up empty. perfbg_util is deliberately NOT scanned — it defines the
+# funnel itself.
+#
+# Usage (registered as the release_dcheck_guard ctest by the root
+# CMakeLists, and run directly by the CI release job):
+#   cmake -DNM=<path-to-nm> "-DLIBS=<lib1.a;lib2.a;...>" \
+#         -P cmake/release_guard.cmake
+#
+# Exits fatally (non-zero) when a library is missing, nm fails, or a dcheck
+# symbol is found.
+cmake_minimum_required(VERSION 3.16)
+
+if(NOT NM)
+  message(FATAL_ERROR "release_guard: pass -DNM=<path-to-nm>")
+endif()
+if(NOT LIBS)
+  message(FATAL_ERROR "release_guard: pass -DLIBS=<semicolon-separated archives>")
+endif()
+
+set(clean_count 0)
+foreach(lib IN LISTS LIBS)
+  if(NOT EXISTS "${lib}")
+    message(FATAL_ERROR "release_guard: library not found: ${lib}")
+  endif()
+  execute_process(
+    COMMAND "${NM}" "${lib}"
+    OUTPUT_VARIABLE symbols
+    ERROR_VARIABLE nm_err
+    RESULT_VARIABLE nm_status)
+  if(NOT nm_status EQUAL 0)
+    message(FATAL_ERROR "release_guard: ${NM} failed on ${lib}: ${nm_err}")
+  endif()
+  string(TOLOWER "${symbols}" symbols_lower)
+  string(FIND "${symbols_lower}" "dcheck" hit)
+  if(NOT hit EQUAL -1)
+    # Reconstruct the offending lines for the error message.
+    string(REPLACE ";" "\\;" escaped "${symbols}")
+    string(REPLACE "\n" ";" lines "${escaped}")
+    set(offending "")
+    foreach(line IN LISTS lines)
+      string(TOLOWER "${line}" line_lower)
+      string(FIND "${line_lower}" "dcheck" line_hit)
+      if(NOT line_hit EQUAL -1)
+        string(APPEND offending "  ${line}\n")
+      endif()
+    endforeach()
+    message(FATAL_ERROR
+      "release_guard: debug checks compiled into ${lib} — a PERFBG_DCHECK "
+      "(or a call to perfbg::detail::dcheck_failed) is live in a hot solver "
+      "library of an NDEBUG build. Offending symbols:\n${offending}"
+      "Hot-loop invariants must stay behind PERFBG_DCHECK so Release builds "
+      "pay nothing for them (src/util/check.hpp).")
+  endif()
+  math(EXPR clean_count "${clean_count} + 1")
+endforeach()
+
+message(STATUS "release_guard: ${clean_count} hot librar(ies) clean of dcheck symbols")

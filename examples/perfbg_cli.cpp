@@ -22,8 +22,13 @@
 //
 // --metrics-json writes a structured run report (schema
 // perfbg.run_report.v1): solver phase timings, the per-iteration R-solver
-// convergence trace, and simulator event counters (a short validation
-// simulation runs automatically when --simulate was not given).
+// convergence trace, simulator event counters (a short validation
+// simulation runs automatically when --simulate was not given), and one
+// numerical-health record per solve under "health" — convergence status,
+// residual trajectory, fallback rung, drift proximity (DESIGN.md §12).
+//
+// --metrics-prom writes the final metrics snapshot in Prometheus text
+// exposition format 0.0.4, for scraping into a time-series store.
 //
 // --trace-chrome writes the run's hierarchical span profile in Chrome
 // trace-event format — open the file in chrome://tracing or Perfetto to see
@@ -37,6 +42,7 @@
 // resumable). A classified failure is also recorded in the run report's
 // "errors" array when --metrics-json was given, so sweep drivers can harvest
 // failed points from the report.
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -96,6 +102,27 @@ std::vector<double> parse_util_list(const std::string& csv) {
   return utils;
 }
 
+/// Deterministic identity of one solved point for health records: workload
+/// plus model coordinates (same convention as bench_common's
+/// point_health_key, which examples cannot include).
+std::string health_key(const std::string& workload, double utilization, double p,
+                       int bg_buffer) {
+  return workload + "|u=" + format_number(utilization, 6) +
+         "|p=" + format_number(p, 6) + "|X=" + std::to_string(bg_buffer);
+}
+
+/// Writes the registry snapshot in Prometheus text format 0.0.4; throws
+/// std::runtime_error on I/O failure.
+void write_prometheus(const obs::MetricsRegistry& metrics, const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("perfbg: cannot open '" + path + "' for writing");
+  out << metrics.render_text();
+  out.flush();
+  if (!out)
+    throw std::runtime_error("perfbg: failed writing metrics to '" + path + "'");
+}
+
 /// Sweep mode: one solve per listed utilization through the sweep runner.
 /// Returns the process exit code (0 ok, 1 some points failed, 9 interrupted).
 int run_util_sweep(const std::vector<double>& utils,
@@ -118,14 +145,23 @@ int run_util_sweep(const std::vector<double>& utils,
         "|p=" + format_number(base_params.bg_probability, 6) +
         "|X=" + format_number(static_cast<double>(base_params.bg_buffer), 0) +
         "|iw=" + format_number(base_params.idle_wait_intensity, 6);
-    sweep.add(key, [&base, &base_params, mean_s, u](runner::PointContext& ctx) {
+    sweep.add(key, [&base, &base_params, mean_s, u, &report,
+                    observing](runner::PointContext& ctx) {
       core::FgBgParams params = base_params;
       params.arrivals = base.scaled_to_utilization(u, mean_s);
       qbd::RSolverOptions solver_opts;
       solver_opts.cancel = &ctx.token();
       solver_opts.start_rung = ctx.attempt() - 1;
-      const core::FgBgMetrics m =
-          core::FgBgModel(params).solve(solver_opts).metrics();
+      const core::FgBgSolution solution = core::FgBgModel(params).solve(solver_opts);
+      if (observing) {
+        // add_health is thread-safe; sweep workers record concurrently.
+        obs::SolveHealth health = solution.health();
+        health.key = health_key(base.name(), u, params.bg_probability,
+                                params.bg_buffer);
+        health.attempt = ctx.attempt();
+        report.add_health(health);
+      }
+      const core::FgBgMetrics m = solution.metrics();
       obs::JsonValue payload = obs::JsonValue::object();
       payload.set("fg_queue_length", obs::JsonValue(m.fg_queue_length));
       payload.set("fg_response_time", obs::JsonValue(m.fg_response_time));
@@ -165,6 +201,14 @@ int run_util_sweep(const std::vector<double>& utils,
         record.set("attempts",
                    obs::JsonValue(out.attempts > 0 ? out.attempts : 1));
         report.add_error(std::move(record));
+        // The solve threw inside the worker before the lambda could record a
+        // converged health entry; record the failed one here.
+        obs::SolveHealth health =
+            obs::failed_solve_health(out.error_code, out.error_message);
+        health.key = health_key(base.name(), utils[i], base_params.bg_probability,
+                                base_params.bg_buffer);
+        health.attempt = out.attempts > 0 ? out.attempts : 1;
+        report.add_health(health);
       }
     }
     t.add_row(std::move(row));
@@ -200,13 +244,15 @@ int main(int argc, char** argv) {
                "through the sweep runner (enables --jobs/--journal/--resume)");
   perfbg::runner::define_runner_flags(flags);
   flags.define("metrics-json", "write a structured JSON run report to this path");
+  flags.define("metrics-prom",
+               "write a Prometheus text-format metrics snapshot to this path");
   flags.define("trace", "write all trace events as JSON lines to this path");
   flags.define("trace-chrome",
                "write a Chrome trace-event JSON span profile to this path");
   flags.define_switch("help", "print this help");
 
   obs::RunReport report("perfbg_cli");
-  std::string metrics_json, trace_path, chrome_path;
+  std::string metrics_json, prom_path, trace_path, chrome_path;
   std::optional<obs::SpanCollector> span_collector;
   // Closes the profiling session and writes the chrome trace; safe to call on
   // both the success and the classified-error path.
@@ -241,13 +287,15 @@ int main(int argc, char** argv) {
     params.idle_wait_intensity = flags.get_double("idle-wait", 1.0);
 
     metrics_json = flags.get_string("metrics-json", "");
+    prom_path = flags.get_string("metrics-prom", "");
     trace_path = flags.get_string("trace", "");
     chrome_path = flags.get_string("trace-chrome", "");
     if (!chrome_path.empty()) {
       span_collector.emplace();
       span_collector->install();
     }
-    const bool observing = !metrics_json.empty() || !trace_path.empty();
+    const bool observing =
+        !metrics_json.empty() || !prom_path.empty() || !trace_path.empty();
     const bool simulate = flags.get_bool("simulate", false);
 
     obs::MetricsRegistry* metrics = observing ? &report.metrics() : nullptr;
@@ -274,6 +322,10 @@ int main(int argc, char** argv) {
         report.write_json(metrics_json);
         std::cout << "\nwrote run report to " << metrics_json << "\n";
       }
+      if (!prom_path.empty()) {
+        write_prometheus(report.metrics(), prom_path);
+        std::cout << "wrote Prometheus metrics to " << prom_path << "\n";
+      }
       if (!trace_path.empty()) {
         report.write_trace_jsonl(trace_path);
         std::cout << "wrote trace events to " << trace_path << "\n";
@@ -288,6 +340,10 @@ int main(int argc, char** argv) {
     const core::FgBgSolution solution = model.solve(solver_opts);
     const core::FgBgMetrics m = solution.metrics();
     if (observing) {
+      obs::SolveHealth health = solution.health();
+      health.key = health_key(arrivals.name(), params.fg_offered_load(),
+                              params.bg_probability, params.bg_buffer);
+      report.add_health(health);
       export_convergence_trace(solution.qbd().solver_stats(),
                                report.trace("qbd.rsolve.convergence"));
       report.metrics().set("model.fg_queue_length", m.fg_queue_length);
@@ -333,6 +389,10 @@ int main(int argc, char** argv) {
       report.write_json(metrics_json);
       std::cout << "\nwrote run report to " << metrics_json << "\n";
     }
+    if (!prom_path.empty()) {
+      write_prometheus(report.metrics(), prom_path);
+      std::cout << "wrote Prometheus metrics to " << prom_path << "\n";
+    }
     if (!trace_path.empty()) {
       report.write_trace_jsonl(trace_path);
       std::cout << "wrote trace events to " << trace_path << "\n";
@@ -355,10 +415,26 @@ int main(int argc, char** argv) {
     if (e.context().has_iterations())
       record.set("iterations", obs::JsonValue(e.context().iterations));
     report.add_error(std::move(record));
+    // The failed solve still gets a health record (status kFailed/kCancelled,
+    // with whatever trajectory the error context salvaged).
+    obs::SolveHealth health = obs::failed_solve_health(
+        error_code_name(e.code()), std::string(e.what()));
+    if (e.context().has_drift_ratio()) health.drift_ratio = e.context().drift_ratio;
+    if (e.context().has_iterations()) health.iterations = e.context().iterations;
+    if (e.context().has_last_residual())
+      health.final_residual = e.context().last_residual;
+    report.add_health(health);
     if (!metrics_json.empty()) {
       try {
         report.write_json(metrics_json);
         std::cerr << "wrote run report (with error record) to " << metrics_json << "\n";
+      } catch (const std::exception& io) {
+        std::cerr << io.what() << "\n";
+      }
+    }
+    if (!prom_path.empty()) {
+      try {
+        write_prometheus(report.metrics(), prom_path);
       } catch (const std::exception& io) {
         std::cerr << io.what() << "\n";
       }

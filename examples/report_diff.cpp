@@ -1,15 +1,23 @@
 // perfbg_report_diff: compare two perfbg JSON documents — bench baselines
-// (schema perfbg.bench_baseline.v1, as written by bench_suite) or run
+// (schema perfbg.bench_baseline.v1 or .v2, as written by bench_suite) or run
 // reports (schema perfbg.run_report.v1, as written by --metrics-json) — and
-// flag wall-time regressions. CI runs it against the committed
-// BENCH_solver.json as a soft gate (DESIGN.md §10).
+// flag wall-time regressions. For v2 baselines it is also the perf-sentinel
+// hard gate: per-span p99 tails are compared against the OLD document's
+// budgets, and any breach is a hard failure (exit 4), while unbudgeted span
+// drift stays warn-only. CI runs it against the committed BENCH_solver.json
+// (DESIGN.md §10, §12).
 //
 //   $ perfbg_report_diff old.json new.json
 //   $ perfbg_report_diff old.json new.json --threshold 0.10 --min-delta-ms 0.5
+//   $ perfbg_report_diff old.json new.json --budgets-only      # hard gate only
+//   $ perfbg_report_diff old.json new.json --allow-span 'sim.*'
+//   $ perfbg_report_diff BENCH_solver.json fresh.json --update-baseline
 //
-// Exit codes: 0 no regressions, 1 at least one regression past the
+// Exit codes: 0 no regressions, 1 at least one soft regression past the
 // threshold, 2 usage or file error, 3 schema mismatch (documents are not
-// comparable — different or unknown schemas).
+// comparable — different or unknown schemas), 4 budget breach (a budgeted
+// span regressed at p99 or exceeded its absolute ceiling; takes precedence
+// over 1).
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -23,16 +31,31 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: perfbg_report_diff <old.json> <new.json> [--threshold <rel>]\n"
-    "                          [--min-delta-ms <ms>]\n"
+    "                          [--min-delta-ms <ms>] [--allow-span <pattern>]\n"
+    "                          [--budgets-only] [--update-baseline]\n"
     "\n"
-    "Compares two perfbg.bench_baseline.v1 or perfbg.run_report.v1 documents\n"
-    "and reports wall-time regressions: entries where new/old - 1 exceeds the\n"
-    "threshold (default 0.25) AND the absolute growth exceeds --min-delta-ms\n"
-    "(default 0.1 ms, so microsecond noise on fast phases never trips the\n"
-    "gate).\n"
+    "Compares two perfbg.bench_baseline.v1/.v2 or perfbg.run_report.v1\n"
+    "documents and reports wall-time regressions: entries where new/old - 1\n"
+    "exceeds the threshold (default 0.25) AND the absolute growth exceeds\n"
+    "--min-delta-ms (default 0.1 ms, so microsecond noise on fast phases never\n"
+    "trips the gate).\n"
     "\n"
-    "exit codes: 0 no regressions, 1 regressions found, 2 usage/file error,\n"
-    "            3 schema mismatch\n";
+    "v2 baselines additionally carry per-span p50/p99/max tail statistics and\n"
+    "span budgets; budgeted spans are gated HARD on their p99 tails (exit 4),\n"
+    "using the budgets of the OLD document. Options:\n"
+    "  --allow-span <pattern>  allowlist a known-noisy span (exact name or\n"
+    "                          'prefix.*'); repeatable; allowlisted spans are\n"
+    "                          still reported but never breach a budget\n"
+    "  --budgets-only          gate on budget breaches only: soft regressions\n"
+    "                          are still printed but exit 0 (CI uses this for\n"
+    "                          the hard step of the split bench-baseline job)\n"
+    "  --update-baseline       rewrite <old.json> with the contents of\n"
+    "                          <new.json>, normalised to the canonical\n"
+    "                          two-space dump (byte-deterministic), and exit 0\n"
+    "                          without diffing\n"
+    "\n"
+    "exit codes: 0 no regressions, 1 soft regressions found, 2 usage/file\n"
+    "            error, 3 schema mismatch, 4 budget breach\n";
 
 perfbg::obs::JsonValue load_document(const std::string& path) {
   std::ifstream in(path);
@@ -60,6 +83,25 @@ double parse_value(const std::vector<std::string>& args, std::size_t& i,
   return v;
 }
 
+/// --update-baseline: parse the new document and rewrite the old path with
+/// its canonical two-space dump (the exact format bench_suite writes), so
+/// regenerating a baseline is a parse + dump round-trip — byte-deterministic,
+/// independent of the input file's incidental formatting.
+int update_baseline(const std::string& old_path, const std::string& new_path) {
+  const perfbg::obs::JsonValue doc = load_document(new_path);
+  std::ofstream out(old_path);
+  if (!out)
+    throw std::runtime_error("perfbg_report_diff: cannot open " + old_path +
+                             " for writing");
+  doc.dump(out, 2);
+  out << "\n";
+  out.flush();
+  if (!out)
+    throw std::runtime_error("perfbg_report_diff: write failed for " + old_path);
+  std::cout << "updated baseline " << old_path << " from " << new_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -68,6 +110,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   std::vector<std::string> paths;
   perfbg::obs::DiffOptions options;
+  bool budgets_only = false;
+  bool do_update = false;
   try {
     for (std::size_t i = 0; i < args.size(); ++i) {
       const std::string& a = args[i];
@@ -79,6 +123,14 @@ int main(int argc, char** argv) {
         options.threshold = parse_value(args, i, a);
       } else if (a == "--min-delta-ms") {
         options.min_abs_delta_ms = parse_value(args, i, a);
+      } else if (a == "--allow-span") {
+        if (i + 1 >= args.size())
+          throw std::invalid_argument("perfbg_report_diff: --allow-span needs a value");
+        options.allowlist.push_back(args[++i]);
+      } else if (a == "--budgets-only") {
+        budgets_only = true;
+      } else if (a == "--update-baseline") {
+        do_update = true;
       } else if (!a.empty() && a[0] == '-') {
         throw std::invalid_argument("perfbg_report_diff: unknown option '" + a + "'");
       } else {
@@ -100,11 +152,14 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (do_update) return update_baseline(paths[0], paths[1]);
     const perfbg::obs::JsonValue old_doc = load_document(paths[0]);
     const perfbg::obs::JsonValue new_doc = load_document(paths[1]);
     const perfbg::obs::DiffResult result =
         perfbg::obs::diff_reports(old_doc, new_doc, options);
     std::cout << perfbg::obs::format_diff(result, options);
+    if (result.has_budget_violations()) return 4;
+    if (budgets_only) return 0;
     return result.has_regressions() ? 1 : 0;
   } catch (const perfbg::obs::SchemaMismatchError& e) {
     std::cerr << e.what() << "\n";

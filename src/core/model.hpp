@@ -67,6 +67,12 @@ class FgBgSolution {
   /// for latency-percentile style provisioning without summing the tail.
   double tail_decay_rate() const { return qbd_.r_spectral_radius(); }
 
+  /// Numerical-health record of the underlying QBD solve (see
+  /// obs/health.hpp): convergence counters, residual-trajectory decay rate,
+  /// fallback rung, drift and sp(R). Identity fields (key, attempt) are left
+  /// for the caller to stamp before RunReport::add_health.
+  obs::SolveHealth health() const { return qbd::solve_health(qbd_); }
+
  private:
   FgBgParams params_;
   FgBgLayout layout_;

@@ -36,7 +36,7 @@ std::map<std::string, double> extract_times(const JsonValue& doc,
                                             const std::string& schema,
                                             const char* which) {
   std::map<std::string, double> out;
-  if (schema == kBenchBaselineSchema) {
+  if (schema == kBenchBaselineSchema || schema == kBenchBaselineSchemaV2) {
     if (!doc.contains("points") || !doc.at("points").is_array())
       throw SchemaMismatchError(std::string("perfbg: the ") + which +
                                 " baseline has no \"points\" array");
@@ -55,7 +55,82 @@ std::map<std::string, double> extract_times(const JsonValue& doc,
   return out;
 }
 
+/// span name -> p99 milliseconds from a v2 "spans" section; the section is
+/// mandatory in v2 (the tail statistics are the point of the schema bump).
+std::map<std::string, double> extract_span_p99(const JsonValue& doc,
+                                               const char* which) {
+  if (!doc.contains("spans") || !doc.at("spans").is_object())
+    throw SchemaMismatchError(std::string("perfbg: the ") + which +
+                              " v2 baseline has no \"spans\" object");
+  std::map<std::string, double> out;
+  for (const auto& [name, stats] : doc.at("spans").as_object())
+    if (const JsonValue* p99 = stats.find("p99_ms")) out[name] = p99->as_double();
+  return out;
+}
+
+bool matches_any(const std::vector<std::string>& patterns, const std::string& name) {
+  for (const std::string& p : patterns)
+    if (span_budget_matches(p, name)) return true;
+  return false;
+}
+
 }  // namespace
+
+const std::vector<SpanBudget>& default_span_budgets() {
+  // Order: most specific first, for readability only — every matching budget
+  // is evaluated. qbd.solve_r / qbd.solve_g are separate entries because the
+  // "qbd.solve.*" prefix glob does not cover them (solve_r is not a child
+  // path of solve).
+  static const std::vector<SpanBudget> kBudgets = {
+      {"qbd.solve.*", 0.25, 0.0, 0.5},
+      {"qbd.solve_r", 0.25, 0.0, 0.5},
+      {"qbd.solve_g", 0.25, 0.0, 0.5},
+      {"linalg.*", 0.25, 0.0, 0.25},
+      {"markov.gth", 0.30, 0.0, 0.25},
+      {"sim.run", 0.30, 0.0, 1.0},
+  };
+  return kBudgets;
+}
+
+bool span_budget_matches(const std::string& pattern, const std::string& name) {
+  if (pattern.size() >= 2 && pattern.compare(pattern.size() - 2, 2, ".*") == 0) {
+    const std::string prefix = pattern.substr(0, pattern.size() - 2);
+    if (name == prefix) return true;
+    return name.size() > prefix.size() + 1 &&
+           name.compare(0, prefix.size(), prefix) == 0 &&
+           name[prefix.size()] == '.';
+  }
+  return name == pattern;
+}
+
+JsonValue budgets_to_json(const std::vector<SpanBudget>& budgets) {
+  JsonValue out = JsonValue::array();
+  for (const SpanBudget& b : budgets) {
+    JsonValue row = JsonValue::object();
+    row.set("pattern", JsonValue(b.pattern));
+    row.set("p99_regression", JsonValue(b.p99_regression));
+    row.set("max_p99_ms", JsonValue(b.max_p99_ms));
+    row.set("min_delta_ms", JsonValue(b.min_delta_ms));
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<SpanBudget> budgets_from_json(const JsonValue& doc) {
+  const JsonValue* arr = doc.find("budgets");
+  if (!arr || !arr->is_array()) return default_span_budgets();
+  std::vector<SpanBudget> budgets;
+  for (const JsonValue& row : arr->as_array()) {
+    SpanBudget b;
+    if (const JsonValue* p = row.find("pattern")) b.pattern = p->as_string();
+    if (b.pattern.empty()) continue;
+    if (const JsonValue* v = row.find("p99_regression")) b.p99_regression = v->as_double();
+    if (const JsonValue* v = row.find("max_p99_ms")) b.max_p99_ms = v->as_double();
+    if (const JsonValue* v = row.find("min_delta_ms")) b.min_delta_ms = v->as_double();
+    budgets.push_back(std::move(b));
+  }
+  return budgets;
+}
 
 std::size_t DiffResult::regressions() const {
   return static_cast<std::size_t>(
@@ -70,10 +145,12 @@ DiffResult diff_reports(const JsonValue& old_doc, const JsonValue& new_doc,
   if (old_schema != new_schema)
     throw SchemaMismatchError("perfbg: schema mismatch: old is '" + old_schema +
                               "', new is '" + new_schema + "'");
-  if (old_schema != kBenchBaselineSchema && old_schema != kRunReportSchema)
+  if (old_schema != kBenchBaselineSchema && old_schema != kBenchBaselineSchemaV2 &&
+      old_schema != kRunReportSchema)
     throw SchemaMismatchError("perfbg: unsupported schema '" + old_schema +
-                              "' (can diff " + kBenchBaselineSchema + " and " +
-                              kRunReportSchema + ")");
+                              "' (can diff " + kBenchBaselineSchema + ", " +
+                              kBenchBaselineSchemaV2 + " and " + kRunReportSchema +
+                              ")");
 
   const std::map<std::string, double> old_times =
       extract_times(old_doc, old_schema, "old");
@@ -104,6 +181,52 @@ DiffResult diff_reports(const JsonValue& old_doc, const JsonValue& new_doc,
     (void)ms;
     if (old_times.find(key) == old_times.end()) result.only_in_new.push_back(key);
   }
+
+  if (old_schema == kBenchBaselineSchemaV2) {
+    // Budgets come from the OLD (committed) document: a PR that wants a
+    // looser gate has to change the committed baseline, which reviewers see.
+    const std::vector<SpanBudget> budgets = budgets_from_json(old_doc);
+    const std::map<std::string, double> old_p99 = extract_span_p99(old_doc, "old");
+    const std::map<std::string, double> new_p99 = extract_span_p99(new_doc, "new");
+    for (const auto& [name, old_ms] : old_p99) {
+      const auto it = new_p99.find(name);
+      if (it == new_p99.end()) {
+        result.only_in_old.push_back("span " + name);
+        continue;
+      }
+      DiffEntry e;
+      e.key = name;
+      e.old_ms = old_ms;
+      e.new_ms = it->second;
+      e.rel_change = old_ms > 0.0 ? e.new_ms / old_ms - 1.0
+                                  : (e.new_ms > 0.0
+                                         ? std::numeric_limits<double>::infinity()
+                                         : 0.0);
+      const bool allowlisted = matches_any(options.allowlist, name);
+      if (!allowlisted) {
+        for (const SpanBudget& b : budgets) {
+          if (!span_budget_matches(b.pattern, name)) continue;
+          const bool relative_breach =
+              e.rel_change > b.p99_regression &&
+              e.new_ms - e.old_ms > b.min_delta_ms;
+          if (relative_breach)
+            result.budget_violations.push_back(
+                {name, b.pattern, "p99_regression", e.old_ms, e.new_ms,
+                 b.p99_regression});
+          if (b.max_p99_ms > 0.0 && e.new_ms > b.max_p99_ms)
+            result.budget_violations.push_back(
+                {name, b.pattern, "absolute_budget", e.old_ms, e.new_ms,
+                 b.max_p99_ms});
+        }
+      }
+      result.span_entries.push_back(std::move(e));
+    }
+    for (const auto& [name, ms] : new_p99) {
+      (void)ms;
+      if (old_p99.find(name) == old_p99.end())
+        result.only_in_new.push_back("span " + name);
+    }
+  }
   return result;
 }
 
@@ -128,14 +251,46 @@ std::string format_diff(const DiffResult& result, const DiffOptions& options) {
     if (e.regression) os << "  <-- REGRESSION";
     os << "\n";
   }
+  if (!result.span_entries.empty()) {
+    os << "span p99 tails:\n";
+    std::size_t span_width = 4;
+    for (const DiffEntry& e : result.span_entries)
+      span_width = std::max(span_width, e.key.size());
+    for (const DiffEntry& e : result.span_entries) {
+      os << "  " << std::left << std::setw(static_cast<int>(span_width)) << e.key
+         << std::right << std::fixed << std::setprecision(3) << std::setw(12)
+         << e.old_ms << std::setw(12) << e.new_ms << std::defaultfloat
+         << std::setprecision(3);
+      if (std::isinf(e.rel_change))
+        os << std::setw(10) << "new";
+      else
+        os << std::setw(9) << 100.0 * e.rel_change << "%";
+      os << "\n";
+    }
+  }
+  for (const BudgetViolation& v : result.budget_violations) {
+    os << "BUDGET BREACH: span " << v.span << " (budget " << v.pattern << "): ";
+    if (v.kind == "p99_regression")
+      os << "p99 " << std::fixed << std::setprecision(3) << v.old_p99_ms << " -> "
+         << v.new_p99_ms << " ms exceeds +" << std::defaultfloat
+         << std::setprecision(3) << 100.0 * v.limit << "%";
+    else
+      os << "p99 " << std::fixed << std::setprecision(3) << v.new_p99_ms
+         << " ms exceeds absolute budget " << v.limit << " ms"
+         << std::defaultfloat << std::setprecision(3);
+    os << "\n";
+  }
   for (const std::string& key : result.only_in_old)
     os << "only in old: " << key << "\n";
   for (const std::string& key : result.only_in_new)
     os << "only in new: " << key << "\n";
   const std::size_t n = result.regressions();
   os << (n == 0 ? "no regressions" : std::to_string(n) + " regression(s)") << " across "
-     << result.entries.size() << " compared entr" << (result.entries.size() == 1 ? "y" : "ies")
-     << "\n";
+     << result.entries.size() << " compared entr" << (result.entries.size() == 1 ? "y" : "ies");
+  if (!result.span_entries.empty())
+    os << ", " << result.budget_violations.size() << " budget breach(es) across "
+       << result.span_entries.size() << " budget-checked span(s)";
+  os << "\n";
   return os.str();
 }
 

@@ -1,9 +1,13 @@
-// Cross-run regression diffing: compares two structured perf documents — two
-// bench_suite baselines (schema perfbg.bench_baseline.v1) or two run reports
-// (schema perfbg.run_report.v1) — and flags entries whose wall time grew
-// beyond a configurable relative threshold. The perfbg_report_diff tool
-// (examples/report_diff.cpp) is the CLI wrapper; CI runs it as a soft gate
-// against the committed BENCH_solver.json.
+// Cross-run regression diffing and the perf-sentinel budget gate: compares
+// two structured perf documents — bench_suite baselines (schema
+// perfbg.bench_baseline.v1 or .v2) or run reports (perfbg.run_report.v1) —
+// and flags entries whose wall time grew beyond a configurable relative
+// threshold. v2 baselines additionally carry per-span p50/p99/max tail
+// statistics and per-span budgets; a budgeted span that regresses at p99 (or
+// breaches its absolute ceiling) is a HARD failure, everything else stays a
+// soft warning. The perfbg_report_diff tool (examples/report_diff.cpp) is the
+// CLI wrapper; CI runs the budget gate against the committed
+// BENCH_solver.json.
 #pragma once
 
 #include <stdexcept>
@@ -14,10 +18,47 @@
 
 namespace perfbg::obs {
 
-/// Schema identifier stamped into bench_suite baselines (BENCH_solver.json);
+/// Schema identifiers stamped into bench_suite baselines (BENCH_solver.json);
 /// bump on breaking layout changes so perfbg_report_diff can hard-fail
-/// instead of comparing apples to oranges.
+/// instead of comparing apples to oranges. v1 carries only per-point min wall
+/// times; v2 adds per-span tail statistics ("spans") and budgets ("budgets").
 inline constexpr const char* kBenchBaselineSchema = "perfbg.bench_baseline.v1";
+inline constexpr const char* kBenchBaselineSchemaV2 = "perfbg.bench_baseline.v2";
+
+/// One per-span perf budget. `pattern` is either an exact span name or a
+/// prefix glob "x.*", which matches "x" itself and every descendant "x.…" —
+/// so "qbd.solve.*" covers qbd.solve, qbd.solve.rung, qbd.solve.boundary, …
+struct SpanBudget {
+  std::string pattern;
+  /// Relative p99 growth past which the gate hard-fails: new p99 must stay
+  /// within old * (1 + p99_regression).
+  double p99_regression = 0.25;
+  /// Absolute p99 ceiling in milliseconds; 0 disables the absolute check.
+  /// Relative budgets travel across machines, absolute ones do not — the
+  /// committed defaults leave this off and CI relies on the relative gate.
+  double max_p99_ms = 0.0;
+  /// Deltas below this many milliseconds never breach the relative budget —
+  /// the noise floor for sub-millisecond spans.
+  double min_delta_ms = 0.25;
+};
+
+/// The budgeted hot spans of the solver pipeline (ROADMAP item 5): the
+/// qbd.solve subtree plus the R/G entry points, all of linalg, the GTH
+/// elimination, and the simulator run loop. Stamped into v2 baselines by
+/// bench_suite; the gate reads budgets from the committed (old) document so a
+/// PR cannot relax its own gate by editing defaults without touching the
+/// baseline visibly.
+const std::vector<SpanBudget>& default_span_budgets();
+
+/// Budget pattern matching (see SpanBudget::pattern).
+bool span_budget_matches(const std::string& pattern, const std::string& name);
+
+/// Serialises budgets as the "budgets" array of a v2 baseline document.
+JsonValue budgets_to_json(const std::vector<SpanBudget>& budgets);
+
+/// Reads the "budgets" array of a v2 document; falls back to
+/// default_span_budgets() when the key is absent.
+std::vector<SpanBudget> budgets_from_json(const JsonValue& doc);
 
 struct DiffOptions {
   /// Relative wall-time increase that counts as a regression: new time must
@@ -27,6 +68,10 @@ struct DiffOptions {
   /// flagged, whatever the ratio — sub-tenth-millisecond timings are clock
   /// noise, not regressions.
   double min_abs_delta_ms = 0.1;
+  /// Known-noisy span allowlist: span names matching any of these patterns
+  /// (SpanBudget::pattern syntax) are still reported but never raise a
+  /// budget violation.
+  std::vector<std::string> allowlist;
 };
 
 /// One compared entry (a baseline point or a named timer).
@@ -39,13 +84,33 @@ struct DiffEntry {
   bool regression = false;
 };
 
+/// One hard budget breach: a budgeted, non-allowlisted span regressed at p99
+/// beyond its budget or exceeded its absolute ceiling.
+struct BudgetViolation {
+  std::string span;     ///< span name
+  std::string pattern;  ///< the budget pattern that matched
+  std::string kind;     ///< "p99_regression" or "absolute_budget"
+  double old_p99_ms = 0.0;
+  double new_p99_ms = 0.0;
+  /// The breached limit: the relative budget (e.g. 0.25) for p99_regression,
+  /// the ceiling in ms for absolute_budget.
+  double limit = 0.0;
+};
+
 struct DiffResult {
   std::string schema;  ///< the (common) schema of the two documents
   std::vector<DiffEntry> entries;
   std::vector<std::string> only_in_old;  ///< keys missing from the new document
   std::vector<std::string> only_in_new;  ///< keys absent from the old document
+  /// v2 only: per-span p99 comparisons. Informational — span noise on shared
+  /// runners makes unbudgeted span regressions warn-only; only
+  /// budget_violations gate.
+  std::vector<DiffEntry> span_entries;
+  /// v2 only: hard failures against the old document's budgets.
+  std::vector<BudgetViolation> budget_violations;
   std::size_t regressions() const;
   bool has_regressions() const { return regressions() > 0; }
+  bool has_budget_violations() const { return !budget_violations.empty(); }
 };
 
 /// Raised when the two documents cannot be compared: a "schema" key is
@@ -60,8 +125,10 @@ class SchemaMismatchError : public std::runtime_error {
 /// Compares two parsed documents. Baselines are matched point-by-point on
 /// (workload, bg_probability, bg_buffer, utilization) and compared on
 /// "wall_ms"; run reports are matched timer-by-timer and compared on
-/// "total_ms". Throws SchemaMismatchError per above; tolerant of points
-/// present on one side only (reported, never a regression).
+/// "total_ms". v2 baselines additionally compare the "spans" tail statistics
+/// on p99_ms and evaluate the old document's budgets (see SpanBudget) into
+/// budget_violations. Throws SchemaMismatchError per above; tolerant of
+/// points/spans present on one side only (reported, never a regression).
 DiffResult diff_reports(const JsonValue& old_doc, const JsonValue& new_doc,
                         const DiffOptions& options = {});
 

@@ -1,0 +1,67 @@
+#include "obs/health.hpp"
+
+#include <cmath>
+
+namespace perfbg::obs {
+
+const char* solve_status_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kConverged: return "converged";
+    case SolveStatus::kFallback: return "fallback";
+    case SolveStatus::kFailed: return "failed";
+    case SolveStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+double SolveHealth::budget_consumed() const {
+  if (max_iters <= 0 || iterations < 0) return -1.0;
+  return static_cast<double>(iterations) / static_cast<double>(max_iters);
+}
+
+JsonValue SolveHealth::to_json() const {
+  JsonValue v = JsonValue::object();
+  v.set("status", JsonValue(solve_status_name(status)));
+  v.set("key", JsonValue(key));
+  v.set("iterations", JsonValue(iterations));
+  v.set("max_iters", JsonValue(max_iters));
+  v.set("budget_consumed", JsonValue(budget_consumed()));
+  v.set("final_residual", JsonValue(final_residual));
+  v.set("tolerance_used", JsonValue(tolerance_used));
+  v.set("first_increment", JsonValue(first_increment));
+  v.set("last_increment", JsonValue(last_increment));
+  v.set("decay_rate", JsonValue(decay_rate));
+  v.set("rung", JsonValue(rung));
+  v.set("rung_name", JsonValue(rung_name));
+  v.set("rungs_attempted", JsonValue(rungs_attempted));
+  v.set("attempt", JsonValue(attempt));
+  v.set("drift_ratio", JsonValue(drift_ratio));
+  v.set("spectral_radius", JsonValue(spectral_radius));
+  v.set("error_code", JsonValue(error_code));
+  v.set("error_message", JsonValue(error_message));
+  return v;
+}
+
+double geometric_decay_rate(double first_increment, double last_increment,
+                            int iterations) {
+  if (iterations < 2 || first_increment <= 0.0 || last_increment <= 0.0)
+    return -1.0;
+  const double rate = std::pow(last_increment / first_increment,
+                               1.0 / static_cast<double>(iterations - 1));
+  return std::isfinite(rate) ? rate : -1.0;
+}
+
+SolveHealth failed_solve_health(const std::string& error_code,
+                                const std::string& error_message) {
+  SolveHealth h;
+  h.status = (error_code == "kDeadlineExceeded" || error_code == "kInterrupted")
+                 ? SolveStatus::kCancelled
+                 : SolveStatus::kFailed;
+  h.error_code = error_code;
+  h.error_message = error_message;
+  h.rung_name.clear();
+  h.rungs_attempted = 0;
+  return h;
+}
+
+}  // namespace perfbg::obs

@@ -1,0 +1,88 @@
+// Numerical-health telemetry: one structured record per solve, promoting what
+// previously lived only in opt-in debug traces (residual trajectory, fallback
+// rungs, stability margins) into first-class report data.
+//
+// The obs layer cannot see qbd types (qbd depends on obs), so SolveHealth is a
+// plain value struct: the qbd/core layers fill it from their solver stats, the
+// bench/CLI layers stamp the point identity and retry count, and RunReport
+// serialises it under the "health" key. Records deliberately carry no
+// wall-clock fields — a health record of a deterministic solve is itself
+// deterministic, which keeps parallel (--jobs=N) report output byte-stable.
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace perfbg::obs {
+
+/// Classification of how a solve ended.
+enum class SolveStatus {
+  kConverged,  ///< primary algorithm met its tolerance
+  kFallback,   ///< converged, but only after descending the fallback ladder
+  kFailed,     ///< no rung converged (or the model was rejected outright)
+  kCancelled,  ///< deadline or interrupt fired mid-solve
+};
+
+/// Lower-case wire name: "converged" / "fallback" / "failed" / "cancelled".
+const char* solve_status_name(SolveStatus status);
+
+/// Per-solve numerical-health record. Fields that do not apply to a given
+/// solve stay at their defaults and are serialised as-is (negative sentinel =
+/// "not observed"), so consumers can distinguish "zero" from "unknown".
+struct SolveHealth {
+  SolveStatus status = SolveStatus::kConverged;
+  /// Deterministic identity of the solved point, e.g.
+  /// "email|p=0.5|X=20|util=0.15"; empty for ad-hoc solves.
+  std::string key;
+
+  // --- convergence ---
+  int iterations = 0;          ///< iterations spent by the winning rung
+  int max_iters = 0;           ///< iteration budget that rung ran under
+  double final_residual = -1.0;
+  double tolerance_used = 0.0;
+
+  // --- residual trajectory summary ---
+  double first_increment = -1.0;  ///< inf-norm of the first iteration's update
+  double last_increment = -1.0;   ///< inf-norm of the final iteration's update
+  /// Geometric mean contraction per iteration,
+  /// (last/first)^(1/(iterations-1)); < 1 means converging, -> 1 flags the
+  /// near-saturation regimes (rho -> 1) where convergence stalls. Negative
+  /// when the trajectory is too short to estimate.
+  double decay_rate = -1.0;
+
+  // --- fallback ladder / retries ---
+  int rung = 0;                ///< winning SolveRung index (0 = primary)
+  std::string rung_name = "primary";
+  int rungs_attempted = 1;
+  int attempt = 1;             ///< sweep-runner attempt number (1 = first try)
+
+  // --- stability proximity ---
+  double drift_ratio = -1.0;      ///< preflight rho; -> 1 means near-unstable
+  double spectral_radius = -1.0;  ///< sp(R) of the solved process
+
+  // --- failure path ---
+  std::string error_code;     ///< ErrorCode name when status is failed/cancelled
+  std::string error_message;  ///< empty on success
+
+  /// Fraction of the winning rung's iteration budget consumed, in [0, 1];
+  /// negative when no budget is known.
+  double budget_consumed() const;
+
+  /// Serialises every field (fixed key order) for the report's "health" array.
+  JsonValue to_json() const;
+};
+
+/// Geometric mean contraction per iteration from the first/last increment
+/// norms; negative (unknown) unless both norms are positive and at least two
+/// iterations ran.
+double geometric_decay_rate(double first_increment, double last_increment,
+                            int iterations);
+
+/// Builds the record of a solve that threw: status is kCancelled for deadline
+/// or interrupt error codes ("kDeadlineExceeded" / "kInterrupted"), kFailed
+/// otherwise. The caller stamps key/attempt and any stats it salvaged.
+SolveHealth failed_solve_health(const std::string& error_code,
+                                const std::string& error_message);
+
+}  // namespace perfbg::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -33,9 +34,24 @@ std::vector<double> default_buckets() {
 
 }  // namespace
 
+void HistogramStat::observe_value(double value) {
+  PERFBG_REQUIRE(counts.size() == upper_bounds.size() + 1,
+                 "histogram buckets not initialised; use make_histogram()");
+  const auto bucket = std::lower_bound(upper_bounds.begin(), upper_bounds.end(), value);
+  ++counts[static_cast<std::size_t>(bucket - upper_bounds.begin())];
+  ++count;
+  sum += value;
+  min = std::min(min, value);
+  max = std::max(max, value);
+}
+
 double HistogramStat::quantile(double q) const {
   PERFBG_REQUIRE(q >= 0.0 && q <= 1.0, "quantile order must be in [0, 1]");
   PERFBG_REQUIRE(count > 0, "quantile of an empty histogram");
+  // The extremes are tracked exactly — return them without interpolation so
+  // the tail never depends on bucket placement.
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
   // Rank of the target observation (1-based, continuous).
   const double target = q * static_cast<double>(count);
   std::uint64_t cumulative = 0;
@@ -56,7 +72,33 @@ double HistogramStat::quantile(double q) const {
     }
     cumulative = next;
   }
-  return max;  // q == 1 with trailing empty buckets
+  return max;  // rounding left a residue past the last non-empty bucket
+}
+
+std::vector<double> log_buckets(double lo, double hi, int per_decade) {
+  PERFBG_REQUIRE(lo > 0.0 && hi > lo, "log_buckets needs 0 < lo < hi");
+  PERFBG_REQUIRE(per_decade >= 1, "log_buckets needs per_decade >= 1");
+  const double step = std::pow(10.0, 1.0 / per_decade);
+  std::vector<double> bounds;
+  // Generate multiplicatively from lo; regenerate each decade from a fresh
+  // power of ten so float drift cannot accumulate across many decades.
+  double decade = lo;
+  while (true) {
+    for (int i = 0; i < per_decade; ++i) {
+      const double b = decade * std::pow(step, i);
+      bounds.push_back(b);
+      if (b >= hi) return bounds;
+    }
+    decade *= 10.0;
+  }
+}
+
+HistogramStat make_histogram(std::vector<double> upper_bounds) {
+  PERFBG_REQUIRE(!upper_bounds.empty(), "histogram needs at least one bucket bound");
+  HistogramStat h;
+  h.counts.assign(upper_bounds.size() + 1, 0);
+  h.upper_bounds = std::move(upper_bounds);
+  return h;
 }
 
 void MetricsRegistry::check_kind(const std::string& name, int kind) const {
@@ -248,6 +290,96 @@ std::string MetricsRegistry::summary() const {
       os << " sum=" << h.sum << " min=" << h.min << " max=" << h.max
          << " mean=" << h.sum / static_cast<double>(h.count);
     os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// `qbd.rsolve.iterations` -> `perfbg_qbd_rsolve_iterations`; any character
+/// outside [a-zA-Z0-9_] becomes '_' per the Prometheus data model.
+std::string prom_name(const std::string& name) {
+  std::string out = "perfbg_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Prometheus floats: shortest round-trip decimal, with the spec's spellings
+/// for non-finite values.
+void prom_value(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  // Integral values print as plain integers — "%.*g" probing would render 10
+  // as "1e+01", which round-trips but reads badly in bucket labels.
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    char ibuf[32];
+    std::snprintf(ibuf, sizeof(ibuf), "%.0f", v);
+    os << ibuf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == v) {
+      os << probe;
+      return;
+    }
+  }
+  os << buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::render_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, v] : counters_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n" << n << " " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << " ";
+    prom_value(os, v);
+    os << "\n";
+  }
+  for (const auto& [name, t] : timers_) {
+    // A summary family without quantile series: _sum/_count only, which the
+    // exposition format explicitly allows.
+    const std::string n = prom_name(name) + "_ms";
+    os << "# TYPE " << n << " summary\n";
+    os << n << "_sum ";
+    prom_value(os, t.total_ms);
+    os << "\n" << n << "_count " << t.count << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      os << n << "_bucket{le=\"";
+      prom_value(os, h.upper_bounds[i]);
+      os << "\"} " << cumulative << "\n";
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << n << "_sum ";
+    prom_value(os, h.sum);
+    os << "\n" << n << "_count " << h.count << "\n";
   }
   return os.str();
 }

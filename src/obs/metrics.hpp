@@ -41,14 +41,39 @@ struct HistogramStat {
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
 
+  /// Records one observation directly on the struct (registry-free use:
+  /// per-span tail statistics aggregate SpanRecord durations this way).
+  /// The bucket layout must have been assigned first (counts sized
+  /// upper_bounds.size() + 1); obs::log_buckets() builds log-spaced bounds.
+  void observe_value(double value);
+
   /// Linear-interpolation quantile estimate, q in [0, 1]. Walks the
   /// cumulative bucket counts to the bucket holding the q-th observation and
   /// interpolates within its edges; the first bucket's lower edge is the
   /// observed min, the overflow bucket's upper edge the observed max (so the
-  /// estimate is always inside [min, max]). Throws std::invalid_argument on
-  /// an empty histogram or q outside [0, 1].
+  /// estimate is always inside [min, max]). The extremes are exact, never
+  /// interpolated: q = 0 returns the observed min and q = 1 the observed max
+  /// regardless of bucket resolution — tail budgets compare against real
+  /// extremes, not bucket-edge artifacts. Throws std::invalid_argument on an
+  /// empty histogram or q outside [0, 1].
   double quantile(double q) const;
+
+  /// Median and tail conveniences for the baseline writer and budget gate.
+  double p50() const { return quantile(0.5); }
+  double p99() const { return quantile(0.99); }
 };
+
+/// Log-spaced bucket upper bounds: `per_decade` geometric steps per decade,
+/// from `lo` up to the first bound >= `hi` (both must be positive, lo < hi,
+/// per_decade >= 1). The workhorse layout for reservoir-free timer tails:
+/// log_buckets(1e-4, 1e4, 10) spans 0.1 us .. 10 s in 5.9% steps, so a p99
+/// interpolated within one bucket is off by at most ~6% — tight enough for a
+/// 25% regression gate with no per-sample storage.
+std::vector<double> log_buckets(double lo, double hi, int per_decade);
+
+/// Builds an empty HistogramStat with the given bucket bounds (counts sized
+/// and zeroed), ready for observe_value().
+HistogramStat make_histogram(std::vector<double> upper_bounds);
 
 class MetricsRegistry {
  public:
@@ -92,6 +117,16 @@ class MetricsRegistry {
 
   /// Multi-line human-readable summary (one metric per line, sorted).
   std::string summary() const;
+
+  /// Prometheus text exposition format 0.0.4 snapshot. Metric families are
+  /// prefixed `perfbg_` with dots mapped to underscores; counters and gauges
+  /// keep their kind, timers become summaries (`<name>_ms_sum` /
+  /// `<name>_ms_count`), histograms become native Prometheus histograms with
+  /// cumulative `_bucket{le="..."}` series plus the mandatory `le="+Inf"`,
+  /// `_sum` and `_count`. Non-finite gauge values are emitted as Prometheus
+  /// `NaN`/`+Inf`/`-Inf` literals. This is the scrape surface the future
+  /// perfbgd service will serve verbatim.
+  std::string render_text() const;
 
   void clear();
 

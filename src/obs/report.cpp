@@ -1,6 +1,8 @@
 #include "obs/report.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace perfbg::obs {
@@ -9,7 +11,25 @@ void RunReport::set_config(const std::string& key, JsonValue value) {
   config_.set(key, std::move(value));
 }
 
-void RunReport::add_error(JsonValue record) { errors_.push_back(std::move(record)); }
+void RunReport::add_error(JsonValue record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  errors_.push_back(std::move(record));
+}
+
+std::size_t RunReport::error_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return errors_.as_array().size();
+}
+
+void RunReport::add_health(const SolveHealth& health) {
+  std::lock_guard<std::mutex> lock(mu_);
+  health_.push_back(health);
+}
+
+std::size_t RunReport::health_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_.size();
+}
 
 VectorSink& RunReport::trace(const std::string& name) {
   for (auto& [n, sink] : traces_)
@@ -27,7 +47,27 @@ JsonValue RunReport::to_json(bool include_timers) const {
   // report.counters / report.timers directly.
   const JsonValue m = metrics_.to_json(include_timers);
   for (const auto& [k, v] : m.as_object()) root.set(k, v);
-  root.set("errors", errors_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    root.set("errors", errors_);
+    // Sort health records by (key, serialised content): workers append in
+    // completion order, which varies with --jobs, but the records themselves
+    // are deterministic — sorting restores byte-stable output.
+    std::vector<std::pair<std::string, JsonValue>> health;
+    health.reserve(health_.size());
+    for (const SolveHealth& h : health_) {
+      JsonValue v = h.to_json();
+      std::ostringstream sort_key;
+      sort_key << h.key << '\x1f';
+      v.dump(sort_key);
+      health.emplace_back(sort_key.str(), std::move(v));
+    }
+    std::sort(health.begin(), health.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    JsonValue health_arr = JsonValue::array();
+    for (auto& [k, v] : health) health_arr.push_back(std::move(v));
+    root.set("health", std::move(health_arr));
+  }
   JsonValue traces = JsonValue::object();
   for (const auto& [name, sink] : traces_) {
     JsonValue events = JsonValue::array();
@@ -80,8 +120,18 @@ void RunReport::print_summary(std::ostream& out) const {
     if (end == std::string::npos) break;
     start = end + 1;
   }
-  if (!errors_.as_array().empty())
-    out << "  errors: " << errors_.as_array().size() << " failed point(s)\n";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!errors_.as_array().empty())
+      out << "  errors: " << errors_.as_array().size() << " failed point(s)\n";
+    if (!health_.empty()) {
+      std::size_t degraded = 0;
+      for (const SolveHealth& h : health_)
+        if (h.status != SolveStatus::kConverged) ++degraded;
+      out << "  health: " << health_.size() << " solve record(s), " << degraded
+          << " degraded\n";
+    }
+  }
   for (const auto& [name, sink] : traces_)
     out << "  trace " << name << ": " << sink.events().size() << " events\n";
 }

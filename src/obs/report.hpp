@@ -6,10 +6,13 @@
 #pragma once
 
 #include <deque>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -39,7 +42,15 @@ class RunReport {
   /// failed point is visible in the report instead of aborting the run.
   void add_error(JsonValue record);
   /// Number of error records accumulated so far.
-  std::size_t error_count() const { return errors_.as_array().size(); }
+  std::size_t error_count() const;
+
+  /// Appends one per-solve numerical-health record to the report's "health"
+  /// array. Thread-safe: sweep workers record concurrently; serialisation
+  /// sorts records by (key, content) so parallel runs stay byte-identical to
+  /// sequential ones.
+  void add_health(const SolveHealth& health);
+  /// Number of health records accumulated so far.
+  std::size_t health_count() const;
 
   /// Named in-memory trace; created on first use. Instrumented code records
   /// TraceEvents into it, the report serializes them under "traces".<name>.
@@ -49,7 +60,7 @@ class RunReport {
   }
 
   /// {"schema", "tool", "config", "counters", "gauges", "timers",
-  ///  "histograms", "errors", "traces"}.
+  ///  "histograms", "errors", "health", "traces"}.
   JsonValue to_json(bool include_timers = true) const;
 
   /// Writes the pretty-printed report; throws std::runtime_error on I/O
@@ -66,7 +77,10 @@ class RunReport {
  private:
   std::string tool_;
   JsonValue config_ = JsonValue::object();
+  // Guards errors_ and health_: both are fed from sweep worker threads.
+  mutable std::mutex mu_;
   JsonValue errors_ = JsonValue::array();
+  std::vector<SolveHealth> health_;
   MetricsRegistry metrics_;
   // deque: callers hold VectorSink& across later trace() calls, so the
   // container must not relocate elements when it grows.

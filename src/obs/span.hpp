@@ -21,12 +21,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace perfbg::obs {
 
@@ -113,6 +115,18 @@ JsonValue profile_to_json(const ProfileNode& node);
 /// {"name", "count", "total_ms", "self_ms"}. Used by bench_suite to embed
 /// the hot spans in the committed perf baseline.
 JsonValue top_spans_json(const ProfileNode& root, std::size_t limit);
+
+/// Aggregates span durations by name into log-bucketed histograms
+/// (obs::log_buckets(1e-4, 1e4, 10), milliseconds): the reservoir-free feed
+/// for per-span tail statistics. Names are sorted (std::map iteration), so
+/// downstream serialisation is deterministic.
+std::map<std::string, HistogramStat> span_duration_stats(
+    const std::vector<SpanRecord>& records);
+
+/// The "spans" section of the v2 perf baseline: an object keyed by span name
+/// with {"count", "total_ms", "p50_ms", "p99_ms", "max_ms"} per entry,
+/// computed via span_duration_stats().
+JsonValue span_tail_stats_json(const std::vector<SpanRecord>& records);
 
 /// RAII span. With no collector installed, construction is one relaxed
 /// atomic load and attr() is a single branch; nothing else happens. With a

@@ -47,6 +47,20 @@ class IterationTrace {
   std::chrono::steady_clock::time_point tick_;
 };
 
+/// Always-on residual-trajectory bookkeeping: one scalar store per iteration
+/// feeding the health telemetry's decay-rate estimate. A rung that fails is
+/// overwritten by the next rung, so the values left behind belong to the
+/// winning rung.
+void note_increment(RSolverStats* stats, int it, double norm,
+                    const RSolverOptions& opts) {
+  if (!stats) return;
+  if (it == 0) {
+    stats->first_increment = norm;
+    stats->max_iters_used = opts.max_iters;
+  }
+  stats->last_increment = norm;
+}
+
 /// Every entry finite. Norm-based breakdown checks alone are not enough:
 /// inf_norm / max_abs_diff reduce with std::max, which silently drops NaN
 /// (NaN comparisons are false), so a poisoned iterate can masquerade as
@@ -153,6 +167,7 @@ Matrix logarithmic_reduction_g(const DiscreteBlocks& d, const RSolverOptions& op
     if (!std::isfinite(increment_norm) || !all_finite(g))
       throw_breakdown("logarithmic reduction", it + 1, n);
     last_increment = increment_norm;
+    note_increment(stats, it, increment_norm, opts);
     trace.record(it + 1, increment_norm, [&] { return discrete_g_residual(d, g); });
     span.attr("iteration", obs::JsonValue(it + 1))
         .attr("increment_norm", obs::JsonValue(increment_norm));
@@ -184,6 +199,7 @@ Matrix functional_iteration_g(const DiscreteBlocks& d, const RSolverOptions& opt
     if (!std::isfinite(delta) || !all_finite(g))
       throw_breakdown("functional iteration for G", it + 1, n);
     last_delta = delta;
+    note_increment(stats, it, delta, opts);
     trace.record(it + 1, delta, [&] { return discrete_g_residual(d, g); });
     span.attr("iteration", obs::JsonValue(it + 1))
         .attr("increment_norm", obs::JsonValue(delta));
@@ -223,6 +239,7 @@ Matrix functional_iteration_r(const Matrix& a0, const Matrix& a1, const Matrix& 
     if (!std::isfinite(delta) || !all_finite(r))
       throw_breakdown("functional iteration for R", it + 1, n);
     last_delta = delta;
+    note_increment(stats, it, delta, opts);
     trace.record(it + 1, delta, [&] { return r_equation_residual(r, a0, a1, a2); });
     span.attr("iteration", obs::JsonValue(it + 1))
         .attr("increment_norm", obs::JsonValue(delta));

@@ -93,6 +93,17 @@ struct RSolverIteration {
 
 struct RSolverStats {
   int iterations = 0;
+  /// Iteration budget the winning rung ran under (opts.max_iters for the
+  /// primary, the 10x fallback budget for fallback rungs). iterations /
+  /// max_iters_used is the budget consumption the health telemetry reports.
+  int max_iters_used = 0;
+  /// Inf-norms of the first and last iteration increments of the winning
+  /// rung; always recorded (one scalar store per iteration, unlike the
+  /// opt-in trace), so health records can summarise the residual trajectory
+  /// — geometric decay rate (last/first)^(1/(iterations-1)) — without the
+  /// per-iteration residual cost. Negative until an iteration ran.
+  double first_increment = -1.0;
+  double last_increment = -1.0;
   double final_residual = 0.0;  ///< ||A0 + R A1 + R^2 A2||_inf at the solution
   /// Convergence tolerance the winning rung actually ran with: the caller's
   /// tolerance on a primary success, the floored fallback tolerance (see the

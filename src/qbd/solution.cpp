@@ -22,6 +22,7 @@ QbdSolution::QbdSolution(const QbdProcess& process, const RSolverOptions& opts,
     obs::ScopedSpan span("qbd.preflight");
     const PreflightReport pf = preflight(process);
     span.attr("drift_ratio", obs::JsonValue(pf.drift_ratio));
+    preflight_drift_ = pf.drift_ratio;
     if (metrics) metrics->set("qbd.preflight.drift_ratio", pf.drift_ratio);
   }
 
@@ -100,6 +101,27 @@ QbdSolution::QbdSolution(const QbdProcess& process, const RSolverOptions& opts,
   // sum_k k R^k = R (I-R)^{-2}.
   const Matrix s2 = r_ * (s1 * s1);
   rep_index_sum_ = linalg::vec_mat(pi_first_, s2);
+}
+
+obs::SolveHealth solve_health(const QbdSolution& solution) {
+  const RSolverStats& stats = solution.solver_stats();
+  obs::SolveHealth h;
+  h.status = stats.outcome.fallback_used() ? obs::SolveStatus::kFallback
+                                           : obs::SolveStatus::kConverged;
+  h.iterations = stats.iterations;
+  h.max_iters = stats.max_iters_used;
+  h.final_residual = stats.final_residual;
+  h.tolerance_used = stats.tolerance_used;
+  h.first_increment = stats.first_increment;
+  h.last_increment = stats.last_increment;
+  h.decay_rate = obs::geometric_decay_rate(stats.first_increment,
+                                           stats.last_increment, stats.iterations);
+  h.rung = static_cast<int>(stats.outcome.rung);
+  h.rung_name = stats.outcome.rung_name;
+  h.rungs_attempted = stats.outcome.rungs_attempted;
+  h.drift_ratio = solution.preflight_drift();
+  h.spectral_radius = solution.r_spectral_radius();
+  return h;
 }
 
 void export_convergence_trace(const RSolverStats& stats, obs::TraceSink& sink) {

@@ -3,6 +3,7 @@
 // style metrics in closed form.
 #pragma once
 
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "qbd/qbd.hpp"
@@ -32,6 +33,9 @@ class QbdSolution {
 
   const Matrix& r_matrix() const { return r_; }
   double r_spectral_radius() const { return sp_r_; }
+  /// Preflight drift ratio of the solved process (< 1 for a stable QBD);
+  /// proximity to 1 is the telemetry's near-saturation signal.
+  double preflight_drift() const { return preflight_drift_; }
   const RSolverStats& solver_stats() const { return stats_; }
   /// Per-iteration R-solver convergence trace; non-empty iff the solve ran
   /// with RSolverOptions::record_trace.
@@ -64,11 +68,18 @@ class QbdSolution {
   Matrix r_;
   RSolverStats stats_;
   double sp_r_ = 0.0;
+  double preflight_drift_ = -1.0;
   Vector pi_boundary_;
   Vector pi_first_;
   Vector rep_sum_;
   Vector rep_index_sum_;
 };
+
+/// Builds the numerical-health record of a completed solve: convergence
+/// counters and residual-trajectory summary from the solver stats, fallback
+/// outcome, preflight drift and sp(R). The caller stamps identity fields
+/// (key, attempt) before handing it to RunReport::add_health.
+obs::SolveHealth solve_health(const QbdSolution& solution);
 
 /// Appends the solver's per-iteration convergence trace to a sink as events
 /// named "qbd.rsolve.convergence" with fields

@@ -163,6 +163,12 @@ PointOutcome SweepRunner::execute_point(std::size_t index, CancellationToken& to
     metrics->add(out.ok() ? "runner.points.ok" : "runner.points.failed");
     if (out.ok() && attempt > 1) metrics->add("runner.retry.recovered");
     metrics->record_time("runner.point.wall", out.wall_ms);
+    // Log-bucketed twin of the timer: the timer gives count/total/min/max,
+    // the histogram adds the p50/p99 tail view (and the Prometheus
+    // exposition's bucket series) for per-point wall times.
+    metrics->define_histogram("runner.point.wall_ms",
+                              obs::log_buckets(1e-2, 1e5, 5));
+    metrics->observe("runner.point.wall_ms", out.wall_ms);
   }
 
   // Checkpoint every point that reached a final state. An interrupt-aborted

@@ -1,0 +1,10 @@
+#include "util/check.hpp"
+
+namespace perfbg::detail {
+
+void dcheck_failed(const char* cond, const char* file, int line,
+                   const std::string& msg) {
+  throw_logic_error(cond, file, line, msg);
+}
+
+}  // namespace perfbg::detail

@@ -32,6 +32,14 @@ namespace detail {
   throw std::logic_error(os.str());
 }
 
+/// Failure funnel for enabled PERFBG_DCHECKs. Deliberately out-of-line
+/// (defined in check.cpp): every translation unit with a live DCHECK carries
+/// an undefined reference to this symbol, so the release-build guard
+/// (cmake/release_guard.cmake, the CI release job) can prove by symbol scan
+/// that no debug check survived into the hot solver libraries in Release.
+[[noreturn]] void dcheck_failed(const char* cond, const char* file, int line,
+                                const std::string& msg);
+
 }  // namespace detail
 
 }  // namespace perfbg
@@ -51,7 +59,10 @@ namespace detail {
 // evaluate or numerically tight. Define PERFBG_FORCE_DCHECKS to keep the
 // checks in optimized builds (the sanitizer CI job does).
 #if !defined(NDEBUG) || defined(PERFBG_FORCE_DCHECKS)
-#define PERFBG_DCHECK(cond, msg) PERFBG_ASSERT(cond, msg)
+#define PERFBG_DCHECK(cond, msg)                                                   \
+  do {                                                                             \
+    if (!(cond)) ::perfbg::detail::dcheck_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
 #else
 #define PERFBG_DCHECK(cond, msg) \
   do {                           \

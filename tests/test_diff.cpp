@@ -7,7 +7,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #ifdef PERFBG_DIFF_BINARY
 #include <sys/wait.h>
@@ -41,6 +43,180 @@ JsonValue baseline_doc(double wall_a, double wall_b) {
   points.push_back(point("email", 0.9, 20, wall_b));
   doc.set("points", std::move(points));
   return doc;
+}
+
+/// A v2 document: the two points of baseline_doc plus a "spans" tail-stats
+/// section with the given p99s (one budgeted solver span, one unbudgeted
+/// bench-only span) and the default budgets.
+JsonValue baseline_doc_v2(double wall_a, double wall_b, double solve_p99,
+                          double other_p99) {
+  JsonValue doc = baseline_doc(wall_a, wall_b);
+  doc.set("schema", JsonValue(obs::kBenchBaselineSchemaV2));
+  auto span = [](double p99) {
+    JsonValue s = JsonValue::object();
+    s.set("count", JsonValue(18));
+    s.set("total_ms", JsonValue(40.0));
+    s.set("p50_ms", JsonValue(p99 / 2.0));
+    s.set("p99_ms", JsonValue(p99));
+    s.set("max_ms", JsonValue(p99 * 1.1));
+    return s;
+  };
+  JsonValue spans = JsonValue::object();
+  spans.set("qbd.solve.r", span(solve_p99));
+  spans.set("bench.table_render", span(other_p99));
+  doc.set("spans", std::move(spans));
+  doc.set("budgets", obs::budgets_to_json(obs::default_span_budgets()));
+  return doc;
+}
+
+TEST(SpanBudgets, PatternMatching) {
+  // Prefix glob: the prefix itself and dotted descendants, nothing else.
+  EXPECT_TRUE(obs::span_budget_matches("qbd.solve.*", "qbd.solve"));
+  EXPECT_TRUE(obs::span_budget_matches("qbd.solve.*", "qbd.solve.r"));
+  EXPECT_TRUE(obs::span_budget_matches("qbd.solve.*", "qbd.solve.rung.lu"));
+  EXPECT_FALSE(obs::span_budget_matches("qbd.solve.*", "qbd.solve_r"));
+  EXPECT_FALSE(obs::span_budget_matches("qbd.solve.*", "qbd.solver"));
+  EXPECT_FALSE(obs::span_budget_matches("qbd.solve.*", "markov.gth"));
+  // Exact names match only themselves.
+  EXPECT_TRUE(obs::span_budget_matches("markov.gth", "markov.gth"));
+  EXPECT_FALSE(obs::span_budget_matches("markov.gth", "markov.gth.pivot"));
+}
+
+TEST(SpanBudgets, DefaultsCoverTheHotSolverSpans) {
+  const std::vector<obs::SpanBudget>& budgets = obs::default_span_budgets();
+  auto budgeted = [&budgets](const std::string& name) {
+    for (const obs::SpanBudget& b : budgets)
+      if (obs::span_budget_matches(b.pattern, name)) return true;
+    return false;
+  };
+  for (const char* hot : {"qbd.solve", "qbd.solve.r", "qbd.solve.boundary",
+                          "qbd.solve_r", "qbd.solve_g", "linalg.lu.factor",
+                          "markov.gth", "sim.run"})
+    EXPECT_TRUE(budgeted(hot)) << hot;
+  for (const char* cold : {"bench.table_render", "runner.point", "qbd.preflight"})
+    EXPECT_FALSE(budgeted(cold)) << cold;
+}
+
+TEST(SpanBudgets, JsonRoundTrip) {
+  JsonValue doc = JsonValue::object();
+  doc.set("budgets", obs::budgets_to_json(obs::default_span_budgets()));
+  const std::vector<obs::SpanBudget> parsed = obs::budgets_from_json(doc);
+  const std::vector<obs::SpanBudget>& defaults = obs::default_span_budgets();
+  ASSERT_EQ(parsed.size(), defaults.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].pattern, defaults[i].pattern);
+    EXPECT_DOUBLE_EQ(parsed[i].p99_regression, defaults[i].p99_regression);
+    EXPECT_DOUBLE_EQ(parsed[i].max_p99_ms, defaults[i].max_p99_ms);
+    EXPECT_DOUBLE_EQ(parsed[i].min_delta_ms, defaults[i].min_delta_ms);
+  }
+  // Absent key: fall back to the library defaults.
+  EXPECT_EQ(obs::budgets_from_json(JsonValue::object()).size(), defaults.size());
+}
+
+TEST(DiffReports, V2IdenticalBaselinesAreClean) {
+  const JsonValue doc = baseline_doc_v2(2.0, 40.0, 3.0, 5.0);
+  const obs::DiffResult result = obs::diff_reports(doc, doc);
+  EXPECT_EQ(result.schema, obs::kBenchBaselineSchemaV2);
+  EXPECT_EQ(result.entries.size(), 2u);
+  EXPECT_EQ(result.span_entries.size(), 2u);
+  EXPECT_FALSE(result.has_regressions());
+  EXPECT_FALSE(result.has_budget_violations());
+}
+
+TEST(DiffReports, BudgetedSpanP99RegressionIsAViolation) {
+  const JsonValue old_doc = baseline_doc_v2(2.0, 40.0, 3.0, 5.0);
+  const JsonValue new_doc = baseline_doc_v2(2.0, 40.0, 4.5, 5.0);  // +50% p99
+  const obs::DiffResult result = obs::diff_reports(old_doc, new_doc);
+  ASSERT_TRUE(result.has_budget_violations());
+  ASSERT_EQ(result.budget_violations.size(), 1u);
+  const obs::BudgetViolation& v = result.budget_violations[0];
+  EXPECT_EQ(v.span, "qbd.solve.r");
+  EXPECT_EQ(v.pattern, "qbd.solve.*");
+  EXPECT_EQ(v.kind, "p99_regression");
+  EXPECT_DOUBLE_EQ(v.old_p99_ms, 3.0);
+  EXPECT_DOUBLE_EQ(v.new_p99_ms, 4.5);
+  // Span drift is never a *soft* regression — points did not change.
+  EXPECT_FALSE(result.has_regressions());
+}
+
+TEST(DiffReports, UnbudgetedSpanRegressionStaysSoft) {
+  // The bench-only span doubles; no budget matches it, so the diff reports it
+  // (span_entries) but raises neither a violation nor a regression.
+  const JsonValue old_doc = baseline_doc_v2(2.0, 40.0, 3.0, 5.0);
+  const JsonValue new_doc = baseline_doc_v2(2.0, 40.0, 3.0, 10.0);
+  const obs::DiffResult result = obs::diff_reports(old_doc, new_doc);
+  EXPECT_FALSE(result.has_budget_violations());
+  EXPECT_FALSE(result.has_regressions());
+  bool saw = false;
+  for (const obs::DiffEntry& e : result.span_entries)
+    if (e.key == "bench.table_render") {
+      saw = true;
+      EXPECT_NEAR(e.rel_change, 1.0, 1e-12);
+    }
+  EXPECT_TRUE(saw);
+}
+
+TEST(DiffReports, AllowlistSuppressesViolationsNotReporting) {
+  const JsonValue old_doc = baseline_doc_v2(2.0, 40.0, 3.0, 5.0);
+  const JsonValue new_doc = baseline_doc_v2(2.0, 40.0, 4.5, 5.0);
+  obs::DiffOptions options;
+  options.allowlist.push_back("qbd.solve.*");
+  const obs::DiffResult result = obs::diff_reports(old_doc, new_doc, options);
+  EXPECT_FALSE(result.has_budget_violations());
+  EXPECT_EQ(result.span_entries.size(), 2u);  // still reported
+}
+
+TEST(DiffReports, BudgetNoiseFloorSuppressesTinyDeltas) {
+  // +60% relative, but only 0.3 ms absolute: below qbd.solve.*'s 0.5 ms floor.
+  const JsonValue old_doc = baseline_doc_v2(2.0, 40.0, 0.5, 5.0);
+  const JsonValue new_doc = baseline_doc_v2(2.0, 40.0, 0.8, 5.0);
+  EXPECT_FALSE(obs::diff_reports(old_doc, new_doc).has_budget_violations());
+}
+
+TEST(DiffReports, AbsoluteBudgetCeiling) {
+  // Stamp a tight absolute ceiling on the old document; the new document's
+  // p99 clears the relative gate (unchanged) but sits above the ceiling.
+  JsonValue old_doc = baseline_doc_v2(2.0, 40.0, 3.0, 5.0);
+  std::vector<obs::SpanBudget> budgets{{"qbd.solve.*", 0.25, 2.5, 0.1}};
+  old_doc.set("budgets", obs::budgets_to_json(budgets));
+  const JsonValue new_doc = baseline_doc_v2(2.0, 40.0, 3.0, 5.0);
+  const obs::DiffResult result = obs::diff_reports(old_doc, new_doc);
+  ASSERT_EQ(result.budget_violations.size(), 1u);
+  EXPECT_EQ(result.budget_violations[0].kind, "absolute_budget");
+  EXPECT_DOUBLE_EQ(result.budget_violations[0].limit, 2.5);
+}
+
+TEST(DiffReports, BudgetsComeFromTheOldDocument) {
+  // The new document ships itself a fully relaxed budget set; the gate must
+  // ignore it and judge by the committed (old) budgets.
+  const JsonValue old_doc = baseline_doc_v2(2.0, 40.0, 3.0, 5.0);
+  JsonValue new_doc = baseline_doc_v2(2.0, 40.0, 6.0, 5.0);  // +100% p99
+  std::vector<obs::SpanBudget> relaxed{{"qbd.solve.*", 100.0, 0.0, 1000.0}};
+  new_doc.set("budgets", obs::budgets_to_json(relaxed));
+  EXPECT_TRUE(obs::diff_reports(old_doc, new_doc).has_budget_violations());
+}
+
+TEST(DiffReports, V2WithoutSpansIsASchemaMismatch) {
+  JsonValue doc = baseline_doc(2.0, 40.0);
+  doc.set("schema", JsonValue(obs::kBenchBaselineSchemaV2));
+  EXPECT_THROW(obs::diff_reports(doc, doc), obs::SchemaMismatchError);
+  // And v1-vs-v2 documents are not comparable at all.
+  EXPECT_THROW(obs::diff_reports(baseline_doc(2.0, 40.0),
+                                 baseline_doc_v2(2.0, 40.0, 3.0, 5.0)),
+               obs::SchemaMismatchError);
+}
+
+TEST(DiffReports, FormatDiffRendersSpanTableAndBreaches) {
+  const obs::DiffResult result =
+      obs::diff_reports(baseline_doc_v2(2.0, 40.0, 3.0, 5.0),
+                        baseline_doc_v2(2.0, 40.0, 4.5, 5.0));
+  const std::string table = obs::format_diff(result, {});
+  EXPECT_NE(table.find("span p99 tails:"), std::string::npos);
+  EXPECT_NE(table.find("qbd.solve.r"), std::string::npos);
+  EXPECT_NE(table.find("BUDGET BREACH: span qbd.solve.r (budget qbd.solve.*)"),
+            std::string::npos);
+  EXPECT_NE(table.find("1 budget breach(es) across 2 budget-checked span(s)"),
+            std::string::npos);
 }
 
 TEST(DiffReports, IdenticalBaselinesHaveNoRegressions) {
@@ -209,6 +385,70 @@ TEST(ReportDiffBinary, ExitCodesEndToEnd) {
   std::remove(same_path.c_str());
   std::remove(slow_path.c_str());
   std::remove(alien_path.c_str());
+}
+
+TEST(ReportDiffBinary, BudgetGateExitCodesEndToEnd) {
+  const std::string old_path =
+      write_temp("gate_old.json", baseline_doc_v2(2.0, 40.0, 3.0, 5.0));
+  // The acceptance-criteria injection: a budgeted qbd.solve.* span regresses
+  // >= 25% at p99 (here +50%).
+  const std::string breach_path =
+      write_temp("gate_breach.json", baseline_doc_v2(2.0, 40.0, 4.5, 5.0));
+  // An unbudgeted span doubles; nothing else moves.
+  const std::string soft_path =
+      write_temp("gate_soft.json", baseline_doc_v2(2.0, 40.0, 3.0, 10.0));
+  // Both: a budget breach AND a soft point regression (40 -> 60 ms).
+  const std::string both_path =
+      write_temp("gate_both.json", baseline_doc_v2(2.0, 60.0, 4.5, 5.0));
+
+  // Budget breach is the hard exit 4 ...
+  EXPECT_EQ(run_diff(old_path + " " + breach_path), 4);
+  // ... and takes precedence over the soft exit 1.
+  EXPECT_EQ(run_diff(old_path + " " + both_path), 4);
+  // An unbudgeted-span regression exits 0: span drift alone never soft-fails.
+  EXPECT_EQ(run_diff(old_path + " " + soft_path), 0);
+  // Allowlisting the breached span clears the gate.
+  EXPECT_EQ(run_diff(old_path + " " + breach_path + " --allow-span qbd.solve.*"), 0);
+  // --budgets-only suppresses the soft exit 1 but not the hard exit 4.
+  const std::string slow_points_path =
+      write_temp("gate_slow_points.json", baseline_doc_v2(2.0, 60.0, 3.0, 5.0));
+  EXPECT_EQ(run_diff(old_path + " " + slow_points_path), 1);
+  EXPECT_EQ(run_diff(old_path + " " + slow_points_path + " --budgets-only"), 0);
+  EXPECT_EQ(run_diff(old_path + " " + breach_path + " --budgets-only"), 4);
+
+  std::remove(old_path.c_str());
+  std::remove(breach_path.c_str());
+  std::remove(soft_path.c_str());
+  std::remove(both_path.c_str());
+  std::remove(slow_points_path.c_str());
+}
+
+TEST(ReportDiffBinary, UpdateBaselineIsByteDeterministic) {
+  const std::string fresh_path =
+      write_temp("update_fresh.json", baseline_doc_v2(2.0, 40.0, 4.5, 5.0));
+  const std::string baseline_a = testing::TempDir() + "update_baseline_a.json";
+  const std::string baseline_b = testing::TempDir() + "update_baseline_b.json";
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+
+  EXPECT_EQ(run_diff(baseline_a + " " + fresh_path + " --update-baseline"), 0);
+  EXPECT_EQ(run_diff(baseline_b + " " + fresh_path + " --update-baseline"), 0);
+  const std::string a = slurp(baseline_a);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(baseline_b));
+  // Updating again from the same input is a fixed point.
+  EXPECT_EQ(run_diff(baseline_a + " " + fresh_path + " --update-baseline"), 0);
+  EXPECT_EQ(slurp(baseline_a), a);
+  // And the rewritten baseline diffs clean against its own source.
+  EXPECT_EQ(run_diff(baseline_a + " " + fresh_path), 0);
+
+  std::remove(fresh_path.c_str());
+  std::remove(baseline_a.c_str());
+  std::remove(baseline_b.c_str());
 }
 
 #endif  // PERFBG_DIFF_BINARY

@@ -1,0 +1,249 @@
+// Tests for the numerical-health telemetry (obs/health.hpp, DESIGN.md §12):
+// record construction from real solves (converged, fallback, non-convergent,
+// cancelled), the decay-rate / budget-consumption arithmetic, JSON
+// serialisation, and the RunReport "health" plumbing (thread-safe, sorted,
+// deterministic).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model.hpp"
+#include "obs/health.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "qbd/rmatrix.hpp"
+#include "util/error.hpp"
+#include "workloads/presets.hpp"
+
+namespace {
+
+using namespace perfbg;
+using obs::JsonValue;
+using obs::SolveHealth;
+using obs::SolveStatus;
+
+core::FgBgParams small_params() {
+  core::FgBgParams params{workloads::email_poisson().scaled_to_utilization(
+      0.15, workloads::kMeanServiceTimeMs)};
+  params.mean_service_time = workloads::kMeanServiceTimeMs;
+  params.bg_probability = 0.3;
+  params.bg_buffer = 5;
+  params.idle_wait_intensity = 1.0;
+  return params;
+}
+
+TEST(SolveHealth, ConvergedSolveRecordsFullTrajectory) {
+  const core::FgBgSolution solution = core::FgBgModel(small_params()).solve();
+  const SolveHealth h = solution.health();
+
+  EXPECT_EQ(h.status, SolveStatus::kConverged);
+  EXPECT_GT(h.iterations, 0);
+  EXPECT_GE(h.max_iters, h.iterations);
+  EXPECT_GT(h.final_residual, 0.0);
+  EXPECT_LE(h.final_residual, h.tolerance_used);
+  // Residual trajectory: both endpoints observed, contraction strictly < 1
+  // (the solve converged) and > 0.
+  EXPECT_GT(h.first_increment, 0.0);
+  EXPECT_GT(h.last_increment, 0.0);
+  EXPECT_LT(h.last_increment, h.first_increment);
+  EXPECT_GT(h.decay_rate, 0.0);
+  EXPECT_LT(h.decay_rate, 1.0);
+  // Primary rung, first attempt.
+  EXPECT_EQ(h.rung, 0);
+  EXPECT_EQ(h.rung_name, "logarithmic reduction");
+  EXPECT_EQ(h.rungs_attempted, 1);
+  EXPECT_EQ(h.attempt, 1);
+  // Stability proximity: a stable utilization-0.15 point sits well inside.
+  EXPECT_GT(h.drift_ratio, 0.0);
+  EXPECT_LT(h.drift_ratio, 1.0);
+  EXPECT_GT(h.spectral_radius, 0.0);
+  EXPECT_LT(h.spectral_radius, 1.0);
+  // Budget: converged long before max_iters.
+  EXPECT_GT(h.budget_consumed(), 0.0);
+  EXPECT_LT(h.budget_consumed(), 1.0);
+  EXPECT_TRUE(h.error_code.empty());
+}
+
+TEST(SolveHealth, FallbackSolveReportsTheWinningRung) {
+  qbd::RSolverOptions opts;
+  opts.inject_rung_failures = 1;  // deterministic: pretend the primary failed
+  const core::FgBgSolution solution = core::FgBgModel(small_params()).solve(opts);
+  const SolveHealth h = solution.health();
+
+  EXPECT_EQ(h.status, SolveStatus::kFallback);
+  EXPECT_GE(h.rung, 1);
+  EXPECT_NE(h.rung_name, "primary");
+  EXPECT_GE(h.rungs_attempted, 2);
+  // Fallback rungs run under the 10x budget with the floored tolerance; the
+  // record carries the rung's actual limits, not the caller's.
+  EXPECT_EQ(h.max_iters, 10 * opts.max_iters);
+  EXPECT_GT(h.iterations, 0);
+  EXPECT_LE(h.final_residual, h.tolerance_used);
+  EXPECT_GT(h.decay_rate, 0.0);
+  EXPECT_LT(h.decay_rate, 1.0);
+}
+
+TEST(SolveHealth, NonConvergentSolveBecomesFailedRecord) {
+  qbd::RSolverOptions opts;
+  opts.max_iters = 1;  // nothing converges in one iteration
+  opts.enable_fallback = false;
+  try {
+    core::FgBgModel(small_params()).solve(opts);
+    FAIL() << "expected kNonConvergence";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNonConvergence);
+    SolveHealth h = obs::failed_solve_health(error_code_name(e.code()), e.what());
+    EXPECT_EQ(h.status, SolveStatus::kFailed);
+    EXPECT_EQ(h.error_code, "kNonConvergence");
+    EXPECT_FALSE(h.error_message.empty());
+    EXPECT_EQ(h.rungs_attempted, 0);
+    EXPECT_TRUE(h.rung_name.empty());
+    EXPECT_LT(h.budget_consumed(), 0.0);  // no budget known
+  }
+}
+
+TEST(SolveHealth, CancellationCodesClassifyAsCancelled) {
+  EXPECT_EQ(obs::failed_solve_health("kDeadlineExceeded", "deadline").status,
+            SolveStatus::kCancelled);
+  EXPECT_EQ(obs::failed_solve_health("kInterrupted", "SIGINT").status,
+            SolveStatus::kCancelled);
+  EXPECT_EQ(obs::failed_solve_health("kUnstableQbd", "rho >= 1").status,
+            SolveStatus::kFailed);
+}
+
+TEST(SolveHealth, StatusNames) {
+  EXPECT_STREQ(obs::solve_status_name(SolveStatus::kConverged), "converged");
+  EXPECT_STREQ(obs::solve_status_name(SolveStatus::kFallback), "fallback");
+  EXPECT_STREQ(obs::solve_status_name(SolveStatus::kFailed), "failed");
+  EXPECT_STREQ(obs::solve_status_name(SolveStatus::kCancelled), "cancelled");
+}
+
+TEST(SolveHealth, GeometricDecayRate) {
+  // 1 -> 1e-8 over 9 iterations = 8 contraction steps of 0.1 each.
+  EXPECT_NEAR(obs::geometric_decay_rate(1.0, 1e-8, 9), 0.1, 1e-12);
+  // Exactly two iterations: one step, the ratio itself.
+  EXPECT_NEAR(obs::geometric_decay_rate(0.5, 0.125, 2), 0.25, 1e-12);
+  // Unknown: too few iterations or unobserved endpoints.
+  EXPECT_LT(obs::geometric_decay_rate(1.0, 0.1, 1), 0.0);
+  EXPECT_LT(obs::geometric_decay_rate(-1.0, 0.1, 5), 0.0);
+  EXPECT_LT(obs::geometric_decay_rate(1.0, -1.0, 5), 0.0);
+  EXPECT_LT(obs::geometric_decay_rate(0.0, 0.0, 5), 0.0);
+}
+
+TEST(SolveHealth, BudgetConsumed) {
+  SolveHealth h;
+  h.iterations = 25;
+  h.max_iters = 100;
+  EXPECT_NEAR(h.budget_consumed(), 0.25, 1e-12);
+  h.max_iters = 0;
+  EXPECT_LT(h.budget_consumed(), 0.0);
+}
+
+TEST(SolveHealth, ToJsonCarriesEveryField) {
+  SolveHealth h;
+  h.status = SolveStatus::kFallback;
+  h.key = "email|u=0.15|p=0.3|X=5";
+  h.iterations = 40;
+  h.max_iters = 100000;
+  h.final_residual = 3e-11;
+  h.tolerance_used = 1e-10;
+  h.first_increment = 0.5;
+  h.last_increment = 5e-11;
+  h.decay_rate = 0.56;
+  h.rung = 1;
+  h.rung_name = "functional-iteration";
+  h.rungs_attempted = 2;
+  h.attempt = 2;
+  h.drift_ratio = 0.42;
+  h.spectral_radius = 0.37;
+
+  const JsonValue v = h.to_json();
+  EXPECT_EQ(v.at("status").as_string(), "fallback");
+  EXPECT_EQ(v.at("key").as_string(), h.key);
+  EXPECT_EQ(v.at("iterations").as_int(), 40);
+  EXPECT_EQ(v.at("max_iters").as_int(), 100000);
+  EXPECT_DOUBLE_EQ(v.at("budget_consumed").as_double(), 40.0 / 100000.0);
+  EXPECT_DOUBLE_EQ(v.at("final_residual").as_double(), 3e-11);
+  EXPECT_DOUBLE_EQ(v.at("tolerance_used").as_double(), 1e-10);
+  EXPECT_DOUBLE_EQ(v.at("first_increment").as_double(), 0.5);
+  EXPECT_DOUBLE_EQ(v.at("last_increment").as_double(), 5e-11);
+  EXPECT_DOUBLE_EQ(v.at("decay_rate").as_double(), 0.56);
+  EXPECT_EQ(v.at("rung").as_int(), 1);
+  EXPECT_EQ(v.at("rung_name").as_string(), "functional-iteration");
+  EXPECT_EQ(v.at("rungs_attempted").as_int(), 2);
+  EXPECT_EQ(v.at("attempt").as_int(), 2);
+  EXPECT_DOUBLE_EQ(v.at("drift_ratio").as_double(), 0.42);
+  EXPECT_DOUBLE_EQ(v.at("spectral_radius").as_double(), 0.37);
+  EXPECT_EQ(v.at("error_code").as_string(), "");
+  EXPECT_EQ(v.at("error_message").as_string(), "");
+}
+
+TEST(RunReportHealth, RecordsSortDeterministically) {
+  SolveHealth a;
+  a.key = "a|u=0.1";
+  a.iterations = 10;
+  SolveHealth b;
+  b.key = "b|u=0.2";
+  b.iterations = 20;
+  SolveHealth c = obs::failed_solve_health("kNonConvergence", "rungs exhausted");
+  c.key = "c|u=0.9";
+
+  obs::RunReport forward("unit"), backward("unit");
+  forward.add_health(a);
+  forward.add_health(b);
+  forward.add_health(c);
+  backward.add_health(c);
+  backward.add_health(b);
+  backward.add_health(a);
+  EXPECT_EQ(forward.health_count(), 3u);
+
+  const JsonValue fj = forward.to_json();
+  const JsonValue bj = backward.to_json();
+  ASSERT_TRUE(fj.contains("health"));
+  ASSERT_EQ(fj.at("health").as_array().size(), 3u);
+  // Insertion order (= completion order under --jobs=N) must not leak into
+  // the serialised report.
+  EXPECT_EQ(fj.at("health").dump(), bj.at("health").dump());
+  EXPECT_EQ(fj.at("health").as_array()[0].at("key").as_string(), "a|u=0.1");
+  EXPECT_EQ(fj.at("health").as_array()[2].at("status").as_string(), "failed");
+}
+
+TEST(RunReportHealth, ConcurrentRecordingIsSafe) {
+  obs::RunReport report("unit");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&report, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SolveHealth h;
+        h.key = "t" + std::to_string(t) + "|i=" + std::to_string(i);
+        report.add_health(h);
+      }
+    });
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(report.health_count(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(report.to_json().at("health").as_array().size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(RunReportHealth, PrintSummaryCountsDegradedRecords) {
+  obs::RunReport report("unit");
+  SolveHealth ok;
+  ok.key = "ok";
+  report.add_health(ok);
+  SolveHealth bad = obs::failed_solve_health("kNonConvergence", "exhausted");
+  bad.key = "bad";
+  report.add_health(bad);
+  std::ostringstream os;
+  report.print_summary(os);
+  EXPECT_NE(os.str().find("health: 2 solve record(s), 1 degraded"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 #include "obs/json.hpp"
@@ -171,6 +174,117 @@ TEST(MetricsRegistry, HistogramQuantileSingleBucket) {
   EXPECT_DOUBLE_EQ(h.quantile(0.0), 4.0);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(MetricsRegistry, QuantileOneIsTheExactMax) {
+  // Regression guard for the tail accessors: q = 1.0 must return the tracked
+  // maximum exactly, never an interpolated bucket edge. With a single huge
+  // bucket, interpolation would land far from the largest observation.
+  obs::MetricsRegistry m;
+  m.define_histogram("wide", {1000.0});
+  m.observe("wide", 3.0);
+  m.observe("wide", 7.0);
+  const obs::HistogramStat h = m.histogram("wide");
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  // The named tail accessors delegate to quantile().
+  EXPECT_DOUBLE_EQ(h.p50(), h.quantile(0.5));
+  EXPECT_DOUBLE_EQ(h.p99(), h.quantile(0.99));
+  EXPECT_LE(h.p50(), h.p99());
+  EXPECT_LE(h.p99(), h.max);
+}
+
+TEST(MetricsRegistry, LogBucketsGeometricLadder) {
+  // 10 buckets per decade over 8 decades: ~5.9% geometric steps.
+  const std::vector<double> b = obs::log_buckets(1e-4, 1e4, 10);
+  ASSERT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.front(), 1e-4);
+  EXPECT_GE(b.back(), 1e4);
+  const double step = std::pow(10.0, 0.1);
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    EXPECT_GT(b[i], b[i - 1]);
+    EXPECT_NEAR(b[i] / b[i - 1], step, 1e-9);
+  }
+  EXPECT_EQ(b.size(), 81u);  // 8 decades x 10 + the closing bound
+
+  EXPECT_THROW(obs::log_buckets(0.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(obs::log_buckets(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(obs::log_buckets(1.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, StandaloneHistogramObserveValue) {
+  obs::HistogramStat h = obs::make_histogram(obs::log_buckets(0.1, 10.0, 1));
+  for (double v : {0.05, 0.5, 5.0, 50.0}) h.observe_value(v);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.min, 0.05);
+  EXPECT_DOUBLE_EQ(h.max, 50.0);
+  EXPECT_DOUBLE_EQ(h.sum, 55.55);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 50.0);
+
+  // A default-constructed stat has no buckets; observing into it is an error,
+  // not a silent out-of-bounds write.
+  obs::HistogramStat empty;
+  EXPECT_THROW(empty.observe_value(1.0), std::invalid_argument);
+  EXPECT_THROW(obs::make_histogram({}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, RenderTextPrometheusFormat) {
+  obs::MetricsRegistry m;
+  m.add("qbd.solve.count", 3);
+  m.set("model.tail_decay", 0.25);
+  m.record_time("qbd.solve", 12.5);
+  m.record_time("qbd.solve", 2.5);
+  m.define_histogram("point.wall", {1.0, 10.0});
+  m.observe("point.wall", 0.5);
+  m.observe("point.wall", 5.0);
+  m.observe("point.wall", 500.0);
+
+  const std::string text = m.render_text();
+  // Names: perfbg_ prefix, dots to underscores; each family gets a TYPE line.
+  EXPECT_NE(text.find("# TYPE perfbg_qbd_solve_count counter\n"
+                      "perfbg_qbd_solve_count 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE perfbg_model_tail_decay gauge\n"
+                      "perfbg_model_tail_decay 0.25\n"),
+            std::string::npos);
+  // Timers render as a quantile-less summary in milliseconds.
+  EXPECT_NE(text.find("# TYPE perfbg_qbd_solve_ms summary\n"
+                      "perfbg_qbd_solve_ms_sum 15\n"
+                      "perfbg_qbd_solve_ms_count 2\n"),
+            std::string::npos);
+  // Histograms: cumulative buckets, the +Inf bucket equals the total count,
+  // then _sum and _count.
+  EXPECT_NE(text.find("# TYPE perfbg_point_wall histogram\n"
+                      "perfbg_point_wall_bucket{le=\"1\"} 1\n"
+                      "perfbg_point_wall_bucket{le=\"10\"} 2\n"
+                      "perfbg_point_wall_bucket{le=\"+Inf\"} 3\n"
+                      "perfbg_point_wall_sum 505.5\n"
+                      "perfbg_point_wall_count 3\n"),
+            std::string::npos);
+
+  // Round-trip: every non-comment line is `name{labels}? value` with a value
+  // that parses back to the original double.
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t series = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    std::size_t used = 0;
+    EXPECT_NO_THROW({
+      (void)std::stod(value, &used);
+      EXPECT_EQ(used, value.size()) << line;
+    }) << line;
+    ++series;
+  }
+  EXPECT_EQ(series, 9u);
+
+  // Non-finite gauges use the spec spellings.
+  m.set("weird", std::numeric_limits<double>::infinity());
+  EXPECT_NE(m.render_text().find("perfbg_weird +Inf\n"), std::string::npos);
 }
 
 TEST(MetricsRegistry, ScopedTimerRecordsAndNullIsNoop) {
