@@ -1,0 +1,156 @@
+// perfbgd — the long-running capacity-planning daemon (DESIGN.md §13).
+//
+// Serves newline-delimited JSON solve/sweep requests over a Unix-domain
+// socket, executing on a bounded solver pool with single-flight memo caching,
+// admission control, per-request deadlines, a per-model-class circuit
+// breaker, and two-level SIGINT/SIGTERM graceful drain. See README
+// "Running perfbgd" for a walkthrough.
+//
+//   ./perfbgd --socket=/tmp/perfbgd.sock --workers=4 \
+//       --journal=served.jsonl --metrics-json=perfbgd_report.json
+//
+// Exit codes: 0 clean drain; 9 forced drain (second signal, kInterrupted);
+// 2 usage error; 1 startup failure (socket bind, journal I/O).
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "obs/report.hpp"
+#include "runner/journal.hpp"
+#include "runner/sweep_runner.hpp"
+#include "server/daemon.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+// One journal namespace for every daemon life, so --warm-start can replay any
+// previous served-request journal.
+constexpr const char* kSweepId = "perfbgd";
+
+perfbg::Flags make_flags() {
+  perfbg::Flags flags;
+  flags.define("socket", "path of the Unix-domain listening socket (required)");
+  flags.define("workers", "solver worker threads (default 4)");
+  flags.define("sweep-jobs", "SweepRunner threads per sweep request (default 1)");
+  flags.define("max-connections", "concurrent client connections (default 256)");
+  flags.define("max-queue", "admitted-but-unstarted solve bound (default 64)");
+  flags.define("default-deadline-ms",
+               "per-request budget when the request names none (default 30000; 0 = none)");
+  flags.define("watchdog-interval-ms", "watchdog scan period (default 20)");
+  flags.define("watchdog-grace-ms",
+               "eviction slack past the deadline before the watchdog answers the "
+               "waiters itself (default 100)");
+  flags.define("write-timeout-ms", "slow-reader budget per response (default 5000)");
+  flags.define("cache-capacity", "memo-cache entries, LRU-bounded (default 4096)");
+  flags.define("breaker-threshold",
+               "consecutive numerical failures that trip a model class (default 3; "
+               "0 disables the breaker)");
+  flags.define("breaker-cooldown-ms", "open -> half-open probe delay (default 2000)");
+  flags.define("max-frame-bytes", "request frame bound (default 1048576)");
+  flags.define("journal", "append every served solve to this perfbg.sweep_journal.v1 file");
+  flags.define("warm-start", "seed the cache from a previous life's served-request journal");
+  flags.define("metrics-json", "write the run report here (periodically and at shutdown)");
+  flags.define("report-interval-ms",
+               "rewrite --metrics-json every this many ms while serving (default 0 = "
+               "shutdown only)");
+  flags.define_switch("enable-test-hooks",
+                      "parse the test_* request fields (tests/chaos loadgen only)");
+  flags.define_switch("help", "print usage");
+  return flags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  perfbg::Flags flags = make_flags();
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "perfbgd: %s\n%s", e.what(), flags.help().c_str());
+    return 2;
+  }
+  if (flags.get_bool("help", false)) {
+    std::fprintf(stdout, "%s", flags.help().c_str());
+    return 0;
+  }
+  const std::string socket_path = flags.get_string("socket", "");
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "perfbgd: --socket is required\n%s", flags.help().c_str());
+    return 2;
+  }
+
+  perfbg::obs::RunReport report("perfbgd");
+  perfbg::server::DaemonOptions options;
+  options.socket_path = socket_path;
+  options.workers = flags.get_int("workers", 4);
+  options.sweep_jobs = flags.get_int("sweep-jobs", 1);
+  options.max_connections = flags.get_int("max-connections", 256);
+  options.max_queue = static_cast<std::size_t>(flags.get_int("max-queue", 64));
+  options.default_deadline_ms = flags.get_double("default-deadline-ms", 30000.0);
+  options.watchdog_interval_ms = flags.get_double("watchdog-interval-ms", 20.0);
+  options.watchdog_grace_ms = flags.get_double("watchdog-grace-ms", 100.0);
+  options.write_timeout_ms = flags.get_double("write-timeout-ms", 5000.0);
+  options.cache_capacity = static_cast<std::size_t>(flags.get_int("cache-capacity", 4096));
+  options.breaker_threshold = flags.get_int("breaker-threshold", 3);
+  options.breaker_cooldown_ms = flags.get_double("breaker-cooldown-ms", 2000.0);
+  options.max_frame_bytes =
+      static_cast<std::size_t>(flags.get_int("max-frame-bytes", 1 << 20));
+  options.enable_test_hooks = flags.get_bool("enable-test-hooks", false);
+  options.report_path = flags.get_string("metrics-json", "");
+  options.report_interval_ms = flags.get_double("report-interval-ms", 0.0);
+
+  report.set_config("socket", socket_path);
+  report.set_config("workers", options.workers);
+  report.set_config("max_queue", static_cast<std::int64_t>(options.max_queue));
+  report.set_config("max_connections", options.max_connections);
+  report.set_config("cache_capacity", static_cast<std::int64_t>(options.cache_capacity));
+  report.set_config("breaker_threshold", options.breaker_threshold);
+  report.set_config("default_deadline_ms", options.default_deadline_ms);
+
+  std::unique_ptr<perfbg::runner::JournalWriter> journal;
+  std::unique_ptr<perfbg::runner::JournalIndex> warm;
+  try {
+    if (const std::string path = flags.get_string("warm-start", ""); !path.empty()) {
+      warm = std::make_unique<perfbg::runner::JournalIndex>(
+          perfbg::runner::JournalIndex::load(path, kSweepId));
+      options.warm_start = warm.get();
+    }
+    if (const std::string path = flags.get_string("journal", ""); !path.empty()) {
+      journal = std::make_unique<perfbg::runner::JournalWriter>(path, kSweepId);
+      options.journal = journal.get();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perfbgd: %s\n", e.what());
+    return 2;
+  }
+
+  // First signal: drain (stop accepting, finish accepted work). Second:
+  // cancel in-flight solves and exit 9. The watchdog polls the level.
+  perfbg::runner::install_signal_handlers();
+
+  perfbg::server::Daemon daemon(std::move(options), report);
+  try {
+    daemon.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perfbgd: startup failed: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "perfbgd: listening on %s (%d workers)\n", socket_path.c_str(),
+               flags.get_int("workers", 4));
+  // Readiness line on stdout so scripts can wait for it.
+  std::fprintf(stdout, "READY %s\n", socket_path.c_str());
+  std::fflush(stdout);
+
+  const int rc = daemon.run();
+  std::fprintf(stderr,
+               "perfbgd: drained (%s); served=%llu cache_hits=%llu coalesced=%llu "
+               "solves=%llu shed=%llu\n",
+               rc == 0 ? "clean" : "forced",
+               static_cast<unsigned long long>(report.metrics().counter("server.requests.total")),
+               static_cast<unsigned long long>(report.metrics().counter("server.cache.hit")),
+               static_cast<unsigned long long>(report.metrics().counter("server.cache.coalesced")),
+               static_cast<unsigned long long>(report.metrics().counter("server.solve.executed")),
+               static_cast<unsigned long long>(report.metrics().counter("server.queue.shed")));
+  return rc;
+}

@@ -1,0 +1,329 @@
+// perfbgd_loadgen — multi-threaded load and chaos client for perfbgd.
+//
+// Modes:
+//   herd   Every client pipelines `--requests` *identical* solve requests, so
+//          a run with C clients x R requests is a C*R-strong thundering herd
+//          on one cache key: the daemon must answer every frame while
+//          executing the solve exactly once (single-flight coalescing). CI
+//          asserts exactly that from the daemon's metricsz counters.
+//   mix    Requests round-robin over `--distinct` different model points:
+//          steady-state traffic with a bounded working set (cache + LRU
+//          coverage; solves executed == distinct models).
+//   chaos  Each client interleaves valid requests with adversarial frames:
+//          malformed JSON, NaN payloads, 200-deep nesting, oversized frames,
+//          mid-frame disconnects, and request-then-vanish kills. The daemon
+//          must answer the valid requests and the well-formed attacks with
+//          typed errors and survive the rest. Deterministic per-client RNG.
+//
+// Output: one compact JSON summary line on stdout, then (with --scrape) the
+// daemon's healthz JSON or metricsz Prometheus text. Exit 0 iff every
+// response the protocol owes us arrived (deliberate kills excluded) and no
+// response frame was unparseable.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "server/client.hpp"
+#include "server/io.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using perfbg::obs::JsonValue;
+using perfbg::server::Client;
+
+struct Totals {
+  std::mutex mu;
+  std::uint64_t sent = 0;        // frames that expect a response
+  std::uint64_t responses = 0;   // parseable response frames received
+  std::uint64_t ok = 0;
+  std::uint64_t cached = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t killed = 0;      // frames deliberately abandoned (chaos)
+  std::uint64_t attacks = 0;     // adversarial frames sent (chaos)
+  std::uint64_t protocol_failures = 0;  // owed responses that never arrived
+  std::uint64_t connect_failures = 0;
+  std::map<std::string, std::uint64_t> errors;  // code -> count
+};
+
+struct Config {
+  std::string socket;
+  std::string mode = "herd";
+  int clients = 8;
+  int requests = 4;
+  int distinct = 4;
+  std::string workload = "email";
+  double util = 0.15;
+  double p = 0.3;
+  int buffer = 5;
+  double deadline_ms = 0.0;
+  double test_sleep_ms = 0.0;
+};
+
+JsonValue model_request(const Config& cfg, const std::string& id, int variant) {
+  // variant < 0: the herd's single shared point; otherwise one of `distinct`
+  // well-spaced stable utilizations.
+  double util = cfg.util;
+  if (variant >= 0 && cfg.distinct > 0)
+    util = 0.10 + 0.70 * static_cast<double>(variant % cfg.distinct) /
+                      static_cast<double>(cfg.distinct);
+  JsonValue v = perfbg::server::solve_request(id, cfg.workload, util, cfg.p,
+                                              cfg.buffer, cfg.deadline_ms);
+  if (cfg.test_sleep_ms > 0.0) v.set("test_sleep_ms", cfg.test_sleep_ms);
+  return v;
+}
+
+void tally_response(Totals& totals, const JsonValue& response) {
+  std::lock_guard<std::mutex> lock(totals.mu);
+  ++totals.responses;
+  const JsonValue* ok = response.find("ok");
+  if (ok && ok->is_bool() && ok->as_bool()) {
+    ++totals.ok;
+    if (const JsonValue* c = response.find("cached"); c && c->is_bool() && c->as_bool())
+      ++totals.cached;
+    if (const JsonValue* c = response.find("coalesced"); c && c->is_bool() && c->as_bool())
+      ++totals.coalesced;
+  } else if (const JsonValue* err = response.find("error"); err && err->is_object()) {
+    if (const JsonValue* code = err->find("code"); code && code->is_string())
+      ++totals.errors[code->as_string()];
+    else
+      ++totals.errors["(uncoded)"];
+  } else {
+    ++totals.errors["(malformed response)"];
+  }
+}
+
+/// herd / mix: pipeline `requests` frames, then collect every response.
+void run_load_client(const Config& cfg, int client_index, Totals& totals) {
+  try {
+    Client client(cfg.socket);
+    int sent = 0;
+    for (int r = 0; r < cfg.requests; ++r) {
+      const std::string id =
+          "c" + std::to_string(client_index) + "/" + std::to_string(r);
+      const int variant =
+          cfg.mode == "mix" ? client_index * cfg.requests + r : -1;
+      if (!client.send_line(model_request(cfg, id, variant).dump())) break;
+      ++sent;
+    }
+    {
+      std::lock_guard<std::mutex> lock(totals.mu);
+      totals.sent += static_cast<std::uint64_t>(sent);
+    }
+    int received = 0;
+    std::string line;
+    for (; received < sent; ++received) {
+      if (!client.recv_line(line)) break;
+      tally_response(totals, perfbg::obs::parse_json(line));
+    }
+    if (received < sent) {
+      std::lock_guard<std::mutex> lock(totals.mu);
+      totals.protocol_failures += static_cast<std::uint64_t>(sent - received);
+    }
+  } catch (const std::exception&) {
+    std::lock_guard<std::mutex> lock(totals.mu);
+    ++totals.connect_failures;
+    ++totals.protocol_failures;
+  }
+}
+
+/// chaos: deterministic per-client attack mix. Every well-formed frame we
+/// wait on must be answered; kills and mid-frame disconnects are expected to
+/// cost us the connection, never the daemon.
+void run_chaos_client(const Config& cfg, int client_index, Totals& totals) {
+  std::mt19937 rng(0x9e3779b9u + static_cast<unsigned>(client_index));
+  for (int r = 0; r < cfg.requests; ++r) {
+    const int attack = static_cast<int>(rng() % 6);
+    try {
+      Client client(cfg.socket);
+      const std::string id =
+          "x" + std::to_string(client_index) + "/" + std::to_string(r);
+      switch (attack) {
+        case 0: {  // valid request, answered
+          {
+            std::lock_guard<std::mutex> lock(totals.mu);
+            ++totals.sent;
+          }
+          tally_response(totals, client.request(model_request(cfg, id, r)));
+          break;
+        }
+        case 1: {  // malformed JSON -> typed error, connection survives
+          {
+            std::lock_guard<std::mutex> lock(totals.mu);
+            ++totals.attacks;
+            ++totals.sent;
+          }
+          if (!client.send_line("{\"kind\": \"solve\", ")) throw std::runtime_error("send");
+          tally_response(totals, client.read_response());
+          break;
+        }
+        case 2: {  // NaN / deep nesting -> typed error
+          {
+            std::lock_guard<std::mutex> lock(totals.mu);
+            ++totals.attacks;
+            ++totals.sent;
+          }
+          std::string frame = (rng() % 2) ? "{\"kind\": \"solve\", \"util\": NaN}"
+                                          : std::string(200, '[') + std::string(200, ']');
+          if (!client.send_line(frame)) throw std::runtime_error("send");
+          tally_response(totals, client.read_response());
+          break;
+        }
+        case 3: {  // oversized frame: the daemon answers if it can, but it is
+                   // allowed to cut us off mid-upload (our send then fails
+                   // with a reset), so the response is best-effort.
+          {
+            std::lock_guard<std::mutex> lock(totals.mu);
+            ++totals.attacks;
+            ++totals.killed;
+          }
+          std::string frame(2u << 20, 'x');
+          if (client.send_line(frame)) {
+            std::string line;
+            if (client.recv_line(line)) tally_response(totals, perfbg::obs::parse_json(line));
+          }
+          break;
+        }
+        case 4: {  // request then vanish before reading (deliberate kill)
+          {
+            std::lock_guard<std::mutex> lock(totals.mu);
+            ++totals.attacks;
+            ++totals.killed;
+          }
+          client.send_line(model_request(cfg, id, r).dump());
+          break;  // destructor closes mid-conversation
+        }
+        default: {  // mid-frame disconnect: half a request, no newline
+          {
+            std::lock_guard<std::mutex> lock(totals.mu);
+            ++totals.attacks;
+            ++totals.killed;
+          }
+          perfbg::server::write_all(client.fd(), "{\"kind\": \"sol", 13);
+          break;
+        }
+      }
+    } catch (const std::exception&) {
+      // A dropped connection after an answered-or-abandoned attack is fine;
+      // an unanswered *owed* frame is counted where it was sent.
+      std::lock_guard<std::mutex> lock(totals.mu);
+      if (attack <= 2) ++totals.protocol_failures;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  perfbg::Flags flags;
+  flags.define("socket", "perfbgd socket path (required)");
+  flags.define("mode", "herd | mix | chaos (default herd)");
+  flags.define("clients", "client threads (default 8)");
+  flags.define("requests", "requests per client (default 4)");
+  flags.define("distinct", "mix: distinct model points (default 4)");
+  flags.define("workload", "workload name (default email)");
+  flags.define("util", "herd utilization (default 0.15)");
+  flags.define("p", "background spawn probability (default 0.3)");
+  flags.define("buffer", "background buffer size (default 5)");
+  flags.define("deadline-ms", "per-request deadline (default 0 = server default)");
+  flags.define("test-sleep-ms",
+               "attach a test_sleep_ms hook to every model request (needs a daemon "
+               "with --enable-test-hooks)");
+  flags.define("scrape", "after the run: healthz | metricsz, printed after the summary");
+  flags.define_switch("help", "print usage");
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "perfbgd_loadgen: %s\n%s", e.what(), flags.help().c_str());
+    return 2;
+  }
+  if (flags.get_bool("help", false)) {
+    std::fprintf(stdout, "%s", flags.help().c_str());
+    return 0;
+  }
+
+  Config cfg;
+  cfg.socket = flags.get_string("socket", "");
+  cfg.mode = flags.get_string("mode", "herd");
+  cfg.clients = flags.get_int("clients", 8);
+  cfg.requests = flags.get_int("requests", 4);
+  cfg.distinct = flags.get_int("distinct", 4);
+  cfg.workload = flags.get_string("workload", "email");
+  cfg.util = flags.get_double("util", 0.15);
+  cfg.p = flags.get_double("p", 0.3);
+  cfg.buffer = flags.get_int("buffer", 5);
+  cfg.deadline_ms = flags.get_double("deadline-ms", 0.0);
+  cfg.test_sleep_ms = flags.get_double("test-sleep-ms", 0.0);
+  if (cfg.socket.empty() ||
+      (cfg.mode != "herd" && cfg.mode != "mix" && cfg.mode != "chaos")) {
+    std::fprintf(stderr, "perfbgd_loadgen: --socket required, --mode must be "
+                         "herd|mix|chaos\n%s",
+                 flags.help().c_str());
+    return 2;
+  }
+
+  Totals totals;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg.clients));
+  for (int c = 0; c < cfg.clients; ++c) {
+    if (cfg.mode == "chaos")
+      threads.emplace_back(run_chaos_client, std::cref(cfg), c, std::ref(totals));
+    else
+      threads.emplace_back(run_load_client, std::cref(cfg), c, std::ref(totals));
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  JsonValue summary = JsonValue::object();
+  summary.set("mode", cfg.mode);
+  summary.set("clients", cfg.clients);
+  summary.set("requests_per_client", cfg.requests);
+  summary.set("sent", static_cast<std::int64_t>(totals.sent));
+  summary.set("responses", static_cast<std::int64_t>(totals.responses));
+  summary.set("ok", static_cast<std::int64_t>(totals.ok));
+  summary.set("cached", static_cast<std::int64_t>(totals.cached));
+  summary.set("coalesced", static_cast<std::int64_t>(totals.coalesced));
+  summary.set("killed", static_cast<std::int64_t>(totals.killed));
+  summary.set("attacks", static_cast<std::int64_t>(totals.attacks));
+  summary.set("protocol_failures", static_cast<std::int64_t>(totals.protocol_failures));
+  summary.set("connect_failures", static_cast<std::int64_t>(totals.connect_failures));
+  JsonValue errors = JsonValue::object();
+  for (const auto& [code, count] : totals.errors)
+    errors.set(code, static_cast<std::int64_t>(count));
+  summary.set("errors", std::move(errors));
+  summary.set("wall_ms", wall_ms);
+  std::fprintf(stdout, "%s\n", summary.dump().c_str());
+
+  const std::string scrape = flags.get_string("scrape", "");
+  if (scrape == "healthz" || scrape == "metricsz") {
+    try {
+      Client client(cfg.socket);
+      const JsonValue response =
+          client.request(perfbg::server::control_request("loadgen-scrape", scrape));
+      if (const JsonValue* result = response.find("result")) {
+        if (scrape == "metricsz" && result->is_object()) {
+          if (const JsonValue* text = result->find("text"); text && text->is_string())
+            std::fprintf(stdout, "%s", text->as_string().c_str());
+        } else {
+          std::fprintf(stdout, "%s\n", result->dump().c_str());
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "perfbgd_loadgen: scrape failed: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  return totals.protocol_failures == 0 ? 0 : 1;
+}

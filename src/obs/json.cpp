@@ -197,9 +197,15 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  Parser(const std::string& text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
 
   JsonValue parse_document() {
+    if (limits_.max_bytes > 0 && text_.size() > limits_.max_bytes)
+      throw std::invalid_argument(
+          "perfbg: JSON document of " + std::to_string(text_.size()) +
+          " bytes exceeds the " + std::to_string(limits_.max_bytes) +
+          "-byte limit");
     skip_ws();
     JsonValue v = parse_value();
     skip_ws();
@@ -252,11 +258,30 @@ class Parser {
       case 'n':
         if (consume_literal("null")) return JsonValue(nullptr);
         fail("bad literal");
+      // JSON has no NaN/Infinity literals; name them so a frame produced by a
+      // printf-style writer gets an actionable diagnosis.
+      case 'N':
+      case 'I':
+        fail("NaN/Infinity literals are not valid JSON");
       default: return parse_number();
     }
   }
 
+  /// RAII depth guard: each nested object/array costs one recursive
+  /// parse_value frame, so the bound is what stands between an adversarial
+  /// "[[[[..." frame and a stack overflow.
+  struct DepthGuard {
+    Parser& p;
+    explicit DepthGuard(Parser& parser) : p(parser) {
+      if (++p.depth_ > p.limits_.max_depth)
+        p.fail("nesting deeper than " + std::to_string(p.limits_.max_depth) +
+               " levels");
+    }
+    ~DepthGuard() { --p.depth_; }
+  };
+
   JsonValue parse_object() {
+    DepthGuard depth(*this);
     expect('{');
     JsonValue obj = JsonValue::object();
     skip_ws();
@@ -282,6 +307,7 @@ class Parser {
   }
 
   JsonValue parse_array() {
+    DepthGuard depth(*this);
     expect('[');
     JsonValue arr = JsonValue::array();
     skip_ws();
@@ -357,6 +383,8 @@ class Parser {
   JsonValue parse_number() {
     const std::size_t start = pos_;
     if (peek() == '-') ++pos_;
+    if (pos_ < text_.size() && (text_[pos_] == 'I' || text_[pos_] == 'N'))
+      fail("NaN/Infinity literals are not valid JSON");
     bool is_double = false;
     while (pos_ < text_.size()) {
       char c = text_[pos_];
@@ -382,11 +410,15 @@ class Parser {
   }
 
   const std::string& text_;
+  const JsonLimits& limits_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace
 
-JsonValue parse_json(const std::string& text) { return Parser(text).parse_document(); }
+JsonValue parse_json(const std::string& text, const JsonLimits& limits) {
+  return Parser(text, limits).parse_document();
+}
 
 }  // namespace perfbg::obs

@@ -88,8 +88,28 @@ class JsonValue {
 /// Writes a string with JSON escaping (quotes included).
 void json_escape(std::ostream& out, const std::string& s);
 
+/// Resource bounds enforced while parsing. The defaults keep trusted
+/// documents (reports, journals, baselines) working unchanged while still
+/// guarding the recursive-descent parser's stack: nesting is always bounded.
+/// Network-facing readers (the perfbgd request framing) tighten both knobs so
+/// an adversarial frame is a typed parse error, never a stack overflow or an
+/// unbounded allocation.
+struct JsonLimits {
+  /// Maximum input size in bytes; 0 means unlimited (trusted local files).
+  std::size_t max_bytes = 0;
+  /// Maximum container nesting depth (objects + arrays). Each level costs one
+  /// recursive parser frame, so this bound is what keeps "[[[[..." from
+  /// smashing the stack.
+  int max_depth = 128;
+
+  /// The daemon's wire-format bounds: 1 MiB frames, 64 levels.
+  static JsonLimits network() { return JsonLimits{1u << 20, 64}; }
+};
+
 /// Parses one JSON document; trailing non-whitespace is an error. Throws
-/// std::invalid_argument with a byte offset on malformed input.
-JsonValue parse_json(const std::string& text);
+/// std::invalid_argument with a byte offset on malformed input — including
+/// NaN/Infinity literals (not JSON), over-deep nesting, and inputs larger
+/// than limits.max_bytes. Never asserts or crashes on malformed input.
+JsonValue parse_json(const std::string& text, const JsonLimits& limits = {});
 
 }  // namespace perfbg::obs

@@ -76,6 +76,10 @@ class JournalIndex {
   /// journal) counts as a miss.
   const JournalRecord* find(const std::string& key) const;
 
+  /// All completed records keyed by hash-hex, for whole-journal consumers
+  /// (perfbgd's cache warm-start re-hashes each record's key itself).
+  const std::map<std::string, JournalRecord>& records() const { return by_hash_; }
+
  private:
   std::string sweep_id_;
   std::string path_;

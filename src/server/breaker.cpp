@@ -1,0 +1,103 @@
+#include "server/breaker.hpp"
+
+namespace perfbg::server {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+BreakerDecision CircuitBreaker::admit(const std::string& model_class) {
+  if (threshold_ < 1) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = classes_.find(model_class);
+  if (it == classes_.end()) return {};
+  ClassState& cls = it->second;
+  switch (cls.state) {
+    case State::kClosed:
+      return {};
+    case State::kHalfOpen: {
+      // A probe is already in the air; fail fast until it reports back.
+      BreakerDecision d;
+      d.allow = false;
+      d.last_error = cls.last_error;
+      d.retry_after_ms = cooldown_ms_;
+      if (metrics_) metrics_->add("server.breaker.fastfail");
+      return d;
+    }
+    case State::kOpen: {
+      const double waited = ms_between(cls.opened_at, std::chrono::steady_clock::now());
+      if (waited >= cooldown_ms_) {
+        cls.state = State::kHalfOpen;
+        if (metrics_) metrics_->add("server.breaker.probes");
+        BreakerDecision d;
+        d.probe = true;
+        return d;
+      }
+      BreakerDecision d;
+      d.allow = false;
+      d.last_error = cls.last_error;
+      d.retry_after_ms = cooldown_ms_ - waited;
+      if (metrics_) metrics_->add("server.breaker.fastfail");
+      return d;
+    }
+  }
+  return {};
+}
+
+void CircuitBreaker::report(const std::string& model_class,
+                            const std::string& error_code,
+                            const std::string& error_message, bool was_probe) {
+  if (threshold_ < 1) return;
+  const bool failure = counts_as_failure(error_code);
+  // Neutral outcomes (deadline, overload, bad request, interrupt) say nothing
+  // about the class's numerical health — except for a probe, whose neutral
+  // outcome must re-open the class so the next cool-down elects a new probe.
+  if (!failure && !error_code.empty() && !was_probe) return;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ClassState& cls = classes_[model_class];
+  if (error_code.empty()) {
+    if (cls.state != State::kClosed && metrics_)
+      metrics_->add("server.breaker.recovered");
+    cls = ClassState{};
+    update_open_gauge_locked();
+    return;
+  }
+  if (!failure) {
+    // A probe that ended with a neutral code: back to open, fresh cool-down.
+    cls.state = State::kOpen;
+    cls.opened_at = std::chrono::steady_clock::now();
+    return;
+  }
+  cls.last_error = error_message.empty() ? error_code : error_message;
+  ++cls.consecutive_failures;
+  if (cls.state == State::kHalfOpen || cls.consecutive_failures >= threshold_) {
+    if (cls.state != State::kOpen && metrics_) metrics_->add("server.breaker.trips");
+    cls.state = State::kOpen;
+    cls.opened_at = std::chrono::steady_clock::now();
+    update_open_gauge_locked();
+  }
+}
+
+std::size_t CircuitBreaker::open_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_count_locked();
+}
+
+std::size_t CircuitBreaker::open_count_locked() const {
+  std::size_t n = 0;
+  for (const auto& [name, cls] : classes_)
+    if (cls.state != State::kClosed) ++n;
+  return n;
+}
+
+void CircuitBreaker::update_open_gauge_locked() {
+  if (metrics_) metrics_->set("server.breaker.open", static_cast<double>(open_count_locked()));
+}
+
+}  // namespace perfbg::server

@@ -1,0 +1,87 @@
+// Per-model-class circuit breaker (DESIGN.md §13).
+//
+// A model class (workload + service shape + buffer size; protocol.hpp's
+// model_class()) that keeps failing numerically — kNonConvergence or
+// kNumericalBreakdown, the codes where the solver burned its whole fallback
+// ladder — is a class that will almost certainly keep burning full iteration
+// budgets on every retry. The breaker turns that from "every herd member pays
+// the full solve cost to learn the same bad news" into a fast-fail:
+//
+//   closed --(N consecutive breaker-class failures)--> open
+//   open:   requests fail immediately with kCircuitOpen carrying the cached
+//           error, costing microseconds instead of a full ladder burn
+//   open --(cool-down elapsed)--> half-open: exactly one probe request is
+//           admitted through; success closes the breaker, failure re-opens it
+//           and restarts the cool-down
+//
+// Failures that say nothing about the class's numerical health (kInvalidModel
+// from a bad request, kDeadlineExceeded from an impatient client,
+// kOverloaded, kInterrupted) never move the breaker.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace perfbg::server {
+
+/// Decision for one request against its class's breaker.
+struct BreakerDecision {
+  bool allow = true;        ///< false: fast-fail with kCircuitOpen
+  bool probe = false;       ///< true: this is the half-open cool-down probe
+  std::string last_error;   ///< cached failure message (allow == false)
+  double retry_after_ms = 0.0;  ///< cool-down remaining (allow == false)
+};
+
+class CircuitBreaker {
+ public:
+  /// `threshold` consecutive failures trip a class; a tripped class fast-fails
+  /// for `cooldown_ms` before admitting one probe. threshold < 1 disables the
+  /// breaker entirely.
+  CircuitBreaker(int threshold, double cooldown_ms,
+                 obs::MetricsRegistry* metrics = nullptr)
+      : threshold_(threshold), cooldown_ms_(cooldown_ms), metrics_(metrics) {}
+
+  /// True for the error codes that charge the breaker.
+  static bool counts_as_failure(const std::string& error_code) {
+    return error_code == "kNonConvergence" || error_code == "kNumericalBreakdown";
+  }
+
+  /// Consults the class's state; an open breaker past its cool-down admits
+  /// the caller as the probe (at most one concurrent probe per class).
+  BreakerDecision admit(const std::string& model_class);
+
+  /// Reports the outcome of an executed request ("" = success). Successes
+  /// close the class; breaker-class failures charge it (and trip it at the
+  /// threshold); neutral codes leave it unchanged. `was_probe` marks the
+  /// half-open probe outcome.
+  void report(const std::string& model_class, const std::string& error_code,
+              const std::string& error_message, bool was_probe);
+
+  /// Number of classes currently open (metricsz/healthz surface).
+  std::size_t open_count() const;
+
+ private:
+  enum class State { kClosed, kOpen, kHalfOpen };
+  struct ClassState {
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    std::string last_error;
+    std::chrono::steady_clock::time_point opened_at{};
+  };
+
+  std::size_t open_count_locked() const;
+  void update_open_gauge_locked();
+
+  int threshold_;
+  double cooldown_ms_;
+  obs::MetricsRegistry* metrics_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ClassState> classes_;
+};
+
+}  // namespace perfbg::server

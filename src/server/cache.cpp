@@ -1,0 +1,121 @@
+#include "server/cache.hpp"
+
+namespace perfbg::server {
+
+bool Flight::complete(obs::JsonValue result, obs::JsonValue health,
+                      std::string error_code, std::string error_message,
+                      double wall_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (done_) return false;
+    done_ = true;
+    result_ = std::move(result);
+    health_ = std::move(health);
+    error_code_ = std::move(error_code);
+    error_message_ = std::move(error_message);
+    wall_ms_ = wall_ms;
+  }
+  cv_.notify_all();
+  return true;
+}
+
+bool Flight::wait_done(std::chrono::steady_clock::time_point own_deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (own_deadline == std::chrono::steady_clock::time_point{}) {
+    cv_.wait(lock, [&] { return done_; });
+    return true;
+  }
+  return cv_.wait_until(lock, own_deadline, [&] { return done_; });
+}
+
+bool Flight::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+Lookup SolutionCache::lookup(std::uint64_t hash, const std::string& key,
+                             std::chrono::steady_clock::time_point deadline) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = entries_.find(hash); it != entries_.end()) {
+    // Touch the LRU position; splice keeps the iterator valid.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    if (metrics_) metrics_->add("server.cache.hit");
+    return Lookup{Lookup::Outcome::kHit, it->second.entry, nullptr};
+  }
+  if (auto it = flights_.find(hash); it != flights_.end()) {
+    if (metrics_) metrics_->add("server.cache.coalesced");
+    return Lookup{Lookup::Outcome::kJoined, {}, it->second};
+  }
+  auto flight = std::make_shared<Flight>(key);
+  flight->deadline = deadline;  // before publication: watchdog reads race-free
+  flights_.emplace(hash, flight);
+  if (metrics_) metrics_->add("server.cache.miss");
+  return Lookup{Lookup::Outcome::kLeader, {}, std::move(flight)};
+}
+
+std::optional<CacheEntry> SolutionCache::peek(std::uint64_t hash) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(hash);
+  if (it == entries_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  if (metrics_) metrics_->add("server.cache.hit");
+  return it->second.entry;
+}
+
+void SolutionCache::finish(std::uint64_t hash, const std::shared_ptr<Flight>& flight,
+                           bool cache_result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Retire only our own flight: a watchdog-evicted slot may already host a
+  // newer flight for the same hash, which must keep flying.
+  if (auto it = flights_.find(hash); it != flights_.end() && it->second == flight)
+    flights_.erase(it);
+  if (cache_result && flight->ok())
+    insert_locked(hash,
+                  CacheEntry{flight->result(), flight->health(), flight->wall_ms()});
+}
+
+void SolutionCache::seed(std::uint64_t hash, CacheEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(hash)) return;
+  insert_locked(hash, std::move(entry));
+}
+
+void SolutionCache::insert_locked(std::uint64_t hash, CacheEntry entry) {
+  if (capacity_ == 0) return;
+  if (auto it = entries_.find(hash); it != entries_.end()) {
+    it->second.entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  } else {
+    lru_.push_front(hash);
+    entries_.emplace(hash, Slot{std::move(entry), lru_.begin()});
+    while (entries_.size() > capacity_) {
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+      if (metrics_) metrics_->add("server.cache.evicted");
+    }
+  }
+  if (metrics_) {
+    metrics_->add("server.cache.insert");
+    metrics_->set("server.cache.size", static_cast<double>(entries_.size()));
+  }
+}
+
+std::vector<std::shared_ptr<Flight>> SolutionCache::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Flight>> out;
+  out.reserve(flights_.size());
+  for (const auto& [hash, flight] : flights_) out.push_back(flight);
+  return out;
+}
+
+std::size_t SolutionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::size_t SolutionCache::inflight_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flights_.size();
+}
+
+}  // namespace perfbg::server

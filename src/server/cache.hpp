@@ -1,0 +1,160 @@
+// R-matrix/solution memo cache with single-flight request coalescing
+// (DESIGN.md §13).
+//
+// The cache is keyed by the FNV-1a 64 hash of a request's canonical key —
+// the same inputs-hash convention the sweep journal uses — and holds the
+// finished wire payload of successful solves, LRU-bounded so a scan of
+// distinct models can never grow the daemon without bound.
+//
+// Coalescing: the first requester of a missing key becomes the *leader* of a
+// Flight; every identical request arriving while that flight is in the air
+// joins it as a waiter instead of occupying a queue slot or a solver thread.
+// When the leader's solve completes (or is force-completed by the watchdog or
+// the drain path), every waiter wakes with the shared outcome — a thundering
+// herd of N identical queries costs one solver execution, one queue slot, and
+// N-1 `server.cache.coalesced` counter increments.
+//
+// Completion is idempotent and first-writer-wins: a wedged solve the watchdog
+// already evicted may eventually return a result, which is then recorded into
+// the cache (it is valid) but no longer changes the responses already sent.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/cancellation.hpp"
+
+namespace perfbg::server {
+
+/// Shared outcome of one request execution: the leader (or the watchdog)
+/// completes it exactly once; waiters block on `wait_done`.
+class Flight {
+ public:
+  explicit Flight(std::string key) : key_(std::move(key)) {}
+
+  const std::string& key() const { return key_; }
+  CancellationToken& token() { return token_; }
+
+  /// Wall-clock point the executing solve must be finished by (set before the
+  /// flight is published, so the watchdog reads it race-free; the watchdog
+  /// evicts flights past it). Zero when the flight has no deadline.
+  std::chrono::steady_clock::time_point deadline{};
+  /// When the flight was created (queue-age accounting).
+  std::chrono::steady_clock::time_point created = std::chrono::steady_clock::now();
+
+  /// First completion wins; later calls are no-ops returning false. An empty
+  /// error_code means success with `result`.
+  bool complete(obs::JsonValue result, obs::JsonValue health, std::string error_code,
+                std::string error_message, double wall_ms);
+
+  /// Blocks until the flight completes or `own_deadline` passes (a waiter's
+  /// own budget can be shorter than the leader's). Returns false on timeout —
+  /// the flight itself keeps flying for the other waiters.
+  bool wait_done(std::chrono::steady_clock::time_point own_deadline);
+
+  bool done() const;
+
+  // Outcome accessors; valid only after wait_done() returned true.
+  const obs::JsonValue& result() const { return result_; }
+  const obs::JsonValue& health() const { return health_; }
+  const std::string& error_code() const { return error_code_; }
+  const std::string& error_message() const { return error_message_; }
+  double wall_ms() const { return wall_ms_; }
+  bool ok() const { return error_code_.empty(); }
+
+ private:
+  std::string key_;
+  CancellationToken token_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  obs::JsonValue result_;
+  obs::JsonValue health_;
+  std::string error_code_;
+  std::string error_message_;
+  double wall_ms_ = 0.0;
+};
+
+/// A finished, cached solve.
+struct CacheEntry {
+  obs::JsonValue result;
+  obs::JsonValue health;
+  double solve_wall_ms = 0.0;  ///< what the original solve cost (telemetry)
+};
+
+/// What SolutionCache::lookup() decided for a request.
+struct Lookup {
+  enum class Outcome {
+    kHit,      ///< `entry` holds the finished payload
+    kJoined,   ///< an identical request is in flight; wait on `flight`
+    kLeader,   ///< this request must execute; complete `flight` when done
+  };
+  Outcome outcome;
+  CacheEntry entry;                ///< kHit only
+  std::shared_ptr<Flight> flight;  ///< kJoined / kLeader
+};
+
+/// Thread-safe LRU memo cache + single-flight table. Metrics (optional):
+/// server.cache.hit / .miss / .coalesced / .evicted / .insert counters and
+/// the server.cache.size gauge.
+class SolutionCache {
+ public:
+  explicit SolutionCache(std::size_t capacity, obs::MetricsRegistry* metrics = nullptr)
+      : capacity_(capacity), metrics_(metrics) {}
+
+  /// The single atomic decision point: hit, join, or lead (creating the
+  /// flight under the lock so a herd can never race into N leaders). When a
+  /// flight is created it carries `deadline` — the leader's own budget, which
+  /// bounds how long the watchdog lets the execution fly.
+  Lookup lookup(std::uint64_t hash, const std::string& key,
+                std::chrono::steady_clock::time_point deadline = {});
+
+  /// Read-only probe: returns the cached entry (touching LRU) or nullopt.
+  /// Never creates a flight — sweep points use this so a sweep worker can
+  /// never block on a flight queued behind the sweep itself.
+  std::optional<CacheEntry> peek(std::uint64_t hash);
+
+  /// Caches a successful outcome and retires the flight. Failures retire the
+  /// flight only (errors are never served from cache; the circuit breaker
+  /// owns repeated-failure behaviour).
+  void finish(std::uint64_t hash, const std::shared_ptr<Flight>& flight,
+              bool cache_result);
+
+  /// Warm-start: seeds one entry without a flight (journal replay on boot).
+  void seed(std::uint64_t hash, CacheEntry entry);
+
+  /// Snapshot of every in-flight flight, for the watchdog scan and the drain
+  /// path's force-complete.
+  std::vector<std::shared_ptr<Flight>> inflight() const;
+
+  std::size_t size() const;
+  std::size_t inflight_count() const;
+
+ private:
+  void insert_locked(std::uint64_t hash, CacheEntry entry);
+
+  std::size_t capacity_;
+  obs::MetricsRegistry* metrics_;
+
+  mutable std::mutex mu_;
+  struct Slot {
+    CacheEntry entry;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+  std::unordered_map<std::uint64_t, Slot> entries_;
+  std::list<std::uint64_t> lru_;  ///< front = most recent
+  std::unordered_map<std::uint64_t, std::shared_ptr<Flight>> flights_;
+};
+
+}  // namespace perfbg::server

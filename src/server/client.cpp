@@ -1,0 +1,77 @@
+#include "server/client.hpp"
+
+#include <sys/socket.h>
+
+#include <stdexcept>
+
+#include "server/io.hpp"
+
+namespace perfbg::server {
+
+namespace {
+// A response frame larger than this is protocol breakage, not data.
+constexpr std::size_t kMaxResponseBytes = 8u << 20;
+}  // namespace
+
+Client::Client(const std::string& socket_path) : socket_(connect_unix(socket_path)) {}
+
+bool Client::send_line(const std::string& line) {
+  return write_line(socket_.fd(), line);
+}
+
+bool Client::recv_line(std::string& line) {
+  while (true) {
+    for (; scanned_ < buffer_.size(); ++scanned_) {
+      if (buffer_[scanned_] == '\n') {
+        line.assign(buffer_, 0, scanned_);
+        buffer_.erase(0, scanned_ + 1);
+        scanned_ = 0;
+        return true;
+      }
+    }
+    if (buffer_.size() > kMaxResponseBytes) return false;
+    char chunk[4096];
+    const ssize_t n = io_read(socket_.fd(), chunk, sizeof chunk);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+obs::JsonValue Client::request(const obs::JsonValue& request_frame) {
+  if (!send_line(request_frame.dump()))
+    throw std::runtime_error("perfbgd client: send failed");
+  return read_response();
+}
+
+obs::JsonValue Client::read_response() {
+  std::string line;
+  if (!recv_line(line))
+    throw std::runtime_error("perfbgd client: connection closed before response");
+  return obs::parse_json(line, obs::JsonLimits{kMaxResponseBytes, 64});
+}
+
+void Client::shutdown_write() {
+  if (socket_.valid()) ::shutdown(socket_.fd(), SHUT_WR);
+}
+
+obs::JsonValue solve_request(const std::string& id, const std::string& workload,
+                             double util, double p, int buffer, double deadline_ms) {
+  obs::JsonValue v = obs::JsonValue::object();
+  v.set("id", id);
+  v.set("kind", "solve");
+  v.set("workload", workload);
+  v.set("util", util);
+  v.set("p", p);
+  v.set("buffer", buffer);
+  if (deadline_ms > 0.0) v.set("deadline_ms", deadline_ms);
+  return v;
+}
+
+obs::JsonValue control_request(const std::string& id, const std::string& kind) {
+  obs::JsonValue v = obs::JsonValue::object();
+  v.set("id", id);
+  v.set("kind", kind);
+  return v;
+}
+
+}  // namespace perfbg::server

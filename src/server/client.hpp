@@ -1,0 +1,51 @@
+// Minimal blocking perfbgd client: one connection, newline-delimited JSON
+// request/response in lock step. Shared by tests/test_server.cpp and
+// examples/perfbgd_loadgen.cpp so both speak the exact protocol the daemon
+// serves (protocol.hpp).
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "server/socket.hpp"
+
+namespace perfbg::server {
+
+class Client {
+ public:
+  /// Connects to a daemon socket; throws std::runtime_error when nothing is
+  /// listening at `socket_path`.
+  explicit Client(const std::string& socket_path);
+
+  /// Raw frame I/O: send_line appends the newline; recv_line strips it.
+  /// Both return false on a connection failure (EOF, reset, oversized reply).
+  bool send_line(const std::string& line);
+  bool recv_line(std::string& line);
+
+  /// Sends `request` (dumped compact) and blocks for one response frame.
+  /// Throws std::runtime_error on connection failure or an unparseable
+  /// response — protocol breakage, not a typed daemon error (those come back
+  /// as {"ok": false, "error": {...}} values).
+  obs::JsonValue request(const obs::JsonValue& request_frame);
+
+  /// Pipelining support: send N frames first, then collect N responses.
+  obs::JsonValue read_response();
+
+  int fd() const { return socket_.fd(); }
+  /// Half-close the write side: the daemon sees EOF after the in-flight
+  /// frames and closes once it answered them (clean client-side drain).
+  void shutdown_write();
+
+ private:
+  Socket socket_;
+  std::string buffer_;
+  std::size_t scanned_ = 0;
+};
+
+/// Convenience builders for the common request shapes.
+obs::JsonValue solve_request(const std::string& id, const std::string& workload,
+                             double util, double p, int buffer,
+                             double deadline_ms = 0.0);
+obs::JsonValue control_request(const std::string& id, const std::string& kind);
+
+}  // namespace perfbg::server

@@ -1,0 +1,703 @@
+#include "server/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "core/model.hpp"
+#include "qbd/rmatrix.hpp"
+#include "runner/sweep_runner.hpp"
+#include "server/io.hpp"
+#include "util/error.hpp"
+
+namespace perfbg::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start, Clock::time_point end = Clock::now()) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Maps a test_fail_code hook name back to the taxonomy. Throws kInvalidModel
+/// on an unknown name so a typo in a test is a typed response, not a solve.
+ErrorCode code_from_name(const std::string& name) {
+  static const std::pair<const char*, ErrorCode> kCodes[] = {
+      {"kInvalidModel", ErrorCode::kInvalidModel},
+      {"kUnstableQbd", ErrorCode::kUnstableQbd},
+      {"kSingularMatrix", ErrorCode::kSingularMatrix},
+      {"kNonConvergence", ErrorCode::kNonConvergence},
+      {"kNumericalBreakdown", ErrorCode::kNumericalBreakdown},
+      {"kDeadlineExceeded", ErrorCode::kDeadlineExceeded},
+      {"kInterrupted", ErrorCode::kInterrupted},
+  };
+  for (const auto& [n, code] : kCodes)
+    if (name == n) return code;
+  throw Error(ErrorCode::kInvalidModel, "unknown test_fail_code '" + name + "'");
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options, obs::RunReport& report)
+    : options_(std::move(options)),
+      report_(report),
+      metrics_(report.metrics()),
+      cache_(options_.cache_capacity, &metrics_),
+      breaker_(options_.breaker_threshold, options_.breaker_cooldown_ms, &metrics_) {}
+
+Daemon::~Daemon() {
+  if (started_.load(std::memory_order_acquire)) {
+    force_drain();
+    run();  // idempotent: every join is guarded by joinable()
+  }
+}
+
+void Daemon::start() {
+  // Pre-register the whole service counter family at zero: every run-report
+  // snapshot and /metricsz scrape then exposes the same stable set whether or
+  // not a counter fired this life, so two daemon runs stay diffable with
+  // perfbg_report_diff and Prometheus rate() works from the first increment.
+  for (const char* name :
+       {"server.requests.total", "server.requests.ok", "server.requests.error",
+        "server.requests.malformed", "server.requests.oversized",
+        "server.conn.accepted", "server.conn.shed", "server.conn.write_failed",
+        "server.cache.hit", "server.cache.miss", "server.cache.coalesced",
+        "server.cache.insert", "server.cache.evicted", "server.cache.warm",
+        "server.queue.shed", "server.queue.stale", "server.solve.executed",
+        "server.solve.late_result", "server.wait.deadline",
+        "server.watchdog.evicted", "server.breaker.trips",
+        "server.breaker.recovered", "server.breaker.probes",
+        "server.breaker.fastfail", "server.journal.records",
+        "server.drain.begun", "server.drain.forced"})
+    metrics_.add(name, 0);
+
+  if (options_.warm_start) {
+    for (const auto& [hash_hex, record] : options_.warm_start->records()) {
+      if (!record.ok()) continue;
+      cache_.seed(runner::fnv1a64(record.key),
+                  CacheEntry{record.payload, obs::JsonValue(), record.wall_ms});
+      metrics_.add("server.cache.warm");
+    }
+  }
+
+  listener_ = std::make_unique<Listener>(options_.socket_path);
+  started_.store(true, std::memory_order_release);
+
+  const int workers = std::max(1, options_.workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back(&Daemon::worker_loop, this);
+  accept_thread_ = std::thread(&Daemon::accept_loop, this);
+  watchdog_thread_ = std::thread(&Daemon::watchdog_loop, this);
+}
+
+// ---------------------------------------------------------------------------
+// Accept + connection path
+
+void Daemon::accept_loop() {
+  while (true) {
+    Socket sock = listener_->accept();
+    if (!sock.valid()) break;  // listener shut down: drain
+    metrics_.add("server.conn.accepted");
+
+    if (draining()) {
+      write_line(sock.fd(),
+                 make_error_response("", "kOverloaded",
+                                     "daemon is draining; not accepting new connections")
+                     .dump(),
+                 options_.write_timeout_ms);
+      continue;  // RAII closes
+    }
+
+    std::shared_ptr<ConnState> state;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      // Re-check under conn_mu_: begin_drain() holds it while sweeping the
+      // registry, so a connection registered here is either swept or refused.
+      if (draining()) {
+        write_line(sock.fd(),
+                   make_error_response("", "kOverloaded",
+                                       "daemon is draining; not accepting new connections")
+                       .dump(),
+                   options_.write_timeout_ms);
+        continue;
+      }
+      if (active_connections_ >= static_cast<std::size_t>(std::max(1, options_.max_connections))) {
+        metrics_.add("server.conn.shed");
+        write_line(sock.fd(),
+                   make_error_response(
+                       "", "kOverloaded",
+                       "connection limit reached (" +
+                           std::to_string(options_.max_connections) +
+                           "); retry against a less loaded server")
+                       .dump(),
+                   options_.write_timeout_ms);
+        continue;
+      }
+      state = std::make_shared<ConnState>();
+      state->socket = std::move(sock);
+      ++active_connections_;
+      metrics_.set("server.conn.active", static_cast<double>(active_connections_));
+      connections_.push_back(
+          ConnEntry{std::thread(&Daemon::serve_connection, this, state), state});
+    }
+  }
+}
+
+void Daemon::serve_connection(std::shared_ptr<ConnState> conn) {
+  conn->socket.set_send_timeout_ms(
+      std::max(1, static_cast<int>(options_.write_timeout_ms)));
+  LineReader reader(conn->socket.fd(), options_.max_frame_bytes);
+  std::string line;
+  while (true) {
+    const LineReader::Status status = reader.next(line);
+    if (status == LineReader::Status::kLine) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      if (!handle_frame(*conn, line)) break;
+      continue;
+    }
+    if (status == LineReader::Status::kTooLong) {
+      // The stream cannot resync after an oversized frame: answer + drop.
+      metrics_.add("server.requests.oversized");
+      write_line(conn->socket.fd(),
+                 make_error_response("", "kInvalidModel",
+                                     "frame exceeds " +
+                                         std::to_string(options_.max_frame_bytes) +
+                                         " bytes")
+                     .dump(),
+                 options_.write_timeout_ms);
+    }
+    break;  // kEof / kError / kTooLong
+  }
+
+  conn->done.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    --active_connections_;
+    metrics_.set("server.conn.active", static_cast<double>(active_connections_));
+  }
+  conn_cv_.notify_all();
+  state_cv_.notify_all();
+}
+
+bool Daemon::handle_frame(ConnState& conn, const std::string& line) {
+  metrics_.add("server.requests.total");
+  obs::JsonValue response;
+  std::string id;
+  try {
+    obs::JsonValue frame;
+    try {
+      frame = obs::parse_json(line, obs::JsonLimits{options_.max_frame_bytes, 64});
+    } catch (const std::invalid_argument& e) {
+      metrics_.add("server.requests.malformed");
+      throw Error(ErrorCode::kInvalidModel, std::string("malformed frame: ") + e.what());
+    }
+    // Capture the id before full validation so even a bad request's error
+    // response is attributable by the client.
+    if (frame.is_object()) {
+      if (const obs::JsonValue* v = frame.find("id"); v && v->is_string())
+        id = v->as_string();
+    }
+    const Request request = parse_request(frame, options_.enable_test_hooks);
+    response = process_request(request);
+  } catch (const Error& e) {
+    response = make_error_response(id, error_code_name(e.code()), e.message());
+  } catch (const std::exception& e) {
+    response = make_error_response(id, "kUnclassified", e.what());
+  }
+
+  if (const obs::JsonValue* ok = response.find("ok"); ok && ok->is_bool() && ok->as_bool())
+    metrics_.add("server.requests.ok");
+  else
+    metrics_.add("server.requests.error");
+
+  if (!write_line(conn.socket.fd(), response.dump(), options_.write_timeout_ms)) {
+    metrics_.add("server.conn.write_failed");
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Request path
+
+obs::JsonValue Daemon::process_request(const Request& request) {
+  if (request.kind == Request::Kind::kHealthz)
+    return make_result_response(request.id, healthz(), obs::JsonValue(), false, false, 0.0);
+  if (request.kind == Request::Kind::kMetricsz) {
+    obs::JsonValue body = obs::JsonValue::object();
+    body.set("text", metrics_.render_text());
+    return make_result_response(request.id, std::move(body), obs::JsonValue(), false,
+                                false, 0.0);
+  }
+
+  if (draining())
+    return make_error_response(request.id, "kOverloaded",
+                               "daemon is draining; request rejected");
+
+  const std::string key = canonical_key(request);
+  const std::uint64_t hash = runner::fnv1a64(key);
+  const std::string cls = model_class(request);
+
+  const BreakerDecision decision = breaker_.admit(cls);
+  if (!decision.allow) {
+    std::string msg = "circuit open for model class '" + cls + "'";
+    if (!decision.last_error.empty()) msg += "; last error: " + decision.last_error;
+    msg += " (retry after " + std::to_string(static_cast<long>(decision.retry_after_ms)) +
+           " ms)";
+    return make_error_response(request.id, "kCircuitOpen", msg);
+  }
+
+  const double budget_ms =
+      request.deadline_ms > 0.0 ? request.deadline_ms : options_.default_deadline_ms;
+  Clock::time_point own_deadline{};
+  if (budget_ms > 0.0)
+    own_deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double, std::milli>(budget_ms));
+
+  Lookup lookup = cache_.lookup(hash, key, own_deadline);
+  if (lookup.outcome == Lookup::Outcome::kHit) {
+    // A cache hit is a known-good solve of this class: let it close a
+    // half-open breaker instead of burning the probe slot on a re-execution.
+    if (decision.probe) breaker_.report(cls, "", "", true);
+    return make_result_response(request.id, lookup.entry.result, lookup.entry.health,
+                                true, false, lookup.entry.solve_wall_ms);
+  }
+
+  const bool coalesced = lookup.outcome == Lookup::Outcome::kJoined;
+  if (!coalesced) {
+    // Leader: the one queue-slot occupant for this key. Admission control
+    // happens here — a full queue is a typed kOverloaded in microseconds.
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (!stop_workers_ && queue_.size() < std::max<std::size_t>(1, options_.max_queue)) {
+        queue_.push_back(WorkItem{hash, request, lookup.flight, decision.probe});
+        metrics_.set("server.queue.depth", static_cast<double>(queue_.size()));
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      queue_cv_.notify_one();
+    } else {
+      metrics_.add("server.queue.shed");
+      const std::string msg = "work queue full (" + std::to_string(options_.max_queue) +
+                              " pending solves); request shed";
+      // Breaker first (a shed probe re-opens its class), then complete the
+      // flight so any herd members that coalesced onto this key in the window
+      // since lookup() wake with the same typed answer.
+      breaker_.report(cls, "kOverloaded", msg, decision.probe);
+      lookup.flight->complete(obs::JsonValue(), obs::JsonValue(), "kOverloaded", msg, 0.0);
+      cache_.finish(hash, lookup.flight, false);
+      return make_error_response(request.id, "kOverloaded", msg);
+    }
+  }
+
+  return finish_via_flight(request, lookup.flight, own_deadline, coalesced,
+                           decision.probe);
+}
+
+obs::JsonValue Daemon::finish_via_flight(const Request& request,
+                                         const std::shared_ptr<Flight>& flight,
+                                         Clock::time_point own_deadline, bool coalesced,
+                                         bool probe) {
+  if (!flight->wait_done(own_deadline)) {
+    // This waiter's own budget ran out; the flight keeps flying for others.
+    metrics_.add("server.wait.deadline");
+    return make_error_response(request.id, "kDeadlineExceeded",
+                               "request deadline passed while waiting for the "
+                               "in-flight identical solve");
+  }
+  if (probe && coalesced) {
+    // A joined probe never executes; report the shared outcome so the class
+    // cannot wedge in half-open.
+    breaker_.report(model_class(request), flight->error_code(), flight->error_message(),
+                    true);
+  }
+  if (flight->ok())
+    return make_result_response(request.id, flight->result(), flight->health(), false,
+                                coalesced, flight->wall_ms());
+  return make_error_response(request.id, flight->error_code(), flight->error_message());
+}
+
+// ---------------------------------------------------------------------------
+// Worker path
+
+void Daemon::worker_loop() {
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stop_workers_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_workers_) return;
+        continue;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      metrics_.set("server.queue.depth", static_cast<double>(queue_.size()));
+    }
+    execute(item);
+    state_cv_.notify_all();
+  }
+}
+
+void Daemon::execute(WorkItem& item) {
+  if (item.flight->done()) {
+    // Evicted by the watchdog or failed by the drain path while still queued:
+    // every waiter already has its answer, so skip the execution entirely.
+    metrics_.add("server.queue.stale");
+    cache_.finish(item.hash, item.flight, false);
+    return;
+  }
+
+  CancellationToken& token = item.flight->token();
+  if (item.flight->deadline != Clock::time_point{})
+    token.set_deadline(item.flight->deadline);
+
+  metrics_.add("server.solve.executed");
+  obs::ScopedTimer timer(&metrics_, "server.solve");
+  const Clock::time_point start = Clock::now();
+
+  obs::JsonValue result;
+  obs::JsonValue health;
+  bool cache_ok = true;
+  std::string code;
+  std::string message;
+  try {
+    result = run_model(item.request, token, health, cache_ok);
+  } catch (const Error& e) {
+    code = error_code_name(e.code());
+    message = e.message();
+  } catch (const std::exception& e) {
+    code = "kUnclassified";
+    message = e.what();
+  }
+  const double wall = ms_since(start);
+
+  if (!code.empty()) {
+    obs::SolveHealth h = obs::failed_solve_health(code, message);
+    h.key = item.flight->key();
+    report_.add_health(h);
+    obs::JsonValue err = obs::JsonValue::object();
+    err.set("code", code);
+    err.set("message", message);
+    err.set("key", item.flight->key());
+    report_.add_error(std::move(err));
+  }
+
+  // Publish the cache entry and the breaker outcome BEFORE completing the
+  // flight: complete() wakes the waiters, and a client that reacts instantly
+  // to its response must read its own write — the follow-up identical request
+  // hits the cache, and a probe's class is already closed (or re-tripped),
+  // never observed stale. Seeding directly (instead of letting finish() read
+  // the flight) also means a valid result the watchdog already evicted still
+  // lands in the cache: it is correct, just slow.
+  if (code.empty() && cache_ok)
+    cache_.seed(item.hash, CacheEntry{result, health, wall});
+  breaker_.report(model_class(item.request), code, message, item.probe);
+  // First completion wins: if the watchdog already evicted this flight the
+  // waiters keep their deadline answer.
+  if (!item.flight->complete(result, health, code, message, wall))
+    metrics_.add("server.solve.late_result");
+  cache_.finish(item.hash, item.flight, false);  // retire the flight only
+  journal_outcome(item.flight);
+}
+
+obs::JsonValue Daemon::run_model(const Request& request, const CancellationToken& token,
+                                 obs::JsonValue& health_out, bool& cache_ok) {
+  // Test hooks (gated by --enable-test-hooks): deterministic stand-ins for a
+  // slow solve, a wedged solve, and a typed solver failure.
+  if (!request.test_fail_code.empty())
+    throw Error(code_from_name(request.test_fail_code),
+                "test hook forced failure (" + request.test_fail_code + ")");
+  if (request.test_wedge_ms > 0.0) {
+    // Deliberately ignores the token: watchdog-eviction coverage.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(request.test_wedge_ms));
+  }
+  if (request.test_sleep_ms > 0.0) {
+    const Clock::time_point until =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(request.test_sleep_ms));
+    while (Clock::now() < until) {
+      token.check();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  if (request.kind == Request::Kind::kSolve) {
+    core::FgBgModel model(build_params(request, request.util), &metrics_);
+    qbd::RSolverOptions opts;
+    opts.cancel = &token;
+    const core::FgBgSolution solution = model.solve(opts);
+    obs::SolveHealth h = solution.health();
+    h.key = canonical_key(request);
+    report_.add_health(h);
+    health_out = h.to_json();
+    return metrics_payload(solution.metrics());
+  }
+
+  // Sweep: one solve per utilization on a SweepRunner pool. Points reuse the
+  // daemon cache read-only via peek() (never joining flights, so a sweep can
+  // never deadlock behind itself in the worker pool) and seed it on success.
+  runner::RunnerOptions ro;
+  ro.jobs = std::max(1, options_.sweep_jobs);
+  ro.metrics = &metrics_;
+  runner::SweepRunner sweep(ro);
+  for (double u : request.utils) {
+    Request point = request;
+    point.kind = Request::Kind::kSolve;
+    point.util = u;
+    point.utils.clear();
+    const std::string pkey = canonical_key(point);
+    const std::uint64_t phash = runner::fnv1a64(pkey);
+    sweep.add(pkey, [this, point, pkey, phash, &token](runner::PointContext&) {
+      if (std::optional<CacheEntry> hit = cache_.peek(phash)) return hit->result;
+      token.check();
+      core::FgBgModel model(build_params(point, point.util), &metrics_);
+      qbd::RSolverOptions opts;
+      opts.cancel = &token;
+      const core::FgBgSolution solution = model.solve(opts);
+      obs::SolveHealth h = solution.health();
+      h.key = pkey;
+      report_.add_health(h);
+      obs::JsonValue payload = metrics_payload(solution.metrics());
+      cache_.seed(phash, CacheEntry{payload, h.to_json(), 0.0});
+      return payload;
+    });
+  }
+  const runner::SweepResult sr = sweep.run();
+
+  obs::JsonValue points = obs::JsonValue::array();
+  for (std::size_t i = 0; i < sr.outcomes.size(); ++i) {
+    const runner::PointOutcome& outcome = sr.outcomes[i];
+    obs::JsonValue row = obs::JsonValue::object();
+    row.set("util", request.utils[i]);
+    row.set("ok", outcome.ok());
+    if (outcome.ok()) {
+      row.set("result", outcome.payload);
+    } else {
+      cache_ok = false;  // never memoize a sweep with failed points
+      obs::JsonValue err = obs::JsonValue::object();
+      err.set("code", outcome.error_code.empty() ? "kInterrupted" : outcome.error_code);
+      err.set("message", outcome.error_message);
+      row.set("error", std::move(err));
+    }
+    points.push_back(std::move(row));
+  }
+  obs::JsonValue body = obs::JsonValue::object();
+  body.set("points", std::move(points));
+  body.set("failed", static_cast<std::int64_t>(sr.failed));
+  health_out = obs::JsonValue();
+  return body;
+}
+
+void Daemon::journal_outcome(const std::shared_ptr<Flight>& flight) {
+  if (!options_.journal) return;
+  runner::JournalRecord record;
+  record.key = flight->key();
+  record.payload = flight->ok() ? flight->result() : obs::JsonValue();
+  record.error_code = flight->error_code();
+  record.error_message = flight->error_message();
+  record.wall_ms = flight->wall_ms();
+  options_.journal->append(record);
+  metrics_.add("server.journal.records");
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog + drain
+
+void Daemon::watchdog_loop() {
+  Clock::time_point last_snapshot = Clock::now();
+  while (!stop_watchdog_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        std::max(1.0, options_.watchdog_interval_ms)));
+
+    const int level = runner::interrupt_level();
+    if (level >= 2)
+      force_drain();
+    else if (level >= 1)
+      begin_drain();
+
+    const Clock::time_point now = Clock::now();
+    const auto grace = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(options_.watchdog_grace_ms));
+    for (const std::shared_ptr<Flight>& flight : cache_.inflight()) {
+      if (flight->deadline == Clock::time_point{} || now < flight->deadline) continue;
+      // Past deadline: ask nicely first (cooperative cancel unwinds the solve
+      // at its next iteration)...
+      flight->token().cancel(CancelReason::kDeadline);
+      // ...and past deadline + grace, stop waiting for a solve that is wedged
+      // outside any cancellation point: answer the waiters now. The worker's
+      // eventual return is a recorded late result, not a lost thread.
+      if (now >= flight->deadline + grace) {
+        if (flight->complete(obs::JsonValue(), obs::JsonValue(), "kDeadlineExceeded",
+                             "solve exceeded its deadline and was evicted by the "
+                             "watchdog",
+                             ms_since(flight->created, now)))
+          metrics_.add("server.watchdog.evicted");
+      }
+    }
+
+    reap_finished_connections(false);
+
+    if (!options_.report_path.empty() && options_.report_interval_ms > 0.0 &&
+        ms_since(last_snapshot, now) >= options_.report_interval_ms) {
+      write_report_snapshot();
+      last_snapshot = now;
+    }
+  }
+}
+
+void Daemon::begin_drain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  metrics_.add("server.drain.begun");
+  if (listener_) listener_->shutdown();
+  {
+    // Stop every connection from submitting further requests while keeping
+    // its write side open for the responses it is still owed.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (ConnEntry& entry : connections_)
+      if (!entry.state->done.load(std::memory_order_acquire))
+        entry.state->socket.shutdown_read();
+  }
+  state_cv_.notify_all();
+}
+
+void Daemon::force_drain() {
+  begin_drain();
+  bool expected = false;
+  if (!forced_.compare_exchange_strong(expected, true)) return;
+  metrics_.add("server.drain.forced");
+
+  // Fail the work that never started...
+  std::deque<WorkItem> pending;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    pending.swap(queue_);
+    metrics_.set("server.queue.depth", 0.0);
+  }
+  for (WorkItem& item : pending) {
+    item.flight->complete(obs::JsonValue(), obs::JsonValue(), "kInterrupted",
+                          "daemon force-drained before this request started", 0.0);
+    cache_.finish(item.hash, item.flight, false);
+  }
+  // ...and cancel what did: waiters get kInterrupted now; the executing
+  // worker unwinds at its next cancellation point.
+  for (const std::shared_ptr<Flight>& flight : cache_.inflight()) {
+    flight->token().cancel(CancelReason::kInterrupt);
+    flight->complete(obs::JsonValue(), obs::JsonValue(), "kInterrupted",
+                     "daemon force-drained; in-flight solve cancelled", 0.0);
+  }
+  queue_cv_.notify_all();
+  state_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+int Daemon::run() {
+  // Phase 1: serve until a drain is requested (signal via watchdog, or
+  // begin_drain()/force_drain() from another thread).
+  while (!draining()) {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    state_cv_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Phase 2: every connection finishes its in-flight request and exits (the
+  // drain shut their read sides, so readers see EOF as soon as they idle).
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    while (active_connections_ > 0)
+      conn_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+  reap_finished_connections(true);
+
+  // Phase 3: the queue drains (no producers remain) and the last flights
+  // land. A force-drain already answered the waiters; this wait is for the
+  // worker threads to come back from their cancelled solves.
+  while (true) {
+    bool queue_empty;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      queue_empty = queue_.empty();
+    }
+    if (queue_empty && cache_.inflight_count() == 0) break;
+    std::unique_lock<std::mutex> lock(state_mu_);
+    state_cv_.wait_for(lock, std::chrono::milliseconds(20));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_workers_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+
+  stop_watchdog_.store(true, std::memory_order_release);
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+
+  listener_.reset();  // unlink the socket path
+  write_report_snapshot();
+  return forced_.load(std::memory_order_acquire)
+             ? error_exit_code(ErrorCode::kInterrupted)
+             : 0;
+}
+
+void Daemon::reap_finished_connections(bool join_all) {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (join_all || it->state->done.load(std::memory_order_acquire)) {
+        to_join.push_back(std::move(it->thread));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::thread& t : to_join)
+    if (t.joinable()) t.join();
+}
+
+void Daemon::write_report_snapshot() {
+  if (options_.report_path.empty()) return;
+  try {
+    report_.write_json(options_.report_path);
+  } catch (const std::exception&) {
+    metrics_.add("server.report.write_failed");
+  }
+}
+
+obs::JsonValue Daemon::healthz() const {
+  obs::JsonValue v = obs::JsonValue::object();
+  v.set("status", forced_.load(std::memory_order_acquire) ? "forced"
+                  : draining()                            ? "draining"
+                                                          : "serving");
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    v.set("connections", static_cast<std::int64_t>(active_connections_));
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    v.set("queue_depth", static_cast<std::int64_t>(queue_.size()));
+  }
+  v.set("inflight", static_cast<std::int64_t>(cache_.inflight_count()));
+  v.set("cache_size", static_cast<std::int64_t>(cache_.size()));
+  v.set("breaker_open", static_cast<std::int64_t>(breaker_.open_count()));
+  v.set("requests_total",
+        static_cast<std::int64_t>(metrics_.counter("server.requests.total")));
+  v.set("solves_executed",
+        static_cast<std::int64_t>(metrics_.counter("server.solve.executed")));
+  return v;
+}
+
+}  // namespace perfbg::server

@@ -1,0 +1,195 @@
+// perfbgd: the overload-safe capacity-planning daemon (DESIGN.md §13).
+//
+// A Daemon listens on a Unix-domain socket for newline-delimited JSON
+// solve/sweep requests (protocol.hpp) and executes them on a fixed pool of
+// solver workers, engineered to degrade instead of fail:
+//
+//   admission   A request occupies a bounded work-queue slot only when it is
+//               the *leader* of a new solve; the queue refusing a slot is a
+//               typed kOverloaded response in microseconds, never unbounded
+//               memory or a hang. Connections beyond --max-connections are
+//               shed at accept the same way.
+//   coalescing  Identical requests share one Flight (cache.hpp): a thundering
+//               herd of N identical queries costs one solver execution.
+//   memo cache  Finished solves are served from an LRU cache keyed by the
+//               canonical request hash (the sweep journal's FNV-1a
+//               convention); --warm-start seeds it from a served-request
+//               journal of a previous daemon life.
+//   deadlines   Every request runs under a CancellationToken deadline
+//               (request's deadline_ms or the daemon default) enforced
+//               cooperatively inside the solver loops; a watchdog thread
+//               additionally force-completes flights stuck past deadline +
+//               grace, so even a solve wedged outside any cancellation point
+//               cannot strand its waiters.
+//   breaker     Repeated kNonConvergence/kNumericalBreakdown failures of one
+//               model class trip a circuit breaker (breaker.hpp) that
+//               fast-fails with kCircuitOpen until a cool-down probe
+//               succeeds.
+//   drain       SIGINT/SIGTERM (level 1, via the runner's shared handlers)
+//               stops accepting and finishes every accepted request; a second
+//               signal (level 2) cancels in-flight solves and answers their
+//               clients kInterrupted. Served requests are journaled
+//               (perfbg.sweep_journal.v1), so nothing accepted is lost and
+//               the next daemon life can warm-start from the journal. run()
+//               returns 0 after a clean drain, 9 (kInterrupted) when forced.
+//
+// Control requests (healthz/metricsz) bypass admission entirely: they stay
+// answerable while the solve path is saturated — that is their whole point.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/report.hpp"
+#include "runner/journal.hpp"
+#include "server/breaker.hpp"
+#include "server/cache.hpp"
+#include "server/protocol.hpp"
+#include "server/socket.hpp"
+
+namespace perfbg::server {
+
+struct DaemonOptions {
+  std::string socket_path;
+
+  int workers = 4;            ///< solver pool size (= in-flight solve budget)
+  int sweep_jobs = 1;         ///< SweepRunner threads per sweep request
+  int max_connections = 256;  ///< concurrent client connections
+  std::size_t max_queue = 64; ///< pending (admitted, not yet solving) requests
+
+  double default_deadline_ms = 30000.0;  ///< per-request budget when the
+                                         ///< request names none (0 = none)
+  double watchdog_interval_ms = 20.0;    ///< flight-scan period
+  double watchdog_grace_ms = 100.0;      ///< eviction = deadline + grace
+  double write_timeout_ms = 5000.0;      ///< slow-reader budget per response
+
+  std::size_t cache_capacity = 4096;     ///< memo-cache entries (LRU)
+  int breaker_threshold = 3;             ///< consecutive failures to trip
+  double breaker_cooldown_ms = 2000.0;   ///< open -> half-open probe delay
+
+  std::size_t max_frame_bytes = 1u << 20;  ///< request frame bound (1 MiB)
+
+  /// Parse the test_* request hooks (tests and the chaos loadgen only).
+  bool enable_test_hooks = false;
+
+  runner::JournalWriter* journal = nullptr;          ///< served-request sink
+  const runner::JournalIndex* warm_start = nullptr;  ///< cache pre-seed
+
+  /// Periodic run-report snapshot: rewritten every report_interval_ms while
+  /// serving and once at shutdown, so two service runs can be diffed with
+  /// perfbg_report_diff. Empty path disables.
+  std::string report_path;
+  double report_interval_ms = 0.0;
+};
+
+class Daemon {
+ public:
+  /// The report supplies the metrics registry every subsystem records into
+  /// and collects per-solve health records.
+  Daemon(DaemonOptions options, obs::RunReport& report);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the socket and spawns the accept/worker/watchdog threads. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+
+  /// Blocks until the daemon has fully drained (after begin_drain(), a
+  /// SIGINT/SIGTERM picked up by the watchdog, or force_drain()), then joins
+  /// every thread and flushes the final report snapshot. Returns the process
+  /// exit code: 0 for a clean drain, 9 (kInterrupted) when forced.
+  int run();
+
+  /// Level-1 drain: stop accepting connections and requests, finish every
+  /// accepted request. Idempotent; run() unblocks once the drain completes.
+  void begin_drain();
+  /// Level-2 drain: additionally cancel in-flight solves and answer queued +
+  /// flying requests with kInterrupted.
+  void force_drain();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  SolutionCache& cache() { return cache_; }
+  CircuitBreaker& breaker() { return breaker_; }
+
+  /// healthz payload (also what the wire "healthz" request returns).
+  obs::JsonValue healthz() const;
+
+ private:
+  struct WorkItem {
+    std::uint64_t hash = 0;
+    Request request;
+    std::shared_ptr<Flight> flight;
+    bool probe = false;  ///< this execution is a breaker half-open probe
+  };
+
+  struct ConnState {
+    Socket socket;
+    std::atomic<bool> done{false};
+  };
+  struct ConnEntry {
+    std::thread thread;
+    std::shared_ptr<ConnState> state;
+  };
+
+  void accept_loop();
+  void serve_connection(std::shared_ptr<ConnState> conn);
+  /// Handles one parsed frame; returns false when the connection must drop
+  /// (unwritable response / oversized frame).
+  bool handle_frame(ConnState& conn, const std::string& line);
+  obs::JsonValue process_request(const Request& request);
+  obs::JsonValue finish_via_flight(const Request& request,
+                                   const std::shared_ptr<Flight>& flight,
+                                   std::chrono::steady_clock::time_point own_deadline,
+                                   bool coalesced, bool probe);
+
+  void worker_loop();
+  void execute(WorkItem& item);
+  obs::JsonValue run_model(const Request& request, const CancellationToken& token,
+                           obs::JsonValue& health_out, bool& cache_ok);
+
+  void watchdog_loop();
+  void reap_finished_connections(bool join_all);
+  void write_report_snapshot();
+  void journal_outcome(const std::shared_ptr<Flight>& flight);
+
+  DaemonOptions options_;
+  obs::RunReport& report_;
+  obs::MetricsRegistry& metrics_;
+  SolutionCache cache_;
+  CircuitBreaker breaker_;
+
+  std::unique_ptr<Listener> listener_;
+  std::thread accept_thread_;
+  std::thread watchdog_thread_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> forced_{false};
+  std::atomic<bool> stop_watchdog_{false};
+
+  std::mutex state_mu_;
+  std::condition_variable state_cv_;
+
+  mutable std::mutex queue_mu_;  // mutable: healthz() reads the depth
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+  bool stop_workers_ = false;
+
+  mutable std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::list<ConnEntry> connections_;
+  std::size_t active_connections_ = 0;
+};
+
+}  // namespace perfbg::server

@@ -1,0 +1,136 @@
+#include "server/io.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+
+namespace perfbg::server {
+
+namespace {
+
+std::atomic<IoFaultInjector*> g_injector{nullptr};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Waits for the fd to become readable/writable again after an EAGAIN; the
+/// cap keeps a socket wedged in a timeout loop from spinning a core.
+void wait_ready(int fd, short events) {
+  struct pollfd p {};
+  p.fd = fd;
+  p.events = events;
+  (void)::poll(&p, 1, 50);
+}
+
+}  // namespace
+
+void install_io_fault_injector(IoFaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+ssize_t io_read(int fd, void* buf, std::size_t len) {
+  while (true) {
+    std::size_t n = len;
+    if (IoFaultInjector* inj = g_injector.load(std::memory_order_acquire)) {
+      ssize_t result = 0;
+      int err = 0;
+      if (inj->on_read(fd, n, result, err)) {
+        if (result >= 0) return result;
+        if (err == EINTR) continue;
+        if (err == EAGAIN || err == EWOULDBLOCK) {
+          wait_ready(fd, POLLIN);
+          continue;
+        }
+        errno = err;
+        return -1;
+      }
+    }
+    const ssize_t r = ::recv(fd, buf, n, 0);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_ready(fd, POLLIN);
+      continue;
+    }
+    return -1;
+  }
+}
+
+ssize_t io_write(int fd, const void* buf, std::size_t len) {
+  while (true) {
+    std::size_t n = len;
+    if (IoFaultInjector* inj = g_injector.load(std::memory_order_acquire)) {
+      ssize_t result = 0;
+      int err = 0;
+      if (inj->on_write(fd, n, result, err)) {
+        if (result >= 0) return result;
+        if (err == EINTR) continue;
+        if (err == EAGAIN || err == EWOULDBLOCK) {
+          wait_ready(fd, POLLOUT);
+          continue;
+        }
+        errno = err;
+        return -1;
+      }
+    }
+    // MSG_NOSIGNAL: a client that disconnected mid-response must produce an
+    // EPIPE error on this connection, not a process-wide SIGPIPE.
+    const ssize_t r = ::send(fd, buf, n, MSG_NOSIGNAL);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_ready(fd, POLLOUT);
+      continue;
+    }
+    return -1;
+  }
+}
+
+bool write_all(int fd, const char* data, std::size_t len, double budget_ms) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t off = 0;
+  while (off < len) {
+    if (budget_ms > 0.0 && ms_since(t0) > budget_ms) return false;
+    const ssize_t r = io_write(fd, data + off, len - off);
+    if (r <= 0) return false;
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_line(int fd, const std::string& line, double budget_ms) {
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  return write_all(fd, framed.data(), framed.size(), budget_ms);
+}
+
+LineReader::Status LineReader::next(std::string& line) {
+  while (true) {
+    // Scan only the unscanned suffix so a large frame costs O(bytes), not
+    // O(bytes * reads).
+    const std::size_t nl = buffer_.find('\n', scanned_);
+    if (nl != std::string::npos) {
+      line.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      scanned_ = 0;
+      return Status::kLine;
+    }
+    scanned_ = buffer_.size();
+    if (buffer_.size() > max_frame_bytes_) return Status::kTooLong;
+
+    char chunk[4096];
+    const ssize_t r = io_read(fd_, chunk, sizeof(chunk));
+    if (r < 0) return Status::kError;
+    if (r == 0) return buffer_.empty() ? Status::kEof : Status::kError;
+    buffer_.append(chunk, static_cast<std::size_t>(r));
+  }
+}
+
+}  // namespace perfbg::server

@@ -1,0 +1,85 @@
+// Low-level fd I/O for the perfbgd socket layer, with a test fault-injection
+// seam (DESIGN.md §13).
+//
+// Every byte the daemon moves goes through io_read()/io_write(): retrying
+// loops over recv()/send() that absorb EINTR and EAGAIN storms (blocking
+// sockets only see EAGAIN from SO_RCVTIMEO/SO_SNDTIMEO timeouts) and that
+// consult an optionally installed IoFaultInjector first. Tests install an
+// injector (tests/fault_injection.hpp) to produce short reads, EAGAIN storms,
+// and mid-frame disconnects without any real network misbehaviour; production
+// pays one relaxed atomic load when none is installed.
+//
+// On top sit the framing helpers the newline-delimited JSON protocol needs:
+// LineReader (buffered reader with a hard frame-size bound) and
+// write_line() (full-frame writer with an overall wall-clock budget, so a
+// slow reader stalls one connection, never the daemon).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+
+namespace perfbg::server {
+
+/// Test seam: when installed, every io_read()/io_write() asks the injector
+/// first. Implementations may shorten the operation (short reads), fail it
+/// with an errno (EAGAIN storms, ECONNRESET), or simulate EOF (mid-frame
+/// disconnect). Returning false performs the real syscall with the possibly
+/// reduced length.
+class IoFaultInjector {
+ public:
+  virtual ~IoFaultInjector() = default;
+  /// `len` may be reduced (short read). Return true to skip the real recv and
+  /// use `result`/`err` instead (result 0 = EOF, -1 = error with errno err).
+  virtual bool on_read(int fd, std::size_t& len, ssize_t& result, int& err) = 0;
+  /// Same contract for send.
+  virtual bool on_write(int fd, std::size_t& len, ssize_t& result, int& err) = 0;
+};
+
+/// Installs (or, with nullptr, clears) the process-global injector. Test-only;
+/// not thread-safe against in-flight I/O of a *different* injector, so tests
+/// install before starting the daemon and clear after stopping it.
+void install_io_fault_injector(IoFaultInjector* injector);
+
+/// recv() with EINTR retry and bounded EAGAIN absorption. Returns the byte
+/// count, 0 on EOF, or -1 with errno set on a hard error.
+ssize_t io_read(int fd, void* buf, std::size_t len);
+
+/// send() (MSG_NOSIGNAL) with the same retry discipline.
+ssize_t io_write(int fd, const void* buf, std::size_t len);
+
+/// Writes the whole buffer, retrying partial writes, within `budget_ms`
+/// wall-clock (0 = no budget). Returns false on a hard error or when the
+/// budget runs out — the slow-reader defence: the caller drops the
+/// connection instead of wedging a daemon thread forever.
+bool write_all(int fd, const char* data, std::size_t len, double budget_ms = 0.0);
+
+/// write_all() of line + '\n'. `line` must not itself contain '\n' (callers
+/// frame compact JSON, which never does).
+bool write_line(int fd, const std::string& line, double budget_ms = 0.0);
+
+/// Buffered newline-delimited frame reader over one fd.
+class LineReader {
+ public:
+  enum class Status {
+    kLine,     ///< a complete frame was returned
+    kEof,      ///< orderly shutdown mid-idle (no partial frame pending)
+    kError,    ///< hard read error, or EOF with a partial frame buffered
+    kTooLong,  ///< frame exceeded max_frame_bytes; the stream cannot resync
+  };
+
+  LineReader(int fd, std::size_t max_frame_bytes)
+      : fd_(fd), max_frame_bytes_(max_frame_bytes) {}
+
+  /// Blocks for the next '\n'-terminated frame (the terminator is stripped).
+  Status next(std::string& line);
+
+ private:
+  int fd_;
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  std::size_t scanned_ = 0;  ///< prefix of buffer_ already searched for '\n'
+};
+
+}  // namespace perfbg::server

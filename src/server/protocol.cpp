@@ -1,0 +1,187 @@
+#include "server/protocol.hpp"
+
+#include "traffic/phase_type.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "workloads/presets.hpp"
+
+namespace perfbg::server {
+
+namespace {
+
+[[noreturn]] void bad_request(const std::string& what) {
+  throw Error(ErrorCode::kInvalidModel, "bad request: " + what);
+}
+
+double get_number(const obs::JsonValue& frame, const char* name, double fallback) {
+  const obs::JsonValue* v = frame.find(name);
+  if (!v) return fallback;
+  if (!v->is_number()) bad_request(std::string("field '") + name + "' must be a number");
+  return v->as_double();
+}
+
+std::string get_string(const obs::JsonValue& frame, const char* name,
+                       const std::string& fallback) {
+  const obs::JsonValue* v = frame.find(name);
+  if (!v) return fallback;
+  if (!v->is_string()) bad_request(std::string("field '") + name + "' must be a string");
+  return v->as_string();
+}
+
+traffic::MarkovianArrivalProcess pick_workload(const std::string& name) {
+  if (name == "email") return workloads::email();
+  if (name == "softdev") return workloads::software_dev();
+  if (name == "useraccounts") return workloads::user_accounts();
+  if (name == "lowacf") return workloads::email_low_acf();
+  if (name == "ipp") return workloads::email_ipp();
+  if (name == "poisson") return workloads::email_poisson();
+  bad_request("unknown workload '" + name +
+              "' (email|softdev|useraccounts|lowacf|ipp|poisson)");
+}
+
+traffic::PhaseType pick_service(const std::string& name, double mean) {
+  if (name == "expo") return traffic::PhaseType::exponential(mean);
+  if (name == "erlang2") return traffic::PhaseType::erlang(2, mean);
+  if (name == "erlang4") return traffic::PhaseType::erlang(4, mean);
+  if (name == "h2")  // balanced 2-branch, SCV = 2 at any mean
+    return traffic::PhaseType::hyperexponential(0.5, mean * 1.7071068, mean * 0.2928932);
+  bad_request("unknown service '" + name + "' (expo|erlang2|erlang4|h2)");
+}
+
+}  // namespace
+
+Request parse_request(const obs::JsonValue& frame, bool allow_test_hooks) {
+  if (!frame.is_object()) bad_request("frame must be a JSON object");
+
+  Request req;
+  req.id = get_string(frame, "id", "");
+
+  const std::string kind = get_string(frame, "kind", "solve");
+  if (kind == "solve") req.kind = Request::Kind::kSolve;
+  else if (kind == "sweep") req.kind = Request::Kind::kSweep;
+  else if (kind == "healthz") req.kind = Request::Kind::kHealthz;
+  else if (kind == "metricsz") req.kind = Request::Kind::kMetricsz;
+  else bad_request("unknown kind '" + kind + "' (solve|sweep|healthz|metricsz)");
+  if (req.is_control()) return req;
+
+  req.workload = get_string(frame, "workload", req.workload);
+  req.service = get_string(frame, "service", req.service);
+  req.util = get_number(frame, "util", req.util);
+  req.p = get_number(frame, "p", req.p);
+  req.buffer = static_cast<int>(get_number(frame, "buffer", req.buffer));
+  req.idle_wait = get_number(frame, "idle_wait", req.idle_wait);
+  req.service_mean = get_number(frame, "service_mean", req.service_mean);
+  req.deadline_ms = get_number(frame, "deadline_ms", 0.0);
+
+  if (!(req.util > 0.0)) bad_request("'util' must be > 0");
+  if (!(req.p >= 0.0 && req.p <= 1.0)) bad_request("'p' must be in [0, 1]");
+  if (req.buffer < 1) bad_request("'buffer' must be >= 1");
+  if (!(req.idle_wait >= 0.0)) bad_request("'idle_wait' must be >= 0");
+  if (!(req.service_mean > 0.0)) bad_request("'service_mean' must be > 0");
+  if (req.deadline_ms < 0.0) bad_request("'deadline_ms' must be >= 0");
+
+  if (req.kind == Request::Kind::kSweep) {
+    const obs::JsonValue* utils = frame.find("utils");
+    if (!utils || !utils->is_array() || utils->as_array().empty())
+      bad_request("sweep requests need a non-empty 'utils' array");
+    for (const obs::JsonValue& u : utils->as_array()) {
+      if (!u.is_number() || !(u.as_double() > 0.0))
+        bad_request("'utils' entries must be numbers > 0");
+      req.utils.push_back(u.as_double());
+    }
+  } else if (frame.contains("utils")) {
+    bad_request("'utils' is only valid on sweep requests");
+  }
+
+  // Validate the names eagerly so a bad request is rejected at parse time,
+  // before it can occupy a cache flight or a queue slot.
+  (void)pick_workload(req.workload);
+  (void)pick_service(req.service, req.service_mean);
+
+  if (allow_test_hooks) {
+    req.test_sleep_ms = get_number(frame, "test_sleep_ms", 0.0);
+    req.test_wedge_ms = get_number(frame, "test_wedge_ms", 0.0);
+    req.test_fail_code = get_string(frame, "test_fail_code", "");
+  }
+  return req;
+}
+
+std::string canonical_key(const Request& req) {
+  if (req.is_control()) return "";
+  std::string key = req.workload + "|svc=" + req.service +
+                    "|mean=" + format_number(req.service_mean, 6) +
+                    "|u=" + format_number(req.util, 6) +
+                    "|p=" + format_number(req.p, 6) +
+                    "|X=" + std::to_string(req.buffer) +
+                    "|iw=" + format_number(req.idle_wait, 6);
+  if (req.kind == Request::Kind::kSweep) {
+    key += "|sweep=";
+    for (std::size_t i = 0; i < req.utils.size(); ++i) {
+      if (i) key += ',';
+      key += format_number(req.utils[i], 6);
+    }
+  }
+  // The test hooks change what "executing this request" means, so they are
+  // part of the identity — a herd of identical slow requests still coalesces,
+  // but a hooked request can never serve an unhooked one from cache.
+  if (req.test_sleep_ms > 0.0) key += "|sleep=" + format_number(req.test_sleep_ms, 6);
+  if (req.test_wedge_ms > 0.0) key += "|wedge=" + format_number(req.test_wedge_ms, 6);
+  if (!req.test_fail_code.empty()) key += "|fail=" + req.test_fail_code;
+  return key;
+}
+
+std::string model_class(const Request& req) {
+  return req.workload + "|svc=" + req.service + "|X=" + std::to_string(req.buffer);
+}
+
+core::FgBgParams build_params(const Request& req, double u) {
+  core::FgBgParams params{
+      pick_workload(req.workload).scaled_to_utilization(u, req.service_mean)};
+  params.mean_service_time = req.service_mean;
+  params.service_distribution = pick_service(req.service, req.service_mean);
+  params.bg_probability = req.p;
+  params.bg_buffer = req.buffer;
+  params.idle_wait_intensity = req.idle_wait;
+  return params;
+}
+
+obs::JsonValue metrics_payload(const core::FgBgMetrics& m) {
+  obs::JsonValue payload = obs::JsonValue::object();
+  payload.set("fg_queue_length", obs::JsonValue(m.fg_queue_length));
+  payload.set("fg_response_time", obs::JsonValue(m.fg_response_time));
+  payload.set("fg_delayed", obs::JsonValue(m.fg_delayed));
+  payload.set("bg_completion", obs::JsonValue(m.bg_completion));
+  payload.set("bg_queue_length", obs::JsonValue(m.bg_queue_length));
+  payload.set("busy_fraction", obs::JsonValue(m.busy_fraction));
+  return payload;
+}
+
+obs::JsonValue make_result_response(const std::string& id, obs::JsonValue result,
+                                    obs::JsonValue health, bool cached,
+                                    bool coalesced, double wall_ms) {
+  obs::JsonValue resp = obs::JsonValue::object();
+  resp.set("schema", obs::JsonValue(kResponseSchema));
+  resp.set("id", obs::JsonValue(id));
+  resp.set("ok", obs::JsonValue(true));
+  resp.set("cached", obs::JsonValue(cached));
+  resp.set("coalesced", obs::JsonValue(coalesced));
+  resp.set("wall_ms", obs::JsonValue(wall_ms));
+  resp.set("result", std::move(result));
+  if (!health.is_null()) resp.set("health", std::move(health));
+  return resp;
+}
+
+obs::JsonValue make_error_response(const std::string& id, const std::string& code,
+                                   const std::string& message) {
+  obs::JsonValue error = obs::JsonValue::object();
+  error.set("code", obs::JsonValue(code));
+  error.set("message", obs::JsonValue(message));
+  obs::JsonValue resp = obs::JsonValue::object();
+  resp.set("schema", obs::JsonValue(kResponseSchema));
+  resp.set("id", obs::JsonValue(id));
+  resp.set("ok", obs::JsonValue(false));
+  resp.set("error", std::move(error));
+  return resp;
+}
+
+}  // namespace perfbg::server

@@ -1,0 +1,104 @@
+// perfbgd wire protocol (DESIGN.md §13): newline-delimited JSON frames over a
+// local stream socket, one request object per line, one response object per
+// line, answered in request order per connection.
+//
+// Request (schema implied by the daemon's socket):
+//   {"id": "planner-7/42",          // echoed verbatim; "" when absent
+//    "kind": "solve",               // solve | sweep | healthz | metricsz
+//    "workload": "email",           // email|softdev|useraccounts|lowacf|ipp|poisson
+//    "util": 0.15,                  // foreground utilization, (0, ...) — a
+//                                   // value >= 1 is diagnosed kUnstableQbd
+//    "p": 0.3, "buffer": 5, "idle_wait": 1.0,
+//    "service": "expo",             // expo|erlang2|erlang4|h2
+//    "service_mean": 6.0,
+//    "utils": [0.1, 0.2],           // sweep only: one solve per entry
+//    "deadline_ms": 2000}           // per-request budget; 0 = server default
+//
+// Response (schema perfbg.response.v1):
+//   {"schema": "perfbg.response.v1", "id": "...", "ok": true,
+//    "cached": false, "coalesced": false, "wall_ms": 1.9,
+//    "result": {"fg_queue_length": ..., ...}, "health": {...}}
+//   {"schema": "perfbg.response.v1", "id": "...", "ok": false,
+//    "error": {"code": "kOverloaded", "message": "..."}}
+//
+// The request's *canonical key* — resolved defaults rendered in a fixed field
+// order — is the daemon's cache and single-flight identity; its FNV-1a 64
+// hash is the same inputs-hash convention the sweep journal uses, so a served
+// request journaled by the daemon is resumable/warm-loadable by hash.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "obs/json.hpp"
+
+namespace perfbg::server {
+
+inline constexpr const char* kResponseSchema = "perfbg.response.v1";
+
+struct Request {
+  enum class Kind { kSolve, kSweep, kHealthz, kMetricsz };
+
+  Kind kind = Kind::kSolve;
+  std::string id;  ///< opaque client tag, echoed in the response
+
+  // Model coordinates (defaults match perfbg_cli).
+  std::string workload = "email";
+  std::string service = "expo";
+  double util = 0.15;
+  double p = 0.3;
+  int buffer = 5;
+  double idle_wait = 1.0;
+  double service_mean = 6.0;
+  std::vector<double> utils;  ///< sweep points (kSweep only, non-empty)
+
+  double deadline_ms = 0.0;  ///< 0 = use the daemon's default deadline
+
+  // Test hooks, parsed only when the daemon runs with test hooks enabled
+  // (tests and the chaos loadgen): a cancellable artificial solve delay, an
+  // uncancellable ("wedged") delay for watchdog coverage, and a forced typed
+  // failure for breaker coverage.
+  double test_sleep_ms = 0.0;
+  double test_wedge_ms = 0.0;
+  std::string test_fail_code;
+
+  bool is_control() const { return kind == Kind::kHealthz || kind == Kind::kMetricsz; }
+};
+
+/// Parses one request frame. Throws perfbg::Error{kInvalidModel} on an
+/// unknown kind/workload/service, a wrong-typed field, or out-of-domain
+/// values — the caller answers with a typed error response and keeps the
+/// connection. `allow_test_hooks` gates the test_* fields (ignored otherwise).
+Request parse_request(const obs::JsonValue& frame, bool allow_test_hooks);
+
+/// Canonical cache/single-flight identity: every model field rendered with
+/// resolved defaults in a fixed order, e.g.
+/// "email|svc=expo|mean=6|u=0.15|p=0.3|X=5|iw=1". Sweep requests append
+/// "|sweep=u1,u2,...". Control requests have no key (empty string).
+std::string canonical_key(const Request& request);
+
+/// Circuit-breaker granularity: the model *class* (workload, service shape,
+/// buffer size) without the load point, so repeated numerical failures of one
+/// configuration trip the breaker for its whole family while other workloads
+/// keep solving.
+std::string model_class(const Request& request);
+
+/// Builds the solver parameters for `request` at foreground utilization `u`.
+/// Throws perfbg::Error{kInvalidModel} on an unknown workload/service name.
+core::FgBgParams build_params(const Request& request, double u);
+
+/// One solved point rendered for the wire: the six FG/BG metrics perfbg_cli
+/// tabulates.
+obs::JsonValue metrics_payload(const core::FgBgMetrics& m);
+
+/// Success envelope. `result` is the solve payload (or sweep point array).
+obs::JsonValue make_result_response(const std::string& id, obs::JsonValue result,
+                                    obs::JsonValue health, bool cached,
+                                    bool coalesced, double wall_ms);
+
+/// Error envelope for a typed failure.
+obs::JsonValue make_error_response(const std::string& id, const std::string& code,
+                                   const std::string& message);
+
+}  // namespace perfbg::server

@@ -1,0 +1,114 @@
+#include "server/socket.hpp"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <stdexcept>
+
+namespace perfbg::server {
+
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("perfbg: socket path too long (" +
+                             std::to_string(path.size()) + " bytes, max " +
+                             std::to_string(sizeof(addr.sun_path) - 1) + "): " + path);
+  ::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::set_send_timeout_ms(int timeout_ms) {
+  if (fd_ < 0 || timeout_ms <= 0) return;
+  struct timeval tv {};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+Listener::Listener(const std::string& path, int backlog) : path_(path) {
+  const sockaddr_un addr = make_addr(path);
+
+  // A stale socket file from a crashed daemon is expected; anything else at
+  // the path is a configuration error we must not delete.
+  struct stat st {};
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode))
+      throw std::runtime_error("perfbg: '" + path + "' exists and is not a socket");
+    ::unlink(path.c_str());
+  }
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("perfbg: socket() failed: ") + ::strerror(errno));
+  socket_ = Socket(fd);
+
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+    throw std::runtime_error("perfbg: bind('" + path + "') failed: " + ::strerror(errno));
+  if (::listen(fd, backlog) != 0)
+    throw std::runtime_error("perfbg: listen('" + path + "') failed: " + ::strerror(errno));
+}
+
+Listener::~Listener() {
+  socket_.close();
+  ::unlink(path_.c_str());
+}
+
+Socket Listener::accept() {
+  while (true) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // EINVAL/EBADF: the listener was shut down or closed (drain); anything
+    // else is a persistent accept failure — either way the accept loop ends.
+    return Socket();
+  }
+}
+
+void Listener::shutdown() { socket_.shutdown_both(); }
+
+Socket connect_unix(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("perfbg: socket() failed: ") + ::strerror(errno));
+  Socket sock(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+    throw std::runtime_error("perfbg: connect('" + path + "') failed: " +
+                             ::strerror(errno));
+  return sock;
+}
+
+}  // namespace perfbg::server

@@ -1,0 +1,71 @@
+// Unix-domain stream sockets for perfbgd: a listening socket bound to a
+// filesystem path and the accepted per-connection fd, both RAII. Local
+// sockets keep the daemon free of port allocation and give tests/CI a
+// collision-free endpoint per temp directory; the protocol on top is
+// transport-agnostic newline-delimited JSON, so a TCP listener could be added
+// without touching the daemon.
+#pragma once
+
+#include <string>
+
+namespace perfbg::server {
+
+/// Owning fd wrapper: closes on destruction, move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+  /// shutdown(SHUT_RD): wakes a thread blocked in read with EOF while keeping
+  /// the write side open — the drain path uses it to stop a connection from
+  /// submitting further requests without cutting off its pending response.
+  void shutdown_read();
+  /// shutdown(SHUT_RDWR).
+  void shutdown_both();
+
+  /// Sets SO_SNDTIMEO so writes to a stalled peer fail with EAGAIN instead of
+  /// blocking forever; write_all() turns that into a dropped connection.
+  void set_send_timeout_ms(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening Unix-domain socket bound to `path`. The constructor unlinks a
+/// stale socket file (refusing to clobber a non-socket), binds, and listens;
+/// throws std::runtime_error on any failure. The destructor unlinks the path.
+class Listener {
+ public:
+  explicit Listener(const std::string& path, int backlog = 128);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  const std::string& path() const { return path_; }
+  int fd() const { return socket_.fd(); }
+
+  /// Blocks for the next connection. Returns an invalid Socket when the
+  /// listener was shut down (the drain path) or on a persistent accept error.
+  Socket accept();
+
+  /// Wakes a blocked accept() and refuses further connections.
+  void shutdown();
+
+ private:
+  std::string path_;
+  Socket socket_;
+};
+
+/// Connects to a perfbgd socket; throws std::runtime_error when the daemon is
+/// not listening.
+Socket connect_unix(const std::string& path);
+
+}  // namespace perfbg::server

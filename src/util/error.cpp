@@ -13,6 +13,8 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kNumericalBreakdown: return "kNumericalBreakdown";
     case ErrorCode::kDeadlineExceeded: return "kDeadlineExceeded";
     case ErrorCode::kInterrupted: return "kInterrupted";
+    case ErrorCode::kOverloaded: return "kOverloaded";
+    case ErrorCode::kCircuitOpen: return "kCircuitOpen";
   }
   return "kUnknown";
 }
@@ -26,6 +28,8 @@ int error_exit_code(ErrorCode code) {
     case ErrorCode::kNumericalBreakdown: return 7;
     case ErrorCode::kDeadlineExceeded: return 8;
     case ErrorCode::kInterrupted: return 9;
+    case ErrorCode::kOverloaded: return 10;
+    case ErrorCode::kCircuitOpen: return 11;
   }
   return 1;
 }

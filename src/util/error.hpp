@@ -30,6 +30,12 @@ enum class ErrorCode {
                         ///< mid-solve (sweep runner --point-timeout-ms)
   kInterrupted,         ///< the run was interrupted (SIGINT/SIGTERM) and
                         ///< drained; journaled sweeps are resumable
+  kOverloaded,          ///< admission control shed the request: the daemon's
+                        ///< accept/work queues or in-flight budget were full
+                        ///< (retry later against a less loaded server)
+  kCircuitOpen,         ///< the per-model-class circuit breaker is open after
+                        ///< repeated solver failures; fast-failed with the
+                        ///< cached error until a cool-down probe succeeds
 };
 
 /// Stable identifier string for a code ("kUnstableQbd", ...), used in error
@@ -39,8 +45,9 @@ const char* error_code_name(ErrorCode code);
 /// Process exit status the CLI maps each code to (documented in DESIGN.md §9
 /// and the README exit-code table): kInvalidModel=3, kUnstableQbd=4,
 /// kSingularMatrix=5, kNonConvergence=6, kNumericalBreakdown=7,
-/// kDeadlineExceeded=8, kInterrupted=9. Exit 9 means "interrupted but
-/// resumable": a journaled sweep can be continued with --resume.
+/// kDeadlineExceeded=8, kInterrupted=9, kOverloaded=10, kCircuitOpen=11.
+/// Exit 9 means "interrupted but resumable": a journaled sweep can be
+/// continued with --resume.
 int error_exit_code(ErrorCode code);
 
 /// Machine-readable failure context. Fields default to "unknown" sentinels;

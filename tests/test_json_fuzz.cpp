@@ -1,0 +1,205 @@
+// Adversarial-input hardening tests for the obs/json recursive-descent parser
+// (the perfbgd wire format). Every hostile input must produce a typed
+// std::invalid_argument with a byte offset — never a crash, a stack overflow,
+// an unbounded allocation, or a silent partial parse. Complements the
+// round-trip coverage in test_report.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace perfbg::obs {
+namespace {
+
+/// Parse under the daemon's wire-format bounds (1 MiB, 64 levels).
+JsonValue parse_network(const std::string& text) {
+  return parse_json(text, JsonLimits::network());
+}
+
+std::string nested_arrays(int depth) {
+  return std::string(depth, '[') + std::string(depth, ']');
+}
+
+std::string nested_objects(int depth) {
+  std::string doc;
+  for (int i = 0; i < depth; ++i) doc += "{\"k\":";
+  doc += "null";
+  for (int i = 0; i < depth; ++i) doc += '}';
+  return doc;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(JsonFuzz, NestingIsBoundedAtTheConfiguredDepth) {
+  // Exactly at the bound parses; one past it is a typed error, not a deeper
+  // recursion (the whole point: "[[[[..." must never reach the guard page).
+  EXPECT_NO_THROW(parse_network(nested_arrays(64)));
+  EXPECT_THROW(parse_network(nested_arrays(65)), std::invalid_argument);
+  EXPECT_NO_THROW(parse_network(nested_objects(64)));
+  EXPECT_THROW(parse_network(nested_objects(65)), std::invalid_argument);
+
+  // Default (trusted-file) limits still bound the stack, just higher.
+  EXPECT_NO_THROW(parse_json(nested_arrays(128)));
+  EXPECT_THROW(parse_json(nested_arrays(129)), std::invalid_argument);
+
+  // Pathological depth: tens of thousands of brackets stay a cheap error.
+  EXPECT_THROW(parse_network(nested_arrays(50000)), std::invalid_argument);
+  EXPECT_THROW(parse_network(std::string(50000, '[')), std::invalid_argument);
+}
+
+TEST(JsonFuzz, OversizedDocumentsAreRejectedBeforeParsing) {
+  const std::size_t limit = JsonLimits::network().max_bytes;
+  // A valid JSON string just under the byte bound parses...
+  const std::string small = '"' + std::string(limit - 16, 'a') + '"';
+  EXPECT_NO_THROW(parse_network(small));
+  // ...one byte over it does not, even though the content is valid JSON.
+  const std::string big = '"' + std::string(limit - 1, 'a') + '"';
+  ASSERT_GT(big.size(), limit);
+  EXPECT_THROW(parse_network(big), std::invalid_argument);
+  // The default trusted-file limits impose no byte bound.
+  EXPECT_NO_THROW(parse_json(big));
+}
+
+TEST(JsonFuzz, UnterminatedStringsAndEscapes) {
+  const char* cases[] = {
+      "\"abc",              // string never closed
+      "{\"a\": \"b",        // inside an object value
+      "[\"a\", \"b",        // inside an array
+      "\"trailing\\",       // escape at end of input
+      "\"\\u12",            // truncated \u escape
+      "\"\\uZZZZ\"",        // non-hex \u digits
+      "\"\\x41\"",          // unknown escape
+      "{\"a",               // key never closed
+  };
+  for (const char* doc : cases)
+    EXPECT_THROW(parse_network(doc), std::invalid_argument) << doc;
+}
+
+TEST(JsonFuzz, NanAndInfinityLiteralsAreNamedErrors) {
+  const char* cases[] = {
+      "NaN", "Infinity", "-Infinity", "[NaN]", "{\"util\": NaN}",
+      "{\"util\": Infinity}", "{\"util\": -Infinity}", "nan", "inf",
+  };
+  for (const char* doc : cases)
+    EXPECT_THROW(parse_network(doc), std::invalid_argument) << doc;
+
+  // The writer side stays closed under this rule: non-finite doubles are
+  // serialized as null, so no emitted document can trip the reader.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(JsonValue(nan).dump(), "null");
+  EXPECT_EQ(JsonValue(inf).dump(), "null");
+  EXPECT_EQ(JsonValue(-inf).dump(), "null");
+}
+
+TEST(JsonFuzz, StructuralGarbageIsATypedError) {
+  const char* cases[] = {
+      "",                    // empty frame
+      "   ",                 // whitespace only
+      "{",  "}",  "[",  "]", // lone brackets
+      "{,}",                 // object without a key
+      "{\"a\" 1}",           // missing colon
+      "{\"a\": 1,}",         // trailing comma (strict JSON)
+      "[1,]",                // trailing comma in array
+      "[1 2]",               // missing comma
+      "{\"a\": }",           // missing value
+      "tru", "falsee x", "nul",   // broken literals
+      "{} {}", "1 2", "[] x",     // trailing characters
+      "'single'",            // wrong quote character
+      "-",                   // sign without digits
+      "\x01\x02\x03",        // binary noise
+      "9223372036854775808", // past INT64_MAX: overflow is an error, not UB
+      "1e999",               // double overflow
+  };
+  for (const char* doc : cases)
+    EXPECT_THROW(parse_network(doc), std::invalid_argument) << doc;
+}
+
+TEST(JsonFuzz, ErrorsCarryAByteOffset) {
+  try {
+    parse_network("{\"a\": \x01}");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos) << e.what();
+  }
+}
+
+TEST(JsonFuzz, EveryTornPrefixOfARequestFrameIsRejected) {
+  // A torn frame — a request cut off mid-write at any byte — must never parse
+  // as a smaller valid request. Object documents guarantee this: nothing
+  // short of the final '}' closes them.
+  const std::string frame =
+      "{\"id\": \"planner-7/42\", \"kind\": \"solve\", \"util\": 0.15, "
+      "\"utils\": [0.1, 0.2], \"note\": \"q\\\"e\\u0041\"}";
+  ASSERT_NO_THROW(parse_network(frame));
+  for (std::size_t cut = 0; cut < frame.size(); ++cut)
+    EXPECT_THROW(parse_network(frame.substr(0, cut)), std::invalid_argument)
+        << "prefix of length " << cut;
+}
+
+TEST(JsonFuzz, RandomByteMutationsNeverCrashAndSurvivorsRoundTrip) {
+  const std::string seed_doc =
+      "{\"id\": \"x\", \"kind\": \"sweep\", \"workload\": \"email\", "
+      "\"util\": 0.15, \"p\": 0.3, \"buffer\": 5, \"utils\": [0.1, 0.2, 0.3], "
+      "\"meta\": {\"tags\": [\"a\", \"b\"], \"depth\": [[1], [2, [3]]]}}";
+  std::mt19937 rng(0xC0FFEE);  // deterministic corpus
+  std::uniform_int_distribution<std::size_t> pos(0, seed_doc.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+
+  int survivors = 0;
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string doc = seed_doc;
+    const int mutations = 1 + (iter % 4);
+    for (int m = 0; m < mutations; ++m)
+      doc[pos(rng)] = static_cast<char>(byte(rng));
+    try {
+      const JsonValue v = parse_network(doc);
+      // A mutation that still parses must serialize to a fixpoint: dumping
+      // and reparsing yields the identical document.
+      const std::string once = v.dump();
+      EXPECT_EQ(parse_network(once).dump(), once);
+      ++survivors;
+    } catch (const std::invalid_argument&) {
+      // Typed rejection is the expected outcome for most mutations.
+    }
+  }
+  // Sanity: the corpus exercised both paths.
+  EXPECT_GT(survivors, 0);
+  EXPECT_LT(survivors, 5000);
+}
+
+TEST(JsonFuzz, RandomTruncationsOfNestedDocuments) {
+  // Truncation fuzz over a deeply structured document: every cut point either
+  // parses (top-level scalars can be legal prefixes of nothing here — the doc
+  // is an object, so none are) or throws the typed error.
+  std::string doc = "{\"levels\": ";
+  doc += nested_arrays(60);
+  doc += ", \"s\": \"" + std::string(512, 'x') + "\"}";
+  ASSERT_NO_THROW(parse_network(doc));
+
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<std::size_t> cut(0, doc.size() - 1);
+  for (int iter = 0; iter < 2000; ++iter)
+    EXPECT_THROW(parse_network(doc.substr(0, cut(rng))), std::invalid_argument);
+}
+
+TEST(JsonFuzz, DeepStringsAndKeysDoNotAmplify) {
+  // Long flat payloads (no nesting) are fine at any size under the bound:
+  // the limits guard depth and total bytes, not legitimate breadth.
+  std::string wide = "{";
+  for (int i = 0; i < 2000; ++i) {
+    if (i) wide += ',';
+    wide += "\"k" + std::to_string(i) + "\": " + std::to_string(i);
+  }
+  wide += '}';
+  const JsonValue v = parse_network(wide);
+  EXPECT_EQ(v.as_object().size(), 2000u);
+  EXPECT_EQ(v.at("k1999").as_int(), 1999);
+}
+
+}  // namespace
+}  // namespace perfbg::obs

@@ -39,11 +39,31 @@ TEST(ErrorTaxonomy, CodeNamesAndExitCodesAreStable) {
   EXPECT_STREQ(error_code_name(ErrorCode::kSingularMatrix), "kSingularMatrix");
   EXPECT_STREQ(error_code_name(ErrorCode::kNonConvergence), "kNonConvergence");
   EXPECT_STREQ(error_code_name(ErrorCode::kNumericalBreakdown), "kNumericalBreakdown");
+  EXPECT_STREQ(error_code_name(ErrorCode::kDeadlineExceeded), "kDeadlineExceeded");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInterrupted), "kInterrupted");
+  EXPECT_STREQ(error_code_name(ErrorCode::kOverloaded), "kOverloaded");
+  EXPECT_STREQ(error_code_name(ErrorCode::kCircuitOpen), "kCircuitOpen");
   EXPECT_EQ(error_exit_code(ErrorCode::kInvalidModel), 3);
   EXPECT_EQ(error_exit_code(ErrorCode::kUnstableQbd), 4);
   EXPECT_EQ(error_exit_code(ErrorCode::kSingularMatrix), 5);
   EXPECT_EQ(error_exit_code(ErrorCode::kNonConvergence), 6);
   EXPECT_EQ(error_exit_code(ErrorCode::kNumericalBreakdown), 7);
+  EXPECT_EQ(error_exit_code(ErrorCode::kDeadlineExceeded), 8);
+  EXPECT_EQ(error_exit_code(ErrorCode::kInterrupted), 9);
+  EXPECT_EQ(error_exit_code(ErrorCode::kOverloaded), 10);
+  EXPECT_EQ(error_exit_code(ErrorCode::kCircuitOpen), 11);
+}
+
+TEST(ErrorTaxonomy, ServiceCodesAreDistinctAndTyped) {
+  // The daemon's degraded-mode answers are first-class taxonomy members: a
+  // shed request (kOverloaded) and a fast-failed class (kCircuitOpen) must
+  // never alias each other or any solver failure.
+  const Error shed(ErrorCode::kOverloaded, "queue full");
+  const Error open(ErrorCode::kCircuitOpen, "class tripped");
+  EXPECT_NE(shed.code(), open.code());
+  EXPECT_NE(error_exit_code(shed.code()), error_exit_code(open.code()));
+  EXPECT_NE(std::string(shed.what()).find("kOverloaded"), std::string::npos);
+  EXPECT_NE(std::string(open.what()).find("kCircuitOpen"), std::string::npos);
 }
 
 TEST(ErrorTaxonomy, WhatCarriesCodeAndContext) {

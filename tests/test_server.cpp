@@ -1,0 +1,507 @@
+// perfbgd daemon tests: single-flight coalescing, admission-control shed,
+// deadline cancellation + watchdog eviction, circuit-breaker trip/recovery,
+// graceful drain with no lost requests, warm start, and the socket/IO fault
+// hooks (tests/fault_injection.hpp). Every test runs a real Daemon on a real
+// Unix-domain socket in-process, so the suite also runs under
+// -fsanitize=thread in CI.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault_injection.hpp"
+#include "obs/report.hpp"
+#include "runner/journal.hpp"
+#include "runner/sweep_runner.hpp"
+#include "server/client.hpp"
+#include "server/daemon.hpp"
+
+namespace perfbg {
+namespace {
+
+using obs::JsonValue;
+using server::Client;
+using server::Daemon;
+using server::DaemonOptions;
+
+std::string unique_socket(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  return ::testing::TempDir() + "perfbgd_" + tag + "_" +
+         std::to_string(::getpid()) + "_" + std::to_string(counter.fetch_add(1)) +
+         ".sock";
+}
+
+/// Fast-reacting daemon defaults for tests: 5 ms watchdog, test hooks on.
+DaemonOptions test_options(const std::string& tag) {
+  DaemonOptions options;
+  options.socket_path = unique_socket(tag);
+  options.workers = 2;
+  options.watchdog_interval_ms = 5.0;
+  options.watchdog_grace_ms = 30.0;
+  options.default_deadline_ms = 15000.0;
+  options.enable_test_hooks = true;
+  return options;
+}
+
+/// In-process daemon with its run() loop on a background thread.
+class DaemonHarness {
+ public:
+  explicit DaemonHarness(DaemonOptions options) : report_("test_server") {
+    runner::clear_interrupt();  // stray state from other tests must not drain us
+    socket_ = options.socket_path;
+    daemon_ = std::make_unique<Daemon>(std::move(options), report_);
+    daemon_->start();
+    runner_ = std::thread([this] { exit_code_ = daemon_->run(); });
+  }
+
+  ~DaemonHarness() {
+    if (runner_.joinable()) {
+      daemon_->force_drain();
+      runner_.join();
+    }
+  }
+
+  /// Level-1 drain and join; returns the daemon exit code.
+  int drain() {
+    daemon_->begin_drain();
+    runner_.join();
+    return exit_code_;
+  }
+  int force() {
+    daemon_->force_drain();
+    runner_.join();
+    return exit_code_;
+  }
+
+  const std::string& socket() const { return socket_; }
+  Daemon& daemon() { return *daemon_; }
+  obs::RunReport& report() { return report_; }
+  std::uint64_t counter(const std::string& name) const {
+    return report_.metrics().counter(name);
+  }
+
+ private:
+  obs::RunReport report_;
+  std::unique_ptr<Daemon> daemon_;
+  std::thread runner_;
+  std::string socket_;
+  int exit_code_ = -1;
+};
+
+JsonValue hooked_solve(const std::string& id, double util, double sleep_ms = 0.0,
+                       double wedge_ms = 0.0, const std::string& fail_code = "",
+                       double deadline_ms = 0.0) {
+  JsonValue v = server::solve_request(id, "email", util, 0.3, 5, deadline_ms);
+  if (sleep_ms > 0.0) v.set("test_sleep_ms", sleep_ms);
+  if (wedge_ms > 0.0) v.set("test_wedge_ms", wedge_ms);
+  if (!fail_code.empty()) v.set("test_fail_code", fail_code);
+  return v;
+}
+
+std::string error_code_of(const JsonValue& response) {
+  const JsonValue* err = response.find("error");
+  if (!err || !err->is_object()) return "";
+  const JsonValue* code = err->find("code");
+  return code && code->is_string() ? code->as_string() : "";
+}
+
+bool response_ok(const JsonValue& response) {
+  const JsonValue* ok = response.find("ok");
+  return ok && ok->is_bool() && ok->as_bool();
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Server, SolvesAndServesFromCache) {
+  DaemonHarness h(test_options("cache"));
+  Client client(h.socket());
+
+  const JsonValue first = client.request(hooked_solve("a", 0.15));
+  ASSERT_TRUE(response_ok(first)) << first.dump();
+  EXPECT_FALSE(first.at("cached").as_bool());
+  EXPECT_EQ(first.at("id").as_string(), "a");
+  const JsonValue* result = first.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_GT(result->at("fg_queue_length").as_double(), 0.0);
+  const JsonValue* health = first.find("health");
+  ASSERT_NE(health, nullptr);
+  EXPECT_TRUE(health->is_object());
+
+  const JsonValue second = client.request(hooked_solve("b", 0.15));
+  ASSERT_TRUE(response_ok(second));
+  EXPECT_TRUE(second.at("cached").as_bool());
+  // Byte-identical payload from the cache.
+  EXPECT_EQ(second.at("result").dump(), result->dump());
+
+  EXPECT_EQ(h.counter("server.solve.executed"), 1u);
+  EXPECT_EQ(h.counter("server.cache.hit"), 1u);
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, HerdOfIdenticalRequestsCoalescesToOneSolve) {
+  DaemonHarness h(test_options("herd"));
+  constexpr int kClients = 16;
+
+  std::atomic<int> ok{0}, coalesced{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client(h.socket());
+      const JsonValue response =
+          client.request(hooked_solve("h" + std::to_string(i), 0.2, 300.0));
+      if (response_ok(response)) ++ok;
+      if (const JsonValue* c = response.find("coalesced"); c && c->as_bool())
+        ++coalesced;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(ok.load(), kClients);
+  // The herd cost exactly one solver execution; everyone else joined the
+  // flight (or, for stragglers, hit the fresh cache entry).
+  EXPECT_EQ(h.counter("server.solve.executed"), 1u);
+  EXPECT_GE(coalesced.load() + static_cast<int>(h.counter("server.cache.hit")),
+            kClients - 1);
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, SweepSolvesPointsAndSeedsTheCache) {
+  DaemonHarness h(test_options("sweep"));
+  Client client(h.socket());
+
+  JsonValue sweep = JsonValue::object();
+  sweep.set("id", "s");
+  sweep.set("kind", "sweep");
+  sweep.set("workload", "email");
+  JsonValue utils = JsonValue::array();
+  utils.push_back(0.1);
+  utils.push_back(0.2);
+  sweep.set("utils", std::move(utils));
+
+  const JsonValue response = client.request(sweep);
+  ASSERT_TRUE(response_ok(response)) << response.dump();
+  const JsonValue& points = response.at("result").at("points");
+  ASSERT_EQ(points.as_array().size(), 2u);
+  for (const JsonValue& point : points.as_array())
+    EXPECT_TRUE(point.at("ok").as_bool()) << point.dump();
+
+  // The sweep seeded the per-point cache: the same point as a solve is a hit.
+  const JsonValue solo = client.request(hooked_solve("p", 0.1));
+  ASSERT_TRUE(response_ok(solo));
+  EXPECT_TRUE(solo.at("cached").as_bool());
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, AdmissionControlShedsWhenQueueIsFull) {
+  DaemonOptions options = test_options("shed");
+  options.workers = 1;
+  options.max_queue = 1;
+  DaemonHarness h(options);
+
+  // Distinct slow models: one executing, one queued, the third must shed.
+  Client a(h.socket()), b(h.socket()), c(h.socket());
+  ASSERT_TRUE(a.send_line(hooked_solve("a", 0.31, 800.0).dump()));
+  // Wait until A occupies the worker so B/C ordering is deterministic.
+  Client probe(h.socket());
+  for (int i = 0; i < 200; ++i) {
+    const JsonValue health =
+        probe.request(server::control_request("hz", "healthz"));
+    if (health.at("result").at("inflight").as_int() >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(b.send_line(hooked_solve("b", 0.32, 800.0).dump()));
+  for (int i = 0; i < 200; ++i) {
+    const JsonValue health =
+        probe.request(server::control_request("hz", "healthz"));
+    if (health.at("result").at("queue_depth").as_int() >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  const JsonValue shed = c.request(hooked_solve("c", 0.33, 800.0));
+  EXPECT_FALSE(response_ok(shed));
+  EXPECT_EQ(error_code_of(shed), "kOverloaded");
+  EXPECT_GE(h.counter("server.queue.shed"), 1u);
+
+  // The admitted requests still finish.
+  JsonValue ra = a.read_response(), rb = b.read_response();
+  EXPECT_TRUE(response_ok(ra)) << ra.dump();
+  EXPECT_TRUE(response_ok(rb)) << rb.dump();
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, ControlRequestsBypassAdmission) {
+  DaemonOptions options = test_options("control");
+  options.workers = 1;
+  options.max_queue = 1;
+  DaemonHarness h(options);
+
+  Client busy(h.socket());
+  ASSERT_TRUE(busy.send_line(hooked_solve("slow", 0.4, 300.0).dump()));
+
+  // healthz and metricsz answer while the one worker is saturated.
+  Client control(h.socket());
+  const JsonValue health = control.request(server::control_request("hz", "healthz"));
+  ASSERT_TRUE(response_ok(health));
+  EXPECT_EQ(health.at("result").at("status").as_string(), "serving");
+
+  const JsonValue metrics = control.request(server::control_request("mz", "metricsz"));
+  ASSERT_TRUE(response_ok(metrics));
+  const std::string& text = metrics.at("result").at("text").as_string();
+  EXPECT_NE(text.find("perfbg_server_requests_total"), std::string::npos);
+
+  EXPECT_TRUE(response_ok(busy.read_response()));
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, DeadlineCancelsACooperativeSolve) {
+  DaemonHarness h(test_options("deadline"));
+  Client client(h.socket());
+
+  const auto start = std::chrono::steady_clock::now();
+  const JsonValue response =
+      client.request(hooked_solve("d", 0.5, /*sleep_ms=*/5000.0, 0.0, "", 150.0));
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  EXPECT_FALSE(response_ok(response));
+  EXPECT_EQ(error_code_of(response), "kDeadlineExceeded");
+  EXPECT_LT(elapsed_ms, 2000.0);  // nowhere near the 5 s sleep
+
+  // The daemon is still healthy afterwards.
+  const JsonValue health = client.request(server::control_request("hz", "healthz"));
+  EXPECT_TRUE(response_ok(health));
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, WatchdogEvictsAWedgedSolve) {
+  DaemonHarness h(test_options("wedge"));
+  Client client(h.socket());
+
+  // The wedge ignores its token, so only the watchdog can answer the client.
+  const auto start = std::chrono::steady_clock::now();
+  const JsonValue response =
+      client.request(hooked_solve("w", 0.5, 0.0, /*wedge_ms=*/1200.0, "", 100.0));
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  EXPECT_FALSE(response_ok(response));
+  EXPECT_EQ(error_code_of(response), "kDeadlineExceeded");
+  EXPECT_LT(elapsed_ms, 1000.0);  // answered well before the wedge returns
+  // The waiter's own timeout fires at the deadline; the watchdog eviction
+  // lands a grace period later, so poll briefly for the counter.
+  for (int i = 0; i < 400 && h.counter("server.watchdog.evicted") == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(h.counter("server.watchdog.evicted"), 1u);
+  // Teardown joins the wedged worker (~1.2 s): drain still completes.
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, CircuitBreakerTripsFastFailsAndRecovers) {
+  DaemonOptions options = test_options("breaker");
+  options.breaker_threshold = 2;
+  options.breaker_cooldown_ms = 150.0;
+  DaemonHarness h(options);
+  Client client(h.socket());
+
+  // Two distinct points of one model class fail numerically -> class trips.
+  for (int i = 0; i < 2; ++i) {
+    const JsonValue response = client.request(
+        hooked_solve("f" + std::to_string(i), 0.41 + 0.01 * i, 0.0, 0.0,
+                     "kNonConvergence"));
+    EXPECT_EQ(error_code_of(response), "kNonConvergence");
+  }
+  const JsonValue fast = client.request(hooked_solve("f2", 0.45));
+  EXPECT_EQ(error_code_of(fast), "kCircuitOpen");
+  EXPECT_EQ(h.counter("server.breaker.trips"), 1u);
+  const std::uint64_t executed_before = h.counter("server.solve.executed");
+
+  // After the cool-down one probe is admitted; its success closes the class.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const JsonValue probe = client.request(hooked_solve("p", 0.46));
+  EXPECT_TRUE(response_ok(probe)) << probe.dump();
+  EXPECT_GT(h.counter("server.solve.executed"), executed_before);
+  EXPECT_GE(h.counter("server.breaker.recovered"), 1u);
+
+  const JsonValue after = client.request(hooked_solve("q", 0.47));
+  EXPECT_TRUE(response_ok(after));
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, DrainFinishesAcceptedWorkAndRefusesNew) {
+  DaemonHarness h(test_options("drain"));
+
+  Client inflight(h.socket());
+  ASSERT_TRUE(inflight.send_line(hooked_solve("in", 0.22, 300.0).dump()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  h.daemon().begin_drain();
+  // The accepted request still completes with its real result...
+  const JsonValue response = inflight.read_response();
+  EXPECT_TRUE(response_ok(response)) << response.dump();
+
+  // ...while new connections are refused with a typed overload answer.
+  bool refused = false;
+  try {
+    Client late(h.socket());
+    const JsonValue r = late.request(hooked_solve("late", 0.23));
+    refused = error_code_of(r) == "kOverloaded";
+  } catch (const std::exception&) {
+    refused = true;  // listener may already be gone entirely
+  }
+  EXPECT_TRUE(refused);
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, ForceDrainAnswersWaitersWithInterrupted) {
+  DaemonHarness h(test_options("force"));
+  Client client(h.socket());
+  ASSERT_TRUE(client.send_line(hooked_solve("x", 0.24, 5000.0).dump()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+
+  const auto start = std::chrono::steady_clock::now();
+  const int rc = h.force();
+  const JsonValue response = client.read_response();
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  EXPECT_EQ(error_code_of(response), "kInterrupted");
+  EXPECT_EQ(rc, 9);               // the documented forced-drain exit code
+  EXPECT_LT(elapsed_ms, 2000.0);  // cancelled, not waited out
+}
+
+TEST(Server, JournalRecordsServedSolvesAndWarmStartsTheNextLife) {
+  const std::string journal_path = ::testing::TempDir() + "perfbgd_journal_" +
+                                   std::to_string(::getpid()) + ".jsonl";
+  std::remove(journal_path.c_str());
+  {
+    runner::JournalWriter writer(journal_path, "perfbgd");
+    DaemonOptions options = test_options("life1");
+    options.journal = &writer;
+    DaemonHarness h(options);
+    Client client(h.socket());
+    ASSERT_TRUE(response_ok(client.request(hooked_solve("a", 0.15))));
+    EXPECT_EQ(h.drain(), 0);
+    EXPECT_GE(h.counter("server.journal.records"), 1u);
+  }
+
+  const runner::JournalIndex index = runner::JournalIndex::load(journal_path, "perfbgd");
+  ASSERT_GE(index.size(), 1u);
+
+  DaemonOptions options = test_options("life2");
+  options.warm_start = &index;
+  DaemonHarness h(options);
+  Client client(h.socket());
+  const JsonValue response = client.request(hooked_solve("b", 0.15));
+  ASSERT_TRUE(response_ok(response));
+  EXPECT_TRUE(response.at("cached").as_bool());
+  EXPECT_EQ(h.counter("server.solve.executed"), 0u);
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, MalformedFramesGetTypedErrorsAndKeepTheConnection) {
+  DaemonOptions options = test_options("malformed");
+  options.max_frame_bytes = 4096;
+  DaemonHarness h(options);
+  Client client(h.socket());
+
+  ASSERT_TRUE(client.send_line("{\"kind\": \"solve\", "));  // truncated JSON
+  JsonValue response = client.read_response();
+  EXPECT_EQ(error_code_of(response), "kInvalidModel");
+
+  ASSERT_TRUE(client.send_line("{\"kind\": \"solve\", \"util\": NaN}"));
+  response = client.read_response();
+  EXPECT_EQ(error_code_of(response), "kInvalidModel");
+
+  ASSERT_TRUE(client.send_line(std::string(100, '[') + std::string(100, ']')));
+  response = client.read_response();
+  EXPECT_EQ(error_code_of(response), "kInvalidModel");
+
+  ASSERT_TRUE(client.send_line("{\"kind\": \"warp\"}"));  // unknown kind
+  response = client.read_response();
+  EXPECT_EQ(error_code_of(response), "kInvalidModel");
+
+  // The connection survived all of it.
+  ASSERT_TRUE(response_ok(client.request(hooked_solve("ok", 0.15))));
+
+  // An oversized frame is answered, then the stream is dropped (no resync).
+  ASSERT_TRUE(client.send_line(std::string(8192, 'x')));
+  response = client.read_response();
+  EXPECT_EQ(error_code_of(response), "kInvalidModel");
+  std::string line;
+  EXPECT_FALSE(client.recv_line(line));
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, RequestValidationRejectsBadFields) {
+  DaemonHarness h(test_options("validate"));
+  Client client(h.socket());
+
+  const char* bad_frames[] = {
+      "{\"kind\": \"solve\", \"util\": 0}",
+      "{\"kind\": \"solve\", \"p\": 1.5}",
+      "{\"kind\": \"solve\", \"buffer\": 0}",
+      "{\"kind\": \"solve\", \"workload\": \"nosuch\"}",
+      "{\"kind\": \"sweep\"}",                      // sweep without utils
+      "{\"kind\": \"solve\", \"utils\": [0.1]}",    // utils on a solve
+      "{\"kind\": \"solve\", \"util\": \"x\"}",     // wrong type
+  };
+  for (const char* frame : bad_frames) {
+    ASSERT_TRUE(client.send_line(frame));
+    const JsonValue response = client.read_response();
+    EXPECT_EQ(error_code_of(response), "kInvalidModel") << frame;
+  }
+  // An unstable load point is diagnosed by the solver preflight, not parsing.
+  const JsonValue unstable = client.request(hooked_solve("u", 1.2));
+  EXPECT_EQ(error_code_of(unstable), "kUnstableQbd");
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, SurvivesInjectedIoFaults) {
+  testing::ScriptedIoFaults faults;
+  faults.max_read_chunk = 3;        // frames arrive in 3-byte slivers
+  faults.read_eagain_storms = 25;   // opening burst of EAGAINs
+  testing::ScopedIoFaults guard(faults);
+
+  DaemonHarness h(test_options("iofaults"));
+  Client client(h.socket());
+  const JsonValue response = client.request(hooked_solve("io", 0.15));
+  EXPECT_TRUE(response_ok(response)) << response.dump();
+  EXPECT_GT(faults.reads.load(), 10u);
+
+  // Mid-frame disconnect: every read from now on reports EOF. The daemon
+  // drops the connection; it must stay serving for a fresh one.
+  faults.read_eof_after = 0;
+  std::string line;
+  client.send_line(hooked_solve("dead", 0.16).dump());
+  EXPECT_FALSE(client.recv_line(line));
+
+  faults.read_eof_after = testing::ScriptedIoFaults::kNever;
+  Client fresh(h.socket());
+  EXPECT_TRUE(response_ok(fresh.request(hooked_solve("alive", 0.15))));
+
+  // Write reset mid-response: the daemon loses that connection, nothing else.
+  faults.write_reset_after = faults.writes.load();
+  Client doomed(h.socket());
+  bool dropped = false;
+  try {
+    const JsonValue r = doomed.request(hooked_solve("doomed", 0.17));
+    dropped = !response_ok(r);
+  } catch (const std::exception&) {
+    dropped = true;
+  }
+  EXPECT_TRUE(dropped);
+  faults.write_reset_after = testing::ScriptedIoFaults::kNever;
+
+  Client survivor(h.socket());
+  EXPECT_TRUE(response_ok(survivor.request(hooked_solve("final", 0.15))));
+  EXPECT_EQ(h.drain(), 0);
+}
+
+}  // namespace
+}  // namespace perfbg
