@@ -17,6 +17,7 @@
 #include <string>
 
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "runner/journal.hpp"
 #include "runner/sweep_runner.hpp"
 #include "server/daemon.hpp"
@@ -54,6 +55,18 @@ perfbg::Flags make_flags() {
   flags.define("report-interval-ms",
                "rewrite --metrics-json every this many ms while serving (default 0 = "
                "shutdown only)");
+  flags.define("recorder-capacity",
+               "flight-recorder ring entries, the last-N completed request traces "
+               "served by tracez (default 256)");
+  flags.define("slow-log", "slow-request log size, top-K by wall time (default 16)");
+  flags.define("recorder-dump",
+               "write the flight-recorder JSON dump here on watchdog evictions, "
+               "overload bursts, and drain");
+  flags.define("recorder-dump-interval-ms",
+               "minimum ms between automatic recorder dumps (default 1000)");
+  flags.define("trace-chrome",
+               "record request/solve spans and write a Chrome trace-event JSON "
+               "file here at shutdown (chrome://tracing, Perfetto)");
   flags.define_switch("enable-test-hooks",
                       "parse the test_* request fields (tests/chaos loadgen only)");
   flags.define_switch("help", "print usage");
@@ -99,6 +112,12 @@ int main(int argc, char** argv) {
   options.enable_test_hooks = flags.get_bool("enable-test-hooks", false);
   options.report_path = flags.get_string("metrics-json", "");
   options.report_interval_ms = flags.get_double("report-interval-ms", 0.0);
+  options.recorder_capacity =
+      static_cast<std::size_t>(flags.get_int("recorder-capacity", 256));
+  options.slow_log_capacity = static_cast<std::size_t>(flags.get_int("slow-log", 16));
+  options.recorder_dump_path = flags.get_string("recorder-dump", "");
+  options.recorder_dump_min_interval_ms =
+      flags.get_double("recorder-dump-interval-ms", 1000.0);
 
   report.set_config("socket", socket_path);
   report.set_config("workers", options.workers);
@@ -129,6 +148,17 @@ int main(int argc, char** argv) {
   // cancel in-flight solves and exit 9. The watchdog polls the level.
   perfbg::runner::install_signal_handlers();
 
+  // Opt-in span collection: with a collector installed every request opens a
+  // server.request span and the trace exports as one connected tree per
+  // request (accept -> queue -> worker -> qbd.solve.*).
+  const std::string trace_path = flags.get_string("trace-chrome", "");
+  std::unique_ptr<perfbg::obs::SpanCollector> collector;
+  std::unique_ptr<perfbg::obs::SpanSession> session;
+  if (!trace_path.empty()) {
+    collector = std::make_unique<perfbg::obs::SpanCollector>();
+    session = std::make_unique<perfbg::obs::SpanSession>(*collector);
+  }
+
   perfbg::server::Daemon daemon(std::move(options), report);
   try {
     daemon.start();
@@ -152,5 +182,15 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(report.metrics().counter("server.cache.coalesced")),
                static_cast<unsigned long long>(report.metrics().counter("server.solve.executed")),
                static_cast<unsigned long long>(report.metrics().counter("server.queue.shed")));
+  if (session) {
+    session.reset();  // uninstall before exporting
+    try {
+      collector->write_chrome_trace(trace_path);
+      std::fprintf(stderr, "perfbgd: wrote %zu spans to %s\n", collector->size(),
+                   trace_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "perfbgd: trace export failed: %s\n", e.what());
+    }
+  }
   return rc;
 }

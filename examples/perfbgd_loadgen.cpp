@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/span.hpp"
 #include "server/client.hpp"
 #include "server/io.hpp"
 #include "util/flags.hpp"
@@ -49,6 +50,8 @@ struct Totals {
   std::uint64_t coalesced = 0;
   std::uint64_t killed = 0;      // frames deliberately abandoned (chaos)
   std::uint64_t attacks = 0;     // adversarial frames sent (chaos)
+  std::uint64_t trace_echoed = 0;    // responses echoing the trace id we sent
+  std::uint64_t trace_mismatch = 0;  // responses with a wrong/missing echo
   std::uint64_t protocol_failures = 0;  // owed responses that never arrived
   std::uint64_t connect_failures = 0;
   std::map<std::string, std::uint64_t> errors;  // code -> count
@@ -66,7 +69,15 @@ struct Config {
   int buffer = 5;
   double deadline_ms = 0.0;
   double test_sleep_ms = 0.0;
+  bool trace = false;  // attach a client-minted trace_id to every request
 };
+
+/// Deterministic client-side trace id for (client, request) — nonzero, unique
+/// within a run, so --trace runs are reproducible and the echo is checkable.
+std::uint64_t client_trace_id(int client_index, int request_index) {
+  return (static_cast<std::uint64_t>(client_index + 1) << 32) |
+         static_cast<std::uint64_t>(request_index + 1);
+}
 
 JsonValue model_request(const Config& cfg, const std::string& id, int variant) {
   // variant < 0: the herd's single shared point; otherwise one of `distinct`
@@ -106,12 +117,20 @@ void run_load_client(const Config& cfg, int client_index, Totals& totals) {
   try {
     Client client(cfg.socket);
     int sent = 0;
+    std::vector<std::string> expected_traces;
     for (int r = 0; r < cfg.requests; ++r) {
       const std::string id =
           "c" + std::to_string(client_index) + "/" + std::to_string(r);
       const int variant =
           cfg.mode == "mix" ? client_index * cfg.requests + r : -1;
-      if (!client.send_line(model_request(cfg, id, variant).dump())) break;
+      JsonValue request = model_request(cfg, id, variant);
+      if (cfg.trace) {
+        const std::string hex =
+            perfbg::obs::trace_id_hex(client_trace_id(client_index, r));
+        request.set("trace_id", hex);
+        expected_traces.push_back(hex);
+      }
+      if (!client.send_line(request.dump())) break;
       ++sent;
     }
     {
@@ -122,7 +141,17 @@ void run_load_client(const Config& cfg, int client_index, Totals& totals) {
     std::string line;
     for (; received < sent; ++received) {
       if (!client.recv_line(line)) break;
-      tally_response(totals, perfbg::obs::parse_json(line));
+      const JsonValue response = perfbg::obs::parse_json(line);
+      if (cfg.trace) {
+        // Responses arrive in request order per connection, so the echo at
+        // index `received` must be the trace id sent at index `received`.
+        const JsonValue* echo = response.find("trace_id");
+        const bool match = echo && echo->is_string() &&
+                           echo->as_string() == expected_traces[static_cast<std::size_t>(received)];
+        std::lock_guard<std::mutex> lock(totals.mu);
+        match ? ++totals.trace_echoed : ++totals.trace_mismatch;
+      }
+      tally_response(totals, response);
     }
     if (received < sent) {
       std::lock_guard<std::mutex> lock(totals.mu);
@@ -237,7 +266,12 @@ int main(int argc, char** argv) {
   flags.define("test-sleep-ms",
                "attach a test_sleep_ms hook to every model request (needs a daemon "
                "with --enable-test-hooks)");
-  flags.define("scrape", "after the run: healthz | metricsz, printed after the summary");
+  flags.define("scrape",
+               "after the run: healthz | metricsz | tracez | statusz, printed after "
+               "the summary");
+  flags.define_switch("trace",
+                      "attach a deterministic client trace_id to every model request "
+                      "and verify the response echoes it");
   flags.define_switch("help", "print usage");
   try {
     flags.parse(argc, argv);
@@ -262,6 +296,7 @@ int main(int argc, char** argv) {
   cfg.buffer = flags.get_int("buffer", 5);
   cfg.deadline_ms = flags.get_double("deadline-ms", 0.0);
   cfg.test_sleep_ms = flags.get_double("test-sleep-ms", 0.0);
+  cfg.trace = flags.get_bool("trace", false);
   if (cfg.socket.empty() ||
       (cfg.mode != "herd" && cfg.mode != "mix" && cfg.mode != "chaos")) {
     std::fprintf(stderr, "perfbgd_loadgen: --socket required, --mode must be "
@@ -298,6 +333,10 @@ int main(int argc, char** argv) {
   summary.set("attacks", static_cast<std::int64_t>(totals.attacks));
   summary.set("protocol_failures", static_cast<std::int64_t>(totals.protocol_failures));
   summary.set("connect_failures", static_cast<std::int64_t>(totals.connect_failures));
+  if (cfg.trace) {
+    summary.set("trace_echoed", static_cast<std::int64_t>(totals.trace_echoed));
+    summary.set("trace_mismatch", static_cast<std::int64_t>(totals.trace_mismatch));
+  }
   JsonValue errors = JsonValue::object();
   for (const auto& [code, count] : totals.errors)
     errors.set(code, static_cast<std::int64_t>(count));
@@ -306,7 +345,8 @@ int main(int argc, char** argv) {
   std::fprintf(stdout, "%s\n", summary.dump().c_str());
 
   const std::string scrape = flags.get_string("scrape", "");
-  if (scrape == "healthz" || scrape == "metricsz") {
+  if (scrape == "healthz" || scrape == "metricsz" || scrape == "tracez" ||
+      scrape == "statusz") {
     try {
       Client client(cfg.socket);
       const JsonValue response =
@@ -325,5 +365,5 @@ int main(int argc, char** argv) {
     }
   }
 
-  return totals.protocol_failures == 0 ? 0 : 1;
+  return totals.protocol_failures == 0 && totals.trace_mismatch == 0 ? 0 : 1;
 }

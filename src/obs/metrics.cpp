@@ -178,6 +178,11 @@ void MetricsRegistry::define_histogram(const std::string& name,
 }
 
 void MetricsRegistry::observe(const std::string& name, double value) {
+  observe(name, value, std::string());
+}
+
+void MetricsRegistry::observe(const std::string& name, double value,
+                              const std::string& exemplar_label) {
   std::lock_guard<std::mutex> lock(mu_);
   check_kind(name, kHistogram);
   auto it = histograms_.find(name);
@@ -189,11 +194,16 @@ void MetricsRegistry::observe(const std::string& name, double value) {
   }
   HistogramStat& h = it->second;
   const auto bucket = std::lower_bound(h.upper_bounds.begin(), h.upper_bounds.end(), value);
-  ++h.counts[static_cast<std::size_t>(bucket - h.upper_bounds.begin())];
+  const auto index = static_cast<std::size_t>(bucket - h.upper_bounds.begin());
+  ++h.counts[index];
   ++h.count;
   h.sum += value;
   h.min = std::min(h.min, value);
   h.max = std::max(h.max, value);
+  if (!exemplar_label.empty()) {
+    if (h.exemplars.empty()) h.exemplars.resize(h.counts.size());
+    h.exemplars[index] = HistogramStat::Exemplar{value, exemplar_label};
+  }
 }
 
 HistogramStat MetricsRegistry::histogram(const std::string& name) const {
@@ -368,15 +378,26 @@ std::string MetricsRegistry::render_text() const {
   }
   for (const auto& [name, h] : histograms_) {
     const std::string n = prom_name(name);
+    // OpenMetrics-style exemplar suffix on a bucket's own sample line; a
+    // histogram that never recorded one renders byte-identically to before.
+    const auto exemplar = [&](std::size_t i) {
+      if (i >= h.exemplars.size() || h.exemplars[i].label.empty()) return;
+      os << " # {trace_id=\"" << h.exemplars[i].label << "\"} ";
+      prom_value(os, h.exemplars[i].value);
+    };
     os << "# TYPE " << n << " histogram\n";
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
       cumulative += h.counts[i];
       os << n << "_bucket{le=\"";
       prom_value(os, h.upper_bounds[i]);
-      os << "\"} " << cumulative << "\n";
+      os << "\"} " << cumulative;
+      exemplar(i);
+      os << "\n";
     }
-    os << n << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << n << "_bucket{le=\"+Inf\"} " << h.count;
+    exemplar(h.upper_bounds.size());
+    os << "\n";
     os << n << "_sum ";
     prom_value(os, h.sum);
     os << "\n" << n << "_count " << h.count << "\n";

@@ -34,8 +34,19 @@ struct TimerStat {
 /// Fixed-bucket histogram: counts[i] counts observations <= upper_bounds[i];
 /// counts.back() is the overflow bucket (> the last bound).
 struct HistogramStat {
+  /// One exemplar per bucket: the most recent labelled observation that
+  /// landed there, so a tail bucket of a latency histogram links straight to
+  /// a concrete trace id. Populated only by the exemplar-carrying observe()
+  /// overload; exemplars stay out of the deterministic JSON report (trace
+  /// ids are per-run) and surface via render_text() / statusz instead.
+  struct Exemplar {
+    double value = 0.0;
+    std::string label;  ///< empty = no exemplar recorded for this bucket
+  };
+
   std::vector<double> upper_bounds;
   std::vector<std::uint64_t> counts;  ///< size upper_bounds.size() + 1
+  std::vector<Exemplar> exemplars;    ///< counts-aligned; empty until first use
   std::uint64_t count = 0;
   double sum = 0.0;
   double min = std::numeric_limits<double>::infinity();
@@ -102,6 +113,10 @@ class MetricsRegistry {
   /// Records one observation; auto-defines decade buckets 1e-3..1e3 when the
   /// histogram was not explicitly defined.
   void observe(const std::string& name, double value);
+  /// Like observe(), additionally stamping `exemplar_label` (e.g. a trace id)
+  /// as the exemplar of the bucket the value lands in — last write wins per
+  /// bucket. An empty label records the value without touching exemplars.
+  void observe(const std::string& name, double value, const std::string& exemplar_label);
   HistogramStat histogram(const std::string& name) const;
 
   // --- snapshots ---

@@ -1,0 +1,130 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/span.hpp"
+
+namespace perfbg::obs {
+
+JsonValue RequestTrace::to_json() const {
+  JsonValue v = JsonValue::object();
+  v.set("seq", JsonValue(seq));
+  v.set("trace_id", JsonValue(trace_id_hex(trace_id)));
+  if (leader_trace_id != 0)
+    v.set("trace_leader", JsonValue(trace_id_hex(leader_trace_id)));
+  if (!id.empty()) v.set("id", JsonValue(id));
+  v.set("key", JsonValue(key));
+  if (!model_class.empty()) v.set("model_class", JsonValue(model_class));
+  v.set("outcome", JsonValue(outcome));
+  if (queue_ms >= 0.0) v.set("queue_ms", JsonValue(queue_ms));
+  v.set("wall_ms", JsonValue(wall_ms));
+  if (!phases.is_null()) v.set("phases", phases);
+  if (!health.is_null()) v.set("health", health);
+  return v;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+std::uint64_t FlightRecorder::record(RequestTrace trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace.seq = ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+  } else {
+    ring_[next_] = std::move(trace);
+  }
+  next_ = (next_ + 1) % capacity_;
+  return total_;
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t FlightRecorder::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::vector<RequestTrace> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestTrace> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // next_ is the oldest entry once the ring has wrapped.
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+      out.push_back(ring_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+JsonValue FlightRecorder::to_json() const {
+  const std::vector<RequestTrace> entries = snapshot();
+  JsonValue v = JsonValue::object();
+  v.set("schema", JsonValue(kFlightRecorderSchema));
+  v.set("capacity", JsonValue(static_cast<std::int64_t>(capacity_)));
+  v.set("total", JsonValue(total()));
+  JsonValue arr = JsonValue::array();
+  for (const RequestTrace& t : entries) arr.push_back(t.to_json());
+  v.set("entries", std::move(arr));
+  return v;
+}
+
+SlowRequestLog::SlowRequestLog(std::size_t k) : k_(std::max<std::size_t>(1, k)) {}
+
+void SlowRequestLog::offer(const RequestTrace& trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() >= k_ && trace.wall_ms <= entries_.back().wall_ms) return;
+  const auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), trace,
+      [](const RequestTrace& a, const RequestTrace& b) { return a.wall_ms > b.wall_ms; });
+  entries_.insert(pos, trace);
+  if (entries_.size() > k_) entries_.pop_back();
+}
+
+std::size_t SlowRequestLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<RequestTrace> SlowRequestLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+JsonValue SlowRequestLog::to_json() const {
+  JsonValue arr = JsonValue::array();
+  for (const RequestTrace& t : snapshot()) arr.push_back(t.to_json());
+  return arr;
+}
+
+JsonValue recorder_dump_json(const std::string& trigger, const FlightRecorder& recorder,
+                             const SlowRequestLog& slow) {
+  JsonValue v = JsonValue::object();
+  v.set("schema", JsonValue(kFlightRecorderSchema));
+  v.set("trigger", JsonValue(trigger));
+  v.set("recorder", recorder.to_json());
+  v.set("slow", slow.to_json());
+  return v;
+}
+
+void write_recorder_dump(const std::string& path, const std::string& trigger,
+                         const FlightRecorder& recorder, const SlowRequestLog& slow) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("perfbg: cannot open '" + path + "' for writing");
+  recorder_dump_json(trigger, recorder, slow).dump(out, 1);
+  out << '\n';
+  out.flush();
+  if (!out)
+    throw std::runtime_error("perfbg: failed writing recorder dump to '" + path + "'");
+}
+
+}  // namespace perfbg::obs

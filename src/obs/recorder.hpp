@@ -1,0 +1,106 @@
+// Flight recorder for request-serving processes (DESIGN.md §14): an
+// always-on, bounded ring buffer holding the last N completed request traces
+// — trace id, canonical key, outcome, queue age, per-phase timing tree, and
+// the solve's health record — plus a top-K slow-request log.
+//
+// The point is post-mortems: when the watchdog evicts a wedged flight or an
+// overload burst sheds work, the daemon dumps the recorder to JSON and the
+// evicted/slow requests are *there*, with their phase breakdowns, instead of
+// having vanished with the response. Unlike the SpanCollector (opt-in,
+// unbounded, profiling-grade), the recorder is designed to run forever:
+// fixed memory, one short mutex hold per request, no allocation beyond the
+// entry being stored.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace perfbg::obs {
+
+inline constexpr const char* kFlightRecorderSchema = "perfbg.flight_recorder.v1";
+
+/// One completed (or force-completed) request, as the recorder stores it.
+struct RequestTrace {
+  std::uint64_t trace_id = 0;         ///< request trace id (wire hex form)
+  std::uint64_t leader_trace_id = 0;  ///< set when this request coalesced
+                                      ///< onto another request's flight
+  std::string id;           ///< client-supplied request id ("" when absent)
+  std::string key;          ///< canonical request key
+  std::string model_class;  ///< breaker granularity class
+  /// "ok" / "cached" / "coalesced" / "evicted" / an ErrorCode name.
+  std::string outcome;
+  double queue_ms = -1.0;  ///< admission -> execution start; -1 = never queued
+  double wall_ms = 0.0;    ///< request wall time as the server saw it
+  JsonValue phases;        ///< per-phase span tree {"name","ms","children"}
+  JsonValue health;        ///< SolveHealth record (null when none applies)
+  std::uint64_t seq = 0;   ///< recorder-assigned, 1-based, monotonic
+
+  JsonValue to_json() const;
+};
+
+/// Fixed-capacity ring of the last N request traces. Thread-safe; writers
+/// pay one mutex acquisition and one move per record (the ring never
+/// reallocates after construction), so recording stays cheap enough to be
+/// always-on in the daemon's request path.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity);
+
+  /// Stores one completed request, overwriting the oldest entry when full.
+  /// Assigns and returns the entry's sequence number.
+  std::uint64_t record(RequestTrace trace);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  /// Requests recorded over the recorder's lifetime (>= size()).
+  std::uint64_t total() const;
+
+  /// Entries oldest-first.
+  std::vector<RequestTrace> snapshot() const;
+
+  /// {"schema", "capacity", "total", "entries": [...]} — entries oldest-first.
+  JsonValue to_json() const;
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<RequestTrace> ring_;  ///< reserved to capacity_ up front
+  std::size_t next_ = 0;            ///< ring index the next record lands in
+  std::uint64_t total_ = 0;
+};
+
+/// Top-K requests by wall time, the "slow-request log" surfaced by tracez.
+/// offer() is O(K) under one mutex — K is small (default 16) and most
+/// requests fail the cheap threshold check without scanning.
+class SlowRequestLog {
+ public:
+  explicit SlowRequestLog(std::size_t k);
+
+  void offer(const RequestTrace& trace);
+
+  std::size_t size() const;
+  /// Entries slowest-first, each in RequestTrace::to_json() form.
+  JsonValue to_json() const;
+  std::vector<RequestTrace> snapshot() const;  ///< slowest-first
+
+ private:
+  std::size_t k_;
+  mutable std::mutex mu_;
+  std::vector<RequestTrace> entries_;  ///< sorted slowest-first
+};
+
+/// Writes a recorder dump document:
+/// {"schema", "trigger", "recorder": {...}, "slow": [...]}. The trigger names
+/// why the dump happened ("watchdog_eviction" / "overload_burst" / "drain" /
+/// "manual"). Throws std::runtime_error on I/O failure.
+void write_recorder_dump(const std::string& path, const std::string& trigger,
+                         const FlightRecorder& recorder, const SlowRequestLog& slow);
+JsonValue recorder_dump_json(const std::string& trigger, const FlightRecorder& recorder,
+                             const SlowRequestLog& slow);
+
+}  // namespace perfbg::obs

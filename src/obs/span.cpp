@@ -15,11 +15,13 @@ namespace {
 /// The process-wide current collector; nullptr almost always.
 std::atomic<SpanCollector*> g_current{nullptr};
 
-/// Per-thread nesting state: the innermost open span and its depth. Restored
-/// by each ScopedSpan as it closes, so the stack discipline needs no heap.
+/// Per-thread nesting state: the innermost open span, its depth, and the
+/// trace id it belongs to. Restored by each ScopedSpan as it closes, so the
+/// stack discipline needs no heap.
 struct ThreadSpanState {
   std::int64_t current_parent = -1;
   int depth = 0;
+  std::uint64_t trace_id = 0;
 };
 thread_local ThreadSpanState t_span_state;
 
@@ -30,6 +32,32 @@ std::uint32_t this_thread_index() {
 }
 
 }  // namespace
+
+std::string trace_id_hex(std::uint64_t trace_id) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i, trace_id >>= 4) out[static_cast<std::size_t>(i)] = digits[trace_id & 0xf];
+  return out;
+}
+
+bool parse_trace_id_hex(const std::string& text, std::uint64_t& out) {
+  std::size_t start = 0;
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) start = 2;
+  const std::size_t n = text.size() - start;
+  if (n == 0 || n > 16) return false;
+  std::uint64_t value = 0;
+  for (std::size_t i = start; i < text.size(); ++i) {
+    const char c = text[i];
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return false;
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  out = value;
+  return true;
+}
 
 // ---------------------------------------------------------------------------
 // SpanCollector
@@ -92,6 +120,9 @@ JsonValue SpanCollector::chrome_trace_json() const {
     e.set("pid", JsonValue(1));
     e.set("tid", JsonValue(static_cast<std::int64_t>(r.tid)));
     JsonValue args = JsonValue::object();
+    // The request linkage rides in args so a chrome/Perfetto search for the
+    // wire trace id lands on every span of that request, across threads.
+    if (r.trace_id != 0) args.set("trace_id", JsonValue(trace_id_hex(r.trace_id)));
     for (const auto& [k, v] : r.args) args.set(k, v);
     e.set("args", std::move(args));
     events.push_back(std::move(e));
@@ -256,13 +287,33 @@ JsonValue span_tail_stats_json(const std::vector<SpanRecord>& records) {
 
 ScopedSpan::ScopedSpan(const char* name) : collector_(SpanCollector::current()) {
   if (!collector_) return;
+  const ThreadSpanState& st = t_span_state;
+  open(name, st.current_parent, st.depth, st.trace_id);
+}
+
+ScopedSpan::ScopedSpan(const char* name, const TraceContext& link)
+    : collector_(SpanCollector::current()) {
+  if (!collector_) return;
+  // The explicit parent lives on another thread (or is -1 for a request
+  // root), so its depth is unknowable here; depth restarts at 0 and readers
+  // follow the parent ids, which stay exact.
+  open(name, link.parent_span, 0, link.trace_id);
+}
+
+void ScopedSpan::open(const char* name, std::int64_t parent, int depth,
+                      std::uint64_t trace_id) {
   name_ = name;
   id_ = collector_->next_id();
+  parent_ = parent;
+  depth_ = depth;
+  trace_id_ = trace_id;
   ThreadSpanState& st = t_span_state;
-  parent_ = st.current_parent;
-  depth_ = st.depth;
+  saved_parent_ = st.current_parent;
+  saved_depth_ = st.depth;
+  saved_trace_id_ = st.trace_id;
   st.current_parent = id_;
-  ++st.depth;
+  st.depth = depth + 1;
+  st.trace_id = trace_id;
   start_us_ = collector_->now_us();
 }
 
@@ -270,8 +321,9 @@ void ScopedSpan::end() {
   if (!collector_) return;
   const double dur_us = collector_->now_us() - start_us_;
   ThreadSpanState& st = t_span_state;
-  st.current_parent = parent_;
-  st.depth = depth_;
+  st.current_parent = saved_parent_;
+  st.depth = saved_depth_;
+  st.trace_id = saved_trace_id_;
   SpanRecord r;
   r.name = name_;
   r.start_us = start_us_;
@@ -280,6 +332,7 @@ void ScopedSpan::end() {
   r.parent = parent_;
   r.depth = depth_;
   r.tid = this_thread_index();
+  r.trace_id = trace_id_;
   r.args = std::move(args_);
   collector_->record(std::move(r));
   collector_ = nullptr;

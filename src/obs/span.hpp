@@ -32,6 +32,26 @@
 
 namespace perfbg::obs {
 
+/// Request-scoped trace identity: a 64-bit trace id shared by every span a
+/// request touches, plus the span id the next span should parent to. The
+/// thread-local nesting in ScopedSpan can only follow a request while it
+/// stays on one thread; a TraceContext is the explicit cross-thread link —
+/// capture it from the open span (ScopedSpan::context()), hand it to the
+/// worker/joiner thread, and construct the next span with it so the exported
+/// trace is one connected tree per request instead of disjoint per-thread
+/// roots.
+struct TraceContext {
+  std::uint64_t trace_id = 0;    ///< 0 = untraced
+  std::int64_t parent_span = -1; ///< span id to parent under; -1 = root
+};
+
+/// "0000000000000000"-style 16-digit lowercase hex, the wire form of a trace
+/// id (JSON int64 cannot carry a full uint64).
+std::string trace_id_hex(std::uint64_t trace_id);
+/// Parses 1..16 hex digits (optionally "0x"-prefixed); returns false on
+/// anything else. A parsed value of 0 is valid input ("untraced").
+bool parse_trace_id_hex(const std::string& text, std::uint64_t& out);
+
 /// One completed span, as stored by the collector. Timestamps are
 /// microseconds relative to the collector's construction (chrome trace ts
 /// units), so traces start near zero and survive JSON double precision.
@@ -43,6 +63,7 @@ struct SpanRecord {
   std::int64_t parent = -1;  ///< id of the enclosing span; -1 for roots
   int depth = 0;             ///< 0 for roots; parent depth + 1 otherwise
   std::uint32_t tid = 0;     ///< small per-thread index (first-use order)
+  std::uint64_t trace_id = 0;  ///< request trace this span belongs to; 0 = none
   JsonObjectEntries args;    ///< span attributes, insertion order preserved
 };
 
@@ -141,9 +162,23 @@ JsonValue span_tail_stats_json(const std::vector<SpanRecord>& records);
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);
+  /// Cross-thread / cross-request parenting: opens the span under
+  /// `link.parent_span` (instead of this thread's innermost open span) and
+  /// stamps `link.trace_id` on it and on every span nested inside it on this
+  /// thread. The thread's previous nesting state is restored at end(), so a
+  /// worker can serve many requests through one thread without leaking one
+  /// request's linkage into the next.
+  ScopedSpan(const char* name, const TraceContext& link);
   ~ScopedSpan() { end(); }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// The link a spawned thread (or a joiner) should open its spans with:
+  /// this span's trace id and id. Inactive spans return a default (untraced)
+  /// context, which keeps the no-collector path zero-cost.
+  TraceContext context() const {
+    return collector_ ? TraceContext{trace_id_, id_} : TraceContext{};
+  }
 
   /// Attaches one attribute; chainable. Later keys with the same name
   /// overwrite is NOT performed — attributes are append-only (cheap), and
@@ -161,12 +196,20 @@ class ScopedSpan {
   void end();
 
  private:
+  void open(const char* name, std::int64_t parent, int depth, std::uint64_t trace_id);
+
   SpanCollector* collector_;
   const char* name_ = nullptr;
   double start_us_ = 0.0;
   std::int64_t id_ = 0;
   std::int64_t parent_ = -1;
   int depth_ = 0;
+  std::uint64_t trace_id_ = 0;
+  // Thread nesting state to restore at end(); differs from parent_/depth_
+  // when the span was opened with an explicit cross-thread TraceContext.
+  std::int64_t saved_parent_ = -1;
+  int saved_depth_ = 0;
+  std::uint64_t saved_trace_id_ = 0;
   JsonObjectEntries args_;
 };
 

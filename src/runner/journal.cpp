@@ -34,6 +34,7 @@ obs::JsonValue JournalRecord::to_json() const {
   v.set("key", obs::JsonValue(key));
   v.set("attempts", obs::JsonValue(attempts));
   v.set("wall_ms", obs::JsonValue(wall_ms));
+  if (!trace.empty()) v.set("trace_id", obs::JsonValue(trace));
   if (ok()) {
     v.set("payload", payload);
   } else {
@@ -50,6 +51,8 @@ JournalRecord JournalRecord::from_json(const obs::JsonValue& v) {
   r.key = v.at("key").as_string();
   r.attempts = static_cast<int>(v.at("attempts").as_int());
   if (const obs::JsonValue* wall = v.find("wall_ms")) r.wall_ms = wall->as_double();
+  if (const obs::JsonValue* trace = v.find("trace_id"); trace && trace->is_string())
+    r.trace = trace->as_string();
   if (const obs::JsonValue* err = v.find("error")) {
     r.error_code = err->at("code").as_string();
     r.error_message = err->at("message").as_string();

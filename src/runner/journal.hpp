@@ -48,6 +48,9 @@ struct JournalRecord {
   std::string error_message;  ///< full what() of the failure ("" on success)
   int attempts = 1;           ///< attempts spent (including the final one)
   double wall_ms = 0.0;       ///< compute wall time of the final attempt
+  std::string trace;          ///< optional request trace id (hex); "" = none.
+                              ///< perfbgd journals it so a served request's
+                              ///< journal line joins to its tracez record.
 
   bool ok() const { return error_code.empty(); }
   obs::JsonValue to_json() const;

@@ -33,6 +33,39 @@ bool Flight::done() const {
   return done_;
 }
 
+void Flight::set_trace(std::uint64_t trace_id, std::int64_t root_span,
+                       std::string model_class) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_id_ = trace_id;
+  root_span_ = root_span;
+  model_class_ = std::move(model_class);
+}
+
+std::uint64_t Flight::trace_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_id_;
+}
+
+std::int64_t Flight::root_span() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return root_span_;
+}
+
+std::string Flight::model_class() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return model_class_;
+}
+
+void Flight::set_queue_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_ms_ = ms;
+}
+
+double Flight::queue_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_ms_;
+}
+
 Lookup SolutionCache::lookup(std::uint64_t hash, const std::string& key,
                              std::chrono::steady_clock::time_point deadline) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -64,6 +64,22 @@ class Flight {
 
   bool done() const;
 
+  /// Trace linkage: the leader publishes its trace id, root span id and model
+  /// class once it claims the flight; joiners and the watchdog read them to
+  /// link their responses / eviction records to the leader's trace. Guarded
+  /// by the flight mutex because the watchdog and joiner threads read while
+  /// the leader's connection thread writes.
+  void set_trace(std::uint64_t trace_id, std::int64_t root_span, std::string model_class);
+  std::uint64_t trace_id() const;
+  std::int64_t root_span() const;
+  std::string model_class() const;
+
+  /// Queue age observed by the worker when execution actually started
+  /// (ms between flight creation and dequeue); -1 until then. Written by the
+  /// worker thread, read by the leader's connection thread after wait_done.
+  void set_queue_ms(double ms);
+  double queue_ms() const;
+
   // Outcome accessors; valid only after wait_done() returned true.
   const obs::JsonValue& result() const { return result_; }
   const obs::JsonValue& health() const { return health_; }
@@ -79,6 +95,10 @@ class Flight {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool done_ = false;
+  std::uint64_t trace_id_ = 0;
+  std::int64_t root_span_ = -1;
+  std::string model_class_;
+  double queue_ms_ = -1.0;
   obs::JsonValue result_;
   obs::JsonValue health_;
   std::string error_code_;

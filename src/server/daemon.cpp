@@ -46,7 +46,9 @@ Daemon::Daemon(DaemonOptions options, obs::RunReport& report)
       report_(report),
       metrics_(report.metrics()),
       cache_(options_.cache_capacity, &metrics_),
-      breaker_(options_.breaker_threshold, options_.breaker_cooldown_ms, &metrics_) {}
+      breaker_(options_.breaker_threshold, options_.breaker_cooldown_ms, &metrics_),
+      recorder_(options_.recorder_capacity),
+      slow_log_(options_.slow_log_capacity) {}
 
 Daemon::~Daemon() {
   if (started_.load(std::memory_order_acquire)) {
@@ -71,8 +73,21 @@ void Daemon::start() {
         "server.watchdog.evicted", "server.breaker.trips",
         "server.breaker.recovered", "server.breaker.probes",
         "server.breaker.fastfail", "server.journal.records",
-        "server.drain.begun", "server.drain.forced"})
+        "server.drain.begun", "server.drain.forced", "server.trace.requests",
+        "server.trace.generated", "server.trace.client_supplied",
+        "server.recorder.records", "server.recorder.dumps",
+        "server.recorder.dump_failed"})
     metrics_.add(name, 0);
+  // End-to-end request latency (accept to response ready), with trace-id
+  // exemplars on the buckets so a tail spike links to a concrete trace.
+  metrics_.define_histogram("server.request.wall_ms", obs::log_buckets(1e-2, 1e5, 10));
+
+  started_at_ = Clock::now();
+  // Per-process trace-id seed: wall-clock entropy mixed with this object's
+  // address, so two daemon lives never mint overlapping generated ids.
+  trace_seed_ = static_cast<std::uint64_t>(
+                    std::chrono::system_clock::now().time_since_epoch().count()) ^
+                (reinterpret_cast<std::uintptr_t>(this) << 16);
 
   if (options_.warm_start) {
     for (const auto& [hash_hex, record] : options_.warm_start->records()) {
@@ -185,8 +200,11 @@ void Daemon::serve_connection(std::shared_ptr<ConnState> conn) {
 
 bool Daemon::handle_frame(ConnState& conn, const std::string& line) {
   metrics_.add("server.requests.total");
+  const Clock::time_point start = Clock::now();
   obs::JsonValue response;
   std::string id;
+  std::uint64_t trace_id = 0;  ///< nonzero once a non-control request parsed
+  RequestTelemetry tel;
   try {
     obs::JsonValue frame;
     try {
@@ -201,18 +219,96 @@ bool Daemon::handle_frame(ConnState& conn, const std::string& line) {
       if (const obs::JsonValue* v = frame.find("id"); v && v->is_string())
         id = v->as_string();
     }
-    const Request request = parse_request(frame, options_.enable_test_hooks);
-    response = process_request(request);
+    Request request = parse_request(frame, options_.enable_test_hooks);
+    if (request.is_control()) {
+      response = process_request(request, obs::TraceContext{}, tel);
+    } else {
+      // Every solve/sweep request is traced: the client's trace id or a fresh
+      // one, shared by the response echo, the request span tree, the journal
+      // line, the flight recorder entry, and the latency-bucket exemplar.
+      metrics_.add("server.trace.requests");
+      if (request.trace_id != 0) {
+        metrics_.add("server.trace.client_supplied");
+      } else {
+        request.trace_id = next_trace_id();
+        metrics_.add("server.trace.generated");
+      }
+      trace_id = request.trace_id;
+      obs::ScopedSpan span("server.request", obs::TraceContext{trace_id, -1});
+      obs::TraceContext ctx = span.context();
+      ctx.trace_id = trace_id;  // keep the linkage even with no collector
+      response = process_request(request, ctx, tel);
+      // Attributes attach at span end; tel.key is the canonical key
+      // process_request computed anyway, so the hot path never re-derives it.
+      if (span.active()) {
+        span.attr("key", obs::JsonValue(tel.key));
+        if (!request.id.empty()) span.attr("id", obs::JsonValue(request.id));
+      }
+    }
   } catch (const Error& e) {
     response = make_error_response(id, error_code_name(e.code()), e.message());
   } catch (const std::exception& e) {
     response = make_error_response(id, "kUnclassified", e.what());
   }
 
-  if (const obs::JsonValue* ok = response.find("ok"); ok && ok->is_bool() && ok->as_bool())
-    metrics_.add("server.requests.ok");
-  else
-    metrics_.add("server.requests.error");
+  bool ok = false;
+  if (const obs::JsonValue* v = response.find("ok"); v && v->is_bool() && v->as_bool())
+    ok = true;
+  metrics_.add(ok ? "server.requests.ok" : "server.requests.error");
+
+  if (trace_id != 0) {
+    const double wall = ms_since(start);
+    stamp_trace(response, trace_id, tel.leader_trace);
+    metrics_.observe("server.request.wall_ms", wall, obs::trace_id_hex(trace_id));
+
+    obs::RequestTrace trace;
+    trace.trace_id = trace_id;
+    trace.leader_trace_id = tel.leader_trace;
+    trace.id = id;
+    trace.key = tel.key;
+    trace.model_class = tel.model_class;
+    trace.queue_ms = tel.queue_ms;
+    trace.wall_ms = wall;
+    trace.health = tel.health;
+    if (ok) {
+      const obs::JsonValue* cached = response.find("cached");
+      const obs::JsonValue* coalesced = response.find("coalesced");
+      trace.outcome = cached && cached->is_bool() && cached->as_bool() ? "cached"
+                      : coalesced && coalesced->is_bool() && coalesced->as_bool()
+                          ? "coalesced"
+                          : "ok";
+    } else {
+      trace.outcome = "error";
+      if (const obs::JsonValue* err = response.find("error"))
+        if (const obs::JsonValue* code = err->find("code"); code && code->is_string())
+          trace.outcome = code->as_string();
+    }
+    // Coarse phase tree mirroring the span nesting, so tracez shows where the
+    // time went even without a span collector installed. Cache hits never
+    // queued or solved, so their entry carries just wall_ms — skipping the
+    // tree keeps the hot path free of its allocations.
+    if (tel.queue_ms >= 0.0 || tel.solve_ms >= 0.0) {
+      obs::JsonValue phases = obs::JsonValue::object();
+      phases.set("name", obs::JsonValue("server.request"));
+      phases.set("ms", obs::JsonValue(wall));
+      obs::JsonValue children = obs::JsonValue::array();
+      if (tel.queue_ms >= 0.0) {
+        obs::JsonValue c = obs::JsonValue::object();
+        c.set("name", obs::JsonValue("server.queue"));
+        c.set("ms", obs::JsonValue(tel.queue_ms));
+        children.push_back(std::move(c));
+      }
+      if (tel.solve_ms >= 0.0) {
+        obs::JsonValue c = obs::JsonValue::object();
+        c.set("name", obs::JsonValue("server.solve"));
+        c.set("ms", obs::JsonValue(tel.solve_ms));
+        children.push_back(std::move(c));
+      }
+      phases.set("children", std::move(children));
+      trace.phases = std::move(phases);
+    }
+    record_request(std::move(trace));
+  }
 
   if (!write_line(conn.socket.fd(), response.dump(), options_.write_timeout_ms)) {
     metrics_.add("server.conn.write_failed");
@@ -224,7 +320,9 @@ bool Daemon::handle_frame(ConnState& conn, const std::string& line) {
 // ---------------------------------------------------------------------------
 // Request path
 
-obs::JsonValue Daemon::process_request(const Request& request) {
+obs::JsonValue Daemon::process_request(const Request& request,
+                                       const obs::TraceContext& ctx,
+                                       RequestTelemetry& tel) {
   if (request.kind == Request::Kind::kHealthz)
     return make_result_response(request.id, healthz(), obs::JsonValue(), false, false, 0.0);
   if (request.kind == Request::Kind::kMetricsz) {
@@ -233,6 +331,10 @@ obs::JsonValue Daemon::process_request(const Request& request) {
     return make_result_response(request.id, std::move(body), obs::JsonValue(), false,
                                 false, 0.0);
   }
+  if (request.kind == Request::Kind::kTracez)
+    return make_result_response(request.id, tracez(), obs::JsonValue(), false, false, 0.0);
+  if (request.kind == Request::Kind::kStatusz)
+    return make_result_response(request.id, statusz(), obs::JsonValue(), false, false, 0.0);
 
   if (draining())
     return make_error_response(request.id, "kOverloaded",
@@ -241,6 +343,8 @@ obs::JsonValue Daemon::process_request(const Request& request) {
   const std::string key = canonical_key(request);
   const std::uint64_t hash = runner::fnv1a64(key);
   const std::string cls = model_class(request);
+  tel.key = key;
+  tel.model_class = cls;
 
   const BreakerDecision decision = breaker_.admit(cls);
   if (!decision.allow) {
@@ -269,13 +373,16 @@ obs::JsonValue Daemon::process_request(const Request& request) {
 
   const bool coalesced = lookup.outcome == Lookup::Outcome::kJoined;
   if (!coalesced) {
-    // Leader: the one queue-slot occupant for this key. Admission control
-    // happens here — a full queue is a typed kOverloaded in microseconds.
+    // Leader: publish the trace linkage on the flight before it can complete,
+    // so joiners, the watchdog, and the journal all see it.
+    lookup.flight->set_trace(request.trace_id, ctx.parent_span, cls);
+    // The one queue-slot occupant for this key. Admission control happens
+    // here — a full queue is a typed kOverloaded in microseconds.
     bool admitted = false;
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       if (!stop_workers_ && queue_.size() < std::max<std::size_t>(1, options_.max_queue)) {
-        queue_.push_back(WorkItem{hash, request, lookup.flight, decision.probe});
+        queue_.push_back(WorkItem{hash, request, lookup.flight, ctx, decision.probe});
         metrics_.set("server.queue.depth", static_cast<double>(queue_.size()));
         admitted = true;
       }
@@ -292,18 +399,24 @@ obs::JsonValue Daemon::process_request(const Request& request) {
       breaker_.report(cls, "kOverloaded", msg, decision.probe);
       lookup.flight->complete(obs::JsonValue(), obs::JsonValue(), "kOverloaded", msg, 0.0);
       cache_.finish(hash, lookup.flight, false);
+      // A burst of sheds is exactly the moment a postmortem needs the
+      // recorder: capture the lead-up once per burst, rate-limited.
+      if (sheds_since_dump_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+          options_.overload_burst_threshold)
+        dump_recorder("overload_burst", false);
       return make_error_response(request.id, "kOverloaded", msg);
     }
   }
 
   return finish_via_flight(request, lookup.flight, own_deadline, coalesced,
-                           decision.probe);
+                           decision.probe, tel);
 }
 
 obs::JsonValue Daemon::finish_via_flight(const Request& request,
                                          const std::shared_ptr<Flight>& flight,
                                          Clock::time_point own_deadline, bool coalesced,
-                                         bool probe) {
+                                         bool probe, RequestTelemetry& tel) {
+  if (coalesced) tel.leader_trace = flight->trace_id();
   if (!flight->wait_done(own_deadline)) {
     // This waiter's own budget ran out; the flight keeps flying for others.
     metrics_.add("server.wait.deadline");
@@ -317,6 +430,9 @@ obs::JsonValue Daemon::finish_via_flight(const Request& request,
     breaker_.report(model_class(request), flight->error_code(), flight->error_message(),
                     true);
   }
+  tel.queue_ms = flight->queue_ms();
+  tel.solve_ms = flight->wall_ms();
+  tel.health = flight->health();
   if (flight->ok())
     return make_result_response(request.id, flight->result(), flight->health(), false,
                                 coalesced, flight->wall_ms());
@@ -358,8 +474,22 @@ void Daemon::execute(WorkItem& item) {
   if (item.flight->deadline != Clock::time_point{})
     token.set_deadline(item.flight->deadline);
 
+  // Queue age: flight creation (= admission) to this dequeue. Stored on the
+  // flight so the leader's connection thread can report it after wait_done.
+  const double queue_ms = ms_since(item.flight->created);
+  item.flight->set_queue_ms(queue_ms);
+
   metrics_.add("server.solve.executed");
   obs::ScopedTimer timer(&metrics_, "server.solve");
+  // The worker span parents under the request span via the explicit
+  // cross-thread link, so the exported trace is one connected tree:
+  // server.request -> server.worker -> qbd.solve.* (thread-local nesting
+  // carries the linkage the rest of the way down).
+  obs::ScopedSpan wspan("server.worker", item.trace);
+  if (wspan.active()) {
+    wspan.attr("key", obs::JsonValue(item.flight->key()));
+    wspan.attr("queue_ms", obs::JsonValue(queue_ms));
+  }
   const Clock::time_point start = Clock::now();
 
   obs::JsonValue result;
@@ -367,8 +497,10 @@ void Daemon::execute(WorkItem& item) {
   bool cache_ok = true;
   std::string code;
   std::string message;
+  obs::TraceContext solve_ctx = wspan.context();
+  solve_ctx.trace_id = item.trace.trace_id;
   try {
-    result = run_model(item.request, token, health, cache_ok);
+    result = run_model(item.request, token, solve_ctx, health, cache_ok);
   } catch (const Error& e) {
     code = error_code_name(e.code());
     message = e.message();
@@ -408,6 +540,7 @@ void Daemon::execute(WorkItem& item) {
 }
 
 obs::JsonValue Daemon::run_model(const Request& request, const CancellationToken& token,
+                                 const obs::TraceContext& ctx,
                                  obs::JsonValue& health_out, bool& cache_ok) {
   // Test hooks (gated by --enable-test-hooks): deterministic stand-ins for a
   // slow solve, a wedged solve, and a typed solver failure.
@@ -455,7 +588,11 @@ obs::JsonValue Daemon::run_model(const Request& request, const CancellationToken
     point.utils.clear();
     const std::string pkey = canonical_key(point);
     const std::uint64_t phash = runner::fnv1a64(pkey);
-    sweep.add(pkey, [this, point, pkey, phash, &token](runner::PointContext&) {
+    sweep.add(pkey, [this, point, pkey, phash, ctx, &token](runner::PointContext&) {
+      // SweepRunner executes this on its own pool thread: link the point span
+      // back to the worker span explicitly, or the trace tree would fork.
+      obs::ScopedSpan pspan("server.sweep.point", ctx);
+      if (pspan.active()) pspan.attr("key", obs::JsonValue(pkey));
       if (std::optional<CacheEntry> hit = cache_.peek(phash)) return hit->result;
       token.check();
       core::FgBgModel model(build_params(point, point.util), &metrics_);
@@ -504,6 +641,7 @@ void Daemon::journal_outcome(const std::shared_ptr<Flight>& flight) {
   record.error_code = flight->error_code();
   record.error_message = flight->error_message();
   record.wall_ms = flight->wall_ms();
+  if (flight->trace_id() != 0) record.trace = obs::trace_id_hex(flight->trace_id());
   options_.journal->append(record);
   metrics_.add("server.journal.records");
 }
@@ -538,8 +676,21 @@ void Daemon::watchdog_loop() {
         if (flight->complete(obs::JsonValue(), obs::JsonValue(), "kDeadlineExceeded",
                              "solve exceeded its deadline and was evicted by the "
                              "watchdog",
-                             ms_since(flight->created, now)))
+                             ms_since(flight->created, now))) {
           metrics_.add("server.watchdog.evicted");
+          // An eviction is the recorder's marquee customer: record the
+          // stranded flight under its own trace id and capture a dump while
+          // the surrounding requests are still in the ring.
+          obs::RequestTrace trace;
+          trace.trace_id = flight->trace_id();
+          trace.key = flight->key();
+          trace.model_class = flight->model_class();
+          trace.outcome = "evicted";
+          trace.queue_ms = flight->queue_ms();
+          trace.wall_ms = ms_since(flight->created, now);
+          record_request(std::move(trace));
+          dump_recorder("watchdog_eviction", false);
+        }
       }
     }
 
@@ -645,6 +796,7 @@ int Daemon::run() {
   if (watchdog_thread_.joinable()) watchdog_thread_.join();
 
   listener_.reset();  // unlink the socket path
+  dump_recorder("drain", true);
   write_report_snapshot();
   return forced_.load(std::memory_order_acquire)
              ? error_exit_code(ErrorCode::kInterrupted)
@@ -698,6 +850,107 @@ obs::JsonValue Daemon::healthz() const {
   v.set("solves_executed",
         static_cast<std::int64_t>(metrics_.counter("server.solve.executed")));
   return v;
+}
+
+// ---------------------------------------------------------------------------
+// Tracing surface
+
+std::uint64_t Daemon::next_trace_id() {
+  // splitmix64 over the per-process seed: well mixed, collision-free within a
+  // run, and never zero (zero is the "untraced" sentinel).
+  std::uint64_t z = trace_seed_ +
+                    0x9e3779b97f4a7c15ull *
+                        (trace_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;
+}
+
+void Daemon::record_request(obs::RequestTrace trace) {
+  slow_log_.offer(trace);
+  recorder_.record(std::move(trace));
+  metrics_.add("server.recorder.records");
+}
+
+obs::JsonValue Daemon::tracez() const {
+  obs::JsonValue v = obs::JsonValue::object();
+  // Active flights first: the requests a stuck-daemon postmortem cares about.
+  obs::JsonValue active = obs::JsonValue::array();
+  const Clock::time_point now = Clock::now();
+  for (const std::shared_ptr<Flight>& flight : cache_.inflight()) {
+    obs::JsonValue f = obs::JsonValue::object();
+    if (flight->trace_id() != 0)
+      f.set("trace_id", obs::JsonValue(obs::trace_id_hex(flight->trace_id())));
+    f.set("key", obs::JsonValue(flight->key()));
+    const std::string cls = flight->model_class();
+    if (!cls.empty()) f.set("model_class", obs::JsonValue(cls));
+    f.set("age_ms", obs::JsonValue(ms_since(flight->created, now)));
+    f.set("queue_ms", obs::JsonValue(flight->queue_ms()));
+    f.set("done", obs::JsonValue(flight->done()));
+    active.push_back(std::move(f));
+  }
+  v.set("active", std::move(active));
+  v.set("slow", slow_log_.to_json());
+  v.set("recorder", recorder_.to_json());
+  return v;
+}
+
+obs::JsonValue Daemon::statusz() const {
+  obs::JsonValue v = healthz();
+  v.set("uptime_ms", obs::JsonValue(started_at_ == Clock::time_point{}
+                                        ? 0.0
+                                        : ms_since(started_at_)));
+  obs::JsonValue rec = obs::JsonValue::object();
+  rec.set("capacity", obs::JsonValue(static_cast<std::int64_t>(recorder_.capacity())));
+  rec.set("size", obs::JsonValue(static_cast<std::int64_t>(recorder_.size())));
+  rec.set("total", obs::JsonValue(recorder_.total()));
+  rec.set("slow_log", obs::JsonValue(static_cast<std::int64_t>(slow_log_.size())));
+  rec.set("dumps", obs::JsonValue(metrics_.counter("server.recorder.dumps")));
+  v.set("recorder", std::move(rec));
+
+  // Request-latency tail with its exemplar: the p99 here names the concrete
+  // trace id to pull out of tracez / the recorder dump.
+  const obs::HistogramStat h = metrics_.histogram("server.request.wall_ms");
+  if (h.count > 0) {
+    obs::JsonValue lat = obs::JsonValue::object();
+    lat.set("count", obs::JsonValue(h.count));
+    lat.set("p50_ms", obs::JsonValue(h.p50()));
+    lat.set("p99_ms", obs::JsonValue(h.p99()));
+    lat.set("max_ms", obs::JsonValue(h.max));
+    for (std::size_t i = h.exemplars.size(); i-- > 0;) {
+      if (h.exemplars[i].label.empty()) continue;
+      lat.set("tail_trace_id", obs::JsonValue(h.exemplars[i].label));
+      lat.set("tail_trace_ms", obs::JsonValue(h.exemplars[i].value));
+      break;
+    }
+    v.set("request_wall_ms", std::move(lat));
+  }
+
+  obs::JsonValue counters = obs::JsonValue::object();
+  for (const auto& [name, value] : metrics_.counters())
+    if (name.rfind("server.", 0) == 0) counters.set(name, obs::JsonValue(value));
+  v.set("counters", std::move(counters));
+  return v;
+}
+
+void Daemon::dump_recorder(const char* trigger, bool force) {
+  if (options_.recorder_dump_path.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(dump_mu_);
+    const Clock::time_point now = Clock::now();
+    if (!force && last_dump_ != Clock::time_point{} &&
+        ms_since(last_dump_, now) < options_.recorder_dump_min_interval_ms)
+      return;
+    last_dump_ = now;
+  }
+  sheds_since_dump_.store(0, std::memory_order_relaxed);
+  try {
+    obs::write_recorder_dump(options_.recorder_dump_path, trigger, recorder_, slow_log_);
+    metrics_.add("server.recorder.dumps");
+  } catch (const std::exception&) {
+    metrics_.add("server.recorder.dump_failed");
+  }
 }
 
 }  // namespace perfbg::server

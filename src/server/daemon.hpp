@@ -33,8 +33,19 @@
 //               the next daemon life can warm-start from the journal. run()
 //               returns 0 after a clean drain, 9 (kInterrupted) when forced.
 //
-// Control requests (healthz/metricsz) bypass admission entirely: they stay
-// answerable while the solve path is saturated — that is their whole point.
+// Control requests (healthz/metricsz/tracez/statusz) bypass admission
+// entirely: they stay answerable while the solve path is saturated — that is
+// their whole point.
+//
+// Tracing (DESIGN.md §14): every non-control request gets a 64-bit trace id
+// (client-supplied "trace_id" hex field, or daemon-assigned) that is echoed in
+// the response, stamped on every span the request opens (accept → queue →
+// worker → qbd.solve.*), journaled, recorded into an always-on flight
+// recorder ring plus a top-K slow-request log (both served by tracez), and
+// attached as the exemplar of the server.request.wall_ms histogram bucket it
+// lands in — so a p99 spike in metricsz links to one concrete trace. The
+// recorder dumps itself to --recorder-dump on watchdog evictions, kOverloaded
+// bursts, and drain.
 #pragma once
 
 #include <atomic>
@@ -47,7 +58,9 @@
 #include <string>
 #include <thread>
 
+#include "obs/recorder.hpp"
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "runner/journal.hpp"
 #include "server/breaker.hpp"
 #include "server/cache.hpp"
@@ -87,6 +100,18 @@ struct DaemonOptions {
   /// perfbg_report_diff. Empty path disables.
   std::string report_path;
   double report_interval_ms = 0.0;
+
+  // --- flight recorder (always on; see DESIGN.md §14) ---
+  std::size_t recorder_capacity = 256;  ///< completed-request ring entries
+  std::size_t slow_log_capacity = 16;   ///< top-K slow-request log entries
+  /// Recorder dump file, rewritten on watchdog eviction, kOverloaded bursts,
+  /// and drain. Empty path disables dumping (the in-memory recorder and the
+  /// tracez endpoint still work).
+  std::string recorder_dump_path;
+  /// Rate limit between automatic dumps (the drain dump always writes).
+  double recorder_dump_min_interval_ms = 1000.0;
+  /// Sheds accumulated since the last dump that trigger an overload dump.
+  std::size_t overload_burst_threshold = 32;
 };
 
 class Daemon {
@@ -123,13 +148,37 @@ class Daemon {
 
   /// healthz payload (also what the wire "healthz" request returns).
   obs::JsonValue healthz() const;
+  /// tracez payload: active flights, slow-request log, flight-recorder ring.
+  obs::JsonValue tracez() const;
+  /// statusz payload: drain state, queue/cache/recorder occupancy, counter
+  /// digest, request-latency tail with its exemplar trace id.
+  obs::JsonValue statusz() const;
+
+  const obs::FlightRecorder& recorder() const { return recorder_; }
+  const obs::SlowRequestLog& slow_log() const { return slow_log_; }
+
+  /// Writes the recorder dump file (no-op without --recorder-dump). `force`
+  /// bypasses the min-interval rate limit (drain and test paths).
+  void dump_recorder(const char* trigger, bool force);
 
  private:
   struct WorkItem {
     std::uint64_t hash = 0;
     Request request;
     std::shared_ptr<Flight> flight;
+    obs::TraceContext trace;  ///< leader's request trace, for worker spans
     bool probe = false;  ///< this execution is a breaker half-open probe
+  };
+
+  /// Per-request telemetry assembled while a frame is being served, flushed
+  /// into the flight recorder + slow log when the response is ready.
+  struct RequestTelemetry {
+    std::string key;
+    std::string model_class;
+    std::uint64_t leader_trace = 0;  ///< joiners: the leader flight's trace
+    double queue_ms = -1.0;          ///< flight creation -> dequeue (leaders)
+    double solve_ms = -1.0;          ///< solver execution wall (leaders)
+    obs::JsonValue health;           ///< SolveHealth of the served solve
   };
 
   struct ConnState {
@@ -146,27 +195,36 @@ class Daemon {
   /// Handles one parsed frame; returns false when the connection must drop
   /// (unwritable response / oversized frame).
   bool handle_frame(ConnState& conn, const std::string& line);
-  obs::JsonValue process_request(const Request& request);
+  obs::JsonValue process_request(const Request& request, const obs::TraceContext& ctx,
+                                 RequestTelemetry& tel);
   obs::JsonValue finish_via_flight(const Request& request,
                                    const std::shared_ptr<Flight>& flight,
                                    std::chrono::steady_clock::time_point own_deadline,
-                                   bool coalesced, bool probe);
+                                   bool coalesced, bool probe, RequestTelemetry& tel);
 
   void worker_loop();
   void execute(WorkItem& item);
   obs::JsonValue run_model(const Request& request, const CancellationToken& token,
-                           obs::JsonValue& health_out, bool& cache_ok);
+                           const obs::TraceContext& ctx, obs::JsonValue& health_out,
+                           bool& cache_ok);
 
   void watchdog_loop();
   void reap_finished_connections(bool join_all);
   void write_report_snapshot();
   void journal_outcome(const std::shared_ptr<Flight>& flight);
 
+  /// Nonzero, process-unique trace id for a request that supplied none.
+  std::uint64_t next_trace_id();
+  /// Records a completed request into the ring + slow log and bumps counters.
+  void record_request(obs::RequestTrace trace);
+
   DaemonOptions options_;
   obs::RunReport& report_;
   obs::MetricsRegistry& metrics_;
   SolutionCache cache_;
   CircuitBreaker breaker_;
+  obs::FlightRecorder recorder_;
+  obs::SlowRequestLog slow_log_;
 
   std::unique_ptr<Listener> listener_;
   std::thread accept_thread_;
@@ -177,6 +235,14 @@ class Daemon {
   std::atomic<bool> draining_{false};
   std::atomic<bool> forced_{false};
   std::atomic<bool> stop_watchdog_{false};
+
+  std::atomic<std::uint64_t> trace_counter_{0};
+  std::uint64_t trace_seed_ = 0;  ///< set once in start(); read-only after
+  std::chrono::steady_clock::time_point started_at_{};
+
+  std::mutex dump_mu_;
+  std::chrono::steady_clock::time_point last_dump_{};
+  std::atomic<std::uint64_t> sheds_since_dump_{0};
 
   std::mutex state_mu_;
   std::condition_variable state_cv_;

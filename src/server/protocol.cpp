@@ -1,5 +1,6 @@
 #include "server/protocol.hpp"
 
+#include "obs/span.hpp"
 #include "traffic/phase_type.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -61,8 +62,16 @@ Request parse_request(const obs::JsonValue& frame, bool allow_test_hooks) {
   else if (kind == "sweep") req.kind = Request::Kind::kSweep;
   else if (kind == "healthz") req.kind = Request::Kind::kHealthz;
   else if (kind == "metricsz") req.kind = Request::Kind::kMetricsz;
-  else bad_request("unknown kind '" + kind + "' (solve|sweep|healthz|metricsz)");
+  else if (kind == "tracez") req.kind = Request::Kind::kTracez;
+  else if (kind == "statusz") req.kind = Request::Kind::kStatusz;
+  else bad_request("unknown kind '" + kind +
+                   "' (solve|sweep|healthz|metricsz|tracez|statusz)");
   if (req.is_control()) return req;
+
+  if (const obs::JsonValue* tid = frame.find("trace_id")) {
+    if (!tid->is_string() || !obs::parse_trace_id_hex(tid->as_string(), req.trace_id))
+      bad_request("'trace_id' must be a string of 1..16 hex digits");
+  }
 
   req.workload = get_string(frame, "workload", req.workload);
   req.service = get_string(frame, "service", req.service);
@@ -182,6 +191,14 @@ obs::JsonValue make_error_response(const std::string& id, const std::string& cod
   resp.set("ok", obs::JsonValue(false));
   resp.set("error", std::move(error));
   return resp;
+}
+
+void stamp_trace(obs::JsonValue& response, std::uint64_t trace_id,
+                 std::uint64_t leader_trace_id) {
+  if (trace_id == 0) return;
+  response.set("trace_id", obs::JsonValue(obs::trace_id_hex(trace_id)));
+  if (leader_trace_id != 0 && leader_trace_id != trace_id)
+    response.set("trace_leader", obs::JsonValue(obs::trace_id_hex(leader_trace_id)));
 }
 
 }  // namespace perfbg::server

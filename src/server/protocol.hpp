@@ -4,7 +4,8 @@
 //
 // Request (schema implied by the daemon's socket):
 //   {"id": "planner-7/42",          // echoed verbatim; "" when absent
-//    "kind": "solve",               // solve | sweep | healthz | metricsz
+//    "kind": "solve",               // solve|sweep|healthz|metricsz|tracez|statusz
+//    "trace_id": "1a2b3c",          // optional request trace id, 1..16 hex digits
 //    "workload": "email",           // email|softdev|useraccounts|lowacf|ipp|poisson
 //    "util": 0.15,                  // foreground utilization, (0, ...) — a
 //                                   // value >= 1 is diagnosed kUnstableQbd
@@ -17,6 +18,8 @@
 // Response (schema perfbg.response.v1):
 //   {"schema": "perfbg.response.v1", "id": "...", "ok": true,
 //    "cached": false, "coalesced": false, "wall_ms": 1.9,
+//    "trace_id": "00000000001a2b3c",   // echoed/assigned trace id (16 hex digits)
+//    "trace_leader": "...",            // coalesced only: the leader's trace id
 //    "result": {"fg_queue_length": ..., ...}, "health": {...}}
 //   {"schema": "perfbg.response.v1", "id": "...", "ok": false,
 //    "error": {"code": "kOverloaded", "message": "..."}}
@@ -38,10 +41,17 @@ namespace perfbg::server {
 inline constexpr const char* kResponseSchema = "perfbg.response.v1";
 
 struct Request {
-  enum class Kind { kSolve, kSweep, kHealthz, kMetricsz };
+  enum class Kind { kSolve, kSweep, kHealthz, kMetricsz, kTracez, kStatusz };
 
   Kind kind = Kind::kSolve;
   std::string id;  ///< opaque client tag, echoed in the response
+
+  /// Request-scoped trace id (wire form: 1..16 hex digits in a "trace_id"
+  /// string field). 0 = the client sent none; the daemon then assigns one.
+  /// Echoed as "trace_id" in the response either way, so a client can join
+  /// its own latency records to the daemon's journal, flight recorder, and
+  /// tracez output.
+  std::uint64_t trace_id = 0;
 
   // Model coordinates (defaults match perfbg_cli).
   std::string workload = "email";
@@ -63,7 +73,10 @@ struct Request {
   double test_wedge_ms = 0.0;
   std::string test_fail_code;
 
-  bool is_control() const { return kind == Kind::kHealthz || kind == Kind::kMetricsz; }
+  bool is_control() const {
+    return kind == Kind::kHealthz || kind == Kind::kMetricsz ||
+           kind == Kind::kTracez || kind == Kind::kStatusz;
+  }
 };
 
 /// Parses one request frame. Throws perfbg::Error{kInvalidModel} on an
@@ -100,5 +113,12 @@ obs::JsonValue make_result_response(const std::string& id, obs::JsonValue result
 /// Error envelope for a typed failure.
 obs::JsonValue make_error_response(const std::string& id, const std::string& code,
                                    const std::string& message);
+
+/// Stamps the trace linkage onto a response envelope: "trace_id" (16 hex
+/// digits) when `trace_id` is nonzero, plus "trace_leader" when this response
+/// was coalesced onto another request's flight (`leader_trace_id` nonzero and
+/// different from `trace_id`).
+void stamp_trace(obs::JsonValue& response, std::uint64_t trace_id,
+                 std::uint64_t leader_trace_id = 0);
 
 }  // namespace perfbg::server

@@ -13,6 +13,7 @@
 #include "linalg/matrix.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "qbd/rmatrix.hpp"
@@ -329,6 +330,124 @@ TEST(MetricsRegistry, HistogramBuckets) {
   // Un-defined histograms auto-define on first observe.
   m.observe("auto", 4.2);
   EXPECT_EQ(m.histogram("auto").count, 1u);
+}
+
+TEST(MetricsRegistry, ExemplarsAnnotateBucketLinesOpenMetricsStyle) {
+  obs::MetricsRegistry m;
+  m.define_histogram("req.wall", {1.0, 10.0});
+  m.observe("req.wall", 0.5);  // plain observation: no exemplar on its bucket
+  m.observe("req.wall", 5.0, "00000000deadbeef");
+  m.observe("req.wall", 500.0, "00000000cafef00d");  // lands in +Inf
+
+  const std::string text = m.render_text();
+  // Bucket lines carry an OpenMetrics exemplar suffix only where one was
+  // recorded; the le="1" bucket stays a plain Prometheus 0.0.4 line.
+  EXPECT_NE(text.find("perfbg_req_wall_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("perfbg_req_wall_bucket{le=\"10\"} 2 "
+                      "# {trace_id=\"00000000deadbeef\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("perfbg_req_wall_bucket{le=\"+Inf\"} 3 "
+                      "# {trace_id=\"00000000cafef00d\"} 500\n"),
+            std::string::npos);
+
+  // Last write wins per bucket; an empty label leaves exemplars untouched.
+  m.observe("req.wall", 7.0, "00000000feedf00d");
+  m.observe("req.wall", 8.0);
+  EXPECT_NE(m.render_text().find("# {trace_id=\"00000000feedf00d\"} 7\n"),
+            std::string::npos);
+
+  // Exemplars stay out of the deterministic JSON report.
+  EXPECT_EQ(m.to_json().dump().find("trace_id"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+obs::RequestTrace make_trace(std::uint64_t id, double wall_ms) {
+  obs::RequestTrace t;
+  t.trace_id = id;
+  t.key = "k" + std::to_string(id);
+  t.outcome = "ok";
+  t.wall_ms = wall_ms;
+  return t;
+}
+
+TEST(FlightRecorder, RingOverwritesOldestAndKeepsMonotonicSeq) {
+  obs::FlightRecorder rec(3);
+  EXPECT_EQ(rec.capacity(), 3u);
+  EXPECT_EQ(rec.size(), 0u);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(rec.record(make_trace(i, 1.0 * static_cast<double>(i))), i);
+  }
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.total(), 5u);
+  const std::vector<obs::RequestTrace> got = rec.snapshot();
+  ASSERT_EQ(got.size(), 3u);
+  // Oldest-first: entries 3, 4, 5 survive with contiguous sequence numbers.
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].seq, 3u + i);
+    EXPECT_EQ(got[i].trace_id, 3u + i);
+  }
+
+  const JsonValue v = rec.to_json();
+  EXPECT_EQ(v.at("schema").as_string(), obs::kFlightRecorderSchema);
+  EXPECT_EQ(v.at("capacity").as_int(), 3);
+  EXPECT_EQ(v.at("total").as_int(), 5);
+  EXPECT_EQ(v.at("entries").as_array().size(), 3u);
+}
+
+TEST(FlightRecorder, EntryJsonOmitsAbsentOptionalFields) {
+  obs::RequestTrace t = make_trace(0xabcu, 2.5);
+  JsonValue v = t.to_json();
+  EXPECT_EQ(v.at("trace_id").as_string(), "0000000000000abc");
+  EXPECT_EQ(v.at("outcome").as_string(), "ok");
+  EXPECT_EQ(v.find("trace_leader"), nullptr);  // no coalescing
+  EXPECT_EQ(v.find("id"), nullptr);
+  EXPECT_EQ(v.find("queue_ms"), nullptr);  // never queued
+  EXPECT_EQ(v.find("phases"), nullptr);
+  EXPECT_EQ(v.find("health"), nullptr);
+
+  t.leader_trace_id = 0x42;
+  t.id = "req-1";
+  t.queue_ms = 0.25;
+  t.phases = JsonValue::object();
+  t.phases.set("name", JsonValue("server.request"));
+  v = t.to_json();
+  EXPECT_EQ(v.at("trace_leader").as_string(), "0000000000000042");
+  EXPECT_EQ(v.at("id").as_string(), "req-1");
+  EXPECT_DOUBLE_EQ(v.at("queue_ms").as_double(), 0.25);
+  EXPECT_EQ(v.at("phases").at("name").as_string(), "server.request");
+}
+
+TEST(SlowRequestLog, KeepsTopKSlowestFirst) {
+  obs::SlowRequestLog slow(3);
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    // Offer in an order that exercises both insert paths: 3, 1, 4, 1, 5, 9.
+    static const double walls[] = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+    slow.offer(make_trace(i, walls[i - 1]));
+  }
+  const std::vector<obs::RequestTrace> got = slow.snapshot();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_DOUBLE_EQ(got[0].wall_ms, 9.0);
+  EXPECT_DOUBLE_EQ(got[1].wall_ms, 5.0);
+  EXPECT_DOUBLE_EQ(got[2].wall_ms, 4.0);
+  EXPECT_EQ(slow.to_json().as_array().size(), 3u);
+}
+
+TEST(FlightRecorder, DumpDocumentNamesItsTrigger) {
+  obs::FlightRecorder rec(4);
+  obs::SlowRequestLog slow(2);
+  obs::RequestTrace t = make_trace(7, 12.0);
+  t.outcome = "evicted";
+  rec.record(t);
+  slow.offer(t);
+  const JsonValue dump = obs::recorder_dump_json("watchdog_eviction", rec, slow);
+  EXPECT_EQ(dump.at("schema").as_string(), obs::kFlightRecorderSchema);
+  EXPECT_EQ(dump.at("trigger").as_string(), "watchdog_eviction");
+  EXPECT_EQ(dump.at("recorder").at("entries").as_array().size(), 1u);
+  ASSERT_EQ(dump.at("slow").as_array().size(), 1u);
+  EXPECT_EQ(dump.at("slow").as_array()[0].at("outcome").as_string(), "evicted");
 }
 
 TEST(MetricsRegistry, DuplicateNameAcrossKindsThrows) {

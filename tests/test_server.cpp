@@ -10,13 +10,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "fault_injection.hpp"
+#include "obs/recorder.hpp"
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "runner/journal.hpp"
 #include "runner/sweep_runner.hpp"
 #include "server/client.hpp"
@@ -501,6 +505,243 @@ TEST(Server, SurvivesInjectedIoFaults) {
   Client survivor(h.socket());
   EXPECT_TRUE(response_ok(survivor.request(hooked_solve("final", 0.15))));
   EXPECT_EQ(h.drain(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing + flight recorder
+
+TEST(Server, TraceIdEchoedAndJoinerCarriesLeaderLinkage) {
+  DaemonHarness h(test_options("trace"));
+
+  // Leader: a slow solve under a client-supplied trace id.
+  Client leader(h.socket());
+  JsonValue lead_req = hooked_solve("lead", 0.2, /*sleep_ms=*/400.0);
+  lead_req.set("trace_id", "aaaa1111");
+  ASSERT_TRUE(leader.send_line(lead_req.dump()));
+
+  // Wait until the leader's flight is in the air, then join it.
+  Client probe(h.socket());
+  for (int i = 0; i < 200; ++i) {
+    const JsonValue health = probe.request(server::control_request("hz", "healthz"));
+    if (health.at("result").at("inflight").as_int() >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  Client joiner(h.socket());
+  JsonValue join_req = hooked_solve("join", 0.2, /*sleep_ms=*/400.0);
+  join_req.set("trace_id", "bbbb2222");
+  const JsonValue joined = joiner.request(join_req);
+  const JsonValue led = leader.read_response();
+
+  ASSERT_TRUE(response_ok(led)) << led.dump();
+  ASSERT_TRUE(response_ok(joined)) << joined.dump();
+
+  // Both responses echo their own trace id, zero-padded to 16 hex digits.
+  ASSERT_NE(led.find("trace_id"), nullptr) << led.dump();
+  EXPECT_EQ(led.at("trace_id").as_string(), obs::trace_id_hex(0xaaaa1111u));
+  ASSERT_NE(joined.find("trace_id"), nullptr) << joined.dump();
+  EXPECT_EQ(joined.at("trace_id").as_string(), obs::trace_id_hex(0xbbbb2222u));
+
+  // The coalesced response additionally names the leader's trace, so the two
+  // requests join up in any downstream store.
+  ASSERT_TRUE(joined.at("coalesced").as_bool()) << joined.dump();
+  ASSERT_NE(joined.find("trace_leader"), nullptr) << joined.dump();
+  EXPECT_EQ(joined.at("trace_leader").as_string(), obs::trace_id_hex(0xaaaa1111u));
+  EXPECT_EQ(led.find("trace_leader"), nullptr);  // the leader has no leader
+
+  EXPECT_EQ(h.counter("server.trace.client_supplied"), 2u);
+  EXPECT_EQ(h.counter("server.trace.generated"), 0u);
+
+  // tracez carries both completed requests with the same linkage.
+  const JsonValue tz = probe.request(server::control_request("tz", "tracez"));
+  ASSERT_TRUE(response_ok(tz)) << tz.dump();
+  const JsonValue& entries = tz.at("result").at("recorder").at("entries");
+  bool saw_leader = false, saw_joiner = false;
+  for (const JsonValue& e : entries.as_array()) {
+    if (e.at("trace_id").as_string() == obs::trace_id_hex(0xaaaa1111u))
+      saw_leader = true;
+    if (e.at("trace_id").as_string() == obs::trace_id_hex(0xbbbb2222u)) {
+      saw_joiner = true;
+      EXPECT_EQ(e.at("outcome").as_string(), "coalesced");
+      EXPECT_EQ(e.at("trace_leader").as_string(), obs::trace_id_hex(0xaaaa1111u));
+    }
+  }
+  EXPECT_TRUE(saw_leader);
+  EXPECT_TRUE(saw_joiner);
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, RequestsWithoutTraceIdGetOneAssigned) {
+  DaemonHarness h(test_options("autotrace"));
+  Client client(h.socket());
+
+  const JsonValue response = client.request(hooked_solve("auto", 0.15));
+  ASSERT_TRUE(response_ok(response));
+  const JsonValue* trace = response.find("trace_id");
+  ASSERT_NE(trace, nullptr) << response.dump();
+  std::uint64_t id = 0;
+  ASSERT_TRUE(obs::parse_trace_id_hex(trace->as_string(), id));
+  EXPECT_NE(id, 0u);
+  EXPECT_EQ(h.counter("server.trace.generated"), 1u);
+
+  // An invalid client trace id is a typed bad request, not a hang or a crash.
+  JsonValue bad = hooked_solve("bad", 0.15);
+  bad.set("trace_id", "not-hex");
+  const JsonValue rejected = client.request(bad);
+  EXPECT_FALSE(response_ok(rejected));
+  EXPECT_EQ(error_code_of(rejected), "kInvalidModel");
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, WatchdogEvictionDumpsRecorderWithEvictedTrace) {
+  DaemonOptions options = test_options("recdump");
+  const std::string dump_path = ::testing::TempDir() + "recorder_dump_" +
+                                std::to_string(::getpid()) + ".json";
+  std::remove(dump_path.c_str());
+  options.recorder_dump_path = dump_path;
+  DaemonHarness h(options);
+  Client client(h.socket());
+
+  JsonValue wedge = hooked_solve("w", 0.5, 0.0, /*wedge_ms=*/1200.0, "", 100.0);
+  wedge.set("trace_id", "dead4444");
+  const JsonValue response = client.request(wedge);
+  EXPECT_FALSE(response_ok(response));
+  EXPECT_EQ(error_code_of(response), "kDeadlineExceeded");
+
+  for (int i = 0; i < 400 && h.counter("server.recorder.dumps") == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_GE(h.counter("server.recorder.dumps"), 1u);
+
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good()) << dump_path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue dump = obs::parse_json(buffer.str());
+  EXPECT_EQ(dump.at("schema").as_string(), "perfbg.flight_recorder.v1");
+  EXPECT_EQ(dump.at("trigger").as_string(), "watchdog_eviction");
+  bool saw_eviction = false;
+  for (const JsonValue& e : dump.at("recorder").at("entries").as_array()) {
+    if (e.at("outcome").as_string() == "evicted" &&
+        e.at("trace_id").as_string() == obs::trace_id_hex(0xdead4444u))
+      saw_eviction = true;
+  }
+  EXPECT_TRUE(saw_eviction) << dump.dump();
+  std::remove(dump_path.c_str());
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, RecorderRingWrapsUnderRequestStorm) {
+  DaemonOptions options = test_options("storm");
+  options.recorder_capacity = 64;
+  options.slow_log_capacity = 8;
+  DaemonHarness h(options);
+
+  // 8 clients x 1250 identical requests in lock step: one solve, the rest
+  // served from cache/coalescing, every response recorded. Under TSan this
+  // also exercises the ring's locking from many connection threads at once.
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 1250;
+  std::atomic<int> answered{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(h.socket());
+      std::string line;
+      for (int r = 0; r < kPerClient; ++r) {
+        const std::string id = "s" + std::to_string(c) + "/" + std::to_string(r);
+        if (!client.send_line(hooked_solve(id, 0.15).dump())) return;
+        if (!client.recv_line(line)) return;
+        ++answered;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(answered.load(), kClients * kPerClient);
+
+  const std::uint64_t total = kClients * kPerClient;
+  EXPECT_EQ(h.counter("server.recorder.records"), total);
+  EXPECT_EQ(h.daemon().recorder().total(), total);
+  EXPECT_EQ(h.daemon().recorder().size(), 64u);
+
+  // The ring kept exactly the last 64 records, oldest-first, seq contiguous.
+  const std::vector<obs::RequestTrace> entries = h.daemon().recorder().snapshot();
+  ASSERT_EQ(entries.size(), 64u);
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    EXPECT_EQ(entries[i].seq, total - 64 + 1 + i);
+  EXPECT_EQ(h.daemon().slow_log().size(), 8u);
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, TracezAndStatuszBypassAdmissionAndExposeTail) {
+  DaemonOptions options = test_options("statusz");
+  options.workers = 1;
+  options.max_queue = 1;
+  DaemonHarness h(options);
+
+  // A completed slow request populates the slow log and the tail exemplar.
+  Client warm(h.socket());
+  JsonValue slow = hooked_solve("slow", 0.2, /*sleep_ms=*/50.0);
+  slow.set("trace_id", "feed5555");
+  ASSERT_TRUE(response_ok(warm.request(slow)));
+
+  // Saturate the one worker; the new endpoints must still answer.
+  Client busy(h.socket());
+  ASSERT_TRUE(busy.send_line(hooked_solve("busy", 0.4, 300.0).dump()));
+
+  Client control(h.socket());
+  const JsonValue tz = control.request(server::control_request("tz", "tracez"));
+  ASSERT_TRUE(response_ok(tz)) << tz.dump();
+  const JsonValue& result = tz.at("result");
+  ASSERT_NE(result.find("active"), nullptr);
+  ASSERT_NE(result.find("slow"), nullptr);
+  ASSERT_NE(result.find("recorder"), nullptr);
+  bool slow_has_trace = false;
+  for (const JsonValue& e : result.at("slow").as_array())
+    if (e.at("trace_id").as_string() == obs::trace_id_hex(0xfeed5555u))
+      slow_has_trace = true;
+  EXPECT_TRUE(slow_has_trace) << result.at("slow").dump();
+
+  const JsonValue sz = control.request(server::control_request("sz", "statusz"));
+  ASSERT_TRUE(response_ok(sz)) << sz.dump();
+  const JsonValue& status = sz.at("result");
+  EXPECT_EQ(status.at("status").as_string(), "serving");
+  EXPECT_GE(status.at("uptime_ms").as_double(), 0.0);
+  ASSERT_NE(status.find("recorder"), nullptr);
+  ASSERT_NE(status.find("request_wall_ms"), nullptr);
+  // The tail exemplar names a concrete trace id (the slow request's, unless a
+  // later one displaced it in the same bucket).
+  ASSERT_NE(status.at("request_wall_ms").find("tail_trace_id"), nullptr)
+      << status.dump();
+  std::uint64_t tail_id = 0;
+  EXPECT_TRUE(obs::parse_trace_id_hex(
+      status.at("request_wall_ms").at("tail_trace_id").as_string(), tail_id));
+  EXPECT_NE(tail_id, 0u);
+  ASSERT_NE(status.find("counters"), nullptr);
+  EXPECT_GE(status.at("counters").at("server.trace.requests").as_int(), 2);
+
+  EXPECT_TRUE(response_ok(busy.read_response()));
+  EXPECT_EQ(h.drain(), 0);
+}
+
+TEST(Server, JournalLinesCarryTheTraceId) {
+  DaemonOptions options = test_options("tracejournal");
+  const std::string journal_path = ::testing::TempDir() + "trace_journal_" +
+                                   std::to_string(::getpid()) + ".jsonl";
+  std::remove(journal_path.c_str());
+  {
+    runner::JournalWriter writer(journal_path, "perfbgd");
+    options.journal = &writer;
+    DaemonHarness h(options);
+    Client client(h.socket());
+    JsonValue request = hooked_solve("j", 0.15);
+    request.set("trace_id", "cafe6666");
+    ASSERT_TRUE(response_ok(client.request(request)));
+    EXPECT_EQ(h.drain(), 0);
+  }
+  const runner::JournalIndex index = runner::JournalIndex::load(journal_path);
+  ASSERT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.records().begin()->second.trace, obs::trace_id_hex(0xcafe6666u));
+  std::remove(journal_path.c_str());
 }
 
 }  // namespace

@@ -265,6 +265,119 @@ TEST(ScopedSpan, ThreadsGetIndependentStacks) {
   EXPECT_NE(worker_root->tid, main_span->tid);
 }
 
+TEST(TraceContext, HexRoundTripAndParsing) {
+  EXPECT_EQ(obs::trace_id_hex(0), "0000000000000000");
+  EXPECT_EQ(obs::trace_id_hex(0xabcdefull), "0000000000abcdef");
+  EXPECT_EQ(obs::trace_id_hex(~0ull), "ffffffffffffffff");
+
+  std::uint64_t out = 99;
+  EXPECT_TRUE(obs::parse_trace_id_hex("abcdef", out));
+  EXPECT_EQ(out, 0xabcdefull);
+  EXPECT_TRUE(obs::parse_trace_id_hex("0xABCDEF", out));
+  EXPECT_EQ(out, 0xabcdefull);
+  EXPECT_TRUE(obs::parse_trace_id_hex(obs::trace_id_hex(0x1234u), out));
+  EXPECT_EQ(out, 0x1234u);
+  EXPECT_TRUE(obs::parse_trace_id_hex("0", out));
+  EXPECT_EQ(out, 0u);
+
+  EXPECT_FALSE(obs::parse_trace_id_hex("", out));
+  EXPECT_FALSE(obs::parse_trace_id_hex("0x", out));
+  EXPECT_FALSE(obs::parse_trace_id_hex("xyz", out));
+  EXPECT_FALSE(obs::parse_trace_id_hex("12 34", out));
+  EXPECT_FALSE(obs::parse_trace_id_hex("00000000000000001", out));  // 17 digits
+}
+
+TEST(TraceContext, CrossThreadSpansFormOneConnectedTree) {
+  obs::SpanCollector collector;
+  {
+    obs::SpanSession session(collector);
+    obs::TraceContext link;
+    {
+      obs::ScopedSpan request("unit.request", obs::TraceContext{0x42, -1});
+      link = request.context();
+      EXPECT_EQ(link.trace_id, 0x42u);
+      std::thread worker([link] {
+        obs::ScopedSpan wspan("unit.worker", link);
+        obs::ScopedSpan solve("unit.solve");  // thread-local nesting continues
+      });
+      worker.join();
+    }
+    obs::ScopedSpan after("unit.after");  // main thread's own state, untraced
+  }
+
+  const std::vector<obs::SpanRecord> spans = collector.snapshot();
+  const obs::SpanRecord *request = nullptr, *worker = nullptr, *solve = nullptr,
+                        *after = nullptr;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name == "unit.request") request = &s;
+    if (s.name == "unit.worker") worker = &s;
+    if (s.name == "unit.solve") solve = &s;
+    if (s.name == "unit.after") after = &s;
+  }
+  ASSERT_NE(request, nullptr);
+  ASSERT_NE(worker, nullptr);
+  ASSERT_NE(solve, nullptr);
+  ASSERT_NE(after, nullptr);
+
+  // One connected tree across threads: request -> worker -> solve, all
+  // stamped with the request's trace id.
+  EXPECT_EQ(request->parent, -1);
+  EXPECT_EQ(request->trace_id, 0x42u);
+  EXPECT_EQ(worker->parent, request->id);
+  EXPECT_EQ(worker->trace_id, 0x42u);
+  EXPECT_EQ(solve->parent, worker->id);
+  EXPECT_EQ(solve->trace_id, 0x42u);
+  EXPECT_NE(worker->tid, request->tid);
+
+  // The main thread's nesting state survived the explicit-parent span.
+  EXPECT_EQ(after->parent, -1);
+  EXPECT_EQ(after->trace_id, 0u);
+}
+
+TEST(TraceContext, ExplicitParentRestoresThreadStateForTheNextRequest) {
+  obs::SpanCollector collector;
+  {
+    obs::SpanSession session(collector);
+    obs::ScopedSpan outer("unit.outer");
+    {
+      // A worker thread serving request A under an explicit foreign parent...
+      obs::ScopedSpan a("unit.a", obs::TraceContext{7, outer.context().parent_span});
+    }
+    // ...must not leak request A's linkage into request B on the same thread.
+    obs::ScopedSpan b("unit.b");
+    b.end();
+    EXPECT_EQ(b.context().trace_id, 0u);
+  }
+
+  const std::vector<obs::SpanRecord> spans = collector.snapshot();
+  const obs::SpanRecord *a = nullptr, *b = nullptr, *outer = nullptr;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name == "unit.a") a = &s;
+    if (s.name == "unit.b") b = &s;
+    if (s.name == "unit.outer") outer = &s;
+  }
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(a->parent, outer->id);
+  EXPECT_EQ(a->trace_id, 7u);
+  EXPECT_EQ(b->parent, outer->id);  // natural nesting resumed
+  EXPECT_EQ(b->trace_id, 0u);
+}
+
+TEST(ChromeTrace, TraceIdSurfacesInArgs) {
+  obs::SpanCollector collector;
+  {
+    obs::SpanSession session(collector);
+    obs::ScopedSpan span("unit.traced", obs::TraceContext{0xbeef, -1});
+  }
+  const JsonValue events = collector.chrome_trace_json();
+  ASSERT_EQ(events.as_array().size(), 1u);
+  const JsonValue& args = events.as_array()[0].at("args");
+  ASSERT_NE(args.find("trace_id"), nullptr);
+  EXPECT_EQ(args.at("trace_id").as_string(), obs::trace_id_hex(0xbeef));
+}
+
 TEST(SpanCollector, ClearResets) {
   obs::SpanCollector collector;
   {
