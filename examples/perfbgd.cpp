@@ -6,21 +6,26 @@
 // breaker, and two-level SIGINT/SIGTERM graceful drain. See README
 // "Running perfbgd" for a walkthrough.
 //
-//   ./perfbgd --socket=/tmp/perfbgd.sock --workers=4 \
+//   ./perfbgd --socket=/tmp/perfbgd.sock --workers=4
 //       --journal=served.jsonl --metrics-json=perfbgd_report.json
 //
 // Exit codes: 0 clean drain; 9 forced drain (second signal, kInterrupted);
 // 2 usage error; 1 startup failure (socket bind, journal I/O).
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <memory>
 #include <string>
 
+#include "chaos/fault_plan.hpp"
+#include "chaos/scripted_faults.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
 #include "runner/journal.hpp"
 #include "runner/sweep_runner.hpp"
 #include "server/daemon.hpp"
+#include "server/io.hpp"
+#include "util/failpoint.hpp"
 #include "util/flags.hpp"
 
 namespace {
@@ -50,7 +55,19 @@ perfbg::Flags make_flags() {
   flags.define("breaker-cooldown-ms", "open -> half-open probe delay (default 2000)");
   flags.define("max-frame-bytes", "request frame bound (default 1048576)");
   flags.define("journal", "append every served solve to this perfbg.sweep_journal.v1 file");
-  flags.define("warm-start", "seed the cache from a previous life's served-request journal");
+  flags.define("journal-max-bytes",
+               "rotate the journal (atomic rename to <path>.1) when an append "
+               "would cross this size (default 0 = unlimited)");
+  flags.define("warm-start",
+               "seed the cache from a previous life's served-request journal "
+               "(rotation-aware: <path>.1 is merged when present)");
+  flags.define("chaos-seed",
+               "install a deterministic fault plan seeded here; faults replay "
+               "byte-exactly from the same seed (needs --chaos-faults)");
+  flags.define("chaos-faults",
+               "fault plan spec: seam:rate[:value[:after]],... — seams are the "
+               "failpoint registry (util/failpoint.hpp) plus io.read.eof, "
+               "io.read.eagain, io.read.short, io.write.reset, io.write.delay_ms");
   flags.define("metrics-json", "write the run report here (periodically and at shutdown)");
   flags.define("report-interval-ms",
                "rewrite --metrics-json every this many ms while serving (default 0 = "
@@ -132,16 +149,39 @@ int main(int argc, char** argv) {
   try {
     if (const std::string path = flags.get_string("warm-start", ""); !path.empty()) {
       warm = std::make_unique<perfbg::runner::JournalIndex>(
-          perfbg::runner::JournalIndex::load(path, kSweepId));
+          perfbg::runner::JournalIndex::load_with_rotation(path, kSweepId));
       options.warm_start = warm.get();
     }
     if (const std::string path = flags.get_string("journal", ""); !path.empty()) {
-      journal = std::make_unique<perfbg::runner::JournalWriter>(path, kSweepId);
+      journal = std::make_unique<perfbg::runner::JournalWriter>(
+          path, kSweepId,
+          static_cast<std::uint64_t>(
+              std::max(0, flags.get_int("journal-max-bytes", 0))));
       options.journal = journal.get();
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "perfbgd: %s\n", e.what());
     return 2;
+  }
+
+  // In-daemon chaos: a seeded FaultPlan installed as the process failpoint
+  // hook (and, for the io.* seams, as the IO fault injector). The fired-fault
+  // schedule prints at drain so any failure names the seed that replays it.
+  std::unique_ptr<perfbg::chaos::FaultPlan> chaos_plan;
+  std::unique_ptr<perfbg::chaos::PlannedIoFaults> chaos_io;
+  const std::string chaos_faults = flags.get_string("chaos-faults", "");
+  if (!chaos_faults.empty()) {
+    try {
+      chaos_plan = std::make_unique<perfbg::chaos::FaultPlan>(
+          static_cast<std::uint64_t>(flags.get_int("chaos-seed", 1)),
+          perfbg::chaos::FaultPlan::parse_specs(chaos_faults));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "perfbgd: %s\n%s", e.what(), flags.help().c_str());
+      return 2;
+    }
+    chaos_io = std::make_unique<perfbg::chaos::PlannedIoFaults>(*chaos_plan);
+    perfbg::install_failpoint_hook(chaos_plan.get());
+    perfbg::server::install_io_fault_injector(chaos_io.get());
   }
 
   // First signal: drain (stop accepting, finish accepted work). Second:
@@ -173,6 +213,14 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
 
   const int rc = daemon.run();
+  if (chaos_plan) {
+    // Every thread that crosses a seam has stopped: safe to clear the hooks.
+    perfbg::server::install_io_fault_injector(nullptr);
+    perfbg::install_failpoint_hook(nullptr);
+    // The replay record: seed + every fired fault with its schedule index.
+    std::fprintf(stdout, "CHAOS %s\n", chaos_plan->log_json().dump().c_str());
+    std::fflush(stdout);
+  }
   std::fprintf(stderr,
                "perfbgd: drained (%s); served=%llu cache_hits=%llu coalesced=%llu "
                "solves=%llu shed=%llu\n",

@@ -1,0 +1,677 @@
+// perfbgd_chaos — the crash-recovery soak driver (DESIGN.md §15).
+//
+// Repeatedly boots a REAL perfbgd (fork/exec of the same binary operators
+// run), drives it with in-process client herds, then kills it — SIGKILL,
+// SIGTERM, or a seeded mix — mid-traffic, and audits the journal that
+// survives.  One InvariantChecker (src/chaos/invariants.hpp) accumulates
+// every response across every life and asserts the crash-recovery contract:
+//
+//   lost_ack             an OK response served by a leader execution must be
+//                        in the journal that survives the kill (the daemon
+//                        fsyncs the journal entry *before* completing the
+//                        flight, so an acked solve can never be lost);
+//   divergent_payload    a key answered twice is answered byte-identically;
+//   journal_divergence   the journal byte-matches what clients were told;
+//   warm_start           after a restart with --warm-start, journaled keys
+//                        are served cached:true with the pre-kill payload;
+//   counter_conservation statusz requests.total == ok + error at quiescence.
+//
+// Each life runs three phases: warm-start probes (lives > 0), a quiescent
+// herd pass (ends with the counter-conservation scrape), and an overlap herd
+// that is still issuing requests when the signal lands — the window where a
+// torn journal tail, a lost ack, or a half-written cache seed would show up.
+//
+// Everything is replayable: herd schedules, kill choices, and the per-life
+// daemon fault plans (--chaos-faults is forwarded with a per-life seed
+// derived from --chaos-seed) are pure functions of --chaos-seed.  A failing
+// soak reprints the exact command line that reproduces it.
+//
+//   ./perfbgd_chaos --perfbgd=./perfbgd --dir=/tmp/soak --cycles=20
+//       --clients=4 --requests=40 --kill=mix --chaos-seed=7
+//
+// Exit codes: 0 all invariants held across all cycles; 1 violations or
+// driver-level failures (boot timeout, unexpected daemon exit); 2 usage.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/backoff.hpp"
+#include "chaos/fault_plan.hpp"
+#include "chaos/invariants.hpp"
+#include "obs/json.hpp"
+#include "runner/journal.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using perfbg::chaos::DecorrelatedJitter;
+using perfbg::chaos::InvariantChecker;
+using perfbg::chaos::derive_seed;
+using perfbg::obs::JsonValue;
+
+constexpr const char* kSweepId = "perfbgd";
+
+struct Config {
+  std::string perfbgd;       ///< path of the daemon binary to soak
+  std::string dir;           ///< scratch dir: socket, journal, per-life logs
+  int cycles = 20;
+  int clients = 4;           ///< herd threads per phase
+  int requests = 40;         ///< requests per herd thread (quiescent phase)
+  int distinct = 16;         ///< distinct model points the quiescent herd cycles
+  std::uint64_t seed = 1;    ///< master seed; everything derives from it
+  std::string kill = "mix";  ///< sigkill | sigterm | mix
+  double overlap_ms = 75.0;  ///< how long the overlap herd runs before the kill
+  double solve_sleep_ms = 0.0;  ///< test-hook solve delay (widens kill windows)
+  int workers = 4;
+  std::string chaos_faults;  ///< forwarded to the daemon (per-life seed)
+  double boot_timeout_ms = 15000.0;
+  std::string report;        ///< also write the JSON report here
+};
+
+std::string socket_path(const Config& cfg) { return cfg.dir + "/perfbgd.sock"; }
+std::string journal_path(const Config& cfg) { return cfg.dir + "/served.jsonl"; }
+
+// ---------------------------------------------------------------------------
+// Variants: the model points the herds request.  The frame is round-tripped
+// through the wire encoding before the key is computed, so the canonical key
+// comes from exactly the double bits the daemon will parse.  Utilizations are
+// quantized to 3 decimals: 850 x 6 possible points, well under the cache
+// capacity the driver gives the daemon, so warm-start probes never race LRU
+// eviction.
+
+struct Variant {
+  std::string key;  ///< daemon-canonical cache/journal identity
+  JsonValue frame;  ///< request template; the sender stamps "id" per send
+};
+
+Variant make_variant(const Config& cfg, std::uint64_t index) {
+  const std::uint64_t h = derive_seed(cfg.seed ^ 0x5eed5eedull, index);
+  const double util = 0.05 + 0.001 * static_cast<double>(h % 850);
+  const int buffer = 3 + static_cast<int>((h >> 10) % 6);
+  JsonValue frame = perfbg::server::solve_request("", "email", util, 0.3, buffer);
+  if (cfg.solve_sleep_ms > 0.0)
+    frame.set("test_sleep_ms", JsonValue(cfg.solve_sleep_ms));
+  JsonValue wire = perfbg::obs::parse_json(frame.dump());
+  const perfbg::server::Request req = perfbg::server::parse_request(wire, true);
+  return Variant{perfbg::server::canonical_key(req), std::move(wire)};
+}
+
+/// Every frame any herd ever sent, keyed by canonical key — the warm-start
+/// probe pool.  Thread-safe: overlap herd threads add while running.
+class VariantBook {
+ public:
+  void add(const Variant& v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    frames_.emplace(v.key, v.frame);
+  }
+  std::map<std::string, JsonValue> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, JsonValue> frames_;
+};
+
+// ---------------------------------------------------------------------------
+// Herd bookkeeping
+
+struct LifeStats {
+  std::atomic<std::uint64_t> responses{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> cached{0};
+  std::atomic<std::uint64_t> coalesced{0};
+  std::atomic<std::uint64_t> reconnects{0};
+};
+
+bool response_bool(const JsonValue& response, const char* field) {
+  const JsonValue* v = response.find(field);
+  return v != nullptr && v->is_bool() && v->as_bool();
+}
+
+/// Records one received response with the checker and the per-life stats.
+void feed(InvariantChecker& checker, LifeStats& stats, const std::string& key,
+          const JsonValue& response) {
+  const bool ok = response_bool(response, "ok");
+  const bool cached = response_bool(response, "cached");
+  const bool coalesced = response_bool(response, "coalesced");
+  std::string trace;
+  if (const JsonValue* t = response.find("trace_id"); t && t->is_string())
+    trace = t->as_string();
+  std::string payload;
+  if (ok) {
+    if (const JsonValue* result = response.find("result")) payload = result->dump();
+  }
+  stats.responses.fetch_add(1, std::memory_order_relaxed);
+  (ok ? stats.ok : stats.errors).fetch_add(1, std::memory_order_relaxed);
+  if (cached) stats.cached.fetch_add(1, std::memory_order_relaxed);
+  if (coalesced) stats.coalesced.fetch_add(1, std::memory_order_relaxed);
+  checker.on_response(key, trace, payload, ok, cached, coalesced);
+}
+
+/// Quiescent-phase herd thread: cycles the shared variant pool, reconnecting
+/// with decorrelated jitter on connection failure.  The daemon is alive for
+/// the whole phase, so every request gets an answer within a few attempts.
+void run_herd(const Config& cfg, int life, int client_index,
+              const std::vector<Variant>& variants, InvariantChecker& checker,
+              LifeStats& stats) {
+  DecorrelatedJitter jitter(
+      5.0, 250.0,
+      derive_seed(cfg.seed, 0xA000u + static_cast<std::uint64_t>(life) * 1000u +
+                                static_cast<std::uint64_t>(client_index)));
+  std::unique_ptr<perfbg::server::Client> client;
+  for (int r = 0; r < cfg.requests; ++r) {
+    const Variant& v = variants[static_cast<std::size_t>(client_index + r) %
+                                variants.size()];
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      try {
+        if (!client) {
+          client = std::make_unique<perfbg::server::Client>(socket_path(cfg));
+          if (attempt > 0) stats.reconnects.fetch_add(1, std::memory_order_relaxed);
+        }
+        JsonValue frame = v.frame;
+        frame.set("id", JsonValue("l" + std::to_string(life) + "a" +
+                                  std::to_string(client_index) + "/" +
+                                  std::to_string(r)));
+        const JsonValue response = client->request(frame);
+        feed(checker, stats, v.key, response);
+        break;
+      } catch (const std::exception&) {
+        client.reset();
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(jitter.next_ms()));
+      }
+    }
+  }
+}
+
+/// Overlap herd thread: issues *fresh* model points (never-seen keys, so each
+/// is a leader execution the daemon must journal before acking) until the
+/// daemon dies under it.  Every response collected before the kill is an ack
+/// the journal audit will demand back.
+void run_overlap(const Config& cfg, int life, int client_index,
+                 VariantBook& book, InvariantChecker& checker, LifeStats& stats,
+                 const std::atomic<bool>& stop) {
+  std::unique_ptr<perfbg::server::Client> client;
+  std::uint64_t seq = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const std::uint64_t index = (1ull << 32) |
+                                (static_cast<std::uint64_t>(life) << 20) |
+                                (static_cast<std::uint64_t>(client_index) << 14) |
+                                (seq & 0x3fffu);
+    const Variant v = make_variant(cfg, index);
+    book.add(v);
+    try {
+      if (!client)
+        client = std::make_unique<perfbg::server::Client>(socket_path(cfg));
+      JsonValue frame = v.frame;
+      frame.set("id", JsonValue("l" + std::to_string(life) + "b" +
+                                std::to_string(client_index) + "/" +
+                                std::to_string(seq)));
+      const JsonValue response = client->request(frame);
+      feed(checker, stats, v.key, response);
+      ++seq;
+    } catch (const std::exception&) {
+      // The kill landed (or an injected IO fault broke the connection):
+      // nothing was acked for this request, so nothing is owed.
+      client.reset();
+      if (stop.load(std::memory_order_relaxed)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Daemon lifecycle
+
+pid_t spawn_daemon(const Config& cfg, int life, std::string& error) {
+  std::vector<std::string> args;
+  args.push_back(cfg.perfbgd);
+  args.push_back("--socket=" + socket_path(cfg));
+  args.push_back("--workers=" + std::to_string(cfg.workers));
+  args.push_back("--journal=" + journal_path(cfg));
+  // Big enough that no soak key is ever LRU-evicted: warm-start probes must
+  // only ever miss because recovery broke, not because the cache filled.
+  args.push_back("--cache-capacity=65536");
+  args.push_back("--enable-test-hooks");
+  if (life > 0) args.push_back("--warm-start=" + journal_path(cfg));
+  if (!cfg.chaos_faults.empty()) {
+    args.push_back("--chaos-faults=" + cfg.chaos_faults);
+    // Masked to int range: the daemon's flag parser reads integers.
+    args.push_back("--chaos-seed=" +
+                   std::to_string(derive_seed(cfg.seed, 0xC0u + static_cast<std::uint64_t>(life)) &
+                                  0x7fffffffu));
+  }
+
+  const std::string log = cfg.dir + "/perfbgd.life" + std::to_string(life) + ".log";
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    error = "fork failed";
+    return -1;
+  }
+  if (pid == 0) {
+    const int fd = ::open(log.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      ::close(fd);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::perror("perfbgd_chaos: execv");
+    _exit(127);
+  }
+  return pid;
+}
+
+bool wait_ready(const Config& cfg, pid_t pid, std::string& error) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(cfg.boot_timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      error = "perfbgd exited during boot (status " + std::to_string(status) + ")";
+      return false;
+    }
+    try {
+      perfbg::server::Client probe(socket_path(cfg));
+      const JsonValue response =
+          probe.request(perfbg::server::control_request("boot", "healthz"));
+      if (response_bool(response, "ok")) return true;
+    } catch (const std::exception&) {
+      // Not listening yet.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  error = "perfbgd not ready within " + std::to_string(cfg.boot_timeout_ms) + " ms";
+  return false;
+}
+
+/// Reaps the daemon within `timeout_ms`; escalates to SIGKILL on timeout.
+bool wait_exit(pid_t pid, double timeout_ms, int& status) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (::waitpid(pid, &status, WNOHANG) == pid) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, &status, 0);
+  return false;
+}
+
+int choose_signal(const Config& cfg, int life) {
+  if (cfg.kill == "sigkill") return SIGKILL;
+  if (cfg.kill == "sigterm") return SIGTERM;
+  return (derive_seed(cfg.seed, 0xD000u + static_cast<std::uint64_t>(life)) & 1u)
+             ? SIGKILL
+             : SIGTERM;
+}
+
+// ---------------------------------------------------------------------------
+// Audits
+
+/// Counter conservation at quiescence.  The statusz frame that takes the
+/// snapshot is itself mid-flight — its requests.total increment has fired but
+/// its outcome counter has not — so the quiescent expectation is
+/// total - 1 == ok + error.
+void scrape_counters(const Config& cfg, int life, InvariantChecker& checker,
+                     std::vector<std::string>& driver_errors) {
+  // Injected io.* faults can cut any one scrape connection; retry with fresh
+  // connections like the warm-start probes do. The `total - 1` adjustment
+  // stays valid across retries: the daemon counts an outcome for every frame
+  // it accepted (outcome counters fire before the response write), so only
+  // the in-flight statusz frame itself is total-but-not-yet-outcome.
+  constexpr int kAttempts = 5;
+  std::string last_error;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    try {
+      perfbg::server::Client client(socket_path(cfg));
+      const JsonValue response =
+          client.request(perfbg::server::control_request("audit", "statusz"));
+      const JsonValue* result = response.find("result");
+      const JsonValue* counters = result ? result->find("counters") : nullptr;
+      if (counters == nullptr)
+        throw std::runtime_error("statusz response has no counters");
+      const auto counter = [&](const char* name) -> std::uint64_t {
+        const JsonValue* v = counters->find(name);
+        return v ? static_cast<std::uint64_t>(v->as_int()) : 0u;
+      };
+      checker.check_counters(life, counter("server.requests.total") - 1,
+                             counter("server.requests.ok"),
+                             counter("server.requests.error"));
+      return;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  driver_errors.push_back("life " + std::to_string(life) +
+                          ": statusz scrape failed: " + last_error);
+}
+
+/// Warm-start probes: every key the previous life's journal holds must come
+/// back cached:true with the pre-kill payload.
+void probe_warm_start(const Config& cfg, int life,
+                      const std::map<std::string, JsonValue>& journaled,
+                      InvariantChecker& checker, LifeStats& stats,
+                      std::vector<std::string>& driver_errors) {
+  constexpr std::size_t kMaxProbes = 64;
+  constexpr int kAttemptsPerKey = 5;
+  std::unique_ptr<perfbg::server::Client> client;
+  std::size_t probed = 0;
+  for (const auto& [key, frame] : journaled) {
+    if (++probed > kMaxProbes) break;
+    // Injected io.* faults can break any one connection; a probe only gives
+    // up on a key after several fresh-connection attempts.
+    bool answered = false;
+    for (int attempt = 0; attempt < kAttemptsPerKey && !answered; ++attempt) {
+      try {
+        if (!client)
+          client = std::make_unique<perfbg::server::Client>(socket_path(cfg));
+        JsonValue f = frame;
+        f.set("id", JsonValue("warm" + std::to_string(life) + "/" +
+                              std::to_string(probed)));
+        const JsonValue response = client->request(f);
+        const bool ok = response_bool(response, "ok");
+        const bool cached = response_bool(response, "cached");
+        std::string payload;
+        if (ok) {
+          if (const JsonValue* result = response.find("result"))
+            payload = result->dump();
+        }
+        // A non-OK answer for a journaled key is also a recovery break: the
+        // cache seed should have made this a hit, which cannot fail.
+        checker.check_warm_start(key, payload, ok && cached);
+        feed(checker, stats, key, response);
+        answered = true;
+      } catch (const std::exception&) {
+        client.reset();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+    if (!answered)
+      driver_errors.push_back("life " + std::to_string(life) +
+                              ": warm-start probe for key '" + key +
+                              "' got no answer after " +
+                              std::to_string(kAttemptsPerKey) + " attempts");
+  }
+}
+
+std::string describe_status(int status) {
+  if (WIFEXITED(status)) return "exit " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status)) return "signal " + std::to_string(WTERMSIG(status));
+  return "status " + std::to_string(status);
+}
+
+perfbg::Flags make_flags() {
+  perfbg::Flags flags;
+  flags.define("perfbgd", "path of the perfbgd binary to soak (required)");
+  flags.define("dir",
+               "scratch directory for the socket, journal, and per-life "
+               "daemon logs (required; keep the path short — Unix socket "
+               "paths are length-limited)");
+  flags.define("cycles", "kill/restart cycles to run (default 20)");
+  flags.define("clients", "herd threads per phase (default 4)");
+  flags.define("requests", "requests per herd thread in the quiescent phase (default 40)");
+  flags.define("distinct", "distinct model points the quiescent herd cycles (default 16)");
+  flags.define("chaos-seed",
+               "master seed: herd schedules, kill choices, and per-life "
+               "daemon fault plans all derive from it (default 1)");
+  flags.define("kill", "kill mode: sigkill | sigterm | mix (default mix)");
+  flags.define("overlap-ms",
+               "how long the overlap herd runs before the signal lands (default 75)");
+  flags.define("solve-sleep-ms",
+               "test-hook solve delay per request, widens the kill window "
+               "(default 0)");
+  flags.define("workers", "daemon worker threads (default 4)");
+  flags.define("chaos-faults",
+               "fault-plan spec forwarded to every daemon life with a "
+               "per-life derived --chaos-seed (see perfbgd --help)");
+  flags.define("boot-timeout-ms", "per-life readiness budget (default 15000)");
+  flags.define("report", "also write the soak report JSON here");
+  flags.define_switch("help", "print usage");
+  return flags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  perfbg::Flags flags = make_flags();
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "perfbgd_chaos: %s\n%s", e.what(), flags.help().c_str());
+    return 2;
+  }
+  if (flags.get_bool("help", false)) {
+    std::fprintf(stdout, "%s", flags.help().c_str());
+    return 0;
+  }
+
+  Config cfg;
+  cfg.perfbgd = flags.get_string("perfbgd", "");
+  cfg.dir = flags.get_string("dir", "");
+  cfg.cycles = flags.get_int("cycles", 20);
+  cfg.clients = flags.get_int("clients", 4);
+  cfg.requests = flags.get_int("requests", 40);
+  cfg.distinct = std::max(1, flags.get_int("distinct", 16));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("chaos-seed", 1));
+  cfg.kill = flags.get_string("kill", "mix");
+  cfg.overlap_ms = flags.get_double("overlap-ms", 75.0);
+  cfg.solve_sleep_ms = flags.get_double("solve-sleep-ms", 0.0);
+  cfg.workers = flags.get_int("workers", 4);
+  cfg.chaos_faults = flags.get_string("chaos-faults", "");
+  cfg.boot_timeout_ms = flags.get_double("boot-timeout-ms", 15000.0);
+  cfg.report = flags.get_string("report", "");
+  if (cfg.perfbgd.empty() || cfg.dir.empty()) {
+    std::fprintf(stderr, "perfbgd_chaos: --perfbgd and --dir are required\n%s",
+                 flags.help().c_str());
+    return 2;
+  }
+  if (cfg.kill != "sigkill" && cfg.kill != "sigterm" && cfg.kill != "mix") {
+    std::fprintf(stderr, "perfbgd_chaos: --kill must be sigkill|sigterm|mix\n");
+    return 2;
+  }
+  if (!cfg.chaos_faults.empty()) {
+    try {
+      perfbg::chaos::FaultPlan::parse_specs(cfg.chaos_faults);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "perfbgd_chaos: %s\n", e.what());
+      return 2;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(cfg.dir, ec);
+  // Stale state from a previous soak in the same dir would contaminate the
+  // journal audit; start from nothing.
+  std::filesystem::remove(journal_path(cfg), ec);
+  std::filesystem::remove(journal_path(cfg) + ".1", ec);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  InvariantChecker checker;
+  VariantBook book;
+  std::vector<Variant> base;
+  base.reserve(static_cast<std::size_t>(cfg.distinct));
+  for (int i = 0; i < cfg.distinct; ++i) {
+    base.push_back(make_variant(cfg, static_cast<std::uint64_t>(i)));
+    book.add(base.back());
+  }
+
+  std::vector<std::string> driver_errors;
+  std::map<std::string, JsonValue> journaled;  // key -> frame, grows per life
+  JsonValue lives = JsonValue::array();
+
+  for (int life = 0; life < cfg.cycles; ++life) {
+    std::string boot_error;
+    const pid_t pid = spawn_daemon(cfg, life, boot_error);
+    if (pid < 0) {
+      driver_errors.push_back("life " + std::to_string(life) + ": " + boot_error);
+      break;
+    }
+    if (!wait_ready(cfg, pid, boot_error)) {
+      driver_errors.push_back("life " + std::to_string(life) + ": " + boot_error);
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      break;
+    }
+
+    LifeStats stats;
+    if (life > 0)
+      probe_warm_start(cfg, life, journaled, checker, stats, driver_errors);
+
+    // Phase A: quiescent herd, then the conservation scrape.
+    {
+      std::vector<std::thread> herd;
+      herd.reserve(static_cast<std::size_t>(cfg.clients));
+      for (int c = 0; c < cfg.clients; ++c)
+        herd.emplace_back(run_herd, std::cref(cfg), life, c, std::cref(base),
+                          std::ref(checker), std::ref(stats));
+      for (std::thread& t : herd) t.join();
+    }
+    scrape_counters(cfg, life, checker, driver_errors);
+
+    // Phase B: fresh-key herd still running when the signal lands.
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> overlap;
+    overlap.reserve(static_cast<std::size_t>(cfg.clients));
+    for (int c = 0; c < cfg.clients; ++c)
+      overlap.emplace_back(run_overlap, std::cref(cfg), life, c, std::ref(book),
+                           std::ref(checker), std::ref(stats), std::cref(stop));
+    const double overlap_jitter_ms =
+        static_cast<double>(derive_seed(cfg.seed, 0xE000u + static_cast<std::uint64_t>(life)) % 50u);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        cfg.overlap_ms + overlap_jitter_ms));
+    const int sig = choose_signal(cfg, life);
+    ::kill(pid, sig);
+    int status = 0;
+    const bool reaped = wait_exit(pid, 30000.0, status);
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : overlap) t.join();
+
+    if (!reaped) {
+      driver_errors.push_back("life " + std::to_string(life) +
+                              ": daemon did not exit within 30 s of " +
+                              (sig == SIGKILL ? "SIGKILL" : "SIGTERM") +
+                              "; escalated to SIGKILL");
+    } else if (sig == SIGKILL) {
+      if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL)
+        driver_errors.push_back("life " + std::to_string(life) +
+                                ": unexpected exit after SIGKILL: " +
+                                describe_status(status));
+    } else {
+      // Two-level drain: 0 = clean, 9 = forced (watchdog escalation).
+      if (!WIFEXITED(status) ||
+          (WEXITSTATUS(status) != 0 && WEXITSTATUS(status) != 9))
+        driver_errors.push_back("life " + std::to_string(life) +
+                                ": unexpected exit after SIGTERM: " +
+                                describe_status(status));
+    }
+
+    // The journal audit: every ack collected so far must have survived.
+    std::uint64_t journal_size = 0;
+    try {
+      const perfbg::runner::JournalIndex index =
+          perfbg::runner::JournalIndex::load_with_rotation(journal_path(cfg),
+                                                           kSweepId);
+      journal_size = index.size();
+      checker.check_journal(index);
+      for (const auto& [key, frame] : book.snapshot()) {
+        const perfbg::runner::JournalRecord* record = index.find(key);
+        if (record != nullptr && record->ok()) journaled.emplace(key, frame);
+      }
+    } catch (const std::exception& e) {
+      driver_errors.push_back("life " + std::to_string(life) +
+                              ": journal audit failed: " + e.what());
+    }
+
+    JsonValue entry = JsonValue::object();
+    entry.set("life", JsonValue(static_cast<std::int64_t>(life)));
+    entry.set("signal", JsonValue(sig == SIGKILL ? "SIGKILL" : "SIGTERM"));
+    entry.set("exit", JsonValue(describe_status(status)));
+    entry.set("responses", JsonValue(stats.responses.load()));
+    entry.set("ok", JsonValue(stats.ok.load()));
+    entry.set("errors", JsonValue(stats.errors.load()));
+    entry.set("cached", JsonValue(stats.cached.load()));
+    entry.set("coalesced", JsonValue(stats.coalesced.load()));
+    entry.set("reconnects", JsonValue(stats.reconnects.load()));
+    entry.set("journal_records", JsonValue(journal_size));
+    lives.push_back(std::move(entry));
+
+    std::fprintf(stderr,
+                 "perfbgd_chaos: life %d/%d %s -> %s responses=%llu ok=%llu "
+                 "cached=%llu journal=%llu violations=%llu\n",
+                 life + 1, cfg.cycles, sig == SIGKILL ? "SIGKILL" : "SIGTERM",
+                 describe_status(status).c_str(),
+                 static_cast<unsigned long long>(stats.responses.load()),
+                 static_cast<unsigned long long>(stats.ok.load()),
+                 static_cast<unsigned long long>(stats.cached.load()),
+                 static_cast<unsigned long long>(journal_size),
+                 static_cast<unsigned long long>(checker.violation_count()));
+  }
+
+  JsonValue report = JsonValue::object();
+  report.set("schema", JsonValue("perfbg.chaos_soak.v1"));
+  report.set("cycles", JsonValue(static_cast<std::int64_t>(cfg.cycles)));
+  report.set("clients", JsonValue(static_cast<std::int64_t>(cfg.clients)));
+  report.set("kill", JsonValue(cfg.kill));
+  report.set("chaos_seed", JsonValue(static_cast<std::int64_t>(cfg.seed)));
+  report.set("chaos_faults", JsonValue(cfg.chaos_faults));
+  report.set("lives", std::move(lives));
+  JsonValue errors = JsonValue::array();
+  for (const std::string& e : driver_errors) errors.push_back(JsonValue(e));
+  report.set("driver_errors", std::move(errors));
+  report.set("invariants", checker.report_json());
+
+  const std::string dumped = report.dump();
+  std::fprintf(stdout, "%s\n", dumped.c_str());
+  if (!cfg.report.empty()) {
+    if (std::FILE* f = std::fopen(cfg.report.c_str(), "w"); f != nullptr) {
+      std::fwrite(dumped.data(), 1, dumped.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "perfbgd_chaos: cannot write --report=%s\n",
+                   cfg.report.c_str());
+    }
+  }
+
+  const bool failed = checker.violation_count() != 0 || !driver_errors.empty();
+  if (failed) {
+    std::fprintf(stderr,
+                 "perfbgd_chaos: FAILED (%llu violations, %zu driver errors); "
+                 "replay with --chaos-seed=%llu (same cycles/clients/kill); "
+                 "per-life daemon logs are in %s\n",
+                 static_cast<unsigned long long>(checker.violation_count()),
+                 driver_errors.size(),
+                 static_cast<unsigned long long>(cfg.seed), cfg.dir.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "perfbgd_chaos: PASS — %d cycles, %llu checks, 0 violations\n",
+               cfg.cycles, static_cast<unsigned long long>(checker.checks()));
+  return 0;
+}

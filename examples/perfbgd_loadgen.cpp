@@ -15,21 +15,32 @@
 //          must answer the valid requests and the well-formed attacks with
 //          typed errors and survive the rest. Deterministic per-client RNG.
 //
+// Recovery discipline: connects retry under decorrelated-jitter backoff
+// (seeded per client, so a chaos run's reconnect timing replays with the
+// run), and kOverloaded / kCircuitOpen responses are backoff-then-retry
+// signals, not failures — the daemon is telling a well-behaved client to
+// come back later, and a client herd that instead hammers or gives up turns
+// every overload into an outage. Attempt counts land in the JSON summary.
+//
 // Output: one compact JSON summary line on stdout, then (with --scrape) the
 // daemon's healthz JSON or metricsz Prometheus text. Exit 0 iff every
 // response the protocol owes us arrived (deliberate kills excluded) and no
 // response frame was unparseable.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <exception>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "chaos/backoff.hpp"
+#include "chaos/fault_plan.hpp"
 #include "obs/json.hpp"
 #include "obs/span.hpp"
 #include "server/client.hpp"
@@ -53,7 +64,12 @@ struct Totals {
   std::uint64_t trace_echoed = 0;    // responses echoing the trace id we sent
   std::uint64_t trace_mismatch = 0;  // responses with a wrong/missing echo
   std::uint64_t protocol_failures = 0;  // owed responses that never arrived
-  std::uint64_t connect_failures = 0;
+  std::uint64_t connect_failures = 0;   // clients that never got a connection
+  std::uint64_t connect_attempts = 0;   // connect() calls, including retries
+  std::uint64_t reconnect_backoffs = 0; // backoff sleeps before a re-connect
+  std::uint64_t request_retries = 0;    // frames re-issued after kOverloaded/kCircuitOpen
+  std::uint64_t retry_ok = 0;           // retried frames that ended ok
+  double backoff_ms_total = 0.0;        // total time spent backing off
   std::map<std::string, std::uint64_t> errors;  // code -> count
 };
 
@@ -70,7 +86,49 @@ struct Config {
   double deadline_ms = 0.0;
   double test_sleep_ms = 0.0;
   bool trace = false;  // attach a client-minted trace_id to every request
+  int connect_retries = 5;   // connection attempts before a client gives up
+  int request_retries = 3;   // re-issues per kOverloaded/kCircuitOpen refusal
+  double backoff_base_ms = 10.0;
+  double backoff_cap_ms = 2000.0;
+  std::uint64_t seed = 1;    // backoff jitter seed (per-client derived)
 };
+
+/// Error codes that mean "come back later", never "give up".
+bool is_backoff_signal(const std::string& code) {
+  return code == "kOverloaded" || code == "kCircuitOpen";
+}
+
+/// The error code of a response ("" when ok or uncoded).
+std::string response_error_code(const JsonValue& response) {
+  if (const JsonValue* err = response.find("error"); err && err->is_object())
+    if (const JsonValue* code = err->find("code"); code && code->is_string())
+      return code->as_string();
+  return "";
+}
+
+/// Connects with decorrelated-jitter retries. Throws the last failure once
+/// `cfg.connect_retries` attempts are spent.
+std::unique_ptr<Client> connect_with_backoff(const Config& cfg, Totals& totals,
+                                             perfbg::chaos::DecorrelatedJitter& jitter) {
+  for (int attempt = 1;; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(totals.mu);
+      ++totals.connect_attempts;
+    }
+    try {
+      return std::make_unique<Client>(cfg.socket);
+    } catch (const std::exception&) {
+      if (attempt >= std::max(1, cfg.connect_retries)) throw;
+      const double sleep_ms = jitter.next_ms();
+      {
+        std::lock_guard<std::mutex> lock(totals.mu);
+        ++totals.reconnect_backoffs;
+        totals.backoff_ms_total += sleep_ms;
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(sleep_ms));
+    }
+  }
+}
 
 /// Deterministic client-side trace id for (client, request) — nonzero, unique
 /// within a run, so --trace runs are reproducible and the echo is checkable.
@@ -112,10 +170,15 @@ void tally_response(Totals& totals, const JsonValue& response) {
   }
 }
 
-/// herd / mix: pipeline `requests` frames, then collect every response.
+/// herd / mix: pipeline `requests` frames, collect every response, then
+/// retry (synchronously, under backoff) the ones the daemon refused with a
+/// backoff signal.
 void run_load_client(const Config& cfg, int client_index, Totals& totals) {
+  perfbg::chaos::DecorrelatedJitter jitter(
+      cfg.backoff_base_ms, cfg.backoff_cap_ms,
+      perfbg::chaos::derive_seed(cfg.seed, static_cast<std::uint64_t>(client_index)));
   try {
-    Client client(cfg.socket);
+    std::unique_ptr<Client> client = connect_with_backoff(cfg, totals, jitter);
     int sent = 0;
     std::vector<std::string> expected_traces;
     for (int r = 0; r < cfg.requests; ++r) {
@@ -130,7 +193,7 @@ void run_load_client(const Config& cfg, int client_index, Totals& totals) {
         request.set("trace_id", hex);
         expected_traces.push_back(hex);
       }
-      if (!client.send_line(request.dump())) break;
+      if (!client->send_line(request.dump())) break;
       ++sent;
     }
     {
@@ -139,8 +202,9 @@ void run_load_client(const Config& cfg, int client_index, Totals& totals) {
     }
     int received = 0;
     std::string line;
+    std::vector<int> refused;  ///< request indices refused with a backoff signal
     for (; received < sent; ++received) {
-      if (!client.recv_line(line)) break;
+      if (!client->recv_line(line)) break;
       const JsonValue response = perfbg::obs::parse_json(line);
       if (cfg.trace) {
         // Responses arrive in request order per connection, so the echo at
@@ -152,10 +216,71 @@ void run_load_client(const Config& cfg, int client_index, Totals& totals) {
         match ? ++totals.trace_echoed : ++totals.trace_mismatch;
       }
       tally_response(totals, response);
+      if (is_backoff_signal(response_error_code(response))) refused.push_back(received);
     }
     if (received < sent) {
       std::lock_guard<std::mutex> lock(totals.mu);
       totals.protocol_failures += static_cast<std::uint64_t>(sent - received);
+    }
+
+    // Backoff-and-retry pass: the daemon said "later", so this is later.
+    // Synchronous (one frame in flight) — a refused herd must trickle back,
+    // not re-stampede.
+    for (const int index : refused) {
+      for (int attempt = 1; attempt <= std::max(0, cfg.request_retries); ++attempt) {
+        const double sleep_ms = jitter.next_ms();
+        {
+          std::lock_guard<std::mutex> lock(totals.mu);
+          ++totals.request_retries;
+          totals.backoff_ms_total += sleep_ms;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_ms));
+        const std::string id = "c" + std::to_string(client_index) + "/" +
+                               std::to_string(index) + "~r" + std::to_string(attempt);
+        const int variant =
+            cfg.mode == "mix" ? client_index * cfg.requests + index : -1;
+        JsonValue request = model_request(cfg, id, variant);
+        std::string expected_hex;
+        if (cfg.trace) {
+          // A fresh id per attempt keeps trace ids unique within the run.
+          expected_hex = perfbg::obs::trace_id_hex(
+              client_trace_id(client_index, cfg.requests + index) + attempt);
+          request.set("trace_id", expected_hex);
+        }
+        if (!client->send_line(request.dump())) {
+          // Connection died (daemon restart, reset): reconnect and re-send on
+          // the next attempt.
+          client = connect_with_backoff(cfg, totals, jitter);
+          continue;
+        }
+        {
+          std::lock_guard<std::mutex> lock(totals.mu);
+          ++totals.sent;
+        }
+        if (!client->recv_line(line)) {
+          std::lock_guard<std::mutex> lock(totals.mu);
+          ++totals.protocol_failures;
+          break;
+        }
+        const JsonValue response = perfbg::obs::parse_json(line);
+        if (cfg.trace) {
+          const JsonValue* echo = response.find("trace_id");
+          const bool match =
+              echo && echo->is_string() && echo->as_string() == expected_hex;
+          std::lock_guard<std::mutex> lock(totals.mu);
+          match ? ++totals.trace_echoed : ++totals.trace_mismatch;
+        }
+        tally_response(totals, response);
+        const std::string code = response_error_code(response);
+        if (!is_backoff_signal(code)) {
+          if (code.empty()) {
+            std::lock_guard<std::mutex> lock(totals.mu);
+            ++totals.retry_ok;
+          }
+          break;  // a definitive answer, success or typed failure
+        }
+      }
     }
   } catch (const std::exception&) {
     std::lock_guard<std::mutex> lock(totals.mu);
@@ -169,10 +294,14 @@ void run_load_client(const Config& cfg, int client_index, Totals& totals) {
 /// cost us the connection, never the daemon.
 void run_chaos_client(const Config& cfg, int client_index, Totals& totals) {
   std::mt19937 rng(0x9e3779b9u + static_cast<unsigned>(client_index));
+  perfbg::chaos::DecorrelatedJitter jitter(
+      cfg.backoff_base_ms, cfg.backoff_cap_ms,
+      perfbg::chaos::derive_seed(cfg.seed, 0x10000u + static_cast<std::uint64_t>(client_index)));
   for (int r = 0; r < cfg.requests; ++r) {
     const int attack = static_cast<int>(rng() % 6);
     try {
-      Client client(cfg.socket);
+      std::unique_ptr<Client> client_ptr = connect_with_backoff(cfg, totals, jitter);
+      Client& client = *client_ptr;
       const std::string id =
           "x" + std::to_string(client_index) + "/" + std::to_string(r);
       switch (attack) {
@@ -266,6 +395,15 @@ int main(int argc, char** argv) {
   flags.define("test-sleep-ms",
                "attach a test_sleep_ms hook to every model request (needs a daemon "
                "with --enable-test-hooks)");
+  flags.define("connect-retries",
+               "connection attempts per client, decorrelated-jitter spaced "
+               "(default 5)");
+  flags.define("request-retries",
+               "re-issues per kOverloaded/kCircuitOpen refusal (default 3)");
+  flags.define("backoff-base-ms", "backoff floor in ms (default 10)");
+  flags.define("backoff-cap-ms", "backoff ceiling in ms (default 2000)");
+  flags.define("seed", "backoff jitter seed; per-client streams derive from it "
+                       "(default 1)");
   flags.define("scrape",
                "after the run: healthz | metricsz | tracez | statusz, printed after "
                "the summary");
@@ -297,6 +435,11 @@ int main(int argc, char** argv) {
   cfg.deadline_ms = flags.get_double("deadline-ms", 0.0);
   cfg.test_sleep_ms = flags.get_double("test-sleep-ms", 0.0);
   cfg.trace = flags.get_bool("trace", false);
+  cfg.connect_retries = flags.get_int("connect-retries", 5);
+  cfg.request_retries = flags.get_int("request-retries", 3);
+  cfg.backoff_base_ms = flags.get_double("backoff-base-ms", 10.0);
+  cfg.backoff_cap_ms = flags.get_double("backoff-cap-ms", 2000.0);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   if (cfg.socket.empty() ||
       (cfg.mode != "herd" && cfg.mode != "mix" && cfg.mode != "chaos")) {
     std::fprintf(stderr, "perfbgd_loadgen: --socket required, --mode must be "
@@ -333,6 +476,12 @@ int main(int argc, char** argv) {
   summary.set("attacks", static_cast<std::int64_t>(totals.attacks));
   summary.set("protocol_failures", static_cast<std::int64_t>(totals.protocol_failures));
   summary.set("connect_failures", static_cast<std::int64_t>(totals.connect_failures));
+  summary.set("connect_attempts", static_cast<std::int64_t>(totals.connect_attempts));
+  summary.set("reconnect_backoffs",
+              static_cast<std::int64_t>(totals.reconnect_backoffs));
+  summary.set("request_retries", static_cast<std::int64_t>(totals.request_retries));
+  summary.set("retry_ok", static_cast<std::int64_t>(totals.retry_ok));
+  summary.set("backoff_ms_total", totals.backoff_ms_total);
   if (cfg.trace) {
     summary.set("trace_echoed", static_cast<std::int64_t>(totals.trace_echoed));
     summary.set("trace_mismatch", static_cast<std::int64_t>(totals.trace_mismatch));

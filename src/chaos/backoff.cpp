@@ -1,0 +1,27 @@
+#include "chaos/backoff.hpp"
+
+#include <algorithm>
+
+#include "chaos/fault_plan.hpp"  // splitmix64_next
+
+namespace perfbg::chaos {
+
+DecorrelatedJitter::DecorrelatedJitter(double base_ms, double cap_ms,
+                                       std::uint64_t seed)
+    : base_ms_(base_ms < 0.0 ? 0.0 : base_ms),
+      cap_ms_(std::max(cap_ms, base_ms_)),
+      prev_ms_(base_ms_),
+      state_(seed) {}
+
+double DecorrelatedJitter::next_ms() {
+  ++draws_;
+  const std::uint64_t x = splitmix64_next(state_);
+  const double u = static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+  const double hi = std::max(base_ms_, prev_ms_ * 3.0);
+  prev_ms_ = std::min(cap_ms_, base_ms_ + u * (hi - base_ms_));
+  return prev_ms_;
+}
+
+void DecorrelatedJitter::reset() { prev_ms_ = base_ms_; }
+
+}  // namespace perfbg::chaos

@@ -1,0 +1,41 @@
+// Decorrelated-jitter retry backoff (the AWS architecture-blog variant):
+//
+//   sleep = min(cap, uniform(base, prev * 3))
+//
+// Compared with plain exponential backoff it spreads retries of a client herd
+// apart (no synchronized retry waves after a daemon restart) while still
+// growing the expected wait geometrically under sustained refusal. Driven by
+// splitmix64 from an explicit seed so a chaos run's reconnect timing replays
+// with the run.
+//
+// Not thread-safe: one instance per retrying actor (each loadgen client owns
+// its own, seeded from the run seed and its client index).
+#pragma once
+
+#include <cstdint>
+
+namespace perfbg::chaos {
+
+class DecorrelatedJitter {
+ public:
+  /// `base_ms` is the floor and first-retry scale, `cap_ms` the ceiling.
+  DecorrelatedJitter(double base_ms, double cap_ms, std::uint64_t seed);
+
+  /// The next sleep in ms; advances the sequence.
+  double next_ms();
+
+  /// Back to the cold state (next next_ms() draws near base again). The
+  /// cumulative draw count keeps running.
+  void reset();
+
+  std::uint64_t draws() const { return draws_; }
+
+ private:
+  double base_ms_;
+  double cap_ms_;
+  double prev_ms_;
+  std::uint64_t state_;
+  std::uint64_t draws_ = 0;
+};
+
+}  // namespace perfbg::chaos

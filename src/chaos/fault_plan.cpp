@@ -1,0 +1,155 @@
+#include "chaos/fault_plan.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "runner/journal.hpp"  // fnv1a64, hash_hex
+
+namespace perfbg::chaos {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t state = seed + 0x9e3779b97f4a7c15ull * (stream + 1);
+  return splitmix64_next(state);
+}
+
+namespace {
+
+/// Uniform double in [0, 1) from one splitmix64 output (53 mantissa bits).
+double to_unit(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+FaultPlan::SeamState::SeamState(FaultSpec s) : spec(std::move(s)) {
+  name_hash = runner::fnv1a64(spec.seam);
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, std::vector<FaultSpec> specs)
+    : seed_(seed) {
+  log_.reserve(kMaxLoggedFaults);
+  for (FaultSpec& spec : specs) {
+    std::string seam = spec.seam;
+    seams_.try_emplace(std::move(seam), std::move(spec));
+  }
+}
+
+std::vector<FaultSpec> FaultPlan::parse_specs(const std::string& text) {
+  std::vector<FaultSpec> specs;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string token = text.substr(start, end - start);
+    start = end + 1;
+    if (token.find_first_not_of(" \t") == std::string::npos) continue;
+
+    FaultSpec spec;
+    std::vector<std::string> parts;
+    std::size_t p = 0;
+    while (p <= token.size()) {
+      std::size_t q = token.find(':', p);
+      if (q == std::string::npos) q = token.size();
+      parts.push_back(token.substr(p, q - p));
+      p = q + 1;
+    }
+    if (parts.size() < 2 || parts.size() > 4)
+      throw std::invalid_argument("chaos fault spec '" + token +
+                                  "': want seam:rate[:value[:after]]");
+    spec.seam = parts[0];
+    if (spec.seam.empty())
+      throw std::invalid_argument("chaos fault spec '" + token + "': empty seam");
+    try {
+      std::size_t used = 0;
+      spec.rate = std::stod(parts[1], &used);
+      if (used != parts[1].size()) throw std::invalid_argument("rate");
+      if (parts.size() > 2) {
+        spec.value = std::stoll(parts[2], &used);
+        if (used != parts[2].size()) throw std::invalid_argument("value");
+      }
+      if (parts.size() > 3) {
+        const long long after = std::stoll(parts[3], &used);
+        if (used != parts[3].size() || after < 0) throw std::invalid_argument("after");
+        spec.after = static_cast<std::uint64_t>(after);
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("chaos fault spec '" + token +
+                                  "': unparseable number");
+    }
+    if (!(spec.rate >= 0.0 && spec.rate <= 1.0))
+      throw std::invalid_argument("chaos fault spec '" + token +
+                                  "': rate must be in [0, 1]");
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::int64_t FaultPlan::evaluate(const char* name) noexcept {
+  const auto it = seams_.find(std::string_view(name));
+  if (it == seams_.end()) return 0;
+  SeamState& seam = it->second;
+  const std::uint64_t idx =
+      seam.crossings.fetch_add(1, std::memory_order_relaxed);
+  if (idx < seam.spec.after) return 0;
+  if (seam.spec.rate <= 0.0) return 0;
+  if (seam.spec.rate < 1.0) {
+    // Stateless draw: hash (seed, seam, crossing index) so the decision for
+    // crossing N of a seam is fixed at construction, whatever the thread
+    // interleaving across *other* seams looks like.
+    std::uint64_t state = derive_seed(seed_ ^ seam.name_hash, idx);
+    if (to_unit(splitmix64_next(state)) >= seam.spec.rate) return 0;
+  }
+  const std::uint64_t ordinal =
+      fired_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    if (log_.size() < kMaxLoggedFaults)
+      log_.push_back(LogEntry{&it->first, idx, ordinal, seam.spec.value});
+  }
+  return seam.spec.value;
+}
+
+std::uint64_t FaultPlan::crossings(std::string_view seam) const {
+  const auto it = seams_.find(seam);
+  if (it == seams_.end()) return 0;
+  return it->second.crossings.load(std::memory_order_relaxed);
+}
+
+std::vector<FiredFault> FaultPlan::fired_log() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  std::vector<FiredFault> out;
+  out.reserve(log_.size());
+  for (const LogEntry& e : log_)
+    out.push_back(FiredFault{*e.seam, e.call_index, e.schedule_index, e.value});
+  return out;
+}
+
+obs::JsonValue FaultPlan::log_json() const {
+  obs::JsonValue v = obs::JsonValue::object();
+  v.set("seed", obs::JsonValue(runner::hash_hex(seed_)));
+  v.set("fired", obs::JsonValue(static_cast<std::int64_t>(fired_count())));
+  obs::JsonValue faults = obs::JsonValue::array();
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    v.set("logged", obs::JsonValue(static_cast<std::int64_t>(log_.size())));
+    for (const LogEntry& e : log_) {
+      obs::JsonValue f = obs::JsonValue::object();
+      f.set("seam", obs::JsonValue(*e.seam));
+      f.set("call", obs::JsonValue(static_cast<std::int64_t>(e.call_index)));
+      f.set("schedule", obs::JsonValue(static_cast<std::int64_t>(e.schedule_index)));
+      f.set("value", obs::JsonValue(e.value));
+      faults.push_back(std::move(f));
+    }
+  }
+  v.set("faults", std::move(faults));
+  return v;
+}
+
+}  // namespace perfbg::chaos

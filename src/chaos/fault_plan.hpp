@@ -1,0 +1,130 @@
+// Deterministic, seed-driven fault schedules (DESIGN.md §15).
+//
+// A FaultPlan is the chaos engine's brain: a FailpointHook whose per-seam
+// fire/no-fire decisions are a pure function of (seed, seam name, per-seam
+// crossing index). Nothing is drawn from a shared PRNG stream, so two threads
+// racing through different seams cannot perturb each other's schedules: as
+// long as the workload drives each seam through the same crossing sequence,
+// the same seed reproduces the same faults byte-exactly. That is the replay
+// contract behind `--chaos-seed`: a soak failure report names the seed, and
+// re-running with it rebuilds the identical schedule.
+//
+// A plan is a list of FaultSpec entries, usually parsed from a compact spec
+// string (the `--chaos-faults` flag):
+//
+//   seam:rate[:value[:after]][,seam:rate...]
+//
+//   server.cache.insert:0.01            1% of cache inserts fail
+//   server.worker.stall_ms:0.005:250    0.5% of solves stall 250 ms
+//   io.write.reset:0.002:1:100          after 100 writes, 0.2% reset
+//
+// Every fired fault is logged (bounded, allocation-free at fire time) with
+// its per-seam crossing index and its global schedule index, so a failure can
+// be pinned to "the 17th fault fired, crossing 412 of io.write.reset" and the
+// replay verified fault-for-fault.
+//
+// The seams themselves live in production code: failpoint() calls (see
+// util/failpoint.hpp for the registry) and the io.* seams that
+// chaos::PlannedIoFaults drives through server's IoFaultInjector hook.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/failpoint.hpp"
+
+namespace perfbg::chaos {
+
+/// The canonical splitmix64 step: advances `state` and returns the output.
+/// Used for every chaos draw (fault schedules, jitter, per-life sub-seeds)
+/// so determinism rests on one small, well-known generator.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// A decorrelated child seed for stream `stream` of `seed` (per-life seeds,
+/// per-client seeds). Pure function; no shared state.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream);
+
+/// One scheduled fault source.
+struct FaultSpec {
+  std::string seam;        ///< failpoint/io seam name, e.g. "server.cache.insert"
+  double rate = 0.0;       ///< fire probability per crossing, in [0, 1]
+  std::int64_t value = 1;  ///< magnitude handed to the seam when fired
+  std::uint64_t after = 0; ///< skip this many crossings before arming
+};
+
+/// One fault that actually fired, for the replay log.
+struct FiredFault {
+  std::string seam;
+  std::uint64_t call_index = 0;      ///< per-seam crossing index (0-based)
+  std::uint64_t schedule_index = 0;  ///< global fire ordinal (1-based)
+  std::int64_t value = 0;
+};
+
+class FaultPlan : public FailpointHook {
+ public:
+  /// At most this many fired faults are kept in the replay log (the count
+  /// keeps running past it). Reserved up front so firing never allocates.
+  static constexpr std::size_t kMaxLoggedFaults = 4096;
+
+  FaultPlan(std::uint64_t seed, std::vector<FaultSpec> specs);
+
+  /// Parses the `--chaos-faults` spec string (format above; "" = no faults).
+  /// Throws std::invalid_argument naming the offending token.
+  static std::vector<FaultSpec> parse_specs(const std::string& text);
+
+  /// FailpointHook: decides deterministically whether seam `name` fires at
+  /// its current crossing. Thread-safe, non-throwing, allocation-free.
+  std::int64_t evaluate(const char* name) noexcept override;
+
+  std::uint64_t seed() const { return seed_; }
+  std::uint64_t fired_count() const {
+    return fired_count_.load(std::memory_order_relaxed);
+  }
+  /// Crossings observed for `seam` so far (0 when unregistered).
+  std::uint64_t crossings(std::string_view seam) const;
+  /// Snapshot of the (bounded) fired-fault log, oldest first.
+  std::vector<FiredFault> fired_log() const;
+  /// {"seed": "0x...", "fired": N, "logged": M, "faults": [...]} — what the
+  /// daemon prints at drain and the soak driver attaches to a failure report.
+  obs::JsonValue log_json() const;
+
+ private:
+  struct SeamState {
+    explicit SeamState(FaultSpec s);
+    FaultSpec spec;
+    std::uint64_t name_hash = 0;  ///< FNV-1a of the seam name, mixed per draw
+    std::atomic<std::uint64_t> crossings{0};
+  };
+  /// Log entries reference the map node's key (stable for the plan's life)
+  /// so firing records nothing but trivially-copyable words.
+  struct LogEntry {
+    const std::string* seam;
+    std::uint64_t call_index;
+    std::uint64_t schedule_index;
+    std::int64_t value;
+  };
+
+  std::uint64_t seed_;
+  std::map<std::string, SeamState, std::less<>> seams_;
+  std::atomic<std::uint64_t> fired_count_{0};
+  mutable std::mutex log_mu_;
+  std::vector<LogEntry> log_;
+};
+
+/// RAII: installs the plan as the process failpoint hook for a scope.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan& plan) { install_failpoint_hook(&plan); }
+  ~ScopedFaultPlan() { install_failpoint_hook(nullptr); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace perfbg::chaos

@@ -1,0 +1,122 @@
+#include "chaos/invariants.hpp"
+
+#include <utility>
+
+namespace perfbg::chaos {
+
+void InvariantChecker::add_violation_locked(std::string invariant,
+                                            std::string detail) {
+  ++violation_count_;
+  if (violations_.size() < kMaxDetailedViolations)
+    violations_.push_back(Violation{std::move(invariant), std::move(detail)});
+}
+
+void InvariantChecker::on_response(const std::string& key,
+                                   const std::string& trace,
+                                   const std::string& payload, bool ok,
+                                   bool cached, bool coalesced) {
+  if (!ok) return;  // error responses carry no payload contract
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  KeyState& state = keys_[key];
+  if (state.payload.empty()) {
+    state.payload = payload;
+  } else if (state.payload != payload) {
+    add_violation_locked(
+        "divergent_payload",
+        "key '" + key + "' trace " + trace + ": got '" + payload +
+            "', previously '" + state.payload + "'");
+  }
+  if (!cached && !coalesced) {
+    // A leader execution acknowledged to a client: the daemon journaled it
+    // (fsync'd) before completing the flight, so it must survive any kill
+    // that happens from now on.
+    state.acked_leader = true;
+    if (!trace.empty()) state.acked_traces.insert(trace);
+  }
+}
+
+void InvariantChecker::check_journal(const runner::JournalIndex& index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, state] : keys_) {
+    if (!state.acked_leader) continue;
+    ++checks_;
+    const runner::JournalRecord* record = index.find(key);
+    if (record == nullptr) {
+      add_violation_locked("lost_ack",
+                           "key '" + key + "' was acked by a leader execution "
+                           "but is missing from journal '" + index.path() + "'");
+      continue;
+    }
+    if (record->ok() && record->payload.dump() != state.payload) {
+      add_violation_locked(
+          "journal_divergence",
+          "key '" + key + "': journal has '" + record->payload.dump() +
+              "', clients saw '" + state.payload + "'");
+    }
+  }
+}
+
+void InvariantChecker::check_warm_start(const std::string& key,
+                                        const std::string& payload,
+                                        bool cached) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  if (!cached) {
+    add_violation_locked("warm_start",
+                         "journaled key '" + key +
+                             "' was served cold (cached=false) after restart");
+  }
+  const auto it = keys_.find(key);
+  if (it != keys_.end() && !it->second.payload.empty() &&
+      it->second.payload != payload) {
+    add_violation_locked("warm_start",
+                         "key '" + key + "': warm-started payload '" + payload +
+                             "' != pre-kill payload '" + it->second.payload + "'");
+  }
+}
+
+void InvariantChecker::check_counters(int life, std::uint64_t total,
+                                      std::uint64_t ok, std::uint64_t error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  if (total != ok + error) {
+    add_violation_locked(
+        "counter_conservation",
+        "life " + std::to_string(life) + ": requests.total=" +
+            std::to_string(total) + " != ok+error=" + std::to_string(ok + error));
+  }
+}
+
+std::uint64_t InvariantChecker::checks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checks_;
+}
+
+std::uint64_t InvariantChecker::violation_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violation_count_;
+}
+
+std::vector<Violation> InvariantChecker::violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_;
+}
+
+obs::JsonValue InvariantChecker::report_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::JsonValue v = obs::JsonValue::object();
+  v.set("checks", obs::JsonValue(checks_));
+  v.set("violations", obs::JsonValue(violation_count_));
+  obs::JsonValue details = obs::JsonValue::array();
+  for (const Violation& violation : violations_) {
+    obs::JsonValue d = obs::JsonValue::object();
+    d.set("invariant", obs::JsonValue(violation.invariant));
+    d.set("detail", obs::JsonValue(violation.detail));
+    details.push_back(std::move(d));
+  }
+  v.set("details", std::move(details));
+  return v;
+}
+
+}  // namespace perfbg::chaos

@@ -1,0 +1,95 @@
+// The crash-recovery contract, as executable checks (DESIGN.md §15).
+//
+// The soak driver (examples/perfbgd_chaos.cpp) feeds one InvariantChecker
+// every response its client herds collect across every daemon life, then
+// audits the survivors after each kill. The contract it asserts:
+//
+//   lost_ack            Every OK response served by a *leader execution*
+//                       (cached=false, coalesced=false — the daemon solved it
+//                       and journals it before completing the flight) must
+//                       appear in the journal that survives the kill.
+//   divergent_payload   A key answered twice must be answered byte-identically
+//                       (solver determinism end to end: leader, cache hits,
+//                       coalesced followers, warm-started lives).
+//   journal_divergence  The journaled payload for a key must byte-match what
+//                       clients were told.
+//   warm_start          After a restart with --warm-start, a key that was in
+//                       the journal must be served cached:true with the same
+//                       payload as before the kill.
+//   counter_conservation  statusz must satisfy requests.total == ok + error
+//                       at every scrape (no request vanishes between the
+//                       admission counter and an outcome counter).
+//
+// Payload strings are the compact dump of the response's `result` object,
+// which excludes timing fields — byte comparison is meaningful.
+//
+// Thread-safe: client herd threads call on_response() concurrently; the
+// driver calls the check_*() audits between lives.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "runner/journal.hpp"
+
+namespace perfbg::chaos {
+
+struct Violation {
+  std::string invariant;  ///< which contract clause broke (names above)
+  std::string detail;     ///< key, traces, and both byte strings where useful
+};
+
+class InvariantChecker {
+ public:
+  /// At most this many violations keep their detail text; the count keeps
+  /// running past it (one broken invariant usually breaks it thousands of
+  /// times — the first few repros are what matter).
+  static constexpr std::size_t kMaxDetailedViolations = 256;
+
+  /// A response a client collected. `payload` is the compact dump of the
+  /// response's result object ("" for error responses).
+  void on_response(const std::string& key, const std::string& trace,
+                   const std::string& payload, bool ok, bool cached,
+                   bool coalesced);
+
+  /// After a life ends: every acked leader execution must be in `index`.
+  void check_journal(const runner::JournalIndex& index);
+
+  /// A warm-start probe at life start for a key the journal holds: must be
+  /// served from cache, byte-identical to what clients saw before the kill.
+  void check_warm_start(const std::string& key, const std::string& payload,
+                        bool cached);
+
+  /// statusz conservation at a scrape: requests.total == ok + error.
+  void check_counters(int life, std::uint64_t total, std::uint64_t ok,
+                      std::uint64_t error);
+
+  std::uint64_t checks() const;
+  std::uint64_t violation_count() const;
+  /// The detailed violations (bounded by kMaxDetailedViolations).
+  std::vector<Violation> violations() const;
+  /// {"checks": N, "violations": N, "details": [...]} for the soak report.
+  obs::JsonValue report_json() const;
+
+ private:
+  struct KeyState {
+    std::string payload;  ///< first OK payload seen; all others must match
+    std::set<std::string> acked_traces;  ///< traces of acked leader executions
+    bool acked_leader = false;
+  };
+
+  void add_violation_locked(std::string invariant, std::string detail);
+
+  mutable std::mutex mu_;
+  std::map<std::string, KeyState> keys_;
+  std::vector<Violation> violations_;
+  std::uint64_t violation_count_ = 0;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace perfbg::chaos

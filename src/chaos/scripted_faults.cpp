@@ -1,0 +1,64 @@
+#include "chaos/scripted_faults.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace perfbg::chaos {
+
+bool ScriptedIoFaults::on_read(int, std::size_t& len, ssize_t& result, int& err) {
+  const std::uint64_t n = reads.fetch_add(1, std::memory_order_relaxed);
+  if (read_eagain_storms.fetch_sub(1, std::memory_order_relaxed) > 0) {
+    result = -1;
+    err = EAGAIN;
+    return true;
+  }
+  read_eagain_storms.store(0, std::memory_order_relaxed);
+  if (n >= read_eof_after.load(std::memory_order_relaxed)) {
+    result = 0;  // simulated orderly disconnect
+    return true;
+  }
+  if (max_read_chunk > 0 && len > max_read_chunk) len = max_read_chunk;
+  return false;  // real recv, possibly shortened
+}
+
+bool ScriptedIoFaults::on_write(int, std::size_t&, ssize_t& result, int& err) {
+  const std::uint64_t n = writes.fetch_add(1, std::memory_order_relaxed);
+  if (n >= write_reset_after.load(std::memory_order_relaxed)) {
+    result = -1;
+    err = ECONNRESET;
+    return true;
+  }
+  return false;
+}
+
+bool PlannedIoFaults::on_read(int, std::size_t& len, ssize_t& result, int& err) {
+  if (plan_->evaluate("io.read.eof") != 0) {
+    result = 0;
+    return true;
+  }
+  if (plan_->evaluate("io.read.eagain") != 0) {
+    result = -1;
+    err = EAGAIN;
+    return true;
+  }
+  if (const std::int64_t cap = plan_->evaluate("io.read.short");
+      cap > 0 && len > static_cast<std::size_t>(cap)) {
+    len = static_cast<std::size_t>(cap);
+  }
+  return false;
+}
+
+bool PlannedIoFaults::on_write(int, std::size_t&, ssize_t& result, int& err) {
+  if (plan_->evaluate("io.write.reset") != 0) {
+    result = -1;
+    err = ECONNRESET;
+    return true;
+  }
+  if (const std::int64_t delay_ms = plan_->evaluate("io.write.delay_ms");
+      delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return false;
+}
+
+}  // namespace perfbg::chaos

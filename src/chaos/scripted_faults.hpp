@@ -1,0 +1,89 @@
+// IO fault injectors for the perfbgd socket layer (server::IoFaultInjector).
+//
+// Two flavours share the one production seam:
+//
+//   ScriptedIoFaults — hand-placed scripts (short reads, EAGAIN storms,
+//     EOF-after-N, reset-after-N) for unit tests that need one precise
+//     misbehaviour at one precise moment. Promoted here from
+//     tests/fault_injection.hpp so examples and tests link one
+//     implementation instead of sharing a header copy.
+//
+//   PlannedIoFaults — a FaultPlan adapter: every read/write crossing consults
+//     the plan's io.* seams, so socket chaos replays from the same
+//     `--chaos-seed` as the in-process failpoints. Seams:
+//       io.read.eof        read reports EOF (mid-frame disconnect)
+//       io.read.eagain     read fails with EAGAIN (absorbed by io_read)
+//       io.read.short      read length capped at the seam's value bytes
+//       io.write.reset     write fails with ECONNRESET
+//       io.write.delay_ms  write stalls the seam's value in ms, then proceeds
+//
+// Install with install_io_fault_injector(&faults) before starting the daemon
+// and clear (nullptr) after stopping it. All state is atomic: the injector is
+// consulted concurrently from every connection/worker thread, and the suite
+// runs under -fsanitize=thread in CI.
+#pragma once
+
+#include <errno.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "chaos/fault_plan.hpp"
+#include "server/io.hpp"
+
+namespace perfbg::chaos {
+
+/// Scripted misbehaviour for the daemon's read/write paths:
+///   - short reads: cap every recv at `max_read_chunk` bytes, so frames
+///     arrive one sliver at a time and the LineReader must reassemble;
+///   - EAGAIN storms: the first `read_eagain_storms` reads fail with EAGAIN
+///     (io_read must absorb and retry, not error the connection);
+///   - mid-frame disconnect: reads report EOF after `read_eof_after` read
+///     calls have been admitted;
+///   - write resets: writes fail with ECONNRESET after `write_reset_after`
+///     write calls (a peer vanishing mid-response must drop one connection,
+///     never the daemon).
+class ScriptedIoFaults : public server::IoFaultInjector {
+ public:
+  static constexpr std::uint64_t kNever = UINT64_MAX;
+
+  std::size_t max_read_chunk = 0;  ///< 0 = unlimited
+  std::atomic<std::int64_t> read_eagain_storms{0};
+  std::atomic<std::uint64_t> read_eof_after{kNever};
+  std::atomic<std::uint64_t> write_reset_after{kNever};
+
+  std::atomic<std::uint64_t> reads{0};   ///< read calls observed
+  std::atomic<std::uint64_t> writes{0};  ///< write calls observed
+
+  bool on_read(int fd, std::size_t& len, ssize_t& result, int& err) override;
+  bool on_write(int fd, std::size_t& len, ssize_t& result, int& err) override;
+};
+
+/// FaultPlan-driven socket chaos (seams listed in the header comment). The
+/// plan outlives the injector; both are installed/cleared around the daemon's
+/// lifetime by the chaos driver.
+class PlannedIoFaults : public server::IoFaultInjector {
+ public:
+  explicit PlannedIoFaults(FaultPlan& plan) : plan_(&plan) {}
+
+  bool on_read(int fd, std::size_t& len, ssize_t& result, int& err) override;
+  bool on_write(int fd, std::size_t& len, ssize_t& result, int& err) override;
+
+ private:
+  FaultPlan* plan_;
+};
+
+/// RAII installer so a throwing test cannot leave the process-global hook
+/// pointing at a dead injector.
+class ScopedIoFaults {
+ public:
+  explicit ScopedIoFaults(server::IoFaultInjector& faults) {
+    server::install_io_fault_injector(&faults);
+  }
+  ~ScopedIoFaults() { server::install_io_fault_injector(nullptr); }
+  ScopedIoFaults(const ScopedIoFaults&) = delete;
+  ScopedIoFaults& operator=(const ScopedIoFaults&) = delete;
+};
+
+}  // namespace perfbg::chaos

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/span.hpp"
+#include "util/failpoint.hpp"
 
 namespace perfbg::obs {
 
@@ -32,6 +33,12 @@ FlightRecorder::FlightRecorder(std::size_t capacity)
 
 std::uint64_t FlightRecorder::record(RequestTrace trace) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (failpoint("obs.recorder.append") != 0) {
+    // Injected allocation failure: drop the record whole — a lossy ring is
+    // fine, a ring holding a half-moved entry is not.
+    ++dropped_;
+    return 0;
+  }
   trace.seq = ++total_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(trace));
@@ -50,6 +57,11 @@ std::size_t FlightRecorder::size() const {
 std::uint64_t FlightRecorder::total() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 std::vector<RequestTrace> FlightRecorder::snapshot() const {

@@ -52,13 +52,17 @@ class FlightRecorder {
   explicit FlightRecorder(std::size_t capacity);
 
   /// Stores one completed request, overwriting the oldest entry when full.
-  /// Assigns and returns the entry's sequence number.
+  /// Assigns and returns the entry's sequence number — or 0 (seq is 1-based)
+  /// when the `obs.recorder.append` failpoint dropped the record whole: the
+  /// ring never holds a torn entry, recording just becomes lossy.
   std::uint64_t record(RequestTrace trace);
 
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
   /// Requests recorded over the recorder's lifetime (>= size()).
   std::uint64_t total() const;
+  /// Records dropped by the `obs.recorder.append` failpoint (0 in production).
+  std::uint64_t dropped() const;
 
   /// Entries oldest-first.
   std::vector<RequestTrace> snapshot() const;
@@ -72,6 +76,7 @@ class FlightRecorder {
   std::vector<RequestTrace> ring_;  ///< reserved to capacity_ up front
   std::size_t next_ = 0;            ///< ring index the next record lands in
   std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 /// Top-K requests by wall time, the "slow-request log" surfaced by tracez.

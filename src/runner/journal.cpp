@@ -1,11 +1,15 @@
 #include "runner/journal.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "util/failpoint.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #define PERFBG_HAVE_FSYNC 1
 #endif
@@ -112,6 +116,24 @@ JournalIndex JournalIndex::load(const std::string& path,
   return index;
 }
 
+JournalIndex JournalIndex::load_with_rotation(const std::string& path,
+                                              const std::string& expected_sweep_id) {
+  const std::string rotated = path + ".1";
+  std::error_code ec;
+  const bool have_rotated = std::filesystem::exists(rotated, ec) && !ec;
+  const bool have_current = std::filesystem::exists(path, ec) && !ec;
+  if (!have_rotated) return load(path, expected_sweep_id);
+
+  JournalIndex index = load(rotated, expected_sweep_id);
+  index.path_ = path;
+  if (!have_current) return index;  // crashed between rename and fresh header
+  JournalIndex current = load(path, expected_sweep_id);
+  for (auto& [hash, record] : current.by_hash_)
+    index.by_hash_[hash] = std::move(record);
+  index.sweep_id_ = std::move(current.sweep_id_);
+  return index;
+}
+
 const JournalRecord* JournalIndex::find(const std::string& key) const {
   const auto it = by_hash_.find(hash_hex(fnv1a64(key)));
   if (it == by_hash_.end() || it->second.key != key) return nullptr;
@@ -131,16 +153,64 @@ void sync_file(std::FILE* f) {
 #endif
 }
 
+/// fsync the directory holding `path`: a freshly created or renamed file is
+/// only durable once its directory entry is, and the file's own fsync does
+/// not cover that. Best-effort no-op where unsupported.
+void sync_parent_dir(const std::string& path) {
+#if defined(PERFBG_HAVE_FSYNC)
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+/// Cut a torn final line (no trailing '\n': the append a crash interrupted)
+/// before reopening for append. Readers skip torn lines, but a *writer* that
+/// appends after one would concatenate the fragment with the next record and
+/// corrupt both, so the fragment must go before the first new byte lands.
+void truncate_torn_tail(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) return;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  std::uint64_t retained = 0;  // bytes up to and including the last '\n'
+  std::uint64_t pos = 0;
+  char buf[1 << 16];
+  while (in) {
+    in.read(buf, sizeof buf);
+    const std::streamsize n = in.gcount();
+    for (std::streamsize i = 0; i < n; ++i)
+      if (buf[i] == '\n') retained = pos + static_cast<std::uint64_t>(i) + 1;
+    pos += static_cast<std::uint64_t>(n);
+  }
+  in.close();
+  if (retained < size) std::filesystem::resize_file(path, retained, ec);
+}
+
 }  // namespace
 
-JournalWriter::JournalWriter(std::string path, std::string sweep_id)
-    : path_(std::move(path)) {
+JournalWriter::JournalWriter(std::string path, std::string sweep_id,
+                             std::uint64_t max_bytes)
+    : path_(std::move(path)), sweep_id_(std::move(sweep_id)), max_bytes_(max_bytes) {
+  truncate_torn_tail(path_);
+  std::lock_guard<std::mutex> lock(mu_);
+  open_for_append_locked();
+}
+
+void JournalWriter::open_for_append_locked() {
   file_ = std::fopen(path_.c_str(), "ab");
   if (!file_) throw std::runtime_error("cannot open sweep journal '" + path_ + "'");
   if (std::ftell(file_) == 0) {
     obs::JsonValue header = obs::JsonValue::object();
     header.set("schema", obs::JsonValue(kSweepJournalSchema));
-    header.set("sweep_id", obs::JsonValue(std::move(sweep_id)));
+    header.set("sweep_id", obs::JsonValue(sweep_id_));
     const std::string line = header.dump() + "\n";
     if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
       std::fclose(file_);
@@ -149,10 +219,34 @@ JournalWriter::JournalWriter(std::string path, std::string sweep_id)
     }
     std::fflush(file_);
     sync_file(file_);
+    // Make the file's existence durable, not just its header bytes.
+    sync_parent_dir(path_);
   }
 }
 
+void JournalWriter::maybe_rotate_locked(std::size_t incoming_bytes) {
+  if (max_bytes_ == 0 || !file_) return;
+  const long current = std::ftell(file_);
+  if (current <= 0) return;
+  if (static_cast<std::uint64_t>(current) + incoming_bytes <= max_bytes_) return;
+  std::fflush(file_);
+  sync_file(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+  const std::string rotated = path_ + ".1";
+  if (std::rename(path_.c_str(), rotated.c_str()) != 0) {
+    // Rotation is best-effort: keep appending to the oversized file rather
+    // than lose records (availability over the size cap).
+    open_for_append_locked();
+    return;
+  }
+  sync_parent_dir(path_);
+  ++rotations_;
+  open_for_append_locked();
+}
+
 JournalWriter::~JournalWriter() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file_) {
     std::fflush(file_);
     sync_file(file_);
@@ -160,9 +254,19 @@ JournalWriter::~JournalWriter() {
   }
 }
 
+std::uint64_t JournalWriter::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
+}
+
 void JournalWriter::append(const JournalRecord& record) {
   const std::string line = record.to_json().dump() + "\n";
   std::lock_guard<std::mutex> lock(mu_);
+  if (!file_) return;
+  if (failpoint("runner.journal.append") != 0)
+    throw std::runtime_error("sweep journal write failed for '" + path_ +
+                             "' (injected fault)");
+  maybe_rotate_locked(line.size());
   if (!file_) return;
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
     throw std::runtime_error("sweep journal write failed for '" + path_ + "'");

@@ -21,6 +21,17 @@
 // re-journals into the same file). Reading is strict where misuse hides bugs:
 // a missing/mismatched schema header or a sweep_id that does not match the
 // resuming tool throws std::invalid_argument (exit 2, usage error).
+//
+// Crash-consistency beyond the record fsync:
+//   - the parent directory is fsync'd after the file is created or rotated,
+//     so the *name* survives a power cut, not just the bytes;
+//   - JournalWriter truncates a torn final line before appending (appending
+//     after a torn tail would concatenate the fragment with the next record,
+//     corrupting both — skipping on read is not enough once we write again);
+//   - an optional size cap rotates the file by atomic rename to `<path>.1`
+//     (single generation, the previous `.1` is replaced) and starts a fresh
+//     journal with its own header; JournalIndex::load_with_rotation() merges
+//     `<path>.1` then `<path>`, newest record per hash winning.
 #pragma once
 
 #include <cstdint>
@@ -68,6 +79,13 @@ class JournalIndex {
   static JournalIndex load(const std::string& path,
                            const std::string& expected_sweep_id = "");
 
+  /// Like load(), but rotation-aware: merges `<path>.1` (when present) then
+  /// `<path>`, the newer file winning per hash. Tolerates `<path>` missing
+  /// when `<path>.1` exists — the crash window between a rotation's rename
+  /// and the fresh file's header write leaves exactly that state on disk.
+  static JournalIndex load_with_rotation(const std::string& path,
+                                         const std::string& expected_sweep_id = "");
+
   const std::string& sweep_id() const { return sweep_id_; }
   /// The file this index was loaded from (so a writer can tell whether it is
   /// appending to the same journal or compacting into a fresh one).
@@ -93,20 +111,35 @@ class JournalIndex {
 /// flushes, and fsyncs, so a completed point survives any later crash.
 class JournalWriter {
  public:
-  /// Opens `path` for appending, writing the schema header first when the
-  /// file is new or empty. Throws std::runtime_error on I/O failure.
-  JournalWriter(std::string path, std::string sweep_id);
+  /// Opens `path` for appending, truncating a torn final line first and
+  /// writing the schema header when the file is new or empty. `max_bytes`
+  /// (0 = unlimited) caps the file: an append that would cross the cap first
+  /// rotates the file to `<path>.1` by atomic rename (replacing any previous
+  /// `.1`) and starts a fresh journal. Throws std::runtime_error on I/O
+  /// failure.
+  JournalWriter(std::string path, std::string sweep_id, std::uint64_t max_bytes = 0);
   ~JournalWriter();
   JournalWriter(const JournalWriter&) = delete;
   JournalWriter& operator=(const JournalWriter&) = delete;
 
   const std::string& path() const { return path_; }
+  /// How many times append() has rotated the file since construction.
+  std::uint64_t rotations() const;
 
+  /// Throws std::runtime_error when the line cannot be written (real I/O
+  /// failure or the `runner.journal.append` failpoint); the record is then
+  /// NOT durable and the caller must not acknowledge it as journaled.
   void append(const JournalRecord& record);
 
  private:
+  void open_for_append_locked();
+  void maybe_rotate_locked(std::size_t incoming_bytes);
+
   std::string path_;
-  std::mutex mu_;
+  std::string sweep_id_;
+  std::uint64_t max_bytes_ = 0;
+  std::uint64_t rotations_ = 0;
+  mutable std::mutex mu_;
   std::FILE* file_ = nullptr;
 };
 

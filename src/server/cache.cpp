@@ -1,10 +1,21 @@
 #include "server/cache.hpp"
 
+#include "util/failpoint.hpp"
+
 namespace perfbg::server {
 
 bool Flight::complete(obs::JsonValue result, obs::JsonValue health,
                       std::string error_code, std::string error_message,
                       double wall_ms) {
+  if (error_code.empty() && failpoint("server.flight.complete") != 0) {
+    // Injected allocation failure while landing a success: the waiters must
+    // wake with a typed error — never a torn outcome, never a hang on a
+    // flight that cannot land.
+    result = obs::JsonValue();
+    health = obs::JsonValue();
+    error_code = "kUnclassified";
+    error_message = "flight completion failed (injected allocation fault)";
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (done_) return false;
@@ -115,6 +126,12 @@ void SolutionCache::seed(std::uint64_t hash, CacheEntry entry) {
 
 void SolutionCache::insert_locked(std::uint64_t hash, CacheEntry entry) {
   if (capacity_ == 0) return;
+  if (failpoint("server.cache.insert") != 0) {
+    // Injected allocation failure: drop the entry whole — no LRU node without
+    // a map slot or vice versa — and the cost is one future re-solve.
+    if (metrics_) metrics_->add("server.cache.insert_failed");
+    return;
+  }
   if (auto it = entries_.find(hash); it != entries_.end()) {
     it->second.entry = std::move(entry);
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);

@@ -11,6 +11,7 @@
 #include "runner/sweep_runner.hpp"
 #include "server/io.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace perfbg::server {
 
@@ -76,7 +77,8 @@ void Daemon::start() {
         "server.drain.begun", "server.drain.forced", "server.trace.requests",
         "server.trace.generated", "server.trace.client_supplied",
         "server.recorder.records", "server.recorder.dumps",
-        "server.recorder.dump_failed"})
+        "server.recorder.dump_failed", "server.recorder.dropped",
+        "server.cache.insert_failed", "server.journal.write_failed"})
     metrics_.add(name, 0);
   // End-to-end request latency (accept to response ready), with trace-id
   // exemplars on the buckets so a tail spike links to a concrete trace.
@@ -499,7 +501,15 @@ void Daemon::execute(WorkItem& item) {
   std::string message;
   obs::TraceContext solve_ctx = wspan.context();
   solve_ctx.trace_id = item.trace.trace_id;
+  // Chaos seams: a scheduler-stall stand-in (the worker holds its queue slot
+  // while time passes, so deadlines and the watchdog see a slow solve) and a
+  // hard abort (the solve dies outside the solver's own taxonomy).
+  if (const std::int64_t stall = failpoint("server.worker.stall_ms"); stall > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall));
   try {
+    if (failpoint("server.worker.abort") != 0)
+      throw Error(ErrorCode::kInterrupted,
+                  "solve aborted by injected worker fault (server.worker.abort)");
     result = run_model(item.request, token, solve_ctx, health, cache_ok);
   } catch (const Error& e) {
     code = error_code_name(e.code());
@@ -521,22 +531,29 @@ void Daemon::execute(WorkItem& item) {
     report_.add_error(std::move(err));
   }
 
-  // Publish the cache entry and the breaker outcome BEFORE completing the
-  // flight: complete() wakes the waiters, and a client that reacts instantly
-  // to its response must read its own write — the follow-up identical request
-  // hits the cache, and a probe's class is already closed (or re-tripped),
-  // never observed stale. Seeding directly (instead of letting finish() read
-  // the flight) also means a valid result the watchdog already evicted still
-  // lands in the cache: it is correct, just slow.
+  // Publish the cache entry, the journal record, and the breaker outcome
+  // BEFORE completing the flight: complete() wakes the waiters, and a client
+  // that reacts instantly to its response must read its own write — the
+  // follow-up identical request hits the cache, and a probe's class is
+  // already closed (or re-tripped), never observed stale. Seeding directly
+  // (instead of letting finish() read the flight) also means a valid result
+  // the watchdog already evicted still lands in the cache: it is correct,
+  // just slow.
+  //
+  // The journal in particular MUST land (fsync'd) before complete(): a
+  // response sent to a client is an acknowledgement, and an ack that a
+  // SIGKILL one instruction later could erase from the journal breaks the
+  // crash-recovery contract the chaos soak asserts.
   if (code.empty() && cache_ok)
     cache_.seed(item.hash, CacheEntry{result, health, wall});
+  journal_outcome(item.flight->key(), result, code, message, wall,
+                  item.trace.trace_id);
   breaker_.report(model_class(item.request), code, message, item.probe);
   // First completion wins: if the watchdog already evicted this flight the
   // waiters keep their deadline answer.
   if (!item.flight->complete(result, health, code, message, wall))
     metrics_.add("server.solve.late_result");
   cache_.finish(item.hash, item.flight, false);  // retire the flight only
-  journal_outcome(item.flight);
 }
 
 obs::JsonValue Daemon::run_model(const Request& request, const CancellationToken& token,
@@ -633,17 +650,26 @@ obs::JsonValue Daemon::run_model(const Request& request, const CancellationToken
   return body;
 }
 
-void Daemon::journal_outcome(const std::shared_ptr<Flight>& flight) {
+void Daemon::journal_outcome(const std::string& key, const obs::JsonValue& result,
+                             const std::string& code, const std::string& message,
+                             double wall_ms, std::uint64_t trace_id) {
   if (!options_.journal) return;
   runner::JournalRecord record;
-  record.key = flight->key();
-  record.payload = flight->ok() ? flight->result() : obs::JsonValue();
-  record.error_code = flight->error_code();
-  record.error_message = flight->error_message();
-  record.wall_ms = flight->wall_ms();
-  if (flight->trace_id() != 0) record.trace = obs::trace_id_hex(flight->trace_id());
-  options_.journal->append(record);
-  metrics_.add("server.journal.records");
+  record.key = key;
+  record.payload = code.empty() ? result : obs::JsonValue();
+  record.error_code = code;
+  record.error_message = message;
+  record.wall_ms = wall_ms;
+  if (trace_id != 0) record.trace = obs::trace_id_hex(trace_id);
+  try {
+    options_.journal->append(record);
+    metrics_.add("server.journal.records");
+  } catch (const std::exception&) {
+    // A journal write failure (disk, or the runner.journal.append failpoint)
+    // must degrade the *journal*, not kill a worker thread via an unwound
+    // std::terminate. The request is still answered; the record is the loss.
+    metrics_.add("server.journal.write_failed");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -661,7 +687,14 @@ void Daemon::watchdog_loop() {
     else if (level >= 1)
       begin_drain();
 
-    const Clock::time_point now = Clock::now();
+    // Chaos seam: a clock jump ages every armed deadline at once. The tick's
+    // `now` reads chaos_now(), so eviction decisions (and the evicted
+    // flights' reported ages) follow the jumped clock.
+    if (const std::int64_t jump = failpoint("server.watchdog.clock_jump_ms");
+        jump != 0)
+      add_clock_skew_ms(static_cast<double>(jump));
+
+    const Clock::time_point now = chaos_now();
     const auto grace = std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double, std::milli>(options_.watchdog_grace_ms));
     for (const std::shared_ptr<Flight>& flight : cache_.inflight()) {
@@ -869,8 +902,10 @@ std::uint64_t Daemon::next_trace_id() {
 
 void Daemon::record_request(obs::RequestTrace trace) {
   slow_log_.offer(trace);
-  recorder_.record(std::move(trace));
-  metrics_.add("server.recorder.records");
+  if (recorder_.record(std::move(trace)) == 0)
+    metrics_.add("server.recorder.dropped");
+  else
+    metrics_.add("server.recorder.records");
 }
 
 obs::JsonValue Daemon::tracez() const {

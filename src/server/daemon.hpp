@@ -211,7 +211,12 @@ class Daemon {
   void watchdog_loop();
   void reap_finished_connections(bool join_all);
   void write_report_snapshot();
-  void journal_outcome(const std::shared_ptr<Flight>& flight);
+  /// Appends one served-outcome record (fsync'd) — called BEFORE the flight
+  /// completes so no acknowledged response can miss the journal. Swallows
+  /// write failures into `server.journal.write_failed`.
+  void journal_outcome(const std::string& key, const obs::JsonValue& result,
+                       const std::string& code, const std::string& message,
+                       double wall_ms, std::uint64_t trace_id);
 
   /// Nonzero, process-unique trace id for a request that supplied none.
   std::uint64_t next_trace_id();

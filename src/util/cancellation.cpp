@@ -1,6 +1,7 @@
 #include "util/cancellation.hpp"
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace perfbg {
 
@@ -18,8 +19,9 @@ CancelReason CancellationToken::state() const {
   const int r = reason_.load(std::memory_order_relaxed);
   if (r != static_cast<int>(CancelReason::kNone)) return static_cast<CancelReason>(r);
   const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
-  if (deadline != kNoDeadline &&
-      std::chrono::steady_clock::now().time_since_epoch().count() >= deadline) {
+  // chaos_now(): the deadline comparison honours injected clock jumps, so a
+  // chaos run can age an armed deadline without waiting it out in wall time.
+  if (deadline != kNoDeadline && chaos_now().time_since_epoch().count() >= deadline) {
     // Latch so every subsequent check is a plain flag read.
     int expected = static_cast<int>(CancelReason::kNone);
     reason_.compare_exchange_strong(expected, static_cast<int>(CancelReason::kDeadline),

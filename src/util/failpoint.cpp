@@ -1,0 +1,37 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+
+namespace perfbg {
+
+namespace {
+
+std::atomic<FailpointHook*> g_hook{nullptr};
+std::atomic<std::int64_t> g_skew_ns{0};
+
+}  // namespace
+
+void install_failpoint_hook(FailpointHook* hook) {
+  g_hook.store(hook, std::memory_order_release);
+}
+
+std::int64_t failpoint(const char* name) {
+  FailpointHook* hook = g_hook.load(std::memory_order_acquire);
+  return hook ? hook->evaluate(name) : 0;
+}
+
+std::chrono::steady_clock::time_point chaos_now() {
+  const std::int64_t skew = g_skew_ns.load(std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  return skew == 0 ? now : now + std::chrono::nanoseconds(skew);
+}
+
+void add_clock_skew_ms(double ms) {
+  g_skew_ns.fetch_add(static_cast<std::int64_t>(ms * 1e6), std::memory_order_relaxed);
+}
+
+void reset_clock_skew() { g_skew_ns.store(0, std::memory_order_relaxed); }
+
+std::int64_t clock_skew_ns() { return g_skew_ns.load(std::memory_order_relaxed); }
+
+}  // namespace perfbg

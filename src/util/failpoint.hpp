@@ -1,0 +1,81 @@
+// Failpoints: named fault-injection seams compiled into production code.
+//
+// A failpoint is one call — `failpoint("server.cache.insert")` — placed where
+// a rare failure (allocation, write error, scheduler stall) is possible in
+// production but nearly impossible to provoke in a test. With no hook
+// installed the call is a single relaxed atomic load returning 0, cheap
+// enough to leave in every hot path. A chaos run installs a FailpointHook
+// (src/chaos/fault_plan.hpp drives one from a seeded schedule) and the seams
+// start firing deterministically; the code around each seam must then degrade
+// the way its comments promise — drop the cache entry, surface a typed error,
+// count the failure — instead of corrupting state or hanging.
+//
+// The same header owns the chaos clock: `chaos_now()` is steady_clock::now()
+// plus an injectable skew, used by the daemon watchdog and the cancellation
+// token's deadline latch so clock-jump faults can age deadlines without
+// waiting wall-clock time. Production pays one relaxed load; the skew is only
+// ever written by chaos drivers and tests.
+//
+// Registered seams (grep for the literal to find the degrade path):
+//   server.cache.insert        memo-cache node allocation (entry dropped)
+//   server.flight.complete     storing a flight outcome (typed error to waiters)
+//   obs.recorder.append        flight-recorder ring store (record dropped whole)
+//   runner.journal.append      journal line write (typed failure to the caller)
+//   server.worker.stall_ms     worker stalls for the returned ms before solving
+//   server.worker.abort        worker aborts the solve with a typed error
+//   server.watchdog.clock_jump_ms  watchdog applies the returned ms as skew
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace perfbg {
+
+/// Decides whether a named seam fires. evaluate() is called concurrently from
+/// every thread that crosses a seam; implementations must be thread-safe and
+/// must not throw (a failpoint that itself fails defeats the experiment).
+class FailpointHook {
+ public:
+  virtual ~FailpointHook() = default;
+  /// Nonzero = the seam fires; the magnitude is seam-specific (a stall
+  /// duration in ms, a skew in ms, or just 1 for yes/no seams).
+  virtual std::int64_t evaluate(const char* name) noexcept = 0;
+};
+
+/// Installs (or, with nullptr, clears) the process-global hook. Chaos/test
+/// only; not safe against in-flight evaluate() calls of a *different* hook,
+/// so install before the threads that cross seams start and clear after they
+/// stop (same contract as server::install_io_fault_injector).
+void install_failpoint_hook(FailpointHook* hook);
+
+/// The seam call: 0 when no hook is installed (one relaxed atomic load),
+/// otherwise whatever the hook decides for `name`.
+std::int64_t failpoint(const char* name);
+
+/// RAII installer so a throwing test cannot leave the global hook pointing at
+/// a dead object.
+class ScopedFailpointHook {
+ public:
+  explicit ScopedFailpointHook(FailpointHook& hook) { install_failpoint_hook(&hook); }
+  ~ScopedFailpointHook() { install_failpoint_hook(nullptr); }
+  ScopedFailpointHook(const ScopedFailpointHook&) = delete;
+  ScopedFailpointHook& operator=(const ScopedFailpointHook&) = delete;
+};
+
+// ---------------------------------------------------------------------------
+// Chaos clock
+
+/// steady_clock::now() shifted by the injected skew. Deadline *comparisons*
+/// (watchdog eviction, cancellation-token latching) read this clock so a
+/// chaos run can jump time forward and age every armed deadline at once;
+/// durations and telemetry keep using the real clock.
+std::chrono::steady_clock::time_point chaos_now();
+
+/// Adds `ms` to the injected skew (negative jumps backwards). Chaos/test only.
+void add_clock_skew_ms(double ms);
+/// Clears the skew back to real time.
+void reset_clock_skew();
+/// Current skew in nanoseconds (0 in production).
+std::int64_t clock_skew_ns();
+
+}  // namespace perfbg

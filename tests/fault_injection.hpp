@@ -11,16 +11,12 @@
 // is to violate the library's preconditions.
 #pragma once
 
-#include <errno.h>
-
-#include <atomic>
 #include <cstddef>
-#include <cstdint>
 #include <limits>
 
+#include "chaos/scripted_faults.hpp"
 #include "core/model.hpp"
 #include "qbd/qbd.hpp"
-#include "server/io.hpp"
 #include "workloads/presets.hpp"
 
 namespace perfbg::testing {
@@ -75,72 +71,12 @@ inline qbd::QbdProcess inject(qbd::QbdProcess p, Fault fault) {
 }
 
 // ---------------------------------------------------------------------------
-// Socket/IO fault hooks (server::IoFaultInjector seam).
-//
-// Install with install_io_fault_injector(&faults) before starting the daemon
-// and clear (nullptr) after stopping it. All state is atomic: the injector is
-// consulted concurrently from every connection/worker thread, and the suite
-// runs under -fsanitize=thread in CI.
+// Socket/IO fault hooks: ScriptedIoFaults/ScopedIoFaults graduated into the
+// linkable perfbg_faults library (chaos/scripted_faults.hpp) so examples and
+// tests share one seam implementation. Aliased here so existing tests keep
+// reading naturally.
 
-/// Scripted misbehaviour for the daemon's read/write paths:
-///   - short reads: cap every recv at `max_read_chunk` bytes, so frames
-///     arrive one sliver at a time and the LineReader must reassemble;
-///   - EAGAIN storms: the first `read_eagain_storms` reads fail with EAGAIN
-///     (io_read must absorb and retry, not error the connection);
-///   - mid-frame disconnect: reads report EOF after `read_eof_after` read
-///     calls have been admitted;
-///   - write resets: writes fail with ECONNRESET after `write_reset_after`
-///     write calls (a peer vanishing mid-response must drop one connection,
-///     never the daemon).
-class ScriptedIoFaults : public server::IoFaultInjector {
- public:
-  static constexpr std::uint64_t kNever = UINT64_MAX;
-
-  std::size_t max_read_chunk = 0;            ///< 0 = unlimited
-  std::atomic<std::int64_t> read_eagain_storms{0};
-  std::atomic<std::uint64_t> read_eof_after{kNever};
-  std::atomic<std::uint64_t> write_reset_after{kNever};
-
-  std::atomic<std::uint64_t> reads{0};   ///< read calls observed
-  std::atomic<std::uint64_t> writes{0};  ///< write calls observed
-
-  bool on_read(int, std::size_t& len, ssize_t& result, int& err) override {
-    const std::uint64_t n = reads.fetch_add(1, std::memory_order_relaxed);
-    if (read_eagain_storms.fetch_sub(1, std::memory_order_relaxed) > 0) {
-      result = -1;
-      err = EAGAIN;
-      return true;
-    }
-    read_eagain_storms.store(0, std::memory_order_relaxed);
-    if (n >= read_eof_after.load(std::memory_order_relaxed)) {
-      result = 0;  // simulated orderly disconnect
-      return true;
-    }
-    if (max_read_chunk > 0 && len > max_read_chunk) len = max_read_chunk;
-    return false;  // real recv, possibly shortened
-  }
-
-  bool on_write(int, std::size_t&, ssize_t& result, int& err) override {
-    const std::uint64_t n = writes.fetch_add(1, std::memory_order_relaxed);
-    if (n >= write_reset_after.load(std::memory_order_relaxed)) {
-      result = -1;
-      err = ECONNRESET;
-      return true;
-    }
-    return false;
-  }
-};
-
-/// RAII installer so a throwing test cannot leave the process-global hook
-/// pointing at a dead injector.
-class ScopedIoFaults {
- public:
-  explicit ScopedIoFaults(ScriptedIoFaults& faults) {
-    server::install_io_fault_injector(&faults);
-  }
-  ~ScopedIoFaults() { server::install_io_fault_injector(nullptr); }
-  ScopedIoFaults(const ScopedIoFaults&) = delete;
-  ScopedIoFaults& operator=(const ScopedIoFaults&) = delete;
-};
+using ScriptedIoFaults = chaos::ScriptedIoFaults;
+using ScopedIoFaults = chaos::ScopedIoFaults;
 
 }  // namespace perfbg::testing

@@ -1,0 +1,453 @@
+// Tests for the chaos engine (src/chaos) and the failure seams it drives:
+// deterministic fault schedules and their replay contract, spec parsing,
+// allocation-failure injection at the cache/flight/recorder/journal seams,
+// journal rotation and torn-tail crash recovery, clock-skew injection, the
+// decorrelated-jitter backoff, and the soak driver's invariant checker.
+#include <gtest/gtest.h>
+#include <stdlib.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "chaos/backoff.hpp"
+#include "chaos/fault_plan.hpp"
+#include "chaos/invariants.hpp"
+#include "chaos/scripted_faults.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "runner/journal.hpp"
+#include "server/cache.hpp"
+#include "util/cancellation.hpp"
+#include "util/failpoint.hpp"
+
+namespace {
+
+using perfbg::chaos::DecorrelatedJitter;
+using perfbg::chaos::FaultPlan;
+using perfbg::chaos::FaultSpec;
+using perfbg::chaos::FiredFault;
+using perfbg::chaos::InvariantChecker;
+using perfbg::chaos::PlannedIoFaults;
+using perfbg::chaos::ScopedFaultPlan;
+using perfbg::chaos::derive_seed;
+using perfbg::chaos::splitmix64_next;
+using perfbg::obs::JsonValue;
+
+std::string make_temp_dir() {
+  std::string tmpl =
+      (std::filesystem::temp_directory_path() / "perfbg_chaos_XXXXXX").string();
+  char* dir = ::mkdtemp(tmpl.data());
+  EXPECT_NE(dir, nullptr);
+  return dir != nullptr ? std::string(dir) : std::string();
+}
+
+// ---------------------------------------------------------------------------
+// splitmix64 / seed derivation
+
+TEST(ChaosSplitmix, MatchesReferenceVector) {
+  // Vigna's reference outputs for state 0 — pins the generator so fault
+  // schedules recorded by one build replay on every other build.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64_next(state), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(splitmix64_next(state), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(splitmix64_next(state), 0x06c45d188009454full);
+}
+
+TEST(ChaosSplitmix, DeriveSeedIsPureAndStreamSeparated) {
+  EXPECT_EQ(derive_seed(42, 0), derive_seed(42, 0));
+  EXPECT_NE(derive_seed(42, 0), derive_seed(42, 1));
+  EXPECT_NE(derive_seed(42, 0), derive_seed(43, 0));
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan: spec parsing, determinism, gating
+
+TEST(ChaosFaultPlan, ParseSpecs) {
+  EXPECT_TRUE(FaultPlan::parse_specs("").empty());
+
+  const std::vector<FaultSpec> specs =
+      FaultPlan::parse_specs("server.cache.insert:0.5,io.write.delay_ms:0.1:250:100");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].seam, "server.cache.insert");
+  EXPECT_DOUBLE_EQ(specs[0].rate, 0.5);
+  EXPECT_EQ(specs[0].value, 1);
+  EXPECT_EQ(specs[0].after, 0u);
+  EXPECT_EQ(specs[1].seam, "io.write.delay_ms");
+  EXPECT_DOUBLE_EQ(specs[1].rate, 0.1);
+  EXPECT_EQ(specs[1].value, 250);
+  EXPECT_EQ(specs[1].after, 100u);
+
+  EXPECT_THROW(FaultPlan::parse_specs("seamwithoutrate"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse_specs("seam:1.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse_specs("seam:-0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse_specs("seam:abc"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse_specs(":0.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse_specs("a:0.1:1:2:3"), std::invalid_argument);
+}
+
+TEST(ChaosFaultPlan, SameSeedReplaysByteExactly) {
+  const auto specs = FaultPlan::parse_specs("test.seam:0.25");
+  FaultPlan a(7, specs);
+  FaultPlan b(7, specs);
+  std::vector<std::int64_t> fired_a, fired_b;
+  for (int i = 0; i < 1000; ++i) fired_a.push_back(a.evaluate("test.seam"));
+  for (int i = 0; i < 1000; ++i) fired_b.push_back(b.evaluate("test.seam"));
+  EXPECT_EQ(fired_a, fired_b);
+  EXPECT_EQ(a.fired_count(), b.fired_count());
+  EXPECT_GT(a.fired_count(), 0u);
+  EXPECT_LT(a.fired_count(), 1000u);
+
+  // The fired logs match fault-for-fault: same crossings, same ordinals.
+  const std::vector<FiredFault> log_a = a.fired_log();
+  const std::vector<FiredFault> log_b = b.fired_log();
+  ASSERT_EQ(log_a.size(), log_b.size());
+  for (std::size_t i = 0; i < log_a.size(); ++i) {
+    EXPECT_EQ(log_a[i].seam, "test.seam");
+    EXPECT_EQ(log_a[i].call_index, log_b[i].call_index);
+    EXPECT_EQ(log_a[i].schedule_index, i + 1);
+  }
+
+  // A different seed builds a different schedule.
+  FaultPlan c(8, specs);
+  std::vector<std::int64_t> fired_c;
+  for (int i = 0; i < 1000; ++i) fired_c.push_back(c.evaluate("test.seam"));
+  EXPECT_NE(fired_a, fired_c);
+}
+
+TEST(ChaosFaultPlan, AfterGateAndValue) {
+  FaultPlan plan(1, FaultPlan::parse_specs("seam:1:7:10"));
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(plan.evaluate("seam"), 0) << "crossing " << i << " is gated";
+  EXPECT_EQ(plan.evaluate("seam"), 7);
+  EXPECT_EQ(plan.crossings("seam"), 11u);
+}
+
+TEST(ChaosFaultPlan, UnregisteredSeamsAndBareFailpointsNeverFire) {
+  // No hook installed: the production fast path is one relaxed load -> 0.
+  EXPECT_EQ(perfbg::failpoint("server.cache.insert"), 0);
+
+  FaultPlan plan(1, FaultPlan::parse_specs("only.this:1"));
+  ScopedFaultPlan installed(plan);
+  EXPECT_EQ(perfbg::failpoint("some.other.seam"), 0);
+  EXPECT_EQ(perfbg::failpoint("only.this"), 1);
+  EXPECT_EQ(plan.crossings("some.other.seam"), 0u);
+}
+
+TEST(ChaosFaultPlan, LogJsonNamesSeedAndFaults) {
+  FaultPlan plan(3, FaultPlan::parse_specs("s:1:5"));
+  plan.evaluate("s");
+  const JsonValue v = plan.log_json();
+  ASSERT_NE(v.find("seed"), nullptr);
+  EXPECT_EQ(v.find("fired")->as_int(), 1);
+  ASSERT_NE(v.find("faults"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-failure seams: cache insert, flight completion, recorder append
+
+TEST(ChaosAllocFault, CacheInsertFailureDropsEntryWhole) {
+  perfbg::obs::MetricsRegistry metrics;
+  perfbg::server::SolutionCache cache(8, &metrics);
+  const std::string key = "model|u=0.5";
+  const std::uint64_t hash = perfbg::runner::fnv1a64(key);
+
+  {
+    FaultPlan plan(1, FaultPlan::parse_specs("server.cache.insert:1"));
+    ScopedFaultPlan installed(plan);
+    perfbg::server::Lookup lookup = cache.lookup(hash, key);
+    ASSERT_EQ(lookup.outcome, perfbg::server::Lookup::Outcome::kLeader);
+    lookup.flight->complete(perfbg::obs::parse_json("{\"a\":1}"), JsonValue(),
+                            "", "", 1.0);
+    cache.finish(hash, lookup.flight, /*cache_result=*/true);
+    EXPECT_EQ(cache.size(), 0u) << "failed insert must not leave a torn slot";
+    EXPECT_EQ(metrics.counter("server.cache.insert_failed"), 1u);
+    EXPECT_EQ(cache.inflight_count(), 0u) << "the flight still retires";
+  }
+
+  // Hook gone: the same key re-solves and caches normally.
+  perfbg::server::Lookup retry = cache.lookup(hash, key);
+  ASSERT_EQ(retry.outcome, perfbg::server::Lookup::Outcome::kLeader);
+  retry.flight->complete(perfbg::obs::parse_json("{\"a\":1}"), JsonValue(), "",
+                         "", 1.0);
+  cache.finish(hash, retry.flight, true);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup(hash, key).outcome,
+            perfbg::server::Lookup::Outcome::kHit);
+}
+
+TEST(ChaosAllocFault, FlightCompletionFailureIsTypedNeverAHang) {
+  FaultPlan plan(1, FaultPlan::parse_specs("server.flight.complete:1"));
+  ScopedFaultPlan installed(plan);
+  perfbg::server::Flight flight("k");
+  EXPECT_TRUE(flight.complete(perfbg::obs::parse_json("{\"a\":1}"), JsonValue(),
+                              "", "", 1.0));
+  // Waiters wake immediately with a typed error, not a torn success.
+  EXPECT_TRUE(flight.done());
+  EXPECT_FALSE(flight.ok());
+  EXPECT_EQ(flight.error_code(), "kUnclassified");
+  EXPECT_TRUE(flight.result().is_null());
+}
+
+TEST(ChaosAllocFault, RecorderAppendDropsRecordWhole) {
+  perfbg::obs::FlightRecorder recorder(4);
+  perfbg::obs::RequestTrace trace;
+  trace.trace_id = 1;
+  trace.outcome = "ok";
+  EXPECT_NE(recorder.record(trace), 0u);
+  EXPECT_EQ(recorder.size(), 1u);
+
+  {
+    FaultPlan plan(1, FaultPlan::parse_specs("obs.recorder.append:1"));
+    ScopedFaultPlan installed(plan);
+    EXPECT_EQ(recorder.record(trace), 0u) << "0 = dropped whole";
+    EXPECT_EQ(recorder.size(), 1u) << "no torn ring entry";
+    EXPECT_EQ(recorder.dropped(), 1u);
+  }
+  EXPECT_NE(recorder.record(trace), 0u);
+  EXPECT_EQ(recorder.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Journal hardening: injected append failure, rotation, torn-tail recovery
+
+perfbg::runner::JournalRecord make_record(const std::string& key, double x) {
+  perfbg::runner::JournalRecord record;
+  record.key = key;
+  record.payload = JsonValue(x);
+  record.wall_ms = 1.0;
+  return record;
+}
+
+TEST(ChaosJournal, InjectedAppendFailureThrowsAndRecovers) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/j.jsonl";
+  perfbg::runner::JournalWriter writer(path, "t");
+  writer.append(make_record("k0", 0.0));
+  {
+    FaultPlan plan(1, FaultPlan::parse_specs("runner.journal.append:1"));
+    ScopedFaultPlan installed(plan);
+    EXPECT_THROW(writer.append(make_record("k1", 1.0)), std::runtime_error);
+  }
+  writer.append(make_record("k2", 2.0));
+
+  const auto index = perfbg::runner::JournalIndex::load(path, "t");
+  EXPECT_NE(index.find("k0"), nullptr);
+  EXPECT_EQ(index.find("k1"), nullptr) << "the failed append left no line";
+  EXPECT_NE(index.find("k2"), nullptr);
+}
+
+TEST(ChaosJournal, RotationKeepsServingAndMergedLoadSeesBothFiles) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/j.jsonl";
+  perfbg::runner::JournalWriter writer(path, "t", /*max_bytes=*/400);
+  const int n = 12;
+  for (int i = 0; i < n; ++i)
+    writer.append(make_record("k" + std::to_string(i), i));
+  EXPECT_GE(writer.rotations(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(path + ".1"));
+
+  // The merged view spans the current file and the newest rotated window;
+  // the latest records are always present.
+  const auto index = perfbg::runner::JournalIndex::load_with_rotation(path, "t");
+  EXPECT_NE(index.find("k" + std::to_string(n - 1)), nullptr);
+  EXPECT_GE(index.size(), 2u);
+  // Both files independently carry a valid schema header.
+  EXPECT_NO_THROW(perfbg::runner::JournalIndex::load(path, "t"));
+  EXPECT_NO_THROW(perfbg::runner::JournalIndex::load(path + ".1", "t"));
+}
+
+TEST(ChaosJournal, TornTailIsTruncatedOnReopen) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/j.jsonl";
+  {
+    perfbg::runner::JournalWriter writer(path, "t");
+    writer.append(make_record("k0", 0.0));
+    writer.append(make_record("k1", 1.0));
+  }
+  // A SIGKILL mid-append leaves a partial final line with no newline.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char torn[] = "{\"key\": \"torn-rec";
+    std::fwrite(torn, 1, sizeof(torn) - 1, f);
+    std::fclose(f);
+  }
+  const auto before = std::filesystem::file_size(path);
+  {
+    // Reopening for append truncates the torn tail, so the next record is a
+    // clean line instead of being glued onto the fragment.
+    perfbg::runner::JournalWriter writer(path, "t");
+    writer.append(make_record("k2", 2.0));
+  }
+  EXPECT_LT(std::filesystem::file_size(path), before + 200)
+      << "torn bytes were dropped, not kept";
+  const auto index = perfbg::runner::JournalIndex::load(path, "t");
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_NE(index.find("k0"), nullptr);
+  EXPECT_NE(index.find("k1"), nullptr);
+  EXPECT_NE(index.find("k2"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Clock-skew injection
+
+TEST(ChaosClock, SkewJumpsChaosNowAndFiresDeadlines) {
+  perfbg::reset_clock_skew();
+  const auto before = perfbg::chaos_now();
+  perfbg::add_clock_skew_ms(5000.0);
+  const auto after = perfbg::chaos_now();
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(after - before)
+                .count(),
+            5000);
+
+  // A token with a one-minute budget fires the moment the clock jumps past
+  // it — the watchdog-vs-clock-jump behaviour the chaos seam exists to test.
+  perfbg::CancellationToken token;
+  token.set_deadline_after_ms(60000.0);
+  EXPECT_EQ(token.state(), perfbg::CancelReason::kNone);
+  perfbg::add_clock_skew_ms(120000.0);
+  EXPECT_EQ(token.state(), perfbg::CancelReason::kDeadline);
+
+  perfbg::reset_clock_skew();
+  EXPECT_EQ(perfbg::clock_skew_ns(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Planned IO faults
+
+TEST(ChaosIoFaults, PlannedSeamsDriveTheInjectorDeterministically) {
+  {
+    FaultPlan plan(1, FaultPlan::parse_specs("io.read.eof:1"));
+    PlannedIoFaults faults(plan);
+    std::size_t len = 100;
+    ssize_t result = -42;
+    int err = 0;
+    EXPECT_TRUE(faults.on_read(0, len, result, err));
+    EXPECT_EQ(result, 0) << "EOF injection";
+  }
+  {
+    FaultPlan plan(1, FaultPlan::parse_specs("io.read.short:1:16"));
+    PlannedIoFaults faults(plan);
+    std::size_t len = 100;
+    ssize_t result = 0;
+    int err = 0;
+    EXPECT_FALSE(faults.on_read(0, len, result, err)) << "real recv, capped";
+    EXPECT_EQ(len, 16u);
+  }
+  // Same seed -> the same write-reset schedule, drawn through the injector.
+  const auto specs = FaultPlan::parse_specs("io.write.reset:0.5");
+  FaultPlan plan_a(9, specs), plan_b(9, specs);
+  PlannedIoFaults faults_a(plan_a), faults_b(plan_b);
+  for (int i = 0; i < 200; ++i) {
+    std::size_t len = 10;
+    ssize_t ra = 0, rb = 0;
+    int ea = 0, eb = 0;
+    EXPECT_EQ(faults_a.on_write(0, len, ra, ea), faults_b.on_write(0, len, rb, eb))
+        << "write " << i;
+  }
+  EXPECT_GT(plan_a.fired_count(), 0u);
+  EXPECT_EQ(plan_a.fired_count(), plan_b.fired_count());
+}
+
+// ---------------------------------------------------------------------------
+// Backoff
+
+TEST(ChaosBackoff, JitterIsBoundedAndSeedDeterministic) {
+  DecorrelatedJitter a(10.0, 500.0, 42);
+  DecorrelatedJitter b(10.0, 500.0, 42);
+  DecorrelatedJitter c(10.0, 500.0, 43);
+  bool any_diff_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const double ms = a.next_ms();
+    EXPECT_GE(ms, 10.0);
+    EXPECT_LE(ms, 500.0);
+    EXPECT_DOUBLE_EQ(ms, b.next_ms()) << "draw " << i;
+    if (ms != c.next_ms()) any_diff_from_c = true;
+  }
+  EXPECT_TRUE(any_diff_from_c);
+  EXPECT_EQ(a.draws(), 100u);
+  // reset() cools the sequence back toward base without rewinding the PRNG.
+  a.reset();
+  EXPECT_LE(a.next_ms(), 3.0 * 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// InvariantChecker
+
+TEST(ChaosInvariants, CleanRunHasNoViolations) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/j.jsonl";
+  const std::string payload = "{\"x\":1}";
+
+  InvariantChecker checker;
+  checker.on_response("k1", "aa", payload, true, false, false);  // leader ack
+  checker.on_response("k1", "bb", payload, true, true, false);   // cache hit
+  checker.on_response("k1", "cc", payload, true, false, true);   // coalesced
+  checker.on_response("k2", "dd", "", false, false, false);      // typed error
+
+  {
+    perfbg::runner::JournalWriter writer(path, "t");
+    perfbg::runner::JournalRecord record;
+    record.key = "k1";
+    record.payload = perfbg::obs::parse_json(payload);
+    writer.append(record);
+  }
+  checker.check_journal(perfbg::runner::JournalIndex::load(path, "t"));
+  checker.check_warm_start("k1", payload, /*cached=*/true);
+  checker.check_counters(0, 10, 6, 4);
+  EXPECT_EQ(checker.violation_count(), 0u);
+  EXPECT_GT(checker.checks(), 0u);
+}
+
+TEST(ChaosInvariants, DetectsEveryContractBreak) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/j.jsonl";
+  { perfbg::runner::JournalWriter writer(path, "t"); }  // header only
+
+  InvariantChecker checker;
+  checker.on_response("k1", "aa", "{\"x\":1}", true, false, false);
+  // divergent_payload: same key answered differently.
+  checker.on_response("k1", "bb", "{\"x\":2}", true, true, false);
+  // lost_ack: the acked leader execution is missing from the journal.
+  checker.check_journal(perfbg::runner::JournalIndex::load(path, "t"));
+  // warm_start: served cold, and served with the wrong bytes.
+  checker.check_warm_start("k1", "{\"x\":1}", /*cached=*/false);
+  checker.check_warm_start("k1", "{\"x\":3}", /*cached=*/true);
+  // counter_conservation: a request vanished between the counters.
+  checker.check_counters(3, 10, 5, 4);
+
+  ASSERT_EQ(checker.violation_count(), 5u);
+  const auto violations = checker.violations();
+  ASSERT_EQ(violations.size(), 5u);
+  EXPECT_EQ(violations[0].invariant, "divergent_payload");
+  EXPECT_EQ(violations[1].invariant, "lost_ack");
+  EXPECT_EQ(violations[2].invariant, "warm_start");
+  EXPECT_EQ(violations[3].invariant, "warm_start");
+  EXPECT_EQ(violations[4].invariant, "counter_conservation");
+
+  const JsonValue report = checker.report_json();
+  EXPECT_EQ(report.find("violations")->as_int(), 5);
+}
+
+TEST(ChaosInvariants, JournalDivergenceIsDetected) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/j.jsonl";
+  {
+    perfbg::runner::JournalWriter writer(path, "t");
+    perfbg::runner::JournalRecord record;
+    record.key = "k1";
+    record.payload = perfbg::obs::parse_json("{\"x\":999}");
+    writer.append(record);
+  }
+  InvariantChecker checker;
+  checker.on_response("k1", "aa", "{\"x\":1}", true, false, false);
+  checker.check_journal(perfbg::runner::JournalIndex::load(path, "t"));
+  ASSERT_EQ(checker.violation_count(), 1u);
+  EXPECT_EQ(checker.violations()[0].invariant, "journal_divergence");
+}
+
+}  // namespace
