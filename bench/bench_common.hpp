@@ -18,6 +18,7 @@
 #include "core/model.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
+#include "qbd/warm_start.hpp"
 #include "runner/sweep_runner.hpp"
 #include "traffic/map_process.hpp"
 #include "util/error.hpp"
@@ -268,6 +269,22 @@ inline qbd::RSolverOptions point_solver_options(const runner::PointContext& ctx)
   return opts;
 }
 
+/// Process-wide R-seed cache backing --warm-start sweeps: one entry per model
+/// class, refreshed after every successful solve of that class.
+inline qbd::RSeedCache& sweep_seed_cache() {
+  static qbd::RSeedCache cache;
+  return cache;
+}
+
+/// Warm-start model-class key: every sweep coordinate except the load axis.
+/// Adjacent utilization points of one panel share the key, so each solve
+/// seeds the next one along the load grid.
+inline std::string warm_start_class_key(const std::string& workload, double p,
+                                        double idle_wait_intensity, int bg_buffer) {
+  return workload + "|p=" + format_number(p, 6) + "|idle=" +
+         format_number(idle_wait_intensity, 6) + "|X=" + std::to_string(bg_buffer);
+}
+
 /// Deterministic identity of one sweep point for health records: matches the
 /// journal-key style but carries only model coordinates (no panel title), so
 /// the same point solved by different panels sorts together.
@@ -336,8 +353,24 @@ inline core::FgBgMetrics solve_point(const traffic::MarkovianArrivalProcess& pro
   params.idle_wait_intensity = idle_wait_intensity;
   obs::MetricsRegistry* metrics = BenchRun::active_metrics();
   if (metrics) metrics->add("bench.solve_points");
-  const qbd::RSolverOptions opts = solver_opts ? *solver_opts : qbd::RSolverOptions{};
+  qbd::RSolverOptions opts = solver_opts ? *solver_opts : qbd::RSolverOptions{};
+  // --warm-start: seed this point's R iteration from the previous solve of
+  // the same model class. Sequential sweeps only — with --jobs > 1 the solve
+  // order (and so each point's seed and iteration count) would depend on
+  // scheduling, breaking the byte-stable parallel reports. A retry attempt
+  // never warm-starts: it is descending the fallback ladder on purpose.
+  const runner::RunnerOptions runner_opts = BenchRun::active_runner_options();
+  const bool warm =
+      runner_opts.warm_start && runner_opts.jobs <= 1 && opts.start_rung == 0;
+  std::string class_key;
+  if (warm) {
+    class_key = warm_start_class_key(process.name(), p, idle_wait_intensity, bg_buffer);
+    opts.warm_start = sweep_seed_cache().get(class_key);
+  }
   const core::FgBgSolution solution = core::FgBgModel(params, metrics).solve(opts);
+  if (warm)
+    sweep_seed_cache().put(class_key, solution.qbd().r_matrix(),
+                           solution.qbd().solver_stats().iterations);
   if (obs::RunReport* report = BenchRun::active_report()) {
     obs::SolveHealth health = solution.health();
     health.key = point_health_key(process.name(), utilization, p, bg_buffer);

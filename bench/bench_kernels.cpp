@@ -1,0 +1,165 @@
+// google-benchmark microbenchmarks of the structured linear-algebra kernels
+// (src/linalg): tiled dense GEMM vs matrix size, the cache-blocked transpose
+// and Kronecker product, CSR sparse·dense and banded·dense products on
+// QBD-shaped sparsity, and the extent-aware LU factor/solve. These are the
+// primitives the solver-level numbers in bench_perf_solver decompose into;
+// CI runs this binary warn-only so a kernel regression is visible next to
+// the solver baseline without gating merges on microbench noise.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstddef>
+
+#include "linalg/banded.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+
+namespace {
+
+using perfbg::linalg::Matrix;
+using perfbg::linalg::Vector;
+
+/// Deterministic pseudo-random fill (splitmix64): benchmarks must not depend
+/// on run-to-run RNG state.
+double next_value(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) / static_cast<double>(1ull << 53) - 0.5;
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  std::uint64_t s = seed;
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = next_value(s);
+  return m;
+}
+
+/// Square matrix with the QBD A-block shape: a dense diagonal band of the
+/// given half-width, strongly diagonally dominant (so LU never pivots into
+/// pathological growth).
+Matrix banded_matrix(std::size_t n, std::size_t half_width, std::uint64_t seed) {
+  Matrix m(n, n);
+  std::uint64_t s = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= half_width ? i - half_width : 0;
+    const std::size_t hi = i + half_width + 1 < n ? i + half_width + 1 : n;
+    for (std::size_t j = lo; j < hi; ++j) m(i, j) = next_value(s);
+    m(i, i) += 4.0 * static_cast<double>(half_width + 1);
+  }
+  return m;
+}
+
+void BM_Transpose(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix m = random_matrix(n, n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.transposed());
+  }
+}
+BENCHMARK(BM_Transpose)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_Kron(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 2);
+  const Matrix b = random_matrix(n, n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perfbg::linalg::kron(a, b));
+  }
+}
+BENCHMARK(BM_Kron)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Gemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 4);
+  const Matrix b = random_matrix(n, n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perfbg::linalg::multiply(a, b));
+  }
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Gemm)->Arg(16)->Arg(31)->Arg(64)->Arg(82)->Arg(128)->Arg(256);
+
+void BM_GemmAdd(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 6);
+  const Matrix b = random_matrix(n, n, 7);
+  Matrix c = random_matrix(n, n, 8);
+  for (auto _ : state) {
+    perfbg::linalg::gemm_add(a, b, c);
+    benchmark::DoNotOptimize(c.row_data(0));
+  }
+}
+BENCHMARK(BM_GemmAdd)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SparseLeftMultiply(benchmark::State& state) {
+  // C += A·S with S in CSR — the corner assembly A1 + R·A2 does exactly
+  // this, with S an A-block whose density is a thin band.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const perfbg::linalg::SparseMatrix s =
+      perfbg::linalg::SparseMatrix::from_dense(banded_matrix(n, 3, 9));
+  const Matrix a = random_matrix(n, n, 10);
+  Matrix c = random_matrix(n, n, 11);
+  for (auto _ : state) {
+    s.add_left_multiply(a, c);
+    benchmark::DoNotOptimize(c.row_data(0));
+  }
+  state.counters["nnz"] = benchmark::Counter(static_cast<double>(s.nnz()));
+}
+BENCHMARK(BM_SparseLeftMultiply)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SparseMultiplyDense(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const perfbg::linalg::SparseMatrix s =
+      perfbg::linalg::SparseMatrix::from_dense(banded_matrix(n, 3, 12));
+  const Matrix b = random_matrix(n, n, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.multiply_dense(b));
+  }
+}
+BENCHMARK(BM_SparseMultiplyDense)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BandedMultiplyDense(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const perfbg::linalg::BandedMatrix band =
+      perfbg::linalg::BandedMatrix::from_dense(banded_matrix(n, 3, 14));
+  const Matrix b = random_matrix(n, n, 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(band.multiply_dense(b));
+  }
+  state.counters["bandwidth"] = benchmark::Counter(static_cast<double>(band.band_width()));
+}
+BENCHMARK(BM_BandedMultiplyDense)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_LuFactor(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix m = banded_matrix(n, 5, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perfbg::linalg::LuDecomposition(m));
+  }
+}
+BENCHMARK(BM_LuFactor)->Arg(22)->Arg(82)->Arg(256);
+
+void BM_LuSolveLeftMatrix(benchmark::State& state) {
+  // Multi-RHS X A = B — the shape of the C_l = L_l Dt^{-1} step in the
+  // structured boundary recursion and of the A1-solve in functional
+  // iteration.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const perfbg::linalg::LuDecomposition lu(banded_matrix(n, 5, 17));
+  const Matrix b = random_matrix(n, n, 18);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lu.solve_left(b));
+  }
+}
+BENCHMARK(BM_LuSolveLeftMatrix)->Arg(22)->Arg(82)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -12,6 +12,8 @@
 // in the hot path costs one relaxed atomic load there.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/chain_builder.hpp"
 #include "core/model.hpp"
 #include "obs/metrics.hpp"
@@ -79,7 +81,28 @@ void BM_FullModelSolve(benchmark::State& state) {
       static_cast<double>(registry.counter("qbd.rsolve.iterations")) /
       static_cast<double>(registry.counter("qbd.solve.count")));
 }
-BENCHMARK(BM_FullModelSolve)->Arg(5)->Arg(10)->Arg(25);
+BENCHMARK(BM_FullModelSolve)->Arg(5)->Arg(10)->Arg(20)->Arg(25);
+
+void BM_FullModelSolve_WarmRepeat(benchmark::State& state) {
+  // Repeat-solve latency with an R seed from a previous solve of the same
+  // model class (--warm-start / --warm-start-r semantics): functional
+  // refinement of the seed replaces the cold log-reduction ladder. This is
+  // what the second and later solves of a sweep or a server's repeat queries
+  // actually cost, i.e. the flattened side of the bg_buffer cliff.
+  const core::FgBgModel model(params_for(static_cast<int>(state.range(0)), 0.3));
+  const core::FgBgSolution cold = model.solve();
+  qbd::RSolverOptions opts;
+  opts.warm_start = std::make_shared<qbd::RWarmStart>(
+      qbd::RWarmStart{cold.qbd().r_matrix(), cold.qbd().solver_stats().iterations});
+  int saved = 0;
+  for (auto _ : state) {
+    const core::FgBgSolution s = model.solve(opts);
+    saved = s.qbd().solver_stats().warm_start_iterations_saved;
+    benchmark::DoNotOptimize(s.metrics());
+  }
+  state.counters["iters_saved"] = benchmark::Counter(static_cast<double>(saved));
+}
+BENCHMARK(BM_FullModelSolve_WarmRepeat)->Arg(5)->Arg(10)->Arg(20)->Arg(25);
 
 void BM_FullModelSolve_NoMetrics(benchmark::State& state) {
   const core::FgBgModel model(params_for(static_cast<int>(state.range(0)), 0.3));
@@ -87,7 +110,7 @@ void BM_FullModelSolve_NoMetrics(benchmark::State& state) {
     benchmark::DoNotOptimize(model.solve().metrics());
   }
 }
-BENCHMARK(BM_FullModelSolve_NoMetrics)->Arg(5)->Arg(10)->Arg(25);
+BENCHMARK(BM_FullModelSolve_NoMetrics)->Arg(5)->Arg(10)->Arg(20)->Arg(25);
 
 void BM_FullModelSolve_WithSpans(benchmark::State& state) {
   // Full solve with a live SpanCollector: every instrumented scope records a

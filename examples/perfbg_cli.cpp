@@ -53,6 +53,7 @@
 #include "obs/report.hpp"
 #include "obs/span.hpp"
 #include "qbd/solution.hpp"
+#include "qbd/warm_start.hpp"
 #include "runner/sweep_runner.hpp"
 #include "sim/fgbg_simulator.hpp"
 #include "util/error.hpp"
@@ -138,6 +139,15 @@ int run_util_sweep(const std::vector<double>& utils,
   if (observing) options.metrics = &report.metrics();
 
   runner::SweepRunner sweep(options);
+  // --warm-start: sequential sweeps seed each point's R from the previous
+  // point of the same model class (the whole CLI sweep is one class — the
+  // utilization is the stepped axis). Retries stay on the cold ladder.
+  const auto seeds = std::make_shared<qbd::RSeedCache>();
+  const bool warm_sweep = options.warm_start && options.jobs <= 1;
+  const std::string seed_class =
+      base.name() + "|p=" + format_number(base_params.bg_probability, 6) +
+      "|idle=" + format_number(base_params.idle_wait_intensity, 6) +
+      "|X=" + std::to_string(base_params.bg_buffer);
   for (const double u : utils) {
     // Stable journal identity: workload + full parameter tuple.
     const std::string key =
@@ -145,14 +155,19 @@ int run_util_sweep(const std::vector<double>& utils,
         "|p=" + format_number(base_params.bg_probability, 6) +
         "|X=" + format_number(static_cast<double>(base_params.bg_buffer), 0) +
         "|iw=" + format_number(base_params.idle_wait_intensity, 6);
-    sweep.add(key, [&base, &base_params, mean_s, u, &report,
-                    observing](runner::PointContext& ctx) {
+    sweep.add(key, [&base, &base_params, mean_s, u, &report, observing, seeds,
+                    warm_sweep, seed_class](runner::PointContext& ctx) {
       core::FgBgParams params = base_params;
       params.arrivals = base.scaled_to_utilization(u, mean_s);
       qbd::RSolverOptions solver_opts;
       solver_opts.cancel = &ctx.token();
       solver_opts.start_rung = ctx.attempt() - 1;
+      const bool warm = warm_sweep && solver_opts.start_rung == 0;
+      if (warm) solver_opts.warm_start = seeds->get(seed_class);
       const core::FgBgSolution solution = core::FgBgModel(params).solve(solver_opts);
+      if (warm)
+        seeds->put(seed_class, solution.qbd().r_matrix(),
+                   solution.qbd().solver_stats().iterations);
       if (observing) {
         // add_health is thread-safe; sweep workers record concurrently.
         obs::SolveHealth health = solution.health();

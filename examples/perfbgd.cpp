@@ -61,6 +61,11 @@ perfbg::Flags make_flags() {
   flags.define("warm-start",
                "seed the cache from a previous life's served-request journal "
                "(rotation-aware: <path>.1 is merged when present)");
+  flags.define_switch("warm-start-r",
+                      "seed each solve's R iteration from the last R solved for "
+                      "the same model class (faster repeat/sweep solves; warm "
+                      "solves report different iteration counts, so leave off "
+                      "when byte-comparing daemon runs)");
   flags.define("chaos-seed",
                "install a deterministic fault plan seeded here; faults replay "
                "byte-exactly from the same seed (needs --chaos-faults)");
@@ -127,6 +132,7 @@ int main(int argc, char** argv) {
   options.max_frame_bytes =
       static_cast<std::size_t>(flags.get_int("max-frame-bytes", 1 << 20));
   options.enable_test_hooks = flags.get_bool("enable-test-hooks", false);
+  options.warm_start_r = flags.has("warm-start-r");
   options.report_path = flags.get_string("metrics-json", "");
   options.report_interval_ms = flags.get_double("report-interval-ms", 0.0);
   options.recorder_capacity =

@@ -1,5 +1,8 @@
 #include "core/chain_builder.hpp"
 
+#include <algorithm>
+
+#include "linalg/structure.hpp"
 #include "obs/span.hpp"
 #include "util/check.hpp"
 
@@ -14,8 +17,13 @@ using linalg::Vector;
 /// the combined phase count.
 void add_block(Matrix& m, std::size_t phases, std::size_t row, std::size_t col,
                const Matrix& block) {
-  for (std::size_t a = 0; a < phases; ++a)
-    for (std::size_t b = 0; b < phases; ++b) m(row * phases + a, col * phases + b) += block(a, b);
+  PERFBG_REQUIRE((row + 1) * phases <= m.rows() && (col + 1) * phases <= m.cols(),
+                 "macro block position out of range");
+  for (std::size_t a = 0; a < phases; ++a) {
+    double* dst = m.row_data(row * phases + a) + col * phases;
+    const double* src = block.row_data(a);
+    for (std::size_t b = 0; b < phases; ++b) dst[b] += src[b];
+  }
 }
 
 /// Sets the diagonal of macro row `row` of `diag_home` so the total row sum
@@ -227,7 +235,33 @@ qbd::QbdProcess build_fgbg_qbd(const FgBgParams& params, const FgBgLayout& layou
   for (std::size_t s = 0; s < rstates.size(); ++s)
     close_rows(q.a1, phases, s, {&q.a1, &q.a0, &q.a2});
 
+  // Boundary states are emitted level by level; record the level partition so
+  // the solution can use the block-tridiagonal boundary solve.
+  int last_level = -1;
+  for (std::size_t s = 0; s < bstates.size(); ++s) {
+    const int level = bstates[s].x + bstates[s].y;
+    PERFBG_ASSERT(level >= last_level, "boundary states must be level-ordered");
+    if (level != last_level) q.boundary_level_offsets.push_back(s * phases);
+    last_level = level;
+  }
+
+  // Detected structure of the repeating blocks, exported on the assembly
+  // span: the A-blocks are what every R-solver iteration touches, so their
+  // sparsity/bandwidth profile explains the solve cost at a glance.
+  const auto export_structure = [&span](const char* kind_key, const char* nnz_key,
+                                        const char* bw_key, const Matrix& block) {
+    const linalg::StructureInfo info = linalg::detect_structure(block);
+    span.attr(kind_key, obs::JsonValue(linalg::structure_kind_name(info.kind())))
+        .attr(nnz_key, obs::JsonValue(static_cast<std::int64_t>(info.nnz)))
+        .attr(bw_key, obs::JsonValue(static_cast<std::int64_t>(
+                          std::max(info.lower_bandwidth, info.upper_bandwidth))));
+  };
+  export_structure("a0.structure", "a0.nnz", "a0.bandwidth", q.a0);
+  export_structure("a1.structure", "a1.nnz", "a1.bandwidth", q.a1);
+  export_structure("a2.structure", "a2.nnz", "a2.bandwidth", q.a2);
+
   q.validate();
+  q.prevalidated = true;
   return q;
 }
 

@@ -1,0 +1,75 @@
+#include "linalg/banded.hpp"
+
+#include <algorithm>
+
+#include "linalg/structure.hpp"
+#include "obs/span.hpp"
+#include "util/check.hpp"
+
+namespace perfbg::linalg {
+
+BandedMatrix::BandedMatrix(std::size_t n, std::size_t lower, std::size_t upper)
+    : n_(n),
+      kl_(n == 0 ? 0 : std::min(lower, n - 1)),
+      ku_(n == 0 ? 0 : std::min(upper, n - 1)),
+      stripe_(n * (kl_ + ku_ + 1), 0.0) {}
+
+BandedMatrix BandedMatrix::from_dense(const Matrix& m) {
+  PERFBG_REQUIRE(m.is_square(), "banded storage requires a square matrix");
+  const StructureInfo info = detect_structure(m);
+  BandedMatrix b(m.rows(), info.lower_bandwidth, info.upper_bandwidth);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.row_data(i);
+    const std::size_t lo = i > b.kl_ ? i - b.kl_ : 0;
+    const std::size_t hi = std::min(m.cols(), i + b.ku_ + 1);
+    for (std::size_t j = lo; j < hi; ++j)
+      if (row[j] != 0.0) b.set(i, j, row[j]);
+  }
+  return b;
+}
+
+double BandedMatrix::at(std::size_t i, std::size_t j) const {
+  PERFBG_REQUIRE(i < n_ && j < n_, "banded index out of range");
+  if (j + kl_ < i || j > i + ku_) return 0.0;
+  return stripe_[i * band_width() + (j + kl_ - i)];
+}
+
+void BandedMatrix::set(std::size_t i, std::size_t j, double v) {
+  PERFBG_REQUIRE(i < n_ && j < n_, "banded index out of range");
+  PERFBG_REQUIRE(j + kl_ >= i && j <= i + ku_, "banded write outside the band");
+  stripe_[i * band_width() + (j + kl_ - i)] = v;
+}
+
+Matrix BandedMatrix::multiply_dense(const Matrix& d) const {
+  PERFBG_REQUIRE(n_ == d.rows(), "shape mismatch in banded * dense");
+  obs::ScopedSpan span("linalg.spmm");
+  Matrix c(n_, d.cols(), 0.0);
+  const std::size_t width = d.cols();
+  for (std::size_t i = 0; i < n_; ++i) {
+    double* ci = c.row_data(i);
+    const double* stripe = stripe_.data() + i * band_width();
+    const std::size_t lo = i > kl_ ? i - kl_ : 0;
+    const std::size_t hi = std::min(n_, i + ku_ + 1);
+    for (std::size_t k = lo; k < hi; ++k) {
+      const double v = stripe[k + kl_ - i];
+      if (v == 0.0) continue;
+      const double* dk = d.row_data(k);
+      for (std::size_t j = 0; j < width; ++j) ci[j] += v * dk[j];
+    }
+  }
+  return c;
+}
+
+Matrix BandedMatrix::to_dense() const {
+  Matrix m(n_, n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t lo = i > kl_ ? i - kl_ : 0;
+    const std::size_t hi = std::min(n_, i + ku_ + 1);
+    double* row = m.row_data(i);
+    for (std::size_t j = lo; j < hi; ++j)
+      row[j] = stripe_[i * band_width() + (j + kl_ - i)];
+  }
+  return m;
+}
+
+}  // namespace perfbg::linalg

@@ -1,0 +1,54 @@
+// Banded square-matrix storage and the banded * dense product kernel.
+//
+// Row-compressed band storage: row i holds columns [i - kl, i + ku] in a
+// contiguous stripe of width kl + ku + 1 (out-of-range slots are stored as
+// zeros so the kernels need no edge branches). The chain's A-blocks have
+// bandwidth O(phases) against dimension (2X+1) * phases, so the product
+// kernel does O(n^2 * bandwidth) work instead of O(n^3).
+//
+// There is deliberately no separate banded LU here: LuDecomposition
+// (linalg/lu.hpp) tracks per-row nonzero extents through the elimination, so
+// factoring a banded (or any profile/skyline) matrix through it already does
+// band-proportional work, including the partial-pivoting band growth, without
+// a second factorization code path to keep correct.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace perfbg::linalg {
+
+class BandedMatrix {
+ public:
+  /// n x n all-zero band with the given bandwidths (clamped to n - 1).
+  BandedMatrix(std::size_t n, std::size_t lower, std::size_t upper);
+
+  /// Captures a square matrix with its exact detected bandwidths. Entries
+  /// outside the detected band are exact zeros by construction.
+  static BandedMatrix from_dense(const Matrix& m);
+
+  std::size_t size() const { return n_; }
+  std::size_t lower() const { return kl_; }
+  std::size_t upper() const { return ku_; }
+  std::size_t band_width() const { return kl_ + ku_ + 1; }
+
+  /// Element access (read-only); zero outside the band.
+  double at(std::size_t i, std::size_t j) const;
+  /// Writes inside the band; throws outside it.
+  void set(std::size_t i, std::size_t j, double v);
+
+  /// C = B * D for a dense D with D.rows() == size().
+  Matrix multiply_dense(const Matrix& d) const;
+
+  Matrix to_dense() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t kl_ = 0;
+  std::size_t ku_ = 0;
+  std::vector<double> stripe_;  // n_ rows x band_width(), row-major
+};
+
+}  // namespace perfbg::linalg

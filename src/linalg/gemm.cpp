@@ -1,0 +1,162 @@
+#include "linalg/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "util/check.hpp"
+
+namespace perfbg::linalg {
+namespace {
+
+// Micro-kernel register tile: MR rows of A against NR columns of B.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+// Cache blocking: a KC x NC slab of B (~176 KiB) stays L2-resident while the
+// MC x KC slab of A (~240 KiB) streams through it one micro-panel at a time.
+constexpr std::size_t kKc = 256;
+constexpr std::size_t kMc = 120;
+constexpr std::size_t kNc = 1024;
+
+// C[mr x nr] (+/-)= Apanel[kc x MR] * Bpanel[kc x NR]. The panels are packed
+// k-major with fixed MR/NR minor strides and zero-padded tails, so the loads
+// are contiguous and the sixteen accumulators never leave registers; only the
+// writeback is bounded by the true tile size.
+template <int Sign>
+void micro_kernel(std::size_t kc, const double* __restrict a_panel,
+                  const double* __restrict b_panel, double* __restrict c,
+                  std::size_t ldc, std::size_t mr, std::size_t nr) {
+  double acc[kMr][kNr] = {};
+  for (std::size_t k = 0; k < kc; ++k) {
+    const double* a = a_panel + k * kMr;
+    const double* b = b_panel + k * kNr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const double av = a[r];
+      for (std::size_t c2 = 0; c2 < kNr; ++c2) acc[r][c2] += av * b[c2];
+    }
+  }
+  for (std::size_t r = 0; r < mr; ++r) {
+    double* crow = c + r * ldc;
+    for (std::size_t c2 = 0; c2 < nr; ++c2)
+      crow[c2] += Sign > 0 ? acc[r][c2] : -acc[r][c2];
+  }
+}
+
+// Packs A[i0 .. i0+mc, k0 .. k0+kc] into MR-row micro-panels, k-major within
+// each panel, zero-padding the last panel's missing rows.
+void pack_a(const Matrix& a, std::size_t i0, std::size_t mc, std::size_t k0,
+            std::size_t kc, double* dst) {
+  for (std::size_t ip = 0; ip < mc; ip += kMr) {
+    const std::size_t rows = std::min(kMr, mc - ip);
+    double* panel = dst + ip * kc;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* src = a.row_data(i0 + ip + r) + k0;
+      for (std::size_t k = 0; k < kc; ++k) panel[k * kMr + r] = src[k];
+    }
+    for (std::size_t r = rows; r < kMr; ++r)
+      for (std::size_t k = 0; k < kc; ++k) panel[k * kMr + r] = 0.0;
+  }
+}
+
+// Packs B[k0 .. k0+kc, j0 .. j0+nc] into NR-column micro-panels, k-major
+// within each panel, zero-padding the last panel's missing columns.
+void pack_b(const Matrix& b, std::size_t k0, std::size_t kc, std::size_t j0,
+            std::size_t nc, double* dst) {
+  for (std::size_t jp = 0; jp < nc; jp += kNr) {
+    const std::size_t cols = std::min(kNr, nc - jp);
+    double* panel = dst + jp * kc;
+    for (std::size_t k = 0; k < kc; ++k) {
+      const double* src = b.row_data(k0 + k) + j0 + jp;
+      double* out = panel + k * kNr;
+      for (std::size_t c = 0; c < cols; ++c) out[c] = src[c];
+      for (std::size_t c = cols; c < kNr; ++c) out[c] = 0.0;
+    }
+  }
+}
+
+template <int Sign>
+void gemm_tiled(const Matrix& a, const Matrix& b, Matrix& c) {
+  obs::ScopedSpan span("linalg.gemm");
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  // Pack buffers are per-thread scratch: sweep workers multiply concurrently.
+  thread_local std::vector<double> a_pack;
+  thread_local std::vector<double> b_pack;
+  a_pack.resize(kMc * kKc + kMr * kKc);
+  b_pack.resize(kKc * kNc + kNr * kKc);
+
+  for (std::size_t j0 = 0; j0 < n; j0 += kNc) {
+    const std::size_t nc = std::min(kNc, n - j0);
+    const std::size_t nc_panels = (nc + kNr - 1) / kNr;
+    for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
+      const std::size_t kc = std::min(kKc, k - k0);
+      pack_b(b, k0, kc, j0, nc, b_pack.data());
+      for (std::size_t i0 = 0; i0 < m; i0 += kMc) {
+        const std::size_t mc = std::min(kMc, m - i0);
+        const std::size_t mc_panels = (mc + kMr - 1) / kMr;
+        pack_a(a, i0, mc, k0, kc, a_pack.data());
+        for (std::size_t jp = 0; jp < nc_panels; ++jp) {
+          const std::size_t nr = std::min(kNr, nc - jp * kNr);
+          const double* b_panel = b_pack.data() + jp * kNr * kc;
+          for (std::size_t ip = 0; ip < mc_panels; ++ip) {
+            const std::size_t mr = std::min(kMr, mc - ip * kMr);
+            micro_kernel<Sign>(kc, a_pack.data() + ip * kMr * kc, b_panel,
+                               c.row_data(i0 + ip * kMr) + j0 + jp * kNr,
+                               c.cols(), mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+template <int Sign>
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t width = b.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_data(i);
+    double* ci = c.row_data(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = Sign > 0 ? ai[k] : -ai[k];
+      if (aik == 0.0) continue;
+      const double* bk = b.row_data(k);
+      for (std::size_t j = 0; j < width; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+template <int Sign>
+void gemm_dispatch(const Matrix& a, const Matrix& b, Matrix& c) {
+  PERFBG_REQUIRE(a.cols() == b.rows(), "shape mismatch in gemm");
+  PERFBG_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
+                 "accumulator shape mismatch in gemm");
+  const std::size_t min_dim = std::min({a.rows(), a.cols(), b.cols()});
+  if (min_dim < kGemmTileThreshold) {
+    gemm_naive<Sign>(a, b, c);
+  } else {
+    gemm_tiled<Sign>(a, b, c);
+  }
+}
+
+}  // namespace
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols(), 0.0);
+  if (a.rows() != 0 && a.cols() != 0 && b.cols() != 0)
+    gemm_dispatch<1>(a, b, c);
+  return c;
+}
+
+void gemm_add(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.rows() == 0 || a.cols() == 0 || b.cols() == 0) return;
+  gemm_dispatch<1>(a, b, c);
+}
+
+void gemm_sub(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.rows() == 0 || a.cols() == 0 || b.cols() == 0) return;
+  gemm_dispatch<-1>(a, b, c);
+}
+
+}  // namespace perfbg::linalg

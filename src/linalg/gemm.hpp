@@ -1,0 +1,33 @@
+// Cache-blocked, register-tiled dense GEMM.
+//
+// The naive row-major triple loop tops out well below machine throughput once
+// the operands outgrow L1 (the bg_buffer=20 chain has 82x82 iterates and a
+// ~1000-row boundary system). This kernel uses the classical three-level
+// blocking scheme (Goto-style): K and M are partitioned into KC x MC blocks,
+// the A block is packed into MR-row micro-panels and the B block into NR-
+// column micro-panels, and a 4x8 register micro-kernel accumulates
+// C[4x8] += A[4xKC] * B[KCx8] from the packed panels, so every inner-loop
+// load is contiguous and the accumulators live in registers.
+//
+// Small products dispatch to the naive zero-skipping loop — below the tile
+// size the packing overhead outweighs the locality win.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace perfbg::linalg {
+
+/// C = A * B. The entry point behind Matrix::operator*; dispatches between
+/// the naive loop and the tiled kernel on operand size.
+Matrix multiply(const Matrix& a, const Matrix& b);
+
+/// C += A * B, in place. C must already have shape A.rows() x B.cols().
+void gemm_add(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C -= A * B, in place. C must already have shape A.rows() x B.cols().
+void gemm_sub(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Smallest dimension (of M, N, K) at which the tiled kernel takes over.
+inline constexpr std::size_t kGemmTileThreshold = 32;
+
+}  // namespace perfbg::linalg

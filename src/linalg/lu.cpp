@@ -1,5 +1,6 @@
 #include "linalg/lu.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -9,7 +10,7 @@
 
 namespace perfbg::linalg {
 
-LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+LuDecomposition::LuDecomposition(Matrix a, LuOptions opts) : lu_(std::move(a)) {
   PERFBG_REQUIRE(lu_.is_square(), "LU requires a square matrix");
   const std::size_t n = lu_.rows();
   // The factorization is the innermost O(n^3) kernel of every solver
@@ -19,18 +20,41 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
+  // Initial extents: [first nonzero, last nonzero + 1) per row. Everything
+  // outside a row's extent is an exact stored zero, and the elimination below
+  // preserves that invariant, so truncated loops change no values.
+  lo_.assign(n, 0);
+  hi_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = lu_.row_data(i);
+    std::size_t lo = n, hi = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (row[j] == 0.0) continue;
+      if (lo == n) lo = j;
+      hi = j + 1;
+    }
+    lo_[i] = lo == n ? 0 : lo;
+    hi_[i] = hi;
+  }
+
   for (std::size_t k = 0; k < n; ++k) {
-    // Partial pivot: largest |a_ik| for i >= k.
+    // Partial pivot: largest |a_ik| for i >= k. Rows whose extent starts
+    // after column k hold an exact zero there and can never win.
     std::size_t piv = k;
-    double best = std::abs(lu_(k, k));
+    double best = std::abs(lu_.row_data(k)[k]);
     for (std::size_t i = k + 1; i < n; ++i) {
-      const double v = std::abs(lu_(i, k));
+      if (lo_[i] > k) continue;
+      const double v = std::abs(lu_.row_data(i)[k]);
       if (v > best) {
         best = v;
         piv = i;
       }
     }
     if (best == 0.0) {
+      if (opts.allow_singular_tail && k + 1 == n) {
+        singular_tail_ = true;
+        break;
+      }
       std::ostringstream os;
       os << "LU: matrix is singular: every candidate pivot in column " << k << " of the "
          << n << " x " << n << " matrix has magnitude 0";
@@ -39,18 +63,26 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
       throw Error(ErrorCode::kSingularMatrix, os.str(), ctx);
     }
     if (piv != k) {
-      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
+      double* rk = lu_.row_data(k);
+      double* rp = lu_.row_data(piv);
+      const std::size_t swap_end = std::max(hi_[k], hi_[piv]);
+      for (std::size_t j = 0; j < swap_end; ++j) std::swap(rk[j], rp[j]);
       std::swap(perm_[k], perm_[piv]);
+      std::swap(lo_[k], lo_[piv]);
+      std::swap(hi_[k], hi_[piv]);
       sign_ = -sign_;
     }
-    const double pivot = lu_(k, k);
+    const double* rk = lu_.row_data(k);
+    const double pivot = rk[k];
+    const std::size_t row_end = hi_[k];
     for (std::size_t i = k + 1; i < n; ++i) {
-      const double m = lu_(i, k) / pivot;
-      lu_(i, k) = m;
-      if (m == 0.0) continue;
+      if (lo_[i] > k) continue;  // exact zero below the pivot, nothing to do
       double* ri = lu_.row_data(i);
-      const double* rk = lu_.row_data(k);
-      for (std::size_t j = k + 1; j < n; ++j) ri[j] -= m * rk[j];
+      const double m = ri[k] / pivot;
+      ri[k] = m;
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j < row_end; ++j) ri[j] -= m * rk[j];
+      hi_[i] = std::max(hi_[i], row_end);
     }
   }
 }
@@ -59,18 +91,19 @@ Vector LuDecomposition::solve(const Vector& b) const {
   const std::size_t n = size();
   PERFBG_REQUIRE(b.size() == n, "rhs size mismatch");
   Vector x(n);
-  // Forward substitution with permuted rhs: L y = P b.
+  // Forward substitution with permuted rhs: L y = P b. Row i of L is zero
+  // before lo_[i].
   for (std::size_t i = 0; i < n; ++i) {
     double s = b[perm_[i]];
     const double* ri = lu_.row_data(i);
-    for (std::size_t j = 0; j < i; ++j) s -= ri[j] * x[j];
+    for (std::size_t j = lo_[i]; j < i; ++j) s -= ri[j] * x[j];
     x[i] = s;
   }
-  // Back substitution: U x = y.
+  // Back substitution: U x = y. Row ii of U ends at hi_[ii].
   for (std::size_t ii = n; ii-- > 0;) {
     double s = x[ii];
     const double* ri = lu_.row_data(ii);
-    for (std::size_t j = ii + 1; j < n; ++j) s -= ri[j] * x[j];
+    for (std::size_t j = ii + 1; j < hi_[ii]; ++j) s -= ri[j] * x[j];
     x[ii] = s / ri[ii];
   }
   return x;
@@ -85,14 +118,18 @@ Vector LuDecomposition::solve_left(const Vector& b) const {
   // Uᵀ y = b (forward, Uᵀ is lower triangular).
   for (std::size_t i = 0; i < n; ++i) {
     double s = b[i];
-    for (std::size_t j = 0; j < i; ++j) s -= lu_(j, i) * y[j];
-    y[i] = s / lu_(i, i);
+    for (std::size_t j = 0; j < i; ++j) {
+      if (i < hi_[j]) s -= lu_.row_data(j)[i] * y[j];
+    }
+    y[i] = s / lu_.row_data(i)[i];
   }
   // Lᵀ z = y (backward, Lᵀ is unit upper triangular).
   Vector z(n);
   for (std::size_t ii = n; ii-- > 0;) {
     double s = y[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(j, ii) * z[j];
+    for (std::size_t j = ii + 1; j < n; ++j) {
+      if (lo_[j] <= ii) s -= lu_.row_data(j)[ii] * z[j];
+    }
     z[ii] = s;
   }
   // x P = z ... row i of PA is row perm_[i] of A, so x[perm_[i]] = z[i].
@@ -104,12 +141,93 @@ Vector LuDecomposition::solve_left(const Vector& b) const {
 Matrix LuDecomposition::solve(const Matrix& b) const {
   const std::size_t n = size();
   PERFBG_REQUIRE(b.rows() == n, "rhs row count mismatch");
-  Matrix x(n, b.cols());
-  Vector col(n);
-  for (std::size_t j = 0; j < b.cols(); ++j) {
-    for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
-    Vector xc = solve(col);
-    for (std::size_t i = 0; i < n; ++i) x(i, j) = xc[i];
+  const std::size_t width = b.cols();
+  // All right-hand sides advance through the substitutions together, so the
+  // inner loops stream contiguous rows of X instead of revisiting the factor
+  // matrix once per column. Per column the arithmetic and its order match the
+  // one-column solve exactly.
+  Matrix x(n, width);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* src = b.row_data(perm_[i]);
+    double* xi = x.row_data(i);
+    for (std::size_t c = 0; c < width; ++c) xi[c] = src[c];
+    const double* ri = lu_.row_data(i);
+    for (std::size_t j = lo_[i]; j < i; ++j) {
+      const double l = ri[j];
+      if (l == 0.0) continue;
+      const double* xj = x.row_data(j);
+      for (std::size_t c = 0; c < width; ++c) xi[c] -= l * xj[c];
+    }
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double* xi = x.row_data(ii);
+    const double* ri = lu_.row_data(ii);
+    for (std::size_t j = ii + 1; j < hi_[ii]; ++j) {
+      const double u = ri[j];
+      if (u == 0.0) continue;
+      const double* xj = x.row_data(j);
+      for (std::size_t c = 0; c < width; ++c) xi[c] -= u * xj[c];
+    }
+    const double d = ri[ii];
+    for (std::size_t c = 0; c < width; ++c) xi[c] /= d;
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve_left(const Matrix& b) const {
+  const std::size_t n = size();
+  PERFBG_REQUIRE(b.cols() == n, "rhs column count mismatch");
+  const std::size_t nrhs = b.rows();
+  // Work on the transpose so every inner loop streams one contiguous row per
+  // right-hand side; per rhs the arithmetic matches solve_left(Vector).
+  const Matrix bt = b.transposed();  // n x nrhs
+  Matrix yt(n, nrhs);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* src = bt.row_data(i);
+    double* yi = yt.row_data(i);
+    for (std::size_t c = 0; c < nrhs; ++c) yi[c] = src[c];
+    for (std::size_t j = 0; j < i; ++j) {
+      if (i >= hi_[j]) continue;
+      const double u = lu_.row_data(j)[i];
+      if (u == 0.0) continue;
+      const double* yj = yt.row_data(j);
+      for (std::size_t c = 0; c < nrhs; ++c) yi[c] -= u * yj[c];
+    }
+    const double d = lu_.row_data(i)[i];
+    for (std::size_t c = 0; c < nrhs; ++c) yi[c] /= d;
+  }
+  Matrix zt(n, nrhs);
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double* yi = yt.row_data(ii);
+    double* zi = zt.row_data(ii);
+    for (std::size_t c = 0; c < nrhs; ++c) zi[c] = yi[c];
+    for (std::size_t j = ii + 1; j < n; ++j) {
+      if (lo_[j] > ii) continue;
+      const double l = lu_.row_data(j)[ii];
+      if (l == 0.0) continue;
+      const double* zj = zt.row_data(j);
+      for (std::size_t c = 0; c < nrhs; ++c) zi[c] -= l * zj[c];
+    }
+  }
+  Matrix xt(n, nrhs);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* zi = zt.row_data(i);
+    double* xi = xt.row_data(perm_[i]);
+    for (std::size_t c = 0; c < nrhs; ++c) xi[c] = zi[c];
+  }
+  return xt.transposed();
+}
+
+Vector LuDecomposition::null_tail_vector() const {
+  const std::size_t n = size();
+  PERFBG_REQUIRE(n > 0, "null_tail_vector needs a non-empty matrix");
+  Vector x(n, 0.0);
+  x[n - 1] = 1.0;
+  for (std::size_t ii = n - 1; ii-- > 0;) {
+    double s = 0.0;
+    const double* ri = lu_.row_data(ii);
+    for (std::size_t j = ii + 1; j < hi_[ii]; ++j) s -= ri[j] * x[j];
+    x[ii] = s / ri[ii];
   }
   return x;
 }
@@ -117,8 +235,9 @@ Matrix LuDecomposition::solve(const Matrix& b) const {
 Matrix LuDecomposition::inverse() const { return solve(Matrix::identity(size())); }
 
 double LuDecomposition::determinant() const {
+  if (singular_tail_) return 0.0;
   double d = sign_;
-  for (std::size_t i = 0; i < size(); ++i) d *= lu_(i, i);
+  for (std::size_t i = 0; i < size(); ++i) d *= lu_.row_data(i)[i];
   return d;
 }
 

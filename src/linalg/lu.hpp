@@ -1,21 +1,43 @@
 // LU factorization with partial pivoting, and the solve/inverse operations
 // built on it. This is the only linear-system machinery the QBD solver needs.
+//
+// The elimination tracks per-row nonzero extents [lo, hi): the update loop for
+// a pivot row stops at that row's hi instead of n, and pivot candidates whose
+// row starts after the pivot column are skipped outright. For a dense matrix
+// the extents are [0, n) and the factorization is the classical one; for a
+// banded or profile (skyline) matrix the same code does band-proportional
+// work, including pivoting-induced band growth, which is why there is no
+// separate banded factorization class. Skipped terms are exact structural
+// zeros, so the results are bit-identical to the full loops.
 #pragma once
 
 #include "linalg/matrix.hpp"
 
 namespace perfbg::linalg {
 
+/// Factorization knobs; the default is the strict behavior.
+struct LuOptions {
+  /// Permits an exactly-zero pivot in the final column only, instead of
+  /// throwing kSingularMatrix. Used to factor the (rank n-1) censored
+  /// boundary generator, whose one-dimensional null space is then recovered
+  /// with null_tail_vector().
+  bool allow_singular_tail = false;
+};
+
 /// PA = LU factorization of a square matrix (partial pivoting).
 ///
 /// Throws std::invalid_argument on non-square input and
 /// perfbg::Error{kSingularMatrix} (a std::runtime_error) naming the pivot
-/// column and matrix dimension if the matrix is exactly singular.
+/// column and matrix dimension if the matrix is exactly singular (unless
+/// LuOptions::allow_singular_tail permits the final pivot to vanish).
 class LuDecomposition {
  public:
-  explicit LuDecomposition(Matrix a);
+  explicit LuDecomposition(Matrix a, LuOptions opts = {});
 
   std::size_t size() const { return lu_.rows(); }
+
+  /// True when allow_singular_tail was set and the final pivot was zero.
+  bool singular_tail() const { return singular_tail_; }
 
   /// Solves A x = b (column-vector right-hand side).
   Vector solve(const Vector& b) const;
@@ -26,6 +48,17 @@ class LuDecomposition {
   /// Solves A X = B for a matrix right-hand side.
   Matrix solve(const Matrix& b) const;
 
+  /// Solves X A = B for a matrix of row right-hand sides: row i of the
+  /// result satisfies x A = (row i of B). The row-vector analogue of
+  /// solve(Matrix), solving every row in one pass over the factors.
+  Matrix solve_left(const Matrix& b) const;
+
+  /// For a (numerically) rank-deficient A whose last pivot is zero or
+  /// negligible: the null direction x with x[n-1] = 1, from back-substituting
+  /// U x = 0 through rows n-2..0. With PA = LU this solves A x = 0 up to the
+  /// discarded final equation. Requires size() >= 1.
+  Vector null_tail_vector() const;
+
   /// A⁻¹ (use sparingly; prefer solve()).
   Matrix inverse() const;
 
@@ -35,7 +68,10 @@ class LuDecomposition {
  private:
   Matrix lu_;                  // combined L (unit lower) and U factors
   std::vector<std::size_t> perm_;  // row permutation: row i of PA is row perm_[i] of A
+  std::vector<std::size_t> lo_;    // first possibly-nonzero column of row i of L|U
+  std::vector<std::size_t> hi_;    // one past the last possibly-nonzero column
   int sign_ = 1;
+  bool singular_tail_ = false;
 };
 
 /// Convenience wrappers for one-shot use.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <ostream>
 
+#include "linalg/gemm.hpp"
 #include "util/check.hpp"
 
 namespace perfbg::linalg {
@@ -62,8 +63,19 @@ Matrix& Matrix::operator*=(double s) {
 
 Matrix Matrix::transposed() const {
   Matrix t(cols_, rows_);
-  for (std::size_t i = 0; i < rows_; ++i)
-    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = data_[i * cols_ + j];
+  // Tiled so both the source rows and destination rows stay cache-resident;
+  // the element-at-a-time version strides by rows_ through t on every write.
+  constexpr std::size_t kTile = 32;
+  for (std::size_t i0 = 0; i0 < rows_; i0 += kTile) {
+    const std::size_t i1 = std::min(rows_, i0 + kTile);
+    for (std::size_t j0 = 0; j0 < cols_; j0 += kTile) {
+      const std::size_t j1 = std::min(cols_, j0 + kTile);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* src = data_.data() + i * cols_;
+        for (std::size_t j = j0; j < j1; ++j) t.data_[j * rows_ + i] = src[j];
+      }
+    }
+  }
   return t;
 }
 
@@ -101,19 +113,7 @@ Matrix operator*(double s, Matrix a) { return a *= s; }
 
 Matrix operator*(const Matrix& a, const Matrix& b) {
   PERFBG_REQUIRE(a.cols() == b.rows(), "shape mismatch in matrix multiply");
-  Matrix c(a.rows(), b.cols(), 0.0);
-  // ikj loop order: streams over b's and c's rows, cache friendly.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double* ci = c.row_data(i);
-    const double* ai = a.row_data(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = ai[k];
-      if (aik == 0.0) continue;
-      const double* bk = b.row_data(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
-    }
-  }
-  return c;
+  return multiply(a, b);
 }
 
 Vector vec_mat(const Vector& v, const Matrix& a) {
@@ -166,14 +166,21 @@ Vector add(Vector a, const Vector& b) {
 
 Matrix kron(const Matrix& a, const Matrix& b) {
   Matrix c(a.rows() * b.rows(), a.cols() * b.cols(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < a.cols(); ++j) {
-      const double aij = a(i, j);
-      if (aij == 0.0) continue;
-      for (std::size_t k = 0; k < b.rows(); ++k)
-        for (std::size_t l = 0; l < b.cols(); ++l)
-          c(i * b.rows() + k, j * b.cols() + l) = aij * b(k, l);
+  // k-outer/ij-inner order writes each output row left to right in one pass
+  // instead of revisiting it once per (i, j) pair of a.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_data(i);
+    for (std::size_t k = 0; k < b.rows(); ++k) {
+      double* crow = c.row_data(i * b.rows() + k);
+      const double* bk = b.row_data(k);
+      for (std::size_t j = 0; j < a.cols(); ++j) {
+        const double aij = ai[j];
+        if (aij == 0.0) continue;
+        double* out = crow + j * b.cols();
+        for (std::size_t l = 0; l < b.cols(); ++l) out[l] = aij * bk[l];
+      }
     }
+  }
   return c;
 }
 

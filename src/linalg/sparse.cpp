@@ -1,0 +1,74 @@
+#include "linalg/sparse.hpp"
+
+#include "obs/span.hpp"
+#include "util/check.hpp"
+
+namespace perfbg::linalg {
+
+SparseMatrix SparseMatrix::from_dense(const Matrix& m) {
+  SparseMatrix s;
+  s.rows_ = m.rows();
+  s.cols_ = m.cols();
+  s.row_start_.resize(s.rows_ + 1, 0);
+  for (std::size_t i = 0; i < s.rows_; ++i) {
+    const double* row = m.row_data(i);
+    for (std::size_t j = 0; j < s.cols_; ++j) {
+      if (row[j] == 0.0) continue;
+      s.col_.push_back(j);
+      s.values_.push_back(row[j]);
+    }
+    s.row_start_[i + 1] = s.values_.size();
+  }
+  return s;
+}
+
+Matrix SparseMatrix::multiply_dense(const Matrix& b) const {
+  PERFBG_REQUIRE(cols_ == b.rows(), "shape mismatch in sparse * dense");
+  obs::ScopedSpan span("linalg.spmm");
+  Matrix c(rows_, b.cols(), 0.0);
+  const std::size_t width = b.cols();
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double* ci = c.row_data(i);
+    for (std::size_t e = row_start_[i]; e < row_start_[i + 1]; ++e) {
+      const double v = values_[e];
+      const double* bk = b.row_data(col_[e]);
+      for (std::size_t j = 0; j < width; ++j) ci[j] += v * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix SparseMatrix::left_multiply_dense(const Matrix& a) const {
+  Matrix c(a.rows(), cols_, 0.0);
+  add_left_multiply(a, c);
+  return c;
+}
+
+void SparseMatrix::add_left_multiply(const Matrix& a, Matrix& c) const {
+  PERFBG_REQUIRE(a.cols() == rows_, "shape mismatch in dense * sparse");
+  PERFBG_REQUIRE(c.rows() == a.rows() && c.cols() == cols_,
+                 "accumulator shape mismatch in dense * sparse");
+  obs::ScopedSpan span("linalg.spmm");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_data(i);
+    double* ci = c.row_data(i);
+    for (std::size_t k = 0; k < rows_; ++k) {
+      const double aik = ai[k];
+      if (aik == 0.0) continue;
+      for (std::size_t e = row_start_[k]; e < row_start_[k + 1]; ++e)
+        ci[col_[e]] += aik * values_[e];
+    }
+  }
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix m(rows_, cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double* row = m.row_data(i);
+    for (std::size_t e = row_start_[i]; e < row_start_[i + 1]; ++e)
+      row[col_[e]] = values_[e];
+  }
+  return m;
+}
+
+}  // namespace perfbg::linalg

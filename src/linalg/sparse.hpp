@@ -1,0 +1,55 @@
+// CSR sparse matrix with the two product kernels the QBD solvers need:
+// sparse * dense and dense * sparse, both producing dense results.
+//
+// The solvers never form sparse iterates — R, G and the LR factors fill in
+// after one linear solve — so there is no sparse * sparse kernel and no
+// incremental mutation API. A SparseMatrix is built once from an assembled
+// A-block (exact structural zeros) and used read-only. Both kernels stream
+// the dense operand row-major, so the inner loops are contiguous:
+//
+//   multiply_dense       C = S * B: for each CSR entry (i,k,v), C[i,:] += v * B[k,:]
+//   left_multiply_dense  C = A * S: for each dense a_ik != 0, scatter row k of S
+//
+// Cost is rows * nnz-per-row work instead of n^3; for the chain's A-blocks
+// (O(n * phases) nonzeros) that turns an O(n^3) product into O(n^2 * phases).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace perfbg::linalg {
+
+class SparseMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  SparseMatrix() = default;
+
+  /// Compresses exact nonzeros of `m` (no epsilon thresholding).
+  static SparseMatrix from_dense(const Matrix& m);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// C = S * B (B dense with B.rows() == cols()).
+  Matrix multiply_dense(const Matrix& b) const;
+
+  /// C = A * S (A dense with A.cols() == rows()).
+  Matrix left_multiply_dense(const Matrix& a) const;
+
+  /// C += A * S, in place (shape of C must be A.rows() x cols()).
+  void add_left_multiply(const Matrix& a, Matrix& c) const;
+
+  Matrix to_dense() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_start_;  // rows() + 1 offsets into col_/values_
+  std::vector<std::size_t> col_;
+  std::vector<double> values_;
+};
+
+}  // namespace perfbg::linalg

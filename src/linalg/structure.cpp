@@ -1,0 +1,56 @@
+#include "linalg/structure.hpp"
+
+#include <algorithm>
+
+namespace perfbg::linalg {
+
+const char* structure_kind_name(StructureKind kind) {
+  switch (kind) {
+    case StructureKind::kEmpty: return "empty";
+    case StructureKind::kDiagonal: return "diagonal";
+    case StructureKind::kBanded: return "banded";
+    case StructureKind::kSparse: return "sparse";
+    case StructureKind::kDense: return "dense";
+  }
+  return "unknown";
+}
+
+double StructureInfo::density() const {
+  const std::size_t cells = rows * cols;
+  return cells == 0 ? 0.0 : static_cast<double>(nnz) / static_cast<double>(cells);
+}
+
+double StructureInfo::band_fill() const {
+  if (cols == 0) return 1.0;
+  const std::size_t width = lower_bandwidth + upper_bandwidth + 1;
+  return std::min(1.0, static_cast<double>(width) / static_cast<double>(cols));
+}
+
+StructureKind StructureInfo::kind() const {
+  if (nnz == 0) return StructureKind::kEmpty;
+  if (rows == cols && lower_bandwidth == 0 && upper_bandwidth == 0)
+    return StructureKind::kDiagonal;
+  // Band storage must beat dense by a margin to be worth the indirection;
+  // the A-blocks (bandwidth ~ a few phases) clear it by orders of magnitude.
+  if (rows == cols && band_fill() <= kBandedFillCutoff) return StructureKind::kBanded;
+  if (density() <= kSparseDensityCutoff) return StructureKind::kSparse;
+  return StructureKind::kDense;
+}
+
+StructureInfo detect_structure(const Matrix& m) {
+  StructureInfo info;
+  info.rows = m.rows();
+  info.cols = m.cols();
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.row_data(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (row[j] == 0.0) continue;
+      ++info.nnz;
+      if (j < i) info.lower_bandwidth = std::max(info.lower_bandwidth, i - j);
+      if (j > i) info.upper_bandwidth = std::max(info.upper_bandwidth, j - i);
+    }
+  }
+  return info;
+}
+
+}  // namespace perfbg::linalg

@@ -1,0 +1,58 @@
+// Automatic structure detection for the QBD transition blocks.
+//
+// The FG/BG chain's A0/A1/A2 blocks are extremely structured — one FG or BG
+// event per transition gives O(n * phases) nonzeros arranged in a narrow block
+// band — while the solver iterates (R, G, the b0/b2 factors) are dense. The
+// solvers pick a product kernel per operand by classifying it once:
+//
+//   kDiagonal  only the main diagonal is populated
+//   kBanded    all nonzeros within a band whose storage beats dense
+//   kSparse    low density, but no useful band (CSR wins)
+//   kDense     anything else (tiled GEMM territory)
+//
+// Detection is a single O(n^2) scan — noise against the O(n^3) products it
+// routes — and is also exported on chain-assembly spans so the structure of
+// every workload's blocks is visible in trace profiles.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace perfbg::linalg {
+
+enum class StructureKind { kEmpty, kDiagonal, kBanded, kSparse, kDense };
+
+/// Lower-case wire name: "empty" / "diagonal" / "banded" / "sparse" / "dense".
+const char* structure_kind_name(StructureKind kind);
+
+/// Nonzero profile of a matrix: counts and bandwidths from one exact-zero
+/// scan (structural zeros only; no epsilon thresholding — the chain builder
+/// writes exact zeros, and a tiny-but-nonzero rate must stay a rate).
+struct StructureInfo {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t nnz = 0;
+  /// max(i - j) over nonzeros (0 when none below the diagonal).
+  std::size_t lower_bandwidth = 0;
+  /// max(j - i) over nonzeros (0 when none above the diagonal).
+  std::size_t upper_bandwidth = 0;
+
+  /// nnz / (rows * cols); 0 for an empty shape.
+  double density() const;
+  /// Fraction of a dense matrix the band storage would occupy
+  /// ((kl + ku + 1) / cols, capped at 1); 1 for an empty shape.
+  double band_fill() const;
+  /// Classification used for kernel routing (see file header).
+  StructureKind kind() const;
+};
+
+/// One-pass exact-zero scan.
+StructureInfo detect_structure(const Matrix& m);
+
+/// Density at or below which CSR products are routed instead of dense ones.
+inline constexpr double kSparseDensityCutoff = 0.20;
+/// Band-fill at or below which banded storage is preferred over CSR.
+inline constexpr double kBandedFillCutoff = 0.35;
+
+}  // namespace perfbg::linalg

@@ -85,6 +85,8 @@ const std::vector<SpanBudget>& default_span_budgets() {
       {"qbd.solve.*", 0.25, 0.0, 0.5},
       {"qbd.solve_r", 0.25, 0.0, 0.5},
       {"qbd.solve_g", 0.25, 0.0, 0.5},
+      {"linalg.gemm", 0.25, 0.0, 0.25},
+      {"linalg.spmm", 0.25, 0.0, 0.25},
       {"linalg.*", 0.25, 0.0, 0.25},
       {"markov.gth", 0.30, 0.0, 0.25},
       {"sim.run", 0.30, 0.0, 1.0},

@@ -35,6 +35,8 @@ JsonValue SolveHealth::to_json() const {
   v.set("rung_name", JsonValue(rung_name));
   v.set("rungs_attempted", JsonValue(rungs_attempted));
   v.set("attempt", JsonValue(attempt));
+  v.set("warm_start_used", JsonValue(warm_start_used));
+  v.set("warm_start_iterations_saved", JsonValue(warm_start_iterations_saved));
   v.set("drift_ratio", JsonValue(drift_ratio));
   v.set("spectral_radius", JsonValue(spectral_radius));
   v.set("error_code", JsonValue(error_code));

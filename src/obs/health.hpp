@@ -57,6 +57,10 @@ struct SolveHealth {
   int rungs_attempted = 1;
   int attempt = 1;             ///< sweep-runner attempt number (1 = first try)
 
+  // --- warm starting ---
+  bool warm_start_used = false;       ///< result came from refining a seed R
+  int warm_start_iterations_saved = 0;  ///< seed's cost minus refinement cost
+
   // --- stability proximity ---
   double drift_ratio = -1.0;      ///< preflight rho; -> 1 means near-unstable
   double spectral_radius = -1.0;  ///< sp(R) of the solved process

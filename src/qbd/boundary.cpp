@@ -1,0 +1,194 @@
+#include "qbd/boundary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "linalg/gemm.hpp"
+#include "linalg/lu.hpp"
+#include "obs/span.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+
+namespace perfbg::qbd {
+
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Copies the [r0, r0+nrows) x [c0, c0+ncols) window of `m`.
+Matrix submatrix(const Matrix& m, std::size_t r0, std::size_t nrows,
+                 std::size_t c0, std::size_t ncols) {
+  Matrix out(nrows, ncols);
+  for (std::size_t i = 0; i < nrows; ++i) {
+    const double* src = m.row_data(r0 + i) + c0;
+    double* dst = out.row_data(i);
+    for (std::size_t j = 0; j < ncols; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+/// True when every entry of rows [r0, r1) of `m` outside columns [c0, c1) is
+/// an exact zero.
+bool rows_confined_to(const Matrix& m, std::size_t r0, std::size_t r1,
+                      std::size_t c0, std::size_t c1) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    const double* row = m.row_data(i);
+    for (std::size_t j = 0; j < c0; ++j)
+      if (row[j] != 0.0) return false;
+    for (std::size_t j = c1; j < m.cols(); ++j)
+      if (row[j] != 0.0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Vector> solve_boundary_structured(const QbdProcess& process,
+                                                const Matrix& corner,
+                                                const Vector& w) {
+  const std::vector<std::size_t>& offsets = process.boundary_level_offsets;
+  if (offsets.empty() || offsets.front() != 0) return std::nullopt;
+  const std::size_t nb = process.boundary_size();
+  const std::size_t nr = process.level_size();
+  const std::size_t levels = offsets.size();  // boundary levels 0..X
+
+  obs::ScopedSpan span("qbd.solve.boundary.structured");
+  span.attr("levels", obs::JsonValue(static_cast<std::int64_t>(levels)));
+
+  // Level partition of [0, nb), with the censored repeating block appended as
+  // block index `levels`.
+  std::vector<std::size_t> start(levels + 2);
+  for (std::size_t l = 0; l < levels; ++l) start[l] = offsets[l];
+  start[levels] = nb;
+  start[levels + 1] = nb + nr;
+  for (std::size_t l = 0; l + 1 < start.size(); ++l)
+    if (start[l] >= start[l + 1]) return std::nullopt;
+
+  // Structure scan (exact zeros): every B00 row of level l may touch only
+  // levels l-1 .. l+1, B01 is fed only from the top level, and B10 feeds only
+  // into it. Any stray entry disqualifies the recursion — the block residual
+  // check at the end cannot see out-of-band entries, so this scan is the only
+  // guard and always runs.
+  for (std::size_t l = 0; l < levels; ++l) {
+    const std::size_t lo = l == 0 ? 0 : start[l - 1];
+    const std::size_t hi = std::min(nb, start[l + 2]);
+    if (!rows_confined_to(process.b00, start[l], start[l + 1], lo, hi))
+      return std::nullopt;
+  }
+  if (!rows_confined_to(process.b01, 0, start[levels - 1], 0, 0))
+    return std::nullopt;
+  for (std::size_t i = 0; i < nr; ++i) {
+    const double* row = process.b10.row_data(i);
+    for (std::size_t j = 0; j < start[levels - 1]; ++j)
+      if (row[j] != 0.0) return std::nullopt;
+  }
+
+  const std::size_t nblocks = levels + 1;  // diagonal blocks incl. corner
+  auto block_rows = [&](std::size_t l) { return start[l + 1] - start[l]; };
+
+  // Diagonal, super- and sub-diagonal blocks of M in the level partition.
+  auto diag_block = [&](std::size_t l) {
+    if (l == levels) return corner;
+    return submatrix(process.b00, start[l], block_rows(l), start[l], block_rows(l));
+  };
+  auto upper_block = [&](std::size_t l) {  // U_l = M[l, l+1]
+    if (l + 1 == levels)
+      return submatrix(process.b01, start[l], block_rows(l), 0, nr);
+    return submatrix(process.b00, start[l], block_rows(l), start[l + 1],
+                     block_rows(l + 1));
+  };
+  auto lower_block = [&](std::size_t l) {  // L_l = M[l, l-1]
+    if (l == levels)
+      return submatrix(process.b10, 0, nr, start[l - 1], block_rows(l - 1));
+    return submatrix(process.b00, start[l], block_rows(l), start[l - 1],
+                     block_rows(l - 1));
+  };
+
+  // Forward elimination: Dt_l = D_l - C_l U_{l-1} with C_l = L_l Dt_{l-1}^{-1}
+  // (computed as a transposed multi-RHS solve). The leading Dt blocks of a
+  // proper generator are nonsingular M-matrices; an exactly singular one means
+  // the partition assumption is wrong, so it falls back rather than throwing.
+  std::vector<Matrix> c_blocks(nblocks);  // C_1 .. C_{levels} at index l
+  std::vector<Matrix> u_blocks(nblocks);  // U_l kept for the residual check
+  Matrix dt = diag_block(0);
+  double scale = dt.inf_norm();
+  std::vector<Matrix> d_blocks(nblocks);
+  d_blocks[0] = dt;
+  try {
+    for (std::size_t l = 1; l < nblocks; ++l) {
+      const Matrix u_prev = upper_block(l - 1);
+      u_blocks[l - 1] = u_prev;
+      const Matrix l_block = lower_block(l);
+      const linalg::LuDecomposition dt_t(dt.transposed());
+      Matrix c = dt_t.solve(l_block.transposed()).transposed();
+      dt = diag_block(l);
+      d_blocks[l] = dt;
+      scale = std::max(scale, dt.inf_norm());
+      linalg::gemm_sub(c, u_prev, dt);
+      c_blocks[l] = std::move(c);
+    }
+  } catch (const Error&) {
+    span.attr("fallback", obs::JsonValue("singular leading block"));
+    return std::nullopt;
+  }
+
+  // Top of the recursion: x_{X+1} Dt_{X+1} = 0. Dt_{X+1} is the rank nr - 1
+  // censored generator; the null direction comes out of the allow-singular-
+  // tail factorization of its transpose.
+  std::vector<Vector> x(nblocks);
+  try {
+    linalg::LuOptions lu_opts;
+    lu_opts.allow_singular_tail = true;
+    const linalg::LuDecomposition top(dt.transposed(), lu_opts);
+    x[nblocks - 1] = top.null_tail_vector();
+  } catch (const Error&) {
+    span.attr("fallback", obs::JsonValue("singular null-vector factorization"));
+    return std::nullopt;
+  }
+
+  // Back-substitution x_l = -x_{l+1} C_{l+1}.
+  for (std::size_t l = nblocks - 1; l-- > 0;) {
+    Vector v = linalg::vec_mat(x[l + 1], c_blocks[l + 1]);
+    for (double& e : v) e = -e;
+    x[l] = std::move(v);
+  }
+
+  // Assemble, fix the orientation of the null direction, normalize x . w = 1.
+  Vector full(nb + nr, 0.0);
+  for (std::size_t l = 0; l < nblocks; ++l)
+    std::copy(x[l].begin(), x[l].end(), full.begin() + static_cast<std::ptrdiff_t>(start[l]));
+  double norm = 0.0;
+  for (std::size_t i = 0; i < full.size(); ++i) norm += full[i] * w[i];
+  if (!std::isfinite(norm) || std::abs(norm) < 1e-300) {
+    span.attr("fallback", obs::JsonValue("degenerate normalization"));
+    return std::nullopt;
+  }
+  for (double& e : full) e /= norm;
+
+  // Residual cross-check against the tridiagonal blocks. The scan above
+  // guarantees these blocks are all of M, so ||x M||_inf out of tolerance
+  // means the recursion lost accuracy and the dense path should decide.
+  double residual = 0.0;
+  for (std::size_t l = 0; l < nblocks; ++l) {
+    Vector y = linalg::vec_mat(x[l], d_blocks[l]);
+    if (l + 1 < nblocks) {
+      const Vector from_below = linalg::vec_mat(x[l + 1], lower_block(l + 1));
+      for (std::size_t j = 0; j < y.size(); ++j) y[j] += from_below[j];
+    }
+    if (l > 0) {
+      const Vector from_above = linalg::vec_mat(x[l - 1], u_blocks[l - 1]);
+      for (std::size_t j = 0; j < y.size(); ++j) y[j] += from_above[j];
+    }
+    for (double e : y) residual = std::max(residual, std::abs(e / norm));
+  }
+  span.attr("residual", obs::JsonValue(residual));
+  if (!(residual <= 1e-6 * (1.0 + scale))) {
+    span.attr("fallback", obs::JsonValue("residual out of tolerance"));
+    return std::nullopt;
+  }
+  return full;
+}
+
+}  // namespace perfbg::qbd

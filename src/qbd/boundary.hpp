@@ -1,0 +1,45 @@
+// Structured solve of the QBD boundary balance equations.
+//
+// The flattened boundary system of QbdSolution is x M = 0, x . w = 1 with
+//
+//        | B00  B01 |
+//   M  = | B10  A1 + R A2 |
+//
+// For the paper's chain the boundary states are ordered by level (0..X), and
+// every transition moves at most one level, so M is block tridiagonal with
+// X + 2 diagonal blocks (levels 0..X plus the censored repeating block).
+// Solving it densely costs O((nb + nr)^3) and is the single largest term of
+// the bg_buffer = 20 solve; the level-censoring recursion below costs
+// O(sum_l n_l^3) — two orders of magnitude less, since each level block has
+// only O(X * phases) states.
+//
+// Recursion (forward elimination of column blocks):
+//   Dt_0 = D_0,   C_l = L_l Dt_{l-1}^{-1},   Dt_l = D_l - C_l U_{l-1}
+// which turns x M = 0 into x_{X+1} Dt_{X+1} = 0 (a left null vector of one
+// nr x nr block) and the back-substitution x_l = -x_{l+1} C_{l+1}.
+//
+// The caller provides the level partition (QbdProcess::boundary_level_offsets,
+// filled by the chain builder). The solver verifies the block-tridiagonal
+// structure with an exact-zero scan and cross-checks the result with a
+// block-wise residual; on any violation — structure, a singular leading
+// block, or residual out of tolerance — it reports failure and the caller
+// falls back to the dense path, so enabling this is never a correctness risk.
+#pragma once
+
+#include <optional>
+
+#include "qbd/qbd.hpp"
+
+namespace perfbg::qbd {
+
+/// Attempts the structured boundary solve. `corner` is A1 + R A2 and `w` the
+/// normalization weights [1_b ; (I-R)^{-1} 1_r]; both are what the dense path
+/// already computes. Returns the normalized stationary vector over
+/// [boundary ; first repeating level], or nullopt when the process has no
+/// level partition, the partition is not block tridiagonal, or the result
+/// fails the residual cross-check.
+std::optional<Vector> solve_boundary_structured(const QbdProcess& process,
+                                                const Matrix& corner,
+                                                const Vector& w);
+
+}  // namespace perfbg::qbd

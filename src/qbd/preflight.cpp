@@ -11,16 +11,18 @@ namespace perfbg::qbd {
 namespace {
 
 void require_finite(const Matrix& m, const char* name, std::size_t level_size) {
-  for (std::size_t i = 0; i < m.rows(); ++i)
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.row_data(i);
     for (std::size_t j = 0; j < m.cols(); ++j) {
-      if (std::isfinite(m(i, j))) continue;
+      if (std::isfinite(row[j])) continue;
       std::ostringstream os;
-      os << "block " << name << " has a non-finite entry " << m(i, j) << " at (" << i
+      os << "block " << name << " has a non-finite entry " << row[j] << " at (" << i
          << ", " << j << ")";
       ErrorContext ctx;
       ctx.matrix_size = level_size;
       throw Error(ErrorCode::kInvalidModel, os.str(), ctx);
     }
+  }
 }
 
 }  // namespace
@@ -30,22 +32,25 @@ PreflightReport preflight(const QbdProcess& process, const PreflightOptions& opt
   report.boundary_size = process.b00.rows();
   report.level_size = process.a1.rows();
 
-  // 1. Finiteness first: NaN poisons every later comparison, so reporting it
-  // as a sign/row-sum violation would point the user at the wrong fix.
-  require_finite(process.b00, "B00", report.level_size);
-  require_finite(process.b01, "B01", report.level_size);
-  require_finite(process.b10, "B10", report.level_size);
-  require_finite(process.a0, "A0", report.level_size);
-  require_finite(process.a1, "A1", report.level_size);
-  require_finite(process.a2, "A2", report.level_size);
-
-  // 2. Shapes, sign structure, zero row sums.
-  try {
-    process.validate(opts.generator_tol);
-  } catch (const std::invalid_argument& e) {
-    ErrorContext ctx;
-    ctx.matrix_size = report.level_size;
-    throw Error(ErrorCode::kInvalidModel, e.what(), ctx);
+  // 1 + 2. Finiteness, then shapes / sign structure / zero row sums.
+  // Finiteness goes first because NaN poisons every later comparison, so
+  // reporting it as a sign/row-sum violation would point the user at the
+  // wrong fix. Builders that validated these exact blocks at assembly time
+  // (prevalidated) already proved both, so the O(n^2) scans are skipped.
+  if (!process.prevalidated) {
+    require_finite(process.b00, "B00", report.level_size);
+    require_finite(process.b01, "B01", report.level_size);
+    require_finite(process.b10, "B10", report.level_size);
+    require_finite(process.a0, "A0", report.level_size);
+    require_finite(process.a1, "A1", report.level_size);
+    require_finite(process.a2, "A2", report.level_size);
+    try {
+      process.validate(opts.generator_tol);
+    } catch (const std::invalid_argument& e) {
+      ErrorContext ctx;
+      ctx.matrix_size = report.level_size;
+      throw Error(ErrorCode::kInvalidModel, e.what(), ctx);
+    }
   }
 
   // 3 + 4. Drift condition per closed class of the level process

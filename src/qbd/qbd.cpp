@@ -19,11 +19,13 @@ void QbdProcess::validate(double tol) const {
 
   auto require_nonneg_offdiag = [&](const Matrix& m, bool diagonal_allowed_negative,
                                     const char* what) {
-    for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      const double* row = m.row_data(i);
       for (std::size_t j = 0; j < m.cols(); ++j) {
         const bool diag = diagonal_allowed_negative && i == j;
-        PERFBG_REQUIRE(diag || m(i, j) >= -tol, what);
+        PERFBG_REQUIRE(diag || row[j] >= -tol, what);
       }
+    }
   };
   require_nonneg_offdiag(b00, true, "B00 off-diagonal must be nonnegative");
   require_nonneg_offdiag(b01, false, "B01 must be nonnegative");
@@ -34,11 +36,11 @@ void QbdProcess::validate(double tol) const {
 
   for (std::size_t i = 0; i < nb; ++i) {
     const double s = b00.row_sum(i) + b01.row_sum(i);
-    PERFBG_REQUIRE(std::abs(s) <= tol * std::max(1.0, std::abs(b00(i, i))),
+    PERFBG_REQUIRE(std::abs(s) <= tol * std::max(1.0, std::abs(b00.row_data(i)[i])),
                    "boundary generator rows must sum to zero");
   }
   for (std::size_t i = 0; i < nr; ++i) {
-    const double diag = std::abs(a1(i, i));
+    const double diag = std::abs(a1.row_data(i)[i]);
     const double s_first = b10.row_sum(i) + a1.row_sum(i) + a0.row_sum(i);
     PERFBG_REQUIRE(std::abs(s_first) <= tol * std::max(1.0, diag),
                    "first-repeating-level rows must sum to zero");

@@ -14,6 +14,9 @@
 // nonnegative solution of A0 + R A1 + R^2 A2 = 0.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "linalg/matrix.hpp"
 
 namespace perfbg::qbd {
@@ -28,6 +31,20 @@ struct QbdProcess {
   Matrix a0;   ///< repeating level j -> j+1 (n_r x n_r)
   Matrix a1;   ///< within repeating level (n_r x n_r)
   Matrix a2;   ///< repeating level j -> j-1 (n_r x n_r)
+
+  /// Optional structure hint: flat start offset of each boundary level, in
+  /// ascending order beginning with 0. Builders whose boundary states are
+  /// grouped by level (the FG/BG chain builder) fill this in, enabling the
+  /// block-tridiagonal boundary solve; empty means "structure unknown" and
+  /// the solution falls back to the dense boundary system. The solver
+  /// verifies the claimed structure against the actual blocks, so a stale or
+  /// wrong partition degrades to the dense path instead of a wrong answer.
+  std::vector<std::size_t> boundary_level_offsets;
+
+  /// Set by builders that ran validate() on these exact blocks at assembly
+  /// time, letting qbd::preflight() skip its O(n^2) revalidation scans. Any
+  /// code that mutates the blocks after construction must clear it.
+  bool prevalidated = false;
 
   std::size_t boundary_size() const { return b00.rows(); }
   std::size_t level_size() const { return a1.rows(); }

@@ -3,10 +3,13 @@
 #include <chrono>
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <sstream>
 
+#include "linalg/gemm.hpp"
 #include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
 #include "obs/span.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
@@ -67,9 +70,11 @@ void note_increment(RSolverStats* stats, int it, double norm,
 /// converged. The explicit scan is O(n^2) per iteration against the O(n^3)
 /// solves around it.
 bool all_finite(const Matrix& m) {
-  for (std::size_t i = 0; i < m.rows(); ++i)
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.row_data(i);
     for (std::size_t j = 0; j < m.cols(); ++j)
-      if (!std::isfinite(m(i, j))) return false;
+      if (!std::isfinite(row[j])) return false;
+  }
   return true;
 }
 
@@ -212,28 +217,36 @@ Matrix functional_iteration_g(const DiscreteBlocks& d, const RSolverOptions& opt
 }
 
 /// Direct functional iteration on the continuous-time R equation:
-/// R <- -(A0 + R^2 A2) A1^{-1}, monotone from R = 0.
+/// R <- -(A0 + R^2 A2) A1^{-1}, monotone from R = 0 (or refining a caller
+/// seed when `seed` is non-null — used by the warm-start path).
 Matrix functional_iteration_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
-                              const RSolverOptions& opts, RSolverStats* stats) {
+                              const RSolverOptions& opts, RSolverStats* stats,
+                              const Matrix* seed = nullptr) {
   const linalg::LuDecomposition a1_lu(a1);
   const std::size_t n = a0.rows();
-  Matrix r(n, n, 0.0);
+  // A2 is sparse/banded for the chains built here (O(phases) nonzeros per
+  // row), so the R^2 A2 term streams the CSR form instead of a dense product.
+  const linalg::SparseMatrix a2_sparse = linalg::SparseMatrix::from_dense(a2);
+  Matrix r = seed ? *seed : Matrix(n, n, 0.0);
   IterationTrace trace(opts, stats);
   int it = 0;
   double last_delta = -1.0;
+  // Contraction probe for seeded (warm-start) refinements: the linear rate of
+  // this iteration is ~sp(R), so on slowly mixing chains a long tail of cheap
+  // steps still loses to a cold quadratic solve. Measure the rate over
+  // iterations [probe_start, probe_end] and abandon immediately when the
+  // projected iteration count exceeds the budget, bounding a failed warm bet
+  // to a handful of iterations instead of max_iters.
+  constexpr int kProbeStart = 3, kProbeEnd = 8;
+  double probe_delta = -1.0;
   for (; it < opts.max_iters; ++it) {
     if (opts.cancel) opts.cancel->check();
     obs::ScopedSpan span("qbd.rsolve.iteration");
-    Matrix rhs = a0 + (r * r) * a2;
+    Matrix rhs = a0;
+    a2_sparse.add_left_multiply(r * r, rhs);
     rhs *= -1.0;
-    // Solve X A1 = rhs row by row (A1 acts from the right).
-    Matrix next(n, n);
-    Vector row(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < n; ++j) row[j] = rhs(i, j);
-      const Vector x = a1_lu.solve_left(row);
-      for (std::size_t j = 0; j < n; ++j) next(i, j) = x[j];
-    }
+    // Solve X A1 = rhs (A1 acts from the right), all rows in one pass.
+    const Matrix next = a1_lu.solve_left(rhs);
     const double delta = next.max_abs_diff(r);
     r = next;
     if (!std::isfinite(delta) || !all_finite(r))
@@ -244,6 +257,28 @@ Matrix functional_iteration_r(const Matrix& a0, const Matrix& a1, const Matrix& 
     span.attr("iteration", obs::JsonValue(it + 1))
         .attr("increment_norm", obs::JsonValue(delta));
     if (delta < opts.tolerance) break;
+    if (seed && delta > 0.0) {
+      if (it == kProbeStart) {
+        probe_delta = delta;
+      } else if (it == kProbeEnd && probe_delta > 0.0) {
+        const double rate =
+            std::pow(delta / probe_delta, 1.0 / (kProbeEnd - kProbeStart));
+        const double projected =
+            rate < 1.0 ? std::log(opts.tolerance / delta) / std::log(rate)
+                       : std::numeric_limits<double>::infinity();
+        if (!(static_cast<double>(it) + projected <= opts.max_iters)) {
+          std::ostringstream os;
+          os << "warm refinement abandoned: contraction rate " << rate
+             << " projects " << projected << " more iterations against a budget of "
+             << opts.max_iters;
+          ErrorContext ctx;
+          ctx.iterations = it + 1;
+          ctx.last_residual = delta;
+          ctx.matrix_size = n;
+          throw Error(ErrorCode::kNonConvergence, os.str(), ctx);
+        }
+      }
+    }
   }
   if (it >= opts.max_iters)
     throw_non_convergence("functional iteration for R", opts, last_delta, n);
@@ -251,11 +286,15 @@ Matrix functional_iteration_r(const Matrix& a0, const Matrix& a1, const Matrix& 
   return r;
 }
 
-/// R = A0 (-(A1 + A0 G))^{-1}: the closed form connecting G to R.
+/// R = A0 (-(A1 + A0 G))^{-1}: the closed form connecting G to R, computed
+/// as one transposed multi-RHS solve (M^T R^T = A0^T) instead of forming the
+/// explicit inverse. A0 is sparse for the chains built here, so its product
+/// with G streams the CSR form.
 Matrix r_from_g(const Matrix& a0, const Matrix& a1, const Matrix& g) {
-  Matrix m = a1 + a0 * g;
+  Matrix m = linalg::SparseMatrix::from_dense(a0).multiply_dense(g);
+  m += a1;
   m *= -1.0;
-  return a0 * linalg::LuDecomposition(std::move(m)).inverse();
+  return linalg::LuDecomposition(m.transposed()).solve(a0.transposed()).transposed();
 }
 
 /// One rung of the fallback ladder.
@@ -404,7 +443,12 @@ std::vector<RungSpec> g_ladder(const Matrix& a0, const Matrix& a1, const Matrix&
 
 double r_equation_residual(const Matrix& r, const Matrix& a0, const Matrix& a1,
                            const Matrix& a2) {
-  return (a0 + r * a1 + r * r * a2).inf_norm();
+  // Fused accumulation A0 + R A1 + R^2 A2 into one buffer: two gemm_adds
+  // instead of three temporaries and two elementwise passes.
+  Matrix res = a0;
+  linalg::gemm_add(r, a1, res);
+  linalg::gemm_add(r * r, a2, res);
+  return res.inf_norm();
 }
 
 Matrix solve_g(const Matrix& a0, const Matrix& a1, const Matrix& a2,
@@ -427,8 +471,64 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
   check_shapes(a0, a1, a2);
   obs::ScopedSpan span("qbd.solve_r");
   span.attr("matrix_size", obs::JsonValue(static_cast<std::int64_t>(a0.rows())));
+
+  // Warm start: refine the caller's previous R before any cold algorithm.
+  // Attempted only on a fresh descent (retries already know the primary is in
+  // trouble) and verified against the floored tolerance before being trusted
+  // — a refinement that converged on its increment but not on the equation
+  // residual is discarded and the solve proceeds cold.
+  std::string warm_failure;
   Matrix r;
-  if (opts.kind == RSolverKind::kLogarithmicReduction) {
+  bool solved = false;
+  if (opts.warm_start && opts.start_rung == 0 &&
+      opts.warm_start->r.rows() == a0.rows() && opts.warm_start->r.is_square()) {
+    RSolverOptions wopts = opts;
+    wopts.tolerance = std::max(opts.tolerance, kFallbackToleranceFloor);
+    // Break-even budget: a functional iteration costs roughly a third of a
+    // logarithmic-reduction step, so refining past ~3x the seed's own
+    // iteration count is slower than just solving cold. A near-converged
+    // seed (the repeat-solve case this exists for) finishes in a handful of
+    // iterations either way; a distant seed hits this wall — or the
+    // contraction probe inside the iteration — and the solve goes cold.
+    wopts.max_iters = std::min(std::max(1, opts.warm_start_max_iters),
+                               std::max(12, 3 * opts.warm_start->iterations));
+    obs::ScopedSpan warm_span("qbd.solve.rung");
+    warm_span.attr("rung", obs::JsonValue("warm-start refinement"))
+        .attr("matrix_size", obs::JsonValue(static_cast<std::int64_t>(a0.rows())));
+    try {
+      Matrix warm = functional_iteration_r(a0, a1, a2, wopts, stats, &opts.warm_start->r);
+      const double residual = r_equation_residual(warm, a0, a1, a2);
+      if (!all_finite(warm) || !(residual <= 10.0 * wopts.tolerance)) {
+        warm_failure = "warm-start refinement: converged increment but equation "
+                       "residual " + std::to_string(residual) + " above tolerance";
+        warm_span.attr("failed", obs::JsonValue(true));
+      } else {
+        r = std::move(warm);
+        solved = true;
+        if (stats) {
+          stats->tolerance_used = wopts.tolerance;
+          stats->outcome = SolveOutcome{};
+          stats->outcome.rung = SolveRung::kWarmStart;
+          stats->outcome.rung_name = "warm-start refinement";
+          stats->warm_start_used = true;
+          stats->warm_start_iterations_saved =
+              std::max(0, opts.warm_start->iterations - stats->iterations);
+          span.attr("warm_start", obs::JsonValue(true));
+        }
+      }
+    } catch (const Error& e) {
+      if (e.code() == ErrorCode::kDeadlineExceeded ||
+          e.code() == ErrorCode::kInterrupted)
+        throw;
+      warm_failure = std::string("warm-start refinement: ") + e.what();
+      warm_span.attr("failed", obs::JsonValue(true))
+          .attr("error", obs::JsonValue(error_code_name(e.code())));
+    }
+  }
+
+  if (solved) {
+    // fall through to the shared residual/clamp tail below
+  } else if (opts.kind == RSolverKind::kLogarithmicReduction) {
     // G via the ladder, then R from G in closed form.
     const Matrix g = run_ladder(g_ladder(a0, a1, a2, opts, stats), opts, stats, a1.rows());
     r = r_from_g(a0, a1, g);
@@ -461,6 +561,11 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
   }
   if (stats) {
     stats->final_residual = r_equation_residual(r, a0, a1, a2);
+    // A failed warm-start attempt is diagnostic context, not a fallback rung:
+    // it prepends its failure without touching rungs_attempted.
+    if (!warm_failure.empty())
+      stats->outcome.failures.insert(stats->outcome.failures.begin(),
+                                     std::move(warm_failure));
     span.attr("iterations", obs::JsonValue(stats->iterations))
         .attr("final_residual", obs::JsonValue(stats->final_residual));
   }
@@ -469,13 +574,15 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
   // The threshold is relative to ||R||_inf so large-rate models do not trip
   // the assert on benign roundoff.
   const double negative_tolerance = 1e-9 * std::max(1.0, r.inf_norm());
-  for (std::size_t i = 0; i < r.rows(); ++i)
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    double* row = r.row_data(i);
     for (std::size_t j = 0; j < r.cols(); ++j) {
-      if (r(i, j) < 0.0) {
-        PERFBG_ASSERT(r(i, j) > -negative_tolerance, "R has a significantly negative entry");
-        r(i, j) = 0.0;
+      if (row[j] < 0.0) {
+        PERFBG_ASSERT(row[j] > -negative_tolerance, "R has a significantly negative entry");
+        row[j] = 0.0;
       }
     }
+  }
   return r;
 }
 

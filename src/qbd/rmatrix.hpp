@@ -25,6 +25,7 @@
 // kNumericalBreakdown instead of looping to max_iters.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,16 @@ enum class SolveRung {
   kPrimary = 0,               ///< the configured algorithm, standard settings
   kAlternateAlgorithm = 1,    ///< the other G/R algorithm
   kRelaxedUniformization = 2, ///< functional iteration, relaxed constant
+  kWarmStart = 3,             ///< refinement of a caller-provided R seed
+};
+
+/// A previous R solution offered as a starting point for a nearby model (an
+/// adjacent sweep point, a re-solve after a small parameter change). The
+/// solver refines it with functional iteration; `iterations` is what the
+/// seeding solve cost, so the refinement can report how much it saved.
+struct RWarmStart {
+  Matrix r;
+  int iterations = 0;
 };
 
 /// Outcome of a ladder descent: the winning rung plus one diagnostic line per
@@ -81,6 +92,20 @@ struct RSolverOptions {
   /// the ones that already failed. Each rung keeps the budget/tolerance it
   /// would have had in a full descent.
   int start_rung = 0;
+  /// Optional warm start: refine this previous solution with functional
+  /// iteration before running the configured algorithm. Attempted only on a
+  /// fresh solve (start_rung == 0, matching shape); runs with the tolerance
+  /// floored at the fallback floor (1e-10) and its own iteration cap. If the
+  /// refinement fails to converge — or converges but its equation residual
+  /// does not meet the floored tolerance — the solve silently proceeds cold,
+  /// so a bad seed costs at most warm_start_max_iters cheap iterations.
+  /// Shared and immutable so concurrent sweep points can hold one seed.
+  std::shared_ptr<const RWarmStart> warm_start;
+  /// Iteration cap for the warm-start refinement. Deliberately modest: each
+  /// functional iteration is ~3x cheaper than a logarithmic-reduction step,
+  /// so a cap of 150 bounds the worst-case "bad seed" overhead below one
+  /// cold solve while letting a good seed finish in a handful of steps.
+  int warm_start_max_iters = 150;
 };
 
 /// One row of the convergence trace.
@@ -113,6 +138,13 @@ struct RSolverStats {
   /// Which fallback rung produced the result (kPrimary when the configured
   /// algorithm succeeded outright) and what each earlier rung reported.
   SolveOutcome outcome;
+  /// True when the result came from refining RSolverOptions::warm_start. A
+  /// failed refinement attempt leaves this false and appends its diagnosis to
+  /// outcome.failures without counting as a fallback rung.
+  bool warm_start_used = false;
+  /// Seed iterations minus refinement iterations (clamped at 0): the
+  /// estimated iteration cost avoided by warm starting. 0 on cold solves.
+  int warm_start_iterations_saved = 0;
   /// Per-iteration convergence trace; empty unless
   /// RSolverOptions::record_trace was set. For the logarithmic-reduction R
   /// solver this is the trace of the underlying G iteration (R is obtained

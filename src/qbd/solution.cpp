@@ -1,10 +1,14 @@
 #include "qbd/solution.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
 #include "linalg/spectral.hpp"
 #include "obs/span.hpp"
+#include "qbd/boundary.hpp"
 #include "qbd/preflight.hpp"
 #include "util/check.hpp"
 
@@ -45,6 +49,10 @@ QbdSolution::QbdSolution(const QbdProcess& process, const RSolverOptions& opts,
     metrics->add("qbd.solve.count");
     // Always materialized (possibly at 0) so run reports are schema-stable.
     metrics->add("qbd.solve.fallback_used", stats_.outcome.fallback_used() ? 1 : 0);
+    metrics->add("qbd.solve.warm_start_used", stats_.warm_start_used ? 1 : 0);
+    metrics->add("qbd.solve.warm_start_iterations_saved",
+                 static_cast<std::uint64_t>(
+                     std::max(0, stats_.warm_start_iterations_saved)));
     metrics->set("qbd.rsolve.final_residual", stats_.final_residual);
     metrics->set("qbd.r.spectral_radius", sp_r_);
   }
@@ -64,16 +72,10 @@ QbdSolution::QbdSolution(const QbdProcess& process, const RSolverOptions& opts,
   // w = [1_b ; (I-R)^{-1} 1_r] replacing the last column.
   const std::size_t n = nb + nr;
   boundary_span.attr("matrix_size", obs::JsonValue(static_cast<std::int64_t>(n)));
-  Matrix m(n, n, 0.0);
-  for (std::size_t i = 0; i < nb; ++i) {
-    for (std::size_t j = 0; j < nb; ++j) m(i, j) = process.b00(i, j);
-    for (std::size_t j = 0; j < nr; ++j) m(i, nb + j) = process.b01(i, j);
-  }
-  const Matrix corner = process.a1 + r_ * process.a2;
-  for (std::size_t i = 0; i < nr; ++i) {
-    for (std::size_t j = 0; j < nb; ++j) m(nb + i, j) = process.b10(i, j);
-    for (std::size_t j = 0; j < nr; ++j) m(nb + i, nb + j) = corner(i, j);
-  }
+  // A2 has O(phases) nonzeros per row, so the censored corner block streams
+  // its CSR form instead of a dense product.
+  Matrix corner = process.a1;
+  linalg::SparseMatrix::from_dense(process.a2).add_left_multiply(r_, corner);
 
   Vector w(n, 1.0);
   {
@@ -81,10 +83,38 @@ QbdSolution::QbdSolution(const QbdProcess& process, const RSolverOptions& opts,
     const Vector tail = linalg::mat_vec(s1, ones);  // (I-R)^{-1} 1
     for (std::size_t j = 0; j < nr; ++j) w[nb + j] = tail[j];
   }
-  for (std::size_t i = 0; i < n; ++i) m(i, n - 1) = w[i];
-  Vector rhs(n, 0.0);
-  rhs[n - 1] = 1.0;
-  const Vector x = linalg::LuDecomposition(std::move(m)).solve_left(rhs);
+
+  // Structured path first: when the boundary is level-partitioned (the chain
+  // builder records the partition) the system is block tridiagonal and the
+  // level-censoring recursion solves it in a fraction of the dense cost. Any
+  // structural or numerical doubt makes it decline, and the dense solve below
+  // remains the authority.
+  Vector x;
+  std::optional<Vector> structured = solve_boundary_structured(process, corner, w);
+  boundary_span.attr("structured", obs::JsonValue(structured.has_value()));
+  if (structured) {
+    x = std::move(*structured);
+  } else {
+    Matrix m(n, n, 0.0);
+    for (std::size_t i = 0; i < nb; ++i) {
+      double* row = m.row_data(i);
+      const double* b00_row = process.b00.row_data(i);
+      const double* b01_row = process.b01.row_data(i);
+      for (std::size_t j = 0; j < nb; ++j) row[j] = b00_row[j];
+      for (std::size_t j = 0; j < nr; ++j) row[nb + j] = b01_row[j];
+    }
+    for (std::size_t i = 0; i < nr; ++i) {
+      double* row = m.row_data(nb + i);
+      const double* b10_row = process.b10.row_data(i);
+      const double* corner_row = corner.row_data(i);
+      for (std::size_t j = 0; j < nb; ++j) row[j] = b10_row[j];
+      for (std::size_t j = 0; j < nr; ++j) row[nb + j] = corner_row[j];
+    }
+    for (std::size_t i = 0; i < n; ++i) m.row_data(i)[n - 1] = w[i];
+    Vector rhs(n, 0.0);
+    rhs[n - 1] = 1.0;
+    x = linalg::LuDecomposition(std::move(m)).solve_left(rhs);
+  }
 
   pi_boundary_.assign(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(nb));
   pi_first_.assign(x.begin() + static_cast<std::ptrdiff_t>(nb), x.end());
@@ -119,6 +149,8 @@ obs::SolveHealth solve_health(const QbdSolution& solution) {
   h.rung = static_cast<int>(stats.outcome.rung);
   h.rung_name = stats.outcome.rung_name;
   h.rungs_attempted = stats.outcome.rungs_attempted;
+  h.warm_start_used = stats.warm_start_used;
+  h.warm_start_iterations_saved = stats.warm_start_iterations_saved;
   h.drift_ratio = solution.preflight_drift();
   h.spectral_radius = solution.r_spectral_radius();
   return h;

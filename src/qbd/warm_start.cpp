@@ -1,0 +1,68 @@
+#include "qbd/warm_start.hpp"
+
+#include <utility>
+
+namespace perfbg::qbd {
+
+RSeedCache::RSeedCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void RSeedCache::put(const std::string& key, Matrix r, int iterations) {
+  auto seed = std::make_shared<RWarmStart>();
+  seed->r = std::move(r);
+  seed->iterations = iterations;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stores_;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->seed = std::move(seed);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(seed)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+std::shared_ptr<const RWarmStart> RSeedCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->seed;
+}
+
+void RSeedCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+std::size_t RSeedCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::uint64_t RSeedCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t RSeedCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t RSeedCache::stores() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stores_;
+}
+
+}  // namespace perfbg::qbd

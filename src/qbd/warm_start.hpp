@@ -1,0 +1,64 @@
+// Cross-solve R-matrix seed cache for warm starting.
+//
+// Adjacent points of a parameter sweep (same workload / bg probability /
+// buffer size, stepping utilization) produce R matrices that differ by a few
+// percent, so the previous point's R is an excellent functional-iteration
+// seed for the next one. The cache maps a *model-class* key — the sweep
+// coordinates minus the stepped axis — to the most recently stored solve, and
+// callers pass the hit into RSolverOptions::warm_start. solve_r verifies the
+// refined residual before trusting a seed, so a stale or mismatched entry can
+// cost a bounded number of iterations but never a wrong answer.
+//
+// Seeds are held behind shared_ptr<const RWarmStart>: a get() result stays
+// valid while in use even if the entry is evicted or overwritten concurrently.
+// All methods are thread safe; hit/miss/store counters feed statusz.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "qbd/rmatrix.hpp"
+
+namespace perfbg::qbd {
+
+class RSeedCache {
+ public:
+  /// `capacity` bounds the number of distinct model-class keys kept (least
+  /// recently used beyond that is evicted); sweeps rarely interleave more
+  /// than a handful of classes.
+  explicit RSeedCache(std::size_t capacity = 64);
+
+  /// Stores (or replaces) the seed for `key`, marking it most recently used.
+  void put(const std::string& key, Matrix r, int iterations);
+
+  /// Returns the seed for `key`, or nullptr on a miss. A hit is marked most
+  /// recently used.
+  std::shared_ptr<const RWarmStart> get(const std::string& key);
+
+  void clear();
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t stores() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const RWarmStart> seed;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t stores_ = 0;
+};
+
+}  // namespace perfbg::qbd

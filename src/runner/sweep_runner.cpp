@@ -314,6 +314,10 @@ void define_runner_flags(Flags& flags) {
                "append a resumable checkpoint journal (JSON lines) to this path");
   flags.define("resume",
                "replay completed points from this journal instead of re-solving them");
+  flags.define_switch(
+      "warm-start",
+      "seed each point's R iteration from the previous point of the same model "
+      "class (sequential sweeps only; ignored with --jobs > 1)");
 }
 
 RunnerOptions runner_options_from_flags(const Flags& flags) {
@@ -322,6 +326,7 @@ RunnerOptions runner_options_from_flags(const Flags& flags) {
   options.point_timeout_ms = flags.get_double("point-timeout-ms", 0.0);
   options.max_attempts = 1 + std::max(0, flags.get_int("retries", 0));
   options.backoff_base_ms = flags.get_double("retry-backoff-ms", 0.0);
+  options.warm_start = flags.has("warm-start");
   return options;
 }
 

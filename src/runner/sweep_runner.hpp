@@ -53,6 +53,13 @@ struct RunnerOptions {
   double point_timeout_ms = 0.0; ///< per-attempt wall-clock budget (<= 0: none)
   int max_attempts = 1;          ///< 1 + --retries
   double backoff_base_ms = 0.0;  ///< base of the exponential retry backoff
+  /// --warm-start: sweeps may seed a point's R iteration from the previous
+  /// point of the same model class (see qbd/warm_start.hpp). Only honoured by
+  /// sequential sweeps (jobs == 1): with workers, which point solves first is
+  /// scheduling-dependent and warm iteration counts — and thus health records
+  /// — would no longer be run-to-run deterministic. The runner just carries
+  /// the flag; the point functions implement the seeding.
+  bool warm_start = false;
   JournalWriter* journal = nullptr;      ///< checkpoint sink (optional)
   const JournalIndex* resume = nullptr;  ///< completed points to replay (optional)
   obs::MetricsRegistry* metrics = nullptr;  ///< runner.* metrics sink (optional)

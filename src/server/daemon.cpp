@@ -12,6 +12,7 @@
 #include "server/io.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/table.hpp"
 
 namespace perfbg::server {
 
@@ -38,6 +39,14 @@ ErrorCode code_from_name(const std::string& name) {
   for (const auto& [n, code] : kCodes)
     if (name == n) return code;
   throw Error(ErrorCode::kInvalidModel, "unknown test_fail_code '" + name + "'");
+}
+
+/// R-seed identity: everything that shapes the repeating blocks A0/A1/A2
+/// except the load axis. idle_wait is deliberately excluded — it only
+/// reshapes the boundary blocks, which the R iteration never sees.
+std::string r_seed_class(const Request& req) {
+  return model_class(req) + "|mean=" + format_number(req.service_mean, 6) +
+         "|p=" + format_number(req.p, 6);
 }
 
 }  // namespace
@@ -583,7 +592,15 @@ obs::JsonValue Daemon::run_model(const Request& request, const CancellationToken
     core::FgBgModel model(build_params(request, request.util), &metrics_);
     qbd::RSolverOptions opts;
     opts.cancel = &token;
+    std::string seed_class;
+    if (options_.warm_start_r) {
+      seed_class = r_seed_class(request);
+      opts.warm_start = r_seeds_.get(seed_class);
+    }
     const core::FgBgSolution solution = model.solve(opts);
+    if (options_.warm_start_r)
+      r_seeds_.put(seed_class, solution.qbd().r_matrix(),
+                   solution.qbd().solver_stats().iterations);
     obs::SolveHealth h = solution.health();
     h.key = canonical_key(request);
     report_.add_health(h);
@@ -615,7 +632,15 @@ obs::JsonValue Daemon::run_model(const Request& request, const CancellationToken
       core::FgBgModel model(build_params(point, point.util), &metrics_);
       qbd::RSolverOptions opts;
       opts.cancel = &token;
+      std::string seed_class;
+      if (options_.warm_start_r) {
+        seed_class = r_seed_class(point);
+        opts.warm_start = r_seeds_.get(seed_class);
+      }
       const core::FgBgSolution solution = model.solve(opts);
+      if (options_.warm_start_r)
+        r_seeds_.put(seed_class, solution.qbd().r_matrix(),
+                     solution.qbd().solver_stats().iterations);
       obs::SolveHealth h = solution.health();
       h.key = pkey;
       report_.add_health(h);
@@ -943,6 +968,14 @@ obs::JsonValue Daemon::statusz() const {
   rec.set("slow_log", obs::JsonValue(static_cast<std::int64_t>(slow_log_.size())));
   rec.set("dumps", obs::JsonValue(metrics_.counter("server.recorder.dumps")));
   v.set("recorder", std::move(rec));
+
+  obs::JsonValue seeds = obs::JsonValue::object();
+  seeds.set("enabled", obs::JsonValue(options_.warm_start_r));
+  seeds.set("size", obs::JsonValue(static_cast<std::int64_t>(r_seeds_.size())));
+  seeds.set("hits", obs::JsonValue(static_cast<std::int64_t>(r_seeds_.hits())));
+  seeds.set("misses", obs::JsonValue(static_cast<std::int64_t>(r_seeds_.misses())));
+  seeds.set("stores", obs::JsonValue(static_cast<std::int64_t>(r_seeds_.stores())));
+  v.set("r_seed_cache", std::move(seeds));
 
   // Request-latency tail with its exemplar: the p99 here names the concrete
   // trace id to pull out of tracez / the recorder dump.

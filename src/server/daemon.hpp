@@ -61,6 +61,7 @@
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
+#include "qbd/warm_start.hpp"
 #include "runner/journal.hpp"
 #include "server/breaker.hpp"
 #include "server/cache.hpp"
@@ -94,6 +95,14 @@ struct DaemonOptions {
 
   runner::JournalWriter* journal = nullptr;          ///< served-request sink
   const runner::JournalIndex* warm_start = nullptr;  ///< cache pre-seed
+
+  /// --warm-start-r: seed each solve's R iteration from the last R solved for
+  /// the same model class (workload|service|X|p — everything but the load
+  /// axis; see qbd/warm_start.hpp). A stale seed costs bounded refinement
+  /// time and falls back to the cold ladder, never a wrong answer. Off by
+  /// default: warm solves report different iteration counts in their health
+  /// records, which would break byte-parity comparisons between daemon runs.
+  bool warm_start_r = false;
 
   /// Periodic run-report snapshot: rewritten every report_interval_ms while
   /// serving and once at shutdown, so two service runs can be diffed with
@@ -228,6 +237,7 @@ class Daemon {
   obs::MetricsRegistry& metrics_;
   SolutionCache cache_;
   CircuitBreaker breaker_;
+  qbd::RSeedCache r_seeds_;  ///< per-model-class R warm-start seeds
   obs::FlightRecorder recorder_;
   obs::SlowRequestLog slow_log_;
 

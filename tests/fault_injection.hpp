@@ -48,6 +48,9 @@ inline qbd::QbdProcess unstable_qbd(double utilization = 1.07) {
 
 /// Returns a copy of `p` with the requested corruption applied.
 inline qbd::QbdProcess inject(qbd::QbdProcess p, Fault fault) {
+  // The corruption happens after the chain builder certified the matrices, so
+  // the prevalidation shortcut no longer holds — preflight must re-check.
+  p.prevalidated = false;
   constexpr double nan = std::numeric_limits<double>::quiet_NaN();
   constexpr double inf = std::numeric_limits<double>::infinity();
   switch (fault) {

@@ -1,0 +1,422 @@
+// Property tests for the structured linear-algebra kernels (src/linalg) and
+// their integration with the QBD solver:
+//  * tiled GEMM / gemm_add / gemm_sub against a naive triple loop over sizes
+//    spanning the dense-tile threshold, including degenerate 0/1-dim shapes;
+//  * CSR SparseMatrix and BandedMatrix products against the same reference,
+//    including fully dense operands (the "no useful structure" fallback);
+//  * detect_structure classification, both on synthetic profiles and on the
+//    real A-blocks the chain builder assembles for every preset workload;
+//  * the structured block-tridiagonal boundary solve against the dense
+//    censored-generator path on real models;
+//  * RSeedCache LRU semantics and R warm-starting end to end (seed reuse,
+//    bad-seed fallback, health/metrics propagation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/chain_builder.hpp"
+#include "core/model.hpp"
+#include "linalg/banded.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/structure.hpp"
+#include "obs/metrics.hpp"
+#include "qbd/qbd.hpp"
+#include "qbd/solution.hpp"
+#include "qbd/warm_start.hpp"
+#include "workloads/presets.hpp"
+
+namespace perfbg {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::mt19937& rng,
+                     double density = 1.0) {
+  std::uniform_real_distribution<double> value(-1.0, 1.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      if (coin(rng) < density) m(i, j) = value(rng);
+  return m;
+}
+
+/// Unblocked triple-loop reference the kernels are tested against.
+Matrix naive_multiply(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double av = a(i, k);
+      if (av == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += av * b(k, j);
+    }
+  return c;
+}
+
+void expect_near(const Matrix& got, const Matrix& want, double tol,
+                 const std::string& what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::size_t i = 0; i < got.rows(); ++i)
+    for (std::size_t j = 0; j < got.cols(); ++j)
+      ASSERT_NEAR(got(i, j), want(i, j), tol)
+          << what << " at (" << i << ", " << j << ")";
+}
+
+TEST(GemmProperty, MatchesNaiveAcrossSizes) {
+  std::mt19937 rng(7);
+  // Shapes below, at, and above the kGemmTileThreshold crossover, plus
+  // rectangles that exercise every micro-kernel tail combination.
+  const std::size_t sizes[] = {1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 32, 33, 47, 64};
+  for (std::size_t m : sizes)
+    for (std::size_t k : {m, (m * 2) % 37 + 1})
+      for (std::size_t n : {m, (m + 5) % 29 + 1}) {
+        const Matrix a = random_matrix(m, k, rng);
+        const Matrix b = random_matrix(k, n, rng);
+        expect_near(linalg::multiply(a, b), naive_multiply(a, b), 1e-12 * static_cast<double>(k + 1),
+                    "multiply " + std::to_string(m) + "x" + std::to_string(k) +
+                        "x" + std::to_string(n));
+      }
+}
+
+TEST(GemmProperty, DegenerateShapes) {
+  const Matrix empty;
+  const Matrix r0(0, 4);
+  const Matrix c0(4, 0);
+  EXPECT_EQ(linalg::multiply(empty, empty).rows(), 0u);
+  const Matrix rc = linalg::multiply(c0, r0);  // (4x0)*(0x4) = 4x4 zeros
+  ASSERT_EQ(rc.rows(), 4u);
+  ASSERT_EQ(rc.cols(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(rc(i, j), 0.0);
+
+  std::mt19937 rng(11);
+  const Matrix one = random_matrix(1, 1, rng);
+  const Matrix row = random_matrix(1, 64, rng);
+  const Matrix col = random_matrix(64, 1, rng);
+  expect_near(linalg::multiply(one, row), naive_multiply(one, row), 1e-12, "1x1 * 1x64");
+  expect_near(linalg::multiply(row, col), naive_multiply(row, col), 1e-11, "1x64 * 64x1");
+  expect_near(linalg::multiply(col, row), naive_multiply(col, row), 1e-12, "64x1 * 1x64");
+}
+
+TEST(GemmProperty, AddAndSubAccumulate) {
+  std::mt19937 rng(13);
+  for (std::size_t n : {1u, 3u, 16u, 33u, 64u}) {
+    const Matrix a = random_matrix(n, n, rng);
+    const Matrix b = random_matrix(n, n, rng);
+    const Matrix c0 = random_matrix(n, n, rng);
+    const Matrix prod = naive_multiply(a, b);
+
+    Matrix c_add = c0;
+    linalg::gemm_add(a, b, c_add);
+    Matrix want_add = c0;
+    want_add += prod;
+    expect_near(c_add, want_add, 1e-11, "gemm_add n=" + std::to_string(n));
+
+    Matrix c_sub = c0;
+    linalg::gemm_sub(a, b, c_sub);
+    Matrix want_sub = c0;
+    want_sub -= prod;
+    expect_near(c_sub, want_sub, 1e-11, "gemm_sub n=" + std::to_string(n));
+  }
+}
+
+TEST(TransposeProperty, MatchesElementwise) {
+  std::mt19937 rng(17);
+  for (std::size_t m : {1u, 5u, 31u, 33u, 64u, 100u}) {
+    const std::size_t n = (m * 3) % 41 + 1;
+    const Matrix a = random_matrix(m, n, rng);
+    const Matrix t = a.transposed();
+    ASSERT_EQ(t.rows(), n);
+    ASSERT_EQ(t.cols(), m);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) ASSERT_EQ(t(j, i), a(i, j));
+  }
+}
+
+TEST(KronProperty, MatchesDefinition) {
+  std::mt19937 rng(19);
+  const Matrix a = random_matrix(3, 4, rng);
+  const Matrix b = random_matrix(5, 2, rng);
+  const Matrix k = linalg::kron(a, b);
+  ASSERT_EQ(k.rows(), 15u);
+  ASSERT_EQ(k.cols(), 8u);
+  for (std::size_t i = 0; i < k.rows(); ++i)
+    for (std::size_t j = 0; j < k.cols(); ++j)
+      ASSERT_EQ(k(i, j), a(i / 5, j / 2) * b(i % 5, j % 2));
+}
+
+TEST(SparseProperty, RoundTripAndProducts) {
+  std::mt19937 rng(23);
+  for (std::size_t n : {1u, 2u, 8u, 33u, 64u})
+    for (double density : {0.05, 0.3, 1.0}) {  // 1.0: dense-operand fallback
+      const Matrix dense = random_matrix(n, n, rng, density);
+      const linalg::SparseMatrix s = linalg::SparseMatrix::from_dense(dense);
+      expect_near(s.to_dense(), dense, 0.0, "csr round trip");
+
+      const Matrix b = random_matrix(n, (n * 2) % 19 + 1, rng);
+      expect_near(s.multiply_dense(b), naive_multiply(dense, b), 1e-12,
+                  "spmm n=" + std::to_string(n));
+
+      const Matrix a = random_matrix((n + 3) % 17 + 1, n, rng);
+      expect_near(s.left_multiply_dense(a), naive_multiply(a, dense), 1e-12,
+                  "left spmm n=" + std::to_string(n));
+
+      Matrix acc = random_matrix(a.rows(), n, rng);
+      Matrix want = acc;
+      want += naive_multiply(a, dense);
+      s.add_left_multiply(a, acc);
+      expect_near(acc, want, 1e-12, "add_left_multiply n=" + std::to_string(n));
+    }
+}
+
+TEST(BandedProperty, RoundTripAndProduct) {
+  std::mt19937 rng(29);
+  for (std::size_t n : {1u, 4u, 22u, 64u})
+    for (std::size_t hw : {std::size_t{0}, std::size_t{1}, std::size_t{3}, n}) {
+      Matrix dense(n, n);
+      std::uniform_real_distribution<double> value(-1.0, 1.0);
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          if ((i >= j ? i - j : j - i) <= hw) dense(i, j) = value(rng);
+      const linalg::BandedMatrix band = linalg::BandedMatrix::from_dense(dense);
+      EXPECT_LE(band.lower(), std::min(hw, n > 0 ? n - 1 : 0));
+      expect_near(band.to_dense(), dense, 0.0, "band round trip");
+      const Matrix b = random_matrix(n, n, rng);
+      expect_near(band.multiply_dense(b), naive_multiply(dense, b), 1e-12,
+                  "banded*dense n=" + std::to_string(n) + " hw=" + std::to_string(hw));
+    }
+}
+
+TEST(BandedProperty, SetOutsideBandThrows) {
+  linalg::BandedMatrix band(6, 1, 1);
+  band.set(2, 3, 1.0);
+  EXPECT_EQ(band.at(2, 3), 1.0);
+  EXPECT_EQ(band.at(0, 5), 0.0);
+  EXPECT_THROW(band.set(0, 5, 1.0), std::invalid_argument);
+}
+
+TEST(StructureDetect, ClassifiesSyntheticProfiles) {
+  using linalg::StructureKind;
+  EXPECT_EQ(linalg::detect_structure(Matrix(8, 8)).kind(), StructureKind::kEmpty);
+  EXPECT_EQ(linalg::detect_structure(Matrix::identity(8)).kind(),
+            StructureKind::kDiagonal);
+
+  Matrix tridiag(32, 32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    tridiag(i, i) = -2.0;
+    if (i > 0) tridiag(i, i - 1) = 1.0;
+    if (i + 1 < 32) tridiag(i, i + 1) = 1.0;
+  }
+  const linalg::StructureInfo tri = linalg::detect_structure(tridiag);
+  EXPECT_EQ(tri.kind(), StructureKind::kBanded);
+  EXPECT_EQ(tri.lower_bandwidth, 1u);
+  EXPECT_EQ(tri.upper_bandwidth, 1u);
+  EXPECT_EQ(tri.nnz, 32u + 31u + 31u);
+
+  // Low density with a far-off-diagonal entry: CSR, not banded.
+  Matrix scattered(32, 32);
+  scattered(0, 31) = 1.0;
+  scattered(31, 0) = 1.0;
+  scattered(16, 16) = 1.0;
+  EXPECT_EQ(linalg::detect_structure(scattered).kind(), StructureKind::kSparse);
+
+  std::mt19937 rng(31);
+  EXPECT_EQ(linalg::detect_structure(random_matrix(32, 32, rng)).kind(),
+            StructureKind::kDense);
+}
+
+TEST(StructureDetect, RealABlocksAreStructured) {
+  // One FG or BG event per transition keeps every workload's repeating
+  // blocks far from dense; the kernels must see that structure.
+  for (const auto& arrivals : workloads::trace_workloads()) {
+    core::FgBgParams p{arrivals.scaled_to_utilization(0.5, workloads::kMeanServiceTimeMs)};
+    p.bg_probability = 0.3;
+    p.bg_buffer = 5;
+    const core::FgBgLayout layout(p.bg_buffer, p.arrivals.phases());
+    const qbd::QbdProcess q = core::build_fgbg_qbd(p, layout);
+    for (const Matrix* block : {&q.a0, &q.a1, &q.a2}) {
+      const linalg::StructureInfo info = linalg::detect_structure(*block);
+      EXPECT_EQ(info.rows, q.level_size());
+      EXPECT_EQ(info.cols, q.level_size());
+      EXPECT_GT(info.nnz, 0u);
+      EXPECT_LT(info.density(), 0.5)
+          << "dense A-block for workload " << arrivals.name();
+      EXPECT_NE(info.kind(), linalg::StructureKind::kDense)
+          << "unrouted A-block for workload " << arrivals.name();
+    }
+  }
+}
+
+TEST(LuKernels, SolveLeftMatrixMatchesEquation) {
+  std::mt19937 rng(37);
+  for (std::size_t n : {1u, 5u, 22u, 64u}) {
+    Matrix a = random_matrix(n, n, rng);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 4.0;  // well-conditioned
+    const linalg::LuDecomposition lu(a);
+    const Matrix b = random_matrix((n + 2) % 13 + 1, n, rng);
+    const Matrix x = lu.solve_left(b);
+    expect_near(naive_multiply(x, a), b, 1e-9, "solve_left n=" + std::to_string(n));
+  }
+}
+
+TEST(LuKernels, NullTailVectorOnSingularGenerator) {
+  // A CTMC generator is singular with a one-dimensional left null space; the
+  // allow-singular-tail factorization of Q^T must recover the null direction.
+  Matrix q{{-2.0, 1.5, 0.5}, {1.0, -3.0, 2.0}, {0.5, 0.5, -1.0}};
+  linalg::LuOptions opts;
+  opts.allow_singular_tail = true;
+  const linalg::LuDecomposition lu(q.transposed(), opts);
+  const Vector v = lu.null_tail_vector();
+  ASSERT_EQ(v.size(), 3u);
+  const Vector res = linalg::vec_mat(v, q);
+  for (double r : res) EXPECT_NEAR(r, 0.0, 1e-12);
+}
+
+qbd::QbdProcess email_process(int bg_buffer, double util) {
+  core::FgBgParams p{
+      workloads::email().scaled_to_utilization(util, workloads::kMeanServiceTimeMs)};
+  p.bg_probability = 0.3;
+  p.bg_buffer = bg_buffer;
+  const core::FgBgLayout layout(p.bg_buffer, p.arrivals.phases());
+  return core::build_fgbg_qbd(p, layout);
+}
+
+TEST(StructuredBoundary, AgreesWithDensePath) {
+  for (int bg_buffer : {2, 5, 10}) {
+    const qbd::QbdProcess q = email_process(bg_buffer, 0.5);
+    ASSERT_FALSE(q.boundary_level_offsets.empty());
+    const qbd::QbdSolution structured(q);
+
+    qbd::QbdProcess stripped = q;
+    stripped.boundary_level_offsets.clear();  // forces the dense fallback
+    const qbd::QbdSolution dense(stripped);
+
+    ASSERT_EQ(structured.boundary().size(), dense.boundary().size());
+    for (std::size_t i = 0; i < structured.boundary().size(); ++i)
+      EXPECT_NEAR(structured.boundary()[i], dense.boundary()[i], 1e-9)
+          << "X=" << bg_buffer << " boundary state " << i;
+    for (std::size_t i = 0; i < structured.first_repeating().size(); ++i)
+      EXPECT_NEAR(structured.first_repeating()[i], dense.first_repeating()[i], 1e-9)
+          << "X=" << bg_buffer << " repeating state " << i;
+  }
+}
+
+TEST(RSeedCacheTest, HitMissAndCounters) {
+  qbd::RSeedCache cache(4);
+  EXPECT_EQ(cache.get("a"), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.put("a", Matrix::identity(3), 12);
+  EXPECT_EQ(cache.stores(), 1u);
+  const auto hit = cache.get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->iterations, 12);
+  EXPECT_EQ(hit->r.rows(), 3u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RSeedCacheTest, LruEvictionKeepsRecentlyUsed) {
+  qbd::RSeedCache cache(2);
+  cache.put("a", Matrix::identity(1), 1);
+  cache.put("b", Matrix::identity(2), 2);
+  ASSERT_NE(cache.get("a"), nullptr);  // touch: "b" is now least recent
+  cache.put("c", Matrix::identity(3), 3);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.get("a"), nullptr);
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_NE(cache.get("c"), nullptr);
+}
+
+TEST(RSeedCacheTest, EvictedSeedStaysValidWhileHeld) {
+  qbd::RSeedCache cache(1);
+  cache.put("a", Matrix::identity(5), 7);
+  const auto held = cache.get("a");
+  cache.put("b", Matrix::identity(2), 2);  // evicts "a"
+  EXPECT_EQ(cache.get("a"), nullptr);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->r.rows(), 5u);  // shared_ptr keeps the evicted seed alive
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(held->iterations, 7);
+}
+
+TEST(WarmStart, SeededRepeatSolveIsUsedAndAgrees) {
+  const qbd::QbdProcess q = email_process(5, 0.5);
+  const qbd::QbdSolution cold(q);
+  EXPECT_FALSE(cold.solver_stats().warm_start_used);
+
+  qbd::RSolverOptions opts;
+  opts.warm_start = std::make_shared<qbd::RWarmStart>(
+      qbd::RWarmStart{cold.r_matrix(), cold.solver_stats().iterations});
+  obs::MetricsRegistry metrics;
+  const qbd::QbdSolution warm(q, opts, &metrics);
+
+  EXPECT_TRUE(warm.solver_stats().warm_start_used);
+  EXPECT_GE(warm.solver_stats().warm_start_iterations_saved, 0);
+  EXPECT_LT(warm.solver_stats().iterations, cold.solver_stats().iterations);
+  EXPECT_EQ(metrics.counter("qbd.solve.warm_start_used"), 1u);
+  EXPECT_NEAR(warm.r_matrix().max_abs_diff(cold.r_matrix()), 0.0, 1e-8);
+  for (std::size_t i = 0; i < cold.boundary().size(); ++i)
+    EXPECT_NEAR(warm.boundary()[i], cold.boundary()[i], 1e-9);
+}
+
+TEST(WarmStart, BadSeedFallsBackCold) {
+  const qbd::QbdProcess q = email_process(5, 0.5);
+  const qbd::QbdSolution cold(q);
+
+  // A junk seed of the right shape: refinement cannot converge, so the solve
+  // must quietly run the cold ladder and still produce the right answer.
+  Matrix junk(q.level_size(), q.level_size(), 0.0);
+  for (std::size_t i = 0; i < junk.rows(); ++i) junk(i, i) = 0.99;
+  qbd::RSolverOptions opts;
+  opts.warm_start =
+      std::make_shared<qbd::RWarmStart>(qbd::RWarmStart{std::move(junk), 50});
+  const qbd::QbdSolution solved(q, opts);
+
+  EXPECT_FALSE(solved.solver_stats().warm_start_used);
+  EXPECT_EQ(solved.solver_stats().warm_start_iterations_saved, 0);
+  EXPECT_NEAR(solved.r_matrix().max_abs_diff(cold.r_matrix()), 0.0, 1e-8);
+}
+
+TEST(WarmStart, MismatchedShapeSeedIsIgnored) {
+  const qbd::QbdProcess q = email_process(5, 0.5);
+  qbd::RSolverOptions opts;
+  opts.warm_start = std::make_shared<qbd::RWarmStart>(
+      qbd::RWarmStart{Matrix::identity(3), 10});  // wrong dimension
+  const qbd::QbdSolution solved(q, opts);
+  EXPECT_FALSE(solved.solver_stats().warm_start_used);
+}
+
+TEST(WarmStart, HealthRecordCarriesWarmFields) {
+  core::FgBgParams p{
+      workloads::email().scaled_to_utilization(0.5, workloads::kMeanServiceTimeMs)};
+  p.bg_probability = 0.3;
+  p.bg_buffer = 5;
+  const core::FgBgModel model(p);
+  const core::FgBgSolution cold = model.solve();
+  EXPECT_FALSE(cold.health().warm_start_used);
+
+  qbd::RSolverOptions opts;
+  opts.warm_start = std::make_shared<qbd::RWarmStart>(qbd::RWarmStart{
+      cold.qbd().r_matrix(), cold.qbd().solver_stats().iterations});
+  const core::FgBgSolution warm = model.solve(opts);
+  EXPECT_TRUE(warm.health().warm_start_used);
+  EXPECT_EQ(warm.health().warm_start_iterations_saved,
+            warm.qbd().solver_stats().warm_start_iterations_saved);
+  EXPECT_NEAR(warm.metrics().fg_queue_length, cold.metrics().fg_queue_length,
+              1e-8 * (1.0 + std::abs(cold.metrics().fg_queue_length)));
+}
+
+}  // namespace
+}  // namespace perfbg
